@@ -1,0 +1,474 @@
+//! # pkgrec-adjust — adjustment recommendations (Section 8)
+//!
+//! When the item collection `D` itself cannot satisfy users' requests,
+//! the paper proposes recommending *adjustments* to the vendor: a set
+//! `∆(D, D′)` of at most `k′` operations — deletions of tuples from `D`
+//! and insertions of tuples drawn from an additional collection `D′` —
+//! such that `D ⊕ ∆(D, D′)` admits `k` distinct valid packages rated at
+//! least `B` (Section 8.1).
+//!
+//! **ARPP** (Section 8.2) is the decision problem; the solver here
+//! enumerates adjustments in ascending size (so a positive answer comes
+//! with a *minimum-size* witness) and reuses the pkgrec-core validity
+//! machinery for the package-existence check — the same structure as
+//! the Theorem 8.1 upper-bound algorithm.
+
+use std::fmt;
+use std::ops::ControlFlow;
+
+use pkgrec_core::{for_each_valid_package, CoreError, Ext, RecInstance, SolveOptions};
+use pkgrec_data::{Database, Tuple};
+
+/// Result alias (errors come from the core layer).
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// One adjustment operation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AdjustOp {
+    /// Delete a tuple from a relation of `D`.
+    Delete {
+        /// Relation name.
+        relation: String,
+        /// The tuple to remove.
+        tuple: Tuple,
+    },
+    /// Insert a tuple (drawn from `D′`) into a relation of `D`.
+    Insert {
+        /// Relation name.
+        relation: String,
+        /// The tuple to add.
+        tuple: Tuple,
+    },
+}
+
+impl fmt::Display for AdjustOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdjustOp::Delete { relation, tuple } => write!(f, "- {relation}{tuple}"),
+            AdjustOp::Insert { relation, tuple } => write!(f, "+ {relation}{tuple}"),
+        }
+    }
+}
+
+/// An adjustment `∆(D, D′)`: a set of operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Adjustment {
+    /// The operations, in canonical order.
+    pub ops: Vec<AdjustOp>,
+}
+
+impl Adjustment {
+    /// `|∆(D, D′)|`.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the adjustment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Apply the adjustment, producing `D ⊕ ∆(D, D′)`.
+    pub fn apply(&self, db: &Database) -> Result<Database> {
+        let mut out = db.clone();
+        for op in &self.ops {
+            match op {
+                AdjustOp::Delete { relation, tuple } => {
+                    out.delete(relation, tuple).map_err(CoreError::from)?;
+                }
+                AdjustOp::Insert { relation, tuple } => {
+                    out.insert(relation, tuple.clone())
+                        .map_err(CoreError::from)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// An ARPP instance: the base recommendation instance (over the current
+/// `D`), the pool `D′` of additional items, the rating bound `B`, and
+/// the adjustment budget `k′`.
+#[derive(Debug, Clone)]
+pub struct ArppInstance {
+    /// `(Q, D, Qc, cost(), val(), C, k)`.
+    pub base: RecInstance,
+    /// The additional item collection `D′`; its relations must exist in
+    /// `D` (same name and schema).
+    pub pool: Database,
+    /// The rating bound `B`.
+    pub rating_bound: Ext,
+    /// Maximum number of operations `k′`.
+    pub max_ops: usize,
+}
+
+/// A positive ARPP answer.
+#[derive(Debug, Clone)]
+pub struct AdjustmentWitness {
+    /// A minimum-size adjustment that works.
+    pub adjustment: Adjustment,
+    /// The adjusted database `D ⊕ ∆(D, D′)`.
+    pub db: Database,
+}
+
+/// All candidate operations: every deletion of a `D` tuple and every
+/// insertion of a `D′` tuple not already in `D`.
+pub fn candidate_ops(inst: &ArppInstance) -> Result<Vec<AdjustOp>> {
+    let mut ops = Vec::new();
+    for rel in inst.base.db.relations() {
+        let name = rel.schema().name().to_string();
+        for t in rel.iter() {
+            ops.push(AdjustOp::Delete {
+                relation: name.clone(),
+                tuple: t.clone(),
+            });
+        }
+    }
+    for rel in inst.pool.relations() {
+        let name = rel.schema().name().to_string();
+        let target = inst.base.db.relation(&name).ok_or_else(|| {
+            CoreError::Invalid(format!(
+                "pool relation `{name}` does not exist in the base database"
+            ))
+        })?;
+        if target.schema() != rel.schema() {
+            return Err(CoreError::Invalid(format!(
+                "pool relation `{name}` has a different schema than the base database"
+            )));
+        }
+        for t in rel.iter() {
+            if !target.contains(t) {
+                ops.push(AdjustOp::Insert {
+                    relation: name.clone(),
+                    tuple: t.clone(),
+                });
+            }
+        }
+    }
+    ops.sort();
+    Ok(ops)
+}
+
+/// Decide ARPP and return a *minimum-size* witness adjustment when the
+/// answer is yes.
+pub fn arpp(inst: &ArppInstance, opts: SolveOptions) -> Result<Option<AdjustmentWitness>> {
+    search(inst, |candidate| {
+        has_k_valid_packages(candidate, inst.rating_bound, opts)
+    })
+}
+
+/// ARPP for items (Corollary 8.2): adjust `D` with at most `k′`
+/// operations so that at least `k` distinct items of `Q(D ⊕ ∆)` have
+/// utility `≥ B`.
+pub fn arpp_items(
+    inst: &ArppInstance,
+    utility: &pkgrec_core::ItemUtility,
+) -> Result<Option<AdjustmentWitness>> {
+    let bound = inst.rating_bound;
+    search(inst, |candidate| {
+        let answers = candidate
+            .query
+            .eval(&candidate.db)
+            .map_err(CoreError::from)?;
+        let hits = answers
+            .iter()
+            .filter(|t| Ext::Finite(utility.eval(t)) >= bound)
+            .count();
+        Ok(hits >= candidate.k)
+    })
+}
+
+/// Shared ascending-size adjustment search.
+fn search(
+    inst: &ArppInstance,
+    mut accepts: impl FnMut(&RecInstance) -> Result<bool>,
+) -> Result<Option<AdjustmentWitness>> {
+    let ops = candidate_ops(inst)?;
+    let max_ops = inst.max_ops.min(ops.len());
+    for size in 0..=max_ops {
+        let mut combo: Vec<usize> = (0..size).collect();
+        loop {
+            let adjustment = Adjustment {
+                ops: combo.iter().map(|&i| ops[i].clone()).collect(),
+            };
+            let adjusted = adjustment.apply(&inst.base.db)?;
+            let candidate = {
+                let mut c = inst.base.clone();
+                c.db = adjusted.clone();
+                c
+            };
+            if accepts(&candidate)? {
+                return Ok(Some(AdjustmentWitness {
+                    adjustment,
+                    db: adjusted,
+                }));
+            }
+            if !next_combination(&mut combo, ops.len()) {
+                break;
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Advance `combo` to the next size-`|combo|` combination of `0..n`;
+/// returns `false` when exhausted.
+fn next_combination(combo: &mut [usize], n: usize) -> bool {
+    let k = combo.len();
+    if k == 0 {
+        return false;
+    }
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if combo[i] < n - (k - i) {
+            combo[i] += 1;
+            for j in i + 1..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+fn has_k_valid_packages(inst: &RecInstance, bound: Ext, opts: SolveOptions) -> Result<bool> {
+    let mut found = 0usize;
+    for_each_valid_package(inst, Some(bound), opts, |_, _| {
+        found += 1;
+        if found >= inst.k {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })?;
+    Ok(found >= inst.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{Constraint, ItemUtility, PackageFn};
+    use pkgrec_data::{tuple, AttrType, Relation, RelationSchema};
+    use pkgrec_query::{Builtin, CmpOp, ConjunctiveQuery, Query, RelAtom, Term};
+
+    fn schema() -> RelationSchema {
+        RelationSchema::new("poi", [("name", AttrType::Str), ("kind", AttrType::Str)]).unwrap()
+    }
+
+    /// D has only museums; D′ offers theaters.
+    fn dbs() -> (Database, Database) {
+        let mut d = Database::new();
+        d.add_relation(
+            Relation::from_tuples(
+                schema(),
+                [tuple!["met", "museum"], tuple!["moma", "museum"]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut pool = Database::new();
+        pool.add_relation(
+            Relation::from_tuples(
+                schema(),
+                [tuple!["majestic", "theater"], tuple!["shubert", "theater"]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        (d, pool)
+    }
+
+    /// Q(n, k) :- poi(n, k); Qc: no two museums in one package.
+    fn base(d: Database, k: usize) -> RecInstance {
+        let qc = Query::Cq(ConjunctiveQuery::new(
+            Vec::<Term>::new(),
+            vec![
+                RelAtom::new(
+                    pkgrec_core::ANSWER_RELATION,
+                    vec![Term::v("n1"), Term::c("museum")],
+                ),
+                RelAtom::new(
+                    pkgrec_core::ANSWER_RELATION,
+                    vec![Term::v("n2"), Term::c("museum")],
+                ),
+            ],
+            vec![Builtin::cmp(Term::v("n1"), CmpOp::Neq, Term::v("n2"))],
+        ));
+        RecInstance::new(d, Query::Cq(ConjunctiveQuery::identity("poi", 2)))
+            .with_qc(Constraint::Query(qc))
+            .with_budget(2.0)
+            .with_val(PackageFn::cardinality())
+            .with_k(k)
+    }
+
+    #[test]
+    fn inserting_a_theater_enables_a_two_item_package() {
+        // Want a package of 2 items rated ≥ 2 — impossible with two
+        // museums (Qc forbids), possible after inserting one theater.
+        let (d, pool) = dbs();
+        let inst = ArppInstance {
+            base: base(d, 1),
+            pool,
+            rating_bound: Ext::Finite(2.0),
+            max_ops: 1,
+        };
+        let w = arpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(w.adjustment.len(), 1);
+        assert!(matches!(&w.adjustment.ops[0], AdjustOp::Insert { .. }));
+        assert_eq!(w.db.relation("poi").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn zero_budget_fails_when_adjustment_needed() {
+        let (d, pool) = dbs();
+        let inst = ArppInstance {
+            base: base(d, 1),
+            pool,
+            rating_bound: Ext::Finite(2.0),
+            max_ops: 0,
+        };
+        assert!(arpp(&inst, SolveOptions::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_adjustment_wins_when_base_suffices() {
+        let (d, pool) = dbs();
+        let inst = ArppInstance {
+            base: base(d, 1),
+            pool,
+            rating_bound: Ext::Finite(1.0), // a single museum suffices
+            max_ops: 2,
+        };
+        let w = arpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        assert!(w.adjustment.is_empty());
+    }
+
+    #[test]
+    fn witness_is_minimum_size() {
+        // k = 2 packages of 2 items rated ≥ 2: with one theater the
+        // packages {met, majestic} and {moma, majestic} both work, so
+        // one insertion suffices.
+        let (d, pool) = dbs();
+        let inst = ArppInstance {
+            base: base(d, 2),
+            pool,
+            rating_bound: Ext::Finite(2.0),
+            max_ops: 2,
+        };
+        let w = arpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(w.adjustment.len(), 1);
+    }
+
+    #[test]
+    fn deletions_can_help() {
+        // Qc (PTime): the package's item set must equal Q(D) entirely —
+        // then a bad tuple must be deleted for a 1-item package.
+        let mut d = Database::new();
+        let s = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+        d.add_relation(Relation::from_tuples(s.clone(), [tuple![1], tuple![2]]).unwrap())
+            .unwrap();
+        let mut pool = Database::new();
+        pool.add_relation(Relation::empty(s)).unwrap();
+        let base = RecInstance::new(d, Query::Cq(ConjunctiveQuery::identity("r", 1)))
+            .with_qc(Constraint::ptime("package = whole answer", |p, db| {
+                let r = db.relation("r").expect("exists");
+                p.len() == r.len() && r.iter().all(|t| p.contains(t))
+            }))
+            .with_budget(1.0)
+            .with_val(PackageFn::cardinality());
+        let inst = ArppInstance {
+            base,
+            pool,
+            rating_bound: Ext::Finite(1.0),
+            max_ops: 1,
+        };
+        let w = arpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(w.adjustment.len(), 1);
+        assert!(matches!(&w.adjustment.ops[0], AdjustOp::Delete { .. }));
+    }
+
+    #[test]
+    fn pool_schema_mismatch_is_an_error() {
+        let (d, _) = dbs();
+        let mut pool = Database::new();
+        let other = RelationSchema::new("poi", [("name", AttrType::Str)]).unwrap();
+        pool.add_relation(Relation::from_tuples(other, [tuple!["x"]]).unwrap())
+            .unwrap();
+        let inst = ArppInstance {
+            base: base(d, 1),
+            pool,
+            rating_bound: Ext::Finite(1.0),
+            max_ops: 1,
+        };
+        assert!(matches!(
+            arpp(&inst, SolveOptions::default()),
+            Err(CoreError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_pool_relation_is_an_error() {
+        let (d, _) = dbs();
+        let mut pool = Database::new();
+        let other = RelationSchema::new("hotel", [("name", AttrType::Str)]).unwrap();
+        pool.add_relation(Relation::from_tuples(other, [tuple!["x"]]).unwrap())
+            .unwrap();
+        let inst = ArppInstance {
+            base: base(d, 1),
+            pool,
+            rating_bound: Ext::Finite(1.0),
+            max_ops: 1,
+        };
+        assert!(matches!(
+            candidate_ops(&inst),
+            Err(CoreError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn items_variant() {
+        let (d, pool) = dbs();
+        let utility = ItemUtility::new("theaters are great", |t| {
+            if t[1].as_str() == Some("theater") {
+                10.0
+            } else {
+                1.0
+            }
+        });
+        // Two items with utility ≥ 10 require inserting both theaters.
+        let inst = ArppInstance {
+            base: base(d, 2),
+            pool,
+            rating_bound: Ext::Finite(10.0),
+            max_ops: 2,
+        };
+        let w = arpp_items(&inst, &utility).unwrap().unwrap();
+        assert_eq!(w.adjustment.len(), 2);
+        assert!(w
+            .adjustment
+            .ops
+            .iter()
+            .all(|op| matches!(op, AdjustOp::Insert { .. })));
+    }
+
+    #[test]
+    fn next_combination_cycles_correctly() {
+        let mut c = vec![0, 1];
+        let mut seen = vec![c.clone()];
+        while next_combination(&mut c, 4) {
+            seen.push(c.clone());
+        }
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+    }
+}

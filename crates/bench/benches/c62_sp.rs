@@ -1,0 +1,74 @@
+//! **Corollary 6.2** — SP queries flip the hardness onto package size:
+//! with *variable* package sizes even an SP (selection–projection)
+//! query makes RPP/FRP/MBP/CPP hard (the sweeps blow up in `|D|`),
+//! while with a *fixed* bound they are PTIME both in data and combined
+//! complexity (the sweeps track a doubling `|D|`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_core::{problems::cpp, problems::frp, Constraint, Ext, SizeBound, SolveOptions};
+use pkgrec_query::QueryLanguage;
+use pkgrec_workloads::random as wrandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sp(c: &mut Criterion) {
+    let opts = SolveOptions::default();
+    assert_eq!(wrandom::fixed_sp_query().language(), QueryLanguage::Sp);
+
+    let mut g = c.benchmark_group("c62/sp/variable_size_frp");
+    for n in [8usize, 10, 12] {
+        let inst = wrandom::sweep_instance(
+            &mut StdRng::seed_from_u64(270 + n as u64),
+            n,
+            1e18,
+            SizeBound::linear(),
+            Constraint::Empty,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| frp::top_k(i, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("c62/sp/fixed_bound_frp");
+    for n in [16usize, 32, 64] {
+        let inst = wrandom::sweep_instance(
+            &mut StdRng::seed_from_u64(280 + n as u64),
+            n,
+            4.0,
+            SizeBound::Constant(3),
+            Constraint::Empty,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| frp::top_k(i, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("c62/sp/variable_size_cpp");
+    for n in [8usize, 10, 12] {
+        let inst = wrandom::sweep_instance(
+            &mut StdRng::seed_from_u64(290 + n as u64),
+            n,
+            1e18,
+            SizeBound::linear(),
+            Constraint::Empty,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| cpp::count_valid(i, Ext::Finite(1.0), opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_sp
+}
+criterion_main!(benches);

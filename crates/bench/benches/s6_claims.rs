@@ -1,0 +1,65 @@
+//! **Section 6 summary claims**, measured:
+//!
+//! * "All the lower bounds remain intact when k = 1": the cost of the
+//!   solvers varies only mildly with k (the hard search is shared), so
+//!   k is not where the complexity comes from.
+//! * "When Qc is a PTIME function, the problems behave as if Qc were
+//!   absent" (Corollary 6.3): PTIME-`Qc` and no-`Qc` runs coincide,
+//!   while the *same predicate* expressed as a CQ adds only the
+//!   constraint-evaluation constant in data complexity.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_core::{problems::frp, Constraint, SizeBound, SolveOptions};
+use pkgrec_logic::gen;
+use pkgrec_reductions::thm5_1;
+use pkgrec_workloads::random as wrandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_s6(c: &mut Criterion) {
+    let opts = SolveOptions::default();
+
+    // k sweep on a fixed hard instance.
+    let mut g = c.benchmark_group("s6/k_sweep_frp");
+    let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(320), 3, 2, 3);
+    for k in [1usize, 2, 3, 4] {
+        let mut inst = thm5_1::reduce_maximum_sigma2(&phi);
+        inst.k = k;
+        g.bench_with_input(BenchmarkId::from_parameter(k), &inst, |b, i| {
+            b.iter(|| frp::top_k(i, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    // Qc representation sweep at fixed size.
+    let mut g = c.benchmark_group("s6/qc_representation");
+    for (name, qc) in [
+        ("absent", Constraint::Empty),
+        ("ptime", wrandom::distinct_groups_ptime()),
+        ("cq", wrandom::distinct_groups_qc()),
+    ] {
+        let inst = wrandom::sweep_instance(
+            &mut StdRng::seed_from_u64(321),
+            16,
+            3.0,
+            SizeBound::Constant(2),
+            qc,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, i| {
+            b.iter(|| frp::top_k(i, opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_s6
+}
+criterion_main!(benches);

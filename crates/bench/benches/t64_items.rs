@@ -1,0 +1,56 @@
+//! **Theorem 6.4 / Corollary 6.1** — item recommendations: the
+//! singleton, no-`Qc` special case is tractable in data complexity.
+//! The fast item path (sort-and-take) scales to thousands of items
+//! while the generic package enumerator on the Section 2 embedding of
+//! the *same* instance is already working hard at dozens — and the two
+//! must agree, which the test suite checks; here we compare the costs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_core::{problems::frp, ItemInstance, ItemUtility, SolveOptions};
+use pkgrec_workloads::random as wrandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn item_instance(n: usize, seed: u64, k: usize) -> ItemInstance {
+    let db = wrandom::item_db(&mut StdRng::seed_from_u64(seed), n, 5);
+    ItemInstance::new(
+        db,
+        wrandom::fixed_sp_query(),
+        ItemUtility::new("score", |t| t[3].as_numeric().unwrap_or(0) as f64),
+        k,
+    )
+}
+
+fn bench_items(c: &mut Criterion) {
+    let opts = SolveOptions::default();
+
+    let mut g = c.benchmark_group("t64/items/fast_path");
+    for n in [100usize, 1000, 10000] {
+        let inst = item_instance(n, 300 + n as u64, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| i.top_k_items().unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t64/items/package_embedding");
+    for n in [16usize, 32, 64] {
+        let inst = item_instance(n, 310 + n as u64, 3).as_package_instance();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| frp::top_k(i, opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_items
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! **Table 8.1, row ARPP** — adjustment recommendations: Σp₂-complete
+//! for the CQ family with `Qc` (∃*∀*3DNF), NP-complete without / in
+//! data complexity (3SAT).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_adjust::arpp;
+use pkgrec_core::SolveOptions;
+use pkgrec_logic::gen;
+use pkgrec_reductions::thm8_1;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_arpp(c: &mut Criterion) {
+    let opts = SolveOptions::default();
+
+    let mut g = c.benchmark_group("t81/arpp/cq_sigma2");
+    for m in [1usize, 2, 3] {
+        let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(200 + m as u64), m, 2, 3);
+        let inst = thm8_1::reduce_sigma2(&phi);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, i| {
+            b.iter(|| arpp(i, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t81/arpp/data_3sat");
+    for r in [3usize, 4, 5] {
+        let phi = gen::random_3cnf(&mut StdRng::seed_from_u64(210 + r as u64), 2, r);
+        let inst = thm8_1::reduce_3sat(&phi);
+        g.bench_with_input(BenchmarkId::from_parameter(r), &inst, |b, i| {
+            b.iter(|| arpp(i, opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_arpp
+}
+criterion_main!(benches);

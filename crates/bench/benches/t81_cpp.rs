@@ -1,0 +1,80 @@
+//! **Table 8.1, row CPP** — the counting problem: #·coNP-complete for
+//! the CQ family with `Qc` (#Π₁SAT), #·NP-complete without (#Σ₁SAT),
+//! #·P-complete in data complexity (#SAT). The with-`Qc` sweep should
+//! sit visibly above the without-`Qc` sweep at equal sizes — the
+//! paper's claim that compatibility constraints raise the CQ-family
+//! combined complexity.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_core::{problems::cpp, SolveOptions};
+use pkgrec_logic::gen;
+use pkgrec_reductions::thm5_3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cpp(c: &mut Criterion) {
+    let opts = SolveOptions::default();
+
+    let mut g = c.benchmark_group("t81/cpp/with_qc_pi1");
+    for y in [1usize, 2, 3] {
+        let matrix = gen::random_3dnf(&mut StdRng::seed_from_u64(150 + y as u64), 2 + y, 3);
+        let (inst, bound) = thm5_3::reduce_pi1(&matrix, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(y), &(inst, bound), |b, (i, bd)| {
+            b.iter(|| cpp::count_valid(i, *bd, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t81/cpp/without_qc_sigma1");
+    for y in [1usize, 2, 3] {
+        let matrix = gen::random_3cnf(&mut StdRng::seed_from_u64(160 + y as u64), 2 + y, 3);
+        let (inst, bound) = thm5_3::reduce_sigma1(&matrix, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(y), &(inst, bound), |b, (i, bd)| {
+            b.iter(|| cpp::count_valid(i, *bd, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    // The #·PSPACE rows: #QBF over the DATALOGnr / FO encodings.
+    let mut g = c.benchmark_group("t81/cpp/datalognr_sharp_qbf");
+    for n in [3usize, 4, 5] {
+        let qbf = gen::random_qbf(&mut StdRng::seed_from_u64(165 + n as u64), n, n);
+        let (inst, bound) = thm5_3::reduce_sharp_qbf_datalognr(&qbf, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, bound), |b, (i, bd)| {
+            b.iter(|| cpp::count_valid(i, *bd, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t81/cpp/fo_sharp_qbf");
+    for n in [3usize, 4, 5] {
+        let qbf = gen::random_qbf(&mut StdRng::seed_from_u64(166 + n as u64), n, n);
+        let (inst, bound) = thm5_3::reduce_sharp_qbf_fo(&qbf, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, bound), |b, (i, bd)| {
+            b.iter(|| cpp::count_valid(i, *bd, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t81/cpp/data_sharp_sat");
+    for r in [5usize, 7, 9] {
+        let phi = gen::random_3cnf(&mut StdRng::seed_from_u64(170 + r as u64), 3, r);
+        let (inst, bound) = thm5_3::reduce_sharp_sat(&phi);
+        g.bench_with_input(BenchmarkId::from_parameter(r), &(inst, bound), |b, (i, bd)| {
+            b.iter(|| cpp::count_valid(i, *bd, opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_cpp
+}
+criterion_main!(benches);

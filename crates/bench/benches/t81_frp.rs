@@ -1,0 +1,67 @@
+//! **Table 8.1, row FRP** — combined complexity of computing a top-k
+//! selection (FPΣp₂ for the CQ family with `Qc`, FPNP without;
+//! FPSPACE(poly) / FEXPTIME(poly) beyond), plus the FPNP data-
+//! complexity row via MAX-WEIGHT SAT.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_core::{problems::frp, SolveOptions};
+use pkgrec_logic::gen;
+use pkgrec_reductions::thm5_1;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_frp(c: &mut Criterion) {
+    let opts = SolveOptions::default();
+
+    // Combined: maximum-Σp₂ instances growing in X variables.
+    let mut g = c.benchmark_group("t81/frp/cq_maximum_sigma2");
+    for m in [1usize, 2, 3] {
+        let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(100 + m as u64), m, 2, 3);
+        let inst = thm5_1::reduce_maximum_sigma2(&phi);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, i| {
+            b.iter(|| frp::top_k(i, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    // Data: MAX-WEIGHT SAT over the fixed Lemma 4.4 query; |D| grows
+    // with the clause count.
+    let mut g = c.benchmark_group("t81/frp/data_max_weight_sat");
+    for r in [4usize, 6, 8] {
+        let inst = gen::random_max_weight_sat(
+            &mut StdRng::seed_from_u64(101 + r as u64),
+            3,
+            r,
+            9,
+        );
+        let rec = thm5_1::reduce_max_weight_sat(&inst);
+        g.bench_with_input(BenchmarkId::from_parameter(r), &rec, |b, i| {
+            b.iter(|| frp::top_k(i, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    // The two solver strategies (direct enumeration vs the paper's
+    // oracle loop) on one instance — an ablation of the Theorem 5.1
+    // algorithm structure.
+    let mut g = c.benchmark_group("t81/frp/ablation_oracle_vs_direct");
+    let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(105), 3, 2, 3);
+    let inst = thm5_1::reduce_maximum_sigma2(&phi);
+    g.bench_function("direct", |b| b.iter(|| frp::top_k(&inst, opts).unwrap()));
+    g.bench_function("oracle", |b| {
+        b.iter(|| frp::top_k_via_oracle(&inst, opts).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_frp
+}
+criterion_main!(benches);

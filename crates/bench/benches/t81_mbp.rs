@@ -1,0 +1,60 @@
+//! **Table 8.1, row MBP** — the maximum-bound decision problem:
+//! Dp₂-complete for the CQ family with `Qc` (Σ₂-sentence pairs),
+//! DP-complete without / in data complexity (SAT-UNSAT).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_core::{problems::mbp, SolveOptions};
+use pkgrec_logic::gen;
+use pkgrec_reductions::thm5_2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mbp(c: &mut Criterion) {
+    let opts = SolveOptions::default();
+
+    let mut g = c.benchmark_group("t81/mbp/cq_sigma2_pair");
+    for m in [1usize, 2] {
+        let phi1 = gen::random_sigma2(&mut StdRng::seed_from_u64(110 + m as u64), m, 1, 2);
+        let phi2 = gen::random_sigma2(&mut StdRng::seed_from_u64(120 + m as u64), 1, m, 2);
+        let (inst, bound) = thm5_2::reduce_pair(&phi1, &phi2);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &(inst, bound), |b, (i, bd)| {
+            b.iter(|| mbp::is_maximum_bound(i, *bd, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t81/mbp/data_sat_unsat");
+    for r in [4usize, 6, 8] {
+        let pair = gen::random_sat_unsat(&mut StdRng::seed_from_u64(130 + r as u64), 3, r);
+        let (inst, bound) = thm5_2::reduce_sat_unsat(&pair);
+        g.bench_with_input(BenchmarkId::from_parameter(r), &(inst, bound), |b, (i, bd)| {
+            b.iter(|| mbp::is_maximum_bound(i, *bd, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    // L1 alone (is B *a* bound?) vs the full L1 ∩ L2 decision — the
+    // decomposition the Theorem 5.2 upper bound is built from.
+    let mut g = c.benchmark_group("t81/mbp/ablation_l1_vs_full");
+    let pair = gen::random_sat_unsat(&mut StdRng::seed_from_u64(140), 3, 6);
+    let (inst, bound) = thm5_2::reduce_sat_unsat(&pair);
+    g.bench_function("l1_only", |b| {
+        b.iter(|| mbp::is_bound(&inst, bound, opts).unwrap())
+    });
+    g.bench_function("full", |b| {
+        b.iter(|| mbp::is_maximum_bound(&inst, bound, opts).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_mbp
+}
+criterion_main!(benches);

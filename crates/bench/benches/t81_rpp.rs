@@ -1,0 +1,87 @@
+//! **Table 8.1, row RPP** — combined complexity of the recommendation
+//! decision problem per query language, with and without `Qc`.
+//!
+//! Paper's claims: Πp₂-complete for the CQ family with `Qc`,
+//! DP-complete without; PSPACE-complete for DATALOGnr/FO either way;
+//! EXPTIME-complete for DATALOG. The sweeps grow the *instance*
+//! (formula / program size) over a fixed-size database and should show
+//! super-polynomial growth everywhere, with the language ladder
+//! ordering the absolute costs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_bench::datalog_cube;
+use pkgrec_core::{problems::rpp, SolveOptions};
+use pkgrec_logic::gen;
+use pkgrec_reductions::{membership, thm4_1, thm4_5};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_rpp(c: &mut Criterion) {
+    let opts = SolveOptions::default();
+
+    let mut g = c.benchmark_group("t81/rpp/cq_with_qc");
+    for m in [1usize, 2, 3] {
+        let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(90 + m as u64), m, 2, 3);
+        let r = thm4_1::reduce(&phi);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &r, |b, r| {
+            b.iter(|| rpp::is_top_k(&r.instance, &r.selection, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t81/rpp/cq_without_qc");
+    for n in [2usize, 3, 4] {
+        let pair = gen::random_sat_unsat(&mut StdRng::seed_from_u64(91 + n as u64), n, 6);
+        let r = thm4_5::reduce(&pair);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &r, |b, r| {
+            b.iter(|| rpp::is_top_k(&r.instance, &r.selection, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t81/rpp/datalognr");
+    for n in [2usize, 4, 6] {
+        let qbf = gen::random_qbf(&mut StdRng::seed_from_u64(92 + n as u64), n, n + 1);
+        let (db, q) = membership::qbf_to_datalognr(&qbf);
+        let (inst, sel) = membership::rpp_from_membership(db, q, pkgrec_data::tuple![]);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, sel), |b, (i, s)| {
+            b.iter(|| rpp::is_top_k(i, s, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t81/rpp/fo");
+    for n in [2usize, 4, 6] {
+        let qbf = gen::random_qbf(&mut StdRng::seed_from_u64(93 + n as u64), n, n + 1);
+        let (db, q) = membership::qbf_to_fo(&qbf);
+        let (inst, sel) = membership::rpp_from_membership(db, q, pkgrec_data::tuple![]);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, sel), |b, (i, s)| {
+            b.iter(|| rpp::is_top_k(i, s, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    // DATALOG's EXPTIME row: program size n drives a 2^n-fact fixpoint.
+    let mut g = c.benchmark_group("t81/rpp/datalog");
+    for n in [4usize, 6, 8] {
+        let (db, q) = datalog_cube(n);
+        let t = pkgrec_data::Tuple::new(vec![pkgrec_data::Value::Bool(false); n]);
+        let (inst, sel) = membership::rpp_from_membership(db, q, t);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, sel), |b, (i, s)| {
+            b.iter(|| rpp::is_top_k(i, s, opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_rpp
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! **Table 8.2** — data complexity with a fixed query as `|D|` grows,
+//! in the two package-size regimes the table contrasts:
+//!
+//! * poly-bounded packages (left column: coNP / FPNP / DP / #·P):
+//!   runtime blows up with `|D|`;
+//! * constant-bound `Bp` packages (right column, Corollary 6.1:
+//!   PTIME / FP): runtime stays polynomial — it keeps up with a `|D|`
+//!   that doubles per step.
+//!
+//! Also sweeps the `Qc` variants (absent / PTIME / CQ) at a fixed
+//! regime — per Corollary 6.3 and the data-complexity discussion, the
+//! *shape* of growth is the same for all three.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkgrec_core::{
+    problems::cpp, problems::frp, problems::mbp, Constraint, Ext, SizeBound, SolveOptions,
+};
+use pkgrec_workloads::random as wrandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_t82(c: &mut Criterion) {
+    let opts = SolveOptions::default();
+
+    let mut g = c.benchmark_group("t82/frp/poly_bounded");
+    for n in [8usize, 10, 12] {
+        // Effectively unbounded budget: the full powerset regime of
+        // Table 8.2's left column.
+        let inst = wrandom::sweep_instance(
+            &mut StdRng::seed_from_u64(220 + n as u64),
+            n,
+            1e18,
+            SizeBound::linear(),
+            Constraint::Empty,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| frp::top_k(i, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t82/frp/constant_bound");
+    for n in [16usize, 32, 64] {
+        let inst = wrandom::sweep_instance(
+            &mut StdRng::seed_from_u64(230 + n as u64),
+            n,
+            3.0,
+            SizeBound::Constant(2),
+            Constraint::Empty,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| frp::top_k(i, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t82/mbp/constant_bound");
+    for n in [16usize, 32, 64] {
+        let inst = wrandom::sweep_instance(
+            &mut StdRng::seed_from_u64(240 + n as u64),
+            n,
+            3.0,
+            SizeBound::Constant(2),
+            Constraint::Empty,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| mbp::maximum_bound(i, opts).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t82/cpp/constant_bound");
+    for n in [16usize, 32, 64] {
+        let inst = wrandom::sweep_instance(
+            &mut StdRng::seed_from_u64(250 + n as u64),
+            n,
+            3.0,
+            SizeBound::Constant(2),
+            Constraint::Empty,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| cpp::count_valid(i, Ext::Finite(50.0), opts).unwrap())
+        });
+    }
+    g.finish();
+
+    // Qc variants at fixed regime (Corollary 6.3): same growth shape.
+    for (name, qc) in [
+        ("absent", Constraint::Empty),
+        ("ptime", wrandom::distinct_groups_ptime()),
+        ("cq", wrandom::distinct_groups_qc()),
+    ] {
+        let mut g = c.benchmark_group(format!("t82/frp/qc_{name}"));
+        for n in [12usize, 24] {
+            let inst = wrandom::sweep_instance(
+                &mut StdRng::seed_from_u64(260 + n as u64),
+                n,
+                3.0,
+                SizeBound::Constant(2),
+                qc.clone(),
+            );
+            g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+                b.iter(|| frp::top_k(i, opts).unwrap())
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_t82
+}
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! # pkgrec-bench — benchmark harness for the paper's tables
+//!
+//! The paper's "evaluation" consists of complexity classifications
+//! (Tables 8.1 and 8.2) rather than measurements; what *is* observable
+//! is their shape:
+//!
+//! * combined complexity grows along the language ladder
+//!   CQ family < DATALOGnr/FO < DATALOG as instances grow;
+//! * dropping `Qc` lowers the CQ-family cost but not the
+//!   DATALOGnr/FO/DATALOG cost;
+//! * with fixed queries, constant-bound packages scale polynomially in
+//!   `|D|` while poly-bounded packages blow up (Corollary 6.1);
+//! * item selection is tractable where package selection is not
+//!   (Theorem 6.4).
+//!
+//! The `benches/` targets regenerate each table row as a Criterion
+//! sweep; the `report` binary re-runs compact versions of the sweeps
+//! and prints paper-shaped tables with an empirical growth
+//! classification next to the claimed complexity class. This module
+//! holds the shared helpers.
+
+use std::time::{Duration, Instant};
+
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_query::{BodyLiteral, DatalogProgram, Query, RelAtom, Rule, Term};
+
+/// Measure one closure, best-of-`reps` (the report binary's cheap
+/// timer; Criterion handles the real statistics in `benches/`).
+pub fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        std::hint::black_box(out);
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    best
+}
+
+/// Log–log growth order estimate between consecutive `(size, time)`
+/// points: the mean of `ln(t2/t1) / ln(s2/s1)`. Around 1–3 reads as
+/// polynomial in these sweeps; large and increasing reads as
+/// exponential.
+pub fn growth_order(points: &[(f64, f64)]) -> f64 {
+    let mut slopes = Vec::new();
+    for w in points.windows(2) {
+        let (s1, t1) = w[0];
+        let (s2, t2) = w[1];
+        if t1 > 0.0 && t2 > 0.0 && s2 > s1 {
+            slopes.push((t2 / t1).ln() / (s2 / s1).ln());
+        }
+    }
+    if slopes.is_empty() {
+        return f64::NAN;
+    }
+    slopes.iter().sum::<f64>() / slopes.len() as f64
+}
+
+/// Doubling ratio: mean of `t_{i+1} / t_i` — exponential growth keeps
+/// this ratio large as sizes increase linearly.
+pub fn mean_step_ratio(points: &[(f64, f64)]) -> f64 {
+    let mut ratios = Vec::new();
+    for w in points.windows(2) {
+        let (_, t1) = w[0];
+        let (_, t2) = w[1];
+        if t1 > 0.0 {
+            ratios.push(t2 / t1);
+        }
+    }
+    if ratios.is_empty() {
+        return f64::NAN;
+    }
+    ratios.iter().sum::<f64>() / ratios.len() as f64
+}
+
+/// A genuinely recursive DATALOG workload scaled by `n`: derive the
+/// whole `n`-dimensional Boolean cube by single-bit flips from the
+/// all-zero point. The IDB reaches `2^n` facts, so evaluation cost
+/// grows exponentially in the *query size* `n` over a constant-size
+/// database — the behaviour the EXPTIME combined-complexity row
+/// asserts.
+pub fn datalog_cube(n: usize) -> (Database, Query) {
+    let mut db = Database::new();
+    let r01 = RelationSchema::new("r01", [("x", AttrType::Bool)]).expect("valid schema");
+    db.add_relation(
+        Relation::from_tuples(r01, [tuple![false], tuple![true]]).expect("gadget tuples"),
+    )
+    .expect("fresh db");
+    let rnot = RelationSchema::new(
+        "rnot_cube",
+        [("a", AttrType::Bool), ("na", AttrType::Bool)],
+    )
+    .expect("valid schema");
+    db.add_relation(
+        Relation::from_tuples(rnot, [tuple![false, true], tuple![true, false]])
+            .expect("gadget tuples"),
+    )
+    .expect("fresh db");
+
+    let vars: Vec<Term> = (0..n).map(|i| Term::v(format!("v{i}"))).collect();
+    let mut rules = Vec::new();
+    // Base: reach(0, ..., 0).
+    rules.push(Rule::new(
+        RelAtom::new("reach", vec![Term::c(false); n]),
+        vec![BodyLiteral::Rel(RelAtom::new("r01", vec![Term::c(false)]))],
+    ));
+    // Step: flip bit i.
+    for i in 0..n {
+        let mut head_args = vars.clone();
+        head_args[i] = Term::v("flipped");
+        rules.push(Rule::new(
+            RelAtom::new("reach", head_args),
+            vec![
+                BodyLiteral::Rel(RelAtom::new("reach", vars.clone())),
+                BodyLiteral::Rel(RelAtom::new(
+                    "rnot_cube",
+                    vec![vars[i].clone(), Term::v("flipped")],
+                )),
+            ],
+        ));
+    }
+
+    (db, Query::Datalog(DatalogProgram::new(rules, "reach")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_derives_all_points() {
+        for n in 1..=4 {
+            let (db, q) = datalog_cube(n);
+            assert_eq!(q.eval(&db).unwrap().len(), 1 << n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn growth_order_of_powers() {
+        // t = s^2 → slope 2.
+        let pts: Vec<(f64, f64)> = (1..=5).map(|s| (s as f64, (s * s) as f64)).collect();
+        assert!((growth_order(&pts) - 2.0).abs() < 1e-9);
+        // Exponential: slope increases with size.
+        let exp: Vec<(f64, f64)> = (1..=6).map(|s| (s as f64, (1 << s) as f64)).collect();
+        assert!(growth_order(&exp) > 2.0);
+        assert!((mean_step_ratio(&exp) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_growth_inputs() {
+        assert!(growth_order(&[]).is_nan());
+        assert!(growth_order(&[(1.0, 1.0)]).is_nan());
+        assert!(mean_step_ratio(&[(1.0, 0.0), (2.0, 1.0)]).is_nan());
+    }
+}

@@ -1,0 +1,319 @@
+//! Exhaustive package enumeration — the engine behind the exact solvers.
+//!
+//! The paper's upper-bound algorithms all reduce to searching the space
+//! of packages `N ⊆ Q(D)` with `|N| ≤ p(|D|)` (e.g. step 3 of the
+//! EXPTIME algorithm in Theorem 4.1, or the subset enumeration of
+//! Corollary 6.1). This module walks that space depth-first in
+//! canonical order, pruning supersets only when the declared
+//! monotonicity of the cost function makes it sound, and enforcing an
+//! optional node budget so callers can bound the (inherently
+//! exponential) search.
+
+use std::ops::ControlFlow;
+
+use pkgrec_data::Tuple;
+
+use crate::instance::RecInstance;
+use crate::package::Package;
+use crate::rating::Ext;
+use crate::{CoreError, Result};
+
+/// Options for the exact search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveOptions {
+    /// Abort with [`CoreError::SearchLimitExceeded`] after enumerating
+    /// this many packages. `None` = unbounded.
+    pub node_limit: Option<u64>,
+}
+
+impl SolveOptions {
+    /// Unbounded search.
+    pub fn unbounded() -> SolveOptions {
+        SolveOptions::default()
+    }
+
+    /// Search bounded to `limit` enumerated packages.
+    pub fn limited(limit: u64) -> SolveOptions {
+        SolveOptions {
+            node_limit: Some(limit),
+        }
+    }
+}
+
+/// Statistics reported by a completed search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Packages enumerated (including invalid ones).
+    pub packages_enumerated: u64,
+    /// Packages that passed the validity checks.
+    pub valid_packages: u64,
+}
+
+/// Enumerate every package `N ⊆ items` with `|N| ≤ max_size` (including
+/// the empty package), calling `visit` on each. `prune` is consulted
+/// after visiting a nonempty package; returning `true` skips all its
+/// supersets (the caller must guarantee soundness, e.g. via a monotone
+/// cost bound).
+///
+/// Returns `Ok(false)` when `visit` broke out early, `Ok(true)` when the
+/// space was exhausted.
+pub fn for_each_package(
+    items: &[Tuple],
+    max_size: usize,
+    opts: SolveOptions,
+    mut prune: impl FnMut(&Package) -> bool,
+    mut visit: impl FnMut(&Package) -> Result<ControlFlow<()>>,
+) -> Result<bool> {
+    let mut pkg = Package::empty();
+    let mut nodes: u64 = 0;
+
+    #[allow(clippy::too_many_arguments)] // an explicit-state DFS; a struct would obscure it
+    fn dfs(
+        items: &[Tuple],
+        start: usize,
+        max_size: usize,
+        opts: &SolveOptions,
+        nodes: &mut u64,
+        pkg: &mut Package,
+        prune: &mut impl FnMut(&Package) -> bool,
+        visit: &mut impl FnMut(&Package) -> Result<ControlFlow<()>>,
+    ) -> Result<ControlFlow<()>> {
+        *nodes += 1;
+        if let Some(limit) = opts.node_limit {
+            if *nodes > limit {
+                return Err(CoreError::SearchLimitExceeded { limit });
+            }
+        }
+        if visit(pkg)?.is_break() {
+            return Ok(ControlFlow::Break(()));
+        }
+        if !pkg.is_empty() && prune(pkg) {
+            return Ok(ControlFlow::Continue(()));
+        }
+        if pkg.len() == max_size {
+            return Ok(ControlFlow::Continue(()));
+        }
+        for i in start..items.len() {
+            pkg.insert(items[i].clone());
+            let flow = dfs(items, i + 1, max_size, opts, nodes, pkg, prune, visit);
+            pkg.remove(&items[i]);
+            if flow?.is_break() {
+                return Ok(ControlFlow::Break(()));
+            }
+        }
+        Ok(ControlFlow::Continue(()))
+    }
+
+    let flow = dfs(
+        items,
+        0,
+        max_size,
+        &opts,
+        &mut nodes,
+        &mut pkg,
+        &mut prune,
+        &mut visit,
+    )?;
+    Ok(flow.is_continue())
+}
+
+/// Enumerate the *valid* packages of an instance (optionally also
+/// requiring `val(N) ≥ rating_bound`), calling `visit` with each valid
+/// package and its rating. Items are taken from `Q(D)` once, so the
+/// per-package membership test of [`RecInstance::is_valid_package`] is
+/// unnecessary here.
+///
+/// Returns the search statistics; `visit` may stop the search early via
+/// `ControlFlow::Break`.
+pub fn for_each_valid_package(
+    inst: &RecInstance,
+    rating_bound: Option<Ext>,
+    opts: SolveOptions,
+    mut visit: impl FnMut(&Package, Ext) -> ControlFlow<()>,
+) -> Result<SearchStats> {
+    let items = inst.items()?;
+    let max_size = inst.max_package_size().min(items.len());
+    let mut stats = SearchStats::default();
+
+    for_each_package(
+        &items,
+        max_size,
+        opts,
+        |pkg| {
+            inst.cost
+                .superset_bound(pkg)
+                .is_some_and(|b| b > inst.budget)
+        },
+        |pkg| {
+            stats.packages_enumerated += 1;
+            if inst.cost.eval(pkg) > inst.budget {
+                return Ok(ControlFlow::Continue(()));
+            }
+            let val = inst.val.eval(pkg);
+            if let Some(b) = rating_bound {
+                if val < b {
+                    return Ok(ControlFlow::Continue(()));
+                }
+            }
+            if !inst.qc_satisfied(pkg)? {
+                return Ok(ControlFlow::Continue(()));
+            }
+            stats.valid_packages += 1;
+            Ok(visit(pkg, val))
+        },
+    )?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Constraint;
+    use crate::functions::PackageFn;
+    use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+    use pkgrec_query::{ConjunctiveQuery, Query};
+
+    fn items(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| tuple![i]).collect()
+    }
+
+    #[test]
+    fn enumerates_all_subsets() {
+        let mut count = 0;
+        for_each_package(
+            &items(4),
+            4,
+            SolveOptions::default(),
+            |_| false,
+            |_| {
+                count += 1;
+                Ok(ControlFlow::Continue(()))
+            },
+        )
+        .unwrap();
+        assert_eq!(count, 16); // 2^4 including ∅
+    }
+
+    #[test]
+    fn size_cap_limits_enumeration() {
+        let mut count = 0;
+        for_each_package(
+            &items(4),
+            2,
+            SolveOptions::default(),
+            |_| false,
+            |_| {
+                count += 1;
+                Ok(ControlFlow::Continue(()))
+            },
+        )
+        .unwrap();
+        // ∅ + 4 singletons + 6 pairs.
+        assert_eq!(count, 11);
+    }
+
+    #[test]
+    fn early_break_stops() {
+        let mut count = 0;
+        let completed = for_each_package(
+            &items(10),
+            10,
+            SolveOptions::default(),
+            |_| false,
+            |_| {
+                count += 1;
+                Ok(if count == 5 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                })
+            },
+        )
+        .unwrap();
+        assert!(!completed);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn node_limit_errors() {
+        let r = for_each_package(
+            &items(20),
+            20,
+            SolveOptions::limited(100),
+            |_| false,
+            |_| Ok(ControlFlow::Continue(())),
+        );
+        assert!(matches!(r, Err(CoreError::SearchLimitExceeded { limit: 100 })));
+    }
+
+    #[test]
+    fn pruning_skips_supersets() {
+        // Prune everything with ≥ 2 elements at the 2-element frontier.
+        let mut sizes = Vec::new();
+        for_each_package(
+            &items(4),
+            4,
+            SolveOptions::default(),
+            |p| p.len() >= 2,
+            |p| {
+                sizes.push(p.len());
+                Ok(ControlFlow::Continue(()))
+            },
+        )
+        .unwrap();
+        // ∅, 4 singletons, 6 pairs — no triples or quads.
+        assert_eq!(sizes.iter().filter(|&&s| s >= 3).count(), 0);
+        assert_eq!(sizes.len(), 11);
+    }
+
+    fn small_instance() -> RecInstance {
+        let mut db = Database::new();
+        let r = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(r, [tuple![1], tuple![2], tuple![3]]).unwrap(),
+        )
+        .unwrap();
+        RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("r", 1)))
+    }
+
+    #[test]
+    fn valid_package_enumeration_respects_budget_and_qc() {
+        // cost = |N| (∞ on ∅), budget 2, Qc: no package containing 3.
+        let inst = small_instance()
+            .with_budget(2.0)
+            .with_qc(Constraint::ptime("no item 3", |p, _| {
+                !p.contains(&tuple![3])
+            }));
+        let mut valid = Vec::new();
+        let stats = for_each_valid_package(&inst, None, SolveOptions::default(), |p, _| {
+            valid.push(p.clone());
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+        // Valid: {1}, {2}, {1,2} — not ∅ (cost ∞), not anything with 3,
+        // not {1,2,3} (cost 3 > 2 and contains 3).
+        assert_eq!(valid.len(), 3);
+        assert_eq!(stats.valid_packages, 3);
+        assert!(valid.contains(&Package::new([tuple![1], tuple![2]])));
+    }
+
+    #[test]
+    fn rating_bound_filters() {
+        let inst = small_instance()
+            .with_budget(10.0)
+            .with_val(PackageFn::cardinality());
+        let mut count = 0;
+        for_each_valid_package(
+            &inst,
+            Some(Ext::Finite(2.0)),
+            SolveOptions::default(),
+            |_, _| {
+                count += 1;
+                ControlFlow::Continue(())
+            },
+        )
+        .unwrap();
+        // Packages with ≥ 2 items: 3 pairs + 1 triple.
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,58 @@
+use std::fmt;
+
+use pkgrec_data::DataError;
+use pkgrec_query::QueryError;
+
+/// Errors raised by the recommendation solvers.
+#[derive(Debug, Clone)]
+pub enum CoreError {
+    /// A query-layer error.
+    Query(QueryError),
+    /// A data-layer error.
+    Data(DataError),
+    /// An ill-formed instance or candidate (e.g. arity mismatch between
+    /// a package item and the answer schema).
+    Invalid(String),
+    /// The exact search exceeded the caller-supplied node budget.
+    /// (These problems are Σp₂-hard and worse; callers bound the search
+    /// when instances may be large.)
+    SearchLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Query(e) => write!(f, "{e}"),
+            CoreError::Data(e) => write!(f, "{e}"),
+            CoreError::Invalid(m) => write!(f, "invalid instance: {m}"),
+            CoreError::SearchLimitExceeded { limit } => {
+                write!(f, "exact search exceeded the node limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Query(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for CoreError {
+    fn from(e: QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}

@@ -1,0 +1,263 @@
+use std::fmt;
+use std::sync::Arc;
+
+use pkgrec_data::Tuple;
+
+use crate::package::Package;
+use crate::rating::Ext;
+
+/// A shared package-to-rating closure.
+type RatingFn = Arc<dyn Fn(&Package) -> Ext + Send + Sync>;
+
+/// A PTIME-computable package function — the paper's `cost()` and
+/// `val()` (Section 2, "Aggregate constraints").
+///
+/// The paper assumes nothing about these functions beyond PTIME
+/// computability, and several reductions rely on genuinely non-monotone
+/// ones (e.g. Lemma 4.4's `cost` that checks assignment consistency).
+/// `PackageFn` therefore wraps an arbitrary closure, but constructors
+/// for the common aggregate shapes *declare monotonicity* where it is
+/// sound, which lets the solvers prune the package search without
+/// losing exactness.
+#[derive(Clone)]
+pub struct PackageFn {
+    f: RatingFn,
+    monotone_nonempty: bool,
+    /// Optional pruning hint for non-monotone functions: a lower bound
+    /// on `f(N')` over all supersets `N' ⊇ N` (see
+    /// [`PackageFn::with_superset_lower_bound`]).
+    superset_lower_bound: Option<RatingFn>,
+    description: Arc<str>,
+}
+
+impl PackageFn {
+    /// Wrap an arbitrary function. `monotone_nonempty` must only be set
+    /// when `N ⊆ N' ⇒ f(N) ≤ f(N')` holds for all *nonempty* `N`; the
+    /// solvers use it to prune supersets once a budget is exceeded.
+    pub fn custom(
+        description: impl AsRef<str>,
+        monotone_nonempty: bool,
+        f: impl Fn(&Package) -> Ext + Send + Sync + 'static,
+    ) -> PackageFn {
+        PackageFn {
+            f: Arc::new(f),
+            monotone_nonempty,
+            superset_lower_bound: None,
+            description: Arc::from(description.as_ref()),
+        }
+    }
+
+    /// Attach a pruning hint: `lb(N)` must be a lower bound on `f(N')`
+    /// for **every** superset `N' ⊇ N`. Solvers can then cut the
+    /// package search below `N` once `lb(N)` exceeds the budget, even
+    /// when `f` itself is not monotone. (E.g. the Lemma 4.4-style
+    /// consistency costs: once a package is inconsistent every superset
+    /// is, so `lb = 2` is sound there.)
+    pub fn with_superset_lower_bound(
+        mut self,
+        lb: impl Fn(&Package) -> Ext + Send + Sync + 'static,
+    ) -> PackageFn {
+        self.superset_lower_bound = Some(Arc::new(lb));
+        self
+    }
+
+    /// A sound lower bound on this function over all supersets of `p`
+    /// (including `p` itself), when one is known: the function value
+    /// itself for monotone functions, the attached hint otherwise.
+    pub fn superset_bound(&self, p: &Package) -> Option<Ext> {
+        if self.monotone_nonempty && !p.is_empty() {
+            return Some(self.eval(p));
+        }
+        self.superset_lower_bound.as_ref().map(|lb| lb(p))
+    }
+
+    /// The paper's canonical cost: `cost(N) = |N|` for nonempty `N`,
+    /// `cost(∅) = ∞` (so the empty package is never a recommendation).
+    /// Used in almost every reduction.
+    pub fn count() -> PackageFn {
+        PackageFn::custom("cost(N)=|N|, cost(∅)=∞", true, |p| {
+            if p.is_empty() {
+                Ext::PosInf
+            } else {
+                Ext::Finite(p.len() as f64)
+            }
+        })
+    }
+
+    /// `|N|` everywhere, including `|∅| = 0`. The rating of Lemma 4.4
+    /// (`val(N) = |N|`).
+    pub fn cardinality() -> PackageFn {
+        PackageFn::custom("val(N)=|N|", true, |p| Ext::Finite(p.len() as f64))
+    }
+
+    /// A constant function.
+    pub fn constant(v: Ext) -> PackageFn {
+        PackageFn::custom(format!("const {v}"), true, move |_| v)
+    }
+
+    /// Sum of a numeric column over the items (`∅ ↦ 0`). Monotone only
+    /// when the column is guaranteed non-negative — state it explicitly.
+    pub fn sum_col(col: usize, nonnegative: bool) -> PackageFn {
+        PackageFn::custom(format!("sum(col {col})"), nonnegative, move |p| {
+            Ext::Finite(
+                p.iter()
+                    .map(|t| t.get(col).and_then(|v| v.as_numeric()).unwrap_or(0) as f64)
+                    .sum(),
+            )
+        })
+    }
+
+    /// Negated sum of a numeric column: "the higher the total price, the
+    /// lower the rating" (Example 1.1). Never monotone.
+    pub fn neg_sum_col(col: usize) -> PackageFn {
+        PackageFn::custom(format!("-sum(col {col})"), false, move |p| {
+            Ext::Finite(
+                -p.iter()
+                    .map(|t| t.get(col).and_then(|v| v.as_numeric()).unwrap_or(0) as f64)
+                    .sum::<f64>(),
+            )
+        })
+    }
+
+    /// Rate a *singleton* package by reading the listed columns of its
+    /// item as bits of a binary number (most significant first); other
+    /// packages rate `−∞`. This is the `val({t}) = t`-as-binary trick of
+    /// the Theorem 5.1 lower bound.
+    pub fn binary_value(cols: Vec<usize>) -> PackageFn {
+        PackageFn::custom(format!("binary value of cols {cols:?}"), false, move |p| {
+            if p.len() != 1 {
+                return Ext::NegInf;
+            }
+            let t = p.iter().next().expect("len 1");
+            let mut acc: f64 = 0.0;
+            for &c in &cols {
+                let bit = t.get(c).and_then(|v| v.as_numeric()).unwrap_or(0);
+                acc = acc * 2.0 + bit as f64;
+            }
+            Ext::Finite(acc)
+        })
+    }
+
+    /// Lift an item utility `f()` to packages by summation (on
+    /// singletons this is exactly the paper's item rating; Section 2,
+    /// "Item recommendations").
+    pub fn from_item_utility(
+        description: impl AsRef<str>,
+        f: impl Fn(&Tuple) -> f64 + Send + Sync + 'static,
+    ) -> PackageFn {
+        PackageFn::custom(description, false, move |p| {
+            Ext::Finite(p.iter().map(&f).sum())
+        })
+    }
+
+    /// A copy of this function with a different value on the empty
+    /// package (e.g. `val(∅) = B` in the Theorem 4.1 reduction).
+    /// Monotonicity over nonempty packages — and therefore search
+    /// pruning — is preserved.
+    pub fn with_empty_value(&self, empty: Ext) -> PackageFn {
+        let inner = self.clone();
+        let mut out = PackageFn::custom(
+            format!("{} [∅ ↦ {empty}]", self.description),
+            self.monotone_nonempty,
+            move |p| {
+                if p.is_empty() {
+                    empty
+                } else {
+                    inner.eval(p)
+                }
+            },
+        );
+        if let Some(lb) = &self.superset_lower_bound {
+            let lb = Arc::clone(lb);
+            // Sound on nonempty packages (where the value is unchanged);
+            // the empty package never drives pruning.
+            out.superset_lower_bound = Some(Arc::new(move |p: &Package| {
+                if p.is_empty() {
+                    Ext::NegInf
+                } else {
+                    lb(p)
+                }
+            }));
+        }
+        out
+    }
+
+    /// Evaluate on a package.
+    pub fn eval(&self, p: &Package) -> Ext {
+        (self.f)(p)
+    }
+
+    /// Whether `N ⊆ N' ⇒ f(N) ≤ f(N')` is declared for nonempty `N`.
+    pub fn is_monotone_nonempty(&self) -> bool {
+        self.monotone_nonempty
+    }
+
+    /// Human-readable description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+impl fmt::Debug for PackageFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackageFn({})", self.description)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_data::tuple;
+
+    #[test]
+    fn count_excludes_empty() {
+        let c = PackageFn::count();
+        assert_eq!(c.eval(&Package::empty()), Ext::PosInf);
+        assert_eq!(
+            c.eval(&Package::new([tuple![1], tuple![2]])),
+            Ext::Finite(2.0)
+        );
+        assert!(c.is_monotone_nonempty());
+    }
+
+    #[test]
+    fn cardinality_counts_empty_as_zero() {
+        assert_eq!(PackageFn::cardinality().eval(&Package::empty()), Ext::Finite(0.0));
+    }
+
+    #[test]
+    fn sums() {
+        let p = Package::new([tuple![3, "a"], tuple![4, "b"]]);
+        assert_eq!(PackageFn::sum_col(0, true).eval(&p), Ext::Finite(7.0));
+        assert_eq!(PackageFn::neg_sum_col(0).eval(&p), Ext::Finite(-7.0));
+        assert!(!PackageFn::sum_col(0, false).is_monotone_nonempty());
+    }
+
+    #[test]
+    fn binary_value_reads_bits() {
+        let p = Package::singleton(tuple![true, false, true]);
+        assert_eq!(
+            PackageFn::binary_value(vec![0, 1, 2]).eval(&p),
+            Ext::Finite(5.0)
+        );
+        // Non-singletons rate −∞.
+        assert_eq!(
+            PackageFn::binary_value(vec![0]).eval(&Package::empty()),
+            Ext::NegInf
+        );
+    }
+
+    #[test]
+    fn empty_override() {
+        let v = PackageFn::constant(Ext::Finite(1.0)).with_empty_value(Ext::Finite(9.0));
+        assert_eq!(v.eval(&Package::empty()), Ext::Finite(9.0));
+        assert_eq!(v.eval(&Package::singleton(tuple![1])), Ext::Finite(1.0));
+    }
+
+    #[test]
+    fn item_utility_sums() {
+        let f = PackageFn::from_item_utility("price", |t| t[0].as_numeric().unwrap() as f64);
+        let p = Package::new([tuple![2], tuple![5]]);
+        assert_eq!(f.eval(&p), Ext::Finite(7.0));
+    }
+}

@@ -1,0 +1,285 @@
+use std::fmt;
+
+use pkgrec_data::{Database, Tuple};
+use pkgrec_query::{EvalContext, MetricSet, Query};
+
+use crate::constraints::Constraint;
+use crate::functions::PackageFn;
+use crate::package::Package;
+use crate::rating::Ext;
+use crate::Result;
+
+/// The bound on package sizes.
+///
+/// The paper requires `|N| ≤ p(|D|)` for a predefined polynomial `p`
+/// (Section 2, condition (4)), and separately studies the special case
+/// of a constant bound `Bp` (Section 6) — the switch that moves the data
+/// complexity of RPP/FRP/MBP/CPP from coNP/FPNP/DP/#P down to PTIME/FP
+/// (Corollary 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeBound {
+    /// `|N| ≤ coeff · |D|^degree`.
+    Poly {
+        /// Multiplier.
+        coeff: usize,
+        /// Exponent.
+        degree: u32,
+    },
+    /// `|N| ≤ Bp` for a constant `Bp`.
+    Constant(usize),
+}
+
+impl SizeBound {
+    /// The identity polynomial `|N| ≤ |D|` — the default.
+    pub fn linear() -> SizeBound {
+        SizeBound::Poly {
+            coeff: 1,
+            degree: 1,
+        }
+    }
+
+    /// The bound evaluated at a database size.
+    pub fn max_size(&self, db_size: usize) -> usize {
+        match *self {
+            SizeBound::Poly { coeff, degree } => {
+                coeff.saturating_mul(db_size.saturating_pow(degree))
+            }
+            SizeBound::Constant(b) => b,
+        }
+    }
+
+    /// Whether this is the constant-bound regime of Section 6.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, SizeBound::Constant(_))
+    }
+}
+
+/// A package recommendation instance
+/// `(Q, D, Qc, cost(), val(), C, k)` — the common input of the problems
+/// RPP, FRP, MBP and CPP (Sections 3–5).
+#[derive(Debug, Clone)]
+pub struct RecInstance {
+    /// The item database `D`.
+    pub db: Database,
+    /// The selection query `Q`.
+    pub query: Query,
+    /// The compatibility constraint `Qc`.
+    pub qc: Constraint,
+    /// The cost function.
+    pub cost: PackageFn,
+    /// The rating function.
+    pub val: PackageFn,
+    /// The cost budget `C`.
+    pub budget: Ext,
+    /// How many packages to select (`k ≥ 1`).
+    pub k: usize,
+    /// The package-size bound.
+    pub size_bound: SizeBound,
+    /// Distance functions Γ, when `Q`/`Qc` contain `DistLe` builtins
+    /// (relaxed queries).
+    pub metrics: Option<MetricSet>,
+}
+
+impl RecInstance {
+    /// Start building an instance; defaults: no `Qc`, `cost = count`
+    /// (`cost(∅) = ∞`), `val = |N|`, budget `C` = +∞, `k = 1`, linear
+    /// size bound, no metrics.
+    pub fn new(db: Database, query: Query) -> RecInstance {
+        RecInstance {
+            db,
+            query,
+            qc: Constraint::Empty,
+            cost: PackageFn::count(),
+            val: PackageFn::cardinality(),
+            budget: Ext::PosInf,
+            k: 1,
+            size_bound: SizeBound::linear(),
+            metrics: None,
+        }
+    }
+
+    /// Builder-style setter for `Qc`.
+    pub fn with_qc(mut self, qc: Constraint) -> Self {
+        self.qc = qc;
+        self
+    }
+
+    /// Builder-style setter for the cost function.
+    pub fn with_cost(mut self, cost: PackageFn) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Builder-style setter for the rating function.
+    pub fn with_val(mut self, val: PackageFn) -> Self {
+        self.val = val;
+        self
+    }
+
+    /// Builder-style setter for the budget `C`.
+    pub fn with_budget(mut self, budget: impl Into<Ext>) -> Self {
+        self.budget = budget.into();
+        self
+    }
+
+    /// Builder-style setter for `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!(k >= 1, "the paper requires k ≥ 1");
+        self.k = k;
+        self
+    }
+
+    /// Builder-style setter for the size bound.
+    pub fn with_size_bound(mut self, bound: SizeBound) -> Self {
+        self.size_bound = bound;
+        self
+    }
+
+    /// Builder-style setter for the metric set Γ.
+    pub fn with_metrics(mut self, metrics: MetricSet) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The evaluation context for `Q`/`Qc` over this instance's database.
+    pub fn eval_ctx(&self) -> EvalContext<'_> {
+        match &self.metrics {
+            Some(m) => EvalContext::with_metrics(&self.db, m),
+            None => EvalContext::new(&self.db),
+        }
+    }
+
+    /// The item pool `Q(D)`, in canonical order.
+    pub fn items(&self) -> Result<Vec<Tuple>> {
+        Ok(self.query.eval_ctx(self.eval_ctx())?.into_iter().collect())
+    }
+
+    /// The arity of the answer schema `R_Q`.
+    pub fn answer_arity(&self) -> Result<usize> {
+        Ok(self.query.arity()?)
+    }
+
+    /// The concrete maximum package size `p(|D|)` (or `Bp`).
+    pub fn max_package_size(&self) -> usize {
+        self.size_bound.max_size(self.db.size())
+    }
+
+    /// Whether the package satisfies the compatibility constraint
+    /// `Qc(N, D) = ∅`.
+    pub fn qc_satisfied(&self, pkg: &Package) -> Result<bool> {
+        self.qc
+            .satisfied(pkg, &self.db, self.answer_arity()?, self.metrics.as_ref())
+    }
+
+    /// Full validity of a package against this instance and a rating
+    /// bound: `N ⊆ Q(D)`, `Qc(N, D) = ∅`, `cost(N) ≤ C`,
+    /// `val(N) ≥ B` (when `B` is given), and `|N| ≤ p(|D|)` — the
+    /// "valid for `(Q, D, Qc, cost(), val(), C, B)`" notion of
+    /// Section 5.
+    pub fn is_valid_package(&self, pkg: &Package, rating_bound: Option<Ext>) -> Result<bool> {
+        if pkg.len() > self.max_package_size() {
+            return Ok(false);
+        }
+        if self.cost.eval(pkg) > self.budget {
+            return Ok(false);
+        }
+        if let Some(b) = rating_bound {
+            if self.val.eval(pkg) < b {
+                return Ok(false);
+            }
+        }
+        // Membership of each item in Q(D).
+        let ctx = self.eval_ctx();
+        for t in pkg.iter() {
+            if !self.query.contains_ctx(ctx, t)? {
+                return Ok(false);
+            }
+        }
+        self.qc_satisfied(pkg)
+    }
+}
+
+impl fmt::Display for RecInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Q [{}]: {}", self.query.language(), self.query)?;
+        writeln!(f, "Qc: {:?}", self.qc)?;
+        writeln!(
+            f,
+            "cost: {}; val: {}; C = {}; k = {}; bound = {:?}",
+            self.cost.description(),
+            self.val.description(),
+            self.budget,
+            self.k,
+            self.size_bound
+        )?;
+        write!(f, "|D| = {}", self.db.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_data::{tuple, AttrType, Relation, RelationSchema};
+    use pkgrec_query::ConjunctiveQuery;
+
+    fn inst() -> RecInstance {
+        let mut db = Database::new();
+        let r = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(r, [tuple![1], tuple![2], tuple![3]]).unwrap(),
+        )
+        .unwrap();
+        RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("r", 1)))
+    }
+
+    #[test]
+    fn size_bounds() {
+        assert_eq!(SizeBound::linear().max_size(7), 7);
+        assert_eq!(SizeBound::Poly { coeff: 2, degree: 2 }.max_size(3), 18);
+        assert_eq!(SizeBound::Constant(4).max_size(100), 4);
+        assert!(SizeBound::Constant(1).is_constant());
+        assert!(!SizeBound::linear().is_constant());
+    }
+
+    #[test]
+    fn items_and_arity() {
+        let i = inst();
+        assert_eq!(i.items().unwrap().len(), 3);
+        assert_eq!(i.answer_arity().unwrap(), 1);
+        assert_eq!(i.max_package_size(), 3);
+    }
+
+    #[test]
+    fn validity() {
+        let i = inst().with_budget(2.0);
+        // {1}: cost 1 ≤ 2, all items in Q(D).
+        assert!(i
+            .is_valid_package(&Package::new([tuple![1]]), None)
+            .unwrap());
+        // {1,2,3}: cost 3 > 2.
+        assert!(!i
+            .is_valid_package(&Package::new([tuple![1], tuple![2], tuple![3]]), None)
+            .unwrap());
+        // {9}: not in Q(D).
+        assert!(!i
+            .is_valid_package(&Package::new([tuple![9]]), None)
+            .unwrap());
+        // Empty package: cost(∅) = ∞ > 2.
+        assert!(!i.is_valid_package(&Package::empty(), None).unwrap());
+        // Rating bound filters.
+        assert!(!i
+            .is_valid_package(&Package::new([tuple![1]]), Some(Ext::Finite(2.0)))
+            .unwrap());
+    }
+
+    #[test]
+    fn constant_bound_restricts_size() {
+        let i = inst().with_size_bound(SizeBound::Constant(1)).with_budget(10.0);
+        assert!(i
+            .is_valid_package(&Package::new([tuple![1]]), None)
+            .unwrap());
+        assert!(!i
+            .is_valid_package(&Package::new([tuple![1], tuple![2]]), None)
+            .unwrap());
+    }
+}

@@ -1,0 +1,148 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pkgrec_data::Tuple;
+
+/// A package: a set of items (tuples) drawn from a query answer `Q(D)`
+/// (Section 2). Stored sorted, so packages compare and hash canonically
+/// and top-k selections are deterministic.
+///
+/// The empty package is representable — the paper uses it explicitly
+/// ("no recommendation is made", Theorem 4.1 proof) and excludes it from
+/// selection via `cost(∅) = ∞`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Package {
+    items: BTreeSet<Tuple>,
+}
+
+impl Package {
+    /// The empty package.
+    pub fn empty() -> Package {
+        Package::default()
+    }
+
+    /// A package over the given items.
+    pub fn new(items: impl IntoIterator<Item = Tuple>) -> Package {
+        Package {
+            items: items.into_iter().collect(),
+        }
+    }
+
+    /// A singleton package (an *item* in the paper's sense).
+    pub fn singleton(item: Tuple) -> Package {
+        Package::new([item])
+    }
+
+    /// Number of items `|N|`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the package is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate over items in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.items.iter()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.items.contains(t)
+    }
+
+    /// Add an item; returns whether it was new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        self.items.insert(t)
+    }
+
+    /// Remove an item; returns whether it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.items.remove(t)
+    }
+
+    /// Whether this package is a subset of another.
+    pub fn is_subset(&self, other: &Package) -> bool {
+        self.items.is_subset(&other.items)
+    }
+
+    /// The items as a vector.
+    pub fn to_vec(&self) -> Vec<Tuple> {
+        self.items.iter().cloned().collect()
+    }
+}
+
+impl FromIterator<Tuple> for Package {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Package {
+        Package::new(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Package {
+    type Item = &'a Tuple;
+    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl fmt::Display for Package {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_data::tuple;
+
+    #[test]
+    fn canonical_and_deduplicated() {
+        let p = Package::new([tuple![2], tuple![1], tuple![2]]);
+        assert_eq!(p.len(), 2);
+        let order: Vec<Tuple> = p.iter().cloned().collect();
+        assert_eq!(order, vec![tuple![1], tuple![2]]);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a = Package::new([tuple![1], tuple![2]]);
+        let b = Package::new([tuple![2], tuple![1]]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subset_and_membership() {
+        let a = Package::new([tuple![1]]);
+        let b = Package::new([tuple![1], tuple![2]]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(b.contains(&tuple![2]));
+        assert!(Package::empty().is_subset(&a));
+    }
+
+    #[test]
+    fn mutation() {
+        let mut p = Package::empty();
+        assert!(p.insert(tuple![1]));
+        assert!(!p.insert(tuple![1]));
+        assert!(p.remove(&tuple![1]));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Package::new([tuple![1, 2]]).to_string(), "{(1, 2)}");
+        assert_eq!(Package::empty().to_string(), "{}");
+    }
+}

@@ -1,0 +1,91 @@
+//! The *compatibility problem* (introduced in the proof of Theorem 4.1,
+//! Lemma 4.2): given `(Q, D, Qc, cost(), val(), C)` and a bound `B`,
+//! does there exist a **nonempty** package `N ⊆ Q(D)` with
+//! `cost(N) ≤ C`, `val(N) > B` (strict) and `Qc(N, D) = ∅`?
+//!
+//! Σp₂-complete in combined complexity for CQ, NP-complete in data
+//! complexity (Lemmas 4.2 and 4.4); RPP reduces from its complement.
+
+use std::ops::ControlFlow;
+
+use crate::enumerate::{for_each_valid_package, SolveOptions};
+use crate::instance::RecInstance;
+use crate::package::Package;
+use crate::rating::Ext;
+use crate::Result;
+
+/// Decide the compatibility problem, returning a witness package when
+/// the answer is yes.
+pub fn compatibility_witness(
+    inst: &RecInstance,
+    rating_bound: Ext,
+    opts: SolveOptions,
+) -> Result<Option<Package>> {
+    let mut witness = None;
+    for_each_valid_package(inst, None, opts, |pkg, val| {
+        if !pkg.is_empty() && val > rating_bound {
+            witness = Some(pkg.clone());
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })?;
+    Ok(witness)
+}
+
+/// Decide the compatibility problem.
+pub fn compatibility(inst: &RecInstance, rating_bound: Ext, opts: SolveOptions) -> Result<bool> {
+    Ok(compatibility_witness(inst, rating_bound, opts)?.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Constraint;
+    use crate::functions::PackageFn;
+    use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+    use pkgrec_query::{ConjunctiveQuery, Query};
+
+    fn inst() -> RecInstance {
+        let mut db = Database::new();
+        let r = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(r, [tuple![1], tuple![2]]).unwrap(),
+        )
+        .unwrap();
+        RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("r", 1)))
+            .with_budget(10.0)
+            .with_val(PackageFn::cardinality())
+    }
+
+    #[test]
+    fn witness_found_when_exists() {
+        // val = |N|; bound 1 ⇒ need |N| ≥ 2.
+        let w = compatibility_witness(&inst(), Ext::Finite(1.0), SolveOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn no_witness_above_max() {
+        assert!(!compatibility(&inst(), Ext::Finite(2.0), SolveOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn empty_package_is_never_a_witness() {
+        // With val(∅) huge but packages constrained away by Qc, no
+        // nonempty witness exists.
+        let i = inst()
+            .with_val(PackageFn::cardinality().with_empty_value(Ext::Finite(100.0)))
+            .with_qc(Constraint::ptime("reject all nonempty", |p, _| p.is_empty()));
+        assert!(!compatibility(&i, Ext::Finite(0.0), SolveOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn strictness_of_the_bound() {
+        // Max val is 2; bound exactly 2 must fail (strict >), 1.5 passes.
+        assert!(!compatibility(&inst(), Ext::Finite(2.0), SolveOptions::default()).unwrap());
+        assert!(compatibility(&inst(), Ext::Finite(1.5), SolveOptions::default()).unwrap());
+    }
+}

@@ -1,0 +1,112 @@
+//! CPP — *the counting problem (packages)*, Section 5: how many
+//! packages are valid for `(Q, D, Qc, cost(), val(), C, B)`?
+//!
+//! Validity is Section 5's notion: `N ⊆ Q(D)`, `Qc(N, D) = ∅`,
+//! `cost(N) ≤ C`, `val(N) ≥ B`, `|N| ≤ p(|D|)`. The count is exact and
+//! includes the empty package whenever it qualifies (with the canonical
+//! `cost(∅) = ∞` it never does).
+
+use std::ops::ControlFlow;
+
+use crate::enumerate::{for_each_valid_package, SolveOptions};
+use crate::instance::RecInstance;
+use crate::package::Package;
+use crate::rating::Ext;
+use crate::Result;
+
+/// Count the valid packages rated at least `B`.
+pub fn count_valid(inst: &RecInstance, rating_bound: Ext, opts: SolveOptions) -> Result<u128> {
+    let mut count: u128 = 0;
+    for_each_valid_package(inst, Some(rating_bound), opts, |_, _| {
+        count += 1;
+        ControlFlow::Continue(())
+    })?;
+    Ok(count)
+}
+
+/// Enumerate (rather than just count) the valid packages rated at least
+/// `B` — useful for tests and for small exploratory workloads.
+pub fn collect_valid(
+    inst: &RecInstance,
+    rating_bound: Ext,
+    opts: SolveOptions,
+) -> Result<Vec<Package>> {
+    let mut out = Vec::new();
+    for_each_valid_package(inst, Some(rating_bound), opts, |pkg, _| {
+        out.push(pkg.clone());
+        ControlFlow::Continue(())
+    })?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Constraint;
+    use crate::functions::PackageFn;
+    use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+    use pkgrec_query::{ConjunctiveQuery, Query};
+
+    fn inst() -> RecInstance {
+        let mut db = Database::new();
+        let r = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(r, [tuple![1], tuple![2], tuple![3]]).unwrap(),
+        )
+        .unwrap();
+        RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("r", 1)))
+            .with_budget(10.0)
+            .with_val(PackageFn::cardinality())
+    }
+
+    #[test]
+    fn counts_all_nonempty_subsets() {
+        // cost = count (∅ excluded); 2^3 − 1 = 7.
+        assert_eq!(
+            count_valid(&inst(), Ext::NegInf, SolveOptions::default()).unwrap(),
+            7
+        );
+    }
+
+    #[test]
+    fn rating_bound_cuts() {
+        assert_eq!(
+            count_valid(&inst(), Ext::Finite(2.0), SolveOptions::default()).unwrap(),
+            4 // 3 pairs + 1 triple
+        );
+        assert_eq!(
+            count_valid(&inst(), Ext::Finite(4.0), SolveOptions::default()).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn qc_reduces_count() {
+        let i = inst().with_qc(Constraint::ptime("no item 2", |p, _| {
+            !p.contains(&tuple![2])
+        }));
+        // Subsets of {1,3}: 3 nonempty.
+        assert_eq!(
+            count_valid(&i, Ext::NegInf, SolveOptions::default()).unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn collect_matches_count() {
+        let i = inst();
+        let c = count_valid(&i, Ext::Finite(2.0), SolveOptions::default()).unwrap();
+        let v = collect_valid(&i, Ext::Finite(2.0), SolveOptions::default()).unwrap();
+        assert_eq!(v.len() as u128, c);
+    }
+
+    #[test]
+    fn size_bound_restricts() {
+        use crate::instance::SizeBound;
+        let i = inst().with_size_bound(SizeBound::Constant(1));
+        assert_eq!(
+            count_valid(&i, Ext::NegInf, SolveOptions::default()).unwrap(),
+            3
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! FRP — *the function recommendation problem (packages)*, Section 5:
+//! compute a top-k package selection if one exists.
+//!
+//! Two solvers are provided and cross-tested:
+//!
+//! * [`top_k`] — a direct enumerator that streams all valid packages
+//!   and keeps the k best (rating-descending, package-ascending
+//!   tie-break). This is the Corollary 6.1 algorithm when the size
+//!   bound is constant.
+//! * [`top_k_via_oracle`] — the oracle-guided structure of the paper's
+//!   FPΣp₂ algorithm (Theorem 5.1): repeatedly call the `EXISTPACK≥`
+//!   oracle for the best valid package distinct from those already
+//!   selected. Our oracle ([`exist_pack_ge`]) is the exhaustive-search
+//!   stand-in for the Σp₂ oracle.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use crate::enumerate::{for_each_valid_package, SolveOptions};
+use crate::instance::RecInstance;
+use crate::package::Package;
+use crate::rating::Ext;
+use crate::Result;
+
+/// Candidate ordering key: better = higher rating, then *smaller*
+/// package in canonical order. Wrapping `Package` in `Reverse` makes a
+/// max-comparison prefer the smaller package on rating ties.
+type Key = (Ext, std::cmp::Reverse<Package>);
+
+fn key(val: Ext, pkg: &Package) -> Key {
+    (val, std::cmp::Reverse(pkg.clone()))
+}
+
+/// Compute a top-k package selection, or `None` if fewer than `k`
+/// distinct valid packages exist. The result is sorted by descending
+/// rating (ties: canonically smaller package first) and is
+/// deterministic.
+pub fn top_k(inst: &RecInstance, opts: SolveOptions) -> Result<Option<Vec<Package>>> {
+    let k = inst.k;
+    // Min-keyed working set of the current best k.
+    let mut best: BTreeSet<Key> = BTreeSet::new();
+    for_each_valid_package(inst, None, opts, |pkg, val| {
+        let candidate = key(val, pkg);
+        if best.len() < k {
+            best.insert(candidate);
+        } else {
+            let weakest = best.first().expect("nonempty").clone();
+            if candidate > weakest {
+                best.remove(&weakest);
+                best.insert(candidate);
+            }
+        }
+        ControlFlow::Continue(())
+    })?;
+    if best.len() < k {
+        return Ok(None);
+    }
+    let mut out: Vec<Package> = best
+        .into_iter()
+        .rev() // best first
+        .map(|(_, std::cmp::Reverse(p))| p)
+        .collect();
+    out.truncate(k);
+    Ok(Some(out))
+}
+
+/// The `EXISTPACK≥` oracle of Theorem 5.1: a valid package `N` with
+/// `val(N) ≥ bound` that is not in `exclude`, if one exists. The
+/// *best* such package (same order as [`top_k`]) is returned, making
+/// the oracle deterministic.
+pub fn exist_pack_ge(
+    inst: &RecInstance,
+    exclude: &[Package],
+    bound: Ext,
+    opts: SolveOptions,
+) -> Result<Option<Package>> {
+    let mut best: Option<Key> = None;
+    for_each_valid_package(inst, Some(bound), opts, |pkg, val| {
+        if !exclude.contains(pkg) {
+            let candidate = key(val, pkg);
+            if best.as_ref().is_none_or(|b| candidate > *b) {
+                best = Some(candidate);
+            }
+        }
+        ControlFlow::Continue(())
+    })?;
+    Ok(best.map(|(_, std::cmp::Reverse(p))| p))
+}
+
+/// Compute a top-k selection with the paper's oracle-call structure:
+/// `k` rounds, each selecting the best valid package distinct from the
+/// already-selected ones.
+pub fn top_k_via_oracle(inst: &RecInstance, opts: SolveOptions) -> Result<Option<Vec<Package>>> {
+    let mut selected: Vec<Package> = Vec::with_capacity(inst.k);
+    for _ in 0..inst.k {
+        match exist_pack_ge(inst, &selected, Ext::NegInf, opts)? {
+            Some(p) => selected.push(p),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(selected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Constraint;
+    use crate::functions::PackageFn;
+    use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+    use pkgrec_query::{ConjunctiveQuery, Query};
+
+    fn inst() -> RecInstance {
+        let mut db = Database::new();
+        let r = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(r, [tuple![1], tuple![2], tuple![3]]).unwrap(),
+        )
+        .unwrap();
+        RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("r", 1)))
+            .with_budget(2.0)
+            .with_val(PackageFn::sum_col(0, true))
+    }
+
+    #[test]
+    fn top_1_is_the_max_sum_pair() {
+        let sel = top_k(&inst(), SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(sel, vec![Package::new([tuple![2], tuple![3]])]);
+    }
+
+    #[test]
+    fn top_3_ordering() {
+        let sel = top_k(&inst().with_k(3), SolveOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            sel,
+            vec![
+                Package::new([tuple![2], tuple![3]]), // 5
+                Package::new([tuple![1], tuple![3]]), // 4
+                Package::new([tuple![1], tuple![2]]), // 3 — beats {3} by tie? no: {3} has 3 too
+            ]
+        );
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_package() {
+        // val({1,2}) = 3 = val({3}); the canonical order on packages has
+        // {(1),(2)} < {(3)} (first element (1) < (3)), so {1,2} wins.
+        let sel = top_k(&inst().with_k(3), SolveOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(sel[2], Package::new([tuple![1], tuple![2]]));
+    }
+
+    #[test]
+    fn none_when_not_enough_packages() {
+        // Qc rejects everything.
+        let i = inst().with_qc(Constraint::ptime("reject all", |_, _| false));
+        assert!(top_k(&i, SolveOptions::default()).unwrap().is_none());
+        // k larger than the number of valid packages (6 nonempty ≤2-item
+        // subsets of 3 items).
+        let i = inst().with_k(7);
+        assert!(top_k(&i, SolveOptions::default()).unwrap().is_none());
+        let i = inst().with_k(6);
+        assert!(top_k(&i, SolveOptions::default()).unwrap().is_some());
+    }
+
+    #[test]
+    fn oracle_and_enumerator_agree() {
+        for k in 1..=6 {
+            let i = inst().with_k(k);
+            let a = top_k(&i, SolveOptions::default()).unwrap();
+            let b = top_k_via_oracle(&i, SolveOptions::default()).unwrap();
+            assert_eq!(a, b, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn every_result_is_a_top_k_selection() {
+        use crate::problems::rpp::is_top_k;
+        for k in 1..=4 {
+            let i = inst().with_k(k);
+            let sel = top_k(&i, SolveOptions::default()).unwrap().unwrap();
+            assert!(is_top_k(&i, &sel, SolveOptions::default()).unwrap(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn exist_pack_bound_filters() {
+        let i = inst();
+        let p = exist_pack_ge(&i, &[], Ext::Finite(5.0), SolveOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(p, Package::new([tuple![2], tuple![3]]));
+        assert!(exist_pack_ge(&i, &[], Ext::Finite(6.0), SolveOptions::default())
+            .unwrap()
+            .is_none());
+        // Excluding the best yields the runner-up.
+        let second = exist_pack_ge(
+            &i,
+            &[Package::new([tuple![2], tuple![3]])],
+            Ext::NegInf,
+            SolveOptions::default(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(second, Package::new([tuple![1], tuple![3]]));
+    }
+}

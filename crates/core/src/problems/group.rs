@@ -1,0 +1,212 @@
+//! Group recommendations — the extension the paper's conclusion names
+//! as an open issue ("group recommendations \[5\], to a group of users
+//! instead of a single user", Section 9, citing Amer-Yahia et al.).
+//!
+//! A *group instance* equips one package instance with a rating
+//! function per group member. The group's rating of a package
+//! aggregates the members' ratings under a chosen semantics:
+//!
+//! * [`GroupSemantics::LeastMisery`] — the minimum member rating (no
+//!   member is sacrificed);
+//! * [`GroupSemantics::Utilitarian`] — the sum of member ratings;
+//! * [`GroupSemantics::MostPleasure`] — the maximum member rating.
+//!
+//! Because each aggregate is itself a PTIME package function, a group
+//! instance lowers to an ordinary [`RecInstance`] and inherits every
+//! solver — and every complexity bound — from the single-user model.
+//! The lowering is exact, not heuristic.
+
+use crate::functions::PackageFn;
+use crate::instance::RecInstance;
+use crate::package::Package;
+use crate::rating::Ext;
+use crate::Result;
+
+/// How member ratings combine into a group rating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupSemantics {
+    /// `min` over members: maximize the least-happy member.
+    LeastMisery,
+    /// `Σ` over members: maximize total happiness.
+    Utilitarian,
+    /// `max` over members: one delighted member suffices.
+    MostPleasure,
+}
+
+impl GroupSemantics {
+    fn fold(self, ratings: impl Iterator<Item = Ext>) -> Ext {
+        let mut acc: Option<Ext> = None;
+        let mut sum = Ext::Finite(0.0);
+        let mut any = false;
+        for r in ratings {
+            any = true;
+            sum = sum + r;
+            acc = Some(match (self, acc) {
+                (_, None) => r,
+                (GroupSemantics::LeastMisery, Some(a)) => a.min(r),
+                (GroupSemantics::MostPleasure, Some(a)) => a.max(r),
+                (GroupSemantics::Utilitarian, Some(_)) => r, // tracked in `sum`
+            });
+        }
+        if !any {
+            return Ext::NegInf; // an empty group wants nothing
+        }
+        match self {
+            GroupSemantics::Utilitarian => sum,
+            _ => acc.expect("nonempty group"),
+        }
+    }
+}
+
+/// A group recommendation instance: a base instance (whose own `val` is
+/// ignored) plus one rating function per member.
+#[derive(Debug, Clone)]
+pub struct GroupInstance {
+    /// The shared `(Q, D, Qc, cost(), C, k)` part.
+    pub base: RecInstance,
+    /// One rating function per group member.
+    pub members: Vec<PackageFn>,
+    /// The aggregation semantics.
+    pub semantics: GroupSemantics,
+}
+
+impl GroupInstance {
+    /// Build a group instance; panics on an empty member list
+    /// (construction bug — a group has at least one user).
+    pub fn new(
+        base: RecInstance,
+        members: impl Into<Vec<PackageFn>>,
+        semantics: GroupSemantics,
+    ) -> GroupInstance {
+        let members = members.into();
+        assert!(!members.is_empty(), "a group needs at least one member");
+        GroupInstance {
+            base,
+            members,
+            semantics,
+        }
+    }
+
+    /// The group rating of a package.
+    pub fn group_val(&self, pkg: &Package) -> Ext {
+        self.semantics
+            .fold(self.members.iter().map(|m| m.eval(pkg)))
+    }
+
+    /// Lower to an ordinary package instance whose `val` is the group
+    /// aggregate — every Section 3–5 solver then applies unchanged.
+    pub fn lower(&self) -> RecInstance {
+        let members = self.members.clone();
+        let semantics = self.semantics;
+        let desc = format!(
+            "{:?} over {} members",
+            semantics,
+            members.len()
+        );
+        self.base.clone().with_val(PackageFn::custom(desc, false, move |p| {
+            semantics.fold(members.iter().map(|m| m.eval(p)))
+        }))
+    }
+
+    /// Top-k packages for the group.
+    pub fn top_k(&self, opts: crate::enumerate::SolveOptions) -> Result<Option<Vec<Package>>> {
+        crate::problems::frp::top_k(&self.lower(), opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::SolveOptions;
+    use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+    use pkgrec_query::{ConjunctiveQuery, Query};
+
+    /// Items (id, a_score, b_score): member A likes column 1, member B
+    /// likes column 2.
+    fn base() -> RecInstance {
+        let schema = RelationSchema::new(
+            "item",
+            [
+                ("id", AttrType::Int),
+                ("a", AttrType::Int),
+                ("b", AttrType::Int),
+            ],
+        )
+        .unwrap();
+        let rel = Relation::from_tuples(
+            schema,
+            [
+                tuple![0, 9, 1], // great for A, poor for B
+                tuple![1, 1, 9], // the reverse
+                tuple![2, 5, 5], // balanced
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_relation(rel).unwrap();
+        RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("item", 3)))
+            .with_budget(1.0)
+    }
+
+    fn members() -> Vec<PackageFn> {
+        vec![PackageFn::sum_col(1, true), PackageFn::sum_col(2, true)]
+    }
+
+    #[test]
+    fn least_misery_prefers_the_balanced_item() {
+        let g = GroupInstance::new(base(), members(), GroupSemantics::LeastMisery);
+        let top = g.top_k(SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(top[0], Package::new([tuple![2, 5, 5]]));
+        assert_eq!(g.group_val(&top[0]), Ext::Finite(5.0));
+    }
+
+    #[test]
+    fn most_pleasure_prefers_an_extreme_item() {
+        let g = GroupInstance::new(base(), members(), GroupSemantics::MostPleasure);
+        let top = g.top_k(SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(g.group_val(&top[0]), Ext::Finite(9.0));
+        assert_ne!(top[0], Package::new([tuple![2, 5, 5]]));
+    }
+
+    #[test]
+    fn utilitarian_is_indifferent_between_equal_sums() {
+        let g = GroupInstance::new(base(), members(), GroupSemantics::Utilitarian);
+        let top = g.top_k(SolveOptions::default()).unwrap().unwrap();
+        // All three items sum to 10 — ties break canonically (smallest
+        // package first), so item 0 wins.
+        assert_eq!(g.group_val(&top[0]), Ext::Finite(10.0));
+        assert_eq!(top[0], Package::new([tuple![0, 9, 1]]));
+    }
+
+    #[test]
+    fn single_member_group_reduces_to_the_member() {
+        let g = GroupInstance::new(
+            base(),
+            vec![PackageFn::sum_col(1, true)],
+            GroupSemantics::LeastMisery,
+        );
+        let solo = base().with_val(PackageFn::sum_col(1, true));
+        assert_eq!(
+            g.top_k(SolveOptions::default()).unwrap(),
+            crate::problems::frp::top_k(&solo, SolveOptions::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn group_selections_pass_rpp_on_the_lowered_instance() {
+        for semantics in [
+            GroupSemantics::LeastMisery,
+            GroupSemantics::Utilitarian,
+            GroupSemantics::MostPleasure,
+        ] {
+            let g = GroupInstance::new(base().with_k(2), members(), semantics);
+            let sel = g.top_k(SolveOptions::default()).unwrap().unwrap();
+            assert!(crate::problems::rpp::is_top_k(
+                &g.lower(),
+                &sel,
+                SolveOptions::default()
+            )
+            .unwrap());
+        }
+    }
+}

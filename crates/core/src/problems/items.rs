@@ -1,0 +1,241 @@
+//! Item recommendations — the classical special case (Sections 2 and 6):
+//! packages are singletons, compatibility constraints are absent, and a
+//! utility function `f()` rates individual tuples.
+//!
+//! The module provides both the *fast* item algorithms (heap-based
+//! top-k over `Q(D)` — the PTIME data-complexity algorithms of
+//! Corollary 6.1 / Theorem 6.4) and the Section 2 embedding of an item
+//! instance into a package instance (`Qc` empty, `cost = count`,
+//! `C = 1`, `val({s}) = f(s)`), which the tests use to confirm both
+//! views agree.
+
+use std::sync::Arc;
+
+use pkgrec_data::{Database, Tuple};
+use pkgrec_query::Query;
+
+use crate::functions::PackageFn;
+use crate::instance::{RecInstance, SizeBound};
+use crate::rating::Ext;
+use crate::Result;
+
+/// An item utility function `f()` (Section 2, "Item recommendations").
+#[derive(Clone)]
+pub struct ItemUtility {
+    f: Arc<dyn Fn(&Tuple) -> f64 + Send + Sync>,
+    description: Arc<str>,
+}
+
+impl ItemUtility {
+    /// Wrap a utility function.
+    pub fn new(
+        description: impl AsRef<str>,
+        f: impl Fn(&Tuple) -> f64 + Send + Sync + 'static,
+    ) -> ItemUtility {
+        ItemUtility {
+            f: Arc::new(f),
+            description: Arc::from(description.as_ref()),
+        }
+    }
+
+    /// Rate an item.
+    pub fn eval(&self, t: &Tuple) -> f64 {
+        (self.f)(t)
+    }
+
+    /// Human-readable description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+impl std::fmt::Debug for ItemUtility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ItemUtility({})", self.description)
+    }
+}
+
+/// An item recommendation instance `(Q, D, f, k)`.
+#[derive(Debug, Clone)]
+pub struct ItemInstance {
+    /// The item database.
+    pub db: Database,
+    /// The selection query.
+    pub query: Query,
+    /// The utility function.
+    pub utility: ItemUtility,
+    /// How many items to select.
+    pub k: usize,
+}
+
+impl ItemInstance {
+    /// Build an instance.
+    pub fn new(db: Database, query: Query, utility: ItemUtility, k: usize) -> ItemInstance {
+        assert!(k >= 1, "the paper requires k ≥ 1");
+        ItemInstance {
+            db,
+            query,
+            utility,
+            k,
+        }
+    }
+
+    /// The Section 2 embedding into a package instance: `Qc` the empty
+    /// query, `cost(N) = |N|` with `cost(∅) = ∞`, budget `C = 1`
+    /// (forcing singletons), `val(N) = Σ f` (which on singletons is
+    /// `f(s)`), and a constant size bound of 1.
+    pub fn as_package_instance(&self) -> RecInstance {
+        let f = self.utility.clone();
+        RecInstance::new(self.db.clone(), self.query.clone())
+            .with_cost(PackageFn::count())
+            .with_budget(1.0)
+            .with_val(PackageFn::from_item_utility(
+                format!("item utility: {}", f.description()),
+                move |t| f.eval(t),
+            ))
+            .with_k(self.k)
+            .with_size_bound(SizeBound::Constant(1))
+    }
+
+    /// Compute a top-k item selection directly (sort `Q(D)` by utility
+    /// descending, tuple ascending) — `None` when `|Q(D)| < k`.
+    pub fn top_k_items(&self) -> Result<Option<Vec<Tuple>>> {
+        let mut items: Vec<(Ext, Tuple)> = self
+            .query
+            .eval(&self.db)?
+            .into_iter()
+            .map(|t| (Ext::Finite(self.utility.eval(&t)), t))
+            .collect();
+        if items.len() < self.k {
+            return Ok(None);
+        }
+        // Utility descending; canonical tuple order ascending on ties.
+        items.sort_by(|(va, ta), (vb, tb)| vb.cmp(va).then(ta.cmp(tb)));
+        Ok(Some(items.into_iter().take(self.k).map(|(_, t)| t).collect()))
+    }
+
+    /// Decide RPP for items: is `selection` a top-k item selection?
+    pub fn is_top_k_items(&self, selection: &[Tuple]) -> Result<bool> {
+        if selection.len() != self.k {
+            return Ok(false);
+        }
+        let mut distinct = std::collections::BTreeSet::new();
+        for t in selection {
+            if !distinct.insert(t.clone()) {
+                return Ok(false);
+            }
+        }
+        let answers = self.query.eval(&self.db)?;
+        for t in selection {
+            if !answers.contains(t) {
+                return Ok(false);
+            }
+        }
+        let min_val = selection
+            .iter()
+            .map(|t| self.utility.eval(t))
+            .fold(f64::INFINITY, f64::min);
+        Ok(answers
+            .iter()
+            .filter(|t| !selection.contains(t))
+            .all(|t| self.utility.eval(t) <= min_val))
+    }
+
+    /// The maximum bound for items: the k-th highest utility in `Q(D)`.
+    pub fn maximum_bound_items(&self) -> Result<Option<f64>> {
+        Ok(self
+            .top_k_items()?
+            .map(|sel| self.utility.eval(sel.last().expect("k ≥ 1"))))
+    }
+
+    /// Count items with utility at least `bound`.
+    pub fn count_items_ge(&self, bound: f64) -> Result<u128> {
+        Ok(self
+            .query
+            .eval(&self.db)?
+            .iter()
+            .filter(|t| self.utility.eval(t) >= bound)
+            .count() as u128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::SolveOptions;
+    use crate::package::Package;
+    use crate::problems::{frp, mbp, rpp};
+    use pkgrec_data::{tuple, AttrType, Relation, RelationSchema};
+    use pkgrec_query::ConjunctiveQuery;
+
+    fn inst(k: usize) -> ItemInstance {
+        let mut db = Database::new();
+        let r = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(r, [tuple![1], tuple![2], tuple![3], tuple![4]]).unwrap(),
+        )
+        .unwrap();
+        ItemInstance::new(
+            db,
+            Query::Cq(ConjunctiveQuery::identity("r", 1)),
+            ItemUtility::new("value", |t| t[0].as_numeric().unwrap() as f64),
+            k,
+        )
+    }
+
+    #[test]
+    fn top_k_sorted_by_utility() {
+        let sel = inst(2).top_k_items().unwrap().unwrap();
+        assert_eq!(sel, vec![tuple![4], tuple![3]]);
+    }
+
+    #[test]
+    fn none_when_too_few_items() {
+        assert!(inst(5).top_k_items().unwrap().is_none());
+    }
+
+    #[test]
+    fn is_top_k_items_checks() {
+        let i = inst(2);
+        assert!(i.is_top_k_items(&[tuple![4], tuple![3]]).unwrap());
+        assert!(i.is_top_k_items(&[tuple![3], tuple![4]]).unwrap()); // order-free
+        assert!(!i.is_top_k_items(&[tuple![4], tuple![2]]).unwrap());
+        assert!(!i.is_top_k_items(&[tuple![4]]).unwrap());
+        assert!(!i.is_top_k_items(&[tuple![4], tuple![4]]).unwrap());
+        assert!(!i.is_top_k_items(&[tuple![4], tuple![9]]).unwrap());
+    }
+
+    #[test]
+    fn embedding_agrees_with_fast_path() {
+        for k in 1..=4 {
+            let item_inst = inst(k);
+            let fast = item_inst.top_k_items().unwrap().unwrap();
+            let pkg_inst = item_inst.as_package_instance();
+            let slow = frp::top_k(&pkg_inst, SolveOptions::default())
+                .unwrap()
+                .unwrap();
+            let slow_items: Vec<Tuple> = slow
+                .iter()
+                .map(|p| p.iter().next().expect("singleton").clone())
+                .collect();
+            assert_eq!(fast, slow_items, "k = {k}");
+            // And the package-level RPP accepts the embedded selection.
+            let as_packages: Vec<Package> =
+                fast.iter().cloned().map(Package::singleton).collect();
+            assert!(rpp::is_top_k(&pkg_inst, &as_packages, SolveOptions::default()).unwrap());
+        }
+    }
+
+    #[test]
+    fn bounds_and_counts() {
+        let i = inst(2);
+        assert_eq!(i.maximum_bound_items().unwrap(), Some(3.0));
+        assert_eq!(i.count_items_ge(3.0).unwrap(), 2);
+        assert_eq!(i.count_items_ge(0.0).unwrap(), 4);
+        // Embedded MBP agrees.
+        let mb = mbp::maximum_bound(&i.as_package_instance(), SolveOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(mb, Ext::Finite(3.0));
+    }
+}

@@ -1,0 +1,143 @@
+//! MBP — *the maximum bound problem (packages)*, Section 5:
+//!
+//! > Is `B` the maximum bound such that a top-k package selection
+//! > exists with every member rated at least `B`?
+//!
+//! The decision follows the paper's `L1 ∩ L2` characterization
+//! (Theorem 5.2 upper bound): `B` is a bound iff `k` distinct valid
+//! packages rate `≥ B` (L1), and it is maximum iff additionally *no*
+//! `k` distinct valid packages rate `> B` (L2). Both tests are
+//! early-stopping enumerations.
+
+use std::ops::ControlFlow;
+
+use crate::enumerate::{for_each_valid_package, SolveOptions};
+use crate::instance::RecInstance;
+use crate::rating::Ext;
+use crate::Result;
+
+/// L1: do `k` distinct valid packages rate `≥ B`?
+pub fn is_bound(inst: &RecInstance, bound: Ext, opts: SolveOptions) -> Result<bool> {
+    let mut found = 0usize;
+    for_each_valid_package(inst, Some(bound), opts, |_, _| {
+        found += 1;
+        if found >= inst.k {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })?;
+    Ok(found >= inst.k)
+}
+
+/// L2 (negated): do `k` distinct valid packages rate **strictly above**
+/// `B`?
+fn k_packages_above(inst: &RecInstance, bound: Ext, opts: SolveOptions) -> Result<bool> {
+    let mut found = 0usize;
+    for_each_valid_package(inst, Some(bound), opts, |_, val| {
+        if val > bound {
+            found += 1;
+            if found >= inst.k {
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    })?;
+    Ok(found >= inst.k)
+}
+
+/// Decide MBP: is `B` the maximum bound for
+/// `(Q, D, Qc, cost(), val(), C, k)`?
+pub fn is_maximum_bound(inst: &RecInstance, bound: Ext, opts: SolveOptions) -> Result<bool> {
+    Ok(is_bound(inst, bound, opts)? && !k_packages_above(inst, bound, opts)?)
+}
+
+/// Compute the maximum bound — the rating of the k-th best valid
+/// package — or `None` when no top-k selection exists.
+pub fn maximum_bound(inst: &RecInstance, opts: SolveOptions) -> Result<Option<Ext>> {
+    // The k best ratings over distinct packages.
+    let mut best: Vec<Ext> = Vec::new();
+    for_each_valid_package(inst, None, opts, |_, val| {
+        // Maintain the k largest ratings (multiset).
+        let pos = best.partition_point(|&v| v < val);
+        best.insert(pos, val);
+        if best.len() > inst.k {
+            best.remove(0);
+        }
+        ControlFlow::Continue(())
+    })?;
+    if best.len() < inst.k {
+        return Ok(None);
+    }
+    Ok(Some(best[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::PackageFn;
+    use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+    use pkgrec_query::{ConjunctiveQuery, Query};
+
+    fn inst() -> RecInstance {
+        let mut db = Database::new();
+        let r = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(r, [tuple![1], tuple![2], tuple![3]]).unwrap(),
+        )
+        .unwrap();
+        RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("r", 1)))
+            .with_budget(2.0)
+            .with_val(PackageFn::sum_col(0, true))
+    }
+
+    #[test]
+    fn maximum_bound_is_kth_best_rating() {
+        // Ratings of valid packages: {2,3}=5, {1,3}=4, {1,2}=3, {3}=3,
+        // {2}=2, {1}=1.
+        assert_eq!(
+            maximum_bound(&inst(), SolveOptions::default()).unwrap(),
+            Some(Ext::Finite(5.0))
+        );
+        assert_eq!(
+            maximum_bound(&inst().with_k(3), SolveOptions::default()).unwrap(),
+            Some(Ext::Finite(3.0))
+        );
+        assert_eq!(
+            maximum_bound(&inst().with_k(6), SolveOptions::default()).unwrap(),
+            Some(Ext::Finite(1.0))
+        );
+        assert_eq!(
+            maximum_bound(&inst().with_k(7), SolveOptions::default()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn decision_agrees_with_function() {
+        for k in 1..=6 {
+            let i = inst().with_k(k);
+            let mb = maximum_bound(&i, SolveOptions::default()).unwrap().unwrap();
+            assert!(is_maximum_bound(&i, mb, SolveOptions::default()).unwrap());
+            // A lower value is a bound but not maximum; a higher one is
+            // not a bound at all.
+            let lower = Ext::Finite(mb.as_finite().unwrap() - 0.5);
+            assert!(is_bound(&i, lower, SolveOptions::default()).unwrap());
+            assert!(!is_maximum_bound(&i, lower, SolveOptions::default()).unwrap());
+            let higher = Ext::Finite(mb.as_finite().unwrap() + 0.5);
+            assert!(!is_bound(&i, higher, SolveOptions::default()).unwrap());
+            assert!(!is_maximum_bound(&i, higher, SolveOptions::default()).unwrap());
+        }
+    }
+
+    #[test]
+    fn duplicate_ratings_count_distinct_packages() {
+        // Constant val: every nonempty ≤2-subset rates 1; k=6 bound is 1.
+        let i = inst().with_val(PackageFn::constant(Ext::Finite(1.0))).with_k(6);
+        assert_eq!(
+            maximum_bound(&i, SolveOptions::default()).unwrap(),
+            Some(Ext::Finite(1.0))
+        );
+        assert!(is_maximum_bound(&i, Ext::Finite(1.0), SolveOptions::default()).unwrap());
+    }
+}

@@ -1,0 +1,19 @@
+//! The paper's decision, function and counting problems.
+//!
+//! | Module | Problem | Paper section |
+//! |---|---|---|
+//! | [`compat`] | the compatibility problem (find a valid package rated above a bound) | Lemma 4.2 / 4.4 |
+//! | [`rpp`] | RPP — is a set of packages a top-k selection? | Section 4 |
+//! | [`frp`] | FRP — compute a top-k selection | Section 5 |
+//! | [`mbp`] | MBP — is B the maximum rating bound? | Section 5 |
+//! | [`cpp`] | CPP — count valid packages | Section 5 |
+//! | [`items`] | item recommendations (top-k items under a utility) | Sections 2 & 6 |
+//! | [`group`] | group recommendations (the Section 9 open issue) | conclusion / [Amer-Yahia et al.] |
+
+pub mod compat;
+pub mod cpp;
+pub mod group;
+pub mod frp;
+pub mod items;
+pub mod mbp;
+pub mod rpp;

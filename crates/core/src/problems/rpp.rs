@@ -1,0 +1,201 @@
+//! RPP — *the recommendation problem (packages)*, Section 4:
+//!
+//! > Given `D`, `Q`, `Qc`, `cost()`, `val()`, `C`, `k` and a set
+//! > `N = {N1, ..., Nk}`, is `N` a top-k package selection?
+//!
+//! The decision procedure mirrors the paper's upper-bound algorithm
+//! (Theorem 4.1): (1) check `N` is a *valid* selection — every `Ni` is
+//! drawn from `Q(D)`, compatible, within budget, within the size bound,
+//! and the `Ni` are pairwise distinct; (2) search for a valid package
+//! outside `N` rated strictly above some member of `N` — its existence
+//! refutes top-k-ness.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use crate::enumerate::{for_each_valid_package, SolveOptions};
+use crate::instance::RecInstance;
+use crate::package::Package;
+use crate::rating::Ext;
+use crate::Result;
+
+/// Why a candidate selection is not a top-k selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RppRefutation {
+    /// The candidate does not have exactly `k` packages.
+    WrongCount {
+        /// Expected `k`.
+        expected: usize,
+        /// Provided count.
+        found: usize,
+    },
+    /// Two candidate packages are equal (condition (6)).
+    NotDistinct,
+    /// A candidate package violates conditions (1)–(4).
+    InvalidPackage(Package),
+    /// A valid package outside the candidate outranks a member
+    /// (condition (5)).
+    Dominated {
+        /// The dominating package.
+        better: Package,
+        /// Its rating.
+        val: Ext,
+    },
+}
+
+/// Decide RPP, explaining a "no" answer.
+pub fn check_top_k(
+    inst: &RecInstance,
+    selection: &[Package],
+    opts: SolveOptions,
+) -> Result<std::result::Result<(), RppRefutation>> {
+    // Step 1: validity of the selection itself.
+    if selection.len() != inst.k {
+        return Ok(Err(RppRefutation::WrongCount {
+            expected: inst.k,
+            found: selection.len(),
+        }));
+    }
+    let distinct: BTreeSet<&Package> = selection.iter().collect();
+    if distinct.len() != selection.len() {
+        return Ok(Err(RppRefutation::NotDistinct));
+    }
+    for pkg in selection {
+        if !inst.is_valid_package(pkg, None)? {
+            return Ok(Err(RppRefutation::InvalidPackage(pkg.clone())));
+        }
+    }
+
+    // Step 2: look for a dominating package. Condition (5) requires
+    // every valid outside package to rate ≤ every member, i.e. ≤ the
+    // minimum member rating.
+    let min_val = selection
+        .iter()
+        .map(|p| inst.val.eval(p))
+        .min()
+        .expect("k ≥ 1");
+
+    let mut refutation = None;
+    for_each_valid_package(inst, Some(min_val), opts, |pkg, val| {
+        if val > min_val && !selection.contains(pkg) {
+            refutation = Some(RppRefutation::Dominated {
+                better: pkg.clone(),
+                val,
+            });
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })?;
+    Ok(match refutation {
+        Some(r) => Err(r),
+        None => Ok(()),
+    })
+}
+
+/// Decide RPP: is `selection` a top-k package selection for the
+/// instance?
+pub fn is_top_k(inst: &RecInstance, selection: &[Package], opts: SolveOptions) -> Result<bool> {
+    Ok(check_top_k(inst, selection, opts)?.is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::PackageFn;
+    use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+    use pkgrec_query::{ConjunctiveQuery, Query};
+
+    /// Items {1, 2, 3}; val(N) = sum of items; cost = |N|; C = 2.
+    fn inst() -> RecInstance {
+        let mut db = Database::new();
+        let r = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(r, [tuple![1], tuple![2], tuple![3]]).unwrap(),
+        )
+        .unwrap();
+        RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("r", 1)))
+            .with_budget(2.0)
+            .with_val(PackageFn::sum_col(0, true))
+    }
+
+    #[test]
+    fn accepts_the_true_top_1() {
+        // Best 2-item package: {2,3} with val 5.
+        let i = inst();
+        let sel = vec![Package::new([tuple![2], tuple![3]])];
+        assert!(is_top_k(&i, &sel, SolveOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn rejects_dominated_selection() {
+        let i = inst();
+        let sel = vec![Package::new([tuple![1], tuple![2]])];
+        let r = check_top_k(&i, &sel, SolveOptions::default())
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(r, RppRefutation::Dominated { val, .. } if val > Ext::Finite(3.0)));
+    }
+
+    #[test]
+    fn rejects_wrong_count_and_duplicates() {
+        let i = inst().with_k(2);
+        let one = vec![Package::new([tuple![2], tuple![3]])];
+        assert!(matches!(
+            check_top_k(&i, &one, SolveOptions::default()).unwrap(),
+            Err(RppRefutation::WrongCount { expected: 2, found: 1 })
+        ));
+        let dup = vec![
+            Package::new([tuple![2], tuple![3]]),
+            Package::new([tuple![2], tuple![3]]),
+        ];
+        assert!(matches!(
+            check_top_k(&i, &dup, SolveOptions::default()).unwrap(),
+            Err(RppRefutation::NotDistinct)
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_member() {
+        let i = inst();
+        // Over budget (3 items) — invalid.
+        let sel = vec![Package::new([tuple![1], tuple![2], tuple![3]])];
+        assert!(matches!(
+            check_top_k(&i, &sel, SolveOptions::default()).unwrap(),
+            Err(RppRefutation::InvalidPackage(_))
+        ));
+        // Item not in Q(D).
+        let sel = vec![Package::new([tuple![9]])];
+        assert!(matches!(
+            check_top_k(&i, &sel, SolveOptions::default()).unwrap(),
+            Err(RppRefutation::InvalidPackage(_))
+        ));
+    }
+
+    #[test]
+    fn top_2_requires_both_best() {
+        let i = inst().with_k(2);
+        // Best two: {2,3}=5 and {1,3}=4.
+        let good = vec![
+            Package::new([tuple![2], tuple![3]]),
+            Package::new([tuple![1], tuple![3]]),
+        ];
+        assert!(is_top_k(&i, &good, SolveOptions::default()).unwrap());
+        let bad = vec![
+            Package::new([tuple![2], tuple![3]]),
+            Package::new([tuple![1], tuple![2]]), // val 3 < {1,3}'s 4
+        ];
+        assert!(!is_top_k(&i, &bad, SolveOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn ties_allow_either_winner() {
+        // val constant: every single valid selection of the right size
+        // is top-k.
+        let i = inst().with_val(PackageFn::constant(Ext::Finite(1.0)));
+        let sel = vec![Package::new([tuple![1]])];
+        assert!(is_top_k(&i, &sel, SolveOptions::default()).unwrap());
+        let sel2 = vec![Package::new([tuple![3]])];
+        assert!(is_top_k(&i, &sel2, SolveOptions::default()).unwrap());
+    }
+}

@@ -1,0 +1,154 @@
+use std::fmt;
+use std::ops::Add;
+
+/// An extended rating/cost value: a real number, `+∞`, or `−∞`.
+///
+/// The paper's conventions require genuine infinities: `cost(∅) = ∞`
+/// excludes the empty package from recommendation under any finite
+/// budget (Section 2), and several reductions set `val(N) = −∞` to bar
+/// packages (Theorem 7.2). `Ext` is totally ordered (via IEEE
+/// `total_cmp` on the finite part) and `Eq`/`Ord` so it can key maps and
+/// drive deterministic top-k selection.
+#[derive(Debug, Clone, Copy)]
+pub enum Ext {
+    /// Negative infinity.
+    NegInf,
+    /// A finite value.
+    Finite(f64),
+    /// Positive infinity.
+    PosInf,
+}
+
+impl Ext {
+    /// Shorthand for a finite value.
+    pub fn finite(v: f64) -> Ext {
+        debug_assert!(v.is_finite(), "use Ext::PosInf / Ext::NegInf explicitly");
+        Ext::Finite(v)
+    }
+
+    /// The finite content, if any.
+    pub fn as_finite(self) -> Option<f64> {
+        match self {
+            Ext::Finite(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is finite.
+    pub fn is_finite(self) -> bool {
+        matches!(self, Ext::Finite(_))
+    }
+
+    fn rank(self) -> i8 {
+        match self {
+            Ext::NegInf => -1,
+            Ext::Finite(_) => 0,
+            Ext::PosInf => 1,
+        }
+    }
+}
+
+impl PartialEq for Ext {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Ext {}
+
+impl PartialOrd for Ext {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ext {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (Ext::Finite(a), Ext::Finite(b)) => a.total_cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl Add for Ext {
+    type Output = Ext;
+    /// Extended addition; `+∞ + −∞` is undefined and panics (it never
+    /// arises from the paper's aggregate functions).
+    fn add(self, other: Ext) -> Ext {
+        match (self, other) {
+            (Ext::Finite(a), Ext::Finite(b)) => Ext::Finite(a + b),
+            (Ext::PosInf, Ext::NegInf) | (Ext::NegInf, Ext::PosInf) => {
+                panic!("indeterminate sum +∞ + −∞")
+            }
+            (Ext::PosInf, _) | (_, Ext::PosInf) => Ext::PosInf,
+            (Ext::NegInf, _) | (_, Ext::NegInf) => Ext::NegInf,
+        }
+    }
+}
+
+impl From<f64> for Ext {
+    fn from(v: f64) -> Ext {
+        Ext::Finite(v)
+    }
+}
+
+impl From<i64> for Ext {
+    fn from(v: i64) -> Ext {
+        Ext::Finite(v as f64)
+    }
+}
+
+impl fmt::Display for Ext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ext::NegInf => write!(f, "-inf"),
+            Ext::Finite(v) => write!(f, "{v}"),
+            Ext::PosInf => write!(f, "+inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering() {
+        assert!(Ext::NegInf < Ext::Finite(f64::MIN));
+        assert!(Ext::Finite(f64::MAX) < Ext::PosInf);
+        assert!(Ext::Finite(1.0) < Ext::Finite(2.0));
+        assert_eq!(Ext::Finite(1.0), Ext::Finite(1.0));
+        assert_eq!(Ext::PosInf, Ext::PosInf);
+    }
+
+    #[test]
+    fn negative_zero_is_below_positive_zero_but_consistent() {
+        // total_cmp: -0.0 < 0.0; what matters is consistency of Eq/Ord.
+        let a = Ext::Finite(-0.0);
+        let b = Ext::Finite(0.0);
+        assert!(a < b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn addition() {
+        assert_eq!(Ext::Finite(1.0) + Ext::Finite(2.0), Ext::Finite(3.0));
+        assert_eq!(Ext::PosInf + Ext::Finite(5.0), Ext::PosInf);
+        assert_eq!(Ext::NegInf + Ext::Finite(5.0), Ext::NegInf);
+    }
+
+    #[test]
+    #[should_panic(expected = "indeterminate")]
+    fn indeterminate_sum_panics() {
+        let _ = Ext::PosInf + Ext::NegInf;
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Ext::finite(2.0).as_finite(), Some(2.0));
+        assert_eq!(Ext::PosInf.as_finite(), None);
+        assert!(Ext::finite(0.0).is_finite());
+        assert!(!Ext::NegInf.is_finite());
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+use crate::AttrType;
+
+/// Errors raised by the relational substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Two attributes of one relation share a name.
+    DuplicateAttribute {
+        /// The relation being defined.
+        relation: String,
+        /// The offending attribute name.
+        attribute: String,
+    },
+    /// A tuple's arity does not match its relation schema.
+    ArityMismatch {
+        /// The relation the tuple was inserted into.
+        relation: String,
+        /// Schema arity.
+        expected: usize,
+        /// Tuple arity.
+        found: usize,
+    },
+    /// A tuple value's type does not match the schema.
+    TypeMismatch {
+        /// The relation the tuple was inserted into.
+        relation: String,
+        /// The attribute at the mismatching position.
+        attribute: String,
+        /// Declared attribute type.
+        expected: AttrType,
+        /// Actual value type.
+        found: AttrType,
+    },
+    /// A relation name was not found in the database.
+    UnknownRelation(String),
+    /// A relation with this name already exists in the database.
+    DuplicateRelation(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => write!(f, "duplicate attribute `{attribute}` in relation `{relation}`"),
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch in `{relation}`: schema has {expected} attributes, tuple has {found}"
+            ),
+            DataError::TypeMismatch {
+                relation,
+                attribute,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch in `{relation}.{attribute}`: expected {expected}, found {found}"
+            ),
+            DataError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            DataError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

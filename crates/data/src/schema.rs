@@ -1,0 +1,190 @@
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AttrType, DataError, Result, Tuple};
+
+/// A named, typed attribute of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within its schema.
+    pub name: Arc<str>,
+    /// The attribute's domain.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Build an attribute.
+    pub fn new(name: impl AsRef<str>, ty: AttrType) -> Self {
+        Attribute {
+            name: Arc::from(name.as_ref()),
+            ty,
+        }
+    }
+}
+
+/// A relation schema `R(A1, ..., An)` as in Section 2 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RelationSchema {
+    name: Arc<str>,
+    attrs: Arc<[Attribute]>,
+}
+
+impl RelationSchema {
+    /// Build a schema from `(attribute name, type)` pairs.
+    ///
+    /// Returns an error when two attributes share a name.
+    pub fn new(
+        name: impl AsRef<str>,
+        attrs: impl IntoIterator<Item = (impl AsRef<str>, AttrType)>,
+    ) -> Result<Self> {
+        let attrs: Vec<Attribute> = attrs
+            .into_iter()
+            .map(|(n, t)| Attribute::new(n, t))
+            .collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(DataError::DuplicateAttribute {
+                    relation: name.as_ref().to_string(),
+                    attribute: a.name.to_string(),
+                });
+            }
+        }
+        Ok(RelationSchema {
+            name: Arc::from(name.as_ref()),
+            attrs: attrs.into(),
+        })
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All attributes, in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of the attribute with the given name.
+    pub fn position(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| &*a.name == attr)
+    }
+
+    /// Attribute type at the given position.
+    pub fn attr_type(&self, i: usize) -> Option<AttrType> {
+        self.attrs.get(i).map(|a| a.ty)
+    }
+
+    /// A copy of this schema under a different relation name (used to
+    /// bind a package to the answer schema `R_Q`).
+    pub fn renamed(&self, name: impl AsRef<str>) -> RelationSchema {
+        RelationSchema {
+            name: Arc::from(name.as_ref()),
+            attrs: Arc::clone(&self.attrs),
+        }
+    }
+
+    /// Check that a tuple conforms to this schema (arity and types).
+    pub fn check_tuple(&self, t: &Tuple) -> Result<()> {
+        if t.arity() != self.arity() {
+            return Err(DataError::ArityMismatch {
+                relation: self.name.to_string(),
+                expected: self.arity(),
+                found: t.arity(),
+            });
+        }
+        for (i, v) in t.values().iter().enumerate() {
+            if v.attr_type() != self.attrs[i].ty {
+                return Err(DataError::TypeMismatch {
+                    relation: self.name.to_string(),
+                    attribute: self.attrs[i].name.to_string(),
+                    expected: self.attrs[i].ty,
+                    found: v.attr_type(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn schema() -> RelationSchema {
+        RelationSchema::new(
+            "flight",
+            [
+                ("fno", AttrType::Int),
+                ("from", AttrType::Str),
+                ("direct", AttrType::Bool),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn positions_and_types() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position("from"), Some(1));
+        assert_eq!(s.position("nope"), None);
+        assert_eq!(s.attr_type(2), Some(AttrType::Bool));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = RelationSchema::new("r", [("a", AttrType::Int), ("a", AttrType::Str)]);
+        assert!(matches!(err, Err(DataError::DuplicateAttribute { .. })));
+    }
+
+    #[test]
+    fn tuple_checking() {
+        let s = schema();
+        assert!(s.check_tuple(&tuple![1, "edi", true]).is_ok());
+        assert!(matches!(
+            s.check_tuple(&tuple![1, "edi"]),
+            Err(DataError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_tuple(&tuple![1, 2, true]),
+            Err(DataError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn renamed_keeps_attributes() {
+        let s = schema().renamed("RQ");
+        assert_eq!(s.name(), "RQ");
+        assert_eq!(s.position("fno"), Some(0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            schema().to_string(),
+            "flight(fno: int, from: str, direct: bool)"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! A small text format for databases, so instances can be built and
+//! shipped without writing Rust:
+//!
+//! ```text
+//! # travel catalog
+//! relation flight(fno: int, from: str, to: str, dd: int, price: int)
+//! 1, edi, nyc, 1, 420
+//! 2, edi, nyc, 1, 310
+//!
+//! relation poi(name: str, city: str, type: str, ticket: int, time: int)
+//! met, nyc, museum, 25, 120
+//! ```
+//!
+//! Rows are comma-separated and parsed under the declared column types
+//! (`int`, `str`, `bool`); string values are taken verbatim (trimmed),
+//! so they may not contain commas. `#`-lines and blank lines are
+//! ignored. [`parse_database`] and [`write_database`] round-trip.
+
+use std::fmt::Write as _;
+
+use crate::{AttrType, Database, DataError, Relation, RelationSchema, Tuple, Value};
+
+/// Errors specific to the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextError {
+    /// Malformed syntax with a line number (1-based) and message.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A data-layer error (duplicate relations, type mismatches, ...).
+    Data(DataError),
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            TextError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<DataError> for TextError {
+    fn from(e: DataError) -> Self {
+        TextError::Data(e)
+    }
+}
+
+fn parse_type(s: &str, line: usize) -> Result<AttrType, TextError> {
+    match s {
+        "int" => Ok(AttrType::Int),
+        "str" => Ok(AttrType::Str),
+        "bool" => Ok(AttrType::Bool),
+        other => Err(TextError::Syntax {
+            line,
+            message: format!("unknown type `{other}` (expected int, str or bool)"),
+        }),
+    }
+}
+
+fn parse_value(s: &str, ty: AttrType, line: usize) -> Result<Value, TextError> {
+    let s = s.trim();
+    match ty {
+        AttrType::Int => s.parse::<i64>().map(Value::Int).map_err(|_| TextError::Syntax {
+            line,
+            message: format!("`{s}` is not an integer"),
+        }),
+        AttrType::Bool => match s {
+            "true" | "1" => Ok(Value::Bool(true)),
+            "false" | "0" => Ok(Value::Bool(false)),
+            _ => Err(TextError::Syntax {
+                line,
+                message: format!("`{s}` is not a boolean (true/false/1/0)"),
+            }),
+        },
+        AttrType::Str => Ok(Value::str(s)),
+    }
+}
+
+/// Parse a database from the text format.
+pub fn parse_database(src: &str) -> Result<Database, TextError> {
+    let mut db = Database::new();
+    let mut current: Option<Relation> = None;
+
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("relation ") {
+            // Flush the previous relation.
+            if let Some(rel) = current.take() {
+                db.add_relation(rel)?;
+            }
+            let open = decl.find('(').ok_or_else(|| TextError::Syntax {
+                line: line_no,
+                message: "expected `relation name(col: type, ...)`".into(),
+            })?;
+            let name = decl[..open].trim();
+            let close = decl.rfind(')').ok_or_else(|| TextError::Syntax {
+                line: line_no,
+                message: "missing `)` in relation declaration".into(),
+            })?;
+            let cols = &decl[open + 1..close];
+            let mut attrs: Vec<(String, AttrType)> = Vec::new();
+            for col in cols.split(',') {
+                let col = col.trim();
+                if col.is_empty() {
+                    continue;
+                }
+                let (cname, cty) = col.split_once(':').ok_or_else(|| TextError::Syntax {
+                    line: line_no,
+                    message: format!("column `{col}` must be `name: type`"),
+                })?;
+                attrs.push((cname.trim().to_string(), parse_type(cty.trim(), line_no)?));
+            }
+            let schema = RelationSchema::new(name, attrs)?;
+            current = Some(Relation::empty(schema));
+            continue;
+        }
+        let Some(rel) = current.as_mut() else {
+            return Err(TextError::Syntax {
+                line: line_no,
+                message: "row before any `relation` declaration".into(),
+            });
+        };
+        let schema = rel.schema().clone();
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != schema.arity() {
+            return Err(TextError::Syntax {
+                line: line_no,
+                message: format!(
+                    "row has {} fields, relation `{}` has {} columns",
+                    fields.len(),
+                    schema.name(),
+                    schema.arity()
+                ),
+            });
+        }
+        let values: Vec<Value> = fields
+            .iter()
+            .enumerate()
+            .map(|(j, f)| {
+                parse_value(f, schema.attr_type(j).expect("within arity"), line_no)
+            })
+            .collect::<Result<_, _>>()?;
+        rel.insert(Tuple::new(values))?;
+    }
+    if let Some(rel) = current.take() {
+        db.add_relation(rel)?;
+    }
+    Ok(db)
+}
+
+/// Serialize a database to the text format (canonical: relations and
+/// tuples in their stored order).
+pub fn write_database(db: &Database) -> String {
+    let mut out = String::new();
+    for rel in db.relations() {
+        let schema = rel.schema();
+        let _ = write!(out, "relation {}(", schema.name());
+        for (i, a) in schema.attributes().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", a.name, a.ty);
+        }
+        out.push_str(")\n");
+        for t in rel.iter() {
+            let row: Vec<String> = t.values().iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(out, "{}", row.join(", "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    const SAMPLE: &str = "\
+# travel catalog
+relation flight(fno: int, to: str, direct: bool)
+1, nyc, true
+2, bos, false
+
+relation city(name: str)
+nyc
+bos
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let db = parse_database(SAMPLE).unwrap();
+        assert_eq!(db.relation_names(), vec!["city", "flight"]);
+        let flight = db.relation("flight").unwrap();
+        assert_eq!(flight.len(), 2);
+        assert!(flight.contains(&tuple![1, "nyc", true]));
+        assert_eq!(db.relation("city").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn round_trips() {
+        let db = parse_database(SAMPLE).unwrap();
+        let text = write_database(&db);
+        let again = parse_database(&text).unwrap();
+        assert_eq!(db, again);
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_database("relation r(a: int)\nxyz").unwrap_err();
+        assert!(matches!(e, TextError::Syntax { line: 2, .. }), "{e}");
+
+        let e = parse_database("1, 2").unwrap_err();
+        assert!(matches!(e, TextError::Syntax { line: 1, .. }));
+
+        let e = parse_database("relation r(a: float)\n").unwrap_err();
+        assert!(matches!(e, TextError::Syntax { line: 1, .. }));
+
+        let e = parse_database("relation r(a: int)\n1, 2").unwrap_err();
+        assert!(matches!(e, TextError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn bool_spellings() {
+        let db = parse_database("relation b(x: bool)\ntrue\n0\n").unwrap();
+        let rel = db.relation("b").unwrap();
+        assert!(rel.contains(&tuple![true]));
+        assert!(rel.contains(&tuple![false]));
+    }
+
+    #[test]
+    fn duplicate_relation_is_a_data_error() {
+        let e = parse_database("relation r(a: int)\nrelation r(a: int)\n").unwrap_err();
+        assert!(matches!(e, TextError::Data(DataError::DuplicateRelation(_))));
+    }
+}

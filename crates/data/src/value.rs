@@ -1,0 +1,187 @@
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// The type of an attribute in a relation schema.
+///
+/// The paper fixes, for each attribute `A` of a relation `R`, a domain
+/// `dom(R.A)` (Section 2). We support three concrete domains; they are
+/// sufficient for every construction in the paper (the Boolean gadgets of
+/// Figure 4.1, integer-coded dates/prices, and string-valued names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Boolean domain `{0, 1}`, used by all reduction gadgets.
+    Bool,
+    /// 64-bit integers (prices, dates, ids, distances).
+    Int,
+    /// Interned strings (names, cities, categories).
+    Str,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Bool => write!(f, "bool"),
+            AttrType::Int => write!(f, "int"),
+            AttrType::Str => write!(f, "str"),
+        }
+    }
+}
+
+/// An attribute value.
+///
+/// `Value` has a *total* order (`Bool < Int < Str`, then within each
+/// variant the natural order) so that the built-in comparison predicates
+/// of the paper's query languages are defined on every pair of values and
+/// so relations can be kept in canonical sorted order. Strings are
+/// reference-counted: tuples are cloned freely during join evaluation and
+/// package enumeration.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A Boolean; the gadget relations of Figure 4.1 are built from these.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// An interned string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The type of this value.
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            Value::Bool(_) => AttrType::Bool,
+            Value::Int(_) => AttrType::Int,
+            Value::Str(_) => AttrType::Str,
+        }
+    }
+
+    /// The integer content, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean values as 0/1 integers; integers as themselves.
+    ///
+    /// The reductions use Boolean attributes and integer attributes
+    /// interchangeably when computing ratings (e.g. `val({t})` in the
+    /// Theorem 5.1 proof reads a tuple of bits as a binary number), so a
+    /// uniform numeric view is convenient.
+    pub fn as_numeric(&self) -> Option<i64> {
+        match self {
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{}", u8::from(*b)),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_total_order_across_variants() {
+        assert!(Value::Bool(true) < Value::Int(0));
+        assert!(Value::Int(i64::MAX) < Value::str(""));
+        assert!(Value::Bool(false) < Value::Bool(true));
+    }
+
+    #[test]
+    fn numeric_view_unifies_bool_and_int() {
+        assert_eq!(Value::Bool(true).as_numeric(), Some(1));
+        assert_eq!(Value::Bool(false).as_numeric(), Some(0));
+        assert_eq!(Value::Int(7).as_numeric(), Some(7));
+        assert_eq!(Value::str("x").as_numeric(), None);
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_bool(), None);
+        assert_eq!(Value::str("a").as_str(), Some("a"));
+        assert_eq!(Value::Bool(true).attr_type(), AttrType::Bool);
+    }
+
+    #[test]
+    fn display_matches_gadget_notation() {
+        // Figure 4.1 writes Booleans as 0/1.
+        assert_eq!(Value::Bool(true).to_string(), "1");
+        assert_eq!(Value::Bool(false).to_string(), "0");
+        assert_eq!(Value::str("edi").to_string(), "edi");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

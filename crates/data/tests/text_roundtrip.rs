@@ -1,0 +1,76 @@
+//! Property test: the text database format round-trips arbitrary
+//! databases (over text-representable values — strings without commas
+//! or leading/trailing whitespace).
+
+use proptest::prelude::*;
+
+use pkgrec_data::text::{parse_database, write_database};
+use pkgrec_data::{AttrType, Database, Relation, RelationSchema, Tuple, Value};
+
+fn value_strategy(ty: AttrType) -> BoxedStrategy<Value> {
+    match ty {
+        AttrType::Int => any::<i64>().prop_map(Value::Int).boxed(),
+        AttrType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
+        AttrType::Str => "[a-z][a-z0-9_ ]{0,8}[a-z0-9_]?"
+            .prop_map(|s| Value::str(s.trim()))
+            .boxed(),
+    }
+}
+
+fn type_strategy() -> impl Strategy<Value = AttrType> {
+    prop_oneof![
+        Just(AttrType::Int),
+        Just(AttrType::Bool),
+        Just(AttrType::Str)
+    ]
+}
+
+fn db_strategy() -> impl Strategy<Value = Database> {
+    // 1–3 relations with distinct names, 1–4 typed columns, 0–6 rows.
+    prop::collection::vec(
+        (prop::collection::vec(type_strategy(), 1..5), 0usize..7),
+        1..4,
+    )
+    .prop_flat_map(|shapes| {
+        let strategies: Vec<_> = shapes
+            .into_iter()
+            .enumerate()
+            .map(|(ri, (types, rows))| {
+                let row_strategy: Vec<_> =
+                    types.iter().map(|&t| value_strategy(t)).collect();
+                prop::collection::vec(row_strategy, rows).prop_map(move |rows| {
+                    let schema = RelationSchema::new(
+                        format!("rel{ri}"),
+                        types
+                            .iter()
+                            .enumerate()
+                            .map(|(ci, &t)| (format!("c{ci}"), t)),
+                    )
+                    .expect("generated names are distinct");
+                    Relation::from_tuples(schema, rows.into_iter().map(Tuple::new))
+                        .expect("values match the generated types")
+                })
+            })
+            .collect();
+        strategies
+    })
+    .prop_map(|relations| {
+        let mut db = Database::new();
+        for r in relations {
+            db.add_relation(r).expect("distinct names");
+        }
+        db
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_format_round_trips(db in db_strategy()) {
+        let text = write_database(&db);
+        let back = parse_database(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n--- text ---\n{text}")))?;
+        prop_assert_eq!(db, back);
+    }
+}

@@ -1,0 +1,271 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A literal: a variable index with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lit {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of variable `var`.
+    pub fn pos(var: usize) -> Lit {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// Negative literal of variable `var`.
+    pub fn neg(var: usize) -> Lit {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Truth value under a (total) assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+
+    /// Truth value under a partial assignment.
+    pub fn eval_partial(self, assignment: &[Option<bool>]) -> Option<bool> {
+        assignment[self.var].map(|v| v == self.positive)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Clause(pub Vec<Lit>);
+
+impl Clause {
+    /// Build a clause.
+    pub fn new(lits: impl Into<Vec<Lit>>) -> Self {
+        Clause(lits.into())
+    }
+
+    /// Truth value under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.eval(assignment))
+    }
+
+    /// State under a partial assignment: `Some(true)` if some literal is
+    /// true, `Some(false)` if all are false, `None` otherwise.
+    pub fn eval_partial(&self, assignment: &[Option<bool>]) -> Option<bool> {
+        let mut all_false = true;
+        for l in &self.0 {
+            match l.eval_partial(assignment) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => all_false = false,
+            }
+        }
+        if all_false {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// The sole unassigned literal, if every other literal is false
+    /// (the unit-propagation trigger).
+    pub fn unit_literal(&self, assignment: &[Option<bool>]) -> Option<Lit> {
+        let mut unit = None;
+        for l in &self.0 {
+            match l.eval_partial(assignment) {
+                Some(true) => return None,
+                Some(false) => {}
+                None => {
+                    if unit.is_some() {
+                        return None;
+                    }
+                    unit = Some(*l);
+                }
+            }
+        }
+        unit
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula `C1 ∧ ... ∧ Cr` over `num_vars` variables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnfFormula {
+    /// Number of variables (indices `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Build a formula; panics if a literal references a variable out of
+    /// range (a construction bug, not an input condition).
+    pub fn new(num_vars: usize, clauses: impl Into<Vec<Clause>>) -> Self {
+        let clauses = clauses.into();
+        for c in &clauses {
+            for l in &c.0 {
+                assert!(l.var < num_vars, "literal variable out of range");
+            }
+        }
+        CnfFormula { num_vars, clauses }
+    }
+
+    /// Truth value under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Whether every clause has exactly three literals (3CNF).
+    pub fn is_3cnf(&self) -> bool {
+        self.clauses.iter().all(|c| c.0.len() == 3)
+    }
+
+    /// Restrict the formula by a partial assignment of a variable prefix:
+    /// clauses satisfied by the prefix are dropped, false literals
+    /// removed, and remaining variables renumbered by `var - prefix_len`.
+    /// Returns `None` when some clause becomes empty (unsatisfiable).
+    pub fn restrict_prefix(&self, prefix: &[bool]) -> Option<CnfFormula> {
+        let k = prefix.len();
+        let mut clauses = Vec::new();
+        for c in &self.clauses {
+            let mut lits = Vec::new();
+            let mut satisfied = false;
+            for l in &c.0 {
+                if l.var < k {
+                    if l.eval(prefix) {
+                        satisfied = true;
+                        break;
+                    }
+                } else {
+                    lits.push(Lit {
+                        var: l.var - k,
+                        positive: l.positive,
+                    });
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            if lits.is_empty() {
+                return None;
+            }
+            clauses.push(Clause(lits));
+        }
+        Some(CnfFormula {
+            num_vars: self.num_vars - k,
+            clauses,
+        })
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phi() -> CnfFormula {
+        // (x0 ∨ ¬x1 ∨ x2) ∧ (¬x0 ∨ x1 ∨ x2)
+        CnfFormula::new(
+            3,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]),
+                Clause::new(vec![Lit::neg(0), Lit::pos(1), Lit::pos(2)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn literal_eval() {
+        assert!(Lit::pos(0).eval(&[true]));
+        assert!(!Lit::neg(0).eval(&[true]));
+        assert_eq!(Lit::pos(0).negated(), Lit::neg(0));
+    }
+
+    #[test]
+    fn formula_eval() {
+        let f = phi();
+        assert!(f.eval(&[true, true, false]));
+        assert!(!f.eval(&[true, false, false]));
+        assert!(f.is_3cnf());
+    }
+
+    #[test]
+    fn partial_clause_states() {
+        let c = Clause::new(vec![Lit::pos(0), Lit::neg(1)]);
+        assert_eq!(c.eval_partial(&[Some(true), None]), Some(true));
+        assert_eq!(c.eval_partial(&[Some(false), Some(true)]), Some(false));
+        assert_eq!(c.eval_partial(&[Some(false), None]), None);
+        assert_eq!(c.unit_literal(&[Some(false), None]), Some(Lit::neg(1)));
+        assert_eq!(c.unit_literal(&[None, None]), None);
+    }
+
+    #[test]
+    fn restriction() {
+        let f = phi();
+        // x0 = true: first clause satisfied, second becomes (x1 ∨ x2)
+        // renumbered to vars 0, 1.
+        let r = f.restrict_prefix(&[true]).unwrap();
+        assert_eq!(r.num_vars, 2);
+        assert_eq!(r.clauses.len(), 1);
+        assert_eq!(r.clauses[0].0, vec![Lit::pos(0), Lit::pos(1)]);
+
+        // Restricting to a conflict yields None.
+        let g = CnfFormula::new(1, vec![Clause::new(vec![Lit::pos(0)])]);
+        assert!(g.restrict_prefix(&[false]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        CnfFormula::new(1, vec![Clause::new(vec![Lit::pos(3)])]);
+    }
+}

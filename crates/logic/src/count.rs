@@ -1,0 +1,222 @@
+//! Exact model counting and the quantified counting problems of
+//! Theorem 5.3.
+
+use crate::cnf::CnfFormula;
+use crate::dnf::DnfFormula;
+use crate::dpll::is_satisfiable;
+use crate::{assignments, Lit};
+
+/// Exact number of satisfying assignments of a CNF formula (#SAT),
+/// counting over all `num_vars` variables.
+pub fn count_models(f: &CnfFormula) -> u128 {
+    let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars];
+    count_rec(f, &mut assignment, f.num_vars)
+}
+
+fn count_rec(f: &CnfFormula, assignment: &mut Vec<Option<bool>>, unassigned: usize) -> u128 {
+    // Classify clauses under the partial assignment.
+    let mut branch: Option<Lit> = None;
+    let mut all_satisfied = true;
+    for c in &f.clauses {
+        match c.eval_partial(assignment) {
+            Some(true) => {}
+            Some(false) => return 0,
+            None => {
+                all_satisfied = false;
+                if branch.is_none() {
+                    branch = c.0.iter().find(|l| assignment[l.var].is_none()).copied();
+                }
+            }
+        }
+    }
+    if all_satisfied {
+        return 1u128 << unassigned;
+    }
+    let lit = branch.expect("unresolved clause has an unassigned literal");
+    let mut total = 0;
+    for value in [true, false] {
+        assignment[lit.var] = Some(value);
+        total += count_rec(f, assignment, unassigned - 1);
+    }
+    assignment[lit.var] = None;
+    total
+}
+
+/// #Σ₁SAT: given `φ(X, Y) = ∃X (C1 ∧ ... ∧ Cr)` with the matrix a CNF
+/// over `X ∪ Y` (X = the first `x_vars` variables), count the truth
+/// assignments of `Y` for which `φ` is true. Source problem of the
+/// CPP(CQ) lower bound without compatibility constraints
+/// (Theorem 5.3, citing [Durand–Hermann–Kolaitis]).
+pub fn count_sigma1(matrix: &CnfFormula, x_vars: usize) -> u128 {
+    // Variables are ordered X then Y; to fix a Y assignment we need Y
+    // first, so swap the roles: re-index to put Y in the prefix.
+    let y_vars = matrix.num_vars - x_vars;
+    let swapped = swap_blocks(matrix, x_vars);
+    assignments(y_vars)
+        .filter(|y| {
+            swapped
+                .restrict_prefix(y)
+                .is_some_and(|rest| is_satisfiable(&rest))
+        })
+        .count() as u128
+}
+
+/// #Π₁SAT: given `φ(X, Y) = ∀X (C1 ∨ ... ∨ Cr)` with the matrix a DNF
+/// over `X ∪ Y` (X first), count the truth assignments of `Y` making `φ`
+/// true. Source problem of the CPP(CQ) lower bound *with* compatibility
+/// constraints (Theorem 5.3).
+pub fn count_pi1(matrix: &DnfFormula, x_vars: usize) -> u128 {
+    // ∀X ψ ⟺ ¬∃X ¬ψ; ¬ψ is a CNF.
+    let neg = matrix.negate_to_cnf();
+    let y_vars = matrix.num_vars - x_vars;
+    let swapped = swap_blocks(&neg, x_vars);
+    assignments(y_vars)
+        .filter(|y| {
+            // φ(y) is true iff ¬ψ[Y := y] is unsatisfiable over X. A
+            // `None` restriction means a clause of ¬ψ is already false
+            // under y alone, so ¬ψ is unsatisfiable — φ(y) holds.
+            match swapped.restrict_prefix(y) {
+                None => true,
+                Some(rest) => !is_satisfiable(&rest),
+            }
+        })
+        .count() as u128
+}
+
+/// Reorder variables so the block `[x_vars..]` (Y) comes first.
+fn swap_blocks(f: &CnfFormula, x_vars: usize) -> CnfFormula {
+    let y_vars = f.num_vars - x_vars;
+    CnfFormula::new(
+        f.num_vars,
+        f.clauses
+            .iter()
+            .map(|c| {
+                crate::cnf::Clause::new(
+                    c.0.iter()
+                        .map(|l| {
+                            let var = if l.var < x_vars {
+                                l.var + y_vars
+                            } else {
+                                l.var - x_vars
+                            };
+                            Lit {
+                                var,
+                                positive: l.positive,
+                            }
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Clause;
+    use crate::dnf::Conjunct;
+
+    #[test]
+    fn count_simple() {
+        // x0 ∨ x1 over 2 vars: 3 models.
+        let f = CnfFormula::new(2, vec![Clause::new(vec![Lit::pos(0), Lit::pos(1)])]);
+        assert_eq!(count_models(&f), 3);
+        // Empty formula over n vars: 2^n.
+        assert_eq!(count_models(&CnfFormula::new(5, Vec::<Clause>::new())), 32);
+        // Contradiction: 0.
+        let c = CnfFormula::new(
+            1,
+            vec![Clause::new(vec![Lit::pos(0)]), Clause::new(vec![Lit::neg(0)])],
+        );
+        assert_eq!(count_models(&c), 0);
+    }
+
+    #[test]
+    fn count_matches_brute_force() {
+        let f = CnfFormula::new(
+            4,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]),
+                Clause::new(vec![Lit::neg(0), Lit::pos(3)]),
+                Clause::new(vec![Lit::pos(1), Lit::neg(2), Lit::neg(3)]),
+            ],
+        );
+        let brute = assignments(4).filter(|a| f.eval(a)).count() as u128;
+        assert_eq!(count_models(&f), brute);
+    }
+
+    #[test]
+    fn sigma1_counts_y_projections() {
+        // φ(X, Y) = ∃x0 ((x0 ∨ y0) ∧ (¬x0 ∨ y1)); vars: x0=0, y0=1, y1=2.
+        let f = CnfFormula::new(
+            3,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::pos(1)]),
+                Clause::new(vec![Lit::neg(0), Lit::pos(2)]),
+            ],
+        );
+        // Brute force: for y=(y0,y1) check if some x0 works.
+        // y=(0,0): x0=0 fails clause1? (0∨0)=F → no; x0=1 fails clause2 → 0.
+        // y=(0,1): x0=1 works → yes. y=(1,0): x0=0 works → yes.
+        // y=(1,1): yes. Total 3.
+        assert_eq!(count_sigma1(&f, 1), 3);
+    }
+
+    #[test]
+    fn pi1_counts_universal_projections() {
+        // φ(X, Y) = ∀x0 ((x0 ∧ y0) ∨ (¬x0 ∧ y1)); vars: x0=0, y0=1, y1=2.
+        // True iff y0 ∧ y1. So exactly one Y assignment.
+        let f = DnfFormula::new(
+            3,
+            vec![
+                Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                Conjunct::new(vec![Lit::neg(0), Lit::pos(2)]),
+            ],
+        );
+        assert_eq!(count_pi1(&f, 1), 1);
+    }
+
+    #[test]
+    fn sigma1_brute_force_agreement() {
+        // Random-ish fixed instance, x_vars = 2, y_vars = 2.
+        let f = CnfFormula::new(
+            4,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::neg(2), Lit::pos(3)]),
+                Clause::new(vec![Lit::neg(1), Lit::pos(2)]),
+                Clause::new(vec![Lit::pos(1), Lit::neg(3)]),
+            ],
+        );
+        let brute = assignments(2)
+            .filter(|y| {
+                assignments(2).any(|x| {
+                    let full: Vec<bool> = x.iter().chain(y.iter()).copied().collect();
+                    f.eval(&full)
+                })
+            })
+            .count() as u128;
+        assert_eq!(count_sigma1(&f, 2), brute);
+    }
+
+    #[test]
+    fn pi1_brute_force_agreement() {
+        let f = DnfFormula::new(
+            4,
+            vec![
+                Conjunct::new(vec![Lit::pos(0), Lit::neg(2), Lit::pos(3)]),
+                Conjunct::new(vec![Lit::neg(0), Lit::pos(1), Lit::pos(2)]),
+                Conjunct::new(vec![Lit::neg(1), Lit::neg(3), Lit::pos(2)]),
+            ],
+        );
+        let brute = assignments(2)
+            .filter(|y| {
+                assignments(2).all(|x| {
+                    let full: Vec<bool> = x.iter().chain(y.iter()).copied().collect();
+                    f.eval(&full)
+                })
+            })
+            .count() as u128;
+        assert_eq!(count_pi1(&f, 2), brute);
+    }
+}

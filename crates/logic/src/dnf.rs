@@ -1,0 +1,141 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cnf::{Clause, CnfFormula, Lit};
+
+/// A conjunct of literals (a term of a DNF formula).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conjunct(pub Vec<Lit>);
+
+impl Conjunct {
+    /// Build a conjunct.
+    pub fn new(lits: impl Into<Vec<Lit>>) -> Self {
+        Conjunct(lits.into())
+    }
+
+    /// Truth value under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.0.iter().all(|l| l.eval(assignment))
+    }
+}
+
+impl fmt::Display for Conjunct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A DNF formula `C1 ∨ ... ∨ Cr` over `num_vars` variables. The
+/// ∃*∀*3DNF problem of Lemma 4.2 and the maximum-Σp₂ problem of
+/// Theorem 5.1 use 3DNF matrices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnfFormula {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The disjuncts.
+    pub conjuncts: Vec<Conjunct>,
+}
+
+impl DnfFormula {
+    /// Build a formula; panics on out-of-range literals (construction
+    /// bug).
+    pub fn new(num_vars: usize, conjuncts: impl Into<Vec<Conjunct>>) -> Self {
+        let conjuncts = conjuncts.into();
+        for c in &conjuncts {
+            for l in &c.0 {
+                assert!(l.var < num_vars, "literal variable out of range");
+            }
+        }
+        DnfFormula {
+            num_vars,
+            conjuncts,
+        }
+    }
+
+    /// Truth value under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.conjuncts.iter().any(|c| c.eval(assignment))
+    }
+
+    /// Whether every conjunct has exactly three literals (3DNF).
+    pub fn is_3dnf(&self) -> bool {
+        self.conjuncts.iter().all(|c| c.0.len() == 3)
+    }
+
+    /// The negation, as a CNF formula (De Morgan, clause-by-clause).
+    pub fn negate_to_cnf(&self) -> CnfFormula {
+        CnfFormula::new(
+            self.num_vars,
+            self.conjuncts
+                .iter()
+                .map(|c| Clause::new(c.0.iter().map(|l| l.negated()).collect::<Vec<_>>()))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl fmt::Display for DnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjuncts.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignments;
+
+    fn psi() -> DnfFormula {
+        // (x0 ∧ x1) ∨ (¬x0 ∧ ¬x1)
+        DnfFormula::new(
+            2,
+            vec![
+                Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                Conjunct::new(vec![Lit::neg(0), Lit::neg(1)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn dnf_eval() {
+        let f = psi();
+        assert!(f.eval(&[true, true]));
+        assert!(f.eval(&[false, false]));
+        assert!(!f.eval(&[true, false]));
+        assert!(!f.is_3dnf());
+    }
+
+    #[test]
+    fn negation_is_pointwise_complement() {
+        let f = psi();
+        let neg = f.negate_to_cnf();
+        for a in assignments(2) {
+            assert_eq!(f.eval(&a), !neg.eval(&a));
+        }
+    }
+
+    #[test]
+    fn empty_dnf_is_false() {
+        let f = DnfFormula::new(1, Vec::<Conjunct>::new());
+        assert!(!f.eval(&[true]));
+        // And its negation is the empty CNF = true.
+        assert!(f.negate_to_cnf().eval(&[true]));
+    }
+}

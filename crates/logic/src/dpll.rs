@@ -1,0 +1,197 @@
+//! A DPLL SAT solver with unit propagation and pure-literal elimination.
+//!
+//! Exact and dependency-free; instance sizes in this workspace are small
+//! (reduction checking, workload generation), so clarity beats watched
+//! literals.
+
+use crate::cnf::{CnfFormula, Lit};
+
+/// Whether the formula is satisfiable.
+pub fn is_satisfiable(f: &CnfFormula) -> bool {
+    find_model(f).is_some()
+}
+
+/// A satisfying assignment, if one exists. Unconstrained variables are
+/// set to `false`.
+pub fn find_model(f: &CnfFormula) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars];
+    if dpll(f, &mut assignment) {
+        Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+fn dpll(f: &CnfFormula, assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint; remember what we forced so we can
+    // undo on backtrack.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut changed = false;
+        for c in &f.clauses {
+            match c.eval_partial(assignment) {
+                Some(true) => {}
+                Some(false) => {
+                    for &v in &trail {
+                        assignment[v] = None;
+                    }
+                    return false;
+                }
+                None => {
+                    if let Some(unit) = c.unit_literal(assignment) {
+                        assignment[unit.var] = Some(unit.positive);
+                        trail.push(unit.var);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pure literal elimination.
+    {
+        let mut seen_pos = vec![false; f.num_vars];
+        let mut seen_neg = vec![false; f.num_vars];
+        for c in &f.clauses {
+            if c.eval_partial(assignment) == Some(true) {
+                continue;
+            }
+            for l in &c.0 {
+                if assignment[l.var].is_none() {
+                    if l.positive {
+                        seen_pos[l.var] = true;
+                    } else {
+                        seen_neg[l.var] = true;
+                    }
+                }
+            }
+        }
+        for v in 0..f.num_vars {
+            if assignment[v].is_none() && (seen_pos[v] ^ seen_neg[v]) {
+                assignment[v] = Some(seen_pos[v]);
+                trail.push(v);
+            }
+        }
+    }
+
+    // Check state after propagation.
+    let mut all_satisfied = true;
+    let mut branch: Option<Lit> = None;
+    for c in &f.clauses {
+        match c.eval_partial(assignment) {
+            Some(true) => {}
+            Some(false) => {
+                for &v in &trail {
+                    assignment[v] = None;
+                }
+                return false;
+            }
+            None => {
+                all_satisfied = false;
+                if branch.is_none() {
+                    branch = c
+                        .0
+                        .iter()
+                        .find(|l| assignment[l.var].is_none())
+                        .copied();
+                }
+            }
+        }
+    }
+    if all_satisfied {
+        return true;
+    }
+
+    let lit = branch.expect("an unresolved clause has an unassigned literal");
+    for value in [lit.positive, !lit.positive] {
+        assignment[lit.var] = Some(value);
+        if dpll(f, assignment) {
+            return true;
+        }
+        assignment[lit.var] = None;
+    }
+    for &v in &trail {
+        assignment[v] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignments;
+    use crate::cnf::Clause;
+
+    #[test]
+    fn trivial_cases() {
+        // Empty formula: satisfiable.
+        assert!(is_satisfiable(&CnfFormula::new(0, Vec::<Clause>::new())));
+        // x ∧ ¬x: unsatisfiable.
+        let f = CnfFormula::new(
+            1,
+            vec![Clause::new(vec![Lit::pos(0)]), Clause::new(vec![Lit::neg(0)])],
+        );
+        assert!(!is_satisfiable(&f));
+    }
+
+    #[test]
+    fn model_satisfies() {
+        let f = CnfFormula::new(
+            3,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]),
+                Clause::new(vec![Lit::neg(0), Lit::pos(1), Lit::pos(2)]),
+                Clause::new(vec![Lit::neg(2)]),
+            ],
+        );
+        let m = find_model(&f).unwrap();
+        assert!(f.eval(&m));
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole: p0 ∧ p1 ∧ (¬p0 ∨ ¬p1).
+        let f = CnfFormula::new(
+            2,
+            vec![
+                Clause::new(vec![Lit::pos(0)]),
+                Clause::new(vec![Lit::pos(1)]),
+                Clause::new(vec![Lit::neg(0), Lit::neg(1)]),
+            ],
+        );
+        assert!(!is_satisfiable(&f));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_small_formulas() {
+        // Exhaustive check against truth tables on structured instances.
+        let cases: Vec<CnfFormula> = vec![
+            CnfFormula::new(
+                4,
+                vec![
+                    Clause::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Clause::new(vec![Lit::neg(1), Lit::pos(2)]),
+                    Clause::new(vec![Lit::neg(2), Lit::neg(3)]),
+                    Clause::new(vec![Lit::pos(3), Lit::neg(0)]),
+                ],
+            ),
+            CnfFormula::new(
+                3,
+                vec![
+                    Clause::new(vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)]),
+                    Clause::new(vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)]),
+                    Clause::new(vec![Lit::pos(0), Lit::neg(1)]),
+                    Clause::new(vec![Lit::pos(1), Lit::neg(2)]),
+                    Clause::new(vec![Lit::pos(2), Lit::neg(0)]),
+                ],
+            ),
+        ];
+        for f in cases {
+            let brute = assignments(f.num_vars).any(|a| f.eval(&a));
+            assert_eq!(is_satisfiable(&f), brute, "formula {f}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Random instance generators for property tests and benchmarks.
+
+use rand::Rng;
+
+use crate::cnf::{Clause, CnfFormula, Lit};
+use crate::dnf::{Conjunct, DnfFormula};
+use crate::maxsat::MaxWeightSat;
+use crate::qbf::{Quant, QbfFormula, SatUnsat, Sigma2Dnf};
+
+/// Pick a random literal over `num_vars` variables.
+fn random_lit(rng: &mut impl Rng, num_vars: usize) -> Lit {
+    Lit {
+        var: rng.gen_range(0..num_vars),
+        positive: rng.gen(),
+    }
+}
+
+/// Three literals over distinct variables (when possible), for 3CNF/3DNF
+/// shapes.
+fn three_lits(rng: &mut impl Rng, num_vars: usize) -> Vec<Lit> {
+    let mut lits: Vec<Lit> = Vec::with_capacity(3);
+    let mut attempts = 0;
+    while lits.len() < 3 {
+        let l = random_lit(rng, num_vars);
+        attempts += 1;
+        if attempts > 100 || lits.iter().all(|m| m.var != l.var) {
+            lits.push(l);
+        }
+    }
+    lits
+}
+
+/// A random 3CNF formula.
+pub fn random_3cnf(rng: &mut impl Rng, num_vars: usize, num_clauses: usize) -> CnfFormula {
+    assert!(num_vars >= 1);
+    CnfFormula::new(
+        num_vars,
+        (0..num_clauses)
+            .map(|_| Clause::new(three_lits(rng, num_vars)))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// A random 3DNF formula.
+pub fn random_3dnf(rng: &mut impl Rng, num_vars: usize, num_conjuncts: usize) -> DnfFormula {
+    assert!(num_vars >= 1);
+    DnfFormula::new(
+        num_vars,
+        (0..num_conjuncts)
+            .map(|_| Conjunct::new(three_lits(rng, num_vars)))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// A random ∃X∀Y 3DNF instance.
+pub fn random_sigma2(
+    rng: &mut impl Rng,
+    x_vars: usize,
+    y_vars: usize,
+    num_conjuncts: usize,
+) -> Sigma2Dnf {
+    Sigma2Dnf::new(x_vars, random_3dnf(rng, x_vars + y_vars, num_conjuncts))
+}
+
+/// A random SAT-UNSAT pair (uniform over both components — roughly a
+/// quarter of draws are yes-instances at the right clause density).
+pub fn random_sat_unsat(
+    rng: &mut impl Rng,
+    num_vars: usize,
+    num_clauses: usize,
+) -> SatUnsat {
+    SatUnsat::new(
+        random_3cnf(rng, num_vars, num_clauses),
+        random_3cnf(rng, num_vars, num_clauses),
+    )
+}
+
+/// A random MAX-WEIGHT SAT instance with weights in `1..=max_weight`.
+pub fn random_max_weight_sat(
+    rng: &mut impl Rng,
+    num_vars: usize,
+    num_clauses: usize,
+    max_weight: u64,
+) -> MaxWeightSat {
+    let f = random_3cnf(rng, num_vars, num_clauses);
+    let weights: Vec<u64> = (0..num_clauses)
+        .map(|_| rng.gen_range(1..=max_weight))
+        .collect();
+    MaxWeightSat::new(f, weights)
+}
+
+/// Make any CNF unsatisfiable by appending the contradictory pair
+/// `(x0 ∨ x0 ∨ x0) ∧ (¬x0 ∨ ¬x0 ∨ ¬x0)` — used to build guaranteed
+/// no-instances in mixed samples.
+pub fn force_unsat(phi: &CnfFormula) -> CnfFormula {
+    assert!(phi.num_vars >= 1);
+    let mut clauses = phi.clauses.clone();
+    clauses.push(Clause::new(vec![Lit::pos(0); 3]));
+    clauses.push(Clause::new(vec![Lit::neg(0); 3]));
+    CnfFormula::new(phi.num_vars, clauses)
+}
+
+/// Make any ∃X∀Y 3DNF sentence true by appending the conjunct
+/// `(x0 ∧ x0 ∧ x0)` — any X assignment with `x0 = 1` then satisfies ψ
+/// for every Y. Used to build guaranteed yes-instances in mixed
+/// samples.
+pub fn force_true_sigma2(phi: &Sigma2Dnf) -> Sigma2Dnf {
+    assert!(phi.x_vars >= 1);
+    let mut conjuncts = phi.matrix.conjuncts.clone();
+    conjuncts.push(crate::dnf::Conjunct::new(vec![Lit::pos(0); 3]));
+    Sigma2Dnf::new(
+        phi.x_vars,
+        DnfFormula::new(phi.matrix.num_vars, conjuncts),
+    )
+}
+
+/// A random QBF (Q3SAT) instance with a uniform quantifier prefix.
+pub fn random_qbf(rng: &mut impl Rng, num_vars: usize, num_clauses: usize) -> QbfFormula {
+    let quants: Vec<Quant> = (0..num_vars)
+        .map(|_| {
+            if rng.gen() {
+                Quant::Exists
+            } else {
+                Quant::Forall
+            }
+        })
+        .collect();
+    QbfFormula::new(quants, random_3cnf(rng, num_vars, num_clauses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_shapes_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cnf = random_3cnf(&mut rng, 6, 10);
+        assert!(cnf.is_3cnf());
+        assert_eq!(cnf.clauses.len(), 10);
+
+        let dnf = random_3dnf(&mut rng, 6, 10);
+        assert!(dnf.is_3dnf());
+
+        let s2 = random_sigma2(&mut rng, 3, 3, 5);
+        assert_eq!(s2.x_vars, 3);
+        assert_eq!(s2.y_vars(), 3);
+
+        let mws = random_max_weight_sat(&mut rng, 5, 8, 10);
+        assert_eq!(mws.weights.len(), 8);
+        assert!(mws.weights.iter().all(|&w| (1..=10).contains(&w)));
+
+        let qbf = random_qbf(&mut rng, 5, 6);
+        assert_eq!(qbf.quants.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = random_3cnf(&mut StdRng::seed_from_u64(42), 5, 5);
+        let b = random_3cnf(&mut StdRng::seed_from_u64(42), 5, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,87 @@
+//! # pkgrec-logic — propositional and quantified-Boolean toolkit
+//!
+//! Every lower bound in the paper is a reduction from a Boolean
+//! satisfiability-style problem:
+//!
+//! | Paper result | Source problem |
+//! |---|---|
+//! | Lemma 4.4, Thm 7.2/8.1 (data) | 3SAT |
+//! | Lemma 4.2, Thm 4.1 | ∃*∀*3DNF (Σp₂) |
+//! | Thm 4.5, Thm 5.2 (data) | SAT-UNSAT (DP) |
+//! | Thm 5.1 | maximum Σp₂ / MAX-WEIGHT SAT |
+//! | Thm 5.2 | ∃*∀*3DNF–∀*∃*3CNF (Dp₂) |
+//! | Thm 5.3 | #SAT, #Σ₁SAT, #Π₁SAT |
+//! | DATALOGnr/FO membership | Q3SAT (QBF) |
+//!
+//! To machine-check those reductions we need *direct* solvers for each
+//! source problem. This crate implements them from scratch: CNF/DNF
+//! formulas, a DPLL SAT solver, an exact model counter, an exact
+//! weighted-MaxSAT solver, quantified formulas (Σ₂ forms, full QBF) and
+//! the counting variants, plus random instance generators for property
+//! tests and benchmarks.
+
+mod cnf;
+mod count;
+mod dnf;
+mod dpll;
+pub mod gen;
+mod maxsat;
+mod qbf;
+
+pub use cnf::{Clause, CnfFormula, Lit};
+pub use count::{count_models, count_pi1, count_sigma1};
+pub use dnf::{Conjunct, DnfFormula};
+pub use dpll::{find_model, is_satisfiable};
+pub use maxsat::{max_weight_sat, MaxWeightSat};
+pub use qbf::{MaximumSigma2, Quant, QbfFormula, SatUnsat, Sigma2Dnf};
+
+/// Iterate all truth assignments of `n` variables in ascending
+/// lexicographic order of the tuple `(x1, ..., xn)` (variable 0 is the
+/// most significant bit, matching the paper's "lexicographical ordering
+/// on m-ary binary tuples" in Theorem 5.1).
+pub fn assignments(n: usize) -> impl Iterator<Item = Vec<bool>> {
+    assert!(n < 63, "assignment space too large to enumerate");
+    (0u64..(1u64 << n)).map(move |i| {
+        (0..n)
+            .map(|bit| (i >> (n - 1 - bit)) & 1 == 1)
+            .collect()
+    })
+}
+
+/// The index of an assignment under the [`assignments`] order.
+pub fn assignment_index(assignment: &[bool]) -> u64 {
+    assignment
+        .iter()
+        .fold(0u64, |acc, &b| (acc << 1) | u64::from(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_enumeration_order() {
+        let all: Vec<Vec<bool>> = assignments(2).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![false, false],
+                vec![false, true],
+                vec![true, false],
+                vec![true, true]
+            ]
+        );
+    }
+
+    #[test]
+    fn assignment_index_roundtrip() {
+        for (i, a) in assignments(4).enumerate() {
+            assert_eq!(assignment_index(&a), i as u64);
+        }
+    }
+
+    #[test]
+    fn zero_vars_has_one_assignment() {
+        assert_eq!(assignments(0).count(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Exact weighted MaxSAT — the MAX-WEIGHT SAT problem of the FRP data-
+//! complexity lower bound (Theorem 5.1) and the item-FRP lower bound
+//! (Theorem 6.4).
+
+use crate::cnf::CnfFormula;
+
+/// A MAX-WEIGHT SAT instance: clauses with integer weights. The goal is
+/// a truth assignment maximizing the total weight of satisfied clauses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxWeightSat {
+    /// The clause set (weights parallel to `formula.clauses`).
+    pub formula: CnfFormula,
+    /// Non-negative clause weights.
+    pub weights: Vec<u64>,
+}
+
+impl MaxWeightSat {
+    /// Build an instance; panics when weights and clauses disagree in
+    /// length (construction bug).
+    pub fn new(formula: CnfFormula, weights: impl Into<Vec<u64>>) -> Self {
+        let weights = weights.into();
+        assert_eq!(
+            formula.clauses.len(),
+            weights.len(),
+            "one weight per clause"
+        );
+        MaxWeightSat { formula, weights }
+    }
+
+    /// Total weight of clauses satisfied by `assignment`.
+    pub fn weight_of(&self, assignment: &[bool]) -> u64 {
+        self.formula
+            .clauses
+            .iter()
+            .zip(&self.weights)
+            .filter(|(c, _)| c.eval(assignment))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+}
+
+/// Exact branch-and-bound MaxSAT: returns `(best_weight, assignment)`.
+///
+/// Deterministic tie-breaking: among optimal assignments the
+/// lexicographically *last* one under the [`crate::assignments`] order
+/// is returned (the search branches `true` first, i.e. in descending
+/// lexicographic order, and keeps the first optimum it completes).
+pub fn max_weight_sat(instance: &MaxWeightSat) -> (u64, Vec<bool>) {
+    let n = instance.formula.num_vars;
+    let mut assignment: Vec<Option<bool>> = vec![None; n];
+    let mut best: Option<(u64, Vec<bool>)> = None;
+    branch(instance, &mut assignment, 0, &mut best);
+    best.expect("the search visits at least one leaf")
+}
+
+fn branch(
+    instance: &MaxWeightSat,
+    assignment: &mut Vec<Option<bool>>,
+    var: usize,
+    best: &mut Option<(u64, Vec<bool>)>,
+) {
+    let n = instance.formula.num_vars;
+    // Bound: weight of clauses already satisfied plus weight of clauses
+    // not yet falsified.
+    let mut satisfied = 0u64;
+    let mut open = 0u64;
+    for (c, &w) in instance.formula.clauses.iter().zip(&instance.weights) {
+        match c.eval_partial(assignment) {
+            Some(true) => satisfied += w,
+            Some(false) => {}
+            None => open += w,
+        }
+    }
+    if let Some((incumbent, _)) = best {
+        if satisfied + open <= *incumbent {
+            return; // cannot strictly beat the incumbent
+        }
+    }
+    if var == n {
+        let leaf: Vec<bool> = assignment.iter().map(|v| v.expect("all assigned")).collect();
+        match best {
+            Some((incumbent, _)) if satisfied <= *incumbent => {}
+            _ => *best = Some((satisfied, leaf)),
+        }
+        return;
+    }
+    for value in [true, false] {
+        assignment[var] = Some(value);
+        branch(instance, assignment, var + 1, best);
+        assignment[var] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignments;
+    use crate::cnf::{Clause, Lit};
+
+    #[test]
+    fn all_satisfiable_reaches_total_weight() {
+        let f = CnfFormula::new(
+            2,
+            vec![
+                Clause::new(vec![Lit::pos(0)]),
+                Clause::new(vec![Lit::pos(1)]),
+            ],
+        );
+        let inst = MaxWeightSat::new(f, vec![3, 5]);
+        let (w, a) = max_weight_sat(&inst);
+        assert_eq!(w, 8);
+        assert_eq!(a, vec![true, true]);
+    }
+
+    #[test]
+    fn conflicting_units_pick_heavier() {
+        let f = CnfFormula::new(
+            1,
+            vec![
+                Clause::new(vec![Lit::pos(0)]),
+                Clause::new(vec![Lit::neg(0)]),
+            ],
+        );
+        let inst = MaxWeightSat::new(f, vec![2, 7]);
+        let (w, a) = max_weight_sat(&inst);
+        assert_eq!(w, 7);
+        assert_eq!(a, vec![false]);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let f = CnfFormula::new(
+            4,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]),
+                Clause::new(vec![Lit::neg(0), Lit::pos(3)]),
+                Clause::new(vec![Lit::pos(1), Lit::neg(2), Lit::neg(3)]),
+                Clause::new(vec![Lit::neg(2)]),
+                Clause::new(vec![Lit::pos(2)]),
+            ],
+        );
+        let inst = MaxWeightSat::new(f, vec![4, 3, 2, 6, 5]);
+        let (w, a) = max_weight_sat(&inst);
+        let brute = assignments(4).map(|x| inst.weight_of(&x)).max().unwrap();
+        assert_eq!(w, brute);
+        assert_eq!(inst.weight_of(&a), w);
+    }
+
+    #[test]
+    fn tie_breaks_to_lexicographically_last() {
+        // Single clause (x0 ∨ ¬x0): every assignment is optimal; expect
+        // the all-true assignment.
+        let f = CnfFormula::new(2, vec![Clause::new(vec![Lit::pos(0), Lit::neg(0)])]);
+        let inst = MaxWeightSat::new(f, vec![1]);
+        let (w, a) = max_weight_sat(&inst);
+        assert_eq!(w, 1);
+        assert_eq!(a, vec![true, true]);
+    }
+
+    #[test]
+    fn zero_clauses() {
+        let inst =
+            MaxWeightSat::new(CnfFormula::new(2, Vec::<Clause>::new()), Vec::<u64>::new());
+        let (w, a) = max_weight_sat(&inst);
+        assert_eq!(w, 0);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,352 @@
+//! Quantified Boolean formulas: the Σp₂ form ∃X∀Y ψ (ψ in 3DNF) of
+//! Lemma 4.2, the maximum-Σp₂ function problem of Theorem 5.1, the
+//! SAT-UNSAT pairs of Theorem 4.5, and full QBF (Q3SAT) used by the
+//! DATALOGnr/FO membership lower bounds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cnf::CnfFormula;
+use crate::dnf::DnfFormula;
+use crate::dpll::is_satisfiable;
+use crate::{assignment_index, assignments};
+
+/// A quantifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quant {
+    /// Existential.
+    Exists,
+    /// Universal.
+    Forall,
+}
+
+/// `∃X ∀Y ψ(X, Y)` with `ψ` in DNF over `X ∪ Y` — variables `0..x_vars`
+/// are X, the rest are Y. This is the ∃*∀*3DNF problem, Σp₂-complete
+/// (Stockmeyer; Lemma 4.2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sigma2Dnf {
+    /// Number of existential (X) variables; they are the variable prefix.
+    pub x_vars: usize,
+    /// The DNF matrix over X ∪ Y.
+    pub matrix: DnfFormula,
+}
+
+impl Sigma2Dnf {
+    /// Build an instance; panics if `x_vars` exceeds the matrix's
+    /// variable count (construction bug).
+    pub fn new(x_vars: usize, matrix: DnfFormula) -> Self {
+        assert!(x_vars <= matrix.num_vars, "x_vars exceeds matrix vars");
+        Sigma2Dnf { x_vars, matrix }
+    }
+
+    /// Number of universal (Y) variables.
+    pub fn y_vars(&self) -> usize {
+        self.matrix.num_vars - self.x_vars
+    }
+
+    /// Whether a fixed X assignment makes `∀Y ψ(μX, Y)` true: the
+    /// negation ¬ψ is a CNF; restrict it by μX and check unsatisfiability.
+    pub fn forall_y_holds(&self, mu_x: &[bool]) -> bool {
+        debug_assert_eq!(mu_x.len(), self.x_vars);
+        match self.matrix.negate_to_cnf().restrict_prefix(mu_x) {
+            // A clause of ¬ψ already false under μX alone: ¬ψ is
+            // unsatisfiable, so ∀Y ψ holds.
+            None => true,
+            Some(rest) => !is_satisfiable(&rest),
+        }
+    }
+
+    /// Whether the sentence `∃X ∀Y ψ` is true.
+    pub fn is_true(&self) -> bool {
+        assignments(self.x_vars).any(|x| self.forall_y_holds(&x))
+    }
+}
+
+/// The maximum-Σp₂ function problem (Theorem 5.1, citing Krentel):
+/// given `φ(X) = ∀Y ψ(X, Y)`, find the truth assignment of X that makes
+/// `φ` true and comes *last* in the lexicographic order, if any.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaximumSigma2(pub Sigma2Dnf);
+
+impl MaximumSigma2 {
+    /// The lexicographically last satisfying X assignment, or `None`.
+    pub fn last_satisfying_x(&self) -> Option<Vec<bool>> {
+        // Descending lexicographic order over X.
+        let n = self.0.x_vars;
+        assert!(n < 63, "X space too large to enumerate");
+        (0..(1u64 << n)).rev().map(|i| {
+            (0..n)
+                .map(|bit| (i >> (n - 1 - bit)) & 1 == 1)
+                .collect::<Vec<bool>>()
+        })
+        .find(|x| self.0.forall_y_holds(x))
+    }
+
+    /// The lexicographic rank of the answer, if any (handy for encoding
+    /// the answer as a rating value).
+    pub fn last_satisfying_index(&self) -> Option<u64> {
+        self.last_satisfying_x().map(|x| assignment_index(&x))
+    }
+}
+
+/// A SAT-UNSAT instance `(φ1, φ2)`: a yes-instance iff `φ1` is
+/// satisfiable and `φ2` is not (DP-complete; Theorem 4.5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SatUnsat {
+    /// The formula required to be satisfiable.
+    pub phi1: CnfFormula,
+    /// The formula required to be unsatisfiable.
+    pub phi2: CnfFormula,
+}
+
+impl SatUnsat {
+    /// Build an instance.
+    pub fn new(phi1: CnfFormula, phi2: CnfFormula) -> Self {
+        SatUnsat { phi1, phi2 }
+    }
+
+    /// Whether this is a yes-instance.
+    pub fn is_yes(&self) -> bool {
+        is_satisfiable(&self.phi1) && !is_satisfiable(&self.phi2)
+    }
+}
+
+/// A fully quantified Boolean formula `Q1 x1 ... Qn xn . matrix` with a
+/// CNF matrix (Q3SAT when the matrix is 3CNF) — PSPACE-complete, the
+/// source of the paper's DATALOGnr/FO membership lower bounds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QbfFormula {
+    /// One quantifier per variable, in variable order.
+    pub quants: Vec<Quant>,
+    /// The CNF matrix.
+    pub matrix: CnfFormula,
+}
+
+impl QbfFormula {
+    /// Build an instance; panics when the quantifier prefix length does
+    /// not match the matrix's variable count (construction bug).
+    pub fn new(quants: impl Into<Vec<Quant>>, matrix: CnfFormula) -> Self {
+        let quants = quants.into();
+        assert_eq!(quants.len(), matrix.num_vars, "one quantifier per var");
+        QbfFormula { quants, matrix }
+    }
+
+    /// Evaluate the sentence.
+    pub fn is_true(&self) -> bool {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.matrix.num_vars];
+        self.eval_from(0, &mut assignment)
+    }
+
+    /// Treat the first `x_vars` variables as *free* and count the truth
+    /// assignments of that block under which the remaining quantified
+    /// sentence is true — the #QBF problem behind the #·PSPACE lower
+    /// bound of CPP(DATALOGnr)/CPP(FO) (Theorem 5.3, citing Ladner).
+    pub fn count_free_prefix(&self, x_vars: usize) -> u128 {
+        assert!(x_vars <= self.matrix.num_vars, "free block exceeds vars");
+        crate::assignments(x_vars)
+            .filter(|x| {
+                let mut assignment: Vec<Option<bool>> =
+                    vec![None; self.matrix.num_vars];
+                for (i, &b) in x.iter().enumerate() {
+                    assignment[i] = Some(b);
+                }
+                self.eval_from(x_vars, &mut assignment)
+            })
+            .count() as u128
+    }
+
+    fn eval_from(&self, var: usize, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Early termination: if the matrix is already decided, stop.
+        let mut decided = Some(true);
+        for c in &self.matrix.clauses {
+            match c.eval_partial(assignment) {
+                Some(true) => {}
+                Some(false) => {
+                    decided = Some(false);
+                    break;
+                }
+                None => decided = None,
+            }
+            if decided == Some(false) {
+                break;
+            }
+        }
+        if let Some(v) = decided {
+            return v;
+        }
+        debug_assert!(var < self.quants.len(), "undecided matrix has free vars");
+        let results = [true, false].map(|value| {
+            assignment[var] = Some(value);
+            let r = self.eval_from(var + 1, assignment);
+            assignment[var] = None;
+            r
+        });
+        match self.quants[var] {
+            Quant::Exists => results[0] || results[1],
+            Quant::Forall => results[0] && results[1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Lit};
+    use crate::dnf::Conjunct;
+
+    /// ψ(x, y) = (x ∧ y) ∨ (x ∧ ¬y): equals x. ∃x ∀y ψ is true (x = 1).
+    fn psi_equals_x() -> Sigma2Dnf {
+        Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::pos(0), Lit::neg(1)]),
+                ],
+            ),
+        )
+    }
+
+    /// ψ(x, y) = (x ∧ y) ∨ (¬x ∧ y): equals y. ∃x ∀y ψ is false.
+    fn psi_equals_y() -> Sigma2Dnf {
+        Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::neg(0), Lit::pos(1)]),
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn sigma2_truth() {
+        assert!(psi_equals_x().is_true());
+        assert!(!psi_equals_y().is_true());
+    }
+
+    #[test]
+    fn sigma2_matches_brute_force() {
+        let f = Sigma2Dnf::new(
+            2,
+            DnfFormula::new(
+                4,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::neg(2), Lit::pos(3)]),
+                    Conjunct::new(vec![Lit::neg(1), Lit::pos(2), Lit::neg(3)]),
+                    Conjunct::new(vec![Lit::pos(1), Lit::pos(2), Lit::pos(3)]),
+                ],
+            ),
+        );
+        let brute = assignments(2).any(|x| {
+            assignments(2).all(|y| {
+                let full: Vec<bool> = x.iter().chain(y.iter()).copied().collect();
+                f.matrix.eval(&full)
+            })
+        });
+        assert_eq!(f.is_true(), brute);
+    }
+
+    #[test]
+    fn maximum_sigma2_finds_last() {
+        // ψ(x0, x1, y) = (x0 ∧ ¬x1 ∧ y) ∨ (x0 ∧ ¬x1 ∧ ¬y): φ(X) holds
+        // exactly for (x0, x1) = (1, 0); index 2.
+        let f = MaximumSigma2(Sigma2Dnf::new(
+            2,
+            DnfFormula::new(
+                3,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]),
+                    Conjunct::new(vec![Lit::pos(0), Lit::neg(1), Lit::neg(2)]),
+                ],
+            ),
+        ));
+        assert_eq!(f.last_satisfying_x(), Some(vec![true, false]));
+        assert_eq!(f.last_satisfying_index(), Some(2));
+
+        // Unsatisfiable φ: ψ = y alone.
+        let none = MaximumSigma2(psi_equals_y());
+        assert_eq!(none.last_satisfying_x(), None);
+    }
+
+    #[test]
+    fn sat_unsat_cases() {
+        let sat = CnfFormula::new(1, vec![Clause::new(vec![Lit::pos(0)])]);
+        let unsat = CnfFormula::new(
+            1,
+            vec![Clause::new(vec![Lit::pos(0)]), Clause::new(vec![Lit::neg(0)])],
+        );
+        assert!(SatUnsat::new(sat.clone(), unsat.clone()).is_yes());
+        assert!(!SatUnsat::new(sat.clone(), sat.clone()).is_yes());
+        assert!(!SatUnsat::new(unsat.clone(), unsat.clone()).is_yes());
+        assert!(!SatUnsat::new(unsat, sat).is_yes());
+    }
+
+    #[test]
+    fn qbf_alternation() {
+        // ∀x ∃y (x ↔ y) as CNF (x∨¬y) ∧ (¬x∨y): true.
+        let matrix = CnfFormula::new(
+            2,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::neg(1)]),
+                Clause::new(vec![Lit::neg(0), Lit::pos(1)]),
+            ],
+        );
+        let f = QbfFormula::new(vec![Quant::Forall, Quant::Exists], matrix.clone());
+        assert!(f.is_true());
+        // ∃y ∀x (x ↔ y): false. (Variable order: y first.)
+        let matrix_rev = CnfFormula::new(
+            2,
+            vec![
+                Clause::new(vec![Lit::pos(1), Lit::neg(0)]),
+                Clause::new(vec![Lit::neg(1), Lit::pos(0)]),
+            ],
+        );
+        let g = QbfFormula::new(vec![Quant::Exists, Quant::Forall], matrix_rev);
+        assert!(!g.is_true());
+    }
+
+    #[test]
+    fn qbf_matches_brute_force() {
+        // Random-ish fixed 3-var instance, all prefixes checked.
+        let matrix = CnfFormula::new(
+            3,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]),
+                Clause::new(vec![Lit::neg(0), Lit::pos(1)]),
+                Clause::new(vec![Lit::pos(1), Lit::neg(2)]),
+            ],
+        );
+        let brute = |quants: &[Quant]| -> bool {
+            fn go(quants: &[Quant], matrix: &CnfFormula, partial: &mut Vec<bool>) -> bool {
+                if partial.len() == quants.len() {
+                    return matrix.eval(partial);
+                }
+                let q = quants[partial.len()];
+                let mut results = Vec::new();
+                for v in [false, true] {
+                    partial.push(v);
+                    results.push(go(quants, matrix, partial));
+                    partial.pop();
+                }
+                match q {
+                    Quant::Exists => results.iter().any(|&r| r),
+                    Quant::Forall => results.iter().all(|&r| r),
+                }
+            }
+            go(quants, &matrix, &mut Vec::new())
+        };
+        use Quant::*;
+        for prefix in [
+            [Exists, Exists, Exists],
+            [Forall, Forall, Forall],
+            [Exists, Forall, Exists],
+            [Forall, Exists, Forall],
+        ] {
+            let f = QbfFormula::new(prefix.to_vec(), matrix.clone());
+            assert_eq!(f.is_true(), brute(&prefix), "prefix {prefix:?}");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests pitting every solver in the crate against a
+//! brute-force truth-table reference on random formulas. These are the
+//! ground truth the reduction checks rely on, so they get the heaviest
+//! scrutiny.
+
+use proptest::prelude::*;
+
+use pkgrec_logic::{
+    assignments, count_models, count_pi1, count_sigma1, find_model, gen, is_satisfiable,
+    max_weight_sat, Clause, CnfFormula, Conjunct, DnfFormula, Lit, MaximumSigma2, MaxWeightSat,
+    QbfFormula, Quant, Sigma2Dnf,
+};
+
+fn lit_strategy(num_vars: usize) -> impl Strategy<Value = Lit> {
+    (0..num_vars, any::<bool>()).prop_map(|(var, positive)| Lit { var, positive })
+}
+
+fn cnf_strategy(num_vars: usize) -> impl Strategy<Value = CnfFormula> {
+    prop::collection::vec(prop::collection::vec(lit_strategy(num_vars), 1..4), 0..8)
+        .prop_map(move |clauses| {
+            CnfFormula::new(num_vars, clauses.into_iter().map(Clause::new).collect::<Vec<_>>())
+        })
+}
+
+fn dnf_strategy(num_vars: usize) -> impl Strategy<Value = DnfFormula> {
+    prop::collection::vec(prop::collection::vec(lit_strategy(num_vars), 1..4), 0..6)
+        .prop_map(move |cs| {
+            DnfFormula::new(num_vars, cs.into_iter().map(Conjunct::new).collect::<Vec<_>>())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dpll_agrees_with_truth_tables(f in cnf_strategy(5)) {
+        let brute = assignments(5).any(|a| f.eval(&a));
+        prop_assert_eq!(is_satisfiable(&f), brute, "formula {}", f);
+        if let Some(m) = find_model(&f) {
+            prop_assert!(f.eval(&m), "returned model must satisfy {}", f);
+        }
+    }
+
+    #[test]
+    fn counter_agrees_with_truth_tables(f in cnf_strategy(5)) {
+        let brute = assignments(5).filter(|a| f.eval(a)).count() as u128;
+        prop_assert_eq!(count_models(&f), brute, "formula {}", f);
+    }
+
+    #[test]
+    fn maxsat_agrees_with_truth_tables(f in cnf_strategy(4), weights in prop::collection::vec(1u64..9, 0..8)) {
+        // Align weight count with clause count.
+        let mut w = weights;
+        w.resize(f.clauses.len(), 1);
+        let inst = MaxWeightSat::new(f, w);
+        let (best, assignment) = max_weight_sat(&inst);
+        let brute = assignments(4).map(|a| inst.weight_of(&a)).max().unwrap_or(0);
+        prop_assert_eq!(best, brute);
+        prop_assert_eq!(inst.weight_of(&assignment), best);
+    }
+
+    #[test]
+    fn sigma2_agrees_with_truth_tables(matrix in dnf_strategy(5), x in 1usize..4) {
+        let phi = Sigma2Dnf::new(x, matrix);
+        let y = phi.y_vars();
+        let brute = assignments(x).any(|mx| {
+            assignments(y).all(|my| {
+                let full: Vec<bool> = mx.iter().chain(my.iter()).copied().collect();
+                phi.matrix.eval(&full)
+            })
+        });
+        prop_assert_eq!(phi.is_true(), brute, "∃X∀Y {}", phi.matrix);
+    }
+
+    #[test]
+    fn maximum_sigma2_is_the_lexicographic_maximum(matrix in dnf_strategy(4), x in 1usize..4) {
+        let phi = Sigma2Dnf::new(x, matrix);
+        let answer = MaximumSigma2(phi.clone()).last_satisfying_x();
+        let brute: Option<Vec<bool>> = assignments(x)
+            .filter(|mx| phi.forall_y_holds(mx))
+            .last(); // ascending order ⇒ last = lexicographic maximum
+        prop_assert_eq!(answer, brute);
+    }
+
+    #[test]
+    fn qbf_agrees_with_truth_tables(
+        matrix in cnf_strategy(4),
+        quants in prop::collection::vec(prop_oneof![Just(Quant::Exists), Just(Quant::Forall)], 4)
+    ) {
+        let qbf = QbfFormula::new(quants.clone(), matrix.clone());
+        fn brute(quants: &[Quant], matrix: &CnfFormula, partial: &mut Vec<bool>) -> bool {
+            if partial.len() == quants.len() {
+                return matrix.eval(partial);
+            }
+            let results: Vec<bool> = [false, true]
+                .iter()
+                .map(|&v| {
+                    partial.push(v);
+                    let r = brute(quants, matrix, partial);
+                    partial.pop();
+                    r
+                })
+                .collect();
+            match quants[partial.len()] {
+                Quant::Exists => results.iter().any(|&r| r),
+                Quant::Forall => results.iter().all(|&r| r),
+            }
+        }
+        prop_assert_eq!(qbf.is_true(), brute(&quants, &matrix, &mut Vec::new()));
+    }
+
+    #[test]
+    fn qbf_free_prefix_count_agrees(matrix in cnf_strategy(4), free in 1usize..4) {
+        let quants = vec![Quant::Exists; 4]; // leading block ignored anyway
+        let qbf = QbfFormula::new(quants, matrix);
+        let brute = assignments(free)
+            .filter(|x| {
+                // Pin the free block; quantify the rest existentially.
+                assignments(4 - free).any(|rest| {
+                    let full: Vec<bool> = x.iter().chain(rest.iter()).copied().collect();
+                    qbf.matrix.eval(&full)
+                })
+            })
+            .count() as u128;
+        prop_assert_eq!(qbf.count_free_prefix(free), brute);
+    }
+
+    #[test]
+    fn sigma1_and_pi1_counters_agree_with_truth_tables(
+        cnf in cnf_strategy(4),
+        dnf in dnf_strategy(4),
+        x in 1usize..4
+    ) {
+        let y = 4 - x;
+        let brute_sigma = assignments(y)
+            .filter(|my| {
+                assignments(x).any(|mx| {
+                    let full: Vec<bool> = mx.iter().chain(my.iter()).copied().collect();
+                    cnf.eval(&full)
+                })
+            })
+            .count() as u128;
+        prop_assert_eq!(count_sigma1(&cnf, x), brute_sigma, "matrix {}", cnf);
+
+        let brute_pi = assignments(y)
+            .filter(|my| {
+                assignments(x).all(|mx| {
+                    let full: Vec<bool> = mx.iter().chain(my.iter()).copied().collect();
+                    dnf.eval(&full)
+                })
+            })
+            .count() as u128;
+        prop_assert_eq!(count_pi1(&dnf, x), brute_pi, "matrix {}", dnf);
+    }
+
+    #[test]
+    fn forcing_helpers_do_what_they_say(f in cnf_strategy(4), matrix in dnf_strategy(4), x in 1usize..4) {
+        prop_assert!(!is_satisfiable(&gen::force_unsat(&f)));
+        let phi = Sigma2Dnf::new(x, matrix);
+        prop_assert!(gen::force_true_sigma2(&phi).is_true());
+    }
+
+    #[test]
+    fn restriction_commutes_with_evaluation(f in cnf_strategy(5), prefix in prop::collection::vec(any::<bool>(), 2)) {
+        match f.restrict_prefix(&prefix) {
+            None => {
+                // Some clause is already falsified: no extension satisfies f.
+                let unsat_under_prefix = assignments(3).all(|rest| {
+                    let full: Vec<bool> = prefix.iter().chain(rest.iter()).copied().collect();
+                    !f.eval(&full)
+                });
+                prop_assert!(unsat_under_prefix);
+            }
+            Some(rest_f) => {
+                for rest in assignments(3) {
+                    let full: Vec<bool> = prefix.iter().chain(rest.iter()).copied().collect();
+                    prop_assert_eq!(f.eval(&full), rest_f.eval(&rest));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::term::{Builtin, RelAtom, Term, Var};
+use crate::{QueryError, Result};
+
+/// A conjunctive query (CQ):
+///
+/// ```text
+/// Q(t̄) = ∃ ȳ ( R1(x̄1) ∧ ... ∧ Rm(x̄m) ∧ β1 ∧ ... ∧ βl )
+/// ```
+///
+/// where each `βi` is a built-in predicate. Existential quantification is
+/// implicit: every body variable not in the head is quantified.
+///
+/// The SP fragment of Corollary 6.2 (selection + projection over a single
+/// relation) is recognized by [`ConjunctiveQuery::is_sp`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    /// Head terms (variables or constants); the answer arity is
+    /// `head.len()`.
+    pub head: Vec<Term>,
+    /// Relation atoms of the body.
+    pub atoms: Vec<RelAtom>,
+    /// Built-in predicates of the body.
+    pub builtins: Vec<Builtin>,
+}
+
+impl ConjunctiveQuery {
+    /// Build a CQ.
+    pub fn new(
+        head: impl Into<Vec<Term>>,
+        atoms: impl Into<Vec<RelAtom>>,
+        builtins: impl Into<Vec<Builtin>>,
+    ) -> Self {
+        ConjunctiveQuery {
+            head: head.into(),
+            atoms: atoms.into(),
+            builtins: builtins.into(),
+        }
+    }
+
+    /// The identity query over a relation with the given name and arity:
+    /// `Q(x1, ..., xn) = R(x1, ..., xn)`. Several data-complexity lower
+    /// bounds in the paper fix `Q` to be exactly this query.
+    pub fn identity(relation: &str, arity: usize) -> Self {
+        let vars: Vec<Term> = (0..arity).map(|i| Term::v(format!("x{i}"))).collect();
+        ConjunctiveQuery::new(vars.clone(), vec![RelAtom::new(relation, vars)], vec![])
+    }
+
+    /// Answer arity.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Head variables.
+    pub fn head_variables(&self) -> BTreeSet<Var> {
+        self.head
+            .iter()
+            .filter_map(|t| t.as_var().cloned())
+            .collect()
+    }
+
+    /// Variables occurring in relation atoms of the body.
+    pub fn body_variables(&self) -> BTreeSet<Var> {
+        self.atoms.iter().flat_map(|a| a.variables()).collect()
+    }
+
+    /// All variables (head, atoms, builtins).
+    pub fn all_variables(&self) -> BTreeSet<Var> {
+        let mut vars = self.body_variables();
+        vars.extend(self.head_variables());
+        for b in &self.builtins {
+            vars.extend(b.variables());
+        }
+        vars
+    }
+
+    /// Range-restriction (safety) check: every head variable and every
+    /// variable of a built-in must occur in some relation atom. Safe
+    /// queries have finite answers computable by joins.
+    pub fn check_safe(&self) -> Result<()> {
+        let body = self.body_variables();
+        for v in self.head_variables() {
+            if !body.contains(&v) {
+                return Err(QueryError::UnsafeVariable(v.to_string()));
+            }
+        }
+        for b in &self.builtins {
+            for v in b.variables() {
+                if !body.contains(&v) {
+                    return Err(QueryError::UnsafeVariable(v.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this CQ is in the SP fragment of Corollary 6.2: a single
+    /// relation atom whose arguments are pairwise distinct variables,
+    /// plus built-in predicates (selection), with a head that projects
+    /// atom variables or constants.
+    pub fn is_sp(&self) -> bool {
+        if self.atoms.len() != 1 {
+            return false;
+        }
+        let atom = &self.atoms[0];
+        let mut seen = BTreeSet::new();
+        for t in &atom.terms {
+            match t.as_var() {
+                Some(v) => {
+                    if !seen.insert(v.clone()) {
+                        return false; // repeated variable = self-join condition
+                    }
+                }
+                None => return false, // embedded constant = hidden equality; write it as a builtin
+            }
+        }
+        self.head
+            .iter()
+            .all(|t| t.as_const().is_some() || t.as_var().is_some_and(|v| seen.contains(v)))
+    }
+
+    /// Relation names referenced by the body.
+    pub fn relations(&self) -> BTreeSet<&str> {
+        self.atoms.iter().map(|a| &*a.relation).collect()
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(")?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") :- ")?;
+        let mut first = true;
+        for a in &self.atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{a}")?;
+        }
+        for b in &self.builtins {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries `Q1 ∪ ... ∪ Qr`, all of one arity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnionQuery {
+    /// The disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    /// Build a UCQ; all disjuncts must share one arity.
+    pub fn new(disjuncts: impl Into<Vec<ConjunctiveQuery>>) -> Result<Self> {
+        let disjuncts = disjuncts.into();
+        if disjuncts.is_empty() {
+            return Err(QueryError::EmptyUnion);
+        }
+        let arity = disjuncts[0].arity();
+        if disjuncts.iter().any(|q| q.arity() != arity) {
+            return Err(QueryError::ArityMismatchInUnion);
+        }
+        Ok(UnionQuery { disjuncts })
+    }
+
+    /// Answer arity.
+    pub fn arity(&self) -> usize {
+        self.disjuncts[0].arity()
+    }
+
+    /// Safety check on all disjuncts.
+    pub fn check_safe(&self) -> Result<()> {
+        self.disjuncts.iter().try_for_each(ConjunctiveQuery::check_safe)
+    }
+
+    /// Relation names referenced by any disjunct.
+    pub fn relations(&self) -> BTreeSet<&str> {
+        self.disjuncts.iter().flat_map(|q| q.relations()).collect()
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, q) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f, " ∪")?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::CmpOp;
+
+    fn q_xy() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            vec![Term::v("x")],
+            vec![RelAtom::new("r", vec![Term::v("x"), Term::v("y")])],
+            vec![Builtin::cmp(Term::v("y"), CmpOp::Lt, Term::c(5))],
+        )
+    }
+
+    #[test]
+    fn safety_accepts_range_restricted() {
+        assert!(q_xy().check_safe().is_ok());
+    }
+
+    #[test]
+    fn safety_rejects_free_head_var() {
+        let q = ConjunctiveQuery::new(
+            vec![Term::v("z")],
+            vec![RelAtom::new("r", vec![Term::v("x")])],
+            vec![],
+        );
+        assert!(matches!(q.check_safe(), Err(QueryError::UnsafeVariable(v)) if v == "z"));
+    }
+
+    #[test]
+    fn safety_rejects_unbound_builtin_var() {
+        let q = ConjunctiveQuery::new(
+            vec![Term::v("x")],
+            vec![RelAtom::new("r", vec![Term::v("x")])],
+            vec![Builtin::cmp(Term::v("w"), CmpOp::Eq, Term::c(1))],
+        );
+        assert!(q.check_safe().is_err());
+    }
+
+    #[test]
+    fn identity_query_shape() {
+        let q = ConjunctiveQuery::identity("r", 3);
+        assert_eq!(q.arity(), 3);
+        assert_eq!(q.atoms.len(), 1);
+        assert!(q.is_sp());
+        assert!(q.check_safe().is_ok());
+    }
+
+    #[test]
+    fn sp_recognition() {
+        assert!(q_xy().is_sp());
+        // Self-join via repeated variable is not SP.
+        let self_join = ConjunctiveQuery::new(
+            vec![Term::v("x")],
+            vec![RelAtom::new("r", vec![Term::v("x"), Term::v("x")])],
+            vec![],
+        );
+        assert!(!self_join.is_sp());
+        // Two atoms is not SP.
+        let join = ConjunctiveQuery::new(
+            vec![Term::v("x")],
+            vec![
+                RelAtom::new("r", vec![Term::v("x")]),
+                RelAtom::new("s", vec![Term::v("x")]),
+            ],
+            vec![],
+        );
+        assert!(!join.is_sp());
+        // A constant inside the atom is not SP (selection must be a builtin).
+        let hidden_eq = ConjunctiveQuery::new(
+            vec![Term::v("x")],
+            vec![RelAtom::new("r", vec![Term::v("x"), Term::c(1)])],
+            vec![],
+        );
+        assert!(!hidden_eq.is_sp());
+    }
+
+    #[test]
+    fn union_arity_checked() {
+        let q1 = ConjunctiveQuery::identity("r", 2);
+        let q2 = ConjunctiveQuery::identity("s", 3);
+        assert!(matches!(
+            UnionQuery::new(vec![q1.clone(), q2]),
+            Err(QueryError::ArityMismatchInUnion)
+        ));
+        assert!(UnionQuery::new(vec![q1.clone(), q1]).is_ok());
+        assert!(matches!(
+            UnionQuery::new(Vec::<ConjunctiveQuery>::new()),
+            Err(QueryError::EmptyUnion)
+        ));
+    }
+
+    #[test]
+    fn display_roundtrippable_shape() {
+        assert_eq!(q_xy().to_string(), "Q(x) :- r(x, y), y < 5");
+    }
+}

@@ -1,0 +1,394 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::term::{Builtin, RelAtom, Var};
+use crate::{QueryError, Result};
+
+/// A literal in a Datalog rule body: a (positive) relation or IDB atom,
+/// or a built-in predicate. The paper's DATALOG is positive Datalog with
+/// built-ins (Section 2(d),(f)).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BodyLiteral {
+    /// An EDB or IDB atom.
+    Rel(RelAtom),
+    /// A built-in predicate.
+    Builtin(Builtin),
+}
+
+impl BodyLiteral {
+    /// Variables of this literal.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        match self {
+            BodyLiteral::Rel(a) => a.variables(),
+            BodyLiteral::Builtin(b) => b.variables(),
+        }
+    }
+}
+
+impl fmt::Display for BodyLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyLiteral::Rel(a) => write!(f, "{a}"),
+            BodyLiteral::Builtin(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A Datalog rule `p(x̄) ← p1(x̄1), ..., pn(x̄n)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Head atom; its predicate is an IDB predicate.
+    pub head: RelAtom,
+    /// Body literals.
+    pub body: Vec<BodyLiteral>,
+}
+
+impl Rule {
+    /// Build a rule.
+    pub fn new(head: RelAtom, body: impl Into<Vec<BodyLiteral>>) -> Self {
+        Rule {
+            head,
+            body: body.into(),
+        }
+    }
+
+    /// Range-restriction: head variables and builtin variables must occur
+    /// in some body relation atom.
+    pub fn check_safe(&self) -> Result<()> {
+        let bound: BTreeSet<Var> = self
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                BodyLiteral::Rel(a) => Some(a.variables()),
+                BodyLiteral::Builtin(_) => None,
+            })
+            .flatten()
+            .collect();
+        for v in self.head.variables() {
+            if !bound.contains(&v) {
+                return Err(QueryError::UnsafeVariable(v.to_string()));
+            }
+        }
+        for l in &self.body {
+            if let BodyLiteral::Builtin(b) = l {
+                for v in b.variables() {
+                    if !bound.contains(&v) {
+                        return Err(QueryError::UnsafeVariable(v.to_string()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Datalog program with a designated output predicate.
+///
+/// The dependency graph `G_Q = (V, E)` has the program's predicates as
+/// nodes and an edge `(p', p)` whenever `p'` occurs in the body of a rule
+/// with head `p` (Section 2(d), following [Chaudhuri & Vardi]).
+/// [`DatalogProgram::is_nonrecursive`] checks acyclicity, i.e. membership
+/// in DATALOGnr.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatalogProgram {
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// The output (goal) predicate; its derived relation is the query
+    /// answer.
+    pub output: Arc<str>,
+}
+
+impl DatalogProgram {
+    /// Build a program.
+    pub fn new(rules: impl Into<Vec<Rule>>, output: impl AsRef<str>) -> Self {
+        DatalogProgram {
+            rules: rules.into(),
+            output: Arc::from(output.as_ref()),
+        }
+    }
+
+    /// IDB predicates: all rule-head predicate names.
+    pub fn idb_predicates(&self) -> BTreeSet<Arc<str>> {
+        self.rules
+            .iter()
+            .map(|r| Arc::clone(&r.head.relation))
+            .collect()
+    }
+
+    /// EDB relation names: body predicates never appearing in a head.
+    pub fn edb_relations(&self) -> BTreeSet<Arc<str>> {
+        let idb = self.idb_predicates();
+        self.rules
+            .iter()
+            .flat_map(|r| &r.body)
+            .filter_map(|l| match l {
+                BodyLiteral::Rel(a) if !idb.contains(&a.relation) => {
+                    Some(Arc::clone(&a.relation))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Arity of each IDB predicate; errors if one predicate is used with
+    /// two arities.
+    pub fn idb_arities(&self) -> Result<BTreeMap<Arc<str>, usize>> {
+        let idb = self.idb_predicates();
+        let mut arities: BTreeMap<Arc<str>, usize> = BTreeMap::new();
+        let mut record = |name: &Arc<str>, arity: usize| -> Result<()> {
+            match arities.get(name) {
+                Some(&a) if a != arity => Err(QueryError::AtomArityMismatch {
+                    relation: name.to_string(),
+                    expected: a,
+                    found: arity,
+                }),
+                Some(_) => Ok(()),
+                None => {
+                    arities.insert(Arc::clone(name), arity);
+                    Ok(())
+                }
+            }
+        };
+        for r in &self.rules {
+            record(&r.head.relation, r.head.terms.len())?;
+            for l in &r.body {
+                if let BodyLiteral::Rel(a) = l {
+                    if idb.contains(&a.relation) {
+                        record(&a.relation, a.terms.len())?;
+                    }
+                }
+            }
+        }
+        Ok(arities)
+    }
+
+    /// Arity of the output predicate.
+    pub fn output_arity(&self) -> Result<usize> {
+        self.idb_arities()?
+            .get(&self.output)
+            .copied()
+            .ok_or_else(|| QueryError::NoOutputRule(self.output.to_string()))
+    }
+
+    /// Validate the program: output predicate defined, arities
+    /// consistent, all rules safe.
+    pub fn check(&self) -> Result<()> {
+        self.output_arity()?;
+        self.rules.iter().try_for_each(Rule::check_safe)
+    }
+
+    /// The dependency graph as adjacency lists over IDB predicates:
+    /// `p → p'` when `p`'s body uses IDB predicate `p'` (edge direction
+    /// chosen for cycle detection; cyclicity is direction-invariant).
+    fn idb_dependencies(&self) -> BTreeMap<Arc<str>, BTreeSet<Arc<str>>> {
+        let idb = self.idb_predicates();
+        let mut deps: BTreeMap<Arc<str>, BTreeSet<Arc<str>>> = idb
+            .iter()
+            .map(|p| (Arc::clone(p), BTreeSet::new()))
+            .collect();
+        for r in &self.rules {
+            for l in &r.body {
+                if let BodyLiteral::Rel(a) = l {
+                    if idb.contains(&a.relation) {
+                        deps.get_mut(&r.head.relation)
+                            .expect("head is an IDB predicate")
+                            .insert(Arc::clone(&a.relation));
+                    }
+                }
+            }
+        }
+        deps
+    }
+
+    /// Whether the dependency graph is acyclic, i.e. the program is in
+    /// DATALOGnr.
+    pub fn is_nonrecursive(&self) -> bool {
+        self.strata_order().is_some()
+    }
+
+    /// A topological order of IDB predicates (dependencies first), or
+    /// `None` when the program is recursive. Used by evaluation to run
+    /// non-recursive programs in a single bottom-up pass.
+    pub fn strata_order(&self) -> Option<Vec<Arc<str>>> {
+        // Kahn's algorithm on the "depends on" relation: a predicate is
+        // ready once all predicates it depends on have been emitted.
+        let mut remaining = self.idb_dependencies();
+        let mut order = Vec::with_capacity(remaining.len());
+        loop {
+            let ready: Vec<Arc<str>> = remaining
+                .iter()
+                .filter(|(_, ds)| ds.is_empty())
+                .map(|(p, _)| Arc::clone(p))
+                .collect();
+            if ready.is_empty() {
+                break;
+            }
+            for p in &ready {
+                remaining.remove(p);
+            }
+            for ds in remaining.values_mut() {
+                for p in &ready {
+                    ds.remove(p);
+                }
+            }
+            order.extend(ready);
+        }
+        if remaining.is_empty() {
+            Some(order)
+        } else {
+            None // a cycle remains
+        }
+    }
+
+    /// Relation names (EDB) referenced by the program.
+    pub fn relations(&self) -> BTreeSet<&str> {
+        let idb = self.idb_predicates();
+        self.rules
+            .iter()
+            .flat_map(|r| &r.body)
+            .filter_map(|l| match l {
+                BodyLiteral::Rel(a) if !idb.contains(&a.relation) => Some(&*a.relation),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for DatalogProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        write!(f, "% output: {}", self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn atom(rel: &str, vars: &[&str]) -> RelAtom {
+        RelAtom::new(rel, vars.iter().map(Term::v).collect::<Vec<_>>())
+    }
+
+    /// Transitive closure: the canonical recursive program.
+    fn tc() -> DatalogProgram {
+        DatalogProgram::new(
+            vec![
+                Rule::new(
+                    atom("tc", &["x", "y"]),
+                    vec![BodyLiteral::Rel(atom("e", &["x", "y"]))],
+                ),
+                Rule::new(
+                    atom("tc", &["x", "z"]),
+                    vec![
+                        BodyLiteral::Rel(atom("e", &["x", "y"])),
+                        BodyLiteral::Rel(atom("tc", &["y", "z"])),
+                    ],
+                ),
+            ],
+            "tc",
+        )
+    }
+
+    /// A two-stratum non-recursive program.
+    fn nr() -> DatalogProgram {
+        DatalogProgram::new(
+            vec![
+                Rule::new(
+                    atom("p", &["x"]),
+                    vec![BodyLiteral::Rel(atom("e", &["x", "y"]))],
+                ),
+                Rule::new(atom("q", &["x"]), vec![BodyLiteral::Rel(atom("p", &["x"]))]),
+            ],
+            "q",
+        )
+    }
+
+    #[test]
+    fn recursion_detection() {
+        assert!(!tc().is_nonrecursive());
+        assert!(nr().is_nonrecursive());
+    }
+
+    #[test]
+    fn strata_order_respects_dependencies() {
+        let order = nr().strata_order().unwrap();
+        let p = order.iter().position(|x| &**x == "p").unwrap();
+        let q = order.iter().position(|x| &**x == "q").unwrap();
+        assert!(p < q);
+    }
+
+    #[test]
+    fn idb_and_edb_partition() {
+        let prog = tc();
+        assert!(prog.idb_predicates().contains(&Arc::from("tc")));
+        assert!(prog.edb_relations().contains(&Arc::from("e")));
+        assert_eq!(prog.output_arity().unwrap(), 2);
+    }
+
+    #[test]
+    fn arity_conflict_detected() {
+        let prog = DatalogProgram::new(
+            vec![
+                Rule::new(atom("p", &["x"]), vec![BodyLiteral::Rel(atom("e", &["x"]))]),
+                Rule::new(
+                    atom("p", &["x", "y"]),
+                    vec![BodyLiteral::Rel(atom("e2", &["x", "y"]))],
+                ),
+            ],
+            "p",
+        );
+        assert!(matches!(
+            prog.check(),
+            Err(QueryError::AtomArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_output_rule_detected() {
+        let prog = DatalogProgram::new(
+            vec![Rule::new(
+                atom("p", &["x"]),
+                vec![BodyLiteral::Rel(atom("e", &["x"]))],
+            )],
+            "goal",
+        );
+        assert!(matches!(prog.check(), Err(QueryError::NoOutputRule(_))));
+    }
+
+    #[test]
+    fn unsafe_rule_detected() {
+        let rule = Rule::new(atom("p", &["x", "z"]), vec![BodyLiteral::Rel(atom("e", &["x"]))]);
+        assert!(rule.check_safe().is_err());
+    }
+
+    #[test]
+    fn self_loop_is_recursive() {
+        let prog = DatalogProgram::new(
+            vec![Rule::new(
+                atom("p", &["x"]),
+                vec![BodyLiteral::Rel(atom("p", &["x"]))],
+            )],
+            "p",
+        );
+        assert!(!prog.is_nonrecursive());
+    }
+}

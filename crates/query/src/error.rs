@@ -1,0 +1,97 @@
+use std::fmt;
+
+use pkgrec_data::DataError;
+
+/// Errors raised by query construction, validation and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A variable is not range-restricted (appears in the head or a
+    /// built-in but in no relation atom / positive context).
+    UnsafeVariable(String),
+    /// A UCQ with no disjuncts.
+    EmptyUnion,
+    /// UCQ disjuncts of differing arities.
+    ArityMismatchInUnion,
+    /// An atom's arity does not match its relation's schema.
+    AtomArityMismatch {
+        /// Relation or IDB predicate name.
+        relation: String,
+        /// Arity per the schema / defining rules.
+        expected: usize,
+        /// Arity in the offending atom.
+        found: usize,
+    },
+    /// The query references a relation absent from the database (and not
+    /// defined as an IDB predicate).
+    UnknownRelation(String),
+    /// A Datalog program has no rule for its output predicate.
+    NoOutputRule(String),
+    /// A Datalog program declared non-recursive has a cyclic dependency
+    /// graph.
+    RecursiveProgram,
+    /// Disjunction branches bind different variable sets in a context
+    /// that requires equal bindings (∃FO⁺ safety).
+    DisjunctsBindDifferentVars,
+    /// A distance builtin names a metric that the evaluation context does
+    /// not provide.
+    UnknownMetric(String),
+    /// Parse error with position information.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset in the input.
+        offset: usize,
+    },
+    /// An underlying data-layer error.
+    Data(DataError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnsafeVariable(v) => write!(f, "variable `{v}` is not range-restricted"),
+            QueryError::EmptyUnion => write!(f, "a union query needs at least one disjunct"),
+            QueryError::ArityMismatchInUnion => {
+                write!(f, "all disjuncts of a union must have the same arity")
+            }
+            QueryError::AtomArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "atom over `{relation}` has arity {found}, expected {expected}"
+            ),
+            QueryError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            QueryError::NoOutputRule(p) => {
+                write!(f, "datalog program has no rule defining output predicate `{p}`")
+            }
+            QueryError::RecursiveProgram => {
+                write!(f, "dependency graph is cyclic; program is not in DATALOG_nr")
+            }
+            QueryError::DisjunctsBindDifferentVars => {
+                write!(f, "disjuncts bind different variable sets")
+            }
+            QueryError::UnknownMetric(m) => write!(f, "unknown distance metric `{m}`"),
+            QueryError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            QueryError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for QueryError {
+    fn from(e: DataError) -> Self {
+        QueryError::Data(e)
+    }
+}

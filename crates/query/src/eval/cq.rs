@@ -1,0 +1,614 @@
+//! Backtracking-join evaluation of conjunctive bodies.
+//!
+//! This is the engine behind CQ and UCQ answers, CQ membership tests
+//! (with the head pre-bound, mirroring the "guess a tableau" step in the
+//! paper's NP upper bounds), and Datalog rule firing.
+
+use std::collections::{BTreeSet, HashMap};
+
+use pkgrec_data::{Relation, Tuple, Value};
+
+use crate::cq::{ConjunctiveQuery, UnionQuery};
+use crate::eval::{EvalContext, RelProvider};
+use crate::term::{Builtin, RelAtom, Term, Var};
+use crate::{QueryError, Result};
+
+/// Dense variable interner for one conjunction.
+struct Interner {
+    ids: HashMap<Var, usize>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner {
+            ids: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, v: &Var) -> usize {
+        let next = self.ids.len();
+        *self.ids.entry(v.clone()).or_insert(next)
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// A term with variables replaced by dense indices.
+#[derive(Clone)]
+enum ITerm {
+    Var(usize),
+    Const(Value),
+}
+
+impl ITerm {
+    fn from(t: &Term, interner: &mut Interner) -> ITerm {
+        match t {
+            Term::Var(v) => ITerm::Var(interner.intern(v)),
+            Term::Const(c) => ITerm::Const(c.clone()),
+        }
+    }
+
+    /// Resolve under the current bindings.
+    fn value<'a>(&'a self, bindings: &'a [Option<Value>]) -> Option<&'a Value> {
+        match self {
+            ITerm::Const(c) => Some(c),
+            ITerm::Var(i) => bindings[*i].as_ref(),
+        }
+    }
+}
+
+struct IAtom {
+    terms: Vec<ITerm>,
+}
+
+struct IBuiltin {
+    original: Builtin,
+    left: ITerm,
+    right: ITerm,
+}
+
+/// Evaluate a conjunction `head :- atoms, builtins` where `rels[i]` is
+/// the relation instance for `atoms[i]`.
+///
+/// `pre_bound`, when given, constrains the head to equal that tuple —
+/// turning evaluation into a membership test that only explores
+/// consistent tableaux.
+pub(crate) fn eval_conjunction_with(
+    ctx: EvalContext<'_>,
+    head: &[Term],
+    atoms: &[RelAtom],
+    rels: &[&Relation],
+    builtins: &[Builtin],
+    pre_bound: Option<&Tuple>,
+) -> Result<BTreeSet<Tuple>> {
+    debug_assert_eq!(atoms.len(), rels.len());
+    let mut out = BTreeSet::new();
+
+    // Intern everything.
+    let mut interner = Interner::new();
+    let ihead: Vec<ITerm> = head.iter().map(|t| ITerm::from(t, &mut interner)).collect();
+    let iatoms: Vec<IAtom> = atoms
+        .iter()
+        .map(|a| IAtom {
+            terms: a.terms.iter().map(|t| ITerm::from(t, &mut interner)).collect(),
+        })
+        .collect();
+    let ibuiltins: Vec<IBuiltin> = builtins
+        .iter()
+        .map(|b| {
+            let (l, r) = match b {
+                Builtin::Cmp(c) => (&c.left, &c.right),
+                Builtin::DistLe { left, right, .. } => (left, right),
+            };
+            IBuiltin {
+                original: b.clone(),
+                left: ITerm::from(l, &mut interner),
+                right: ITerm::from(r, &mut interner),
+            }
+        })
+        .collect();
+
+    // Arity checks.
+    for (a, r) in atoms.iter().zip(rels) {
+        if a.terms.len() != r.schema().arity() {
+            return Err(QueryError::AtomArityMismatch {
+                relation: a.relation.to_string(),
+                expected: r.schema().arity(),
+                found: a.terms.len(),
+            });
+        }
+    }
+
+    let mut bindings: Vec<Option<Value>> = vec![None; interner.len()];
+
+    // Pre-bind the head when running a membership test.
+    if let Some(t) = pre_bound {
+        if t.arity() != head.len() {
+            return Ok(out); // wrong arity can never match
+        }
+        for (term, val) in ihead.iter().zip(t.values()) {
+            match term {
+                ITerm::Const(c) => {
+                    if c != val {
+                        return Ok(out);
+                    }
+                }
+                ITerm::Var(i) => match &bindings[*i] {
+                    Some(existing) if existing != val => return Ok(out),
+                    Some(_) => {}
+                    None => bindings[*i] = Some(val.clone()),
+                },
+            }
+        }
+    }
+
+    // Greedy static atom order: repeatedly pick the atom with the most
+    // already-determined positions (constants or bound variables),
+    // breaking ties toward smaller relations.
+    let mut order: Vec<usize> = Vec::with_capacity(iatoms.len());
+    {
+        let mut bound_vars: Vec<bool> = bindings.iter().map(Option::is_some).collect();
+        let mut remaining: Vec<usize> = (0..iatoms.len()).collect();
+        while !remaining.is_empty() {
+            let (pos, &best) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &i)| {
+                    let det = iatoms[i]
+                        .terms
+                        .iter()
+                        .filter(|t| match t {
+                            ITerm::Const(_) => true,
+                            ITerm::Var(v) => bound_vars[*v],
+                        })
+                        .count();
+                    (det, std::cmp::Reverse(rels[i].len()))
+                })
+                .expect("remaining non-empty");
+            order.push(best);
+            remaining.remove(pos);
+            for t in &iatoms[best].terms {
+                if let ITerm::Var(v) = t {
+                    bound_vars[*v] = true;
+                }
+            }
+        }
+    }
+
+    // Schedule each builtin at the earliest depth where both sides are
+    // determined; depth = number of atoms already joined.
+    let mut builtin_at: Vec<Vec<usize>> = vec![Vec::new(); iatoms.len() + 1];
+    {
+        let mut bound_vars: Vec<bool> = bindings.iter().map(Option::is_some).collect();
+        let determined = |t: &ITerm, bv: &[bool]| match t {
+            ITerm::Const(_) => true,
+            ITerm::Var(v) => bv[*v],
+        };
+        let mut scheduled = vec![false; ibuiltins.len()];
+        for depth in 0..=iatoms.len() {
+            if depth > 0 {
+                for t in &iatoms[order[depth - 1]].terms {
+                    if let ITerm::Var(v) = t {
+                        bound_vars[*v] = true;
+                    }
+                }
+            }
+            for (bi, b) in ibuiltins.iter().enumerate() {
+                if !scheduled[bi]
+                    && determined(&b.left, &bound_vars)
+                    && determined(&b.right, &bound_vars)
+                {
+                    scheduled[bi] = true;
+                    builtin_at[depth].push(bi);
+                }
+            }
+        }
+        if let Some(unscheduled) = scheduled.iter().position(|s| !s) {
+            // A builtin variable occurs in no atom: unsafe query.
+            let v = builtins[unscheduled]
+                .variables()
+                .into_iter()
+                .next()
+                .map(|v| v.to_string())
+                .unwrap_or_default();
+            return Err(QueryError::UnsafeVariable(v));
+        }
+    }
+
+    // Check builtins already determined before any join (e.g. ground
+    // comparisons, or comparisons over pre-bound head variables).
+    for &bi in &builtin_at[0] {
+        let b = &ibuiltins[bi];
+        let l = b.left.value(&bindings).expect("scheduled ⇒ determined");
+        let r = b.right.value(&bindings).expect("scheduled ⇒ determined");
+        if !ctx.eval_builtin(&b.original, l, r)? {
+            return Ok(out);
+        }
+    }
+
+    // Depth-first join.
+    struct Search<'s> {
+        ctx: EvalContext<'s>,
+        iatoms: &'s [IAtom],
+        rels: &'s [&'s Relation],
+        order: &'s [usize],
+        ibuiltins: &'s [IBuiltin],
+        builtin_at: &'s [Vec<usize>],
+        ihead: &'s [ITerm],
+        head: &'s [Term],
+    }
+
+    impl Search<'_> {
+        fn run(
+            &self,
+            depth: usize,
+            bindings: &mut Vec<Option<Value>>,
+            out: &mut BTreeSet<Tuple>,
+        ) -> Result<()> {
+            if depth == self.order.len() {
+                let mut values = Vec::with_capacity(self.ihead.len());
+                for (i, t) in self.ihead.iter().enumerate() {
+                    match t.value(bindings) {
+                        Some(v) => values.push(v.clone()),
+                        None => {
+                            let name = self.head[i]
+                                .as_var()
+                                .map(|v| v.to_string())
+                                .unwrap_or_default();
+                            return Err(QueryError::UnsafeVariable(name));
+                        }
+                    }
+                }
+                out.insert(Tuple::new(values));
+                return Ok(());
+            }
+
+            let ai = self.order[depth];
+            let atom = &self.iatoms[ai];
+            let rel = self.rels[ai];
+
+            // Pick an access path: an indexed probe on the first
+            // determined column, else a full scan.
+            let probe = atom
+                .terms
+                .iter()
+                .enumerate()
+                .find_map(|(col, t)| t.value(bindings).map(|v| (col, v.clone())));
+            let candidates: Vec<Tuple> = match probe {
+                Some((col, v)) => rel.lookup(col, &v),
+                None => rel.tuples(),
+            };
+
+            'next_tuple: for t in candidates {
+                let mut newly_bound: Vec<usize> = Vec::new();
+                for (col, term) in atom.terms.iter().enumerate() {
+                    match term {
+                        ITerm::Const(c) => {
+                            if c != &t[col] {
+                                for &v in &newly_bound {
+                                    bindings[v] = None;
+                                }
+                                continue 'next_tuple;
+                            }
+                        }
+                        ITerm::Var(v) => match &bindings[*v] {
+                            Some(existing) => {
+                                if existing != &t[col] {
+                                    for &u in &newly_bound {
+                                        bindings[u] = None;
+                                    }
+                                    continue 'next_tuple;
+                                }
+                            }
+                            None => {
+                                bindings[*v] = Some(t[col].clone());
+                                newly_bound.push(*v);
+                            }
+                        },
+                    }
+                }
+                // Builtins that became checkable at this depth.
+                let mut ok = true;
+                for &bi in &self.builtin_at[depth + 1] {
+                    let b = &self.ibuiltins[bi];
+                    let l = b.left.value(bindings).expect("scheduled ⇒ determined");
+                    let r = b.right.value(bindings).expect("scheduled ⇒ determined");
+                    if !self.ctx.eval_builtin(&b.original, l, r)? {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.run(depth + 1, bindings, out)?;
+                }
+                for &v in &newly_bound {
+                    bindings[v] = None;
+                }
+            }
+            Ok(())
+        }
+    }
+
+    let search = Search {
+        ctx,
+        iatoms: &iatoms,
+        rels,
+        order: &order,
+        ibuiltins: &ibuiltins,
+        builtin_at: &builtin_at,
+        ihead: &ihead,
+        head,
+    };
+    search.run(0, &mut bindings, &mut out)?;
+    Ok(out)
+}
+
+/// Resolve relations via a provider and evaluate a conjunction.
+pub(crate) fn eval_conjunction(
+    ctx: EvalContext<'_>,
+    provider: &dyn RelProvider,
+    head: &[Term],
+    atoms: &[RelAtom],
+    builtins: &[Builtin],
+    pre_bound: Option<&Tuple>,
+) -> Result<BTreeSet<Tuple>> {
+    let rels: Vec<&Relation> = atoms
+        .iter()
+        .map(|a| {
+            provider
+                .get_relation(&a.relation)
+                .ok_or_else(|| QueryError::UnknownRelation(a.relation.to_string()))
+        })
+        .collect::<Result<_>>()?;
+    eval_conjunction_with(ctx, head, atoms, &rels, builtins, pre_bound)
+}
+
+/// Evaluate a conjunctive query.
+pub(crate) fn eval_cq(
+    ctx: EvalContext<'_>,
+    q: &ConjunctiveQuery,
+    pre_bound: Option<&Tuple>,
+) -> Result<BTreeSet<Tuple>> {
+    q.check_safe()?;
+    eval_conjunction(ctx, ctx.db, &q.head, &q.atoms, &q.builtins, pre_bound)
+}
+
+/// Evaluate a union of conjunctive queries.
+pub(crate) fn eval_ucq(
+    ctx: EvalContext<'_>,
+    q: &UnionQuery,
+    pre_bound: Option<&Tuple>,
+) -> Result<BTreeSet<Tuple>> {
+    let mut out = BTreeSet::new();
+    for d in &q.disjuncts {
+        out.extend(eval_cq(ctx, d, pre_bound)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::CmpOp;
+    use pkgrec_data::{tuple, AttrType, Database, RelationSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let e = RelationSchema::new("e", [("src", AttrType::Int), ("dst", AttrType::Int)])
+            .unwrap();
+        db.add_relation(
+            Relation::from_tuples(
+                e,
+                [tuple![1, 2], tuple![2, 3], tuple![3, 4], tuple![1, 3]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let lbl = RelationSchema::new("lbl", [("n", AttrType::Int), ("tag", AttrType::Str)])
+            .unwrap();
+        db.add_relation(
+            Relation::from_tuples(lbl, [tuple![2, "mid"], tuple![3, "mid"], tuple![4, "end"]])
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn ctx(db: &Database) -> EvalContext<'_> {
+        EvalContext::new(db)
+    }
+
+    #[test]
+    fn single_atom_scan() {
+        let db = db();
+        let q = ConjunctiveQuery::identity("e", 2);
+        let ans = eval_cq(ctx(&db), &q, None).unwrap();
+        assert_eq!(ans.len(), 4);
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        // Q(x, z) :- e(x, y), e(y, z): paths of length 2.
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            vec![Term::v("x"), Term::v("z")],
+            vec![
+                RelAtom::new("e", vec![Term::v("x"), Term::v("y")]),
+                RelAtom::new("e", vec![Term::v("y"), Term::v("z")]),
+            ],
+            vec![],
+        );
+        let ans = eval_cq(ctx(&db), &q, None).unwrap();
+        let expect: BTreeSet<Tuple> =
+            [tuple![1, 3], tuple![1, 4], tuple![2, 4]].into_iter().collect();
+        assert_eq!(ans, expect);
+    }
+
+    #[test]
+    fn constants_select() {
+        // Q(y) :- e(1, y).
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            vec![Term::v("y")],
+            vec![RelAtom::new("e", vec![Term::c(1), Term::v("y")])],
+            vec![],
+        );
+        let ans = eval_cq(ctx(&db), &q, None).unwrap();
+        assert_eq!(ans, [tuple![2], tuple![3]].into_iter().collect());
+    }
+
+    #[test]
+    fn builtins_filter() {
+        // Q(x, y) :- e(x, y), x != 1, y >= 4.
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            vec![Term::v("x"), Term::v("y")],
+            vec![RelAtom::new("e", vec![Term::v("x"), Term::v("y")])],
+            vec![
+                Builtin::cmp(Term::v("x"), CmpOp::Neq, Term::c(1)),
+                Builtin::cmp(Term::v("y"), CmpOp::Geq, Term::c(4)),
+            ],
+        );
+        let ans = eval_cq(ctx(&db), &q, None).unwrap();
+        assert_eq!(ans, [tuple![3, 4]].into_iter().collect());
+    }
+
+    #[test]
+    fn cross_relation_join_with_string() {
+        // Q(x, t) :- e(x, y), lbl(y, t), t = "mid".
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            vec![Term::v("x"), Term::v("t")],
+            vec![
+                RelAtom::new("e", vec![Term::v("x"), Term::v("y")]),
+                RelAtom::new("lbl", vec![Term::v("y"), Term::v("t")]),
+            ],
+            vec![Builtin::eq(Term::v("t"), Term::c("mid"))],
+        );
+        let ans = eval_cq(ctx(&db), &q, None).unwrap();
+        assert_eq!(
+            ans,
+            [tuple![1, "mid"], tuple![2, "mid"]].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn membership_prebinding() {
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            vec![Term::v("x"), Term::v("z")],
+            vec![
+                RelAtom::new("e", vec![Term::v("x"), Term::v("y")]),
+                RelAtom::new("e", vec![Term::v("y"), Term::v("z")]),
+            ],
+            vec![],
+        );
+        let hit = eval_cq(ctx(&db), &q, Some(&tuple![1, 4])).unwrap();
+        assert_eq!(hit.len(), 1);
+        let miss = eval_cq(ctx(&db), &q, Some(&tuple![4, 1])).unwrap();
+        assert!(miss.is_empty());
+        let wrong_arity = eval_cq(ctx(&db), &q, Some(&tuple![1])).unwrap();
+        assert!(wrong_arity.is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        // Q(x) :- e(x, x): no self-loops in db.
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            vec![Term::v("x")],
+            vec![RelAtom::new("e", vec![Term::v("x"), Term::v("x")])],
+            vec![],
+        );
+        assert!(eval_cq(ctx(&db), &q, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cartesian_product() {
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            vec![Term::v("x"), Term::v("n")],
+            vec![
+                RelAtom::new("e", vec![Term::v("x"), Term::v("y")]),
+                RelAtom::new("lbl", vec![Term::v("n"), Term::v("t")]),
+            ],
+            vec![],
+        );
+        let ans = eval_cq(ctx(&db), &q, None).unwrap();
+        // 3 distinct x values × 3 distinct n values.
+        assert_eq!(ans.len(), 9);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let db = db();
+        let q = ConjunctiveQuery::identity("nope", 2);
+        assert!(matches!(
+            eval_cq(ctx(&db), &q, None),
+            Err(QueryError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn atom_arity_mismatch_errors() {
+        let db = db();
+        let q = ConjunctiveQuery::identity("e", 3);
+        assert!(matches!(
+            eval_cq(ctx(&db), &q, None),
+            Err(QueryError::AtomArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ucq_unions() {
+        let db = db();
+        let q1 = ConjunctiveQuery::new(
+            vec![Term::v("y")],
+            vec![RelAtom::new("e", vec![Term::c(1), Term::v("y")])],
+            vec![],
+        );
+        let q2 = ConjunctiveQuery::new(
+            vec![Term::v("y")],
+            vec![RelAtom::new("e", vec![Term::c(3), Term::v("y")])],
+            vec![],
+        );
+        let u = UnionQuery::new(vec![q1, q2]).unwrap();
+        let ans = eval_ucq(ctx(&db), &u, None).unwrap();
+        assert_eq!(ans, [tuple![2], tuple![3], tuple![4]].into_iter().collect());
+    }
+
+    #[test]
+    fn head_constants_pass_through() {
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            vec![Term::c("seen"), Term::v("y")],
+            vec![RelAtom::new("e", vec![Term::c(1), Term::v("y")])],
+            vec![],
+        );
+        let ans = eval_cq(ctx(&db), &q, None).unwrap();
+        assert!(ans.contains(&tuple!["seen", 2]));
+    }
+
+    #[test]
+    fn boolean_query_emits_empty_tuple() {
+        // Q() :- e(1, 2): true, answer is {()}.
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            Vec::<Term>::new(),
+            vec![RelAtom::new("e", vec![Term::c(1), Term::c(2)])],
+            vec![],
+        );
+        let ans = eval_cq(ctx(&db), &q, None).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.iter().next().unwrap().arity(), 0);
+
+        let qf = ConjunctiveQuery::new(
+            Vec::<Term>::new(),
+            vec![RelAtom::new("e", vec![Term::c(4), Term::c(1)])],
+            vec![],
+        );
+        assert!(eval_cq(ctx(&db), &qf, None).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! Semi-naive bottom-up Datalog evaluation.
+//!
+//! The paper's DATALOG is positive Datalog with built-ins, evaluated as
+//! an inflationary fixpoint (Section 2(f)); DATALOGnr is the acyclic
+//! fragment. One engine serves both: semi-naive iteration fires each
+//! rule only on derivations that involve at least one newly derived
+//! fact, and terminates after at most `#strata` rounds on non-recursive
+//! programs.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use pkgrec_data::{AttrType, Relation, RelationSchema, Tuple};
+
+use crate::datalog::{BodyLiteral, DatalogProgram, Rule};
+use crate::eval::cq::eval_conjunction_with;
+use crate::eval::{EvalContext, RelProvider};
+use crate::term::RelAtom;
+use crate::{QueryError, Result};
+
+/// An untyped schema of the given arity, for IDB relations (answers are
+/// untyped; the `Relation` type checks only go through checked inserts,
+/// which this engine never uses).
+fn idb_schema(name: &str, arity: usize) -> RelationSchema {
+    RelationSchema::new(name, (0..arity).map(|i| (format!("c{i}"), AttrType::Int)))
+        .expect("generated attribute names are distinct")
+}
+
+/// Materialize a tuple set as a `Relation` for the join engine.
+fn materialize(name: &str, arity: usize, tuples: &BTreeSet<Tuple>) -> Relation {
+    Relation::from_tuples_unchecked(idb_schema(name, arity), tuples.iter().cloned())
+}
+
+struct RuleParts<'r> {
+    rule: &'r Rule,
+    atoms: Vec<&'r RelAtom>,
+    builtins: Vec<crate::term::Builtin>,
+    /// Indices (into `atoms`) of body atoms over IDB predicates.
+    idb_positions: Vec<usize>,
+}
+
+/// Evaluate a Datalog program; returns the derived relation of the
+/// output predicate as a set of tuples.
+pub(crate) fn eval_datalog(ctx: EvalContext<'_>, prog: &DatalogProgram) -> Result<BTreeSet<Tuple>> {
+    prog.check()?;
+    let arities = prog.idb_arities()?;
+    let idb: BTreeSet<Arc<str>> = prog.idb_predicates();
+
+    // Validate EDB references up front for a clean error.
+    for name in prog.edb_relations() {
+        if ctx.db.relation(&name).is_none() {
+            return Err(QueryError::UnknownRelation(name.to_string()));
+        }
+    }
+
+    let parts: Vec<RuleParts<'_>> = prog
+        .rules
+        .iter()
+        .map(|rule| {
+            let atoms: Vec<&RelAtom> = rule
+                .body
+                .iter()
+                .filter_map(|l| match l {
+                    BodyLiteral::Rel(a) => Some(a),
+                    BodyLiteral::Builtin(_) => None,
+                })
+                .collect();
+            let builtins: Vec<crate::term::Builtin> = rule
+                .body
+                .iter()
+                .filter_map(|l| match l {
+                    BodyLiteral::Builtin(b) => Some(b.clone()),
+                    BodyLiteral::Rel(_) => None,
+                })
+                .collect();
+            let idb_positions = atoms
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| idb.contains(&a.relation))
+                .map(|(i, _)| i)
+                .collect();
+            RuleParts {
+                rule,
+                atoms,
+                builtins,
+                idb_positions,
+            }
+        })
+        .collect();
+
+    let mut full: BTreeMap<Arc<str>, BTreeSet<Tuple>> = arities
+        .keys()
+        .map(|p| (Arc::clone(p), BTreeSet::new()))
+        .collect();
+
+    // Fire one rule with a designated "delta" body atom (or none, for the
+    // initial round / EDB-only rules).
+    let fire = |p: &RuleParts<'_>,
+                full: &BTreeMap<Arc<str>, BTreeSet<Tuple>>,
+                delta_pred: Option<(&Arc<str>, &Relation)>,
+                delta_pos: Option<usize>,
+                full_rels: &BTreeMap<Arc<str>, Relation>|
+     -> Result<BTreeSet<Tuple>> {
+        let _ = full;
+        let rels: Vec<&Relation> = p
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| -> Result<&Relation> {
+                if let (Some(pos), Some((dname, drel))) = (delta_pos, delta_pred) {
+                    if i == pos {
+                        debug_assert_eq!(&a.relation, dname);
+                        return Ok(drel);
+                    }
+                }
+                if let Some(r) = full_rels.get(&a.relation) {
+                    Ok(r)
+                } else {
+                    ctx.db
+                        .get_relation(&a.relation)
+                        .ok_or_else(|| QueryError::UnknownRelation(a.relation.to_string()))
+                }
+            })
+            .collect::<Result<_>>()?;
+        let atoms_owned: Vec<RelAtom> = p.atoms.iter().map(|a| (*a).clone()).collect();
+        eval_conjunction_with(
+            ctx,
+            &p.rule.head.terms,
+            &atoms_owned,
+            &rels,
+            &p.builtins,
+            None,
+        )
+    };
+
+    // Round 0: naive firing with all-empty IDB.
+    let mut delta: BTreeMap<Arc<str>, BTreeSet<Tuple>> = arities
+        .keys()
+        .map(|p| (Arc::clone(p), BTreeSet::new()))
+        .collect();
+    {
+        let full_rels: BTreeMap<Arc<str>, Relation> = arities
+            .iter()
+            .map(|(p, &a)| (Arc::clone(p), materialize(p, a, &full[p])))
+            .collect();
+        for p in &parts {
+            // Rules with IDB atoms cannot fire yet (IDB is empty).
+            if !p.idb_positions.is_empty() {
+                continue;
+            }
+            let derived = fire(p, &full, None, None, &full_rels)?;
+            delta
+                .get_mut(&p.rule.head.relation)
+                .expect("head is IDB")
+                .extend(derived);
+        }
+    }
+    for (pred, d) in &delta {
+        full.get_mut(pred).expect("same keys").extend(d.iter().cloned());
+    }
+
+    // Semi-naive rounds.
+    loop {
+        if delta.values().all(BTreeSet::is_empty) {
+            break;
+        }
+        let full_rels: BTreeMap<Arc<str>, Relation> = arities
+            .iter()
+            .map(|(p, &a)| (Arc::clone(p), materialize(p, a, &full[p])))
+            .collect();
+        let delta_rels: BTreeMap<Arc<str>, Relation> = arities
+            .iter()
+            .map(|(p, &a)| (Arc::clone(p), materialize(p, a, &delta[p])))
+            .collect();
+
+        let mut new_delta: BTreeMap<Arc<str>, BTreeSet<Tuple>> = arities
+            .keys()
+            .map(|p| (Arc::clone(p), BTreeSet::new()))
+            .collect();
+
+        for p in &parts {
+            for &pos in &p.idb_positions {
+                let pred = &p.atoms[pos].relation;
+                if delta[pred].is_empty() {
+                    continue;
+                }
+                let derived = fire(
+                    p,
+                    &full,
+                    Some((pred, &delta_rels[pred])),
+                    Some(pos),
+                    &full_rels,
+                )?;
+                let head_full = &full[&p.rule.head.relation];
+                new_delta
+                    .get_mut(&p.rule.head.relation)
+                    .expect("head is IDB")
+                    .extend(derived.into_iter().filter(|t| !head_full.contains(t)));
+            }
+        }
+
+        for (pred, d) in &new_delta {
+            full.get_mut(pred).expect("same keys").extend(d.iter().cloned());
+        }
+        delta = new_delta;
+    }
+
+    Ok(full.remove(&prog.output).expect("output predicate is IDB"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{CmpOp, Term};
+    use pkgrec_data::{tuple, Database};
+
+    fn edge_db(edges: &[(i64, i64)]) -> Database {
+        let mut db = Database::new();
+        let schema = RelationSchema::new("e", [("s", AttrType::Int), ("d", AttrType::Int)])
+            .unwrap();
+        db.add_relation(
+            Relation::from_tuples(schema, edges.iter().map(|&(a, b)| tuple![a, b])).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn atom(rel: &str, vars: &[&str]) -> RelAtom {
+        RelAtom::new(rel, vars.iter().map(Term::v).collect::<Vec<_>>())
+    }
+
+    fn tc_program() -> DatalogProgram {
+        DatalogProgram::new(
+            vec![
+                Rule::new(atom("tc", &["x", "y"]), vec![BodyLiteral::Rel(atom("e", &["x", "y"]))]),
+                Rule::new(
+                    atom("tc", &["x", "z"]),
+                    vec![
+                        BodyLiteral::Rel(atom("tc", &["x", "y"])),
+                        BodyLiteral::Rel(atom("e", &["y", "z"])),
+                    ],
+                ),
+            ],
+            "tc",
+        )
+    }
+
+    #[test]
+    fn transitive_closure_of_a_path() {
+        let db = edge_db(&[(1, 2), (2, 3), (3, 4)]);
+        let ans = eval_datalog(EvalContext::new(&db), &tc_program()).unwrap();
+        // All 6 ordered pairs (i, j) with i < j on the path.
+        assert_eq!(ans.len(), 6);
+        assert!(ans.contains(&tuple![1, 4]));
+        assert!(!ans.contains(&tuple![4, 1]));
+    }
+
+    #[test]
+    fn transitive_closure_of_a_cycle_terminates() {
+        let db = edge_db(&[(1, 2), (2, 3), (3, 1)]);
+        let ans = eval_datalog(EvalContext::new(&db), &tc_program()).unwrap();
+        assert_eq!(ans.len(), 9); // complete on {1,2,3}
+    }
+
+    #[test]
+    fn nonrecursive_program_single_pass() {
+        // reach2(x, z) :- e(x, y), e(y, z); goal(x) :- reach2(x, z), z = 4.
+        let db = edge_db(&[(1, 2), (2, 4), (3, 4)]);
+        let prog = DatalogProgram::new(
+            vec![
+                Rule::new(
+                    atom("reach2", &["x", "z"]),
+                    vec![
+                        BodyLiteral::Rel(atom("e", &["x", "y"])),
+                        BodyLiteral::Rel(atom("e", &["y", "z"])),
+                    ],
+                ),
+                Rule::new(
+                    atom("goal", &["x"]),
+                    vec![
+                        BodyLiteral::Rel(atom("reach2", &["x", "z"])),
+                        BodyLiteral::Builtin(crate::term::Builtin::cmp(
+                            Term::v("z"),
+                            CmpOp::Eq,
+                            Term::c(4),
+                        )),
+                    ],
+                ),
+            ],
+            "goal",
+        );
+        assert!(prog.is_nonrecursive());
+        let ans = eval_datalog(EvalContext::new(&db), &prog).unwrap();
+        assert_eq!(ans, [tuple![1]].into_iter().collect());
+    }
+
+    #[test]
+    fn builtins_in_recursive_rules() {
+        // Bounded reachability: tc only through nodes < 4.
+        let db = edge_db(&[(1, 2), (2, 3), (3, 4), (4, 5)]);
+        let prog = DatalogProgram::new(
+            vec![
+                Rule::new(
+                    atom("r", &["x", "y"]),
+                    vec![
+                        BodyLiteral::Rel(atom("e", &["x", "y"])),
+                        BodyLiteral::Builtin(crate::term::Builtin::cmp(
+                            Term::v("x"),
+                            CmpOp::Lt,
+                            Term::c(4),
+                        )),
+                    ],
+                ),
+                Rule::new(
+                    atom("r", &["x", "z"]),
+                    vec![
+                        BodyLiteral::Rel(atom("r", &["x", "y"])),
+                        BodyLiteral::Rel(atom("r", &["y", "z"])),
+                    ],
+                ),
+            ],
+            "r",
+        );
+        let ans = eval_datalog(EvalContext::new(&db), &prog).unwrap();
+        assert!(ans.contains(&tuple![1, 4]));
+        assert!(!ans.contains(&tuple![4, 5]));
+        assert!(!ans.contains(&tuple![1, 5]));
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        // even(x) / odd(x) distance from node 1 along a path.
+        let db = edge_db(&[(1, 2), (2, 3), (3, 4)]);
+        let prog = DatalogProgram::new(
+            vec![
+                Rule::new(
+                    atom("even", &["x"]),
+                    vec![
+                        BodyLiteral::Rel(atom("e", &["x", "y"])),
+                        BodyLiteral::Builtin(crate::term::Builtin::cmp(
+                            Term::v("x"),
+                            CmpOp::Eq,
+                            Term::c(1),
+                        )),
+                    ],
+                ),
+                Rule::new(
+                    atom("odd", &["y"]),
+                    vec![
+                        BodyLiteral::Rel(atom("even", &["x"])),
+                        BodyLiteral::Rel(atom("e", &["x", "y"])),
+                    ],
+                ),
+                Rule::new(
+                    atom("even", &["y"]),
+                    vec![
+                        BodyLiteral::Rel(atom("odd", &["x"])),
+                        BodyLiteral::Rel(atom("e", &["x", "y"])),
+                    ],
+                ),
+            ],
+            "odd",
+        );
+        let ans = eval_datalog(EvalContext::new(&db), &prog).unwrap();
+        assert_eq!(ans, [tuple![2], tuple![4]].into_iter().collect());
+    }
+
+    #[test]
+    fn unknown_edb_is_an_error() {
+        let db = edge_db(&[(1, 2)]);
+        let prog = DatalogProgram::new(
+            vec![Rule::new(
+                atom("p", &["x"]),
+                vec![BodyLiteral::Rel(atom("missing", &["x"]))],
+            )],
+            "p",
+        );
+        assert!(matches!(
+            eval_datalog(EvalContext::new(&db), &prog),
+            Err(QueryError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn empty_output_when_rules_never_fire() {
+        let db = edge_db(&[]);
+        let ans = eval_datalog(EvalContext::new(&db), &tc_program()).unwrap();
+        assert!(ans.is_empty());
+    }
+}

@@ -1,0 +1,623 @@
+//! Active-domain evaluation of first-order formulas.
+//!
+//! An FO formula with free variables `x̄` denotes, over a database `D`,
+//! the set of assignments `x̄ → adom(Q, D)` satisfying it — the standard
+//! finite-model semantics the paper's PSPACE upper bounds for FO assume
+//! (Theorem 4.1, citing [Vardi 82]). Evaluation is structural:
+//! conjunction is a natural join, negation is complement relative to
+//! `adom^k`, quantifiers project or reduce to `¬∃¬`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pkgrec_data::{Tuple, Value};
+
+use crate::eval::{EvalContext, RelProvider};
+use crate::fo::{Formula, FoQuery};
+use crate::term::{Builtin, Term, Var};
+use crate::{QueryError, Result};
+
+/// A relation over named variables: the intermediate result type of
+/// structural FO evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct VarRelation {
+    /// Variable names, in the order of row positions.
+    vars: Vec<Var>,
+    /// Rows, each parallel to `vars`.
+    rows: BTreeSet<Vec<Value>>,
+}
+
+impl VarRelation {
+    fn new(vars: Vec<Var>) -> Self {
+        VarRelation {
+            vars,
+            rows: BTreeSet::new(),
+        }
+    }
+
+    /// The 0-ary relation denoting `true` (one empty row) or `false`.
+    fn boolean(truth: bool) -> Self {
+        let mut r = VarRelation::new(vec![]);
+        if truth {
+            r.rows.insert(vec![]);
+        }
+        r
+    }
+
+    fn is_boolean_true(&self) -> bool {
+        self.vars.is_empty() && !self.rows.is_empty()
+    }
+
+    fn position(&self, v: &Var) -> Option<usize> {
+        self.vars.iter().position(|u| u == v)
+    }
+
+    /// Natural join with another relation.
+    fn join(&self, other: &VarRelation) -> VarRelation {
+        // Output variable order: self's vars, then other's new vars.
+        let mut vars = self.vars.clone();
+        let extra: Vec<(usize, Var)> = other
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !vars.contains(v))
+            .map(|(i, v)| (i, v.clone()))
+            .collect();
+        vars.extend(extra.iter().map(|(_, v)| v.clone()));
+        let shared: Vec<(usize, usize)> = other
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(j, v)| self.position(v).map(|i| (i, j)))
+            .collect();
+
+        let mut out = VarRelation::new(vars);
+        // Hash join on shared columns.
+        let mut index: BTreeMap<Vec<&Value>, Vec<&Vec<Value>>> = BTreeMap::new();
+        for row in &other.rows {
+            let key: Vec<&Value> = shared.iter().map(|&(_, j)| &row[j]).collect();
+            index.entry(key).or_default().push(row);
+        }
+        for row in &self.rows {
+            let key: Vec<&Value> = shared.iter().map(|&(i, _)| &row[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for m in matches {
+                    let mut new_row = row.clone();
+                    new_row.extend(extra.iter().map(|&(j, _)| m[j].clone()));
+                    out.rows.insert(new_row);
+                }
+            }
+        }
+        out
+    }
+
+    /// Extend this relation with extra variables ranging over `domain`
+    /// and reorder columns to exactly `target_vars` (a superset of
+    /// `self.vars`).
+    fn extend_to(&self, target_vars: &[Var], domain: &[Value]) -> VarRelation {
+        let missing: Vec<&Var> = target_vars
+            .iter()
+            .filter(|v| self.position(v).is_none())
+            .collect();
+        let mut out = VarRelation::new(target_vars.to_vec());
+        // Precompute source for each target column: Left(i) = self col,
+        // Right(j) = j-th missing var.
+        enum Src {
+            Own(usize),
+            Missing(usize),
+        }
+        let srcs: Vec<Src> = target_vars
+            .iter()
+            .map(|v| match self.position(v) {
+                Some(i) => Src::Own(i),
+                None => Src::Missing(
+                    missing
+                        .iter()
+                        .position(|m| *m == v)
+                        .expect("missing var accounted for"),
+                ),
+            })
+            .collect();
+        if !missing.is_empty() && domain.is_empty() {
+            // Extending over an empty domain yields no rows.
+            return out;
+        }
+        let mut combo = vec![0usize; missing.len()];
+        for row in &self.rows {
+            if missing.is_empty() {
+                out.rows.insert(
+                    srcs.iter()
+                        .map(|s| match s {
+                            Src::Own(i) => row[*i].clone(),
+                            Src::Missing(_) => unreachable!("no missing vars"),
+                        })
+                        .collect(),
+                );
+                continue;
+            }
+            // Enumerate domain^missing.
+            combo.iter_mut().for_each(|c| *c = 0);
+            loop {
+                out.rows.insert(
+                    srcs.iter()
+                        .map(|s| match s {
+                            Src::Own(i) => row[*i].clone(),
+                            Src::Missing(j) => domain[combo[*j]].clone(),
+                        })
+                        .collect(),
+                );
+                // Increment the mixed-radix counter.
+                let mut k = 0;
+                loop {
+                    if k == combo.len() {
+                        break;
+                    }
+                    combo[k] += 1;
+                    if combo[k] < domain.len() {
+                        break;
+                    }
+                    combo[k] = 0;
+                    k += 1;
+                }
+                if k == combo.len() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Complement relative to `domain^|vars|`.
+    fn complement(&self, domain: &[Value]) -> VarRelation {
+        let mut out = VarRelation::new(self.vars.clone());
+        let k = self.vars.len();
+        if k == 0 {
+            return VarRelation::boolean(self.rows.is_empty());
+        }
+        if domain.is_empty() {
+            // domain^k is empty, so the complement is too.
+            return out;
+        }
+        let mut combo = vec![0usize; k];
+        loop {
+            let row: Vec<Value> = combo.iter().map(|&i| domain[i].clone()).collect();
+            if !self.rows.contains(&row) {
+                out.rows.insert(row);
+            }
+            let mut i = 0;
+            loop {
+                if i == k {
+                    break;
+                }
+                combo[i] += 1;
+                if combo[i] < domain.len() {
+                    break;
+                }
+                combo[i] = 0;
+                i += 1;
+            }
+            if i == k {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Project away the given variables.
+    fn project_out(&self, vars: &[Var]) -> VarRelation {
+        let keep: Vec<usize> = (0..self.vars.len())
+            .filter(|&i| !vars.contains(&self.vars[i]))
+            .collect();
+        let mut out = VarRelation::new(keep.iter().map(|&i| self.vars[i].clone()).collect());
+        for row in &self.rows {
+            out.rows.insert(keep.iter().map(|&i| row[i].clone()).collect());
+        }
+        out
+    }
+
+    /// Union; both sides must have identical variable vectors.
+    fn union(&self, other: &VarRelation) -> VarRelation {
+        debug_assert_eq!(self.vars, other.vars);
+        let mut out = self.clone();
+        out.rows.extend(other.rows.iter().cloned());
+        out
+    }
+}
+
+/// Evaluate a formula to the set of satisfying assignments of its free
+/// variables over `domain` (the active domain of `D` and the query).
+fn eval_formula(
+    ctx: EvalContext<'_>,
+    provider: &dyn RelProvider,
+    f: &Formula,
+    domain: &[Value],
+) -> Result<VarRelation> {
+    match f {
+        Formula::Atom(a) => {
+            let rel = provider
+                .get_relation(&a.relation)
+                .ok_or_else(|| QueryError::UnknownRelation(a.relation.to_string()))?;
+            if rel.schema().arity() != a.terms.len() {
+                return Err(QueryError::AtomArityMismatch {
+                    relation: a.relation.to_string(),
+                    expected: rel.schema().arity(),
+                    found: a.terms.len(),
+                });
+            }
+            // Output vars: first occurrence order.
+            let mut vars: Vec<Var> = Vec::new();
+            for t in &a.terms {
+                if let Term::Var(v) = t {
+                    if !vars.contains(v) {
+                        vars.push(v.clone());
+                    }
+                }
+            }
+            let mut out = VarRelation::new(vars.clone());
+            'tuples: for t in rel.iter() {
+                let mut assignment: Vec<Option<Value>> = vec![None; vars.len()];
+                for (col, term) in a.terms.iter().enumerate() {
+                    match term {
+                        Term::Const(c) => {
+                            if c != &t[col] {
+                                continue 'tuples;
+                            }
+                        }
+                        Term::Var(v) => {
+                            let vi = vars.iter().position(|u| u == v).expect("collected");
+                            match &assignment[vi] {
+                                Some(existing) if existing != &t[col] => continue 'tuples,
+                                Some(_) => {}
+                                None => assignment[vi] = Some(t[col].clone()),
+                            }
+                        }
+                    }
+                }
+                out.rows.insert(
+                    assignment
+                        .into_iter()
+                        .map(|v| v.expect("every var occurs in the atom"))
+                        .collect(),
+                );
+            }
+            Ok(out)
+        }
+        Formula::Builtin(b) => {
+            let (l, r) = match b {
+                Builtin::Cmp(c) => (&c.left, &c.right),
+                Builtin::DistLe { left, right, .. } => (left, right),
+            };
+            let mut vars: Vec<Var> = Vec::new();
+            for t in [l, r] {
+                if let Term::Var(v) = t {
+                    if !vars.contains(v) {
+                        vars.push(v.clone());
+                    }
+                }
+            }
+            let mut out = VarRelation::new(vars.clone());
+            let resolve = |t: &Term, row: &[Value], vars: &[Var]| -> Value {
+                match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => {
+                        let i = vars.iter().position(|u| u == v).expect("free var present");
+                        row[i].clone()
+                    }
+                }
+            };
+            match vars.len() {
+                0 => {
+                    let lv = l.as_const().expect("no vars");
+                    let rv = r.as_const().expect("no vars");
+                    return Ok(VarRelation::boolean(ctx.eval_builtin(b, lv, rv)?));
+                }
+                1 => {
+                    for v in domain {
+                        let row = vec![v.clone()];
+                        let lv = resolve(l, &row, &vars);
+                        let rv = resolve(r, &row, &vars);
+                        if ctx.eval_builtin(b, &lv, &rv)? {
+                            out.rows.insert(row);
+                        }
+                    }
+                }
+                _ => {
+                    for v in domain {
+                        for w in domain {
+                            let row = vec![v.clone(), w.clone()];
+                            let lv = resolve(l, &row, &vars);
+                            let rv = resolve(r, &row, &vars);
+                            if ctx.eval_builtin(b, &lv, &rv)? {
+                                out.rows.insert(row);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Formula::And(fs) => {
+            if fs.is_empty() {
+                return Ok(VarRelation::boolean(true));
+            }
+            let mut acc = eval_formula(ctx, provider, &fs[0], domain)?;
+            for g in &fs[1..] {
+                if acc.rows.is_empty() {
+                    // Short-circuit — but the result's *schema* must
+                    // still be the conjunction's full free-variable set,
+                    // or a complement above us would be taken over the
+                    // wrong column set.
+                    return Ok(VarRelation::new(f.free_vars().into_iter().collect()));
+                }
+                acc = acc.join(&eval_formula(ctx, provider, g, domain)?);
+            }
+            Ok(acc)
+        }
+        Formula::Or(fs) => {
+            if fs.is_empty() {
+                return Ok(VarRelation::boolean(false));
+            }
+            let target: Vec<Var> = f.free_vars().into_iter().collect();
+            let mut acc = VarRelation::new(target.clone());
+            for g in fs {
+                let r = eval_formula(ctx, provider, g, domain)?;
+                acc = acc.union(&r.extend_to(&target, domain));
+            }
+            Ok(acc)
+        }
+        Formula::Not(g) => {
+            let r = eval_formula(ctx, provider, g, domain)?;
+            Ok(r.complement(domain))
+        }
+        Formula::Exists(vs, g) => {
+            let r = eval_formula(ctx, provider, g, domain)?;
+            Ok(r.project_out(vs))
+        }
+        Formula::Forall(vs, g) => {
+            // ∀x φ ≡ ¬∃x ¬φ; ¬φ is complemented over free(φ) ∪ vs so the
+            // quantified variables range over the whole domain.
+            let r = eval_formula(ctx, provider, g, domain)?;
+            let mut full_vars: Vec<Var> = r.vars.clone();
+            for v in vs {
+                if !full_vars.contains(v) {
+                    full_vars.push(v.clone());
+                }
+            }
+            let extended = r.extend_to(&full_vars, domain);
+            let negated = extended.complement(domain);
+            let projected = negated.project_out(vs);
+            Ok(projected.complement(domain))
+        }
+    }
+}
+
+/// The evaluation domain: active domain of the database plus the query's
+/// constants.
+fn eval_domain(ctx: EvalContext<'_>, f: &Formula) -> Vec<Value> {
+    let mut dom: BTreeSet<Value> = ctx.db.active_domain().iter().cloned().collect();
+    dom.extend(f.constants());
+    dom.into_iter().collect()
+}
+
+/// Evaluate an FO query to its set of answer tuples.
+pub(crate) fn eval_fo(
+    ctx: EvalContext<'_>,
+    q: &FoQuery,
+    pre_bound: Option<&Tuple>,
+) -> Result<BTreeSet<Tuple>> {
+    q.check_safe()?;
+    if let Some(t) = pre_bound {
+        if t.arity() != q.head.len() {
+            return Ok(BTreeSet::new());
+        }
+    }
+    let domain = eval_domain(ctx, &q.body);
+    let result = eval_formula(ctx, ctx.db, &q.body, &domain)?;
+
+    let mut out = BTreeSet::new();
+    if result.vars.is_empty() {
+        // Boolean body: the head must be all constants.
+        if result.is_boolean_true() {
+            let t: Tuple = q
+                .head
+                .iter()
+                .map(|term| term.as_const().cloned().expect("checked safe: head vars free in body"))
+                .collect();
+            if pre_bound.is_none_or(|p| *p == t) {
+                out.insert(t);
+            }
+        }
+        return Ok(out);
+    }
+
+    let positions: Vec<Option<usize>> = q
+        .head
+        .iter()
+        .map(|t| t.as_var().and_then(|v| result.position(v)))
+        .collect();
+    for row in &result.rows {
+        let t: Tuple = q
+            .head
+            .iter()
+            .zip(&positions)
+            .map(|(term, pos)| match (term, pos) {
+                (Term::Const(c), _) => c.clone(),
+                (Term::Var(_), Some(i)) => row[*i].clone(),
+                (Term::Var(_), None) => unreachable!("checked safe"),
+            })
+            .collect();
+        if pre_bound.is_none_or(|p| *p == t) {
+            out.insert(t);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{var, CmpOp, RelAtom};
+    use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let e = RelationSchema::new("e", [("s", AttrType::Int), ("d", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(e, [tuple![1, 2], tuple![2, 3], tuple![1, 3]]).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn atom(rel: &str, names: &[&str]) -> Formula {
+        Formula::Atom(RelAtom::new(
+            rel,
+            names.iter().map(Term::v).collect::<Vec<_>>(),
+        ))
+    }
+
+    #[test]
+    fn atom_evaluation() {
+        let db = db();
+        let q = FoQuery::new(vec![Term::v("x"), Term::v("y")], atom("e", &["x", "y"]));
+        let ans = eval_fo(EvalContext::new(&db), &q, None).unwrap();
+        assert_eq!(ans.len(), 3);
+    }
+
+    #[test]
+    fn negation_complements_over_active_domain() {
+        // Q(x, y) = ¬e(x, y): adom = {1,2,3}, 9 pairs, 3 in e.
+        let db = db();
+        let q = FoQuery::new(
+            vec![Term::v("x"), Term::v("y")],
+            Formula::not(atom("e", &["x", "y"])),
+        );
+        let ans = eval_fo(EvalContext::new(&db), &q, None).unwrap();
+        assert_eq!(ans.len(), 6);
+        assert!(ans.contains(&tuple![3, 1]));
+        assert!(!ans.contains(&tuple![1, 2]));
+    }
+
+    #[test]
+    fn existential_projection() {
+        // Q(x) = ∃y e(x, y).
+        let db = db();
+        let q = FoQuery::new(
+            vec![Term::v("x")],
+            Formula::exists(vec![var("y")], atom("e", &["x", "y"])),
+        );
+        let ans = eval_fo(EvalContext::new(&db), &q, None).unwrap();
+        assert_eq!(ans, [tuple![1], tuple![2]].into_iter().collect());
+    }
+
+    #[test]
+    fn universal_quantification() {
+        // Q(y) = ∀x (e(x, y) ∨ x ≥ y): satisfied by y=3 only?
+        // adom = {1,2,3}. For y=1: x=1 ok (1>=1); x=2 ok; x=3 ok → yes.
+        // For y=2: x=1: e(1,2) ok; x=2 ok (>=); x=3 ok → yes.
+        // For y=3: x=1: e(1,3) ok; x=2: e(2,3) ok; x=3 ok → yes.
+        let db = db();
+        let q = FoQuery::new(
+            vec![Term::v("y")],
+            Formula::forall(
+                vec![var("x")],
+                Formula::or(vec![
+                    atom("e", &["x", "y"]),
+                    Formula::Builtin(Builtin::cmp(Term::v("x"), CmpOp::Geq, Term::v("y"))),
+                ]),
+            ),
+        );
+        let ans = eval_fo(EvalContext::new(&db), &q, None).unwrap();
+        assert_eq!(ans.len(), 3);
+
+        // Q(y) = ∀x e(x, y) is false for every y (no column is full).
+        let q2 = FoQuery::new(
+            vec![Term::v("y")],
+            Formula::forall(vec![var("x")], atom("e", &["x", "y"])),
+        );
+        assert!(eval_fo(EvalContext::new(&db), &q2, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn difference_query() {
+        // Q(x,y) = e(x,y) ∧ ¬e(y,x): e is antisymmetric here, so all 3.
+        let db = db();
+        let q = FoQuery::new(
+            vec![Term::v("x"), Term::v("y")],
+            Formula::and(vec![
+                atom("e", &["x", "y"]),
+                Formula::not(atom("e", &["y", "x"])),
+            ]),
+        );
+        assert_eq!(eval_fo(EvalContext::new(&db), &q, None).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn boolean_query() {
+        // Q() = ∃x∃y e(x,y) → true (head arity 0).
+        let db = db();
+        let q = FoQuery::new(
+            Vec::<Term>::new(),
+            Formula::exists(vec![var("x"), var("y")], atom("e", &["x", "y"])),
+        );
+        let ans = eval_fo(EvalContext::new(&db), &q, None).unwrap();
+        assert_eq!(ans.len(), 1);
+
+        let q_false = FoQuery::new(
+            Vec::<Term>::new(),
+            Formula::forall(vec![var("x"), var("y")], atom("e", &["x", "y"])),
+        );
+        assert!(eval_fo(EvalContext::new(&db), &q_false, None)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn query_constants_join_domain() {
+        // Q(x) = ¬(x = 99): 99 is a query constant, so it enters the
+        // domain; every adom value plus 99 itself is checked.
+        let db = db();
+        let q = FoQuery::new(
+            vec![Term::v("x")],
+            Formula::not(Formula::Builtin(Builtin::cmp(
+                Term::v("x"),
+                CmpOp::Eq,
+                Term::c(99),
+            ))),
+        );
+        let ans = eval_fo(EvalContext::new(&db), &q, None).unwrap();
+        // Domain {1,2,3,99} minus {99}.
+        assert_eq!(ans.len(), 3);
+    }
+
+    #[test]
+    fn or_aligns_differing_free_vars() {
+        // Q(x, y) = e(x, y) ∨ (x = 1): the second disjunct leaves y free
+        // over the domain.
+        let db = db();
+        let q = FoQuery::new(
+            vec![Term::v("x"), Term::v("y")],
+            Formula::Or(vec![
+                atom("e", &["x", "y"]),
+                Formula::And(vec![
+                    Formula::Builtin(Builtin::cmp(Term::v("x"), CmpOp::Eq, Term::c(1))),
+                    Formula::Builtin(Builtin::cmp(Term::v("y"), CmpOp::Eq, Term::v("y"))),
+                ]),
+            ]),
+        );
+        let ans = eval_fo(EvalContext::new(&db), &q, None).unwrap();
+        // e(x,y): (1,2),(2,3),(1,3); x=1: (1,1),(1,2),(1,3) → union has 4.
+        assert_eq!(ans.len(), 4);
+        assert!(ans.contains(&tuple![1, 1]));
+        assert!(ans.contains(&tuple![2, 3]));
+    }
+
+    #[test]
+    fn prebound_filters() {
+        let db = db();
+        let q = FoQuery::new(vec![Term::v("x"), Term::v("y")], atom("e", &["x", "y"]));
+        let hit = eval_fo(EvalContext::new(&db), &q, Some(&tuple![1, 2])).unwrap();
+        assert_eq!(hit.len(), 1);
+        let miss = eval_fo(EvalContext::new(&db), &q, Some(&tuple![3, 3])).unwrap();
+        assert!(miss.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Query evaluation.
+//!
+//! Three engines, matching the paper's language groups:
+//!
+//! * `cq` — backtracking-join evaluation of conjunctive bodies, used
+//!   for CQ/UCQ and (via body reuse) for Datalog rules;
+//! * `fo` — active-domain evaluation of first-order formulas (and
+//!   their positive-existential fragment);
+//! * `datalog` — semi-naive bottom-up fixpoint for Datalog, with a
+//!   single stratified pass for DATALOGnr programs.
+
+pub(crate) mod cq;
+pub(crate) mod datalog;
+pub(crate) mod fo;
+
+use pkgrec_data::{Database, Relation, Value};
+
+use crate::metric::MetricSet;
+use crate::term::Builtin;
+use crate::{QueryError, Result};
+
+/// A source of named relations. `Database` is the usual provider; the
+/// Datalog engine overlays IDB relations on top of one.
+pub trait RelProvider {
+    /// Resolve a relation by name.
+    fn get_relation(&self, name: &str) -> Option<&Relation>;
+}
+
+impl RelProvider for Database {
+    fn get_relation(&self, name: &str) -> Option<&Relation> {
+        self.relation(name)
+    }
+}
+
+/// Evaluation context: the database plus the metric set Γ needed to
+/// evaluate distance builtins introduced by query relaxation.
+#[derive(Clone, Copy)]
+pub struct EvalContext<'a> {
+    /// The database `D`.
+    pub db: &'a Database,
+    /// Distance functions for `DistLe` builtins; `None` when the query
+    /// contains none.
+    pub metrics: Option<&'a MetricSet>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Context without metrics.
+    pub fn new(db: &'a Database) -> Self {
+        EvalContext { db, metrics: None }
+    }
+
+    /// Context with a metric set Γ.
+    pub fn with_metrics(db: &'a Database, metrics: &'a MetricSet) -> Self {
+        EvalContext {
+            db,
+            metrics: Some(metrics),
+        }
+    }
+
+    /// Evaluate `dist_metric(a, b) ≤ bound`.
+    pub(crate) fn dist_le(&self, metric: &str, a: &Value, b: &Value, bound: i64) -> Result<bool> {
+        let metrics = self
+            .metrics
+            .ok_or_else(|| QueryError::UnknownMetric(metric.to_string()))?;
+        let m = metrics
+            .get(metric)
+            .ok_or_else(|| QueryError::UnknownMetric(metric.to_string()))?;
+        Ok(m.distance(a, b).is_some_and(|d| d <= bound))
+    }
+
+    /// Evaluate a builtin on fully ground terms resolved to values.
+    pub(crate) fn eval_builtin(&self, b: &Builtin, l: &Value, r: &Value) -> Result<bool> {
+        match b {
+            Builtin::Cmp(c) => Ok(c.op.apply(l, r)),
+            Builtin::DistLe { metric, bound, .. } => self.dist_le(metric, l, r, *bound),
+        }
+    }
+}

@@ -1,0 +1,345 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::term::{Builtin, RelAtom, Term, Var};
+use crate::{QueryError, Result};
+
+/// A first-order formula over relation atoms and built-in predicates,
+/// closed under `∧, ∨, ¬, ∃, ∀` (the paper's FO, Section 2(e)).
+///
+/// The positive-existential fragment (no `¬`, no `∀`) is the paper's
+/// ∃FO⁺ (Section 2(c)); [`Formula::is_positive_existential`] recognizes
+/// it, so one AST serves both languages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Formula {
+    /// A relation atom.
+    Atom(RelAtom),
+    /// A built-in predicate.
+    Builtin(Builtin),
+    /// Conjunction (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Existential quantification of a block of variables.
+    Exists(Vec<Var>, Box<Formula>),
+    /// Universal quantification of a block of variables.
+    Forall(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    /// `∃ vars . f`, skipping the quantifier when `vars` is empty.
+    pub fn exists(vars: impl Into<Vec<Var>>, f: Formula) -> Formula {
+        let vars = vars.into();
+        if vars.is_empty() {
+            f
+        } else {
+            Formula::Exists(vars, Box::new(f))
+        }
+    }
+
+    /// `∀ vars . f`, skipping the quantifier when `vars` is empty.
+    pub fn forall(vars: impl Into<Vec<Var>>, f: Formula) -> Formula {
+        let vars = vars.into();
+        if vars.is_empty() {
+            f
+        } else {
+            Formula::Forall(vars, Box::new(f))
+        }
+    }
+
+    /// Conjunction of a list, flattening the one-element case.
+    pub fn and(fs: impl Into<Vec<Formula>>) -> Formula {
+        let mut fs = fs.into();
+        if fs.len() == 1 {
+            fs.pop().expect("len checked")
+        } else {
+            Formula::And(fs)
+        }
+    }
+
+    /// Disjunction of a list, flattening the one-element case.
+    pub fn or(fs: impl Into<Vec<Formula>>) -> Formula {
+        let mut fs = fs.into();
+        if fs.len() == 1 {
+            fs.pop().expect("len checked")
+        } else {
+            Formula::Or(fs)
+        }
+    }
+
+    /// Negation (an AST constructor, deliberately named after the
+    /// connective rather than implementing `std::ops::Not`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        match self {
+            Formula::Atom(a) => a.variables(),
+            Formula::Builtin(b) => b.variables(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().flat_map(Formula::free_vars).collect()
+            }
+            Formula::Not(f) => f.free_vars(),
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let mut free = f.free_vars();
+                for v in vs {
+                    free.remove(v);
+                }
+                free
+            }
+        }
+    }
+
+    /// Whether the formula lies in ∃FO⁺ (no negation, no universal
+    /// quantification).
+    pub fn is_positive_existential(&self) -> bool {
+        match self {
+            Formula::Atom(_) | Formula::Builtin(_) => true,
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().all(Formula::is_positive_existential)
+            }
+            Formula::Not(_) | Formula::Forall(_, _) => false,
+            Formula::Exists(_, f) => f.is_positive_existential(),
+        }
+    }
+
+    /// Relation names referenced anywhere in the formula.
+    pub fn relations(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Formula::Atom(a) => {
+                out.insert(&a.relation);
+            }
+            Formula::Builtin(_) => {}
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_relations(out);
+                }
+            }
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => {
+                f.collect_relations(out);
+            }
+        }
+    }
+
+    /// Constants mentioned anywhere in the formula; they join the active
+    /// domain for evaluation.
+    pub fn constants(&self) -> BTreeSet<pkgrec_data::Value> {
+        let mut out = BTreeSet::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut BTreeSet<pkgrec_data::Value>) {
+        let add_term = |t: &Term, out: &mut BTreeSet<pkgrec_data::Value>| {
+            if let Term::Const(c) = t {
+                out.insert(c.clone());
+            }
+        };
+        match self {
+            Formula::Atom(a) => {
+                for t in &a.terms {
+                    add_term(t, out);
+                }
+            }
+            Formula::Builtin(Builtin::Cmp(c)) => {
+                add_term(&c.left, out);
+                add_term(&c.right, out);
+            }
+            Formula::Builtin(Builtin::DistLe { left, right, .. }) => {
+                add_term(left, out);
+                add_term(right, out);
+            }
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_constants(out);
+                }
+            }
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => {
+                f.collect_constants(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Builtin(b) => write!(f, "{b}"),
+            Formula::And(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "true");
+                }
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "false");
+                }
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Not(g) => write!(f, "!{g}"),
+            Formula::Exists(vs, g) => {
+                write!(f, "exists {}. {g}", vs.join(", "))
+            }
+            Formula::Forall(vs, g) => {
+                write!(f, "forall {}. {g}", vs.join(", "))
+            }
+        }
+    }
+}
+
+/// A first-order query `Q(t̄) = φ`, evaluated under active-domain
+/// semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoQuery {
+    /// Head terms.
+    pub head: Vec<Term>,
+    /// The defining formula; head variables must be free in it.
+    pub body: Formula,
+}
+
+impl FoQuery {
+    /// Build an FO query.
+    pub fn new(head: impl Into<Vec<Term>>, body: Formula) -> Self {
+        FoQuery {
+            head: head.into(),
+            body,
+        }
+    }
+
+    /// Answer arity.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Check that every head variable is free in the body.
+    pub fn check_safe(&self) -> Result<()> {
+        let free = self.body.free_vars();
+        for t in &self.head {
+            if let Some(v) = t.as_var() {
+                if !free.contains(v) {
+                    return Err(QueryError::UnsafeVariable(v.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FoQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(")?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") = {}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{var, CmpOp};
+
+    fn atom(rel: &str, vars: &[&str]) -> Formula {
+        Formula::Atom(RelAtom::new(
+            rel,
+            vars.iter().map(Term::v).collect::<Vec<_>>(),
+        ))
+    }
+
+    #[test]
+    fn free_vars_respect_quantifiers() {
+        let f = Formula::exists(
+            vec![var("y")],
+            Formula::and(vec![atom("r", &["x", "y"]), atom("s", &["y", "z"])]),
+        );
+        let free = f.free_vars();
+        assert!(free.contains(&var("x")));
+        assert!(free.contains(&var("z")));
+        assert!(!free.contains(&var("y")));
+    }
+
+    #[test]
+    fn positive_existential_recognition() {
+        let pos = Formula::exists(vec![var("y")], atom("r", &["x", "y"]));
+        assert!(pos.is_positive_existential());
+        assert!(!Formula::not(pos.clone()).is_positive_existential());
+        assert!(!Formula::forall(vec![var("x")], atom("r", &["x"])).is_positive_existential());
+        let or = Formula::or(vec![atom("r", &["x"]), atom("s", &["x"])]);
+        assert!(or.is_positive_existential());
+    }
+
+    #[test]
+    fn safety_checks_head_vars() {
+        let q = FoQuery::new(vec![Term::v("x")], atom("r", &["x"]));
+        assert!(q.check_safe().is_ok());
+        let bad = FoQuery::new(
+            vec![Term::v("x")],
+            Formula::exists(vec![var("x")], atom("r", &["x"])),
+        );
+        assert!(bad.check_safe().is_err());
+    }
+
+    #[test]
+    fn relations_and_constants_collected() {
+        let f = Formula::and(vec![
+            atom("r", &["x"]),
+            Formula::not(atom("s", &["x"])),
+            Formula::Builtin(Builtin::cmp(Term::v("x"), CmpOp::Lt, Term::c(9))),
+        ]);
+        assert_eq!(f.relations().len(), 2);
+        assert!(f.constants().contains(&pkgrec_data::Value::Int(9)));
+    }
+
+    #[test]
+    fn smart_constructors_flatten() {
+        let single = Formula::and(vec![atom("r", &["x"])]);
+        assert!(matches!(single, Formula::Atom(_)));
+        let no_quant = Formula::exists(Vec::<Var>::new(), atom("r", &["x"]));
+        assert!(matches!(no_quant, Formula::Atom(_)));
+    }
+
+    #[test]
+    fn display() {
+        let f = Formula::exists(
+            vec![var("y")],
+            Formula::and(vec![
+                atom("r", &["x", "y"]),
+                Formula::not(atom("s", &["y"])),
+            ]),
+        );
+        assert_eq!(f.to_string(), "exists y. (r(x, y) & !s(y))");
+    }
+}

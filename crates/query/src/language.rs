@@ -1,0 +1,167 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The query-language lattice of Section 2.
+///
+/// ```text
+///        DATALOG        FO
+///           |          /  \
+///       DATALOGnr ----+    \
+///           \              |
+///            +--- ∃FO⁺ ---+
+///                   |
+///                  UCQ
+///                   |
+///                  CQ
+///                   |
+///                  SP
+/// ```
+///
+/// `SP ⊂ CQ ⊂ UCQ ⊂ ∃FO⁺`; `∃FO⁺ ⊂ DATALOGnr ⊂ DATALOG` and
+/// `∃FO⁺ ⊂ FO`; `DATALOGnr ⊂ FO` (a non-recursive program unfolds into
+/// FO). `DATALOG` and `FO` are incomparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum QueryLanguage {
+    /// Selection–projection queries over one relation (Corollary 6.2).
+    Sp,
+    /// Conjunctive queries.
+    Cq,
+    /// Unions of conjunctive queries.
+    Ucq,
+    /// Positive existential FO.
+    ExistsFoPlus,
+    /// Non-recursive Datalog.
+    DatalogNr,
+    /// Full first-order logic.
+    Fo,
+    /// (Recursive) Datalog.
+    Datalog,
+}
+
+impl QueryLanguage {
+    /// All languages, in the order the paper lists them.
+    pub const ALL: [QueryLanguage; 7] = [
+        QueryLanguage::Sp,
+        QueryLanguage::Cq,
+        QueryLanguage::Ucq,
+        QueryLanguage::ExistsFoPlus,
+        QueryLanguage::DatalogNr,
+        QueryLanguage::Fo,
+        QueryLanguage::Datalog,
+    ];
+
+    /// Whether `self` subsumes `other` in the lattice (every `other`
+    /// query is expressible as a `self` query).
+    pub fn subsumes(self, other: QueryLanguage) -> bool {
+        use QueryLanguage::*;
+        if self == other {
+            return true;
+        }
+        match (self, other) {
+            // Chain SP ⊂ CQ ⊂ UCQ ⊂ ∃FO⁺.
+            (Cq, Sp) => true,
+            (Ucq, Sp | Cq) => true,
+            (ExistsFoPlus, Sp | Cq | Ucq) => true,
+            // DATALOGnr and FO both contain ∃FO⁺ (hence everything below).
+            (DatalogNr, Sp | Cq | Ucq | ExistsFoPlus) => true,
+            (Fo, Sp | Cq | Ucq | ExistsFoPlus | DatalogNr) => true,
+            // DATALOG contains DATALOGnr and below, but not FO.
+            (Datalog, Sp | Cq | Ucq | ExistsFoPlus | DatalogNr) => true,
+            _ => false,
+        }
+    }
+
+    /// Whether this language is within the CQ family (`⊆ ∃FO⁺`) — the
+    /// regime where the presence of compatibility constraints changes the
+    /// combined complexity (Sections 4–5).
+    pub fn within_exists_fo_plus(self) -> bool {
+        QueryLanguage::ExistsFoPlus.subsumes(self)
+    }
+
+    /// Whether the combined-complexity membership problem of this
+    /// language is PTIME (true only for SP among the paper's languages;
+    /// Corollary 6.2).
+    pub fn ptime_membership(self) -> bool {
+        self == QueryLanguage::Sp
+    }
+}
+
+impl fmt::Display for QueryLanguage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QueryLanguage::Sp => "SP",
+            QueryLanguage::Cq => "CQ",
+            QueryLanguage::Ucq => "UCQ",
+            QueryLanguage::ExistsFoPlus => "∃FO+",
+            QueryLanguage::DatalogNr => "DATALOG_nr",
+            QueryLanguage::Fo => "FO",
+            QueryLanguage::Datalog => "DATALOG",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use QueryLanguage::*;
+
+    #[test]
+    fn subsumption_is_reflexive() {
+        for l in QueryLanguage::ALL {
+            assert!(l.subsumes(l));
+        }
+    }
+
+    #[test]
+    fn chain_holds() {
+        assert!(Cq.subsumes(Sp));
+        assert!(Ucq.subsumes(Cq));
+        assert!(ExistsFoPlus.subsumes(Ucq));
+        assert!(DatalogNr.subsumes(ExistsFoPlus));
+        assert!(Fo.subsumes(ExistsFoPlus));
+        assert!(Datalog.subsumes(DatalogNr));
+        assert!(Fo.subsumes(DatalogNr));
+    }
+
+    #[test]
+    fn fo_and_datalog_incomparable() {
+        assert!(!Fo.subsumes(Datalog));
+        assert!(!Datalog.subsumes(Fo));
+    }
+
+    #[test]
+    fn subsumption_is_transitive() {
+        for a in QueryLanguage::ALL {
+            for b in QueryLanguage::ALL {
+                for c in QueryLanguage::ALL {
+                    if a.subsumes(b) && b.subsumes(c) {
+                        assert!(a.subsumes(c), "{a} ⊇ {b} ⊇ {c} but not {a} ⊇ {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn antisymmetric() {
+        for a in QueryLanguage::ALL {
+            for b in QueryLanguage::ALL {
+                if a != b {
+                    assert!(!(a.subsumes(b) && b.subsumes(a)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cq_family_flag() {
+        assert!(Sp.within_exists_fo_plus());
+        assert!(Cq.within_exists_fo_plus());
+        assert!(Ucq.within_exists_fo_plus());
+        assert!(ExistsFoPlus.within_exists_fo_plus());
+        assert!(!Fo.within_exists_fo_plus());
+        assert!(!DatalogNr.within_exists_fo_plus());
+    }
+}

@@ -1,0 +1,166 @@
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use pkgrec_data::Value;
+
+/// A distance function `dist_{R.A}(a, b)` as used by query relaxation
+/// (Section 7.1). Distances are non-negative integers; `None` means the
+/// metric is undefined on the pair (treated as "infinitely far").
+pub trait Metric: fmt::Debug {
+    /// Distance between two values, if defined.
+    fn distance(&self, a: &Value, b: &Value) -> Option<i64>;
+}
+
+/// Absolute difference on integers (and 0/1-coded Booleans): the natural
+/// metric for prices, dates-as-day-numbers, and the Boolean relaxation
+/// gadget in the Theorem 7.2 reduction (`dist(1,0) = 1`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbsDiff;
+
+impl Metric for AbsDiff {
+    fn distance(&self, a: &Value, b: &Value) -> Option<i64> {
+        Some((a.as_numeric()? - b.as_numeric()?).abs())
+    }
+}
+
+/// The discrete metric: 0 on equal values, 1 otherwise. Useful as a
+/// "replace the constant by anything" relaxation with unit gap.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Discrete;
+
+impl Metric for Discrete {
+    fn distance(&self, a: &Value, b: &Value) -> Option<i64> {
+        Some(i64::from(a != b))
+    }
+}
+
+/// A tabulated symmetric metric, e.g. road distances between cities
+/// (`dist(nyc, ewr) = 9` in Example 7.1). Missing pairs are undefined
+/// except on the diagonal, which is 0.
+#[derive(Debug, Clone, Default)]
+pub struct TableMetric {
+    table: HashMap<(Value, Value), i64>,
+}
+
+impl TableMetric {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `dist(a, b) = dist(b, a) = d`.
+    pub fn set(&mut self, a: impl Into<Value>, b: impl Into<Value>, d: i64) {
+        let (a, b) = (a.into(), b.into());
+        self.table.insert((b.clone(), a.clone()), d);
+        self.table.insert((a, b), d);
+    }
+
+    /// Builder-style [`TableMetric::set`].
+    pub fn with(mut self, a: impl Into<Value>, b: impl Into<Value>, d: i64) -> Self {
+        self.set(a, b, d);
+        self
+    }
+}
+
+impl Metric for TableMetric {
+    fn distance(&self, a: &Value, b: &Value) -> Option<i64> {
+        if a == b {
+            return Some(0);
+        }
+        self.table.get(&(a.clone(), b.clone())).copied()
+    }
+}
+
+/// The collection Γ of named distance functions available during query
+/// evaluation (one per relaxable attribute, Section 7.1).
+#[derive(Debug, Clone, Default)]
+pub struct MetricSet {
+    metrics: BTreeMap<Arc<str>, Arc<dyn Metric + Send + Sync>>,
+}
+
+impl MetricSet {
+    /// An empty Γ.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a metric under a name.
+    pub fn insert(
+        &mut self,
+        name: impl AsRef<str>,
+        metric: impl Metric + Send + Sync + 'static,
+    ) {
+        self.metrics
+            .insert(Arc::from(name.as_ref()), Arc::new(metric));
+    }
+
+    /// Builder-style [`MetricSet::insert`].
+    pub fn with(
+        mut self,
+        name: impl AsRef<str>,
+        metric: impl Metric + Send + Sync + 'static,
+    ) -> Self {
+        self.insert(name, metric);
+        self
+    }
+
+    /// Look up a metric.
+    pub fn get(&self, name: &str) -> Option<&(dyn Metric + Send + Sync)> {
+        self.metrics.get(name).map(|m| &**m)
+    }
+
+    /// Evaluate `dist_name(a, b) ≤ bound`; unknown metrics and undefined
+    /// pairs are `false`.
+    pub fn dist_le(&self, name: &str, a: &Value, b: &Value, bound: i64) -> bool {
+        self.get(name)
+            .and_then(|m| m.distance(a, b))
+            .is_some_and(|d| d <= bound)
+    }
+
+    /// Names of all registered metrics.
+    pub fn names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.metrics.keys().map(|k| &**k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_diff_on_numerics() {
+        let m = AbsDiff;
+        assert_eq!(m.distance(&Value::Int(10), &Value::Int(3)), Some(7));
+        assert_eq!(m.distance(&Value::Bool(true), &Value::Bool(false)), Some(1));
+        assert_eq!(m.distance(&Value::str("a"), &Value::Int(1)), None);
+    }
+
+    #[test]
+    fn discrete_metric() {
+        let m = Discrete;
+        assert_eq!(m.distance(&Value::str("a"), &Value::str("a")), Some(0));
+        assert_eq!(m.distance(&Value::str("a"), &Value::str("b")), Some(1));
+    }
+
+    #[test]
+    fn table_metric_symmetric_with_zero_diagonal() {
+        let m = TableMetric::new().with("nyc", "ewr", 9).with("nyc", "jfk", 12);
+        assert_eq!(m.distance(&Value::str("ewr"), &Value::str("nyc")), Some(9));
+        assert_eq!(m.distance(&Value::str("nyc"), &Value::str("nyc")), Some(0));
+        assert_eq!(m.distance(&Value::str("nyc"), &Value::str("lhr")), None);
+    }
+
+    #[test]
+    fn metric_set_dispatch() {
+        let g = MetricSet::new()
+            .with("days", AbsDiff)
+            .with("city", TableMetric::new().with("nyc", "ewr", 9));
+        assert!(g.dist_le("days", &Value::Int(3), &Value::Int(1), 3));
+        assert!(!g.dist_le("days", &Value::Int(9), &Value::Int(1), 3));
+        assert!(g.dist_le("city", &Value::str("nyc"), &Value::str("ewr"), 15));
+        assert!(!g.dist_le("city", &Value::str("nyc"), &Value::str("lhr"), 15));
+        assert!(!g.dist_le("nope", &Value::Int(0), &Value::Int(0), 100));
+        assert_eq!(g.names().count(), 2);
+    }
+}

@@ -1,0 +1,581 @@
+//! A text syntax for the paper's query languages.
+//!
+//! Two surface forms are supported:
+//!
+//! **Rule form** ([`parse_query`]) for CQ / UCQ / Datalog:
+//!
+//! ```text
+//! q(x, to) :- flight(x, "edi", to, p), p <= 500.
+//! q(x, to) :- flight(x, "gla", to, p).
+//! ```
+//!
+//! One rule is a CQ, several rules over one head predicate are a UCQ,
+//! and rules defining auxiliary predicates form a Datalog program (the
+//! head predicate of the first rule is the output unless an
+//! `@output name.` directive says otherwise).
+//!
+//! **Formula form** ([`parse_fo`]) for FO / ∃FO⁺:
+//!
+//! ```text
+//! q(x) = exists y. (e(x, y) & !e(y, x)) | x = 1
+//! ```
+//!
+//! Lexical conventions: bare identifiers are variables, numbers /
+//! `true` / `false` / quoted strings are constants. Distance builtins
+//! are written `dist_m(t, u) <= d`.
+
+use std::collections::BTreeSet;
+
+use pkgrec_data::Value;
+
+use crate::cq::{ConjunctiveQuery, UnionQuery};
+use crate::datalog::{BodyLiteral, DatalogProgram, Rule};
+use crate::fo::{Formula, FoQuery};
+use crate::query::Query;
+use crate::term::{var, Builtin, CmpOp, RelAtom, Term};
+use crate::{QueryError, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Punct(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    toks: Vec<(Tok, usize)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokenize(src: &'a str) -> Result<Vec<(Tok, usize)>> {
+        let mut lex = Lexer {
+            src,
+            pos: 0,
+            toks: Vec::new(),
+        };
+        lex.run()?;
+        Ok(lex.toks)
+    }
+
+    fn err(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn run(&mut self) -> Result<()> {
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() {
+            let start = self.pos;
+            let c = bytes[self.pos] as char;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                }
+                '%' | '#' => {
+                    // Comment to end of line — except the `@output`-style
+                    // `%` directive is handled by the parser, so only
+                    // treat `%` as comment when not followed by a letter?
+                    // Keep it simple: both are comments.
+                    while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                '"' => {
+                    self.pos += 1;
+                    let s0 = self.pos;
+                    while self.pos < bytes.len() && bytes[self.pos] != b'"' {
+                        self.pos += 1;
+                    }
+                    if self.pos == bytes.len() {
+                        return Err(self.err("unterminated string literal"));
+                    }
+                    let s = self.src[s0..self.pos].to_string();
+                    self.pos += 1;
+                    self.toks.push((Tok::Str(s), start));
+                }
+                '0'..='9' => {
+                    let s0 = self.pos;
+                    while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                    let n: i64 = self.src[s0..self.pos]
+                        .parse()
+                        .map_err(|_| self.err("integer literal out of range"))?;
+                    self.toks.push((Tok::Int(n), start));
+                }
+                '-' if self.pos + 1 < bytes.len() && bytes[self.pos + 1].is_ascii_digit() => {
+                    let s0 = self.pos;
+                    self.pos += 1;
+                    while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                    let n: i64 = self.src[s0..self.pos]
+                        .parse()
+                        .map_err(|_| self.err("integer literal out of range"))?;
+                    self.toks.push((Tok::Int(n), start));
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let s0 = self.pos;
+                    while self.pos < bytes.len()
+                        && ((bytes[self.pos] as char).is_alphanumeric() || bytes[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    self.toks
+                        .push((Tok::Ident(self.src[s0..self.pos].to_string()), start));
+                }
+                _ => {
+                    // Multi-char punctuation first.
+                    let rest = &self.src[self.pos..];
+                    let puncts: [&'static str; 14] = [
+                        ":-", "<=", ">=", "!=", "=", "<", ">", "(", ")", ",", ".", "!", "&", "|",
+                    ];
+                    let mut matched = None;
+                    for p in puncts {
+                        if rest.starts_with(p) {
+                            matched = Some(p);
+                            break;
+                        }
+                    }
+                    let Some(p) = matched else {
+                        return Err(self.err(format!("unexpected character `{c}`")));
+                    };
+                    self.toks.push((Tok::Punct(p), start));
+                    self.pos += p.len();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    i: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self> {
+        let toks = Lexer::tokenize(src)?;
+        let end = src.len();
+        Ok(Parser { toks, i: 0, end })
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.i).map_or(self.end, |(_, o)| *o)
+    }
+
+    fn err(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.i + 1).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn parse_term(&mut self) -> Result<Term> {
+        match self.next() {
+            Some(Tok::Ident(s)) => match s.as_str() {
+                "true" => Ok(Term::c(true)),
+                "false" => Ok(Term::c(false)),
+                _ => Ok(Term::v(s)),
+            },
+            Some(Tok::Int(n)) => Ok(Term::c(n)),
+            Some(Tok::Str(s)) => Ok(Term::Const(Value::str(s))),
+            _ => Err(self.err("expected a term")),
+        }
+    }
+
+    fn parse_cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek() {
+            Some(Tok::Punct("=")) => CmpOp::Eq,
+            Some(Tok::Punct("!=")) => CmpOp::Neq,
+            Some(Tok::Punct("<")) => CmpOp::Lt,
+            Some(Tok::Punct("<=")) => CmpOp::Leq,
+            Some(Tok::Punct(">")) => CmpOp::Gt,
+            Some(Tok::Punct(">=")) => CmpOp::Geq,
+            _ => return Err(self.err("expected a comparison operator")),
+        };
+        self.i += 1;
+        Ok(op)
+    }
+
+    /// Parse `name(t1, ..., tn)`.
+    fn parse_atom_args(&mut self) -> Result<Vec<Term>> {
+        self.expect_punct("(")?;
+        let mut terms = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(terms);
+        }
+        loop {
+            terms.push(self.parse_term()?);
+            if self.eat_punct(")") {
+                return Ok(terms);
+            }
+            self.expect_punct(",")?;
+        }
+    }
+
+    /// A body literal: relation atom, dist builtin, or comparison.
+    fn parse_literal(&mut self) -> Result<BodyLiteral> {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if matches!(self.peek2(), Some(Tok::Punct("("))) {
+                let name = name.clone();
+                self.i += 1;
+                let terms = self.parse_atom_args()?;
+                if let Some(metric) = name.strip_prefix("dist_") {
+                    if terms.len() != 2 {
+                        return Err(self.err("dist_* builtin takes two arguments"));
+                    }
+                    self.expect_punct("<=")?;
+                    let bound = match self.next() {
+                        Some(Tok::Int(n)) => n,
+                        _ => return Err(self.err("expected integer distance bound")),
+                    };
+                    let mut it = terms.into_iter();
+                    let (l, r) = (it.next().expect("len 2"), it.next().expect("len 2"));
+                    return Ok(BodyLiteral::Builtin(Builtin::dist_le(metric, l, r, bound)));
+                }
+                return Ok(BodyLiteral::Rel(RelAtom::new(name, terms)));
+            }
+        }
+        // Comparison: term op term.
+        let l = self.parse_term()?;
+        let op = self.parse_cmp_op()?;
+        let r = self.parse_term()?;
+        Ok(BodyLiteral::Builtin(Builtin::cmp(l, op, r)))
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule> {
+        let name = self.expect_ident()?;
+        let head = RelAtom::new(name, self.parse_atom_args()?);
+        let mut body = Vec::new();
+        if self.eat_punct(".") {
+            return Ok(Rule::new(head, body));
+        }
+        self.expect_punct(":-")?;
+        loop {
+            body.push(self.parse_literal()?);
+            if self.eat_punct(".") {
+                return Ok(Rule::new(head, body));
+            }
+            self.expect_punct(",")?;
+        }
+    }
+
+    // ---- FO formula grammar ----
+
+    fn parse_formula(&mut self) -> Result<Formula> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Formula> {
+        let mut parts = vec![self.parse_and()?];
+        while self.eat_punct("|") {
+            parts.push(self.parse_and()?);
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn parse_and(&mut self) -> Result<Formula> {
+        let mut parts = vec![self.parse_unary()?];
+        while self.eat_punct("&") {
+            parts.push(self.parse_unary()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula> {
+        if self.eat_punct("!") {
+            return Ok(Formula::not(self.parse_unary()?));
+        }
+        if self.eat_punct("(") {
+            let f = self.parse_formula()?;
+            self.expect_punct(")")?;
+            return Ok(f);
+        }
+        if let Some(Tok::Ident(kw)) = self.peek() {
+            if kw == "exists" || kw == "forall" {
+                let is_exists = kw == "exists";
+                self.i += 1;
+                let mut vars = vec![var(self.expect_ident()?)];
+                while self.eat_punct(",") {
+                    vars.push(var(self.expect_ident()?));
+                }
+                self.expect_punct(".")?;
+                let body = self.parse_formula()?;
+                return Ok(if is_exists {
+                    Formula::exists(vars, body)
+                } else {
+                    Formula::forall(vars, body)
+                });
+            }
+        }
+        match self.parse_literal()? {
+            BodyLiteral::Rel(a) => Ok(Formula::Atom(a)),
+            BodyLiteral::Builtin(b) => Ok(Formula::Builtin(b)),
+        }
+    }
+}
+
+/// Parse rule-form text into a [`Query`].
+///
+/// * one rule, no auxiliary predicates → `Query::Cq`
+/// * several rules with one head predicate, no IDB body references →
+///   `Query::Ucq`
+/// * otherwise → `Query::Datalog` (output = first rule's head predicate,
+///   or the predicate named by a leading `@output name.` directive).
+pub fn parse_query(src: &str) -> Result<Query> {
+    let mut p = Parser::new(src)?;
+    let mut output: Option<String> = None;
+    // Optional `@output name.` directive — written with an ident since
+    // `@` is not a token: accept `output name.` only at the very start
+    // when followed by an identifier and a dot.
+    if let (Some(Tok::Ident(kw)), Some(Tok::Ident(_))) = (p.peek(), p.peek2()) {
+        if kw == "output" {
+            p.i += 1;
+            output = Some(p.expect_ident()?);
+            p.expect_punct(".")?;
+        }
+    }
+    let mut rules = Vec::new();
+    while !p.at_end() {
+        rules.push(p.parse_rule()?);
+    }
+    if rules.is_empty() {
+        return Err(QueryError::Parse {
+            message: "no rules".into(),
+            offset: 0,
+        });
+    }
+    let output = output.unwrap_or_else(|| rules[0].head.relation.to_string());
+
+    let head_preds: BTreeSet<&str> = rules.iter().map(|r| &*r.head.relation).collect();
+    let single_pred = head_preds.len() == 1 && head_preds.contains(output.as_str());
+    let references_idb = rules.iter().any(|r| {
+        r.body.iter().any(|l| match l {
+            BodyLiteral::Rel(a) => head_preds.contains(&*a.relation),
+            BodyLiteral::Builtin(_) => false,
+        })
+    });
+
+    if single_pred && !references_idb {
+        let disjuncts: Vec<ConjunctiveQuery> = rules
+            .iter()
+            .map(|r| {
+                let mut atoms = Vec::new();
+                let mut builtins = Vec::new();
+                for l in &r.body {
+                    match l {
+                        BodyLiteral::Rel(a) => atoms.push(a.clone()),
+                        BodyLiteral::Builtin(b) => builtins.push(b.clone()),
+                    }
+                }
+                ConjunctiveQuery::new(r.head.terms.clone(), atoms, builtins)
+            })
+            .collect();
+        return if disjuncts.len() == 1 {
+            Ok(Query::Cq(disjuncts.into_iter().next().expect("len 1")))
+        } else {
+            Ok(Query::Ucq(UnionQuery::new(disjuncts)?))
+        };
+    }
+    Ok(Query::Datalog(DatalogProgram::new(rules, output)))
+}
+
+/// Parse formula-form text `q(x̄) = φ` into an FO [`Query`].
+pub fn parse_fo(src: &str) -> Result<Query> {
+    let mut p = Parser::new(src)?;
+    let _name = p.expect_ident()?;
+    let head = p.parse_atom_args()?;
+    p.expect_punct("=")?;
+    let body = p.parse_formula()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after formula"));
+    }
+    Ok(Query::Fo(FoQuery::new(head, body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::QueryLanguage;
+    use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let e = RelationSchema::new("e", [("s", AttrType::Int), ("d", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(e, [tuple![1, 2], tuple![2, 3], tuple![3, 4]]).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn parse_cq() {
+        let q = parse_query("q(x, z) :- e(x, y), e(y, z), x != z.").unwrap();
+        assert_eq!(q.language(), QueryLanguage::Cq);
+        let ans = q.eval(&db()).unwrap();
+        assert_eq!(ans, [tuple![1, 3], tuple![2, 4]].into_iter().collect());
+    }
+
+    #[test]
+    fn parse_ucq() {
+        let q = parse_query(
+            "q(y) :- e(1, y).\n\
+             q(y) :- e(2, y).",
+        )
+        .unwrap();
+        assert_eq!(q.language(), QueryLanguage::Ucq);
+        assert_eq!(q.eval(&db()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_datalog_recursive() {
+        let q = parse_query(
+            "tc(x, y) :- e(x, y).\n\
+             tc(x, z) :- e(x, y), tc(y, z).",
+        )
+        .unwrap();
+        assert_eq!(q.language(), QueryLanguage::Datalog);
+        assert_eq!(q.eval(&db()).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn parse_datalog_with_output_directive() {
+        let q = parse_query(
+            "output goal.\n\
+             aux(x) :- e(x, y).\n\
+             goal(x) :- aux(x), x > 1.",
+        )
+        .unwrap();
+        assert_eq!(q.language(), QueryLanguage::DatalogNr);
+        assert_eq!(q.eval(&db()).unwrap(), [tuple![2], tuple![3]].into_iter().collect());
+    }
+
+    #[test]
+    fn parse_string_and_bool_constants() {
+        let q = parse_query("q(x) :- r(x, \"edi\", true).").unwrap();
+        let Query::Cq(cq) = &q else { panic!("expected CQ") };
+        assert_eq!(cq.atoms[0].terms[1], Term::Const(Value::str("edi")));
+        assert_eq!(cq.atoms[0].terms[2], Term::c(true));
+    }
+
+    #[test]
+    fn parse_dist_builtin() {
+        let q = parse_query("q(x) :- r(x, w), dist_city(w, \"nyc\") <= 15.").unwrap();
+        let Query::Cq(cq) = &q else { panic!("expected CQ") };
+        assert_eq!(cq.builtins.len(), 1);
+        assert!(matches!(
+            &cq.builtins[0],
+            Builtin::DistLe { metric, bound: 15, .. } if &**metric == "city"
+        ));
+    }
+
+    #[test]
+    fn parse_fo_formula() {
+        let q = parse_fo("q(x) = exists y. (e(x, y) & !e(y, x))").unwrap();
+        assert_eq!(q.language(), QueryLanguage::Fo);
+        assert_eq!(q.eval(&db()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parse_fo_positive_classifies_exists_fo_plus() {
+        let q = parse_fo("q(x) = exists y. e(x, y) | exists y. e(y, x)").unwrap();
+        assert_eq!(q.language(), QueryLanguage::ExistsFoPlus);
+        assert_eq!(q.eval(&db()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn parse_fo_forall() {
+        // Nodes y such that every edge into y comes from a node < y.
+        let q = parse_fo("q(y) = exists w. e(w, y) & forall x. (!e(x, y) | x < y)").unwrap();
+        assert_eq!(q.eval(&db()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        // a | b & c parses as a | (b & c).
+        let q = parse_fo("q(x) = e(x, 2) | e(x, 4) & e(3, x)").unwrap();
+        // x=1 satisfies e(1,2); x=3 satisfies e(3,4) & e(2,3)? e(3,x) with
+        // x=3 means e(3,3): false. So only the explicit pairs hold.
+        let ans = q.eval(&db()).unwrap();
+        assert_eq!(ans, [tuple![1]].into_iter().collect());
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse_query("q(x :- r(x).").unwrap_err();
+        assert!(matches!(e, QueryError::Parse { .. }));
+        let e = parse_query("").unwrap_err();
+        assert!(matches!(e, QueryError::Parse { .. }));
+        let e = parse_fo("q(x) = e(x, ").unwrap_err();
+        assert!(matches!(e, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let q = parse_query(
+            "% a comment\n\
+             q(x) :- e(x, y). # trailing comment",
+        )
+        .unwrap();
+        assert_eq!(q.eval(&db()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let q = parse_query("q(x) :- e(x, y), x > -1.").unwrap();
+        assert_eq!(q.eval(&db()).unwrap().len(), 3);
+    }
+}

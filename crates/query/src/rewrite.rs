@@ -1,0 +1,765 @@
+//! Executable witnesses of the Section 2 language lattice.
+//!
+//! The paper's lattice claims (`CQ ⊂ UCQ ⊂ ∃FO⁺`, `∃FO⁺ ⊂ DATALOGnr`,
+//! `DATALOGnr ⊂ FO`, ...) are *expressibility* statements. This module
+//! implements the inclusions as semantics-preserving translations, so
+//! they can be property-tested instead of taken on faith:
+//!
+//! * [`cq_to_fo`] / [`ucq_to_fo`] — conjunctive (unions) as
+//!   positive-existential FO formulas;
+//! * [`posfo_to_ucq`] — positive-existential FO normalized into a union
+//!   of conjunctive queries (the classical ∃FO⁺ ≡ UCQ equivalence), by
+//!   pushing disjunction outward;
+//! * [`cq_to_datalog`] / [`ucq_to_datalog`] — conjunctive (unions) as
+//!   single-stratum Datalog programs;
+//! * [`nonrecursive_datalog_to_fo`] — DATALOGnr unfolded into FO by
+//!   substituting rule bodies for IDB atoms bottom-up.
+//!
+//! Every translation is exercised by equivalence tests (`eval` agreement
+//! on databases) in this module and by randomized cross-checks in the
+//! crate's integration tests.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::cq::{ConjunctiveQuery, UnionQuery};
+use crate::datalog::{BodyLiteral, DatalogProgram, Rule};
+use crate::fo::{Formula, FoQuery};
+use crate::term::{var, Builtin, RelAtom, Term, Var};
+use crate::{QueryError, Result};
+
+/// Embed a CQ into FO: `Q(t̄) = ∃ ȳ (atoms ∧ builtins)` with the
+/// non-head body variables quantified explicitly.
+pub fn cq_to_fo(q: &ConjunctiveQuery) -> FoQuery {
+    let head_vars = q.head_variables();
+    let bound: Vec<Var> = q
+        .all_variables()
+        .into_iter()
+        .filter(|v| !head_vars.contains(v))
+        .collect();
+    let mut parts: Vec<Formula> = q.atoms.iter().cloned().map(Formula::Atom).collect();
+    parts.extend(q.builtins.iter().cloned().map(Formula::Builtin));
+    FoQuery::new(q.head.clone(), Formula::exists(bound, Formula::and(parts)))
+}
+
+/// Embed a UCQ into FO as a disjunction of the per-disjunct embeddings.
+/// The disjuncts' head terms may differ; each branch is rewritten to a
+/// shared head-variable vector via equality constraints.
+pub fn ucq_to_fo(q: &UnionQuery) -> FoQuery {
+    let arity = q.arity();
+    let head: Vec<Term> = (0..arity).map(|i| Term::v(format!("__h{i}"))).collect();
+    let branches: Vec<Formula> = q
+        .disjuncts
+        .iter()
+        .map(|d| {
+            // Rename the disjunct's variables apart from the shared head.
+            let renamed = rename_apart(d, "__b");
+            let inner = cq_to_fo(&renamed);
+            // ∃ (inner head vars) . inner body ∧ head equalities.
+            let mut parts = vec![inner.body.clone()];
+            let mut quantified: Vec<Var> = Vec::new();
+            for (h, t) in head.iter().zip(&renamed.head) {
+                parts.push(Formula::Builtin(Builtin::eq(h.clone(), t.clone())));
+                if let Term::Var(v) = t {
+                    if !quantified.contains(v) {
+                        quantified.push(v.clone());
+                    }
+                }
+            }
+            Formula::exists(quantified, Formula::and(parts))
+        })
+        .collect();
+    FoQuery::new(head, Formula::or(branches))
+}
+
+/// Rename every variable of a CQ with a prefix (capture avoidance for
+/// union branches).
+fn rename_apart(q: &ConjunctiveQuery, prefix: &str) -> ConjunctiveQuery {
+    let map: BTreeMap<Var, Var> = q
+        .all_variables()
+        .into_iter()
+        .map(|v| (v.clone(), var(format!("{prefix}_{v}"))))
+        .collect();
+    let rename_term = |t: &Term| match t {
+        Term::Var(v) => Term::Var(Arc::clone(&map[v])),
+        c => c.clone(),
+    };
+    let rename_builtin = |b: &Builtin| match b {
+        Builtin::Cmp(c) => Builtin::cmp(rename_term(&c.left), c.op, rename_term(&c.right)),
+        Builtin::DistLe {
+            metric,
+            left,
+            right,
+            bound,
+        } => Builtin::dist_le(metric.as_ref(), rename_term(left), rename_term(right), *bound),
+    };
+    ConjunctiveQuery::new(
+        q.head.iter().map(&rename_term).collect::<Vec<_>>(),
+        q.atoms
+            .iter()
+            .map(|a| RelAtom::new(a.relation.as_ref(), a.terms.iter().map(&rename_term).collect::<Vec<_>>()))
+            .collect::<Vec<_>>(),
+        q.builtins.iter().map(&rename_builtin).collect::<Vec<_>>(),
+    )
+}
+
+/// A conjunction of atoms/builtins collected during DNF-ization.
+#[derive(Clone, Default)]
+struct Conjunct {
+    atoms: Vec<RelAtom>,
+    builtins: Vec<Builtin>,
+}
+
+/// Normalize a positive-existential FO query into a UCQ (the ∃FO⁺ ≡ UCQ
+/// equivalence): distribute ∧ over ∨ and drop now-redundant ∃ (CQ
+/// quantification is implicit).
+///
+/// Fails with [`QueryError::Parse`]-style errors when the body is not
+/// positive-existential.
+pub fn posfo_to_ucq(q: &FoQuery) -> Result<UnionQuery> {
+    if !q.body.is_positive_existential() {
+        return Err(QueryError::DisjunctsBindDifferentVars);
+    }
+    // Quantified variables must be renamed apart between branches of a
+    // disjunction under the same quantifier... CQ's implicit
+    // quantification makes a literal translation safe as long as bound
+    // variable names are globally unique; ensure that first.
+    let mut counter = 0usize;
+    let body = uniquify_bound(&q.body, &mut BTreeMap::new(), &mut counter);
+    let conjuncts = dnf(&body);
+    // Resolve equality builtins by substitution so the resulting CQs
+    // are range-restricted (a head variable bound only through `x = t`
+    // would otherwise violate CQ safety). Unsatisfiable conjuncts
+    // (conflicting constants) are dropped.
+    let disjuncts: Vec<ConjunctiveQuery> = conjuncts
+        .into_iter()
+        .filter_map(|c| resolve_equalities(&q.head, c))
+        .collect();
+    if disjuncts.is_empty() {
+        // Every conjunct was unsatisfiable. The UCQ AST has no literal
+        // "false", so this (degenerate, constant-empty) query is
+        // reported rather than encoded.
+        return Err(QueryError::EmptyUnion);
+    }
+    UnionQuery::new(disjuncts)
+}
+
+/// Substitute away the equality builtins of one DNF conjunct via
+/// union–find: variables equated with a constant become that constant,
+/// equated variables collapse to one representative. Returns `None`
+/// when the conjunct is unsatisfiable (two distinct constants equated).
+fn resolve_equalities(head: &[Term], c: Conjunct) -> Option<ConjunctiveQuery> {
+    use crate::term::CmpOp;
+    use pkgrec_data::Value;
+
+    // Union–find over variable names.
+    let mut parent: BTreeMap<Var, Var> = BTreeMap::new();
+    fn find(parent: &mut BTreeMap<Var, Var>, v: &Var) -> Var {
+        let p = parent.entry(v.clone()).or_insert_with(|| v.clone()).clone();
+        if &p == v {
+            return p;
+        }
+        let root = find(parent, &p);
+        parent.insert(v.clone(), root.clone());
+        root
+    }
+    let mut constant: BTreeMap<Var, Value> = BTreeMap::new();
+    let mut rest: Vec<Builtin> = Vec::new();
+
+    for b in &c.builtins {
+        match b {
+            Builtin::Cmp(cmp) if cmp.op == CmpOp::Eq => match (&cmp.left, &cmp.right) {
+                (Term::Var(x), Term::Var(y)) => {
+                    let (rx, ry) = (find(&mut parent, x), find(&mut parent, y));
+                    if rx != ry {
+                        // Merge, carrying constants along.
+                        let cx = constant.get(&rx).cloned();
+                        let cy = constant.get(&ry).cloned();
+                        match (cx, cy) {
+                            (Some(a), Some(b)) if a != b => return None,
+                            (Some(a), _) | (_, Some(a)) => {
+                                constant.insert(rx.clone(), a);
+                            }
+                            _ => {}
+                        }
+                        parent.insert(ry, rx);
+                    }
+                }
+                (Term::Var(x), Term::Const(v)) | (Term::Const(v), Term::Var(x)) => {
+                    let rx = find(&mut parent, x);
+                    match constant.get(&rx) {
+                        Some(existing) if existing != v => return None,
+                        _ => {
+                            constant.insert(rx, v.clone());
+                        }
+                    }
+                }
+                (Term::Const(a), Term::Const(b)) => {
+                    if a != b {
+                        return None;
+                    }
+                }
+            },
+            other => rest.push(other.clone()),
+        }
+    }
+
+    let mut subst = |t: &Term| -> Term {
+        match t {
+            Term::Var(v) => {
+                let r = find(&mut parent, v);
+                match constant.get(&r) {
+                    Some(c) => Term::Const(c.clone()),
+                    None => Term::Var(r),
+                }
+            }
+            c => c.clone(),
+        }
+    };
+
+    let atoms: Vec<RelAtom> = c
+        .atoms
+        .iter()
+        .map(|a| {
+            RelAtom::new(
+                a.relation.as_ref(),
+                a.terms.iter().map(&mut subst).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let builtins: Vec<Builtin> = rest
+        .iter()
+        .map(|b| match b {
+            Builtin::Cmp(cmp) => Builtin::cmp(subst(&cmp.left), cmp.op, subst(&cmp.right)),
+            Builtin::DistLe {
+                metric,
+                left,
+                right,
+                bound,
+            } => Builtin::dist_le(metric.as_ref(), subst(left), subst(right), *bound),
+        })
+        .collect();
+    let head: Vec<Term> = head.iter().map(&mut subst).collect();
+    Some(ConjunctiveQuery::new(head, atoms, builtins))
+}
+
+/// Rename bound variables to globally fresh names.
+fn uniquify_bound(
+    f: &Formula,
+    scope: &mut BTreeMap<Var, Var>,
+    counter: &mut usize,
+) -> Formula {
+    let rename_term = |t: &Term, scope: &BTreeMap<Var, Var>| match t {
+        Term::Var(v) => match scope.get(v) {
+            Some(fresh) => Term::Var(Arc::clone(fresh)),
+            None => t.clone(),
+        },
+        c => c.clone(),
+    };
+    match f {
+        Formula::Atom(a) => Formula::Atom(RelAtom::new(
+            a.relation.as_ref(),
+            a.terms
+                .iter()
+                .map(|t| rename_term(t, scope))
+                .collect::<Vec<_>>(),
+        )),
+        Formula::Builtin(b) => Formula::Builtin(match b {
+            Builtin::Cmp(c) => {
+                Builtin::cmp(rename_term(&c.left, scope), c.op, rename_term(&c.right, scope))
+            }
+            Builtin::DistLe {
+                metric,
+                left,
+                right,
+                bound,
+            } => Builtin::dist_le(
+                metric.as_ref(),
+                rename_term(left, scope),
+                rename_term(right, scope),
+                *bound,
+            ),
+        }),
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|g| uniquify_bound(g, scope, counter))
+                .collect(),
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|g| uniquify_bound(g, scope, counter))
+                .collect(),
+        ),
+        Formula::Not(g) => Formula::not(uniquify_bound(g, scope, counter)),
+        Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+            let is_exists = matches!(f, Formula::Exists(..));
+            let mut fresh_vars = Vec::with_capacity(vs.len());
+            let mut shadowed: Vec<(Var, Option<Var>)> = Vec::new();
+            for v in vs {
+                let fresh = var(format!("__q{counter}"));
+                *counter += 1;
+                shadowed.push((v.clone(), scope.insert(v.clone(), fresh.clone())));
+                fresh_vars.push(fresh);
+            }
+            let inner = uniquify_bound(g, scope, counter);
+            for (v, prev) in shadowed.into_iter().rev() {
+                match prev {
+                    Some(p) => {
+                        scope.insert(v, p);
+                    }
+                    None => {
+                        scope.remove(&v);
+                    }
+                }
+            }
+            if is_exists {
+                Formula::exists(fresh_vars, inner)
+            } else {
+                Formula::forall(fresh_vars, inner)
+            }
+        }
+    }
+}
+
+/// Disjunctive normal form of a positive-existential formula (∃ dropped
+/// — bound names are already unique).
+fn dnf(f: &Formula) -> Vec<Conjunct> {
+    match f {
+        Formula::Atom(a) => vec![Conjunct {
+            atoms: vec![a.clone()],
+            builtins: vec![],
+        }],
+        Formula::Builtin(b) => vec![Conjunct {
+            atoms: vec![],
+            builtins: vec![b.clone()],
+        }],
+        Formula::Exists(_, g) => dnf(g),
+        Formula::Or(fs) => fs.iter().flat_map(dnf).collect(),
+        Formula::And(fs) => {
+            let mut acc = vec![Conjunct::default()];
+            for g in fs {
+                let branches = dnf(g);
+                let mut next = Vec::with_capacity(acc.len() * branches.len());
+                for a in &acc {
+                    for b in &branches {
+                        let mut merged = a.clone();
+                        merged.atoms.extend(b.atoms.iter().cloned());
+                        merged.builtins.extend(b.builtins.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        Formula::Not(_) | Formula::Forall(..) => {
+            unreachable!("checked positive-existential before normalizing")
+        }
+    }
+}
+
+/// Embed a CQ into Datalog: a single rule defining `out`.
+pub fn cq_to_datalog(q: &ConjunctiveQuery) -> DatalogProgram {
+    ucq_to_datalog(&UnionQuery {
+        disjuncts: vec![q.clone()],
+    })
+}
+
+/// Embed a UCQ into Datalog: one rule per disjunct, all defining `out`.
+pub fn ucq_to_datalog(q: &UnionQuery) -> DatalogProgram {
+    let rules = q
+        .disjuncts
+        .iter()
+        .map(|d| {
+            let mut body: Vec<BodyLiteral> =
+                d.atoms.iter().cloned().map(BodyLiteral::Rel).collect();
+            body.extend(d.builtins.iter().cloned().map(BodyLiteral::Builtin));
+            Rule::new(RelAtom::new("out", d.head.clone()), body)
+        })
+        .collect::<Vec<_>>();
+    DatalogProgram::new(rules, "out")
+}
+
+/// Unfold a non-recursive Datalog program into an FO query, by
+/// substituting each IDB predicate with the disjunction of its rule
+/// bodies, processed in dependency order. Errors on recursive programs.
+pub fn nonrecursive_datalog_to_fo(p: &DatalogProgram) -> Result<FoQuery> {
+    p.check()?;
+    let order = p.strata_order().ok_or(QueryError::RecursiveProgram)?;
+    let arities = p.idb_arities()?;
+
+    // For each IDB predicate, an FO definition over fresh parameter
+    // variables `__p0..`.
+    let mut defs: BTreeMap<Arc<str>, FoQuery> = BTreeMap::new();
+    let mut counter = 0usize;
+
+    for pred in order {
+        let arity = arities[&pred];
+        let params: Vec<Term> = (0..arity).map(|i| Term::v(format!("__p{i}"))).collect();
+        let mut branches: Vec<Formula> = Vec::new();
+        for rule in p.rules.iter().filter(|r| r.head.relation == pred) {
+            // Body conjunction with IDB atoms replaced by their
+            // definitions (already available: dependency order).
+            let mut parts: Vec<Formula> = Vec::new();
+            for lit in &rule.body {
+                match lit {
+                    BodyLiteral::Builtin(b) => parts.push(Formula::Builtin(b.clone())),
+                    BodyLiteral::Rel(a) => {
+                        if let Some(def) = defs.get(&a.relation) {
+                            parts.push(instantiate(def, &a.terms, &mut counter));
+                        } else {
+                            parts.push(Formula::Atom(a.clone()));
+                        }
+                    }
+                }
+            }
+            // Equate the rule head terms with the shared parameters and
+            // quantify the rule's own variables.
+            let mut rule_vars: Vec<Var> = Vec::new();
+            for a in rule
+                .body
+                .iter()
+                .filter_map(|l| match l {
+                    BodyLiteral::Rel(a) => Some(a),
+                    _ => None,
+                })
+            {
+                for v in a.variables() {
+                    if !rule_vars.contains(&v) {
+                        rule_vars.push(v);
+                    }
+                }
+            }
+            for v in rule.head.variables() {
+                if !rule_vars.contains(&v) {
+                    rule_vars.push(v);
+                }
+            }
+            for (param, t) in params.iter().zip(&rule.head.terms) {
+                parts.push(Formula::Builtin(Builtin::eq(param.clone(), t.clone())));
+            }
+            branches.push(Formula::exists(rule_vars, Formula::and(parts)));
+        }
+        defs.insert(
+            pred.clone(),
+            FoQuery::new(params, Formula::or(branches)),
+        );
+    }
+
+    let out = defs
+        .remove(&p.output)
+        .ok_or_else(|| QueryError::NoOutputRule(p.output.to_string()))?;
+    Ok(out)
+}
+
+/// Instantiate a predicate definition at the given argument terms:
+/// rename its parameters apart, then conjoin equalities binding them to
+/// the arguments.
+fn instantiate(def: &FoQuery, args: &[Term], counter: &mut usize) -> Formula {
+    // Rename ALL variables of the definition apart (parameters and
+    // quantified variables) to avoid capture at the call site.
+    let mut fresh_map: BTreeMap<Var, Var> = BTreeMap::new();
+    let body = rename_formula(&def.body, &mut fresh_map, counter);
+    let params: Vec<Term> = def
+        .head
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => Term::Var(Arc::clone(
+                fresh_map
+                    .entry(v.clone())
+                    .or_insert_with(|| {
+                        let f = var(format!("__i{counter}"));
+                        *counter += 1;
+                        f
+                    }),
+            )),
+            c => c.clone(),
+        })
+        .collect();
+    let mut parts = vec![body];
+    let mut quantified: Vec<Var> = fresh_map.values().cloned().collect();
+    quantified.sort();
+    quantified.dedup();
+    for (p, a) in params.iter().zip(args) {
+        parts.push(Formula::Builtin(Builtin::eq(p.clone(), a.clone())));
+    }
+    Formula::exists(quantified, Formula::and(parts))
+}
+
+fn rename_formula(
+    f: &Formula,
+    map: &mut BTreeMap<Var, Var>,
+    counter: &mut usize,
+) -> Formula {
+    let rename_var = |v: &Var, map: &mut BTreeMap<Var, Var>, counter: &mut usize| {
+        Arc::clone(map.entry(v.clone()).or_insert_with(|| {
+            let f = var(format!("__i{counter}"));
+            *counter += 1;
+            f
+        }))
+    };
+    let rename_term = |t: &Term, map: &mut BTreeMap<Var, Var>, counter: &mut usize| match t {
+        Term::Var(v) => Term::Var(rename_var(v, map, counter)),
+        c => c.clone(),
+    };
+    match f {
+        Formula::Atom(a) => Formula::Atom(RelAtom::new(
+            a.relation.as_ref(),
+            a.terms
+                .iter()
+                .map(|t| rename_term(t, map, counter))
+                .collect::<Vec<_>>(),
+        )),
+        Formula::Builtin(b) => Formula::Builtin(match b {
+            Builtin::Cmp(c) => Builtin::cmp(
+                rename_term(&c.left, map, counter),
+                c.op,
+                rename_term(&c.right, map, counter),
+            ),
+            Builtin::DistLe {
+                metric,
+                left,
+                right,
+                bound,
+            } => Builtin::dist_le(
+                metric.as_ref(),
+                rename_term(left, map, counter),
+                rename_term(right, map, counter),
+                *bound,
+            ),
+        }),
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|g| rename_formula(g, map, counter))
+                .collect(),
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|g| rename_formula(g, map, counter))
+                .collect(),
+        ),
+        Formula::Not(g) => Formula::not(rename_formula(g, map, counter)),
+        Formula::Exists(vs, g) => {
+            let fresh: Vec<Var> = vs.iter().map(|v| rename_var(v, map, counter)).collect();
+            Formula::exists(fresh, rename_formula(g, map, counter))
+        }
+        Formula::Forall(vs, g) => {
+            let fresh: Vec<Var> = vs.iter().map(|v| rename_var(v, map, counter)).collect();
+            Formula::forall(fresh, rename_formula(g, map, counter))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use crate::term::CmpOp;
+    use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let e = RelationSchema::new("e", [("s", AttrType::Int), ("d", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(e, [tuple![1, 2], tuple![2, 3], tuple![1, 3], tuple![3, 1]])
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn path2() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            vec![Term::v("x"), Term::v("z")],
+            vec![
+                RelAtom::new("e", vec![Term::v("x"), Term::v("y")]),
+                RelAtom::new("e", vec![Term::v("y"), Term::v("z")]),
+            ],
+            vec![Builtin::cmp(Term::v("x"), CmpOp::Neq, Term::v("z"))],
+        )
+    }
+
+    #[test]
+    fn cq_fo_embedding_is_equivalent() {
+        let cq = path2();
+        let fo = cq_to_fo(&cq);
+        let db = db();
+        assert_eq!(
+            Query::Cq(cq).eval(&db).unwrap(),
+            Query::Fo(fo).eval(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn ucq_fo_embedding_is_equivalent() {
+        let u = UnionQuery::new(vec![
+            ConjunctiveQuery::new(
+                vec![Term::v("a")],
+                vec![RelAtom::new("e", vec![Term::c(1), Term::v("a")])],
+                vec![],
+            ),
+            ConjunctiveQuery::new(
+                vec![Term::v("b")],
+                vec![RelAtom::new("e", vec![Term::v("b"), Term::c(1)])],
+                vec![],
+            ),
+        ])
+        .unwrap();
+        let fo = ucq_to_fo(&u);
+        let db = db();
+        assert_eq!(
+            Query::Ucq(u).eval(&db).unwrap(),
+            Query::Fo(fo).eval(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn posfo_normalizes_to_equivalent_ucq() {
+        // Q(x) = ∃y (e(x,y) ∧ (e(y,1) ∨ e(y,3))).
+        let body = Formula::exists(
+            vec![var("y")],
+            Formula::and(vec![
+                Formula::Atom(RelAtom::new("e", vec![Term::v("x"), Term::v("y")])),
+                Formula::or(vec![
+                    Formula::Atom(RelAtom::new("e", vec![Term::v("y"), Term::c(1)])),
+                    Formula::Atom(RelAtom::new("e", vec![Term::v("y"), Term::c(3)])),
+                ]),
+            ]),
+        );
+        let fo = FoQuery::new(vec![Term::v("x")], body);
+        let ucq = posfo_to_ucq(&fo).unwrap();
+        assert_eq!(ucq.disjuncts.len(), 2);
+        let db = db();
+        assert_eq!(
+            Query::Fo(fo).eval(&db).unwrap(),
+            Query::Ucq(ucq).eval(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn posfo_rejects_negation() {
+        let fo = FoQuery::new(
+            vec![Term::v("x")],
+            Formula::not(Formula::Atom(RelAtom::new(
+                "e",
+                vec![Term::v("x"), Term::v("x")],
+            ))),
+        );
+        assert!(posfo_to_ucq(&fo).is_err());
+    }
+
+    #[test]
+    fn shadowed_quantifiers_are_renamed_apart() {
+        // ∃y e(x,y) ∧ ∃y e(y,x): the two y's must not be conflated.
+        let body = Formula::and(vec![
+            Formula::exists(
+                vec![var("y")],
+                Formula::Atom(RelAtom::new("e", vec![Term::v("x"), Term::v("y")])),
+            ),
+            Formula::exists(
+                vec![var("y")],
+                Formula::Atom(RelAtom::new("e", vec![Term::v("y"), Term::v("x")])),
+            ),
+        ]);
+        let fo = FoQuery::new(vec![Term::v("x")], body);
+        let ucq = posfo_to_ucq(&fo).unwrap();
+        let db = db();
+        assert_eq!(
+            Query::Fo(fo).eval(&db).unwrap(),
+            Query::Ucq(ucq).eval(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn cq_datalog_embedding_is_equivalent() {
+        let cq = path2();
+        let p = cq_to_datalog(&cq);
+        let db = db();
+        assert_eq!(
+            Query::Cq(cq).eval(&db).unwrap(),
+            Query::Datalog(p).eval(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn nonrecursive_unfolding_is_equivalent() {
+        // aux(x, z) :- e(x, y), e(y, z); goal(x) :- aux(x, z), z = 1.
+        let p = DatalogProgram::new(
+            vec![
+                Rule::new(
+                    RelAtom::new("aux", vec![Term::v("x"), Term::v("z")]),
+                    vec![
+                        BodyLiteral::Rel(RelAtom::new("e", vec![Term::v("x"), Term::v("y")])),
+                        BodyLiteral::Rel(RelAtom::new("e", vec![Term::v("y"), Term::v("z")])),
+                    ],
+                ),
+                Rule::new(
+                    RelAtom::new("goal", vec![Term::v("x")]),
+                    vec![
+                        BodyLiteral::Rel(RelAtom::new("aux", vec![Term::v("x"), Term::v("z")])),
+                        BodyLiteral::Builtin(Builtin::cmp(Term::v("z"), CmpOp::Eq, Term::c(1))),
+                    ],
+                ),
+            ],
+            "goal",
+        );
+        let fo = nonrecursive_datalog_to_fo(&p).unwrap();
+        let db = db();
+        assert_eq!(
+            Query::Datalog(p).eval(&db).unwrap(),
+            Query::Fo(fo).eval(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn unfolding_rejects_recursion() {
+        let p = DatalogProgram::new(
+            vec![Rule::new(
+                RelAtom::new("p", vec![Term::v("x")]),
+                vec![BodyLiteral::Rel(RelAtom::new("p", vec![Term::v("x")]))],
+            )],
+            "p",
+        );
+        assert!(matches!(
+            nonrecursive_datalog_to_fo(&p),
+            Err(QueryError::RecursiveProgram)
+        ));
+    }
+
+    #[test]
+    fn multi_stratum_unfolding() {
+        // Three strata with constants in IDB calls.
+        let p = DatalogProgram::new(
+            vec![
+                Rule::new(
+                    RelAtom::new("a", vec![Term::v("x"), Term::v("y")]),
+                    vec![BodyLiteral::Rel(RelAtom::new(
+                        "e",
+                        vec![Term::v("x"), Term::v("y")],
+                    ))],
+                ),
+                Rule::new(
+                    RelAtom::new("b", vec![Term::v("x")]),
+                    vec![BodyLiteral::Rel(RelAtom::new(
+                        "a",
+                        vec![Term::v("x"), Term::c(3)],
+                    ))],
+                ),
+                Rule::new(
+                    RelAtom::new("c", vec![Term::v("x")]),
+                    vec![
+                        BodyLiteral::Rel(RelAtom::new("b", vec![Term::v("x")])),
+                        BodyLiteral::Rel(RelAtom::new("a", vec![Term::v("x"), Term::v("w")])),
+                    ],
+                ),
+            ],
+            "c",
+        );
+        let fo = nonrecursive_datalog_to_fo(&p).unwrap();
+        let db = db();
+        assert_eq!(
+            Query::Datalog(p).eval(&db).unwrap(),
+            Query::Fo(fo).eval(&db).unwrap()
+        );
+    }
+}

@@ -1,0 +1,311 @@
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use pkgrec_data::Value;
+
+/// A variable name. Variables are compared by name; queries intern them
+/// into dense indices during evaluation.
+pub type Var = Arc<str>;
+
+/// Make a variable from a string.
+pub fn var(name: impl AsRef<str>) -> Var {
+    Arc::from(name.as_ref())
+}
+
+/// A term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn v(name: impl AsRef<str>) -> Term {
+        Term::Var(var(name))
+    }
+
+    /// Shorthand for a constant term.
+    pub fn c(value: impl Into<Value>) -> Term {
+        Term::Const(value.into())
+    }
+
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this term is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Value::Str(s)) => write!(f, "\"{s}\""),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// The built-in comparison predicates the paper allows in every language:
+/// `=, ≠, <, ≤, >, ≥` (Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+    /// `<`
+    Lt,
+    /// `≤`
+    Leq,
+    /// `>`
+    Gt,
+    /// `≥`
+    Geq,
+}
+
+impl CmpOp {
+    /// Apply the comparison to two values (under the total value order).
+    pub fn apply(self, l: &Value, r: &Value) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Neq => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Leq => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Geq => l >= r,
+        }
+    }
+
+    /// The comparison with its arguments swapped (`a op b ⇔ b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Leq => CmpOp::Geq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Geq => CmpOp::Leq,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Leq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Geq => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A comparison between two terms, e.g. `x < 5` or `xTo = uTo`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Left operand.
+    pub left: Term,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Term,
+}
+
+impl Comparison {
+    /// Build a comparison.
+    pub fn new(left: Term, op: CmpOp, right: Term) -> Self {
+        Comparison { left, op, right }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A relation atom `R(t1, ..., tn)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RelAtom {
+    /// Relation (or IDB predicate) name.
+    pub relation: Arc<str>,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl RelAtom {
+    /// Build an atom.
+    pub fn new(relation: impl AsRef<str>, terms: impl Into<Vec<Term>>) -> Self {
+        RelAtom {
+            relation: Arc::from(relation.as_ref()),
+            terms: terms.into(),
+        }
+    }
+
+    /// Variables appearing in this atom, in canonical order.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        self.terms
+            .iter()
+            .filter_map(|t| t.as_var().cloned())
+            .collect()
+    }
+}
+
+impl fmt::Display for RelAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A built-in predicate atom: either a comparison or a bounded-distance
+/// predicate `dist_m(l, r) ≤ d`, the form query relaxation introduces
+/// (Section 7.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Builtin {
+    /// A comparison `l op r`.
+    Cmp(Comparison),
+    /// `dist(l, r) ≤ bound`, where `metric` names a distance function in
+    /// the evaluation context's metric set Γ.
+    DistLe {
+        /// Name of the distance function in Γ.
+        metric: Arc<str>,
+        /// Left argument.
+        left: Term,
+        /// Right argument.
+        right: Term,
+        /// Inclusive distance bound `d`.
+        bound: i64,
+    },
+}
+
+impl Builtin {
+    /// Convenience constructor for a comparison builtin.
+    pub fn cmp(left: Term, op: CmpOp, right: Term) -> Self {
+        Builtin::Cmp(Comparison::new(left, op, right))
+    }
+
+    /// Convenience constructor for an equality builtin.
+    pub fn eq(left: Term, right: Term) -> Self {
+        Self::cmp(left, CmpOp::Eq, right)
+    }
+
+    /// Convenience constructor for a distance builtin.
+    pub fn dist_le(metric: impl AsRef<str>, left: Term, right: Term, bound: i64) -> Self {
+        Builtin::DistLe {
+            metric: Arc::from(metric.as_ref()),
+            left,
+            right,
+            bound,
+        }
+    }
+
+    /// Variables of this builtin.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        let (l, r) = match self {
+            Builtin::Cmp(c) => (&c.left, &c.right),
+            Builtin::DistLe { left, right, .. } => (left, right),
+        };
+        if let Some(v) = l.as_var() {
+            out.insert(v.clone());
+        }
+        if let Some(v) = r.as_var() {
+            out.insert(v.clone());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Builtin::Cmp(c) => write!(f, "{c}"),
+            Builtin::DistLe {
+                metric,
+                left,
+                right,
+                bound,
+            } => write!(f, "dist_{metric}({left}, {right}) <= {bound}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_semantics() {
+        let a = Value::Int(1);
+        let b = Value::Int(2);
+        assert!(CmpOp::Lt.apply(&a, &b));
+        assert!(CmpOp::Leq.apply(&a, &a));
+        assert!(CmpOp::Neq.apply(&a, &b));
+        assert!(!CmpOp::Eq.apply(&a, &b));
+        assert!(CmpOp::Gt.apply(&b, &a));
+        assert!(CmpOp::Geq.apply(&b, &b));
+    }
+
+    #[test]
+    fn flip_is_involution_compatible() {
+        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq] {
+            let a = Value::Int(3);
+            let b = Value::Int(7);
+            assert_eq!(op.apply(&a, &b), op.flip().apply(&b, &a));
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn atom_variables() {
+        let a = RelAtom::new("r", vec![Term::v("x"), Term::c(1), Term::v("y"), Term::v("x")]);
+        let vars = a.variables();
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains(&var("x")));
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = RelAtom::new("r", vec![Term::v("x"), Term::c("edi")]);
+        assert_eq!(a.to_string(), "r(x, \"edi\")");
+        let b = Builtin::dist_le("city", Term::v("w"), Term::c("nyc"), 15);
+        assert_eq!(b.to_string(), "dist_city(w, \"nyc\") <= 15");
+        let c = Builtin::cmp(Term::v("x"), CmpOp::Leq, Term::c(5));
+        assert_eq!(c.to_string(), "x <= 5");
+    }
+
+    #[test]
+    fn builtin_variables() {
+        let b = Builtin::cmp(Term::v("x"), CmpOp::Lt, Term::v("y"));
+        assert_eq!(b.variables().len(), 2);
+        let d = Builtin::dist_le("m", Term::c(0), Term::c(1), 2);
+        assert!(d.variables().is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Randomized cross-engine equivalence: the same query evaluated as a
+//! CQ (backtracking joins), as its FO embedding (active-domain
+//! semantics), and as its Datalog embedding (semi-naive fixpoint) must
+//! produce identical answers — and the text form must round-trip
+//! through the parser. Three independent engines agreeing on random
+//! inputs is the strongest internal consistency check the crate has.
+
+use proptest::prelude::*;
+
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_query::parser::parse_query;
+use pkgrec_query::rewrite::{cq_to_datalog, cq_to_fo, posfo_to_ucq, ucq_to_fo};
+use pkgrec_query::{
+    Builtin, CmpOp, ConjunctiveQuery, Formula, FoQuery, Query, RelAtom, Term, UnionQuery,
+};
+
+/// A small random database over two relations r(a, b) and s(a).
+fn db_strategy() -> impl Strategy<Value = Database> {
+    let r_rows = prop::collection::btree_set((0i64..4, 0i64..4), 0..8);
+    let s_rows = prop::collection::btree_set(0i64..4, 0..4);
+    (r_rows, s_rows).prop_map(|(r_rows, s_rows)| {
+        let r = RelationSchema::new("r", [("a", AttrType::Int), ("b", AttrType::Int)])
+            .expect("valid schema");
+        let s = RelationSchema::new("s", [("a", AttrType::Int)]).expect("valid schema");
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::from_tuples(r, r_rows.into_iter().map(|(a, b)| tuple![a, b]))
+                .expect("schema-conformant"),
+        )
+        .expect("fresh db");
+        db.add_relation(
+            Relation::from_tuples(s, s_rows.into_iter().map(|a| tuple![a]))
+                .expect("schema-conformant"),
+        )
+        .expect("fresh db");
+        db
+    })
+}
+
+/// A random term over a small variable pool and small constants.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0usize..4).prop_map(|i| Term::v(format!("v{i}"))),
+        (0i64..4).prop_map(Term::c),
+    ]
+}
+
+/// A random safe CQ: 1–3 atoms over r/s, head = two variables that are
+/// guaranteed to occur in some atom, plus up to two comparisons over
+/// atom variables.
+fn cq_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    let atom = prop_oneof![
+        (term_strategy(), term_strategy())
+            .prop_map(|(a, b)| RelAtom::new("r", vec![a, b])),
+        term_strategy().prop_map(|a| RelAtom::new("s", vec![a])),
+    ];
+    let cmp_op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Neq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Leq),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Geq)
+    ];
+    (
+        prop::collection::vec(atom, 1..4),
+        prop::collection::vec((cmp_op, 0i64..4), 0..3),
+    )
+        .prop_filter_map("need at least one variable", |(atoms, cmps)| {
+            let vars: Vec<_> = atoms
+                .iter()
+                .flat_map(|a| a.variables())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            if vars.is_empty() {
+                return None;
+            }
+            let head = vec![
+                Term::Var(vars[0].clone()),
+                Term::Var(vars[vars.len() / 2].clone()),
+            ];
+            let builtins: Vec<Builtin> = cmps
+                .into_iter()
+                .enumerate()
+                .map(|(i, (op, c))| {
+                    Builtin::cmp(Term::Var(vars[i % vars.len()].clone()), op, Term::c(c))
+                })
+                .collect();
+            Some(ConjunctiveQuery::new(head, atoms, builtins))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cq_fo_datalog_engines_agree(db in db_strategy(), cq in cq_strategy()) {
+        let direct = Query::Cq(cq.clone()).eval(&db).unwrap();
+        let via_fo = Query::Fo(cq_to_fo(&cq)).eval(&db).unwrap();
+        prop_assert_eq!(&direct, &via_fo, "CQ vs FO on {}", cq);
+        let via_datalog = Query::Datalog(cq_to_datalog(&cq)).eval(&db).unwrap();
+        prop_assert_eq!(&direct, &via_datalog, "CQ vs Datalog on {}", cq);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser(db in db_strategy(), cq in cq_strategy()) {
+        let text = format!("{cq}.");
+        let parsed = parse_query(&text).unwrap();
+        prop_assert_eq!(
+            Query::Cq(cq.clone()).eval(&db).unwrap(),
+            parsed.eval(&db).unwrap(),
+            "round-trip of `{}`", text
+        );
+    }
+
+    #[test]
+    fn membership_agrees_with_evaluation(db in db_strategy(), cq in cq_strategy()) {
+        let q = Query::Cq(cq);
+        let answers = q.eval(&db).unwrap();
+        for t in &answers {
+            prop_assert!(q.contains(&db, t).unwrap());
+        }
+        // A tuple with out-of-domain values is never a member.
+        prop_assert!(!q.contains(&db, &tuple![99, 99]).unwrap());
+    }
+
+    #[test]
+    fn union_and_posfo_normalization_agree(db in db_strategy(), a in cq_strategy(), b in cq_strategy()) {
+        // Align arities (both strategies emit arity 2).
+        let u = UnionQuery::new(vec![a, b]).unwrap();
+        let fo: FoQuery = ucq_to_fo(&u);
+        let direct = Query::Ucq(u).eval(&db).unwrap();
+        prop_assert_eq!(&direct, &Query::Fo(fo.clone()).eval(&db).unwrap());
+        // And normalizing the FO form back into a UCQ preserves answers.
+        let renorm = posfo_to_ucq(&fo).unwrap();
+        prop_assert_eq!(&direct, &Query::Ucq(renorm).eval(&db).unwrap());
+    }
+
+    #[test]
+    fn negation_complement_law(db in db_strategy(), cq in cq_strategy()) {
+        // Q ∪ ¬Q over the active domain covers every domain pair, and
+        // Q ∩ ¬Q is empty — the FO engine's complement is exact.
+        let fo = cq_to_fo(&cq);
+        let pos = Query::Fo(fo.clone()).eval(&db).unwrap();
+        let neg_q = FoQuery::new(fo.head.clone(), Formula::not(fo.body.clone()));
+        let neg = Query::Fo(neg_q).eval(&db).unwrap();
+        prop_assert!(pos.intersection(&neg).next().is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! Serde round-trips: every query AST serializes and deserializes to an
+//! equal value (and an equal *semantics* — evaluated answers agree), so
+//! instances can be persisted and shipped as JSON.
+
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_query::{
+    BodyLiteral, Builtin, CmpOp, ConjunctiveQuery, DatalogProgram, Formula, FoQuery, Query,
+    QueryLanguage, RelAtom, Rule, Term, UnionQuery,
+};
+
+fn db() -> Database {
+    let e = RelationSchema::new("e", [("s", AttrType::Int), ("d", AttrType::Int)]).unwrap();
+    let mut db = Database::new();
+    db.add_relation(Relation::from_tuples(e, [tuple![1, 2], tuple![2, 3]]).unwrap())
+        .unwrap();
+    db
+}
+
+fn roundtrip(q: &Query) -> Query {
+    let json = serde_json::to_string(q).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn cq_roundtrip() {
+    let q = Query::Cq(ConjunctiveQuery::new(
+        vec![Term::v("x"), Term::c("tag")],
+        vec![RelAtom::new("e", vec![Term::v("x"), Term::v("y")])],
+        vec![
+            Builtin::cmp(Term::v("y"), CmpOp::Lt, Term::c(3)),
+            Builtin::dist_le("m", Term::v("x"), Term::c(1), 5),
+        ],
+    ));
+    let back = roundtrip(&q);
+    assert_eq!(q, back);
+    assert_eq!(back.language(), QueryLanguage::Sp); // single atom, distinct vars
+}
+
+#[test]
+fn ucq_roundtrip_preserves_answers() {
+    let q = Query::Ucq(
+        UnionQuery::new(vec![
+            ConjunctiveQuery::identity("e", 2),
+            ConjunctiveQuery::new(
+                vec![Term::v("a"), Term::v("b")],
+                vec![RelAtom::new("e", vec![Term::v("b"), Term::v("a")])],
+                vec![],
+            ),
+        ])
+        .unwrap(),
+    );
+    let back = roundtrip(&q);
+    let db = db();
+    assert_eq!(q.eval(&db).unwrap(), back.eval(&db).unwrap());
+}
+
+#[test]
+fn fo_roundtrip_with_all_connectives() {
+    let q = Query::Fo(FoQuery::new(
+        vec![Term::v("x")],
+        Formula::and(vec![
+            Formula::exists(
+                vec![pkgrec_query::var("y")],
+                Formula::Atom(RelAtom::new("e", vec![Term::v("x"), Term::v("y")])),
+            ),
+            Formula::not(Formula::forall(
+                vec![pkgrec_query::var("z")],
+                Formula::or(vec![
+                    Formula::Atom(RelAtom::new("e", vec![Term::v("z"), Term::v("x")])),
+                    Formula::Builtin(Builtin::cmp(Term::v("z"), CmpOp::Geq, Term::v("x"))),
+                ]),
+            )),
+        ]),
+    ));
+    let back = roundtrip(&q);
+    assert_eq!(q, back);
+    let db = db();
+    assert_eq!(q.eval(&db).unwrap(), back.eval(&db).unwrap());
+}
+
+#[test]
+fn datalog_roundtrip() {
+    let q = Query::Datalog(DatalogProgram::new(
+        vec![
+            Rule::new(
+                RelAtom::new("tc", vec![Term::v("x"), Term::v("y")]),
+                vec![BodyLiteral::Rel(RelAtom::new(
+                    "e",
+                    vec![Term::v("x"), Term::v("y")],
+                ))],
+            ),
+            Rule::new(
+                RelAtom::new("tc", vec![Term::v("x"), Term::v("z")]),
+                vec![
+                    BodyLiteral::Rel(RelAtom::new("e", vec![Term::v("x"), Term::v("y")])),
+                    BodyLiteral::Rel(RelAtom::new("tc", vec![Term::v("y"), Term::v("z")])),
+                    BodyLiteral::Builtin(Builtin::cmp(Term::v("x"), CmpOp::Neq, Term::v("z"))),
+                ],
+            ),
+        ],
+        "tc",
+    ));
+    let back = roundtrip(&q);
+    assert_eq!(q, back);
+    assert_eq!(back.language(), QueryLanguage::Datalog);
+    let db = db();
+    assert_eq!(q.eval(&db).unwrap(), back.eval(&db).unwrap());
+}
+
+#[test]
+fn database_roundtrip() {
+    let db = db();
+    let json = serde_json::to_string(&db).expect("serializes");
+    let back: Database = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(db, back);
+}

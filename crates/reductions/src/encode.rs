@@ -1,0 +1,230 @@
+//! CQ encodings of propositional formulas over the Figure 4.1 gadgets.
+//!
+//! Every lower-bound proof contains a subquery `Qψ(x̄, ȳ, b)` that
+//! "encodes the truth value of ψ for given truth assignments … in terms
+//! of `I∨`, `I∧` and `I¬`". This module is that compiler: it turns a
+//! CNF/DNF matrix into a chain of gate atoms whose output term carries
+//! the formula's truth value.
+
+use pkgrec_logic::{CnfFormula, DnfFormula, Lit};
+use pkgrec_query::{RelAtom, Term};
+
+use crate::gadgets::{R01, RAND, RNOT, ROR};
+
+/// A fresh-variable supply for gate outputs.
+#[derive(Debug, Default)]
+pub struct FreshVars {
+    counter: usize,
+    prefix: String,
+}
+
+impl FreshVars {
+    /// A supply with the given prefix (distinct encoders in one query
+    /// must use distinct prefixes).
+    pub fn new(prefix: impl AsRef<str>) -> FreshVars {
+        FreshVars {
+            counter: 0,
+            prefix: prefix.as_ref().to_string(),
+        }
+    }
+
+    /// The next fresh variable term.
+    pub fn fresh(&mut self) -> Term {
+        let t = Term::v(format!("{}{}", self.prefix, self.counter));
+        self.counter += 1;
+        t
+    }
+}
+
+/// Atoms `r01(v)` generating all truth assignments of the given terms
+/// (the `QX(x̄)` Cartesian-product subquery used by every reduction).
+pub fn assignment_atoms(vars: &[Term]) -> Vec<RelAtom> {
+    vars.iter()
+        .map(|v| RelAtom::new(R01, vec![v.clone()]))
+        .collect()
+}
+
+/// The term carrying a literal's value: the variable itself, or a fresh
+/// negation-gate output.
+fn literal_term(
+    lit: Lit,
+    var_terms: &[Term],
+    fresh: &mut FreshVars,
+    atoms: &mut Vec<RelAtom>,
+) -> Term {
+    let v = var_terms[lit.var].clone();
+    if lit.positive {
+        v
+    } else {
+        let out = fresh.fresh();
+        atoms.push(RelAtom::new(RNOT, vec![v, out.clone()]));
+        out
+    }
+}
+
+/// Gate application: `out = gate(a, b)`.
+fn gate(relation: &str, a: Term, b: Term, fresh: &mut FreshVars, atoms: &mut Vec<RelAtom>) -> Term {
+    let out = fresh.fresh();
+    atoms.push(RelAtom::new(relation, vec![out.clone(), a, b]));
+    out
+}
+
+/// Fold a list of terms through a binary gate; empty lists yield the
+/// gate's identity constant.
+fn fold_gate(
+    relation: &str,
+    identity: bool,
+    terms: Vec<Term>,
+    fresh: &mut FreshVars,
+    atoms: &mut Vec<RelAtom>,
+) -> Term {
+    let mut it = terms.into_iter();
+    let Some(first) = it.next() else {
+        return Term::c(identity);
+    };
+    it.fold(first, |acc, t| gate(relation, acc, t, fresh, atoms))
+}
+
+/// Encode a CNF formula: returns the output term `b` with
+/// `b = φ(var_terms)`, appending the gate atoms.
+pub fn encode_cnf(
+    f: &CnfFormula,
+    var_terms: &[Term],
+    fresh: &mut FreshVars,
+    atoms: &mut Vec<RelAtom>,
+) -> Term {
+    assert_eq!(var_terms.len(), f.num_vars, "one term per variable");
+    let clause_outs: Vec<Term> = f
+        .clauses
+        .iter()
+        .map(|c| {
+            let lits: Vec<Term> =
+                c.0.iter()
+                    .map(|&l| literal_term(l, var_terms, fresh, atoms))
+                    .collect();
+            fold_gate(ROR, false, lits, fresh, atoms)
+        })
+        .collect();
+    fold_gate(RAND, true, clause_outs, fresh, atoms)
+}
+
+/// Encode a DNF formula: returns the output term `b` with
+/// `b = ψ(var_terms)`, appending the gate atoms.
+pub fn encode_dnf(
+    f: &DnfFormula,
+    var_terms: &[Term],
+    fresh: &mut FreshVars,
+    atoms: &mut Vec<RelAtom>,
+) -> Term {
+    assert_eq!(var_terms.len(), f.num_vars, "one term per variable");
+    let conjunct_outs: Vec<Term> = f
+        .conjuncts
+        .iter()
+        .map(|c| {
+            let lits: Vec<Term> =
+                c.0.iter()
+                    .map(|&l| literal_term(l, var_terms, fresh, atoms))
+                    .collect();
+            fold_gate(RAND, true, lits, fresh, atoms)
+        })
+        .collect();
+    fold_gate(ROR, false, conjunct_outs, fresh, atoms)
+}
+
+/// Variable terms `x0, ..., x{n-1}` with a prefix.
+pub fn var_terms(prefix: &str, n: usize) -> Vec<Term> {
+    (0..n).map(|i| Term::v(format!("{prefix}{i}"))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets::gadget_db;
+    use pkgrec_logic::{assignments, gen, Clause, Conjunct};
+    use pkgrec_query::{ConjunctiveQuery, Query};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Evaluate an encoded formula under a concrete assignment by
+    /// substituting Boolean constants for the variable terms and asking
+    /// the query engine for the output bit.
+    fn eval_encoded(build: impl Fn(&[Term], &mut FreshVars, &mut Vec<RelAtom>) -> Term, n: usize, a: &[bool]) -> bool {
+        let consts: Vec<Term> = a.iter().map(|&b| Term::c(b)).collect();
+        let mut fresh = FreshVars::new("_t");
+        let mut atoms = Vec::new();
+        let out = build(&consts, &mut fresh, &mut atoms);
+        let _ = n;
+        let q = Query::Cq(ConjunctiveQuery::new(vec![out], atoms, vec![]));
+        let ans = q.eval(&gadget_db()).unwrap();
+        assert_eq!(ans.len(), 1, "gate circuit is a function");
+        ans.iter().next().unwrap()[0].as_bool().unwrap()
+    }
+
+    #[test]
+    fn cnf_encoding_matches_direct_evaluation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let f = gen::random_3cnf(&mut rng, 4, 5);
+            for a in assignments(4) {
+                let enc = eval_encoded(|v, fr, at| encode_cnf(&f, v, fr, at), 4, &a);
+                assert_eq!(enc, f.eval(&a), "formula {f}, assignment {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dnf_encoding_matches_direct_evaluation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            let f = gen::random_3dnf(&mut rng, 4, 5);
+            for a in assignments(4) {
+                let enc = eval_encoded(|v, fr, at| encode_dnf(&f, v, fr, at), 4, &a);
+                assert_eq!(enc, f.eval(&a), "formula {f}, assignment {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_formulas() {
+        // Empty CNF is true; empty DNF is false.
+        let t = eval_encoded(
+            |v, fr, at| encode_cnf(&CnfFormula::new(1, Vec::<Clause>::new()), v, fr, at),
+            1,
+            &[false],
+        );
+        assert!(t);
+        let f = eval_encoded(
+            |v, fr, at| encode_dnf(&DnfFormula::new(1, Vec::<Conjunct>::new()), v, fr, at),
+            1,
+            &[false],
+        );
+        assert!(!f);
+    }
+
+    #[test]
+    fn assignment_atoms_generate_cube() {
+        let vars = var_terms("x", 3);
+        let q = Query::Cq(ConjunctiveQuery::new(
+            vars.clone(),
+            assignment_atoms(&vars),
+            vec![],
+        ));
+        assert_eq!(q.eval(&gadget_db()).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn single_literal_clause() {
+        // CNF (x0) ∧ (¬x1).
+        let f = CnfFormula::new(
+            2,
+            vec![
+                Clause::new(vec![pkgrec_logic::Lit::pos(0)]),
+                Clause::new(vec![pkgrec_logic::Lit::neg(1)]),
+            ],
+        );
+        for a in assignments(2) {
+            let enc = eval_encoded(|v, fr, at| encode_cnf(&f, v, fr, at), 2, &a);
+            assert_eq!(enc, f.eval(&a));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The gadget relations of **Figure 4.1** (plus `Ic` from Theorem 5.2):
+//! the Boolean domain and truth tables of `∨`, `∧`, `¬` as relations, so
+//! that propositional formulas become conjunctive queries.
+
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+
+/// Relation name for `I01` (the Boolean domain).
+pub const R01: &str = "r01";
+/// Relation name for `I∨` (disjunction: `B = A1 ∨ A2`).
+pub const ROR: &str = "ror";
+/// Relation name for `I∧` (conjunction: `B = A1 ∧ A2`).
+pub const RAND: &str = "rand";
+/// Relation name for `I¬` (negation: `NA = ¬A`).
+pub const RNOT: &str = "rnot";
+/// Relation name for `Ic` (Theorem 5.2: `C = ¬(C1 ∧ ¬C2)`).
+pub const RC: &str = "rc";
+
+/// `I01 = {0, 1}`.
+pub fn i01() -> Relation {
+    let schema = RelationSchema::new(R01, [("x", AttrType::Bool)]).expect("valid schema");
+    Relation::from_tuples(schema, [tuple![false], tuple![true]]).expect("gadget tuples")
+}
+
+/// `I∨`: `(b, a1, a2)` with `b = a1 ∨ a2`.
+pub fn i_or() -> Relation {
+    let schema = RelationSchema::new(
+        ROR,
+        [
+            ("b", AttrType::Bool),
+            ("a1", AttrType::Bool),
+            ("a2", AttrType::Bool),
+        ],
+    )
+    .expect("valid schema");
+    Relation::from_tuples(
+        schema,
+        [
+            tuple![false, false, false],
+            tuple![true, false, true],
+            tuple![true, true, false],
+            tuple![true, true, true],
+        ],
+    )
+    .expect("gadget tuples")
+}
+
+/// `I∧`: `(b, a1, a2)` with `b = a1 ∧ a2`.
+pub fn i_and() -> Relation {
+    let schema = RelationSchema::new(
+        RAND,
+        [
+            ("b", AttrType::Bool),
+            ("a1", AttrType::Bool),
+            ("a2", AttrType::Bool),
+        ],
+    )
+    .expect("valid schema");
+    Relation::from_tuples(
+        schema,
+        [
+            tuple![false, false, false],
+            tuple![false, false, true],
+            tuple![false, true, false],
+            tuple![true, true, true],
+        ],
+    )
+    .expect("gadget tuples")
+}
+
+/// `I¬`: `(a, ¬a)`.
+pub fn i_not() -> Relation {
+    let schema = RelationSchema::new(RNOT, [("a", AttrType::Bool), ("na", AttrType::Bool)])
+        .expect("valid schema");
+    Relation::from_tuples(schema, [tuple![false, true], tuple![true, false]])
+        .expect("gadget tuples")
+}
+
+/// `Ic = {(1,0,0), (1,1,1), (0,0,1), (0,1,1)}` (Theorem 5.2): column
+/// `C` is 0 exactly when `(C1, C2) = (1, 0)`.
+pub fn i_c() -> Relation {
+    let schema = RelationSchema::new(
+        RC,
+        [
+            ("c1", AttrType::Bool),
+            ("c2", AttrType::Bool),
+            ("c", AttrType::Bool),
+        ],
+    )
+    .expect("valid schema");
+    Relation::from_tuples(
+        schema,
+        [
+            tuple![true, false, false],
+            tuple![true, true, true],
+            tuple![false, false, true],
+            tuple![false, true, true],
+        ],
+    )
+    .expect("gadget tuples")
+}
+
+/// The Figure 4.1 database: `I01, I∨, I∧, I¬`.
+pub fn gadget_db() -> Database {
+    let mut db = Database::new();
+    db.add_relation(i01()).expect("fresh db");
+    db.add_relation(i_or()).expect("fresh db");
+    db.add_relation(i_and()).expect("fresh db");
+    db.add_relation(i_not()).expect("fresh db");
+    db
+}
+
+/// The Theorem 5.2 database: Figure 4.1 plus `Ic`.
+pub fn gadget_db_with_ic() -> Database {
+    let mut db = gadget_db();
+    db.add_relation(i_c()).expect("fresh db");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_data::Value;
+
+    #[test]
+    fn truth_tables_are_correct() {
+        let or = i_or();
+        let and = i_and();
+        let not = i_not();
+        for a in [false, true] {
+            for b in [false, true] {
+                assert!(or.contains(&tuple![a || b, a, b]));
+                assert!(and.contains(&tuple![a && b, a, b]));
+            }
+            assert!(not.contains(&tuple![a, !a]));
+        }
+        assert_eq!(or.len(), 4);
+        assert_eq!(and.len(), 4);
+        assert_eq!(not.len(), 2);
+    }
+
+    #[test]
+    fn ic_selects_one_zero() {
+        let rc = i_c();
+        assert_eq!(rc.len(), 4);
+        for c1 in [false, true] {
+            for c2 in [false, true] {
+                let c = !c1 || c2;
+                assert!(rc.contains(&tuple![c1, c2, c]));
+            }
+        }
+    }
+
+    #[test]
+    fn database_composition() {
+        let db = gadget_db();
+        assert_eq!(db.relation_names(), vec![R01, RAND, RNOT, ROR]);
+        assert_eq!(db.size(), 12);
+        let dom = db.active_domain();
+        assert_eq!(dom.len(), 2);
+        assert!(dom.contains(&Value::Bool(true)));
+        assert_eq!(gadget_db_with_ic().size(), 16);
+    }
+}

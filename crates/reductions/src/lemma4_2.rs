@@ -1,0 +1,163 @@
+//! **Lemma 4.2** — Σp₂-hardness of the compatibility problem for CQ,
+//! by reduction from ∃*∀*3DNF.
+//!
+//! Given `φ = ∃X ∀Y ψ(X, Y)` the construction builds:
+//!
+//! * `D` — the Figure 4.1 gadgets;
+//! * `Q(x̄) = R01(x1) ∧ ... ∧ R01(xm)` — all X assignments;
+//! * `Qc(b) = ∃x̄ ȳ (R_Q(x̄) ∧ Q_Y(ȳ) ∧ Qψ(x̄, ȳ, b) ∧ b = 0)` —
+//!   nonempty iff the packaged X assignment has a Y assignment
+//!   falsifying ψ;
+//! * `cost = |N|` (`∅ ↦ ∞`), `C = 1`, `val ≡ 1`, `B = 0`.
+//!
+//! Then `φ` is true **iff** a nonempty package `N ⊆ Q(D)` exists with
+//! `cost(N) ≤ C`, `val(N) > B` and `Qc(N, D) = ∅`.
+
+use pkgrec_core::{Constraint, Ext, PackageFn, RecInstance, ANSWER_RELATION};
+use pkgrec_logic::Sigma2Dnf;
+use pkgrec_query::{Builtin, ConjunctiveQuery, Query, RelAtom, Term};
+
+use crate::encode::{assignment_atoms, encode_dnf, var_terms, FreshVars};
+use crate::gadgets::gadget_db;
+
+/// The produced compatibility-problem instance.
+#[derive(Debug, Clone)]
+pub struct CompatReduction {
+    /// The instance `(Q, D, Qc, cost(), val(), C)`.
+    pub instance: RecInstance,
+    /// The rating bound `B` (strict: a witness needs `val > B`).
+    pub rating_bound: Ext,
+}
+
+/// The compatibility constraint `Qc` of the construction — also reused
+/// by Theorems 4.1, 5.1 and 8.1. `answer_vars` are the head variables
+/// of `Q` that `R_Q` binds.
+pub(crate) fn forall_y_constraint(phi: &Sigma2Dnf, extra_rq_terms: &[Term]) -> Query {
+    let xs = var_terms("x", phi.x_vars);
+    let ys = var_terms("y", phi.y_vars());
+
+    let mut rq_terms = xs.clone();
+    rq_terms.extend(extra_rq_terms.iter().cloned());
+    let mut atoms = vec![RelAtom::new(ANSWER_RELATION, rq_terms)];
+    atoms.extend(assignment_atoms(&ys));
+
+    let mut all_vars = xs;
+    all_vars.extend(ys);
+    let mut fresh = FreshVars::new("_g");
+    let b = encode_dnf(&phi.matrix, &all_vars, &mut fresh, &mut atoms);
+
+    Query::Cq(ConjunctiveQuery::new(
+        vec![b.clone()],
+        atoms,
+        vec![Builtin::eq(b, Term::c(false))],
+    ))
+}
+
+/// Build the Lemma 4.2 reduction.
+pub fn reduce(phi: &Sigma2Dnf) -> CompatReduction {
+    let xs = var_terms("x", phi.x_vars);
+    let q = Query::Cq(ConjunctiveQuery::new(
+        xs.clone(),
+        assignment_atoms(&xs),
+        vec![],
+    ));
+    let qc = forall_y_constraint(phi, &[]);
+
+    let instance = RecInstance::new(gadget_db(), q)
+        .with_qc(Constraint::Query(qc))
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(PackageFn::constant(Ext::Finite(1.0)));
+    CompatReduction {
+        instance,
+        rating_bound: Ext::Finite(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{problems::compat, SolveOptions};
+    use pkgrec_logic::{gen, Conjunct, DnfFormula, Lit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn solves_to(phi: &Sigma2Dnf) -> bool {
+        let r = reduce(phi);
+        compat::compatibility(&r.instance, r.rating_bound, SolveOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn hand_picked_instances() {
+        // ψ = (x ∧ y) ∨ (x ∧ ¬y) ≡ x: ∃x∀y ψ true.
+        let yes = Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::pos(0), Lit::neg(1)]),
+                ],
+            ),
+        );
+        assert!(yes.is_true());
+        assert!(solves_to(&yes));
+
+        // ψ ≡ y: false.
+        let no = Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::neg(0), Lit::pos(1)]),
+                ],
+            ),
+        );
+        assert!(!no.is_true());
+        assert!(!solves_to(&no));
+    }
+
+    #[test]
+    fn agrees_with_direct_solver_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut yes = 0;
+        let mut no = 0;
+        for i in 0..16 {
+            let mut phi = gen::random_sigma2(&mut rng, 2, 2, 3);
+            if i % 2 == 0 {
+                phi = gen::force_true_sigma2(&phi);
+            }
+            let direct = phi.is_true();
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            assert_eq!(solves_to(&phi), direct, "φ = ∃X∀Y {}", phi.matrix);
+        }
+        // The sample must exercise both answers for the test to mean
+        // anything.
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+
+    #[test]
+    fn witness_encodes_a_satisfying_x() {
+        // ψ ≡ (x0 ∧ ¬x1): φ true via exactly (x0, x1) = (1, 0).
+        let phi = Sigma2Dnf::new(
+            2,
+            DnfFormula::new(
+                3,
+                vec![Conjunct::new(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]),
+                     Conjunct::new(vec![Lit::pos(0), Lit::neg(1), Lit::neg(2)])],
+            ),
+        );
+        let r = reduce(&phi);
+        let w = compat::compatibility_witness(&r.instance, r.rating_bound, SolveOptions::default())
+            .unwrap()
+            .unwrap();
+        let t = w.iter().next().unwrap();
+        assert_eq!(t.values()[0].as_bool(), Some(true));
+        assert_eq!(t.values()[1].as_bool(), Some(false));
+    }
+}

@@ -1,0 +1,245 @@
+//! **Lemma 4.4** — NP-hardness of the compatibility problem in *data
+//! complexity* (fixed query, varying database), by reduction from 3SAT.
+//!
+//! Given `φ = C1 ∧ ... ∧ Cr` over variables `X`:
+//!
+//! * `D` is a single relation
+//!   `RC(cid, L1, V1, L2, V2, L3, V3)` holding, for each clause and each
+//!   satisfying local assignment of its variables, one tuple
+//!   `(i, x_k, v_k, x_l, v_l, x_m, v_m)`;
+//! * `Q` is the **identity** query (fixed!), `Qc` is absent;
+//! * `val(N) = |N|` with `B = r − 1` (so a witness covers every
+//!   clause), and `cost(N) = 1` iff no two tuples share a `cid` or
+//!   assign conflicting values to a variable, else 2, with `C = 1`.
+//!
+//! `φ` is satisfiable iff a valid package exists — i.e. iff a
+//! consistent system of satisfying local assignments covers all
+//! clauses.
+
+use std::collections::BTreeMap;
+
+use pkgrec_core::{Ext, Package, PackageFn, RecInstance};
+use pkgrec_data::{AttrType, Database, Relation, RelationSchema, Tuple, Value};
+use pkgrec_logic::{assignments, CnfFormula};
+use pkgrec_query::{ConjunctiveQuery, Query};
+
+/// The relation name of the clause-encoding relation.
+pub const RC_REL: &str = "rc_clauses";
+
+/// The produced data-complexity compatibility instance.
+#[derive(Debug, Clone)]
+pub struct Sat3Reduction {
+    /// The instance (identity `Q`, no `Qc`, consistency `cost`).
+    pub instance: RecInstance,
+    /// The rating bound `B = r − 1`.
+    pub rating_bound: Ext,
+}
+
+/// The `RC` schema.
+pub fn rc_schema() -> RelationSchema {
+    RelationSchema::new(
+        RC_REL,
+        [
+            ("cid", AttrType::Int),
+            ("l1", AttrType::Int),
+            ("v1", AttrType::Bool),
+            ("l2", AttrType::Int),
+            ("v2", AttrType::Bool),
+            ("l3", AttrType::Int),
+            ("v3", AttrType::Bool),
+        ],
+    )
+    .expect("valid schema")
+}
+
+/// Pad a clause's literals to exactly three by repeating the last one —
+/// semantically a no-op, but the `RC` relation has three literal slots.
+pub fn pad3(lits: &[pkgrec_logic::Lit]) -> Vec<pkgrec_logic::Lit> {
+    assert!(!lits.is_empty(), "empty clauses are unsatisfiable; encode them upstream");
+    let mut out = lits.to_vec();
+    while out.len() < 3 {
+        out.push(*out.last().expect("nonempty"));
+    }
+    out.truncate(3);
+    out
+}
+
+/// Encode a 3CNF formula as the `RC` relation: one tuple per clause per
+/// satisfying local assignment of the clause's (distinct) variables.
+/// Clauses with fewer than three literals are padded by repetition.
+pub fn encode_clauses(phi: &CnfFormula) -> Relation {
+    let mut rel = Relation::empty(rc_schema());
+    for (i, clause) in phi.clauses.iter().enumerate() {
+        let cid = (i + 1) as i64;
+        let lits = pad3(&clause.0);
+        // Distinct variables of the clause, in order of first occurrence.
+        let mut vars: Vec<usize> = Vec::new();
+        for l in &lits {
+            if !vars.contains(&l.var) {
+                vars.push(l.var);
+            }
+        }
+        for local in assignments(vars.len()) {
+            let assign: BTreeMap<usize, bool> =
+                vars.iter().copied().zip(local.iter().copied()).collect();
+            let satisfied = lits.iter().any(|l| assign[&l.var] == l.positive);
+            if !satisfied {
+                continue;
+            }
+            let mut values: Vec<Value> = vec![Value::Int(cid)];
+            for l in &lits {
+                values.push(Value::Int(l.var as i64));
+                values.push(Value::Bool(assign[&l.var]));
+            }
+            rel.insert(Tuple::new(values)).expect("schema-conformant");
+        }
+    }
+    rel
+}
+
+/// The per-literal `(variable, value)` pairs of an `RC` tuple.
+pub fn tuple_assignments(t: &Tuple) -> impl Iterator<Item = (i64, bool)> + '_ {
+    (0..3).map(|j| {
+        (
+            t[1 + 2 * j].as_int().expect("L column is an Int"),
+            t[2 + 2 * j].as_bool().expect("V column is a Bool"),
+        )
+    })
+}
+
+/// The consistency cost of Lemma 4.4: 1 iff no duplicate `cid` and no
+/// variable assigned two values, else 2 (∅ ↦ ∞, the paper's
+/// no-recommendation convention).
+pub fn consistency_cost() -> PackageFn {
+    // Inconsistency is inherited by supersets, so the cost is monotone
+    // nondecreasing on nonempty packages — the search may prune below
+    // any package already over budget.
+    PackageFn::custom("1 iff cids distinct & assignments consistent", true, |p| {
+        if p.is_empty() {
+            return Ext::PosInf;
+        }
+        Ext::Finite(if package_is_consistent(p) { 1.0 } else { 2.0 })
+    })
+}
+
+/// Whether a package of `RC` tuples has pairwise-distinct `cid`s and a
+/// conflict-free variable assignment.
+pub fn package_is_consistent(p: &Package) -> bool {
+    let mut cids = std::collections::BTreeSet::new();
+    let mut assign: BTreeMap<i64, bool> = BTreeMap::new();
+    for t in p.iter() {
+        if !cids.insert(t[0].clone()) {
+            return false;
+        }
+        for (var, val) in tuple_assignments(t) {
+            match assign.get(&var) {
+                Some(&v) if v != val => return false,
+                _ => {
+                    assign.insert(var, val);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Build the Lemma 4.4 reduction.
+pub fn reduce(phi: &CnfFormula) -> Sat3Reduction {
+    let mut db = Database::new();
+    db.add_relation(encode_clauses(phi)).expect("fresh db");
+    let q = Query::Cq(ConjunctiveQuery::identity(RC_REL, 7));
+    let instance = RecInstance::new(db, q)
+        .with_cost(consistency_cost())
+        .with_budget(1.0)
+        .with_val(PackageFn::cardinality());
+    Sat3Reduction {
+        instance,
+        rating_bound: Ext::Finite(phi.clauses.len() as f64 - 1.0),
+    }
+}
+
+/// The Theorem 4.3 corollary: the coNP-hard RPP form (data
+/// complexity), via the same `{∅}` complementation as Theorem 4.1.
+pub fn rpp_reduce(phi: &CnfFormula) -> crate::thm4_1::RppReduction {
+    let r = reduce(phi);
+    crate::thm4_1::from_compat(r.instance, r.rating_bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{problems::compat, problems::rpp, SolveOptions};
+    use pkgrec_data::tuple;
+    use pkgrec_logic::{gen, is_satisfiable, Clause, Lit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clause_encoding_shape() {
+        // A clause over 3 distinct vars has 7 satisfying local
+        // assignments.
+        let phi = CnfFormula::new(
+            3,
+            vec![Clause::new(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)])],
+        );
+        assert_eq!(encode_clauses(&phi).len(), 7);
+        // A clause with a repeated variable: (x ∨ ¬x ∨ y) is a
+        // tautology over 2 vars — 4 local assignments.
+        let tau = CnfFormula::new(
+            2,
+            vec![Clause::new(vec![Lit::pos(0), Lit::neg(0), Lit::pos(1)])],
+        );
+        assert_eq!(encode_clauses(&tau).len(), 4);
+    }
+
+    #[test]
+    fn consistency_cost_detects_conflicts() {
+        let same_cid = Package::new([tuple![1, 0, true, 1, true, 2, false],
+                                     tuple![1, 0, false, 1, false, 2, true]]);
+        assert!(!package_is_consistent(&same_cid));
+        let conflict = Package::new([tuple![1, 0, true, 1, true, 2, false],
+                                     tuple![2, 0, false, 3, false, 4, true]]);
+        assert!(!package_is_consistent(&conflict));
+        let fine = Package::new([tuple![1, 0, true, 1, true, 2, false],
+                                 tuple![2, 0, true, 3, false, 4, true]]);
+        assert!(package_is_consistent(&fine));
+    }
+
+    #[test]
+    fn agrees_with_dpll_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let (mut yes, mut no) = (0, 0);
+        for i in 0..20 {
+            // Half the sample is forced unsatisfiable so both answers
+            // occur; sizes keep the consistent-package space ~2^r.
+            let mut phi = gen::random_3cnf(&mut rng, 3, 6 + (i % 3));
+            if i % 2 == 0 {
+                phi = gen::force_unsat(&phi);
+            }
+            let direct = is_satisfiable(&phi);
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            let r = reduce(&phi);
+            let reduced =
+                compat::compatibility(&r.instance, r.rating_bound, SolveOptions::default())
+                    .unwrap();
+            assert_eq!(reduced, direct, "φ = {phi}");
+        }
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+
+    #[test]
+    fn rpp_form_complements() {
+        let mut rng = StdRng::seed_from_u64(45);
+        for _ in 0..10 {
+            let phi = gen::random_3cnf(&mut rng, 3, 8);
+            let direct = is_satisfiable(&phi);
+            let r = rpp_reduce(&phi);
+            let ans = rpp::is_top_k(&r.instance, &r.selection, SolveOptions::default()).unwrap();
+            assert_eq!(ans, !direct, "φ = {phi}");
+        }
+    }
+}

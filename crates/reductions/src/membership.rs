@@ -1,0 +1,255 @@
+//! Membership-problem encodings — the engine of the PSPACE/EXPTIME
+//! lower bounds for DATALOGnr, FO and DATALOG (Theorem 4.1 and
+//! onwards).
+//!
+//! The paper reduces from Q3SAT (quantified 3CNF): we compile a QBF
+//! sentence into
+//!
+//! * a **DATALOGnr program** with one IDB predicate per quantifier
+//!   block, evaluating the sentence bottom-up (∀ as a two-atom join on
+//!   the Boolean constants, ∃ as projection), and
+//! * an **FO sentence** whose quantifier prefix mirrors the QBF's,
+//!   evaluated under active-domain semantics over the Boolean domain;
+//!
+//! plus the generic `t ∈ Q(D)` → RPP wrapping used by all the
+//! membership-based lower bounds (`{t}` is a top-1 selection iff
+//! `t ∈ Q(D)` once every package rates equally).
+
+use pkgrec_core::{Ext, Package, PackageFn, RecInstance};
+use pkgrec_data::{Database, Tuple};
+use pkgrec_logic::{QbfFormula, Quant};
+use pkgrec_query::{
+    BodyLiteral, Builtin, CmpOp, DatalogProgram, FoQuery, Formula, Query, RelAtom, Rule, Term,
+};
+
+use crate::encode::{encode_cnf, var_terms, FreshVars};
+use crate::gadgets::{gadget_db, R01};
+
+/// Compile a QBF into a non-recursive Datalog program over the gadget
+/// database: the 0-ary output predicate `p0` derives `()` iff the
+/// sentence is true.
+pub fn qbf_to_datalognr(qbf: &QbfFormula) -> (Database, Query) {
+    qbf_to_datalognr_free(qbf, 0)
+}
+
+/// Like [`qbf_to_datalognr`], but with the first `free_vars` variables
+/// left *free*: the output predicate `p{free_vars}(v1..v{free_vars})`
+/// derives exactly the assignments of the free block under which the
+/// remaining quantified sentence is true. With `free_vars = 0` this is
+/// the membership encoding; with a leading free block it is the #QBF
+/// encoding behind the #·PSPACE row of CPP (Theorem 5.3).
+pub fn qbf_to_datalognr_free(qbf: &QbfFormula, free_vars: usize) -> (Database, Query) {
+    let n = qbf.matrix.num_vars;
+    assert!(free_vars <= n, "free block exceeds the variable count");
+    let vars = var_terms("v", n);
+
+    let mut rules = Vec::new();
+
+    // Innermost predicate: p{n}(v1..vn) ← matrix(v̄) = 1.
+    {
+        let mut atoms: Vec<RelAtom> = vars
+            .iter()
+            .map(|v| RelAtom::new(R01, vec![v.clone()]))
+            .collect();
+        let mut fresh = FreshVars::new("_m");
+        let t = encode_cnf(&qbf.matrix, &vars, &mut fresh, &mut atoms);
+        let mut body: Vec<BodyLiteral> = atoms.into_iter().map(BodyLiteral::Rel).collect();
+        body.push(BodyLiteral::Builtin(Builtin::cmp(
+            t,
+            CmpOp::Eq,
+            Term::c(true),
+        )));
+        rules.push(Rule::new(
+            RelAtom::new(format!("p{n}"), vars.clone()),
+            body,
+        ));
+    }
+
+    // Quantifier elimination, innermost first, stopping at the free
+    // block: p{i-1} from p{i}.
+    for i in ((free_vars + 1)..=n).rev() {
+        let head_vars: Vec<Term> = vars[..i - 1].to_vec();
+        let head = RelAtom::new(format!("p{}", i - 1), head_vars.clone());
+        let body = match qbf.quants[i - 1] {
+            Quant::Exists => {
+                // p{i-1}(v̄) ← p{i}(v̄, vi), R01(vi).
+                let mut args = head_vars.clone();
+                args.push(vars[i - 1].clone());
+                vec![
+                    BodyLiteral::Rel(RelAtom::new(format!("p{i}"), args)),
+                    BodyLiteral::Rel(RelAtom::new(R01, vec![vars[i - 1].clone()])),
+                ]
+            }
+            Quant::Forall => {
+                // p{i-1}(v̄) ← p{i}(v̄, 0), p{i}(v̄, 1).
+                let mut zero = head_vars.clone();
+                zero.push(Term::c(false));
+                let mut one = head_vars.clone();
+                one.push(Term::c(true));
+                vec![
+                    BodyLiteral::Rel(RelAtom::new(format!("p{i}"), zero)),
+                    BodyLiteral::Rel(RelAtom::new(format!("p{i}"), one)),
+                ]
+            }
+        };
+        rules.push(Rule::new(head, body));
+    }
+
+    // A `p{free_vars}`-ary head needs a defining rule even when
+    // free_vars = n — covered: the matrix rule always exists.
+    let program = DatalogProgram::new(rules, format!("p{free_vars}"));
+    debug_assert!(program.is_nonrecursive());
+    (gadget_db(), Query::Datalog(program))
+}
+
+/// Compile a QBF into an FO sentence (a 0-ary query) over the gadget
+/// database, with the same quantifier prefix and a comparison-encoded
+/// matrix.
+pub fn qbf_to_fo(qbf: &QbfFormula) -> (Database, Query) {
+    qbf_to_fo_free(qbf, 0)
+}
+
+/// Like [`qbf_to_fo`], but with the first `free_vars` variables free
+/// (guarded by `R01` so they range over the Boolean domain): the query
+/// answers are exactly the free-block assignments under which the
+/// remaining sentence holds.
+pub fn qbf_to_fo_free(qbf: &QbfFormula, free_vars: usize) -> (Database, Query) {
+    let n = qbf.matrix.num_vars;
+    assert!(free_vars <= n, "free block exceeds the variable count");
+    // Matrix: ∧ clauses of ∨ literals; literal x ↦ (x = 1), ¬x ↦ (x = 0).
+    let matrix = Formula::and(
+        qbf.matrix
+            .clauses
+            .iter()
+            .map(|c| {
+                Formula::or(
+                    c.0.iter()
+                        .map(|l| {
+                            Formula::Builtin(Builtin::cmp(
+                                Term::v(format!("v{}", l.var)),
+                                CmpOp::Eq,
+                                Term::c(l.positive),
+                            ))
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    // Quantifier prefix, innermost (highest index) applied first,
+    // stopping before the free block. Each variable is guarded by R01
+    // so the quantifiers range over the Boolean domain regardless of
+    // other database content.
+    let mut body = matrix;
+    for i in (free_vars..n).rev() {
+        let v = pkgrec_query::var(format!("v{i}"));
+        let guard = Formula::Atom(RelAtom::new(R01, vec![Term::Var(v.clone())]));
+        body = match qbf.quants[i] {
+            Quant::Exists => Formula::exists(vec![v], Formula::and(vec![guard, body])),
+            Quant::Forall => Formula::forall(
+                vec![v],
+                Formula::or(vec![Formula::not(guard), body]),
+            ),
+        };
+    }
+    // Guard the free variables and expose them in the head.
+    let head: Vec<Term> = (0..free_vars).map(|i| Term::v(format!("v{i}"))).collect();
+    let mut parts: Vec<Formula> = head
+        .iter()
+        .map(|t| Formula::Atom(RelAtom::new(R01, vec![t.clone()])))
+        .collect();
+    parts.push(body);
+    (
+        gadget_db(),
+        Query::Fo(FoQuery::new(head, Formula::and(parts))),
+    )
+}
+
+/// The Theorem 4.1 membership → RPP wrapping: with a constant rating
+/// and unit-cost singletons, `{t}` is a top-1 package selection **iff**
+/// `t ∈ Q(D)`.
+pub fn rpp_from_membership(db: Database, query: Query, t: Tuple) -> (RecInstance, Vec<Package>) {
+    let instance = RecInstance::new(db, query)
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(PackageFn::constant(Ext::Finite(1.0)))
+        .with_k(1);
+    (instance, vec![Package::singleton(t)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{problems::rpp, SolveOptions};
+    use pkgrec_data::tuple;
+    use pkgrec_logic::gen;
+    use pkgrec_query::QueryLanguage;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn datalognr_encoding_agrees_with_qbf_solver() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let (mut yes, mut no) = (0, 0);
+        for _ in 0..20 {
+            let qbf = gen::random_qbf(&mut rng, 4, 5);
+            let direct = qbf.is_true();
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            let (db, q) = qbf_to_datalognr(&qbf);
+            assert_eq!(q.language(), QueryLanguage::DatalogNr);
+            let ans = q.eval(&db).unwrap();
+            assert_eq!(!ans.is_empty(), direct, "qbf matrix {}", qbf.matrix);
+        }
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+
+    #[test]
+    fn fo_encoding_agrees_with_qbf_solver() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let (mut yes, mut no) = (0, 0);
+        for _ in 0..20 {
+            let qbf = gen::random_qbf(&mut rng, 4, 5);
+            let direct = qbf.is_true();
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            let (db, q) = qbf_to_fo(&qbf);
+            let ans = q.eval(&db).unwrap();
+            assert_eq!(!ans.is_empty(), direct, "qbf matrix {}", qbf.matrix);
+        }
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+
+    #[test]
+    fn both_encodings_agree_with_each_other() {
+        let mut rng = StdRng::seed_from_u64(65);
+        for _ in 0..10 {
+            let qbf = gen::random_qbf(&mut rng, 3, 4);
+            let (db1, q1) = qbf_to_datalognr(&qbf);
+            let (db2, q2) = qbf_to_fo(&qbf);
+            assert_eq!(
+                q1.eval(&db1).unwrap().is_empty(),
+                q2.eval(&db2).unwrap().is_empty()
+            );
+        }
+    }
+
+    #[test]
+    fn rpp_wrapping_decides_membership() {
+        let mut rng = StdRng::seed_from_u64(66);
+        for _ in 0..10 {
+            let qbf = gen::random_qbf(&mut rng, 3, 4);
+            let direct = qbf.is_true();
+            let (db, q) = qbf_to_datalognr(&qbf);
+            let (inst, sel) = rpp_from_membership(db, q, tuple![]);
+            let ans = rpp::is_top_k(&inst, &sel, SolveOptions::default()).unwrap();
+            assert_eq!(ans, direct);
+        }
+    }
+}

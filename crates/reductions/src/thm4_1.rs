@@ -1,0 +1,112 @@
+//! **Theorem 4.1** — Πp₂-hardness of RPP(CQ), by reduction from the
+//! *complement* of the compatibility problem (which Lemma 4.2 proved
+//! Σp₂-hard).
+//!
+//! Given a compatibility instance with bound `B`, the candidate
+//! selection is `N = {∅}` ("no recommendation is made") and the rating
+//! function is patched so that `val′(∅) = B`. Then `N` is a top-1
+//! selection iff *no* nonempty valid package rates above `B` — i.e. iff
+//! the compatibility answer is "no".
+//!
+//! One deviation from the paper's prose: the paper keeps `cost(∅) = ∞`
+//! yet still treats `{∅}` as a candidate selection, which its own
+//! validity check (step 1(c) of the algorithm) would reject. We set
+//! `cost′(∅) = 0` so the empty package is a *bona fide* valid package;
+//! the equivalence of the reduction is unaffected (and is machine-
+//! checked below).
+
+use pkgrec_core::{Ext, Package, RecInstance};
+use pkgrec_logic::Sigma2Dnf;
+
+use crate::lemma4_2;
+
+/// The produced RPP instance and candidate selection.
+#[derive(Debug, Clone)]
+pub struct RppReduction {
+    /// The instance, with the patched `val′` and `cost′`.
+    pub instance: RecInstance,
+    /// The candidate selection `N = {∅}`.
+    pub selection: Vec<Package>,
+}
+
+/// Wrap any compatibility-style instance into the RPP form: patch
+/// `val′(∅) = B`, `cost′(∅) = 0`, `k = 1`, candidate `{∅}`.
+pub fn from_compat(instance: RecInstance, rating_bound: Ext) -> RppReduction {
+    let val = instance.val.clone().with_empty_value(rating_bound);
+    let cost = instance.cost.clone().with_empty_value(Ext::Finite(0.0));
+    let instance = instance.with_val(val).with_cost(cost).with_k(1);
+    RppReduction {
+        instance,
+        selection: vec![Package::empty()],
+    }
+}
+
+/// Build the full Theorem 4.1 reduction from a ∃*∀*3DNF sentence:
+/// `is_top_k(selection)` iff `φ` is **false**.
+pub fn reduce(phi: &Sigma2Dnf) -> RppReduction {
+    let compat = lemma4_2::reduce(phi);
+    from_compat(compat.instance, compat.rating_bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{problems::rpp, SolveOptions};
+    use pkgrec_logic::{gen, Conjunct, DnfFormula, Lit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rpp_answer(phi: &Sigma2Dnf) -> bool {
+        let r = reduce(phi);
+        rpp::is_top_k(&r.instance, &r.selection, SolveOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn complementation() {
+        // φ true (ψ ≡ x): {∅} is NOT top-1.
+        let yes = Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::pos(0), Lit::neg(1)]),
+                ],
+            ),
+        );
+        assert!(!rpp_answer(&yes));
+
+        // φ false (ψ ≡ y): {∅} IS top-1.
+        let no = Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::neg(0), Lit::pos(1)]),
+                ],
+            ),
+        );
+        assert!(rpp_answer(&no));
+    }
+
+    #[test]
+    fn agrees_with_direct_solver_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let (mut yes, mut no) = (0, 0);
+        for i in 0..16 {
+            let mut phi = gen::random_sigma2(&mut rng, 2, 2, 3);
+            if i % 2 == 0 {
+                phi = gen::force_true_sigma2(&phi);
+            }
+            let direct = phi.is_true();
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            assert_eq!(rpp_answer(&phi), !direct, "φ = ∃X∀Y {}", phi.matrix);
+        }
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+}

@@ -1,0 +1,137 @@
+//! **Theorem 4.5** — DP-hardness of RPP(CQ) *without* compatibility
+//! constraints, by reduction from SAT-UNSAT.
+//!
+//! Given `(φ1, φ2)`, `Q(b, b′)` evaluates both formulas over all truth
+//! assignments via the Figure 4.1 gadgets, so
+//! `Q(D) ⊆ {(1,0), (1,1), (0,0), (0,1)}` records which combinations of
+//! truth values are achievable. With
+//! `val{(1,0)} = 2, val{(1,1)} = val{(0,1)} = 3, val{(0,0)} = 1`, the
+//! singleton selection `N = {{(1, 0)}}` is a top-1 selection **iff**
+//! `φ1` is satisfiable and `φ2` is not.
+
+use pkgrec_core::{Ext, Package, PackageFn, RecInstance};
+use pkgrec_data::tuple;
+use pkgrec_logic::SatUnsat;
+use pkgrec_query::{ConjunctiveQuery, Query};
+
+use crate::encode::{assignment_atoms, encode_cnf, var_terms, FreshVars};
+use crate::gadgets::gadget_db;
+
+/// The produced RPP instance and candidate selection.
+#[derive(Debug, Clone)]
+pub struct SatUnsatRpp {
+    /// The instance (no `Qc`).
+    pub instance: RecInstance,
+    /// The candidate selection `{{(1, 0)}}`.
+    pub selection: Vec<Package>,
+}
+
+/// The achievability query `Q(b, b′)` shared with the Theorem 5.2 data
+/// reduction tests.
+pub fn achievability_query(pair: &SatUnsat) -> Query {
+    let xs = var_terms("x", pair.phi1.num_vars);
+    let ys = var_terms("y", pair.phi2.num_vars);
+    let mut atoms = assignment_atoms(&xs);
+    atoms.extend(assignment_atoms(&ys));
+    let mut fresh = FreshVars::new("_g");
+    let b1 = encode_cnf(&pair.phi1, &xs, &mut fresh, &mut atoms);
+    let b2 = encode_cnf(&pair.phi2, &ys, &mut fresh, &mut atoms);
+    Query::Cq(ConjunctiveQuery::new(vec![b1, b2], atoms, vec![]))
+}
+
+/// The rating of the construction, on singleton packages over `(b, b′)`
+/// tuples.
+fn rating() -> PackageFn {
+    PackageFn::custom("val{(1,0)}=2, {(1,1)}={(0,1)}=3, {(0,0)}=1", false, |p| {
+        if p.len() != 1 {
+            return Ext::Finite(0.0);
+        }
+        let t = p.iter().next().expect("len 1");
+        let b1 = t[0].as_bool().unwrap_or(false);
+        let b2 = t[1].as_bool().unwrap_or(false);
+        Ext::Finite(match (b1, b2) {
+            (true, false) => 2.0,
+            (true, true) | (false, true) => 3.0,
+            (false, false) => 1.0,
+        })
+    })
+}
+
+/// Build the Theorem 4.5 reduction: `is_top_k(selection)` iff the
+/// SAT-UNSAT instance is a yes-instance.
+pub fn reduce(pair: &SatUnsat) -> SatUnsatRpp {
+    let instance = RecInstance::new(gadget_db(), achievability_query(pair))
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(rating())
+        .with_k(1);
+    SatUnsatRpp {
+        instance,
+        selection: vec![Package::singleton(tuple![true, false])],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{problems::rpp, SolveOptions};
+    use pkgrec_logic::{gen, Clause, CnfFormula, Lit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sat() -> CnfFormula {
+        CnfFormula::new(1, vec![Clause::new(vec![Lit::pos(0)])])
+    }
+
+    fn unsat() -> CnfFormula {
+        CnfFormula::new(
+            1,
+            vec![Clause::new(vec![Lit::pos(0)]), Clause::new(vec![Lit::neg(0)])],
+        )
+    }
+
+    fn answer(pair: &SatUnsat) -> bool {
+        let r = reduce(pair);
+        rpp::is_top_k(&r.instance, &r.selection, SolveOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn four_corner_cases() {
+        assert!(answer(&SatUnsat::new(sat(), unsat())));
+        assert!(!answer(&SatUnsat::new(sat(), sat())));
+        assert!(!answer(&SatUnsat::new(unsat(), unsat())));
+        assert!(!answer(&SatUnsat::new(unsat(), sat())));
+    }
+
+    #[test]
+    fn achievability_query_records_truth_combinations() {
+        // φ1 = x (sat, refutable), φ2 = y ∧ ¬y (unsat):
+        // achievable (b1, b2) pairs are (1,0) and (0,0).
+        let pair = SatUnsat::new(sat(), unsat());
+        let q = achievability_query(&pair);
+        let ans = q.eval(&gadget_db()).unwrap();
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&tuple![true, false]));
+        assert!(ans.contains(&tuple![false, false]));
+    }
+
+    #[test]
+    fn agrees_with_direct_solver_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let (mut yes, mut no) = (0, 0);
+        for i in 0..20 {
+            let mut pair = gen::random_sat_unsat(&mut rng, 3, 6);
+            if i % 2 == 0 {
+                pair.phi2 = gen::force_unsat(&pair.phi2);
+            }
+            let direct = pair.is_yes();
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            assert_eq!(answer(&pair), direct);
+        }
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+}

@@ -1,0 +1,130 @@
+//! **Theorem 5.1** — hardness of FRP, the function problem.
+//!
+//! *Combined complexity* (FPΣp₂, CQ): reduction from the **maximum-Σp₂**
+//! problem — given `φ(X) = ∀Y ψ(X, Y)`, find the lexicographically
+//! *last* X assignment making `φ` true. The construction reuses the
+//! Lemma 4.2 instance and rates a singleton `{t}` by reading `t` as a
+//! binary number, so the top-1 package encodes exactly that
+//! assignment.
+//!
+//! *Data complexity* (FPNP, fixed CQ): reduction from **MAX-WEIGHT
+//! SAT** over the Lemma 4.4 clause relation: `val(N)` sums the weights
+//! of the clauses whose tuples `N` contains, so the top-1 package's
+//! rating equals the maximum satisfiable weight.
+
+use pkgrec_core::{Constraint, Ext, PackageFn, RecInstance};
+use pkgrec_logic::{MaxWeightSat, Sigma2Dnf};
+use pkgrec_query::{ConjunctiveQuery, Query};
+
+use crate::encode::{assignment_atoms, var_terms};
+use crate::gadgets::gadget_db;
+use crate::lemma4_2::forall_y_constraint;
+use crate::lemma4_4;
+
+/// Build the combined-complexity reduction: the FRP top-1 answer (if
+/// any) is the singleton encoding the lexicographically last satisfying
+/// X assignment of `∀Y ψ(X, Y)`.
+pub fn reduce_maximum_sigma2(phi: &Sigma2Dnf) -> RecInstance {
+    let xs = var_terms("x", phi.x_vars);
+    let q = Query::Cq(ConjunctiveQuery::new(
+        xs.clone(),
+        assignment_atoms(&xs),
+        vec![],
+    ));
+    RecInstance::new(gadget_db(), q)
+        .with_qc(Constraint::Query(forall_y_constraint(phi, &[])))
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(PackageFn::binary_value((0..phi.x_vars).collect()))
+        .with_k(1)
+}
+
+/// Build the data-complexity reduction from a MAX-WEIGHT SAT instance:
+/// the rating of the FRP top-1 package equals the maximum total weight
+/// of simultaneously satisfiable clauses.
+pub fn reduce_max_weight_sat(inst: &MaxWeightSat) -> RecInstance {
+    let base = lemma4_4::reduce(&inst.formula).instance;
+    let weights = inst.weights.clone();
+    let val = PackageFn::custom("sum of weights of covered cids", false, move |p| {
+        Ext::Finite(
+            p.iter()
+                .map(|t| {
+                    let cid = t[0].as_int().expect("cid is an Int") as usize;
+                    weights[cid - 1] as f64
+                })
+                .sum(),
+        )
+    });
+    base.with_val(val).with_k(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{problems::frp, SolveOptions};
+    use pkgrec_logic::{assignment_index, gen, max_weight_sat, MaximumSigma2};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn top_1_encodes_the_lexicographically_last_satisfying_x() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let (mut some, mut none) = (0, 0);
+        for _ in 0..25 {
+            let phi = gen::random_sigma2(&mut rng, 3, 2, 3);
+            let direct = MaximumSigma2(phi.clone()).last_satisfying_x();
+            let inst = reduce_maximum_sigma2(&phi);
+            let sel = frp::top_k(&inst, SolveOptions::default()).unwrap();
+            match (&direct, &sel) {
+                (None, None) => none += 1,
+                (Some(x), Some(packages)) => {
+                    some += 1;
+                    let t = packages[0].iter().next().expect("singleton");
+                    let bits: Vec<bool> =
+                        t.values().iter().map(|v| v.as_bool().unwrap()).collect();
+                    assert_eq!(&bits, x, "φ = ∃X∀Y {}", phi.matrix);
+                    // The rating equals the lexicographic rank.
+                    assert_eq!(
+                        inst.val.eval(&packages[0]),
+                        Ext::Finite(assignment_index(x) as f64)
+                    );
+                }
+                _ => panic!(
+                    "solver disagreement on φ = ∃X∀Y {}: direct {:?}, frp {:?}",
+                    phi.matrix, direct, sel
+                ),
+            }
+        }
+        assert!(some > 0 && none > 0, "degenerate sample: some={some} none={none}");
+    }
+
+    #[test]
+    fn top_1_rating_equals_max_weight() {
+        let mut rng = StdRng::seed_from_u64(48);
+        for _ in 0..15 {
+            let inst = gen::random_max_weight_sat(&mut rng, 4, 5, 9);
+            let (direct_weight, _) = max_weight_sat(&inst);
+            let rec = reduce_max_weight_sat(&inst);
+            let sel = frp::top_k(&rec, SolveOptions::default())
+                .unwrap()
+                .expect("a single-tuple package always exists");
+            assert_eq!(
+                rec.val.eval(&sel[0]),
+                Ext::Finite(direct_weight as f64),
+                "instance {}",
+                inst.formula
+            );
+        }
+    }
+
+    #[test]
+    fn max_weight_package_extends_to_an_assignment() {
+        // The winning package must itself be consistent, so its partial
+        // assignment extends to one achieving the same weight.
+        let mut rng = StdRng::seed_from_u64(49);
+        let inst = gen::random_max_weight_sat(&mut rng, 4, 6, 5);
+        let rec = reduce_max_weight_sat(&inst);
+        let sel = frp::top_k(&rec, SolveOptions::default()).unwrap().unwrap();
+        assert!(lemma4_4::package_is_consistent(&sel[0]));
+    }
+}

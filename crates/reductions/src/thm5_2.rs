@@ -1,0 +1,348 @@
+//! **Theorem 5.2** — hardness of MBP, the maximum-bound problem.
+//!
+//! *Combined complexity* (Dp₂, CQ): reduction from
+//! ∃*∀*3DNF–∀*∃*3CNF — a pair `(φ1, φ2)` of Σ₂ sentences; the question
+//! is whether `φ1` is true while `φ2` is false. The construction packs
+//! both sentences into one query over the Figure 4.1 gadgets plus the
+//! `Ic` inspection relation, and `B = 1` is the maximum bound iff the
+//! pair is a yes-instance.
+//!
+//! *Data complexity* (DP, fixed CQ): reduction from SAT-UNSAT over the
+//! Lemma 4.4 clause relation, with `val` distinguishing packages that
+//! cover only `φ1` (rating 1) from those covering both formulas
+//! (rating 2).
+
+use pkgrec_core::{Constraint, Ext, PackageFn, RecInstance, ANSWER_RELATION};
+use pkgrec_data::{Database, Tuple};
+use pkgrec_logic::{SatUnsat, Sigma2Dnf};
+use pkgrec_query::{Builtin, ConjunctiveQuery, Query, RelAtom, Term};
+
+use crate::encode::{assignment_atoms, encode_dnf, var_terms, FreshVars};
+use crate::gadgets::{gadget_db_with_ic, RC};
+use crate::lemma4_4;
+
+/// Build the combined-complexity reduction: `B = 1` is the maximum
+/// bound for the produced instance (with `k = 1`) **iff** `φ1` is true
+/// and `φ2` is false.
+pub fn reduce_pair(phi1: &Sigma2Dnf, phi2: &Sigma2Dnf) -> (RecInstance, Ext) {
+    let (m1, m2) = (phi1.x_vars, phi2.x_vars);
+
+    // Q(x̄1, b1, x̄2, b2): which (b1, b2) combinations are achievable
+    // for each pair of X assignments, quantifying over Y assignments.
+    let x1s = var_terms("p", m1);
+    let y1s = var_terms("q", phi1.y_vars());
+    let x2s = var_terms("r", m2);
+    let y2s = var_terms("s", phi2.y_vars());
+    let mut atoms = assignment_atoms(&x1s);
+    atoms.extend(assignment_atoms(&y1s));
+    atoms.extend(assignment_atoms(&x2s));
+    atoms.extend(assignment_atoms(&y2s));
+    let mut fresh = FreshVars::new("_q");
+    let mut v1 = x1s.clone();
+    v1.extend(y1s.clone());
+    let b1 = encode_dnf(&phi1.matrix, &v1, &mut fresh, &mut atoms);
+    let mut v2 = x2s.clone();
+    v2.extend(y2s.clone());
+    let b2 = encode_dnf(&phi2.matrix, &v2, &mut fresh, &mut atoms);
+    let mut head = x1s.clone();
+    head.push(b1);
+    head.extend(x2s.clone());
+    head.push(b2);
+    let q = Query::Cq(ConjunctiveQuery::new(head, atoms, vec![]));
+
+    // Qc: flags a packaged tuple as incompatible per the Ic table.
+    let qc = {
+        let b1 = Term::v("b1");
+        let b2 = Term::v("b2");
+        let mut rq_terms = x1s.clone();
+        rq_terms.push(b1);
+        rq_terms.extend(x2s.clone());
+        rq_terms.push(b2.clone());
+        let mut atoms = vec![RelAtom::new(ANSWER_RELATION, rq_terms)];
+        let mut fresh = FreshVars::new("_c");
+
+        // ∃ȳ1: c1 = ψ1(x̄1, ȳ1).
+        let y1p = var_terms("qa", phi1.y_vars());
+        atoms.extend(assignment_atoms(&y1p));
+        let mut w1 = x1s.clone();
+        w1.extend(y1p);
+        let c1 = encode_dnf(&phi1.matrix, &w1, &mut fresh, &mut atoms);
+
+        // ∃ȳ2 with ψ2 value equal to the packaged b2.
+        let y2a = var_terms("sa", phi2.y_vars());
+        atoms.extend(assignment_atoms(&y2a));
+        let mut w2 = x2s.clone();
+        w2.extend(y2a);
+        let t2 = encode_dnf(&phi2.matrix, &w2, &mut fresh, &mut atoms);
+
+        // ∃ȳ2′ with ψ2 false (Q′ψ2 of the proof).
+        let y2b = var_terms("sb", phi2.y_vars());
+        atoms.extend(assignment_atoms(&y2b));
+        let mut w3 = x2s.clone();
+        w3.extend(y2b);
+        let t2p = encode_dnf(&phi2.matrix, &w3, &mut fresh, &mut atoms);
+
+        // Ic(c1, b2, c) ∧ c = 1.
+        let c = Term::v("_cc");
+        atoms.push(RelAtom::new(RC, vec![c1, b2.clone(), c.clone()]));
+
+        Query::Cq(ConjunctiveQuery::new(
+            Vec::<Term>::new(),
+            atoms,
+            vec![
+                Builtin::eq(t2, b2),
+                Builtin::eq(t2p, Term::c(false)),
+                Builtin::eq(c, Term::c(true)),
+            ],
+        ))
+    };
+
+    // val on singletons, keyed by the packaged (b1, b2).
+    let b1_pos = m1;
+    let b2_pos = m1 + 1 + m2;
+    let val = PackageFn::custom("val by (b1,b2): (1,0)↦1, (1,1)↦2, else 0", false, move |p| {
+        if p.len() != 1 {
+            return Ext::Finite(0.0);
+        }
+        let t = p.iter().next().expect("len 1");
+        let b1 = t[b1_pos].as_bool().unwrap_or(false);
+        let b2 = t[b2_pos].as_bool().unwrap_or(false);
+        Ext::Finite(match (b1, b2) {
+            (true, false) => 1.0,
+            (true, true) => 2.0,
+            _ => 0.0,
+        })
+    });
+
+    let instance = RecInstance::new(gadget_db_with_ic(), q)
+        .with_qc(Constraint::Query(qc))
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(val)
+        .with_k(1);
+    (instance, Ext::Finite(1.0))
+}
+
+/// Whether an `RC` tuple encodes a clause of the first formula (cids
+/// `1..=r`) in the data reduction.
+fn is_phi1_tuple(t: &Tuple, r: usize) -> bool {
+    t[0].as_int().expect("cid is an Int") <= r as i64
+}
+
+/// Build the data-complexity reduction (fixed identity query, no
+/// `Qc`): `B = 1` is the maximum bound **iff** `φ1` is satisfiable and
+/// `φ2` is not.
+pub fn reduce_sat_unsat(pair: &SatUnsat) -> (RecInstance, Ext) {
+    let r = pair.phi1.clauses.len();
+    let s = pair.phi2.clauses.len();
+
+    // Shift φ2's variables past φ1's so the two formulas' assignments
+    // are independent, and its cids past φ1's.
+    let m = pair.phi1.num_vars;
+    let shifted = pkgrec_logic::CnfFormula::new(
+        m + pair.phi2.num_vars,
+        pair.phi2
+            .clauses
+            .iter()
+            .map(|c| {
+                pkgrec_logic::Clause::new(
+                    c.0.iter()
+                        .map(|l| pkgrec_logic::Lit {
+                            var: l.var + m,
+                            positive: l.positive,
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let mut rel = lemma4_4::encode_clauses(&pair.phi1);
+    for t in lemma4_4::encode_clauses(&shifted).iter() {
+        // Re-number the cid from φ2-local to global (r+1..r+s).
+        let mut values = t.values().to_vec();
+        let local_cid = values[0].as_int().expect("cid");
+        values[0] = pkgrec_data::Value::Int(local_cid + r as i64);
+        rel.insert(Tuple::new(values)).expect("schema-conformant");
+    }
+    let mut db = Database::new();
+    db.add_relation(rel).expect("fresh db");
+
+    let q = Query::Cq(ConjunctiveQuery::identity(lemma4_4::RC_REL, 7));
+
+    let val = PackageFn::custom("1 = only φ1 tuples, 2 = both, 0 otherwise", false, move |p| {
+        if p.is_empty() {
+            return Ext::Finite(0.0);
+        }
+        let phi1 = p.iter().filter(|t| is_phi1_tuple(t, r)).count();
+        let phi2 = p.len() - phi1;
+        Ext::Finite(match (phi1 > 0, phi2 > 0) {
+            (true, false) => 1.0,
+            (true, true) => 2.0,
+            _ => 0.0,
+        })
+    });
+
+    let cost = PackageFn::custom(
+        "1 iff φ1 fully covered, φ2 fully covered when touched, consistent",
+        false,
+        move |p| {
+            if !lemma4_4::package_is_consistent(p) {
+                return Ext::Finite(2.0);
+            }
+            let cids: std::collections::BTreeSet<i64> = p
+                .iter()
+                .map(|t| t[0].as_int().expect("cid is an Int"))
+                .collect();
+            let phi1_complete = (1..=r as i64).all(|c| cids.contains(&c));
+            if !phi1_complete {
+                return Ext::Finite(2.0);
+            }
+            let touches_phi2 = cids.iter().any(|&c| c > r as i64);
+            if touches_phi2 {
+                let phi2_complete =
+                    ((r + 1) as i64..=(r + s) as i64).all(|c| cids.contains(&c));
+                if !phi2_complete {
+                    return Ext::Finite(2.0);
+                }
+            }
+            Ext::Finite(1.0)
+        },
+    )
+    // Pruning hint: inconsistency is inherited by supersets, so an
+    // inconsistent package bounds every superset's cost from below by 2.
+    .with_superset_lower_bound(|p| {
+        if lemma4_4::package_is_consistent(p) {
+            Ext::Finite(1.0)
+        } else {
+            Ext::Finite(2.0)
+        }
+    });
+
+    let instance = RecInstance::new(db, q)
+        .with_cost(cost)
+        .with_budget(1.0)
+        .with_val(val)
+        .with_k(1);
+    (instance, Ext::Finite(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{problems::mbp, SolveOptions};
+    use pkgrec_logic::{gen, Clause, CnfFormula, Conjunct, DnfFormula, Lit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sigma2_true() -> Sigma2Dnf {
+        // ψ ≡ x.
+        Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::pos(0), Lit::neg(1)]),
+                ],
+            ),
+        )
+    }
+
+    fn sigma2_false() -> Sigma2Dnf {
+        // ψ ≡ y.
+        Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::neg(0), Lit::pos(1)]),
+                ],
+            ),
+        )
+    }
+
+    fn combined_answer(phi1: &Sigma2Dnf, phi2: &Sigma2Dnf) -> bool {
+        let (inst, b) = reduce_pair(phi1, phi2);
+        mbp::is_maximum_bound(&inst, b, SolveOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn combined_four_corners() {
+        assert!(combined_answer(&sigma2_true(), &sigma2_false()));
+        assert!(!combined_answer(&sigma2_true(), &sigma2_true()));
+        assert!(!combined_answer(&sigma2_false(), &sigma2_false()));
+        assert!(!combined_answer(&sigma2_false(), &sigma2_true()));
+    }
+
+    #[test]
+    fn combined_random_agreement() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let (mut yes, mut no) = (0, 0);
+        for _ in 0..10 {
+            let phi1 = gen::random_sigma2(&mut rng, 2, 1, 2);
+            let phi2 = gen::random_sigma2(&mut rng, 1, 2, 2);
+            let direct = phi1.is_true() && !phi2.is_true();
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            assert_eq!(
+                combined_answer(&phi1, &phi2),
+                direct,
+                "φ1 = ∃X∀Y {}, φ2 = ∃X∀Y {}",
+                phi1.matrix,
+                phi2.matrix
+            );
+        }
+        assert!(yes + no == 10 && yes > 0, "degenerate sample: yes={yes} no={no}");
+    }
+
+    fn sat() -> CnfFormula {
+        CnfFormula::new(1, vec![Clause::new(vec![Lit::pos(0)])])
+    }
+
+    fn unsat() -> CnfFormula {
+        CnfFormula::new(
+            1,
+            vec![Clause::new(vec![Lit::pos(0)]), Clause::new(vec![Lit::neg(0)])],
+        )
+    }
+
+    fn data_answer(pair: &SatUnsat) -> bool {
+        let (inst, b) = reduce_sat_unsat(pair);
+        mbp::is_maximum_bound(&inst, b, SolveOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn data_four_corners() {
+        assert!(data_answer(&SatUnsat::new(sat(), unsat())));
+        assert!(!data_answer(&SatUnsat::new(sat(), sat())));
+        assert!(!data_answer(&SatUnsat::new(unsat(), unsat())));
+        assert!(!data_answer(&SatUnsat::new(unsat(), sat())));
+    }
+
+    #[test]
+    fn data_random_agreement() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let (mut yes, mut no) = (0, 0);
+        for i in 0..8 {
+            let mut pair = gen::random_sat_unsat(&mut rng, 3, 4 + (i % 3));
+            if i % 2 == 0 {
+                // Half the sample has a guaranteed-unsat φ2 so
+                // yes-instances occur.
+                pair.phi2 = gen::force_unsat(&pair.phi2);
+            }
+            let direct = pair.is_yes();
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            assert_eq!(data_answer(&pair), direct);
+        }
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+}

@@ -1,0 +1,243 @@
+//! **Theorem 5.3** — hardness of CPP, the counting problem, via
+//! *parsimonious* reductions (the number of valid packages equals the
+//! number of counted objects):
+//!
+//! * with `Qc` (#·coNP): from **#Π₁SAT** — count Y assignments making
+//!   `∀X (C1 ∨ ... ∨ Cr)` true (`Ci` conjunctive);
+//! * without `Qc` (#·NP): from **#Σ₁SAT** — count Y assignments making
+//!   `∃X (C1 ∧ ... ∧ Cr)` true (`Ci` disjunctive);
+//! * data complexity (#·P): from **#SAT** over the fixed Lemma 4.4
+//!   query, with `B = r` so valid packages are exactly the satisfying
+//!   assignments.
+
+use pkgrec_core::{Constraint, Ext, PackageFn, RecInstance, ANSWER_RELATION};
+use pkgrec_logic::{CnfFormula, DnfFormula};
+use pkgrec_query::{Builtin, ConjunctiveQuery, Query, RelAtom, Term};
+
+use crate::encode::{assignment_atoms, encode_cnf, var_terms, FreshVars};
+use crate::gadgets::gadget_db;
+use crate::lemma4_4;
+
+/// Variable terms for a mixed X∪Y formula: X variables (`0..x_vars`)
+/// map to `xs`, the rest to `ys`.
+fn mixed_terms(xs: &[Term], ys: &[Term]) -> Vec<Term> {
+    xs.iter().chain(ys.iter()).cloned().collect()
+}
+
+/// Build the #Π₁SAT reduction (CPP **with** compatibility
+/// constraints). `matrix` is the DNF body of `∀X ψ`, with X = the
+/// first `x_vars` variables; the count of valid packages equals the
+/// number of Y assignments making the sentence true.
+pub fn reduce_pi1(matrix: &DnfFormula, x_vars: usize) -> (RecInstance, Ext) {
+    let y_vars = matrix.num_vars - x_vars;
+    let ys = var_terms("y", y_vars);
+    let q = Query::Cq(ConjunctiveQuery::new(
+        ys.clone(),
+        assignment_atoms(&ys),
+        vec![],
+    ));
+
+    // Qc: a packaged Y assignment is incompatible iff some X assignment
+    // makes ¬ψ (a CNF) true.
+    let qc = {
+        let xs = var_terms("x", x_vars);
+        let mut atoms = vec![RelAtom::new(ANSWER_RELATION, ys.clone())];
+        atoms.extend(assignment_atoms(&xs));
+        let neg = matrix.negate_to_cnf();
+        let mut fresh = FreshVars::new("_n");
+        let t = encode_cnf(&neg, &mixed_terms(&xs, &ys), &mut fresh, &mut atoms);
+        Query::Cq(ConjunctiveQuery::new(
+            Vec::<Term>::new(),
+            atoms,
+            vec![Builtin::eq(t, Term::c(true))],
+        ))
+    };
+
+    let instance = RecInstance::new(gadget_db(), q)
+        .with_qc(Constraint::Query(qc))
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(PackageFn::constant(Ext::Finite(1.0)));
+    (instance, Ext::Finite(1.0))
+}
+
+/// Build the #Σ₁SAT reduction (CPP **without** compatibility
+/// constraints). `matrix` is the CNF body of `∃X φ`, X = the first
+/// `x_vars` variables.
+pub fn reduce_sigma1(matrix: &CnfFormula, x_vars: usize) -> (RecInstance, Ext) {
+    let y_vars = matrix.num_vars - x_vars;
+    let xs = var_terms("x", x_vars);
+    let ys = var_terms("y", y_vars);
+    let mut atoms = assignment_atoms(&ys);
+    atoms.extend(assignment_atoms(&xs));
+    let mut fresh = FreshVars::new("_s");
+    let t = encode_cnf(matrix, &mixed_terms(&xs, &ys), &mut fresh, &mut atoms);
+    let q = Query::Cq(ConjunctiveQuery::new(
+        ys,
+        atoms,
+        vec![Builtin::eq(t, Term::c(true))],
+    ));
+
+    let instance = RecInstance::new(gadget_db(), q)
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(PackageFn::constant(Ext::Finite(1.0)));
+    (instance, Ext::Finite(1.0))
+}
+
+/// Build the #SAT data-complexity reduction: the Lemma 4.4 instance
+/// with `B = r`, so valid packages are exactly the consistent full
+/// clause covers — i.e. the satisfying assignments of the variables
+/// occurring in `φ`.
+pub fn reduce_sharp_sat(phi: &CnfFormula) -> (RecInstance, Ext) {
+    let r = lemma4_4::reduce(phi);
+    (r.instance, Ext::Finite(phi.clauses.len() as f64))
+}
+
+/// Build the **#QBF** reduction for CPP(DATALOGnr) (#·PSPACE row of
+/// Theorem 5.3): the query is the free-prefix Q3SAT encoding, so valid
+/// packages are exactly the singletons over the free-block assignments
+/// making the quantified remainder true.
+pub fn reduce_sharp_qbf_datalognr(
+    qbf: &pkgrec_logic::QbfFormula,
+    free_vars: usize,
+) -> (RecInstance, Ext) {
+    let (db, q) = crate::membership::qbf_to_datalognr_free(qbf, free_vars);
+    let instance = RecInstance::new(db, q)
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(PackageFn::constant(Ext::Finite(1.0)));
+    (instance, Ext::Finite(1.0))
+}
+
+/// The same #QBF reduction over the FO encoding (the #·PSPACE row for
+/// FO).
+pub fn reduce_sharp_qbf_fo(
+    qbf: &pkgrec_logic::QbfFormula,
+    free_vars: usize,
+) -> (RecInstance, Ext) {
+    let (db, q) = crate::membership::qbf_to_fo_free(qbf, free_vars);
+    let instance = RecInstance::new(db, q)
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(PackageFn::constant(Ext::Finite(1.0)));
+    (instance, Ext::Finite(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{problems::cpp, SolveOptions};
+    use pkgrec_logic::{assignments, count_pi1, count_sigma1, gen, Lit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn pi1_counts_agree() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut nonzero = 0;
+        for _ in 0..12 {
+            let matrix = gen::random_3dnf(&mut rng, 4, 3);
+            let direct = count_pi1(&matrix, 2);
+            let (inst, b) = reduce_pi1(&matrix, 2);
+            let counted = cpp::count_valid(&inst, b, SolveOptions::default()).unwrap();
+            assert_eq!(counted, direct, "matrix {matrix}");
+            if direct > 0 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero > 0, "degenerate sample: all counts zero");
+    }
+
+    #[test]
+    fn sigma1_counts_agree() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut interesting = 0;
+        for _ in 0..12 {
+            let matrix = gen::random_3cnf(&mut rng, 4, 4);
+            let direct = count_sigma1(&matrix, 2);
+            let (inst, b) = reduce_sigma1(&matrix, 2);
+            let counted = cpp::count_valid(&inst, b, SolveOptions::default()).unwrap();
+            assert_eq!(counted, direct, "matrix {matrix}");
+            if direct > 0 && direct < 4 {
+                interesting += 1;
+            }
+        }
+        assert!(interesting > 0, "degenerate sample: trivial counts only");
+    }
+
+    /// Satisfying assignments of the variables that actually occur in
+    /// the formula (the objects the package count enumerates).
+    fn count_over_occurring_vars(phi: &CnfFormula) -> u128 {
+        let occurring: BTreeSet<usize> = phi
+            .clauses
+            .iter()
+            .flat_map(|c| c.0.iter().map(|l| l.var))
+            .collect();
+        let vars: Vec<usize> = occurring.into_iter().collect();
+        assignments(vars.len())
+            .filter(|bits| {
+                let mut full = vec![false; phi.num_vars];
+                for (&v, &b) in vars.iter().zip(bits.iter()) {
+                    full[v] = b;
+                }
+                phi.eval(&full)
+            })
+            .count() as u128
+    }
+
+    #[test]
+    fn sharp_sat_counts_agree() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let mut nonzero = 0;
+        for _ in 0..15 {
+            let phi = gen::random_3cnf(&mut rng, 4, 6);
+            let direct = count_over_occurring_vars(&phi);
+            let (inst, b) = reduce_sharp_sat(&phi);
+            let counted = cpp::count_valid(&inst, b, SolveOptions::default()).unwrap();
+            assert_eq!(counted, direct, "φ = {phi}");
+            if direct > 0 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero > 0, "degenerate sample: all counts zero");
+    }
+
+    #[test]
+    fn sharp_qbf_counts_agree_on_both_encodings() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut nonzero = 0;
+        for _ in 0..10 {
+            let qbf = gen::random_qbf(&mut rng, 4, 4);
+            for free in [1usize, 2] {
+                let direct = qbf.count_free_prefix(free);
+                let (dl, b1) = reduce_sharp_qbf_datalognr(&qbf, free);
+                let got_dl = cpp::count_valid(&dl, b1, SolveOptions::default()).unwrap();
+                assert_eq!(got_dl, direct, "DATALOGnr, matrix {}", qbf.matrix);
+                let (fo, b2) = reduce_sharp_qbf_fo(&qbf, free);
+                let got_fo = cpp::count_valid(&fo, b2, SolveOptions::default()).unwrap();
+                assert_eq!(got_fo, direct, "FO, matrix {}", qbf.matrix);
+                if direct > 0 {
+                    nonzero += 1;
+                }
+            }
+        }
+        assert!(nonzero > 0, "degenerate sample: all counts zero");
+    }
+
+    #[test]
+    fn hand_instance_pi1() {
+        // ∀x ((x ∧ y0) ∨ (¬x ∧ y1)): true iff y0 ∧ y1 — one Y
+        // assignment.
+        let matrix = DnfFormula::new(
+            3,
+            vec![
+                pkgrec_logic::Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                pkgrec_logic::Conjunct::new(vec![Lit::neg(0), Lit::pos(2)]),
+            ],
+        );
+        let (inst, b) = reduce_pi1(&matrix, 1);
+        assert_eq!(cpp::count_valid(&inst, b, SolveOptions::default()).unwrap(), 1);
+    }
+}

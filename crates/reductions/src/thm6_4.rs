@@ -1,0 +1,166 @@
+//! **Theorem 6.4** — item recommendations keep the combined complexity
+//! of the no-`Qc` package problems. Two reductions establish the CQ
+//! cases:
+//!
+//! * item FRP is FPNP-hard from **MAX-WEIGHT SAT**: items are the truth
+//!   assignments of X (a Cartesian power of `I01`), the utility of an
+//!   item is the total weight of clauses it satisfies, and the top-1
+//!   item is a maximum-weight assignment;
+//! * item MBP is DP-hard from **SAT-UNSAT**: items are assignments of
+//!   `X ∪ Y`, and the utility separates the witnesses.
+//!
+//! Note on the SAT-UNSAT utility: the paper's prose assigns `f = 2` to
+//! "any other tuple", which would make `B = 1` maximal only when `φ1`
+//! is a tautology — an apparent typo. We implement the evidently
+//! intended function: `f = 1` when `µX ⊨ φ1` and `µY ⊭ φ2`, `f = 2`
+//! when `µY ⊨ φ2`, and `f = 0` otherwise; then `B = 1` is the maximum
+//! bound iff `φ1` is satisfiable and `φ2` is unsatisfiable — which is
+//! machine-checked below.
+
+use pkgrec_core::{ItemInstance, ItemUtility};
+use pkgrec_data::{Database, Tuple};
+use pkgrec_logic::{MaxWeightSat, SatUnsat};
+use pkgrec_query::{ConjunctiveQuery, Query};
+
+use crate::encode::{assignment_atoms, var_terms};
+use crate::gadgets::{gadget_db, i01};
+
+/// A database holding only `I01` (the item pool of both reductions is
+/// a Cartesian power of the Boolean domain).
+fn i01_db() -> Database {
+    let mut db = Database::new();
+    db.add_relation(i01()).expect("fresh db");
+    db
+}
+
+/// Read a tuple of Booleans as a truth assignment.
+fn as_assignment(t: &Tuple) -> Vec<bool> {
+    t.values()
+        .iter()
+        .map(|v| v.as_bool().expect("assignment tuples are Boolean"))
+        .collect()
+}
+
+/// Build the item-FRP reduction: the top-1 item's utility equals the
+/// MAX-WEIGHT SAT optimum.
+pub fn reduce_max_weight_sat_items(inst: &MaxWeightSat) -> ItemInstance {
+    let xs = var_terms("x", inst.formula.num_vars);
+    let q = Query::Cq(ConjunctiveQuery::new(
+        xs.clone(),
+        assignment_atoms(&xs),
+        vec![],
+    ));
+    let weighted = inst.clone();
+    let utility = ItemUtility::new("total weight of satisfied clauses", move |t| {
+        weighted.weight_of(&as_assignment(t)) as f64
+    });
+    ItemInstance::new(i01_db(), q, utility, 1)
+}
+
+/// Build the item-MBP reduction: `B = 1` is the maximum item bound iff
+/// the SAT-UNSAT pair is a yes-instance. Returns the instance and the
+/// bound.
+pub fn reduce_sat_unsat_items(pair: &SatUnsat) -> (ItemInstance, f64) {
+    let m = pair.phi1.num_vars;
+    let n = pair.phi2.num_vars;
+    let vars = var_terms("v", m + n);
+    let q = Query::Cq(ConjunctiveQuery::new(
+        vars.clone(),
+        assignment_atoms(&vars),
+        vec![],
+    ));
+    let pair = pair.clone();
+    let utility = ItemUtility::new("1 = (µX⊨φ1, µY⊭φ2); 2 = µY⊨φ2; 0 otherwise", move |t| {
+        let bits = as_assignment(t);
+        let (mu_x, mu_y) = bits.split_at(m);
+        let phi1_sat = pair.phi1.eval(mu_x);
+        let phi2_sat = pair.phi2.eval(mu_y);
+        if phi2_sat {
+            2.0
+        } else if phi1_sat {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    (ItemInstance::new(i01_db(), q, utility, 1), 1.0)
+}
+
+/// The Theorem 6.4 remark that the membership-style lower bounds also
+/// carry over uses the gadget database; expose it for bench workloads.
+pub fn gadget_database() -> Database {
+    gadget_db()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_logic::{gen, max_weight_sat, Clause, CnfFormula, Lit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn item_frp_matches_maxsat() {
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..15 {
+            let inst = gen::random_max_weight_sat(&mut rng, 4, 5, 7);
+            let (direct, _) = max_weight_sat(&inst);
+            let items = reduce_max_weight_sat_items(&inst);
+            let top = items.top_k_items().unwrap().unwrap();
+            let got = items.utility.eval(&top[0]);
+            assert_eq!(got, direct as f64, "instance {}", inst.formula);
+        }
+    }
+
+    fn sat() -> CnfFormula {
+        CnfFormula::new(1, vec![Clause::new(vec![Lit::pos(0)])])
+    }
+
+    fn unsat() -> CnfFormula {
+        CnfFormula::new(
+            1,
+            vec![Clause::new(vec![Lit::pos(0)]), Clause::new(vec![Lit::neg(0)])],
+        )
+    }
+
+    fn item_mbp_answer(pair: &SatUnsat) -> bool {
+        let (inst, b) = reduce_sat_unsat_items(pair);
+        inst.maximum_bound_items().unwrap() == Some(b)
+    }
+
+    #[test]
+    fn item_mbp_four_corners() {
+        assert!(item_mbp_answer(&SatUnsat::new(sat(), unsat())));
+        assert!(!item_mbp_answer(&SatUnsat::new(sat(), sat())));
+        assert!(!item_mbp_answer(&SatUnsat::new(unsat(), unsat())));
+        assert!(!item_mbp_answer(&SatUnsat::new(unsat(), sat())));
+    }
+
+    #[test]
+    fn item_mbp_random_agreement() {
+        let mut rng = StdRng::seed_from_u64(56);
+        let (mut yes, mut no) = (0, 0);
+        for _ in 0..20 {
+            let pair = gen::random_sat_unsat(&mut rng, 3, 8);
+            let direct = pair.is_yes();
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            assert_eq!(item_mbp_answer(&pair), direct);
+        }
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+
+    #[test]
+    fn item_pool_is_the_boolean_cube() {
+        let inst = reduce_max_weight_sat_items(&gen::random_max_weight_sat(
+            &mut StdRng::seed_from_u64(57),
+            3,
+            4,
+            5,
+        ));
+        assert_eq!(inst.query.eval(&inst.db).unwrap().len(), 8);
+    }
+}

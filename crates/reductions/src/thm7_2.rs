@@ -1,0 +1,325 @@
+//! **Theorem 7.2** — hardness of QRPP, the query-relaxation
+//! recommendation problem.
+//!
+//! *Combined complexity* (Σp₂, CQ): from ∃*∀*3DNF. The query
+//! `Q(x̄, c) = R01(x1) ∧ ... ∧ R01(xm) ∧ R01(c) ∧ c = 0` returns only
+//! `c = 0` tuples, which rate `−∞`; relaxing the constant `0` in the
+//! selection predicate (`dist(c, 0) ≤ 1` over the Boolean metric,
+//! gap 1) admits `c = 1` tuples, which are valid exactly when the
+//! packaged X assignment satisfies `∀Y ψ`.
+//!
+//! *Data complexity* (NP, fixed CQ): from 3SAT over an augmented
+//! Lemma 4.4 relation with a visibility flag `V`; the unrelaxed query
+//! selects `V = 0` (empty), and the unit-gap relaxation reveals the
+//! clause tuples, among which a valid package exists iff `φ` is
+//! satisfiable.
+
+use pkgrec_core::{Constraint, Ext, PackageFn, RecInstance};
+use pkgrec_data::{AttrType, Database, Relation, RelationSchema, Tuple, Value};
+use pkgrec_logic::{assignments, CnfFormula, Sigma2Dnf};
+use pkgrec_query::{AbsDiff, Builtin, ConjunctiveQuery, MetricSet, Query, RelAtom, Term};
+use pkgrec_relax::{BuiltinRelaxParam, QrppInstance, RelaxSpec};
+
+use crate::encode::{assignment_atoms, var_terms};
+use crate::gadgets::{gadget_db, R01};
+use crate::lemma4_2::forall_y_constraint;
+
+/// The Boolean metric used by both constructions: `dist(0, 1) = 1`.
+pub fn bool_metric() -> MetricSet {
+    MetricSet::new().with("bool", AbsDiff)
+}
+
+/// Build the combined-complexity reduction: a relaxation within gap 1
+/// exists **iff** `∃X ∀Y ψ` is true.
+pub fn reduce_sigma2(phi: &Sigma2Dnf) -> QrppInstance {
+    let xs = var_terms("x", phi.x_vars);
+    let c = Term::v("c");
+    let mut atoms = assignment_atoms(&xs);
+    atoms.push(RelAtom::new(R01, vec![c.clone()]));
+    let mut head = xs.clone();
+    head.push(c.clone());
+    let q = Query::Cq(ConjunctiveQuery::new(
+        head,
+        atoms,
+        vec![Builtin::eq(c, Term::c(false))],
+    ));
+
+    // Qc: the packaged (x̄, c) row fails ∀Y ψ — reuse the Lemma 4.2
+    // constraint with the extra `c` column on R_Q.
+    let qc = forall_y_constraint(phi, &[Term::v("_c_extra")]);
+
+    // val: 1 when the packaged row has c = 1, −∞ otherwise.
+    let c_pos = phi.x_vars;
+    let val = PackageFn::custom("1 iff the single row has c = 1", false, move |p| {
+        if p.len() != 1 {
+            return Ext::NegInf;
+        }
+        let t = p.iter().next().expect("len 1");
+        if t[c_pos].as_bool() == Some(true) {
+            Ext::Finite(1.0)
+        } else {
+            Ext::NegInf
+        }
+    });
+
+    let base = RecInstance::new(gadget_db(), q)
+        .with_qc(Constraint::Query(qc))
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(val)
+        .with_k(1)
+        .with_metrics(bool_metric());
+    QrppInstance {
+        base,
+        spec: RelaxSpec {
+            constants: vec![],
+            builtin_constants: vec![BuiltinRelaxParam::new(0, "bool")],
+            joins: vec![],
+        },
+        rating_bound: Ext::Finite(1.0),
+        gap_budget: 1,
+    }
+}
+
+/// The augmented clause relation `RC(cid, L1, V1, L2, V2, L3, V3, V)`
+/// of the data-complexity proof: Lemma 4.4 tuples with a visibility
+/// flag `V = 1`.
+pub const RC8_REL: &str = "rc_hidden";
+
+fn rc8_schema() -> RelationSchema {
+    RelationSchema::new(
+        RC8_REL,
+        [
+            ("cid", AttrType::Int),
+            ("l1", AttrType::Int),
+            ("v1", AttrType::Bool),
+            ("l2", AttrType::Int),
+            ("v2", AttrType::Bool),
+            ("l3", AttrType::Int),
+            ("v3", AttrType::Bool),
+            ("v", AttrType::Bool),
+        ],
+    )
+    .expect("valid schema")
+}
+
+fn encode_hidden_clauses(phi: &CnfFormula) -> Relation {
+    let mut rel = Relation::empty(rc8_schema());
+    for (i, clause) in phi.clauses.iter().enumerate() {
+        let cid = (i + 1) as i64;
+        let lits = crate::lemma4_4::pad3(&clause.0);
+        let mut vars: Vec<usize> = Vec::new();
+        for l in &lits {
+            if !vars.contains(&l.var) {
+                vars.push(l.var);
+            }
+        }
+        for local in assignments(vars.len()) {
+            let assign: std::collections::BTreeMap<usize, bool> =
+                vars.iter().copied().zip(local.iter().copied()).collect();
+            if !lits.iter().any(|l| assign[&l.var] == l.positive) {
+                continue;
+            }
+            let mut values: Vec<Value> = vec![Value::Int(cid)];
+            for l in &lits {
+                values.push(Value::Int(l.var as i64));
+                values.push(Value::Bool(assign[&l.var]));
+            }
+            values.push(Value::Bool(true));
+            rel.insert(Tuple::new(values)).expect("schema-conformant");
+        }
+    }
+    rel
+}
+
+/// Build the data-complexity reduction: a unit-gap relaxation admitting
+/// a valid package exists **iff** `φ` is satisfiable.
+pub fn reduce_3sat(phi: &CnfFormula) -> QrppInstance {
+    let mut db = Database::new();
+    db.add_relation(encode_hidden_clauses(phi)).expect("fresh db");
+
+    let head: Vec<Term> = (0..8).map(|i| Term::v(format!("a{i}"))).collect();
+    let q = Query::Cq(ConjunctiveQuery::new(
+        head.clone(),
+        vec![RelAtom::new(RC8_REL, head.clone())],
+        vec![Builtin::eq(head[7].clone(), Term::c(false))],
+    ));
+
+    // Occurring variables (the cost function requires them all covered).
+    let occurring: std::collections::BTreeSet<i64> = phi
+        .clauses
+        .iter()
+        .flat_map(|c| c.0.iter().map(|l| l.var as i64))
+        .collect();
+    let r = phi.clauses.len();
+
+    // cost = 1 iff N is a full consistent clause cover, else 2.
+    let cost = PackageFn::custom(
+        "1 iff consistent, all clauses covered once, all vars assigned",
+        false,
+        move |p| {
+            let mut cids = std::collections::BTreeSet::new();
+            let mut assign: std::collections::BTreeMap<i64, bool> = Default::default();
+            for t in p.iter() {
+                if !cids.insert(t[0].as_int().expect("cid")) {
+                    return Ext::Finite(2.0);
+                }
+                for j in 0..3 {
+                    let var = t[1 + 2 * j].as_int().expect("L column");
+                    let val = t[2 + 2 * j].as_bool().expect("V column");
+                    match assign.get(&var) {
+                        Some(&v) if v != val => return Ext::Finite(2.0),
+                        _ => {
+                            assign.insert(var, val);
+                        }
+                    }
+                }
+            }
+            let full_cover = (1..=r as i64).all(|c| cids.contains(&c));
+            let all_vars = occurring.iter().all(|v| assign.contains_key(v));
+            Ext::Finite(if full_cover && all_vars { 1.0 } else { 2.0 })
+        },
+    )
+    // Pruning hint: a package with duplicate cids or conflicting
+    // assignments can never grow into a cost-1 full cover.
+    .with_superset_lower_bound(|p| {
+        let mut cids = std::collections::BTreeSet::new();
+        let mut assign: std::collections::BTreeMap<i64, bool> = Default::default();
+        for t in p.iter() {
+            if !cids.insert(t[0].as_int().expect("cid")) {
+                return Ext::Finite(2.0);
+            }
+            for j in 0..3 {
+                let var = t[1 + 2 * j].as_int().expect("L column");
+                let val = t[2 + 2 * j].as_bool().expect("V column");
+                match assign.get(&var) {
+                    Some(&v) if v != val => return Ext::Finite(2.0),
+                    _ => {
+                        assign.insert(var, val);
+                    }
+                }
+            }
+        }
+        Ext::Finite(1.0)
+    });
+
+    let base = RecInstance::new(db, q)
+        .with_cost(cost)
+        .with_budget(1.0)
+        .with_val(PackageFn::cardinality())
+        .with_k(1)
+        .with_metrics(bool_metric());
+    QrppInstance {
+        base,
+        spec: RelaxSpec {
+            constants: vec![],
+            builtin_constants: vec![BuiltinRelaxParam::new(0, "bool")],
+            joins: vec![],
+        },
+        rating_bound: Ext::Finite(1.0),
+        gap_budget: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::SolveOptions;
+    use pkgrec_logic::{gen, is_satisfiable, Conjunct, DnfFormula, Lit};
+    use pkgrec_relax::qrpp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn combined_hand_instances() {
+        // ψ ≡ x: relaxation exists.
+        let yes = Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::pos(0), Lit::neg(1)]),
+                ],
+            ),
+        );
+        let w = qrpp(&reduce_sigma2(&yes), SolveOptions::default()).unwrap();
+        assert!(w.is_some());
+        assert_eq!(w.unwrap().gap, 1);
+
+        // ψ ≡ y: no relaxation helps.
+        let no = Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::neg(0), Lit::pos(1)]),
+                ],
+            ),
+        );
+        assert!(qrpp(&reduce_sigma2(&no), SolveOptions::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn combined_random_agreement() {
+        let mut rng = StdRng::seed_from_u64(58);
+        let (mut yes, mut no) = (0, 0);
+        for i in 0..12 {
+            let mut phi = gen::random_sigma2(&mut rng, 2, 2, 3);
+            if i % 2 == 0 {
+                // Half the sample is forced true so both answers occur.
+                phi = gen::force_true_sigma2(&phi);
+            }
+            let direct = phi.is_true();
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            let got = qrpp(&reduce_sigma2(&phi), SolveOptions::default())
+                .unwrap()
+                .is_some();
+            assert_eq!(got, direct, "φ = ∃X∀Y {}", phi.matrix);
+        }
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+
+    #[test]
+    fn data_random_agreement() {
+        let mut rng = StdRng::seed_from_u64(59);
+        let (mut yes, mut no) = (0, 0);
+        for i in 0..12 {
+            let mut phi = gen::random_3cnf(&mut rng, 3, 6 + (i % 3));
+            if i % 2 == 0 {
+                // Half the sample is forced unsatisfiable.
+                phi = gen::force_unsat(&phi);
+            }
+            let direct = is_satisfiable(&phi);
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            let got = qrpp(&reduce_3sat(&phi), SolveOptions::default())
+                .unwrap()
+                .is_some();
+            assert_eq!(got, direct, "φ = {phi}");
+        }
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+
+    #[test]
+    fn unrelaxed_data_query_is_empty() {
+        let phi = gen::random_3cnf(&mut StdRng::seed_from_u64(60), 3, 4);
+        let inst = reduce_3sat(&phi);
+        let ans = inst
+            .base
+            .query
+            .eval_with_metrics(&inst.base.db, &bool_metric())
+            .unwrap();
+        assert!(ans.is_empty(), "V = 0 selects nothing before relaxation");
+    }
+}

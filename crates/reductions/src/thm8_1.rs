@@ -1,0 +1,335 @@
+//! **Theorem 8.1** — hardness of ARPP, the adjustment recommendation
+//! problem.
+//!
+//! *Combined complexity* (Σp₂, CQ): from ∃*∀*3DNF. The database ships
+//! the gate gadgets but an **empty** Boolean domain `I01`; `D′` offers
+//! the two missing tuples `{0, 1}`. The query demands both Boolean
+//! values be present (via `∃z1, z0` with `z1 = 1, z0 = 0`), so any
+//! useful adjustment must spend its whole budget `k′ = 2` inserting
+//! them — after which valid packages are exactly the X assignments
+//! satisfying `∀Y ψ`.
+//!
+//! *Data complexity* (NP, fixed CQ): from 3SAT. The assignment relation
+//! `RX` starts empty and `D′` offers both values of every variable;
+//! with budget `k′ = n` the vendor can materialize one assignment, and
+//! `k = n · r` top items exist iff that assignment satisfies every
+//! clause.
+
+use pkgrec_adjust::ArppInstance;
+use pkgrec_core::{Constraint, Ext, PackageFn, RecInstance};
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_logic::{Clause, CnfFormula, Lit, Sigma2Dnf};
+use pkgrec_query::{Builtin, ConjunctiveQuery, Query, RelAtom, Term};
+
+use crate::encode::{assignment_atoms, var_terms};
+use crate::gadgets::{i01, i_and, i_not, i_or, R01, ROR};
+use crate::lemma4_2::forall_y_constraint;
+
+/// Build the combined-complexity reduction: an adjustment of size at
+/// most 2 exists **iff** `∃X ∀Y ψ` is true.
+pub fn reduce_sigma2(phi: &Sigma2Dnf) -> ArppInstance {
+    // D: gates present, Boolean domain empty.
+    let mut db = Database::new();
+    db.add_relation(i_or()).expect("fresh db");
+    db.add_relation(i_and()).expect("fresh db");
+    db.add_relation(i_not()).expect("fresh db");
+    db.add_relation(Relation::empty(
+        RelationSchema::new(R01, [("x", AttrType::Bool)]).expect("valid schema"),
+    ))
+    .expect("fresh db");
+
+    // D′: the two Boolean tuples.
+    let mut pool = Database::new();
+    pool.add_relation(i01()).expect("fresh db");
+
+    // Q(x̄) = ∃z1, z0 (R01(z1) ∧ z1 = 1 ∧ R01(z0) ∧ z0 = 0 ∧ ⋀ R01(xi)).
+    let xs = var_terms("x", phi.x_vars);
+    let (z1, z0) = (Term::v("z1"), Term::v("z0"));
+    let mut atoms = vec![
+        RelAtom::new(R01, vec![z1.clone()]),
+        RelAtom::new(R01, vec![z0.clone()]),
+    ];
+    atoms.extend(assignment_atoms(&xs));
+    let q = Query::Cq(ConjunctiveQuery::new(
+        xs.clone(),
+        atoms,
+        vec![
+            Builtin::eq(z1, Term::c(true)),
+            Builtin::eq(z0, Term::c(false)),
+        ],
+    ));
+
+    let base = RecInstance::new(db, q)
+        .with_qc(Constraint::Query(forall_y_constraint(phi, &[])))
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(PackageFn::cardinality())
+        .with_k(1);
+    ArppInstance {
+        base,
+        pool,
+        rating_bound: Ext::Finite(1.0),
+        max_ops: 2,
+    }
+}
+
+/// Relation names of the data-complexity construction.
+pub const RX_REL: &str = "rx_assign";
+/// The clause-literal relation `Rψ(idC, Px, X, Vx, w)`.
+pub const RPSI_REL: &str = "rpsi";
+
+/// Normalize a 3CNF so that every variable occurs in some clause, by
+/// appending tautological clauses `(x ∨ ¬x ∨ x)` — satisfiability is
+/// unchanged, and the `k = n · r` counting argument of the proof then
+/// holds for every instance.
+pub fn cover_all_variables(phi: &CnfFormula) -> CnfFormula {
+    let mut occurring = vec![false; phi.num_vars];
+    for c in &phi.clauses {
+        for l in &c.0 {
+            occurring[l.var] = true;
+        }
+    }
+    let mut clauses = phi.clauses.clone();
+    for (v, seen) in occurring.iter().enumerate() {
+        if !seen {
+            clauses.push(Clause::new(vec![Lit::pos(v), Lit::neg(v), Lit::pos(v)]));
+        }
+    }
+    CnfFormula::new(phi.num_vars, clauses)
+}
+
+/// Build the data-complexity reduction: an adjustment of size at most
+/// `n` exists **iff** `φ` is satisfiable.
+pub fn reduce_3sat(phi: &CnfFormula) -> ArppInstance {
+    let phi = cover_all_variables(phi);
+    let n = phi.num_vars;
+    let r = phi.clauses.len();
+
+    let rx_schema =
+        RelationSchema::new(RX_REL, [("x", AttrType::Int), ("v", AttrType::Bool)])
+            .expect("valid schema");
+    let rpsi_schema = RelationSchema::new(
+        RPSI_REL,
+        [
+            ("cid", AttrType::Int),
+            ("pos", AttrType::Int),
+            ("x", AttrType::Int),
+            ("vx", AttrType::Bool),
+            ("w", AttrType::Bool),
+        ],
+    )
+    .expect("valid schema");
+
+    // Rψ: for clause j, literal position i, candidate value v, the
+    // literal's truth value w.
+    let mut rpsi = Relation::empty(rpsi_schema);
+    for (j, clause) in phi.clauses.iter().enumerate() {
+        let lits = crate::lemma4_4::pad3(&clause.0);
+        for (i, lit) in lits.iter().enumerate() {
+            for v in [false, true] {
+                let w = v == lit.positive;
+                rpsi.insert(tuple![(j + 1) as i64, (i + 1) as i64, lit.var as i64, v, w])
+                    .expect("schema-conformant");
+            }
+        }
+    }
+
+    let mut db = Database::new();
+    db.add_relation(Relation::empty(rx_schema.clone())).expect("fresh db");
+    db.add_relation(rpsi).expect("fresh db");
+    db.add_relation(i_or()).expect("fresh db");
+
+    // D′: both values of every variable.
+    let mut pool = Database::new();
+    let mut rx_pool = Relation::empty(rx_schema);
+    for x in 0..n {
+        rx_pool.insert(tuple![x as i64, false]).expect("schema-conformant");
+        rx_pool.insert(tuple![x as i64, true]).expect("schema-conformant");
+    }
+    pool.add_relation(rx_pool).expect("fresh db");
+
+    // Q(j, c, x, v, x′, v′): for clause j, c = its truth value under
+    // the RX-materialized assignment; the (x, v, x′, v′) product checks
+    // RX encodes a function (only diagonal consistent pairs rate 1).
+    let j = Term::v("j");
+    let c = Term::v("c");
+    let q = {
+        let mut atoms = Vec::new();
+        let mut ws = Vec::new();
+        for i in 1..=3 {
+            let (x, v, w) = (
+                Term::v(format!("cx{i}")),
+                Term::v(format!("cv{i}")),
+                Term::v(format!("w{i}")),
+            );
+            atoms.push(RelAtom::new(
+                RPSI_REL,
+                vec![j.clone(), Term::c(i as i64), x.clone(), v.clone(), w.clone()],
+            ));
+            atoms.push(RelAtom::new(RX_REL, vec![x, v]));
+            ws.push(w);
+        }
+        let t = Term::v("t");
+        atoms.push(RelAtom::new(ROR, vec![t.clone(), ws[0].clone(), ws[1].clone()]));
+        atoms.push(RelAtom::new(ROR, vec![c.clone(), t, ws[2].clone()]));
+        let (x, v, xp, vp) = (Term::v("x"), Term::v("v"), Term::v("xp"), Term::v("vp"));
+        atoms.push(RelAtom::new(RX_REL, vec![x.clone(), v.clone()]));
+        atoms.push(RelAtom::new(RX_REL, vec![xp.clone(), vp.clone()]));
+        Query::Cq(ConjunctiveQuery::new(
+            vec![j, c, x, v, xp, vp],
+            atoms,
+            vec![],
+        ))
+    };
+
+    // val({(j, c, x, v, x′, v′)}) = 1 iff c = 1 ∧ (x, v) = (x′, v′),
+    // else −1.
+    let val = PackageFn::custom("1 iff satisfied clause & diagonal pair", false, |p| {
+        if p.len() != 1 {
+            return Ext::NegInf;
+        }
+        let t = p.iter().next().expect("len 1");
+        let good = t[1].as_bool() == Some(true) && t[2] == t[4] && t[3] == t[5];
+        Ext::Finite(if good { 1.0 } else { -1.0 })
+    });
+
+    let base = RecInstance::new(db, q)
+        .with_cost(PackageFn::count())
+        .with_budget(1.0)
+        .with_val(val)
+        .with_k(n * r);
+    ArppInstance {
+        base,
+        pool,
+        rating_bound: Ext::Finite(1.0),
+        max_ops: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_adjust::arpp;
+    use pkgrec_core::SolveOptions;
+    use pkgrec_logic::{gen, is_satisfiable, Conjunct, DnfFormula};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn combined_hand_instances() {
+        // ψ ≡ x: adjustable.
+        let yes = Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::pos(0), Lit::neg(1)]),
+                ],
+            ),
+        );
+        let w = arpp(&reduce_sigma2(&yes), SolveOptions::default()).unwrap();
+        let w = w.expect("yes instance");
+        assert_eq!(w.adjustment.len(), 2, "both Boolean tuples inserted");
+
+        // ψ ≡ y: not adjustable.
+        let no = Sigma2Dnf::new(
+            1,
+            DnfFormula::new(
+                2,
+                vec![
+                    Conjunct::new(vec![Lit::pos(0), Lit::pos(1)]),
+                    Conjunct::new(vec![Lit::neg(0), Lit::pos(1)]),
+                ],
+            ),
+        );
+        assert!(arpp(&reduce_sigma2(&no), SolveOptions::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn combined_random_agreement() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let (mut yes, mut no) = (0, 0);
+        for i in 0..8 {
+            let mut phi = gen::random_sigma2(&mut rng, 2, 2, 3);
+            if i % 2 == 0 {
+                phi = gen::force_true_sigma2(&phi);
+            }
+            let direct = phi.is_true();
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            let got = arpp(&reduce_sigma2(&phi), SolveOptions::default())
+                .unwrap()
+                .is_some();
+            assert_eq!(got, direct, "φ = ∃X∀Y {}", phi.matrix);
+        }
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+
+    #[test]
+    fn data_hand_instances() {
+        // (x0 ∨ x0 ∨ x0) ∧ (¬x0 ∨ ¬x0 ∨ ¬x0): unsatisfiable.
+        let unsat = CnfFormula::new(
+            1,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::pos(0), Lit::pos(0)]),
+                Clause::new(vec![Lit::neg(0), Lit::neg(0), Lit::neg(0)]),
+            ],
+        );
+        assert!(arpp(&reduce_3sat(&unsat), SolveOptions::default())
+            .unwrap()
+            .is_none());
+
+        // (x0 ∨ x1 ∨ x0): satisfiable.
+        let sat = CnfFormula::new(
+            2,
+            vec![Clause::new(vec![Lit::pos(0), Lit::pos(1), Lit::pos(0)])],
+        );
+        let w = arpp(&reduce_3sat(&sat), SolveOptions::default())
+            .unwrap()
+            .expect("satisfiable");
+        assert_eq!(w.adjustment.len(), 2, "one value per variable");
+    }
+
+    #[test]
+    fn data_random_agreement() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let (mut yes, mut no) = (0, 0);
+        for i in 0..6 {
+            let mut phi = gen::random_3cnf(&mut rng, 2, 3 + (i % 2));
+            if i % 2 == 0 {
+                phi = gen::force_unsat(&phi);
+            }
+            let direct = is_satisfiable(&phi);
+            if direct {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            let got = arpp(&reduce_3sat(&phi), SolveOptions::default())
+                .unwrap()
+                .is_some();
+            assert_eq!(got, direct, "φ = {phi}");
+        }
+        assert!(yes > 0 && no > 0, "degenerate sample: yes={yes} no={no}");
+    }
+
+    #[test]
+    fn variable_coverage_normalization() {
+        let phi = CnfFormula::new(
+            3,
+            vec![Clause::new(vec![Lit::pos(0), Lit::neg(0), Lit::pos(0)])],
+        );
+        let covered = cover_all_variables(&phi);
+        assert_eq!(covered.clauses.len(), 3); // vars 1 and 2 padded
+        assert_eq!(
+            is_satisfiable(&phi),
+            is_satisfiable(&covered)
+        );
+    }
+}

@@ -1,0 +1,854 @@
+//! # pkgrec-relax — query relaxation recommendations (Section 7)
+//!
+//! When a selection query `Q` finds no sensible packages, the paper
+//! proposes recommending a *relaxed* query `QΓ`: designated constants
+//! are replaced by variables bounded in distance from the original
+//! value, and designated join occurrences are split into fresh
+//! variables likewise bounded (Section 7.1, following Chaudhuri's query
+//! generalization rules). Each replacement carries a *level*
+//! `gap(γ) ∈ {0 (kept), d (dist ≤ d)}`, and `gap(QΓ)` is the sum.
+//!
+//! **QRPP** (Section 7.2) asks: does a relaxation `QΓ` of `Q` with
+//! `gap(QΓ) ≤ g` exist such that `k` distinct valid packages exist for
+//! `(QΓ, D, Qc, cost(), val(), C, B)`?
+//!
+//! The solver enumerates relaxations only up to *D-equivalence* —
+//! distance thresholds realized by active-domain value pairs — exactly
+//! as the Theorem 7.2 upper-bound algorithm does, and reuses the
+//! pkgrec-core validity machinery for the package-existence check.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use pkgrec_core::{for_each_valid_package, CoreError, RecInstance, SolveOptions};
+use pkgrec_data::Value;
+use pkgrec_query::{Builtin, Query, RelAtom, Term};
+
+/// Result alias (errors come from the core layer).
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// A relaxable parameter of a query: either a constant occurrence (the
+/// set `E` of Section 7.1) or a repeated-variable occurrence (the set
+/// `X`). Atoms are indexed in the query's canonical visit order
+/// ([`Query::visit_atoms`]); `position` is the argument position within
+/// the atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelaxParam {
+    /// Index of the atom in visit order.
+    pub atom: usize,
+    /// Argument position within the atom.
+    pub position: usize,
+    /// Name of the distance function in Γ governing this parameter's
+    /// attribute domain.
+    pub metric: String,
+}
+
+impl RelaxParam {
+    /// Build a parameter.
+    pub fn new(atom: usize, position: usize, metric: impl AsRef<str>) -> RelaxParam {
+        RelaxParam {
+            atom,
+            position,
+            metric: metric.as_ref().to_string(),
+        }
+    }
+}
+
+/// A relaxable constant occurring in a comparison builtin `t = c`
+/// (either side constant): relaxing it turns the equality into
+/// `dist(t, c) ≤ d`, exactly the `ψw` predicates of Section 7.1.
+/// Builtins are indexed in the query's canonical visit order
+/// ([`Query::visit_builtins`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuiltinRelaxParam {
+    /// Index of the builtin in visit order; it must be an equality with
+    /// exactly one constant side.
+    pub builtin: usize,
+    /// Name of the governing distance function in Γ.
+    pub metric: String,
+}
+
+impl BuiltinRelaxParam {
+    /// Build a parameter.
+    pub fn new(builtin: usize, metric: impl AsRef<str>) -> BuiltinRelaxParam {
+        BuiltinRelaxParam {
+            builtin,
+            metric: metric.as_ref().to_string(),
+        }
+    }
+}
+
+/// The relaxation specification: which parts of `Q` may be modified.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelaxSpec {
+    /// Constant occurrences in relation atoms that may be widened
+    /// (part of `E`).
+    pub constants: Vec<RelaxParam>,
+    /// Constants in equality builtins that may be widened (the rest of
+    /// `E`).
+    pub builtin_constants: Vec<BuiltinRelaxParam>,
+    /// Join occurrences that may be split (`X`). The occurrence listed
+    /// here is replaced by a fresh variable; the variable's other
+    /// occurrences keep their name.
+    pub joins: Vec<RelaxParam>,
+}
+
+impl RelaxSpec {
+    /// Total number of relaxable parameters.
+    pub fn len(&self) -> usize {
+        self.constants.len() + self.builtin_constants.len() + self.joins.len()
+    }
+
+    /// Whether the spec is empty (no relaxation possible).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The relaxation level of one parameter (the predicate γ of
+/// Section 7.1 and its `gap(γ)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Keep the original constant / join (`wc = c`), gap 0.
+    Keep,
+    /// Replace by a fresh variable `w` with `dist(w, orig) ≤ d`,
+    /// gap `d`.
+    DistLe(i64),
+}
+
+impl Level {
+    /// The level's contribution to `gap(QΓ)`.
+    pub fn gap(self) -> i64 {
+        match self {
+            Level::Keep => 0,
+            Level::DistLe(d) => d,
+        }
+    }
+}
+
+/// A concrete relaxation: one level per spec parameter (constants
+/// first, joins second, in spec order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relaxation {
+    /// Levels for `spec.constants`.
+    pub const_levels: Vec<Level>,
+    /// Levels for `spec.builtin_constants`.
+    pub builtin_levels: Vec<Level>,
+    /// Levels for `spec.joins`.
+    pub join_levels: Vec<Level>,
+}
+
+impl Relaxation {
+    /// The identity relaxation (all parameters kept).
+    pub fn identity(spec: &RelaxSpec) -> Relaxation {
+        Relaxation {
+            const_levels: vec![Level::Keep; spec.constants.len()],
+            builtin_levels: vec![Level::Keep; spec.builtin_constants.len()],
+            join_levels: vec![Level::Keep; spec.joins.len()],
+        }
+    }
+
+    /// `gap(QΓ)`: the sum of all levels.
+    pub fn gap(&self) -> i64 {
+        self.const_levels
+            .iter()
+            .chain(&self.builtin_levels)
+            .chain(&self.join_levels)
+            .map(|l| l.gap())
+            .sum()
+    }
+}
+
+/// Apply a relaxation to a query, producing `QΓ`.
+///
+/// Fresh variables are named `__w{i}` (constants) and `__u{i}` (joins);
+/// the original query must not use these names. Kept parameters leave
+/// the query unchanged (`wc = c` simplified away).
+pub fn apply_relaxation(query: &Query, spec: &RelaxSpec, relax: &Relaxation) -> Result<Query> {
+    if relax.const_levels.len() != spec.constants.len()
+        || relax.builtin_levels.len() != spec.builtin_constants.len()
+        || relax.join_levels.len() != spec.joins.len()
+    {
+        return Err(CoreError::Invalid(
+            "relaxation levels do not match the spec".into(),
+        ));
+    }
+    let mut out = query.clone();
+    let mut new_builtins: Vec<Builtin> = Vec::new();
+
+    // Collect the rewrites first, then apply them in a single pass.
+    struct Rewrite {
+        atom: usize,
+        position: usize,
+        fresh: String,
+        metric: String,
+        bound: i64,
+        expect_const: bool,
+    }
+    let mut rewrites: Vec<Rewrite> = Vec::new();
+    for (i, (param, level)) in spec.constants.iter().zip(&relax.const_levels).enumerate() {
+        if let Level::DistLe(d) = level {
+            rewrites.push(Rewrite {
+                atom: param.atom,
+                position: param.position,
+                fresh: format!("__w{i}"),
+                metric: param.metric.clone(),
+                bound: *d,
+                expect_const: true,
+            });
+        }
+    }
+    for (i, (param, level)) in spec.joins.iter().zip(&relax.join_levels).enumerate() {
+        if let Level::DistLe(d) = level {
+            rewrites.push(Rewrite {
+                atom: param.atom,
+                position: param.position,
+                fresh: format!("__u{i}"),
+                metric: param.metric.clone(),
+                bound: *d,
+                expect_const: false,
+            });
+        }
+    }
+
+    let mut atom_index = 0usize;
+    let mut error: Option<CoreError> = None;
+    out.visit_atoms_mut(&mut |a: &mut RelAtom| {
+        for rw in rewrites.iter().filter(|r| r.atom == atom_index) {
+            let Some(term) = a.terms.get_mut(rw.position) else {
+                error = Some(CoreError::Invalid(format!(
+                    "relax position {} out of range for atom {}",
+                    rw.position, atom_index
+                )));
+                continue;
+            };
+            let original = term.clone();
+            match (&original, rw.expect_const) {
+                (Term::Const(_), true) | (Term::Var(_), false) => {}
+                _ => {
+                    error = Some(CoreError::Invalid(format!(
+                        "relax parameter at atom {} position {} does not match the term kind",
+                        atom_index, rw.position
+                    )));
+                    continue;
+                }
+            }
+            *term = Term::v(&rw.fresh);
+            new_builtins.push(Builtin::dist_le(
+                &rw.metric,
+                Term::v(&rw.fresh),
+                original,
+                rw.bound,
+            ));
+        }
+        atom_index += 1;
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+
+    // Builtin-constant relaxation: `t = c` becomes `dist(t, c) ≤ d`.
+    let mut builtin_index = 0usize;
+    out.visit_builtins_mut(&mut |b: &mut Builtin| {
+        for (param, level) in spec.builtin_constants.iter().zip(&relax.builtin_levels) {
+            if param.builtin != builtin_index {
+                continue;
+            }
+            let Level::DistLe(d) = level else { continue };
+            match b {
+                Builtin::Cmp(c) if c.op == pkgrec_query::CmpOp::Eq => {
+                    let (var_side, const_side) = match (&c.left, &c.right) {
+                        (l @ Term::Var(_), r @ Term::Const(_)) => (l.clone(), r.clone()),
+                        (l @ Term::Const(_), r @ Term::Var(_)) => (r.clone(), l.clone()),
+                        _ => {
+                            error = Some(CoreError::Invalid(format!(
+                                "builtin relax parameter {builtin_index} needs one variable and one constant"
+                            )));
+                            continue;
+                        }
+                    };
+                    *b = Builtin::dist_le(&param.metric, var_side, const_side, *d);
+                }
+                _ => {
+                    error = Some(CoreError::Invalid(format!(
+                        "builtin relax parameter {builtin_index} is not an equality comparison"
+                    )));
+                }
+            }
+        }
+        builtin_index += 1;
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    out.add_builtins(new_builtins);
+    Ok(out)
+}
+
+/// Candidate distance thresholds for each parameter, up to
+/// D-equivalence: only distances realized between the parameter's
+/// original value(s) and values in the relevant relation column can
+/// change `QΓ(D)`, so only those (plus `Keep`) need enumerating
+/// (Theorem 7.2 upper-bound argument).
+/// Candidate level sets per parameter group, aligned with the spec.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateLevels {
+    /// Per `spec.constants` parameter.
+    pub constants: Vec<Vec<Level>>,
+    /// Per `spec.builtin_constants` parameter.
+    pub builtins: Vec<Vec<Level>>,
+    /// Per `spec.joins` parameter.
+    pub joins: Vec<Vec<Level>>,
+}
+
+pub fn candidate_levels(
+    db: &pkgrec_data::Database,
+    query: &Query,
+    spec: &RelaxSpec,
+    metrics: &pkgrec_query::MetricSet,
+    gap_budget: i64,
+) -> Result<CandidateLevels> {
+    // Snapshot the atoms in visit order.
+    let mut atoms: Vec<RelAtom> = Vec::new();
+    query.visit_atoms(&mut |a| atoms.push(a.clone()));
+
+    let column_values = |atom: usize, position: usize| -> Result<BTreeSet<Value>> {
+        let a = atoms.get(atom).ok_or_else(|| {
+            CoreError::Invalid(format!("relax atom index {atom} out of range"))
+        })?;
+        if position >= a.terms.len() {
+            return Err(CoreError::Invalid(format!(
+                "relax position {position} out of range for atom {atom}"
+            )));
+        }
+        // IDB atoms (Datalog) have no stored column; fall back to the
+        // whole active domain.
+        match db.relation(&a.relation) {
+            Some(r) => Ok(r.column_values(position)),
+            None => Ok(db.active_domain().iter().cloned().collect()),
+        }
+    };
+
+    let levels_for = |param: &RelaxParam, origin: &BTreeSet<Value>| -> Result<Vec<Level>> {
+        let metric = metrics
+            .get(&param.metric)
+            .ok_or_else(|| CoreError::Invalid(format!("unknown metric `{}`", param.metric)))?;
+        let targets = column_values(param.atom, param.position)?;
+        let mut ds: BTreeSet<i64> = BTreeSet::new();
+        for o in origin {
+            for t in &targets {
+                if let Some(d) = metric.distance(t, o) {
+                    if d > 0 && d <= gap_budget {
+                        ds.insert(d);
+                    }
+                }
+            }
+        }
+        let mut levels = vec![Level::Keep];
+        levels.extend(ds.into_iter().map(Level::DistLe));
+        Ok(levels)
+    };
+
+    let mut const_levels = Vec::with_capacity(spec.constants.len());
+    for p in &spec.constants {
+        let a = atoms.get(p.atom).ok_or_else(|| {
+            CoreError::Invalid(format!("relax atom index {} out of range", p.atom))
+        })?;
+        let origin: BTreeSet<Value> = match a.terms.get(p.position) {
+            Some(Term::Const(c)) => [c.clone()].into(),
+            _ => {
+                return Err(CoreError::Invalid(format!(
+                    "constant relax parameter at atom {} position {} is not a constant",
+                    p.atom, p.position
+                )))
+            }
+        };
+        const_levels.push(levels_for(p, &origin)?);
+    }
+    let mut join_levels = Vec::with_capacity(spec.joins.len());
+    for p in &spec.joins {
+        // The "origin" of a join parameter is the set of values the
+        // variable's *other* occurrences can take: the columns where the
+        // same variable appears elsewhere in the query.
+        let a = atoms.get(p.atom).ok_or_else(|| {
+            CoreError::Invalid(format!("relax atom index {} out of range", p.atom))
+        })?;
+        let var = match a.terms.get(p.position) {
+            Some(Term::Var(v)) => v.clone(),
+            _ => {
+                return Err(CoreError::Invalid(format!(
+                    "join relax parameter at atom {} position {} is not a variable",
+                    p.atom, p.position
+                )))
+            }
+        };
+        let mut origin: BTreeSet<Value> = BTreeSet::new();
+        for (ai, atom) in atoms.iter().enumerate() {
+            for (pos, t) in atom.terms.iter().enumerate() {
+                if (ai, pos) != (p.atom, p.position) && t.as_var() == Some(&var) {
+                    origin.extend(column_values(ai, pos)?);
+                }
+            }
+        }
+        join_levels.push(levels_for(p, &origin)?);
+    }
+
+    // Builtin constants: the variable side ranges over the active
+    // domain, so candidate distances are those from the constant to any
+    // active-domain value (plus query constants would add nothing new
+    // beyond distance 0).
+    let adom: BTreeSet<Value> = db.active_domain().iter().cloned().collect();
+    let mut builtins_snapshot: Vec<pkgrec_query::Builtin> = Vec::new();
+    query.visit_builtins(&mut |b| builtins_snapshot.push(b.clone()));
+    let mut builtin_levels = Vec::with_capacity(spec.builtin_constants.len());
+    for p in &spec.builtin_constants {
+        let b = builtins_snapshot.get(p.builtin).ok_or_else(|| {
+            CoreError::Invalid(format!("builtin relax index {} out of range", p.builtin))
+        })?;
+        let Builtin::Cmp(c) = b else {
+            return Err(CoreError::Invalid(format!(
+                "builtin relax parameter {} is not a comparison",
+                p.builtin
+            )));
+        };
+        let origin_value = match (&c.left, &c.right) {
+            (Term::Const(v), Term::Var(_)) | (Term::Var(_), Term::Const(v)) => v.clone(),
+            _ => {
+                return Err(CoreError::Invalid(format!(
+                    "builtin relax parameter {} needs one variable and one constant",
+                    p.builtin
+                )))
+            }
+        };
+        let metric = metrics
+            .get(&p.metric)
+            .ok_or_else(|| CoreError::Invalid(format!("unknown metric `{}`", p.metric)))?;
+        let mut ds: BTreeSet<i64> = BTreeSet::new();
+        for t in &adom {
+            if let Some(d) = metric.distance(t, &origin_value) {
+                if d > 0 && d <= gap_budget {
+                    ds.insert(d);
+                }
+            }
+        }
+        let mut levels = vec![Level::Keep];
+        levels.extend(ds.into_iter().map(Level::DistLe));
+        builtin_levels.push(levels);
+    }
+
+    Ok(CandidateLevels {
+        constants: const_levels,
+        builtins: builtin_levels,
+        joins: join_levels,
+    })
+}
+
+/// Enumerate relaxations with `gap ≤ gap_budget` in ascending gap
+/// order (identity first). Levels per parameter come from
+/// [`candidate_levels`].
+fn enumerate_relaxations(levels: &CandidateLevels, gap_budget: i64) -> Vec<Relaxation> {
+    let mut out: Vec<Relaxation> = Vec::new();
+    let n_const = levels.constants.len();
+    let n_builtin = levels.builtins.len();
+    let all: Vec<&Vec<Level>> = levels
+        .constants
+        .iter()
+        .chain(levels.builtins.iter())
+        .chain(levels.joins.iter())
+        .collect();
+    let mut current: Vec<Level> = Vec::with_capacity(all.len());
+
+    fn go(
+        all: &[&Vec<Level>],
+        idx: usize,
+        gap_left: i64,
+        current: &mut Vec<Level>,
+        splits: (usize, usize),
+        out: &mut Vec<Relaxation>,
+    ) {
+        if idx == all.len() {
+            let (n_const, n_builtin) = splits;
+            out.push(Relaxation {
+                const_levels: current[..n_const].to_vec(),
+                builtin_levels: current[n_const..n_const + n_builtin].to_vec(),
+                join_levels: current[n_const + n_builtin..].to_vec(),
+            });
+            return;
+        }
+        for &level in all[idx] {
+            if level.gap() <= gap_left {
+                current.push(level);
+                go(all, idx + 1, gap_left - level.gap(), current, splits, out);
+                current.pop();
+            }
+        }
+    }
+    go(
+        &all,
+        0,
+        gap_budget,
+        &mut current,
+        (n_const, n_builtin),
+        &mut out,
+    );
+    out.sort_by_key(|r| r.gap());
+    out
+}
+
+/// A QRPP instance: the base recommendation instance (whose `query` is
+/// the unrelaxed `Q` and whose `metrics` hold Γ), the relaxation spec
+/// `(E, X)`, the rating bound `B`, and the gap budget `g`.
+#[derive(Debug, Clone)]
+pub struct QrppInstance {
+    /// Base instance `(Q, D, Qc, cost(), val(), C, k)` with Γ in
+    /// `metrics`.
+    pub base: RecInstance,
+    /// What may be relaxed.
+    pub spec: RelaxSpec,
+    /// The rating bound `B` packages must reach.
+    pub rating_bound: pkgrec_core::Ext,
+    /// The gap budget `g`.
+    pub gap_budget: i64,
+}
+
+/// A positive QRPP answer: the witness relaxation and the resulting
+/// query.
+#[derive(Debug, Clone)]
+pub struct RelaxationWitness {
+    /// The chosen levels.
+    pub relaxation: Relaxation,
+    /// The relaxed query `QΓ`.
+    pub query: Query,
+    /// Its gap.
+    pub gap: i64,
+}
+
+/// Decide QRPP and return a *minimum-gap* witness relaxation when the
+/// answer is yes (`None` = no relaxation within budget works).
+pub fn qrpp(inst: &QrppInstance, opts: SolveOptions) -> Result<Option<RelaxationWitness>> {
+    let metrics = inst.base.metrics.as_ref().ok_or_else(|| {
+        CoreError::Invalid("QRPP requires a metric set Γ on the base instance".into())
+    })?;
+    let levels = candidate_levels(
+        &inst.base.db,
+        &inst.base.query,
+        &inst.spec,
+        metrics,
+        inst.gap_budget,
+    )?;
+    for relaxation in enumerate_relaxations(&levels, inst.gap_budget) {
+        let relaxed = apply_relaxation(&inst.base.query, &inst.spec, &relaxation)?;
+        let candidate = {
+            let mut c = inst.base.clone();
+            c.query = relaxed.clone();
+            c
+        };
+        if has_k_valid_packages(&candidate, inst.rating_bound, opts)? {
+            let gap = relaxation.gap();
+            return Ok(Some(RelaxationWitness {
+                relaxation,
+                query: relaxed,
+                gap,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// L1-style check: do `k` distinct valid packages rated `≥ B` exist?
+fn has_k_valid_packages(
+    inst: &RecInstance,
+    bound: pkgrec_core::Ext,
+    opts: SolveOptions,
+) -> Result<bool> {
+    let mut found = 0usize;
+    for_each_valid_package(inst, Some(bound), opts, |_, _| {
+        found += 1;
+        if found >= inst.k {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })?;
+    Ok(found >= inst.k)
+}
+
+/// QRPP for items (Corollary 7.3): relax `Q` so that at least `k`
+/// distinct items of `QΓ(D)` have utility `≥ B`.
+#[allow(clippy::too_many_arguments)]
+pub fn qrpp_items(
+    db: &pkgrec_data::Database,
+    query: &Query,
+    spec: &RelaxSpec,
+    metrics: &pkgrec_query::MetricSet,
+    utility: &pkgrec_core::ItemUtility,
+    k: usize,
+    rating_bound: f64,
+    gap_budget: i64,
+) -> Result<Option<RelaxationWitness>> {
+    let levels = candidate_levels(db, query, spec, metrics, gap_budget)?;
+    for relaxation in enumerate_relaxations(&levels, gap_budget) {
+        let relaxed = apply_relaxation(query, spec, &relaxation)?;
+        let answers = relaxed
+            .eval_with_metrics(db, metrics)
+            .map_err(CoreError::from)?;
+        let hits = answers
+            .iter()
+            .filter(|t| utility.eval(t) >= rating_bound)
+            .count();
+        if hits >= k {
+            let gap = relaxation.gap();
+            return Ok(Some(RelaxationWitness {
+                relaxation,
+                query: relaxed,
+                gap,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{Ext, PackageFn};
+    use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+    use pkgrec_query::{AbsDiff, ConjunctiveQuery, MetricSet, TableMetric};
+
+    /// flight(fno, to, price): direct flights to a destination column.
+    fn flight_db() -> Database {
+        let mut db = Database::new();
+        let schema = RelationSchema::new(
+            "flight",
+            [
+                ("fno", AttrType::Int),
+                ("to", AttrType::Str),
+                ("price", AttrType::Int),
+            ],
+        )
+        .unwrap();
+        db.add_relation(
+            Relation::from_tuples(
+                schema,
+                [
+                    tuple![1, "ewr", 300],
+                    tuple![2, "jfk", 450],
+                    tuple![3, "bos", 200],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn metrics() -> MetricSet {
+        MetricSet::new()
+            .with(
+                "city",
+                TableMetric::new()
+                    .with("nyc", "ewr", 9)
+                    .with("nyc", "jfk", 12)
+                    .with("nyc", "bos", 190),
+            )
+            .with("days", AbsDiff)
+    }
+
+    /// Q(f, p) :- flight(f, "nyc", p): no direct flights to nyc exist.
+    fn q_nyc() -> Query {
+        Query::Cq(ConjunctiveQuery::new(
+            vec![Term::v("f"), Term::v("p")],
+            vec![RelAtom::new(
+                "flight",
+                vec![Term::v("f"), Term::c("nyc"), Term::v("p")],
+            )],
+            vec![],
+        ))
+    }
+
+    fn spec() -> RelaxSpec {
+        RelaxSpec {
+            constants: vec![RelaxParam::new(0, 1, "city")],
+            builtin_constants: vec![],
+            joins: vec![],
+        }
+    }
+
+    fn qrpp_inst(gap_budget: i64, k: usize) -> QrppInstance {
+        let base = RecInstance::new(flight_db(), q_nyc())
+            .with_budget(1.0)
+            .with_val(PackageFn::constant(Ext::Finite(1.0)))
+            .with_k(k)
+            .with_metrics(metrics());
+        QrppInstance {
+            base,
+            spec: spec(),
+            rating_bound: Ext::Finite(1.0),
+            gap_budget,
+        }
+    }
+
+    #[test]
+    fn relaxation_within_15_miles_finds_ewr_and_jfk() {
+        // Example 7.1: dist ≤ 15 admits ewr (9) and jfk (12).
+        let w = qrpp(&qrpp_inst(15, 1), SolveOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(w.gap, 9); // minimal gap: just far enough for ewr
+        assert_eq!(w.relaxation.const_levels, vec![Level::DistLe(9)]);
+        // The relaxed query finds the ewr flight.
+        let ans = w
+            .query
+            .eval_with_metrics(&flight_db(), &metrics())
+            .unwrap();
+        assert!(ans.contains(&tuple![1, 300]));
+    }
+
+    #[test]
+    fn no_relaxation_within_tiny_budget() {
+        assert!(qrpp(&qrpp_inst(5, 1), SolveOptions::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn k_2_needs_a_larger_gap() {
+        // Two valid packages need two distinct items ⇒ both ewr and jfk
+        // must be reachable ⇒ gap 12.
+        let w = qrpp(&qrpp_inst(15, 2), SolveOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(w.gap, 12);
+    }
+
+    #[test]
+    fn identity_relaxation_wins_when_query_already_works() {
+        // Query for ewr directly: no relaxation needed, gap 0.
+        let q = Query::Cq(ConjunctiveQuery::new(
+            vec![Term::v("f"), Term::v("p")],
+            vec![RelAtom::new(
+                "flight",
+                vec![Term::v("f"), Term::c("ewr"), Term::v("p")],
+            )],
+            vec![],
+        ));
+        let mut inst = qrpp_inst(15, 1);
+        inst.base.query = q;
+        let w = qrpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(w.gap, 0);
+        assert_eq!(w.relaxation, Relaxation::identity(&inst.spec));
+    }
+
+    #[test]
+    fn join_relaxation_splits_equijoin() {
+        // r(x, y), s(y, z) joined on y; relaxing the s-side occurrence
+        // with the numeric metric lets nearby keys match.
+        let mut db = Database::new();
+        let r =
+            RelationSchema::new("r", [("a", AttrType::Int), ("k", AttrType::Int)]).unwrap();
+        let s =
+            RelationSchema::new("s", [("k", AttrType::Int), ("b", AttrType::Int)]).unwrap();
+        db.add_relation(Relation::from_tuples(r, [tuple![1, 10]]).unwrap())
+            .unwrap();
+        db.add_relation(Relation::from_tuples(s, [tuple![12, 7]]).unwrap())
+            .unwrap();
+        let q = Query::Cq(ConjunctiveQuery::new(
+            vec![Term::v("a"), Term::v("b")],
+            vec![
+                RelAtom::new("r", vec![Term::v("a"), Term::v("y")]),
+                RelAtom::new("s", vec![Term::v("y"), Term::v("b")]),
+            ],
+            vec![],
+        ));
+        let spec = RelaxSpec {
+            constants: vec![],
+            builtin_constants: vec![],
+            joins: vec![RelaxParam::new(1, 0, "days")],
+        };
+        let base = RecInstance::new(db, q)
+            .with_budget(1.0)
+            .with_val(PackageFn::constant(Ext::Finite(1.0)))
+            .with_metrics(metrics());
+        let inst = QrppInstance {
+            base,
+            spec,
+            rating_bound: Ext::Finite(1.0),
+            gap_budget: 5,
+        };
+        let w = qrpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(w.gap, 2); // |10 − 12|
+    }
+
+    #[test]
+    fn qrpp_items_variant() {
+        let utility = pkgrec_core::ItemUtility::new("cheap", |t| {
+            -(t[1].as_numeric().unwrap() as f64)
+        });
+        let w = qrpp_items(
+            &flight_db(),
+            &q_nyc(),
+            &spec(),
+            &metrics(),
+            &utility,
+            1,
+            -400.0, // price ≤ 400
+            15,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(w.gap, 9); // ewr at 300 qualifies
+        assert!(qrpp_items(
+            &flight_db(),
+            &q_nyc(),
+            &spec(),
+            &metrics(),
+            &utility,
+            1,
+            -100.0, // nothing is that cheap
+            15,
+        )
+        .unwrap()
+        .is_none());
+    }
+
+    #[test]
+    fn apply_relaxation_validates_spec() {
+        let bad_spec = RelaxSpec {
+            constants: vec![RelaxParam::new(0, 0, "city")], // position 0 is a variable
+            builtin_constants: vec![],
+            joins: vec![],
+        };
+        let r = Relaxation {
+            const_levels: vec![Level::DistLe(1)],
+            builtin_levels: vec![],
+            join_levels: vec![],
+        };
+        assert!(apply_relaxation(&q_nyc(), &bad_spec, &r).is_err());
+        // Mismatched level count.
+        let r2 = Relaxation {
+            const_levels: vec![],
+            builtin_levels: vec![],
+            join_levels: vec![],
+        };
+        assert!(apply_relaxation(&q_nyc(), &spec(), &r2).is_err());
+    }
+
+    #[test]
+    fn gap_enumeration_is_ascending() {
+        let levels = candidate_levels(
+            &flight_db(),
+            &q_nyc(),
+            &spec(),
+            &metrics(),
+            200,
+        )
+        .unwrap();
+        let rs = enumerate_relaxations(&levels, 200);
+        let gaps: Vec<i64> = rs.iter().map(Relaxation::gap).collect();
+        let mut sorted = gaps.clone();
+        sorted.sort();
+        assert_eq!(gaps, sorted);
+        // Candidate gaps up to D-equivalence: 0 (keep), 9, 12, 190.
+        assert_eq!(gaps, vec![0, 9, 12, 190]);
+    }
+}

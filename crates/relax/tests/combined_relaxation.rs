@@ -1,0 +1,161 @@
+//! Integration tests for relaxations that mix all three parameter
+//! kinds of Section 7.1 — atom constants (`E`), equality-builtin
+//! constants (also `E`), and join occurrences (`X`) — in one spec.
+
+use pkgrec_core::{Ext, PackageFn, RecInstance, SolveOptions};
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_query::{
+    AbsDiff, Builtin, ConjunctiveQuery, MetricSet, Query, RelAtom, TableMetric, Term,
+};
+use pkgrec_relax::{
+    apply_relaxation, candidate_levels, qrpp, BuiltinRelaxParam, Level, QrppInstance,
+    Relaxation, RelaxParam, RelaxSpec,
+};
+
+/// store(city, day, stock_key); stock(key, qty).
+fn db() -> Database {
+    let mut db = Database::new();
+    let store = RelationSchema::new(
+        "store",
+        [
+            ("city", AttrType::Str),
+            ("day", AttrType::Int),
+            ("key", AttrType::Int),
+        ],
+    )
+    .unwrap();
+    let stock =
+        RelationSchema::new("stock", [("key", AttrType::Int), ("qty", AttrType::Int)]).unwrap();
+    db.add_relation(
+        Relation::from_tuples(
+            store,
+            [
+                tuple!["ewr", 3, 10], // near nyc, wrong day, offset stock key
+                tuple!["nyc", 1, 50], // right city & day, but key 50 is far from any stock
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.add_relation(Relation::from_tuples(stock, [tuple![12, 5]]).unwrap())
+        .unwrap();
+    db
+}
+
+fn metrics() -> MetricSet {
+    MetricSet::new()
+        .with("city", TableMetric::new().with("nyc", "ewr", 9))
+        .with("num", AbsDiff)
+}
+
+/// Q(c, q) :- store(c, d, k), stock(k, q), d = 1, c = "nyc"
+/// — with the base data this finds nothing; it takes relaxing the city
+/// (atom constant), the day (builtin constant) and the stock join
+/// simultaneously to surface the ewr row.
+fn query() -> Query {
+    Query::Cq(ConjunctiveQuery::new(
+        vec![Term::v("c"), Term::v("q")],
+        vec![
+            RelAtom::new("store", vec![Term::v("c"), Term::v("d"), Term::v("k")]),
+            RelAtom::new("stock", vec![Term::v("k"), Term::v("q")]),
+        ],
+        vec![
+            Builtin::eq(Term::v("d"), Term::c(1)),
+            Builtin::eq(Term::v("c"), Term::c("nyc")),
+        ],
+    ))
+}
+
+fn spec() -> RelaxSpec {
+    RelaxSpec {
+        constants: vec![],
+        builtin_constants: vec![
+            BuiltinRelaxParam::new(0, "num"),  // d = 1
+            BuiltinRelaxParam::new(1, "city"), // c = "nyc"
+        ],
+        joins: vec![RelaxParam::new(1, 0, "num")], // the stock-key join
+    }
+}
+
+fn instance(gap_budget: i64) -> QrppInstance {
+    let base = RecInstance::new(db(), query())
+        .with_budget(1.0)
+        .with_val(PackageFn::constant(Ext::Finite(1.0)))
+        .with_metrics(metrics());
+    QrppInstance {
+        base,
+        spec: spec(),
+        rating_bound: Ext::Finite(1.0),
+        gap_budget,
+    }
+}
+
+#[test]
+fn all_three_kinds_relax_together() {
+    // Needed: city gap 9 (nyc→ewr), day gap 2 (1→3), join gap 2 (10→12)
+    // — total 13.
+    let w = qrpp(&instance(13), SolveOptions::default())
+        .unwrap()
+        .expect("13 suffices");
+    assert_eq!(w.gap, 13);
+    assert_eq!(w.relaxation.builtin_levels.len(), 2);
+    assert_eq!(w.relaxation.join_levels, vec![Level::DistLe(2)]);
+
+    // One unit less and no relaxation works.
+    assert!(qrpp(&instance(12), SolveOptions::default())
+        .unwrap()
+        .is_none());
+}
+
+#[test]
+fn relaxed_query_shape() {
+    let relaxation = Relaxation {
+        const_levels: vec![],
+        builtin_levels: vec![Level::DistLe(2), Level::DistLe(9)],
+        join_levels: vec![Level::DistLe(2)],
+    };
+    let relaxed = apply_relaxation(&query(), &spec(), &relaxation).unwrap();
+    let text = relaxed.to_string();
+    assert!(text.contains("dist_num(d, 1) <= 2"), "{text}");
+    assert!(text.contains("dist_city(c, \"nyc\") <= 9"), "{text}");
+    assert!(text.contains("dist_num(__u0, k) <= 2"), "{text}");
+    // And it finds the ewr row.
+    let ans = relaxed.eval_with_metrics(&db(), &metrics()).unwrap();
+    assert!(ans.contains(&tuple!["ewr", 5]));
+}
+
+#[test]
+fn candidate_levels_stay_within_budget() {
+    let levels = candidate_levels(&db(), &query(), &spec(), &metrics(), 5).unwrap();
+    for group in levels
+        .constants
+        .iter()
+        .chain(levels.builtins.iter())
+        .chain(levels.joins.iter())
+    {
+        for l in group {
+            assert!(l.gap() <= 5, "level {l:?} exceeds the gap budget");
+        }
+        assert_eq!(group[0], Level::Keep, "Keep is always the first option");
+    }
+}
+
+#[test]
+fn unknown_metric_is_an_error() {
+    let bad = RelaxSpec {
+        constants: vec![],
+        builtin_constants: vec![BuiltinRelaxParam::new(0, "nope")],
+        joins: vec![],
+    };
+    let r = candidate_levels(&db(), &query(), &bad, &metrics(), 5);
+    assert!(r.is_err());
+}
+
+#[test]
+fn node_limit_propagates_through_qrpp() {
+    let r = qrpp(&instance(13), SolveOptions::limited(1));
+    assert!(matches!(
+        r,
+        Err(pkgrec_core::CoreError::SearchLimitExceeded { limit: 1 })
+    ));
+}

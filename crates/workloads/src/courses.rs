@@ -1,0 +1,214 @@
+//! The course-recommendation workload of [Parameswaran et al.], cited
+//! by the paper for compatibility constraints that consult the
+//! database: a package of courses must contain, for each course, all
+//! of its prerequisites (which live in a separate `prereq` relation of
+//! `D`, not in the package).
+
+use rand::Rng;
+
+use pkgrec_core::{Constraint, Ext, PackageFn, RecInstance, ANSWER_RELATION};
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_query::{ConjunctiveQuery, FoQuery, Formula, Query, RelAtom, Term};
+
+/// Schema of `course(cid, area, credits, rating)`.
+pub fn course_schema() -> RelationSchema {
+    RelationSchema::new(
+        "course",
+        [
+            ("cid", AttrType::Int),
+            ("area", AttrType::Str),
+            ("credits", AttrType::Int),
+            ("rating", AttrType::Int),
+        ],
+    )
+    .expect("valid schema")
+}
+
+/// Schema of `prereq(cid, needs)`.
+pub fn prereq_schema() -> RelationSchema {
+    RelationSchema::new("prereq", [("cid", AttrType::Int), ("needs", AttrType::Int)])
+        .expect("valid schema")
+}
+
+/// Course areas used by the generator.
+pub const AREAS: [&str; 3] = ["db", "ai", "sys"];
+
+/// Parameters of the random course catalog.
+#[derive(Debug, Clone)]
+pub struct CourseConfig {
+    /// Number of courses.
+    pub courses: usize,
+    /// Probability that course `i` requires a given earlier course.
+    pub prereq_prob: f64,
+}
+
+impl Default for CourseConfig {
+    fn default() -> Self {
+        CourseConfig {
+            courses: 10,
+            prereq_prob: 0.2,
+        }
+    }
+}
+
+/// Generate a random course catalog; prerequisites always point to
+/// lower course ids, so the prerequisite graph is acyclic.
+pub fn course_db(rng: &mut impl Rng, cfg: &CourseConfig) -> Database {
+    let mut courses = Relation::empty(course_schema());
+    let mut prereqs = Relation::empty(prereq_schema());
+    for c in 0..cfg.courses {
+        courses
+            .insert(tuple![
+                c as i64,
+                AREAS[rng.gen_range(0..AREAS.len())],
+                rng.gen_range(1..=3) as i64,
+                rng.gen_range(1..=5) as i64
+            ])
+            .expect("schema-conformant");
+        for earlier in 0..c {
+            if rng.gen_bool(cfg.prereq_prob) {
+                prereqs
+                    .insert(tuple![c as i64, earlier as i64])
+                    .expect("schema-conformant");
+            }
+        }
+    }
+    let mut db = Database::new();
+    db.add_relation(courses).expect("fresh db");
+    db.add_relation(prereqs).expect("fresh db");
+    db
+}
+
+/// The selection query: all courses (identity over `course`).
+pub fn all_courses_query() -> Query {
+    Query::Cq(ConjunctiveQuery::identity("course", 4))
+}
+
+/// The prerequisite compatibility constraint, as an **FO** query (the
+/// paper notes course-combination constraints need FO): a package is
+/// incompatible iff it contains a course whose prerequisite (looked up
+/// in `D`) is missing from the package:
+///
+/// ```text
+/// Qc() = ∃c, a, k, r, n ( R_Q(c, a, k, r) ∧ prereq(c, n) ∧
+///                         ¬∃a′, k′, r′ R_Q(n, a′, k′, r′) )
+/// ```
+pub fn prereq_constraint() -> Constraint {
+    let rq = |cid: &str, suffix: &str| {
+        Formula::Atom(RelAtom::new(
+            ANSWER_RELATION,
+            vec![
+                Term::v(cid),
+                Term::v(format!("a{suffix}")),
+                Term::v(format!("k{suffix}")),
+                Term::v(format!("r{suffix}")),
+            ],
+        ))
+    };
+    let body = Formula::and(vec![
+        rq("c", "1"),
+        Formula::Atom(RelAtom::new("prereq", vec![Term::v("c"), Term::v("n")])),
+        Formula::not(Formula::exists(
+            vec![
+                pkgrec_query::var("a2"),
+                pkgrec_query::var("k2"),
+                pkgrec_query::var("r2"),
+            ],
+            rq("n", "2"),
+        )),
+    ]);
+    Constraint::Query(Query::Fo(FoQuery::new(Vec::<Term>::new(), body)))
+}
+
+/// `cost(N)` = total credits (`∅ ↦ ∞`).
+pub fn credit_cost() -> PackageFn {
+    PackageFn::custom("total credits (∅ ↦ ∞)", true, |p| {
+        if p.is_empty() {
+            return Ext::PosInf;
+        }
+        Ext::Finite(
+            p.iter()
+                .map(|t| t[2].as_numeric().unwrap_or(0) as f64)
+                .sum(),
+        )
+    })
+}
+
+/// `val(N)` = total course rating.
+pub fn rating_value() -> PackageFn {
+    PackageFn::custom("total rating", true, |p| {
+        Ext::Finite(
+            p.iter()
+                .map(|t| t[3].as_numeric().unwrap_or(0) as f64)
+                .sum(),
+        )
+    })
+}
+
+/// A complete course-package instance: top-`k` course bundles within a
+/// credit budget, closed under prerequisites.
+pub fn course_instance(db: Database, credit_budget: f64, k: usize) -> RecInstance {
+    RecInstance::new(db, all_courses_query())
+        .with_qc(prereq_constraint())
+        .with_cost(credit_cost())
+        .with_budget(credit_budget)
+        .with_val(rating_value())
+        .with_k(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{problems::frp, Package, SolveOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        let mut courses = Relation::empty(course_schema());
+        courses.insert(tuple![0, "db", 2, 3]).unwrap(); // intro
+        courses.insert(tuple![1, "db", 2, 5]).unwrap(); // advanced, needs 0
+        courses.insert(tuple![2, "ai", 3, 4]).unwrap(); // standalone
+        let mut prereqs = Relation::empty(prereq_schema());
+        prereqs.insert(tuple![1, 0]).unwrap();
+        db.add_relation(courses).unwrap();
+        db.add_relation(prereqs).unwrap();
+        db
+    }
+
+    #[test]
+    fn prereq_constraint_semantics() {
+        let db = tiny_db();
+        let qc = prereq_constraint();
+        // {advanced} without {intro}: incompatible.
+        let alone = Package::new([tuple![1, "db", 2, 5]]);
+        assert!(!qc.satisfied(&alone, &db, 4, None).unwrap());
+        // {intro, advanced}: compatible.
+        let both = Package::new([tuple![0, "db", 2, 3], tuple![1, "db", 2, 5]]);
+        assert!(qc.satisfied(&both, &db, 4, None).unwrap());
+        // {standalone}: compatible.
+        let solo = Package::new([tuple![2, "ai", 3, 4]]);
+        assert!(qc.satisfied(&solo, &db, 4, None).unwrap());
+    }
+
+    #[test]
+    fn top_bundle_respects_prerequisites_and_credits() {
+        // Credit budget 4: {intro, advanced} (4 credits, rating 8) beats
+        // {standalone} (3 credits, rating 4) and {intro, standalone}
+        // (5 credits — over budget).
+        let inst = course_instance(tiny_db(), 4.0, 1);
+        let sel = frp::top_k(&inst, SolveOptions::default()).unwrap().unwrap();
+        assert_eq!(
+            sel[0],
+            Package::new([tuple![0, "db", 2, 3], tuple![1, "db", 2, 5]])
+        );
+    }
+
+    #[test]
+    fn generator_produces_acyclic_prereqs() {
+        let db = course_db(&mut StdRng::seed_from_u64(3), &CourseConfig::default());
+        for t in db.relation("prereq").unwrap().iter() {
+            assert!(t[1].as_int().unwrap() < t[0].as_int().unwrap());
+        }
+    }
+}

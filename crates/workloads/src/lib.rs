@@ -1,0 +1,20 @@
+//! # pkgrec-workloads — domain workloads and scalable random instances
+//!
+//! The paper motivates package recommendation with three running
+//! application domains, each of which this crate implements as a
+//! generator + ready-made instance builder:
+//!
+//! * [`travel`] — travel plans (Example 1.1 / [Xie, Lakshmanan &
+//!   Wood]): flights joined with points of interest, a museum cap as a
+//!   CQ compatibility constraint, visit-time budgets;
+//! * [`courses`] — course bundles ([Parameswaran et al.]):
+//!   prerequisite closure as an FO constraint consulting `D`;
+//! * [`teams`] — team formation ([Lappas, Liu & Terzi]): skill
+//!   coverage as a PTIME constraint, team-size budgets;
+//! * [`random`] — size-parameterized instances for the data-complexity
+//!   benchmark sweeps of Table 8.2 and Corollaries 6.1–6.3.
+
+pub mod courses;
+pub mod random;
+pub mod teams;
+pub mod travel;

@@ -1,0 +1,170 @@
+//! Scalable random instances for the benchmark sweeps: a fixed query
+//! over a database whose size is the sweep parameter (Table 8.2's data
+//! complexity), with switchable size-bound regimes (poly vs constant,
+//! Corollary 6.1) and switchable `Qc` (present / PTIME / absent).
+
+use rand::Rng;
+
+use pkgrec_core::{Constraint, PackageFn, RecInstance, SizeBound, ANSWER_RELATION};
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_query::{Builtin, CmpOp, ConjunctiveQuery, Query, RelAtom, Term};
+
+/// Schema of the generic `item(id, grp, price, score)` relation.
+pub fn item_schema() -> RelationSchema {
+    RelationSchema::new(
+        "item",
+        [
+            ("id", AttrType::Int),
+            ("grp", AttrType::Int),
+            ("price", AttrType::Int),
+            ("score", AttrType::Int),
+        ],
+    )
+    .expect("valid schema")
+}
+
+/// A random item table with `n` rows spread over `groups` groups.
+pub fn item_db(rng: &mut impl Rng, n: usize, groups: i64) -> Database {
+    let mut items = Relation::empty(item_schema());
+    for i in 0..n {
+        items
+            .insert(tuple![
+                i as i64,
+                rng.gen_range(0..groups),
+                rng.gen_range(1..100),
+                rng.gen_range(1..100)
+            ])
+            .expect("schema-conformant");
+    }
+    let mut db = Database::new();
+    db.add_relation(items).expect("fresh db");
+    db
+}
+
+/// The fixed SP selection query of the data-complexity sweeps:
+/// `Q(id, grp, price, score) :- item(id, grp, price, score), price < 80`.
+pub fn fixed_sp_query() -> Query {
+    let head: Vec<Term> = ["id", "grp", "price", "score"]
+        .iter()
+        .map(Term::v)
+        .collect();
+    Query::Cq(ConjunctiveQuery::new(
+        head.clone(),
+        vec![RelAtom::new("item", head)],
+        vec![Builtin::cmp(Term::v("price"), CmpOp::Lt, Term::c(80))],
+    ))
+}
+
+/// A fixed CQ *join* query (self-join on the group column):
+/// `Q(i1, i2, g) :- item(i1, g, p1, s1), item(i2, g, p2, s2), i1 < i2`.
+pub fn fixed_join_query() -> Query {
+    Query::Cq(ConjunctiveQuery::new(
+        vec![Term::v("i1"), Term::v("i2"), Term::v("g")],
+        vec![
+            RelAtom::new(
+                "item",
+                vec![Term::v("i1"), Term::v("g"), Term::v("p1"), Term::v("s1")],
+            ),
+            RelAtom::new(
+                "item",
+                vec![Term::v("i2"), Term::v("g"), Term::v("p2"), Term::v("s2")],
+            ),
+        ],
+        vec![Builtin::cmp(Term::v("i1"), CmpOp::Lt, Term::v("i2"))],
+    ))
+}
+
+/// A fixed CQ compatibility constraint: no two items of the same group
+/// in one package.
+pub fn distinct_groups_qc() -> Constraint {
+    Constraint::Query(Query::Cq(ConjunctiveQuery::new(
+        Vec::<Term>::new(),
+        vec![
+            RelAtom::new(
+                ANSWER_RELATION,
+                vec![Term::v("i1"), Term::v("g"), Term::v("p1"), Term::v("s1")],
+            ),
+            RelAtom::new(
+                ANSWER_RELATION,
+                vec![Term::v("i2"), Term::v("g"), Term::v("p2"), Term::v("s2")],
+            ),
+        ],
+        vec![Builtin::cmp(Term::v("i1"), CmpOp::Neq, Term::v("i2"))],
+    )))
+}
+
+/// The same constraint as a PTIME closure (Corollary 6.3's regime).
+pub fn distinct_groups_ptime() -> Constraint {
+    Constraint::ptime("distinct groups (PTIME)", |p, _| {
+        let mut seen = std::collections::BTreeSet::new();
+        p.iter().all(|t| seen.insert(t[1].clone()))
+    })
+}
+
+/// A data-complexity sweep instance over `n` items: fixed SP query,
+/// budget `b` items per package, `val` = total score.
+pub fn sweep_instance(
+    rng: &mut impl Rng,
+    n: usize,
+    budget: f64,
+    bound: SizeBound,
+    qc: Constraint,
+) -> RecInstance {
+    RecInstance::new(item_db(rng, n, 5), fixed_sp_query())
+        .with_qc(qc)
+        .with_cost(PackageFn::count())
+        .with_budget(budget)
+        .with_val(PackageFn::sum_col(3, true))
+        .with_size_bound(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{problems::frp, Package, SolveOptions};
+    use pkgrec_query::QueryLanguage;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_queries_classify_correctly() {
+        assert_eq!(fixed_sp_query().language(), QueryLanguage::Sp);
+        assert_eq!(fixed_join_query().language(), QueryLanguage::Cq);
+    }
+
+    #[test]
+    fn qc_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let db = item_db(&mut rng, 12, 3);
+        let q = Constraint::Query(match distinct_groups_qc() {
+            Constraint::Query(q) => q,
+            _ => unreachable!(),
+        });
+        let p = distinct_groups_ptime();
+        let items: Vec<_> = db.relation("item").unwrap().tuples();
+        // Compare on a handful of random packages.
+        for i in 0..items.len() {
+            for j in i + 1..items.len() {
+                let pkg = Package::new([items[i].clone(), items[j].clone()]);
+                assert_eq!(
+                    q.satisfied(&pkg, &db, 4, None).unwrap(),
+                    p.satisfied(&pkg, &db, 4, None).unwrap(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_instance_is_solvable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = sweep_instance(
+            &mut rng,
+            8,
+            2.0,
+            SizeBound::Constant(2),
+            distinct_groups_ptime(),
+        );
+        let sel = frp::top_k(&inst, SolveOptions::default()).unwrap();
+        assert!(sel.is_some());
+    }
+}

@@ -1,0 +1,352 @@
+//! The travel-planning workload of Example 1.1: `flight` and `POI`
+//! relations, the package query pairing a direct flight with
+//! points of interest, the "no more than 2 museums" compatibility
+//! constraint, and time/price aggregate functions.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use pkgrec_core::{Constraint, Ext, PackageFn, RecInstance, ANSWER_RELATION};
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_query::{Builtin, CmpOp, ConjunctiveQuery, Query, RelAtom, Term};
+
+/// Schema of the `flight(fno, from, to, dd, price)` relation. The
+/// paper's departure/arrival time columns are folded into a single
+/// day-number column — they add nothing to the problem structure.
+pub fn flight_schema() -> RelationSchema {
+    RelationSchema::new(
+        "flight",
+        [
+            ("fno", AttrType::Int),
+            ("from", AttrType::Str),
+            ("to", AttrType::Str),
+            ("dd", AttrType::Int),
+            ("price", AttrType::Int),
+        ],
+    )
+    .expect("valid schema")
+}
+
+/// Schema of the `poi(name, city, type, ticket, time)` relation.
+pub fn poi_schema() -> RelationSchema {
+    RelationSchema::new(
+        "poi",
+        [
+            ("name", AttrType::Str),
+            ("city", AttrType::Str),
+            ("type", AttrType::Str),
+            ("ticket", AttrType::Int),
+            ("time", AttrType::Int),
+        ],
+    )
+    .expect("valid schema")
+}
+
+/// Parameters of the random travel database.
+#[derive(Debug, Clone)]
+pub struct TravelConfig {
+    /// Number of cities.
+    pub cities: usize,
+    /// Number of flights.
+    pub flights: usize,
+    /// Number of POI per city (on average).
+    pub pois_per_city: usize,
+    /// Departure-day range (1..=days).
+    pub days: i64,
+}
+
+impl Default for TravelConfig {
+    fn default() -> Self {
+        TravelConfig {
+            cities: 6,
+            flights: 30,
+            pois_per_city: 5,
+            days: 7,
+        }
+    }
+}
+
+/// POI categories used by the generator.
+pub const POI_TYPES: [&str; 4] = ["museum", "theater", "park", "gallery"];
+
+/// Generate a random travel database.
+pub fn travel_db(rng: &mut impl Rng, cfg: &TravelConfig) -> Database {
+    let cities: Vec<String> = (0..cfg.cities).map(|i| format!("city{i}")).collect();
+    let mut flights = Relation::empty(flight_schema());
+    for f in 0..cfg.flights {
+        let from = cities.choose(rng).expect("nonempty").clone();
+        let mut to = cities.choose(rng).expect("nonempty").clone();
+        while to == from {
+            to = cities.choose(rng).expect("nonempty").clone();
+        }
+        flights
+            .insert(tuple![
+                f as i64,
+                from.as_str(),
+                to.as_str(),
+                rng.gen_range(1..=cfg.days),
+                rng.gen_range(80..800)
+            ])
+            .expect("schema-conformant");
+    }
+    let mut pois = Relation::empty(poi_schema());
+    for (c, city) in cities.iter().enumerate() {
+        for p in 0..cfg.pois_per_city {
+            pois.insert(tuple![
+                format!("poi_{c}_{p}").as_str(),
+                city.as_str(),
+                *POI_TYPES.choose(rng).expect("nonempty"),
+                rng.gen_range(0..60),
+                rng.gen_range(30..240)
+            ])
+            .expect("schema-conformant");
+        }
+    }
+    let mut db = Database::new();
+    db.add_relation(flights).expect("fresh db");
+    db.add_relation(pois).expect("fresh db");
+    db
+}
+
+/// The Example 1.1 package query: items pair a direct flight
+/// `from → to` departing on `day` with a POI of the destination city:
+///
+/// ```text
+/// Q(fno, price, name, type, ticket, time) =
+///   ∃ to ( flight(fno, from, to, day, price) ∧
+///          poi(name, to, type, ticket, time) )
+/// ```
+pub fn travel_query(from: &str, to: &str, day: i64) -> Query {
+    Query::Cq(ConjunctiveQuery::new(
+        vec![
+            Term::v("fno"),
+            Term::v("price"),
+            Term::v("name"),
+            Term::v("type"),
+            Term::v("ticket"),
+            Term::v("time"),
+        ],
+        vec![
+            RelAtom::new(
+                "flight",
+                vec![
+                    Term::v("fno"),
+                    Term::c(from),
+                    Term::v("xTo"),
+                    Term::c(day),
+                    Term::v("price"),
+                ],
+            ),
+            RelAtom::new(
+                "poi",
+                vec![
+                    Term::v("name"),
+                    Term::v("xTo"),
+                    Term::v("type"),
+                    Term::v("ticket"),
+                    Term::v("time"),
+                ],
+            ),
+        ],
+        vec![Builtin::eq(Term::v("xTo"), Term::c(to))],
+    ))
+}
+
+/// The "no more than 2 museums" compatibility constraint of
+/// Example 1.1 / [Xie et al.]: `Qc` selects 3 distinct museums from the
+/// package (answer columns: fno, price, name, type, ticket, time).
+pub fn max_two_museums() -> Constraint {
+    let row = |i: usize| {
+        RelAtom::new(
+            ANSWER_RELATION,
+            vec![
+                Term::v("f"),
+                Term::v("p"),
+                Term::v(format!("n{i}")),
+                Term::c("museum"),
+                Term::v(format!("tk{i}")),
+                Term::v(format!("tm{i}")),
+            ],
+        )
+    };
+    Constraint::Query(Query::Cq(ConjunctiveQuery::new(
+        Vec::<Term>::new(),
+        vec![row(1), row(2), row(3)],
+        vec![
+            Builtin::cmp(Term::v("n1"), CmpOp::Neq, Term::v("n2")),
+            Builtin::cmp(Term::v("n1"), CmpOp::Neq, Term::v("n3")),
+            Builtin::cmp(Term::v("n2"), CmpOp::Neq, Term::v("n3")),
+        ],
+    )))
+}
+
+/// The "one flight per package" constraint implicit in Example 1.1 (all
+/// items share the `fno` column).
+pub fn single_flight() -> Constraint {
+    Constraint::ptime("all items share one flight", |p, _| {
+        let mut fnos = p.iter().map(|t| t[0].clone());
+        match fnos.next() {
+            None => true,
+            Some(first) => fnos.all(|f| f == first),
+        }
+    })
+}
+
+/// Both travel constraints combined.
+pub fn travel_constraints() -> Constraint {
+    let museums = max_two_museums();
+    let flight = single_flight();
+    Constraint::ptime("single flight & ≤2 museums", move |p, db| {
+        let flight_ok = match &flight {
+            Constraint::PTime { f, .. } => f(p, db),
+            _ => unreachable!("single_flight is a PTime constraint"),
+        };
+        flight_ok
+            && museums
+                .satisfied(p, db, 6, None)
+                .unwrap_or(false)
+    })
+}
+
+/// `cost(N)` = total visit time (the 5-day sightseeing budget of the
+/// example); `cost(∅) = ∞`.
+pub fn visit_time_cost() -> PackageFn {
+    PackageFn::custom("total visit time (∅ ↦ ∞)", true, |p| {
+        if p.is_empty() {
+            return Ext::PosInf;
+        }
+        Ext::Finite(
+            p.iter()
+                .map(|t| t[5].as_numeric().unwrap_or(0) as f64)
+                .sum(),
+        )
+    })
+}
+
+/// `val(N)`: the more POI and the cheaper the total price, the better
+/// (airfare counted once since all items share a flight).
+pub fn travel_rating() -> PackageFn {
+    PackageFn::custom("10·|N| − (airfare + tickets)/100", false, |p| {
+        if p.is_empty() {
+            return Ext::NegInf;
+        }
+        let airfare = p
+            .iter()
+            .next()
+            .map(|t| t[1].as_numeric().unwrap_or(0))
+            .unwrap_or(0) as f64;
+        let tickets: f64 = p
+            .iter()
+            .map(|t| t[4].as_numeric().unwrap_or(0) as f64)
+            .sum();
+        Ext::Finite(10.0 * p.len() as f64 - (airfare + tickets) / 100.0)
+    })
+}
+
+/// A complete Example 1.1 instance: top-`k` travel packages within a
+/// total visit-time budget.
+pub fn travel_instance(
+    db: Database,
+    from: &str,
+    to: &str,
+    day: i64,
+    time_budget: f64,
+    k: usize,
+) -> RecInstance {
+    RecInstance::new(db, travel_query(from, to, day))
+        .with_qc(travel_constraints())
+        .with_cost(visit_time_cost())
+        .with_budget(time_budget)
+        .with_val(travel_rating())
+        .with_k(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_core::{problems::frp, Package, SolveOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        let mut flights = Relation::empty(flight_schema());
+        flights.insert(tuple![1, "edi", "nyc", 1, 400]).unwrap();
+        flights.insert(tuple![2, "edi", "nyc", 1, 300]).unwrap();
+        flights.insert(tuple![3, "edi", "bos", 1, 200]).unwrap();
+        let mut pois = Relation::empty(poi_schema());
+        pois.insert(tuple!["met", "nyc", "museum", 25, 120]).unwrap();
+        pois.insert(tuple!["moma", "nyc", "museum", 25, 90]).unwrap();
+        pois.insert(tuple!["guggenheim", "nyc", "museum", 25, 60]).unwrap();
+        pois.insert(tuple!["broadway", "nyc", "theater", 80, 150]).unwrap();
+        pois.insert(tuple!["fenway", "bos", "park", 0, 60]).unwrap();
+        db.add_relation(flights).unwrap();
+        db.add_relation(pois).unwrap();
+        db
+    }
+
+    #[test]
+    fn query_pairs_flights_with_destination_pois() {
+        let q = travel_query("edi", "nyc", 1);
+        let ans = q.eval(&tiny_db()).unwrap();
+        // 2 nyc flights × 4 nyc POI.
+        assert_eq!(ans.len(), 8);
+    }
+
+    #[test]
+    fn museum_constraint_rejects_three_museums() {
+        let db = tiny_db();
+        let qc = max_two_museums();
+        let three = Package::new([
+            tuple![2, 300, "met", "museum", 25, 120],
+            tuple![2, 300, "moma", "museum", 25, 90],
+            tuple![2, 300, "guggenheim", "museum", 25, 60],
+        ]);
+        assert!(!qc.satisfied(&three, &db, 6, None).unwrap());
+        let two = Package::new([
+            tuple![2, 300, "met", "museum", 25, 120],
+            tuple![2, 300, "moma", "museum", 25, 90],
+        ]);
+        assert!(qc.satisfied(&two, &db, 6, None).unwrap());
+    }
+
+    #[test]
+    fn single_flight_constraint() {
+        let db = tiny_db();
+        let qc = single_flight();
+        let mixed = Package::new([
+            tuple![1, 400, "met", "museum", 25, 120],
+            tuple![2, 300, "moma", "museum", 25, 90],
+        ]);
+        assert!(!qc.satisfied(&mixed, &db, 6, None).unwrap());
+    }
+
+    #[test]
+    fn top_package_prefers_cheap_flight_and_many_pois() {
+        let inst = travel_instance(tiny_db(), "edi", "nyc", 1, 300.0, 1);
+        let sel = frp::top_k(&inst, SolveOptions::default()).unwrap().unwrap();
+        let pkg = &sel[0];
+        // All items share the cheap flight 2.
+        assert!(pkg.iter().all(|t| t[0].as_int() == Some(2)));
+        // Time budget respected.
+        let time: i64 = pkg.iter().map(|t| t[5].as_int().unwrap()).sum();
+        assert!(time <= 300);
+        // ≤ 2 museums.
+        let museums = pkg
+            .iter()
+            .filter(|t| t[3].as_str() == Some("museum"))
+            .count();
+        assert!(museums <= 2);
+        assert!(!pkg.is_empty());
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_well_formed() {
+        let cfg = TravelConfig::default();
+        let a = travel_db(&mut StdRng::seed_from_u64(1), &cfg);
+        let b = travel_db(&mut StdRng::seed_from_u64(1), &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.relation("flight").unwrap().len(), cfg.flights);
+        assert!(!a.relation("poi").unwrap().is_empty());
+    }
+}

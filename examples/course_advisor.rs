@@ -1,0 +1,86 @@
+//! Course-package recommendation ([Parameswaran et al.], cited in the
+//! paper for database-consulting compatibility constraints): bundle
+//! courses under a credit budget such that every course's prerequisites
+//! are in the bundle. Demonstrates an **FO** compatibility constraint,
+//! plus the MBP and CPP problems on a realistic instance.
+//!
+//! ```sh
+//! cargo run --example course_advisor
+//! ```
+
+use pkgrec::core::{problems::cpp, problems::frp, problems::mbp, Ext, SolveOptions};
+use pkgrec::data::{tuple, Database, Relation};
+use pkgrec::workloads::courses;
+
+fn main() {
+    // A small curriculum: intro → advanced chains in two areas.
+    let mut course_rel = Relation::empty(courses::course_schema());
+    for row in [
+        tuple![0, "db", 2, 3],  // databases I
+        tuple![1, "db", 2, 5],  // databases II   (needs 0)
+        tuple![2, "db", 3, 5],  // query engines  (needs 1)
+        tuple![3, "ai", 2, 4],  // ml I
+        tuple![4, "ai", 3, 5],  // ml II          (needs 3)
+        tuple![5, "sys", 2, 2], // shell basics
+    ] {
+        course_rel.insert(row).expect("schema-conformant");
+    }
+    let mut prereq_rel = Relation::empty(courses::prereq_schema());
+    for row in [tuple![1, 0], tuple![2, 1], tuple![4, 3]] {
+        prereq_rel.insert(row).expect("schema-conformant");
+    }
+    let mut db = Database::new();
+    db.add_relation(course_rel).expect("fresh db");
+    db.add_relation(prereq_rel).expect("fresh db");
+
+    // 7 credits, top-3 bundles.
+    let inst = courses::course_instance(db, 7.0, 3);
+    println!(
+        "Prerequisite constraint (an FO query, language {}):\n",
+        match &inst.qc {
+            pkgrec::core::Constraint::Query(q) => q.language().to_string(),
+            other => format!("{other:?}"),
+        }
+    );
+
+    let selection = frp::top_k(&inst, SolveOptions::default())
+        .expect("solver runs")
+        .expect("three bundles exist");
+    for (rank, pkg) in selection.iter().enumerate() {
+        let credits = inst.cost.eval(pkg);
+        let rating = inst.val.eval(pkg);
+        let ids: Vec<String> = pkg.iter().map(|t| t[0].to_string()).collect();
+        println!(
+            "#{}: courses {{{}}} — {credits} credits, rating {rating}",
+            rank + 1,
+            ids.join(", ")
+        );
+        // Every bundle is prerequisite-closed.
+        for t in pkg.iter() {
+            let cid = t[0].as_int().expect("cid");
+            let needs: Vec<i64> = [(1i64, 0i64), (2, 1), (4, 3)]
+                .iter()
+                .filter(|&&(c, _)| c == cid)
+                .map(|&(_, n)| n)
+                .collect();
+            for n in needs {
+                assert!(
+                    pkg.iter().any(|u| u[0].as_int() == Some(n)),
+                    "bundle with course {cid} must include prerequisite {n}"
+                );
+            }
+        }
+    }
+
+    // MBP: what rating does the 3rd-best bundle reach?
+    let bound = mbp::maximum_bound(&inst, SolveOptions::default())
+        .expect("solver runs")
+        .expect("bundles exist");
+    println!("\nMBP: the maximum bound for top-3 bundles is {bound}");
+
+    // CPP: how many prerequisite-closed bundles rate at least 8?
+    let count = cpp::count_valid(&inst, Ext::Finite(8.0), SolveOptions::default())
+        .expect("solver runs");
+    println!("CPP: {count} valid bundles rate ≥ 8");
+    assert!(count > 0);
+}

@@ -1,0 +1,83 @@
+//! Group recommendations — the open issue the paper's conclusion
+//! points at (Section 9, citing Amer-Yahia et al.): pick a dinner
+//! bundle for a *group* whose members disagree, under least-misery,
+//! utilitarian, and most-pleasure semantics. The group aggregate is
+//! itself a PTIME package function, so every solver of the paper's
+//! model applies unchanged.
+//!
+//! ```sh
+//! cargo run --example group_dinner
+//! ```
+
+use pkgrec::core::{
+    Constraint, GroupInstance, GroupSemantics, PackageFn, RecInstance, SolveOptions,
+};
+use pkgrec::data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec::query::{ConjunctiveQuery, Query};
+
+fn main() {
+    // dish(name, kind, spice, veggie_score, carnivore_score)
+    let schema = RelationSchema::new(
+        "dish",
+        [
+            ("name", AttrType::Str),
+            ("kind", AttrType::Str),
+            ("spice", AttrType::Int),
+            ("v", AttrType::Int),
+            ("c", AttrType::Int),
+        ],
+    )
+    .expect("valid schema");
+    let rel = Relation::from_tuples(
+        schema,
+        [
+            tuple!["dal", "main", 3, 9, 3],
+            tuple!["steak", "main", 1, 0, 9],
+            tuple!["paneer", "main", 2, 8, 5],
+            tuple!["wings", "starter", 2, 1, 8],
+            tuple!["salad", "starter", 0, 7, 4],
+            tuple!["halloumi", "starter", 1, 8, 6],
+        ],
+    )
+    .expect("schema-conformant");
+    let mut db = Database::new();
+    db.add_relation(rel).expect("fresh db");
+
+    // A dinner is one starter and one main (a compatibility constraint),
+    // i.e. a package of exactly two compatible items.
+    let base = RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("dish", 5)))
+        .with_qc(Constraint::ptime("one starter + one main", |p, _| {
+            let kinds: Vec<_> = p.iter().filter_map(|t| t[1].as_str()).collect();
+            kinds.len() == 2
+                && kinds.contains(&"starter")
+                && kinds.contains(&"main")
+        }))
+        .with_budget(2.0);
+
+    // Two diners: a vegetarian (column v) and a carnivore (column c).
+    let members = vec![PackageFn::sum_col(3, true), PackageFn::sum_col(4, true)];
+
+    for semantics in [
+        GroupSemantics::LeastMisery,
+        GroupSemantics::Utilitarian,
+        GroupSemantics::MostPleasure,
+    ] {
+        let group = GroupInstance::new(base.clone(), members.clone(), semantics);
+        let top = group
+            .top_k(SolveOptions::default())
+            .expect("solver runs")
+            .expect("dinners exist");
+        let names: Vec<String> = top[0].iter().map(|t| t[0].to_string()).collect();
+        println!(
+            "{semantics:?}: {{{}}} (group rating {})",
+            names.join(" + "),
+            group.group_val(&top[0])
+        );
+    }
+
+    // Least misery avoids steak (vegetarian rating 0) even though the
+    // carnivore loves it.
+    let lm = GroupInstance::new(base, members, GroupSemantics::LeastMisery);
+    let top = lm.top_k(SolveOptions::default()).unwrap().unwrap();
+    assert!(!top[0].iter().any(|t| t[0].as_str() == Some("steak")));
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the travel-planning scenario of the paper's Example 1.1,
+//! end to end.
+//!
+//! A user flies from Edinburgh to New York on day 1 and wants to visit
+//! as many places as possible within a sightseeing-time budget, with at
+//! most two museums per plan (the compatibility constraint) and the
+//! best price (the rating function).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pkgrec::core::{problems::frp, problems::mbp, problems::rpp, Ext, SolveOptions};
+use pkgrec::data::{tuple, Database, Relation};
+use pkgrec::workloads::travel;
+
+fn main() {
+    // ── The item collection D ────────────────────────────────────────
+    let mut flights = Relation::empty(travel::flight_schema());
+    for row in [
+        tuple![1, "edi", "nyc", 1, 420],
+        tuple![2, "edi", "nyc", 1, 310],
+        tuple![3, "edi", "bos", 1, 200],
+        tuple![4, "gla", "nyc", 1, 280],
+    ] {
+        flights.insert(row).expect("flight rows match the schema");
+    }
+    let mut pois = Relation::empty(travel::poi_schema());
+    for row in [
+        tuple!["met", "nyc", "museum", 25, 120],
+        tuple!["moma", "nyc", "museum", 25, 90],
+        tuple!["guggenheim", "nyc", "museum", 25, 60],
+        tuple!["broadway", "nyc", "theater", 90, 150],
+        tuple!["high line", "nyc", "park", 0, 45],
+        tuple!["freedom trail", "bos", "park", 0, 90],
+    ] {
+        pois.insert(row).expect("poi rows match the schema");
+    }
+    let mut db = Database::new();
+    db.add_relation(flights).expect("fresh database");
+    db.add_relation(pois).expect("fresh database");
+
+    println!("Item collection: {} tuples\n", db.size());
+
+    // ── The instance (Q, D, Qc, cost, val, C, k) ─────────────────────
+    // Q pairs a direct edi→nyc flight on day 1 with nyc POIs; Qc caps
+    // museums at two and pins every item to one flight; cost = total
+    // visit time with a 300-minute budget; val rewards many POIs and a
+    // low total price. We ask for the top-2 packages.
+    let inst = travel::travel_instance(db, "edi", "nyc", 1, 300.0, 2);
+    println!("Selection query Q [{}]:\n  {}\n", inst.query.language(), inst.query);
+
+    // ── FRP: compute the top-k packages ─────────────────────────────
+    let selection = frp::top_k(&inst, SolveOptions::default())
+        .expect("solver runs")
+        .expect("this database admits at least two valid plans");
+    for (rank, pkg) in selection.iter().enumerate() {
+        let val = inst.val.eval(pkg);
+        let time = inst.cost.eval(pkg);
+        println!("#{} (rating {val}, visit time {time} min):", rank + 1);
+        for t in pkg.iter() {
+            println!(
+                "    flight {} (${}) → {} [{}], ticket ${}, {} min",
+                t[0], t[1], t[2], t[3], t[4], t[5]
+            );
+        }
+    }
+
+    // ── RPP: certify the answer ──────────────────────────────────────
+    let certified = rpp::is_top_k(&inst, &selection, SolveOptions::default()).expect("solver runs");
+    println!("\nRPP certifies the selection: {certified}");
+    assert!(certified);
+
+    // ── MBP: the maximum rating bound ────────────────────────────────
+    let bound = mbp::maximum_bound(&inst, SolveOptions::default())
+        .expect("solver runs")
+        .expect("a top-2 selection exists");
+    println!("MBP maximum bound (rating of the 2nd-best package): {bound}");
+    assert!(mbp::is_maximum_bound(&inst, bound, SolveOptions::default()).expect("solver runs"));
+    assert!(bound > Ext::NegInf);
+}

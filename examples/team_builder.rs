@@ -1,0 +1,79 @@
+//! Team formation ([Lappas, Liu & Terzi], cited in the paper) plus
+//! **adjustment recommendations** (Section 8): when the expert pool
+//! cannot cover the required skills, ARPP tells the vendor the minimum
+//! set of hires that fixes it.
+//!
+//! ```sh
+//! cargo run --example team_builder
+//! ```
+
+use pkgrec::adjust::{arpp, ArppInstance};
+use pkgrec::core::{problems::frp, Ext, SolveOptions};
+use pkgrec::data::{tuple, Database, Relation};
+use pkgrec::workloads::teams;
+
+fn main() {
+    // The current roster knows rust and viz — nobody does ml.
+    let mut experts = Relation::empty(teams::expert_schema());
+    for row in [
+        tuple![0, "rust", 5, 120],
+        tuple![0, "viz", 2, 120],
+        tuple![1, "rust", 3, 70],
+        tuple![2, "viz", 4, 90],
+    ] {
+        experts.insert(row).expect("schema-conformant");
+    }
+    let mut db = Database::new();
+    db.add_relation(experts).expect("fresh db");
+
+    // Required: rust + ml, team of at most 2 experts.
+    let inst = teams::team_instance(db, &["rust", "ml"], 2.0, 1);
+    let direct = frp::top_k(&inst, SolveOptions::default()).expect("solver runs");
+    println!("Team covering {{rust, ml}} from the current roster: {direct:?}");
+    assert!(direct.is_none(), "nobody knows ml yet");
+
+    // The hiring pool D′: two candidates.
+    let mut pool_rel = Relation::empty(teams::expert_schema());
+    for row in [
+        tuple![10, "ml", 5, 160], // ml specialist
+        tuple![11, "ml", 2, 60],  // ml junior
+        tuple![12, "pm", 4, 100], // irrelevant to this request
+    ] {
+        pool_rel.insert(row).expect("schema-conformant");
+    }
+    let mut pool = Database::new();
+    pool.add_relation(pool_rel).expect("fresh db");
+
+    // ARPP: can at most one roster change produce a valid team?
+    let arpp_inst = ArppInstance {
+        base: inst,
+        pool,
+        rating_bound: Ext::Finite(0.0),
+        max_ops: 1,
+    };
+    let witness = arpp(&arpp_inst, SolveOptions::default())
+        .expect("solver runs")
+        .expect("one hire suffices");
+
+    println!("\nMinimum adjustment ({} operation):", witness.adjustment.len());
+    for op in &witness.adjustment.ops {
+        println!("  {op}");
+    }
+    assert_eq!(witness.adjustment.len(), 1);
+
+    // After the adjustment, a team exists.
+    let mut fixed = arpp_inst.base.clone();
+    fixed.db = witness.db.clone();
+    let team = frp::top_k(&fixed, SolveOptions::default())
+        .expect("solver runs")
+        .expect("the adjusted roster covers the skills");
+    println!("\nBest team after the hire:");
+    for t in team[0].iter() {
+        println!("  expert {} — {} (level {}, fee ${})", t[0], t[1], t[2], t[3]);
+    }
+    let skills: std::collections::BTreeSet<&str> = team[0]
+        .iter()
+        .filter_map(|t| t[1].as_str())
+        .collect();
+    assert!(skills.contains("rust") && skills.contains("ml"));
+}

@@ -1,0 +1,104 @@
+//! Query relaxation (Section 7 / Example 7.1): when there is no direct
+//! flight to the requested city, recommend a minimally relaxed query —
+//! e.g. accept a destination within 15 miles, which turns up Newark
+//! flights for a New York trip.
+//!
+//! ```sh
+//! cargo run --example travel_relaxation
+//! ```
+
+use pkgrec::core::{Ext, PackageFn, RecInstance, SolveOptions};
+use pkgrec::data::{tuple, Database, Relation};
+use pkgrec::query::{ConjunctiveQuery, MetricSet, Query, RelAtom, TableMetric, Term};
+use pkgrec::relax::{qrpp, QrppInstance, RelaxParam, RelaxSpec};
+use pkgrec::workloads::travel;
+
+fn main() {
+    // Flights that never land in "nyc" itself — only nearby airports.
+    let mut flights = Relation::empty(travel::flight_schema());
+    for row in [
+        tuple![1, "edi", "ewr", 1, 350], // Newark, 9 miles out
+        tuple![2, "edi", "jfk", 1, 410], // JFK (we count it 12 miles out)
+        tuple![3, "edi", "bos", 1, 210], // Boston, 190 miles
+    ] {
+        flights.insert(row).expect("schema-conformant");
+    }
+    let mut db = Database::new();
+    db.add_relation(flights).expect("fresh db");
+
+    // Q(f, price) :- flight(f, "edi", "nyc", 1, price) — empty answer.
+    let q = Query::Cq(ConjunctiveQuery::new(
+        vec![Term::v("f"), Term::v("price")],
+        vec![RelAtom::new(
+            "flight",
+            vec![
+                Term::v("f"),
+                Term::c("edi"),
+                Term::c("nyc"),
+                Term::c(1),
+                Term::v("price"),
+            ],
+        )],
+        vec![],
+    ));
+    println!("Original query:\n  {q}\n");
+    println!("Direct answers: {:?}\n", q.eval(&db).expect("evaluates").len());
+
+    // Γ: city distances (Example 7.1's dist()).
+    let metrics = MetricSet::new().with(
+        "city",
+        TableMetric::new()
+            .with("nyc", "ewr", 9)
+            .with("nyc", "jfk", 12)
+            .with("nyc", "bos", 190),
+    );
+
+    // E: the destination constant (atom 0, position 2) may be widened.
+    let spec = RelaxSpec {
+        constants: vec![RelaxParam::new(0, 2, "city")],
+        builtin_constants: vec![],
+        joins: vec![],
+    };
+
+    let base = RecInstance::new(db.clone(), q)
+        .with_budget(1.0) // single-flight packages
+        .with_val(PackageFn::constant(Ext::Finite(1.0)))
+        .with_metrics(metrics.clone());
+
+    // Ask for a relaxation with gap at most 15 (miles) that yields at
+    // least one valid package.
+    let inst = QrppInstance {
+        base,
+        spec,
+        rating_bound: Ext::Finite(1.0),
+        gap_budget: 15,
+    };
+    let witness = qrpp(&inst, SolveOptions::default())
+        .expect("solver runs")
+        .expect("a relaxation within 15 miles exists");
+
+    println!(
+        "Minimum-gap relaxation (gap = {} miles):\n  {}\n",
+        witness.gap, witness.query
+    );
+    let answers = witness
+        .query
+        .eval_with_metrics(&db, &metrics)
+        .expect("relaxed query evaluates");
+    println!("Relaxed answers:");
+    for t in &answers {
+        println!("  flight {} at ${}", t[0], t[1]);
+    }
+    assert_eq!(witness.gap, 9, "Newark is the closest substitute");
+    assert!(answers.contains(&tuple![1, 350]));
+
+    // A tighter mileage budget finds nothing.
+    let too_tight = QrppInstance {
+        gap_budget: 5,
+        ..inst
+    };
+    assert!(qrpp(&too_tight, SolveOptions::default())
+        .expect("solver runs")
+        .is_none());
+    println!("\nWithin 5 miles: no relaxation exists (as expected).");
+}

@@ -1,0 +1,227 @@
+//! `pkgrec` — run package recommendation problems from the command
+//! line, no Rust required.
+//!
+//! ```text
+//! pkgrec eval  <db-file> <query>                  evaluate Q(D)
+//! pkgrec topk  <db-file> <query> [options]        FRP: top-k packages
+//! pkgrec bound <db-file> <query> [options]        MBP: maximum rating bound
+//! pkgrec count <db-file> <query> --min-val B ...  CPP: count valid packages
+//! pkgrec items <db-file> <query> --val sum:COL --k K    top-k items
+//!
+//! options:
+//!   --k N              number of packages/items (default 1)
+//!   --budget C         cost budget (default unbounded)
+//!   --cost SPEC        count | sum:COL            (default count)
+//!   --val SPEC         count | sum:COL | negsum:COL (default count)
+//!   --min-val B        rating bound for `count`
+//!   --max-size N       constant package-size bound (default |D|)
+//! ```
+//!
+//! The database file uses the `pkgrec::data::text` format; the query is
+//! inline text (rule form `q(x) :- r(x, y).` or FO form
+//! `q(x) = exists y. r(x, y)`) or `@path` to read it from a file.
+
+use std::process::ExitCode;
+
+use pkgrec::core::{
+    problems::cpp, problems::frp, problems::mbp, Ext, PackageFn, RecInstance, SizeBound,
+    SolveOptions,
+};
+use pkgrec::data::text::parse_database;
+use pkgrec::data::Database;
+use pkgrec::query::parser::{parse_fo, parse_query};
+use pkgrec::query::Query;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pkgrec: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    k: usize,
+    budget: Ext,
+    cost: PackageFn,
+    val: PackageFn,
+    min_val: Option<f64>,
+    max_size: Option<usize>,
+}
+
+fn parse_fn_spec(spec: &str) -> Result<PackageFn, String> {
+    if spec == "count" {
+        return Ok(PackageFn::cardinality());
+    }
+    if let Some(col) = spec.strip_prefix("sum:") {
+        let col: usize = col.parse().map_err(|_| format!("bad column in `{spec}`"))?;
+        return Ok(PackageFn::sum_col(col, true));
+    }
+    if let Some(col) = spec.strip_prefix("negsum:") {
+        let col: usize = col.parse().map_err(|_| format!("bad column in `{spec}`"))?;
+        return Ok(PackageFn::neg_sum_col(col));
+    }
+    Err(format!(
+        "unknown function spec `{spec}` (expected count, sum:COL or negsum:COL)"
+    ))
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        k: 1,
+        budget: Ext::PosInf,
+        cost: PackageFn::count(),
+        val: PackageFn::cardinality(),
+        min_val: None,
+        max_size: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
+        match flag.as_str() {
+            "--k" => opts.k = value.parse().map_err(|_| "bad --k value".to_string())?,
+            "--budget" => {
+                opts.budget = Ext::Finite(
+                    value.parse().map_err(|_| "bad --budget value".to_string())?,
+                )
+            }
+            "--cost" => opts.cost = parse_fn_spec(value)?,
+            "--val" => opts.val = parse_fn_spec(value)?,
+            "--min-val" => {
+                opts.min_val =
+                    Some(value.parse().map_err(|_| "bad --min-val value".to_string())?)
+            }
+            "--max-size" => {
+                opts.max_size =
+                    Some(value.parse().map_err(|_| "bad --max-size value".to_string())?)
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(opts)
+}
+
+fn load_db(path: &str) -> Result<Database, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    parse_database(&src).map_err(|e| format!("in `{path}`: {e}"))
+}
+
+fn load_query(arg: &str) -> Result<Query, String> {
+    let text = match arg.strip_prefix('@') {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+        }
+        None => arg.to_string(),
+    };
+    // Rule form first, FO form second; report the rule-form error when
+    // both fail and the text looks like a rule.
+    match parse_query(&text) {
+        Ok(q) => Ok(q),
+        Err(rule_err) => match parse_fo(&text) {
+            Ok(q) => Ok(q),
+            Err(fo_err) => Err(if text.contains(":-") {
+                format!("query parse error: {rule_err}")
+            } else {
+                format!("query parse error: {fo_err}")
+            }),
+        },
+    }
+}
+
+fn build_instance(db: Database, query: Query, opts: &Options) -> RecInstance {
+    let mut inst = RecInstance::new(db, query)
+        .with_cost(opts.cost.clone())
+        .with_val(opts.val.clone())
+        .with_budget(opts.budget)
+        .with_k(opts.k);
+    if let Some(n) = opts.max_size {
+        inst = inst.with_size_bound(SizeBound::Constant(n));
+    }
+    inst
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let usage = "usage: pkgrec <eval|topk|bound|count|items> <db-file> <query> [options] \
+                 (see --help in the source header)";
+    let mut it = args.iter();
+    let cmd = it.next().ok_or(usage)?.as_str();
+    if cmd == "--help" || cmd == "-h" {
+        println!("{usage}");
+        return Ok(());
+    }
+    let db_path = it.next().ok_or(usage)?;
+    let query_arg = it.next().ok_or(usage)?;
+    let rest: Vec<String> = it.cloned().collect();
+    let opts = parse_options(&rest)?;
+
+    let db = load_db(db_path)?;
+    let query = load_query(query_arg)?;
+    let solver_opts = SolveOptions::default();
+
+    match cmd {
+        "eval" => {
+            let answers = query.eval(&db).map_err(|e| e.to_string())?;
+            println!("{} answers [{}]", answers.len(), query.language());
+            for t in &answers {
+                println!("{t}");
+            }
+        }
+        "topk" => {
+            let inst = build_instance(db, query, &opts);
+            match frp::top_k(&inst, solver_opts).map_err(|e| e.to_string())? {
+                None => println!("no top-{} selection exists", opts.k),
+                Some(sel) => {
+                    for (rank, pkg) in sel.iter().enumerate() {
+                        println!(
+                            "#{} val={} cost={} {}",
+                            rank + 1,
+                            inst.val.eval(pkg),
+                            inst.cost.eval(pkg),
+                            pkg
+                        );
+                    }
+                }
+            }
+        }
+        "bound" => {
+            let inst = build_instance(db, query, &opts);
+            match mbp::maximum_bound(&inst, solver_opts).map_err(|e| e.to_string())? {
+                None => println!("no top-{} selection exists", opts.k),
+                Some(b) => println!("maximum bound: {b}"),
+            }
+        }
+        "count" => {
+            let bound = Ext::Finite(
+                opts.min_val
+                    .ok_or("`count` requires --min-val B".to_string())?,
+            );
+            let inst = build_instance(db, query, &opts);
+            let n = cpp::count_valid(&inst, bound, solver_opts).map_err(|e| e.to_string())?;
+            println!("{n} valid packages with val >= {bound}");
+        }
+        "items" => {
+            let inst = build_instance(db, query, &opts)
+                .with_cost(PackageFn::count())
+                .with_budget(1.0)
+                .with_size_bound(SizeBound::Constant(1));
+            match frp::top_k(&inst, solver_opts).map_err(|e| e.to_string())? {
+                None => println!("fewer than {} items", opts.k),
+                Some(sel) => {
+                    for (rank, pkg) in sel.iter().enumerate() {
+                        let t = pkg.iter().next().expect("singleton");
+                        println!("#{} val={} {}", rank + 1, inst.val.eval(pkg), t);
+                    }
+                }
+            }
+        }
+        other => return Err(format!("unknown command `{other}`; {usage}")),
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # pkgrec — package recommendation problems
+//!
+//! A from-scratch Rust implementation of the model, problems,
+//! algorithms and lower-bound constructions of
+//!
+//! > Ting Deng, Wenfei Fan, Floris Geerts.
+//! > *On the Complexity of Package Recommendation Problems.*
+//! > PODS 2012; SIAM J. Comput. 42(5), 2013.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`data`] — relational substrate (values, tuples, relations,
+//!   databases);
+//! * [`query`] — the paper's query languages SP ⊂ CQ ⊂ UCQ ⊂ ∃FO⁺ ⊂
+//!   {DATALOGnr, FO} ⊂ DATALOG, with evaluators and classification;
+//! * [`core`] — packages, cost/val functions, compatibility
+//!   constraints, and exact solvers for RPP, FRP, MBP, CPP and item
+//!   recommendations;
+//! * [`relax`] — query relaxation recommendations (QRPP, Section 7);
+//! * [`adjust`] — adjustment recommendations (ARPP, Section 8);
+//! * [`logic`] — SAT/#SAT/MaxSAT/QBF solvers used to machine-check the
+//!   reductions;
+//! * [`reductions`] — every lower-bound proof as an executable
+//!   instance generator;
+//! * [`workloads`] — travel/course/team domain generators and
+//!   benchmark sweeps.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pkgrec::core::{problems::frp, RecInstance, PackageFn, SolveOptions};
+//! use pkgrec::data::{tuple, AttrType, Database, Relation, RelationSchema};
+//! use pkgrec::query::{ConjunctiveQuery, Query};
+//!
+//! // A tiny item table and the identity selection query.
+//! let schema = RelationSchema::new("item", [("id", AttrType::Int)]).unwrap();
+//! let rel = Relation::from_tuples(schema, [tuple![1], tuple![2], tuple![3]]).unwrap();
+//! let mut db = Database::new();
+//! db.add_relation(rel).unwrap();
+//!
+//! // Top-1 package of at most two items, maximizing the id sum.
+//! let inst = RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("item", 1)))
+//!     .with_budget(2.0)
+//!     .with_val(PackageFn::sum_col(0, true));
+//! let top = frp::top_k(&inst, SolveOptions::default()).unwrap().unwrap();
+//! assert_eq!(top[0].len(), 2); // items {2, 3}
+//! ```
+
+pub use pkgrec_adjust as adjust;
+pub use pkgrec_core as core;
+pub use pkgrec_data as data;
+pub use pkgrec_logic as logic;
+pub use pkgrec_query as query;
+pub use pkgrec_reductions as reductions;
+pub use pkgrec_relax as relax;
+pub use pkgrec_workloads as workloads;

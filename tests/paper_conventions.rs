@@ -1,0 +1,146 @@
+//! Tests pinning the paper's Section 2 conventions to the API — the
+//! definitional details that are easy to get subtly wrong and that the
+//! reductions depend on.
+
+use pkgrec::core::{
+    problems::cpp, problems::frp, problems::mbp, problems::rpp, Constraint, Ext, Package,
+    PackageFn, RecInstance, SizeBound, SolveOptions,
+};
+use pkgrec::data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec::query::{ConjunctiveQuery, Query};
+
+const OPTS: SolveOptions = SolveOptions { node_limit: None };
+
+fn db(n: i64) -> Database {
+    let schema = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+    let rel = Relation::from_tuples(schema, (0..n).map(|i| tuple![i])).unwrap();
+    let mut db = Database::new();
+    db.add_relation(rel).unwrap();
+    db
+}
+
+fn base(n: i64) -> RecInstance {
+    RecInstance::new(db(n), Query::Cq(ConjunctiveQuery::identity("r", 1)))
+        .with_val(PackageFn::sum_col(0, true))
+}
+
+/// Section 2: `cost(∅) = ∞` means the empty package is never selected
+/// under any finite budget.
+#[test]
+fn empty_package_is_excluded_by_the_cost_convention() {
+    let inst = base(2).with_budget(1e12);
+    let sel = frp::top_k(&inst, OPTS).unwrap().unwrap();
+    assert!(!sel[0].is_empty());
+    // And {∅} is not a top-1 selection.
+    assert!(!rpp::is_top_k(&inst, &[Package::empty()], OPTS).unwrap());
+}
+
+/// Section 2, condition (5): *every* member of a top-k selection must
+/// weakly dominate *every* valid outsider — not just the weakest member.
+#[test]
+fn condition_5_compares_against_the_minimum_member() {
+    // Items 0..4, packages limited to singletons; vals are 0,1,2,3.
+    let inst = base(4).with_budget(1.0).with_k(2);
+    // {3, 2} is the top-2; {3, 1} is not, because 2 > 1 is valid and
+    // outside.
+    let good = vec![Package::new([tuple![3]]), Package::new([tuple![2]])];
+    let bad = vec![Package::new([tuple![3]]), Package::new([tuple![1]])];
+    assert!(rpp::is_top_k(&inst, &good, OPTS).unwrap());
+    assert!(!rpp::is_top_k(&inst, &bad, OPTS).unwrap());
+}
+
+/// Section 2, condition (6): the k packages must be pairwise distinct —
+/// but ties in *rating* are fine.
+#[test]
+fn distinctness_is_by_package_not_by_rating() {
+    let inst = base(3)
+        .with_budget(1.0)
+        .with_val(PackageFn::constant(Ext::Finite(1.0)))
+        .with_k(3);
+    let sel = frp::top_k(&inst, OPTS).unwrap().unwrap();
+    assert_eq!(sel.len(), 3);
+    let distinct: std::collections::BTreeSet<_> = sel.iter().collect();
+    assert_eq!(distinct.len(), 3);
+    // All three ratings are equal.
+    assert!(sel.iter().all(|p| inst.val.eval(p) == Ext::Finite(1.0)));
+}
+
+/// Section 5: the maximum bound is unique when it exists, and it is a
+/// bound while nothing larger is.
+#[test]
+fn maximum_bound_uniqueness() {
+    let inst = base(4).with_budget(2.0).with_k(3);
+    let b = mbp::maximum_bound(&inst, OPTS).unwrap().unwrap();
+    assert!(mbp::is_maximum_bound(&inst, b, OPTS).unwrap());
+    for delta in [-1.0, -0.5, 0.5, 1.0] {
+        let other = Ext::Finite(b.as_finite().unwrap() + delta);
+        assert!(
+            !mbp::is_maximum_bound(&inst, other, OPTS).unwrap(),
+            "B = {other} must not also be maximum"
+        );
+    }
+}
+
+/// Section 5 validity: the CPP count at `B = −∞` equals the number of
+/// packages passing conditions (a)–(c) alone, and the empty package is
+/// counted exactly when its cost allows.
+#[test]
+fn cpp_counts_match_manual_enumeration() {
+    let inst = base(3).with_budget(2.0);
+    // Nonempty subsets of 3 items with ≤ 2 elements: 3 + 3 = 6.
+    assert_eq!(cpp::count_valid(&inst, Ext::NegInf, OPTS).unwrap(), 6);
+    // With a cost that admits ∅ (cardinality: |∅| = 0 ≤ 2), ∅ joins in.
+    let lenient = base(3).with_budget(2.0).with_cost(PackageFn::cardinality());
+    assert_eq!(cpp::count_valid(&lenient, Ext::NegInf, OPTS).unwrap(), 7);
+}
+
+/// Section 6: a constant bound `Bp = 1` plus absent `Qc` is exactly the
+/// item-recommendation regime — packages degenerate to singletons.
+#[test]
+fn constant_bound_one_yields_singletons() {
+    let inst = base(4)
+        .with_budget(1e9)
+        .with_size_bound(SizeBound::Constant(1))
+        .with_k(2);
+    let sel = frp::top_k(&inst, OPTS).unwrap().unwrap();
+    assert!(sel.iter().all(|p| p.len() == 1));
+}
+
+/// Corollary 6.3: a PTIME `Qc` and the equivalent query `Qc` accept the
+/// same selections.
+#[test]
+fn ptime_and_query_constraints_agree_end_to_end() {
+    use pkgrec::core::ANSWER_RELATION;
+    use pkgrec::query::{Builtin, CmpOp, RelAtom, Term};
+    // "no two items whose values differ by exactly 1".
+    let query_qc = Constraint::Query(Query::Cq(ConjunctiveQuery::new(
+        Vec::<Term>::new(),
+        vec![
+            RelAtom::new(ANSWER_RELATION, vec![Term::v("x")]),
+            RelAtom::new(ANSWER_RELATION, vec![Term::v("y")]),
+        ],
+        vec![Builtin::cmp(Term::v("x"), CmpOp::Lt, Term::v("y")), {
+            // y = x + 1 is inexpressible with pure comparisons over two
+            // variables; use dist ≤ 1 with the numeric metric instead.
+            Builtin::dist_le("num", Term::v("x"), Term::v("y"), 1)
+        }],
+    )));
+    let ptime_qc = Constraint::ptime("no adjacent values", |p, _| {
+        let vals: Vec<i64> = p.iter().map(|t| t[0].as_int().unwrap()).collect();
+        !vals
+            .iter()
+            .any(|a| vals.iter().any(|b| (a - b).abs() == 1))
+    });
+    let metrics = pkgrec::query::MetricSet::new().with("num", pkgrec::query::AbsDiff);
+
+    let with_query = base(4)
+        .with_budget(3.0)
+        .with_qc(query_qc)
+        .with_metrics(metrics)
+        .with_k(2);
+    let with_ptime = base(4).with_budget(3.0).with_qc(ptime_qc).with_k(2);
+    assert_eq!(
+        frp::top_k(&with_query, OPTS).unwrap(),
+        frp::top_k(&with_ptime, OPTS).unwrap()
+    );
+}

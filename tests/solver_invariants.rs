@@ -1,0 +1,162 @@
+//! Cross-crate property tests: on randomly generated recommendation
+//! instances, the solvers must satisfy the defining invariants of
+//! Sections 2–5 — every FRP answer passes RPP, MBP's decision and
+//! function versions agree, CPP's count is antitone in the bound, and
+//! the item fast path matches the Section 2 package embedding.
+
+use proptest::prelude::*;
+
+use pkgrec::core::{
+    problems::cpp, problems::frp, problems::mbp, problems::rpp, Constraint, Ext, ItemInstance,
+    ItemUtility, PackageFn, RecInstance, SizeBound, SolveOptions,
+};
+use pkgrec::data::{tuple, AttrType, Database, Relation, RelationSchema, Tuple};
+use pkgrec::query::{ConjunctiveQuery, Query};
+
+/// A small random instance: items 0..n with scores, budget 2 items,
+/// val = total score, optional no-duplicate-group PTIME constraint.
+fn instance(scores: Vec<(i64, i64)>, with_qc: bool, k: usize) -> RecInstance {
+    let schema = RelationSchema::new(
+        "item",
+        [("id", AttrType::Int), ("grp", AttrType::Int), ("score", AttrType::Int)],
+    )
+    .expect("valid schema");
+    let rel = Relation::from_tuples(
+        schema,
+        scores
+            .iter()
+            .enumerate()
+            .map(|(i, &(g, s))| tuple![i as i64, g, s]),
+    )
+    .expect("schema-conformant");
+    let mut db = Database::new();
+    db.add_relation(rel).expect("fresh db");
+    let mut inst = RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("item", 3)))
+        .with_budget(2.0)
+        .with_val(PackageFn::sum_col(2, true))
+        .with_k(k);
+    if with_qc {
+        inst = inst.with_qc(Constraint::ptime("distinct groups", |p, _| {
+            let mut seen = std::collections::BTreeSet::new();
+            p.iter().all(|t| seen.insert(t[1].clone()))
+        }));
+    }
+    inst
+}
+
+fn scores_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..3, 1i64..50), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every FRP answer is certified by RPP (the function problem's
+    /// output satisfies the decision problem's definition).
+    #[test]
+    fn frp_output_passes_rpp(scores in scores_strategy(), with_qc in any::<bool>(), k in 1usize..4) {
+        let inst = instance(scores, with_qc, k);
+        let opts = SolveOptions::default();
+        if let Some(sel) = frp::top_k(&inst, opts).unwrap() {
+            prop_assert!(rpp::is_top_k(&inst, &sel, opts).unwrap());
+            prop_assert_eq!(sel.len(), k);
+            // Ratings are non-increasing in rank.
+            for w in sel.windows(2) {
+                prop_assert!(inst.val.eval(&w[0]) >= inst.val.eval(&w[1]));
+            }
+        }
+    }
+
+    /// The enumerating solver and the paper's oracle-loop solver agree.
+    #[test]
+    fn frp_oracle_agrees(scores in scores_strategy(), with_qc in any::<bool>(), k in 1usize..4) {
+        let inst = instance(scores, with_qc, k);
+        let opts = SolveOptions::default();
+        prop_assert_eq!(
+            frp::top_k(&inst, opts).unwrap(),
+            frp::top_k_via_oracle(&inst, opts).unwrap()
+        );
+    }
+
+    /// `maximum_bound` and `is_maximum_bound` are two views of one
+    /// number, and nothing above it is a bound (the L1 ∩ L2 split).
+    #[test]
+    fn mbp_function_and_decision_agree(scores in scores_strategy(), with_qc in any::<bool>(), k in 1usize..4) {
+        let inst = instance(scores, with_qc, k);
+        let opts = SolveOptions::default();
+        match mbp::maximum_bound(&inst, opts).unwrap() {
+            Some(b) => {
+                prop_assert!(mbp::is_maximum_bound(&inst, b, opts).unwrap());
+                let above = Ext::Finite(b.as_finite().unwrap() + 0.5);
+                prop_assert!(!mbp::is_bound(&inst, above, opts).unwrap());
+            }
+            None => {
+                // No top-k selection ⇒ FRP agrees.
+                prop_assert!(frp::top_k(&inst, opts).unwrap().is_none());
+            }
+        }
+    }
+
+    /// CPP is antitone in the rating bound and consistent with MBP: at
+    /// the maximum bound there are at least k valid packages.
+    #[test]
+    fn cpp_antitone_and_consistent(scores in scores_strategy(), with_qc in any::<bool>()) {
+        let inst = instance(scores, with_qc, 1);
+        let opts = SolveOptions::default();
+        let c_low = cpp::count_valid(&inst, Ext::Finite(0.0), opts).unwrap();
+        let c_mid = cpp::count_valid(&inst, Ext::Finite(30.0), opts).unwrap();
+        let c_high = cpp::count_valid(&inst, Ext::Finite(1e9), opts).unwrap();
+        prop_assert!(c_low >= c_mid && c_mid >= c_high);
+        if let Some(b) = mbp::maximum_bound(&inst, opts).unwrap() {
+            prop_assert!(cpp::count_valid(&inst, b, opts).unwrap() >= 1);
+        }
+    }
+
+    /// Constant size bounds only shrink the candidate space: the
+    /// constrained maximum bound never exceeds the unconstrained one.
+    #[test]
+    fn constant_bound_is_a_restriction(scores in scores_strategy()) {
+        let opts = SolveOptions::default();
+        let free = instance(scores.clone(), false, 1);
+        let capped = instance(scores, false, 1).with_size_bound(SizeBound::Constant(1));
+        let mb_free = mbp::maximum_bound(&free, opts).unwrap();
+        let mb_capped = mbp::maximum_bound(&capped, opts).unwrap();
+        if let (Some(f), Some(c)) = (mb_free, mb_capped) {
+            prop_assert!(c <= f);
+        }
+    }
+
+    /// The item fast path equals the Section 2 embedding into packages.
+    #[test]
+    fn items_match_package_embedding(scores in scores_strategy(), k in 1usize..4) {
+        let schema = RelationSchema::new(
+            "item",
+            [("id", AttrType::Int), ("grp", AttrType::Int), ("score", AttrType::Int)],
+        ).expect("valid schema");
+        let rel = Relation::from_tuples(
+            schema,
+            scores.iter().enumerate().map(|(i, &(g, s))| tuple![i as i64, g, s]),
+        ).expect("schema-conformant");
+        let mut db = Database::new();
+        db.add_relation(rel).expect("fresh db");
+        let item_inst = ItemInstance::new(
+            db,
+            Query::Cq(ConjunctiveQuery::identity("item", 3)),
+            ItemUtility::new("score", |t| t[2].as_numeric().unwrap_or(0) as f64),
+            k,
+        );
+        let fast = item_inst.top_k_items().unwrap();
+        let slow = frp::top_k(&item_inst.as_package_instance(), SolveOptions::default()).unwrap();
+        match (fast, slow) {
+            (None, None) => {}
+            (Some(f), Some(s)) => {
+                let s_items: Vec<Tuple> = s
+                    .iter()
+                    .map(|p| p.iter().next().expect("singleton").clone())
+                    .collect();
+                prop_assert_eq!(f, s_items);
+            }
+            (f, s) => prop_assert!(false, "fast {:?} vs slow {:?}", f, s),
+        }
+    }
+}
