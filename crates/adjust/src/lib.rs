@@ -151,7 +151,7 @@ pub fn candidate_ops(inst: &ArppInstance) -> Result<Vec<AdjustOp>> {
 
 /// Decide ARPP and return a *minimum-size* witness adjustment when the
 /// answer is yes.
-pub fn arpp(inst: &ArppInstance, opts: SolveOptions) -> Result<Option<AdjustmentWitness>> {
+pub fn arpp(inst: &ArppInstance, opts: &SolveOptions) -> Result<Option<AdjustmentWitness>> {
     search(inst, |candidate| {
         has_k_valid_packages(candidate, inst.rating_bound, opts)
     })
@@ -232,9 +232,9 @@ fn next_combination(combo: &mut [usize], n: usize) -> bool {
     false
 }
 
-fn has_k_valid_packages(inst: &RecInstance, bound: Ext, opts: SolveOptions) -> Result<bool> {
+fn has_k_valid_packages(inst: &RecInstance, bound: Ext, opts: &SolveOptions) -> Result<bool> {
     let mut found = 0usize;
-    for_each_valid_package(inst, Some(bound), opts, |_, _| {
+    let stats = for_each_valid_package(inst, Some(bound), opts, |_, _| {
         found += 1;
         if found >= inst.k {
             ControlFlow::Break(())
@@ -242,7 +242,16 @@ fn has_k_valid_packages(inst: &RecInstance, bound: Ext, opts: SolveOptions) -> R
             ControlFlow::Continue(())
         }
     })?;
-    Ok(found >= inst.k)
+    // Same strictness contract as pkgrec-core's decision solvers: the
+    // k-th found package certifies "yes" regardless of the budget, but
+    // an interrupted search cannot certify "no".
+    if found >= inst.k {
+        return Ok(true);
+    }
+    match stats.interrupted {
+        Some(cut) => Err(cut.into()),
+        None => Ok(false),
+    }
 }
 
 #[cfg(test)]
@@ -313,7 +322,7 @@ mod tests {
             rating_bound: Ext::Finite(2.0),
             max_ops: 1,
         };
-        let w = arpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        let w = arpp(&inst, &SolveOptions::default()).unwrap().unwrap();
         assert_eq!(w.adjustment.len(), 1);
         assert!(matches!(&w.adjustment.ops[0], AdjustOp::Insert { .. }));
         assert_eq!(w.db.relation("poi").unwrap().len(), 3);
@@ -328,7 +337,7 @@ mod tests {
             rating_bound: Ext::Finite(2.0),
             max_ops: 0,
         };
-        assert!(arpp(&inst, SolveOptions::default()).unwrap().is_none());
+        assert!(arpp(&inst, &SolveOptions::default()).unwrap().is_none());
     }
 
     #[test]
@@ -340,7 +349,7 @@ mod tests {
             rating_bound: Ext::Finite(1.0), // a single museum suffices
             max_ops: 2,
         };
-        let w = arpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        let w = arpp(&inst, &SolveOptions::default()).unwrap().unwrap();
         assert!(w.adjustment.is_empty());
     }
 
@@ -356,7 +365,7 @@ mod tests {
             rating_bound: Ext::Finite(2.0),
             max_ops: 2,
         };
-        let w = arpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        let w = arpp(&inst, &SolveOptions::default()).unwrap().unwrap();
         assert_eq!(w.adjustment.len(), 1);
     }
 
@@ -383,7 +392,7 @@ mod tests {
             rating_bound: Ext::Finite(1.0),
             max_ops: 1,
         };
-        let w = arpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        let w = arpp(&inst, &SolveOptions::default()).unwrap().unwrap();
         assert_eq!(w.adjustment.len(), 1);
         assert!(matches!(&w.adjustment.ops[0], AdjustOp::Delete { .. }));
     }
@@ -402,7 +411,7 @@ mod tests {
             max_ops: 1,
         };
         assert!(matches!(
-            arpp(&inst, SolveOptions::default()),
+            arpp(&inst, &SolveOptions::default()),
             Err(CoreError::Invalid(_))
         ));
     }

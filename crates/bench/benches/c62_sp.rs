@@ -27,7 +27,7 @@ fn bench_sp(c: &mut Criterion) {
             Constraint::Empty,
         );
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
-            b.iter(|| frp::top_k(i, opts).unwrap())
+            b.iter(|| frp::top_k(i, &opts).unwrap())
         });
     }
     g.finish();
@@ -42,7 +42,7 @@ fn bench_sp(c: &mut Criterion) {
             Constraint::Empty,
         );
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
-            b.iter(|| frp::top_k(i, opts).unwrap())
+            b.iter(|| frp::top_k(i, &opts).unwrap())
         });
     }
     g.finish();
@@ -57,7 +57,7 @@ fn bench_sp(c: &mut Criterion) {
             Constraint::Empty,
         );
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
-            b.iter(|| cpp::count_valid(i, Ext::Finite(1.0), opts).unwrap())
+            b.iter(|| cpp::count_valid(i, Ext::Finite(1.0), &opts).unwrap())
         });
     }
     g.finish();

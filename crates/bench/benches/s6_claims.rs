@@ -28,7 +28,7 @@ fn bench_s6(c: &mut Criterion) {
         let mut inst = thm5_1::reduce_maximum_sigma2(&phi);
         inst.k = k;
         g.bench_with_input(BenchmarkId::from_parameter(k), &inst, |b, i| {
-            b.iter(|| frp::top_k(i, opts).unwrap())
+            b.iter(|| frp::top_k(i, &opts).unwrap())
         });
     }
     g.finish();
@@ -48,7 +48,7 @@ fn bench_s6(c: &mut Criterion) {
             qc,
         );
         g.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, i| {
-            b.iter(|| frp::top_k(i, opts).unwrap())
+            b.iter(|| frp::top_k(i, &opts).unwrap())
         });
     }
     g.finish();

@@ -39,7 +39,7 @@ fn bench_items(c: &mut Criterion) {
     for n in [16usize, 32, 64] {
         let inst = item_instance(n, 310 + n as u64, 3).as_package_instance();
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
-            b.iter(|| frp::top_k(i, opts).unwrap())
+            b.iter(|| frp::top_k(i, &opts).unwrap())
         });
     }
     g.finish();

@@ -20,7 +20,7 @@ fn bench_arpp(c: &mut Criterion) {
         let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(200 + m as u64), m, 2, 3);
         let inst = thm8_1::reduce_sigma2(&phi);
         g.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, i| {
-            b.iter(|| arpp(i, opts).unwrap())
+            b.iter(|| arpp(i, &opts).unwrap())
         });
     }
     g.finish();
@@ -30,7 +30,7 @@ fn bench_arpp(c: &mut Criterion) {
         let phi = gen::random_3cnf(&mut StdRng::seed_from_u64(210 + r as u64), 2, r);
         let inst = thm8_1::reduce_3sat(&phi);
         g.bench_with_input(BenchmarkId::from_parameter(r), &inst, |b, i| {
-            b.iter(|| arpp(i, opts).unwrap())
+            b.iter(|| arpp(i, &opts).unwrap())
         });
     }
     g.finish();

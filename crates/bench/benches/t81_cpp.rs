@@ -22,7 +22,7 @@ fn bench_cpp(c: &mut Criterion) {
         let matrix = gen::random_3dnf(&mut StdRng::seed_from_u64(150 + y as u64), 2 + y, 3);
         let (inst, bound) = thm5_3::reduce_pi1(&matrix, 2);
         g.bench_with_input(BenchmarkId::from_parameter(y), &(inst, bound), |b, (i, bd)| {
-            b.iter(|| cpp::count_valid(i, *bd, opts).unwrap())
+            b.iter(|| cpp::count_valid(i, *bd, &opts).unwrap())
         });
     }
     g.finish();
@@ -32,7 +32,7 @@ fn bench_cpp(c: &mut Criterion) {
         let matrix = gen::random_3cnf(&mut StdRng::seed_from_u64(160 + y as u64), 2 + y, 3);
         let (inst, bound) = thm5_3::reduce_sigma1(&matrix, 2);
         g.bench_with_input(BenchmarkId::from_parameter(y), &(inst, bound), |b, (i, bd)| {
-            b.iter(|| cpp::count_valid(i, *bd, opts).unwrap())
+            b.iter(|| cpp::count_valid(i, *bd, &opts).unwrap())
         });
     }
     g.finish();
@@ -43,7 +43,7 @@ fn bench_cpp(c: &mut Criterion) {
         let qbf = gen::random_qbf(&mut StdRng::seed_from_u64(165 + n as u64), n, n);
         let (inst, bound) = thm5_3::reduce_sharp_qbf_datalognr(&qbf, 2);
         g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, bound), |b, (i, bd)| {
-            b.iter(|| cpp::count_valid(i, *bd, opts).unwrap())
+            b.iter(|| cpp::count_valid(i, *bd, &opts).unwrap())
         });
     }
     g.finish();
@@ -53,7 +53,7 @@ fn bench_cpp(c: &mut Criterion) {
         let qbf = gen::random_qbf(&mut StdRng::seed_from_u64(166 + n as u64), n, n);
         let (inst, bound) = thm5_3::reduce_sharp_qbf_fo(&qbf, 2);
         g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, bound), |b, (i, bd)| {
-            b.iter(|| cpp::count_valid(i, *bd, opts).unwrap())
+            b.iter(|| cpp::count_valid(i, *bd, &opts).unwrap())
         });
     }
     g.finish();
@@ -63,7 +63,7 @@ fn bench_cpp(c: &mut Criterion) {
         let phi = gen::random_3cnf(&mut StdRng::seed_from_u64(170 + r as u64), 3, r);
         let (inst, bound) = thm5_3::reduce_sharp_sat(&phi);
         g.bench_with_input(BenchmarkId::from_parameter(r), &(inst, bound), |b, (i, bd)| {
-            b.iter(|| cpp::count_valid(i, *bd, opts).unwrap())
+            b.iter(|| cpp::count_valid(i, *bd, &opts).unwrap())
         });
     }
     g.finish();

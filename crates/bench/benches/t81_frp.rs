@@ -21,7 +21,7 @@ fn bench_frp(c: &mut Criterion) {
         let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(100 + m as u64), m, 2, 3);
         let inst = thm5_1::reduce_maximum_sigma2(&phi);
         g.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, i| {
-            b.iter(|| frp::top_k(i, opts).unwrap())
+            b.iter(|| frp::top_k(i, &opts).unwrap())
         });
     }
     g.finish();
@@ -38,7 +38,7 @@ fn bench_frp(c: &mut Criterion) {
         );
         let rec = thm5_1::reduce_max_weight_sat(&inst);
         g.bench_with_input(BenchmarkId::from_parameter(r), &rec, |b, i| {
-            b.iter(|| frp::top_k(i, opts).unwrap())
+            b.iter(|| frp::top_k(i, &opts).unwrap())
         });
     }
     g.finish();
@@ -49,9 +49,9 @@ fn bench_frp(c: &mut Criterion) {
     let mut g = c.benchmark_group("t81/frp/ablation_oracle_vs_direct");
     let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(105), 3, 2, 3);
     let inst = thm5_1::reduce_maximum_sigma2(&phi);
-    g.bench_function("direct", |b| b.iter(|| frp::top_k(&inst, opts).unwrap()));
+    g.bench_function("direct", |b| b.iter(|| frp::top_k(&inst, &opts).unwrap()));
     g.bench_function("oracle", |b| {
-        b.iter(|| frp::top_k_via_oracle(&inst, opts).unwrap())
+        b.iter(|| frp::top_k_via_oracle(&inst, &opts).unwrap())
     });
     g.finish();
 }

@@ -20,7 +20,7 @@ fn bench_mbp(c: &mut Criterion) {
         let phi2 = gen::random_sigma2(&mut StdRng::seed_from_u64(120 + m as u64), 1, m, 2);
         let (inst, bound) = thm5_2::reduce_pair(&phi1, &phi2);
         g.bench_with_input(BenchmarkId::from_parameter(m), &(inst, bound), |b, (i, bd)| {
-            b.iter(|| mbp::is_maximum_bound(i, *bd, opts).unwrap())
+            b.iter(|| mbp::is_maximum_bound(i, *bd, &opts).unwrap())
         });
     }
     g.finish();
@@ -30,7 +30,7 @@ fn bench_mbp(c: &mut Criterion) {
         let pair = gen::random_sat_unsat(&mut StdRng::seed_from_u64(130 + r as u64), 3, r);
         let (inst, bound) = thm5_2::reduce_sat_unsat(&pair);
         g.bench_with_input(BenchmarkId::from_parameter(r), &(inst, bound), |b, (i, bd)| {
-            b.iter(|| mbp::is_maximum_bound(i, *bd, opts).unwrap())
+            b.iter(|| mbp::is_maximum_bound(i, *bd, &opts).unwrap())
         });
     }
     g.finish();
@@ -41,10 +41,10 @@ fn bench_mbp(c: &mut Criterion) {
     let pair = gen::random_sat_unsat(&mut StdRng::seed_from_u64(140), 3, 6);
     let (inst, bound) = thm5_2::reduce_sat_unsat(&pair);
     g.bench_function("l1_only", |b| {
-        b.iter(|| mbp::is_bound(&inst, bound, opts).unwrap())
+        b.iter(|| mbp::is_bound(&inst, bound, &opts).unwrap())
     });
     g.bench_function("full", |b| {
-        b.iter(|| mbp::is_maximum_bound(&inst, bound, opts).unwrap())
+        b.iter(|| mbp::is_maximum_bound(&inst, bound, &opts).unwrap())
     });
     g.finish();
 }

@@ -20,7 +20,7 @@ fn bench_qrpp(c: &mut Criterion) {
         let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(180 + m as u64), m, 2, 3);
         let inst = thm7_2::reduce_sigma2(&phi);
         g.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, i| {
-            b.iter(|| qrpp(i, opts).unwrap())
+            b.iter(|| qrpp(i, &opts).unwrap())
         });
     }
     g.finish();
@@ -30,7 +30,7 @@ fn bench_qrpp(c: &mut Criterion) {
         let phi = gen::random_3cnf(&mut StdRng::seed_from_u64(190 + r as u64), 3, r);
         let inst = thm7_2::reduce_3sat(&phi);
         g.bench_with_input(BenchmarkId::from_parameter(r), &inst, |b, i| {
-            b.iter(|| qrpp(i, opts).unwrap())
+            b.iter(|| qrpp(i, &opts).unwrap())
         });
     }
     g.finish();

@@ -26,7 +26,7 @@ fn bench_rpp(c: &mut Criterion) {
         let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(90 + m as u64), m, 2, 3);
         let r = thm4_1::reduce(&phi);
         g.bench_with_input(BenchmarkId::from_parameter(m), &r, |b, r| {
-            b.iter(|| rpp::is_top_k(&r.instance, &r.selection, opts).unwrap())
+            b.iter(|| rpp::is_top_k(&r.instance, &r.selection, &opts).unwrap())
         });
     }
     g.finish();
@@ -36,7 +36,7 @@ fn bench_rpp(c: &mut Criterion) {
         let pair = gen::random_sat_unsat(&mut StdRng::seed_from_u64(91 + n as u64), n, 6);
         let r = thm4_5::reduce(&pair);
         g.bench_with_input(BenchmarkId::from_parameter(n), &r, |b, r| {
-            b.iter(|| rpp::is_top_k(&r.instance, &r.selection, opts).unwrap())
+            b.iter(|| rpp::is_top_k(&r.instance, &r.selection, &opts).unwrap())
         });
     }
     g.finish();
@@ -47,7 +47,7 @@ fn bench_rpp(c: &mut Criterion) {
         let (db, q) = membership::qbf_to_datalognr(&qbf);
         let (inst, sel) = membership::rpp_from_membership(db, q, pkgrec_data::tuple![]);
         g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, sel), |b, (i, s)| {
-            b.iter(|| rpp::is_top_k(i, s, opts).unwrap())
+            b.iter(|| rpp::is_top_k(i, s, &opts).unwrap())
         });
     }
     g.finish();
@@ -58,7 +58,7 @@ fn bench_rpp(c: &mut Criterion) {
         let (db, q) = membership::qbf_to_fo(&qbf);
         let (inst, sel) = membership::rpp_from_membership(db, q, pkgrec_data::tuple![]);
         g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, sel), |b, (i, s)| {
-            b.iter(|| rpp::is_top_k(i, s, opts).unwrap())
+            b.iter(|| rpp::is_top_k(i, s, &opts).unwrap())
         });
     }
     g.finish();
@@ -70,7 +70,7 @@ fn bench_rpp(c: &mut Criterion) {
         let t = pkgrec_data::Tuple::new(vec![pkgrec_data::Value::Bool(false); n]);
         let (inst, sel) = membership::rpp_from_membership(db, q, t);
         g.bench_with_input(BenchmarkId::from_parameter(n), &(inst, sel), |b, (i, s)| {
-            b.iter(|| rpp::is_top_k(i, s, opts).unwrap())
+            b.iter(|| rpp::is_top_k(i, s, &opts).unwrap())
         });
     }
     g.finish();

@@ -36,7 +36,7 @@ fn bench_t82(c: &mut Criterion) {
             Constraint::Empty,
         );
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
-            b.iter(|| frp::top_k(i, opts).unwrap())
+            b.iter(|| frp::top_k(i, &opts).unwrap())
         });
     }
     g.finish();
@@ -51,7 +51,7 @@ fn bench_t82(c: &mut Criterion) {
             Constraint::Empty,
         );
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
-            b.iter(|| frp::top_k(i, opts).unwrap())
+            b.iter(|| frp::top_k(i, &opts).unwrap())
         });
     }
     g.finish();
@@ -66,7 +66,7 @@ fn bench_t82(c: &mut Criterion) {
             Constraint::Empty,
         );
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
-            b.iter(|| mbp::maximum_bound(i, opts).unwrap())
+            b.iter(|| mbp::maximum_bound(i, &opts).unwrap())
         });
     }
     g.finish();
@@ -81,7 +81,7 @@ fn bench_t82(c: &mut Criterion) {
             Constraint::Empty,
         );
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
-            b.iter(|| cpp::count_valid(i, Ext::Finite(50.0), opts).unwrap())
+            b.iter(|| cpp::count_valid(i, Ext::Finite(50.0), &opts).unwrap())
         });
     }
     g.finish();
@@ -102,7 +102,7 @@ fn bench_t82(c: &mut Criterion) {
                 qc.clone(),
             );
             g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
-                b.iter(|| frp::top_k(i, opts).unwrap())
+                b.iter(|| frp::top_k(i, &opts).unwrap())
             });
         }
         g.finish();

@@ -8,14 +8,22 @@
 //! ```sh
 //! cargo run --release -p pkgrec-bench --bin report            # all tables
 //! cargo run --release -p pkgrec-bench --bin report -- --gadgets
+//! cargo run --release -p pkgrec-bench --bin report -- --deadline-ms 250
 //! ```
+//!
+//! With `--deadline-ms T` every measured point runs under a wall-clock
+//! budget of `T` milliseconds. A point whose search was cut off is
+//! printed with a trailing `*`: its time is a *censored* runtime (the
+//! solver gave up there), so blow-up rows degrade to partial cells
+//! instead of hanging the report.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use pkgrec_bench::{datalog_cube, growth_order, mean_step_ratio, time_best_of};
 use pkgrec_core::{
-    problems::cpp, problems::frp, problems::mbp, problems::rpp, Constraint, SizeBound,
-    SolveOptions,
+    problems::cpp, problems::frp, problems::mbp, problems::rpp, Constraint, CoreError,
+    Outcome, SizeBound, SolveOptions,
 };
 use pkgrec_core::{ItemInstance, ItemUtility};
 use pkgrec_logic::gen;
@@ -26,12 +34,35 @@ use pkgrec_workloads::random as wrandom;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const OPTS: SolveOptions = SolveOptions { node_limit: None };
+/// Per-point wall-clock budget in milliseconds; 0 = unlimited.
+static DEADLINE_MS: AtomicU64 = AtomicU64::new(0);
+
+fn opts() -> SolveOptions {
+    match DEADLINE_MS.load(Ordering::Relaxed) {
+        0 => SolveOptions::unbounded(),
+        ms => SolveOptions::deadline_in(Duration::from_millis(ms)),
+    }
+}
+
+/// Strict solvers error out on budget exhaustion; that's a partial
+/// cell, not a failure.
+fn strict<T>(r: Result<T, CoreError>) -> bool {
+    match r {
+        Ok(_) => true,
+        Err(CoreError::SearchLimitExceeded { .. }) => false,
+        Err(e) => panic!("solver failed: {e}"),
+    }
+}
+
+/// Anytime solvers report exhaustion in the outcome itself.
+fn anytime<T, S>(r: Result<Outcome<T, S>, CoreError>) -> bool {
+    r.expect("solves").exact
+}
 
 struct Row {
     label: String,
     paper: String,
-    points: Vec<(f64, Duration)>,
+    points: Vec<(f64, Duration, bool)>,
 }
 
 impl Row {
@@ -39,14 +70,16 @@ impl Row {
         let pts: Vec<(f64, f64)> = self
             .points
             .iter()
-            .map(|&(s, t)| (s, t.as_secs_f64()))
+            .map(|&(s, t, _)| (s, t.as_secs_f64()))
             .collect();
         let order = growth_order(&pts);
         let ratio = mean_step_ratio(&pts);
         let series: Vec<String> = self
             .points
             .iter()
-            .map(|(s, t)| format!("{s:>3.0}:{:>9.3?}", t))
+            .map(|(s, t, exact)| {
+                format!("{s:>3.0}:{:>9.3?}{}", t, if *exact { "" } else { "*" })
+            })
             .collect();
         // Heuristic read-out. For geometric sweeps (size more than
         // quadruples end to end) the log–log slope is the polynomial
@@ -56,8 +89,11 @@ impl Row {
             .points
             .first()
             .zip(self.points.last())
-            .is_some_and(|((s0, _), (s1, _))| s1 / s0 >= 4.0);
-        let verdict = if ratio.is_nan() {
+            .is_some_and(|((s0, _, _), (s1, _, _))| s1 / s0 >= 4.0);
+        let censored = self.points.iter().any(|&(_, _, exact)| !exact);
+        let verdict = if censored {
+            "partial (budget hit)"
+        } else if ratio.is_nan() {
             "n/a"
         } else if geometric {
             if order <= 3.0 {
@@ -79,10 +115,19 @@ impl Row {
     }
 }
 
-fn sweep(label: &str, paper: &str, sizes: &[usize], mut run: impl FnMut(usize)) -> Row {
+fn sweep(
+    label: &str,
+    paper: &str,
+    sizes: &[usize],
+    mut run: impl FnMut(usize) -> bool,
+) -> Row {
     let points = sizes
         .iter()
-        .map(|&s| (s as f64, time_best_of(3, || run(s))))
+        .map(|&s| {
+            let mut exact = true;
+            let t = time_best_of(3, || exact &= run(s));
+            (s as f64, t, exact)
+        })
         .collect();
     Row {
         label: label.to_string(),
@@ -101,38 +146,57 @@ fn main() {
         print_gadgets();
         return;
     }
+    if let Some(pos) = args.iter().position(|a| a == "--deadline-ms") {
+        let ms: u64 = match args.get(pos + 1).and_then(|v| v.parse().ok()) {
+            Some(ms) => ms,
+            None => {
+                eprintln!("report: --deadline-ms needs a millisecond count");
+                std::process::exit(2);
+            }
+        };
+        DEADLINE_MS.store(ms, Ordering::Relaxed);
+        println!("(per-point deadline: {ms} ms; `*` marks censored partial cells)\n");
+    }
 
     println!("═══ Table 8.1 — combined complexity (instance size = formula variables) ═══\n");
     println!("RPP (the recommendation problem):");
     sweep("CQ with Qc (Thm 4.1)", "Πp₂-complete", &[1, 2, 3, 4], |m| {
         let phi = gen::random_sigma2(&mut rng(), m, 2, 3);
         let r = thm4_1::reduce(&phi);
-        rpp::is_top_k(&r.instance, &r.selection, OPTS).expect("solves");
+        strict(rpp::is_top_k(&r.instance, &r.selection, &opts()))
     })
     .print();
     sweep("CQ without Qc (Thm 4.5)", "DP-complete", &[2, 3, 4, 5], |n| {
         let pair = gen::random_sat_unsat(&mut rng(), n, 6);
         let r = thm4_5::reduce(&pair);
-        rpp::is_top_k(&r.instance, &r.selection, OPTS).expect("solves");
+        strict(rpp::is_top_k(&r.instance, &r.selection, &opts()))
     })
     .print();
     sweep("DATALOGnr (Q3SAT membership)", "PSPACE-complete", &[2, 4, 6, 8], |n| {
         let qbf = gen::random_qbf(&mut rng(), n, n + 1);
         let (db, q) = membership::qbf_to_datalognr(&qbf);
         let (inst, sel) = membership::rpp_from_membership(db, q, pkgrec_data::tuple![]);
-        rpp::is_top_k(&inst, &sel, OPTS).expect("solves");
+        strict(rpp::is_top_k(&inst, &sel, &opts()))
     })
     .print();
     sweep("FO (Q3SAT membership)", "PSPACE-complete", &[2, 4, 6, 8], |n| {
         let qbf = gen::random_qbf(&mut rng(), n, n + 1);
         let (db, q) = membership::qbf_to_fo(&qbf);
         let (inst, sel) = membership::rpp_from_membership(db, q, pkgrec_data::tuple![]);
-        rpp::is_top_k(&inst, &sel, OPTS).expect("solves");
+        strict(rpp::is_top_k(&inst, &sel, &opts()))
     })
     .print();
     sweep("DATALOG (cube closure)", "EXPTIME-complete", &[4, 6, 8, 10], |n| {
         let (db, q) = datalog_cube(n);
-        std::hint::black_box(q.eval(&db).expect("evaluates").len());
+        let meter = opts().budget.meter();
+        match q.eval_budgeted(&db, &meter) {
+            Ok(ans) => {
+                std::hint::black_box(ans.len());
+                true
+            }
+            Err(pkgrec_query::QueryError::Interrupted(_)) => false,
+            Err(e) => panic!("evaluation failed: {e}"),
+        }
     })
     .print();
 
@@ -140,7 +204,7 @@ fn main() {
     sweep("CQ (maximum Σp₂, Thm 5.1)", "FPΣp₂-complete", &[1, 2, 3, 4], |m| {
         let phi = gen::random_sigma2(&mut rng(), m, 2, 3);
         let inst = thm5_1::reduce_maximum_sigma2(&phi);
-        frp::top_k(&inst, OPTS).expect("solves");
+        anytime(frp::top_k(&inst, &opts()))
     })
     .print();
 
@@ -149,7 +213,7 @@ fn main() {
         let phi1 = gen::random_sigma2(&mut rng(), m, 1, 2);
         let phi2 = gen::random_sigma2(&mut rng(), 1, m, 2);
         let (inst, b) = thm5_2::reduce_pair(&phi1, &phi2);
-        mbp::is_maximum_bound(&inst, b, OPTS).expect("solves");
+        strict(mbp::is_maximum_bound(&inst, b, &opts()))
     })
     .print();
 
@@ -157,27 +221,27 @@ fn main() {
     sweep("CQ with Qc (#Π₁SAT, Thm 5.3)", "#·coNP-complete", &[1, 2, 3, 4], |y| {
         let matrix = gen::random_3dnf(&mut rng(), 2 + y, 3);
         let (inst, b) = thm5_3::reduce_pi1(&matrix, 2);
-        cpp::count_valid(&inst, b, OPTS).expect("counts");
+        anytime(cpp::count_valid(&inst, b, &opts()))
     })
     .print();
     sweep("CQ without Qc (#Σ₁SAT)", "#·NP-complete", &[1, 2, 3, 4], |y| {
         let matrix = gen::random_3cnf(&mut rng(), 2 + y, 3);
         let (inst, b) = thm5_3::reduce_sigma1(&matrix, 2);
-        cpp::count_valid(&inst, b, OPTS).expect("counts");
+        anytime(cpp::count_valid(&inst, b, &opts()))
     })
     .print();
 
     println!("\nQRPP (query relaxation):");
     sweep("CQ (Thm 7.2)", "Σp₂-complete", &[1, 2, 3, 4], |m| {
         let phi = gen::random_sigma2(&mut rng(), m, 2, 3);
-        pkgrec_relax::qrpp(&thm7_2::reduce_sigma2(&phi), OPTS).expect("solves");
+        strict(pkgrec_relax::qrpp(&thm7_2::reduce_sigma2(&phi), &opts()))
     })
     .print();
 
     println!("\nARPP (adjustments):");
     sweep("CQ (Thm 8.1)", "Σp₂-complete", &[1, 2, 3], |m| {
         let phi = gen::random_sigma2(&mut rng(), m, 2, 3);
-        pkgrec_adjust::arpp(&thm8_1::reduce_sigma2(&phi), OPTS).expect("solves");
+        strict(pkgrec_adjust::arpp(&thm8_1::reduce_sigma2(&phi), &opts()))
     })
     .print();
 
@@ -194,7 +258,7 @@ fn main() {
             SizeBound::linear(),
             Constraint::Empty,
         );
-        frp::top_k(&inst, OPTS).expect("solves");
+        anytime(frp::top_k(&inst, &opts()))
     })
     .print();
     sweep("FRP, constant bound", "FP (PTIME)", &[8, 16, 32, 64], |n| {
@@ -205,19 +269,19 @@ fn main() {
             SizeBound::Constant(2),
             Constraint::Empty,
         );
-        frp::top_k(&inst, OPTS).expect("solves");
+        anytime(frp::top_k(&inst, &opts()))
     })
     .print();
     sweep("RPP data (Lemma 4.4)", "coNP-complete", &[5, 7, 9, 11], |r| {
         let phi = gen::random_3cnf(&mut rng(), 3, r);
         let red = lemma4_4::rpp_reduce(&phi);
-        rpp::is_top_k(&red.instance, &red.selection, OPTS).expect("solves");
+        strict(rpp::is_top_k(&red.instance, &red.selection, &opts()))
     })
     .print();
     sweep("CPP data (#SAT, B = r)", "#·P-complete", &[5, 7, 9, 11], |r| {
         let phi = gen::random_3cnf(&mut rng(), 3, r);
         let (inst, b) = thm5_3::reduce_sharp_sat(&phi);
-        cpp::count_valid(&inst, b, OPTS).expect("counts");
+        anytime(cpp::count_valid(&inst, b, &opts()))
     })
     .print();
 
@@ -231,6 +295,7 @@ fn main() {
             3,
         );
         inst.top_k_items().expect("solves");
+        true
     })
     .print();
 
@@ -252,7 +317,7 @@ fn main() {
                     SizeBound::Constant(2),
                     qc.clone(),
                 );
-                frp::top_k(&inst, OPTS).expect("solves");
+                anytime(frp::top_k(&inst, &opts()))
             },
         )
         .print();
@@ -263,8 +328,9 @@ fn main() {
         let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(7), 3, 2, 3);
         let mut inst = thm5_1::reduce_maximum_sigma2(&phi);
         inst.k = k;
-        let t = time_best_of(3, || frp::top_k(&inst, OPTS).expect("solves"));
-        println!("  k = {k}: {t:?}");
+        let mut exact = true;
+        let t = time_best_of(3, || exact &= anytime(frp::top_k(&inst, &opts())));
+        println!("  k = {k}: {t:?}{}", if exact { "" } else { "*" });
     }
 
 }

@@ -6,36 +6,95 @@
 //! Corollary 6.1). This module walks that space depth-first in
 //! canonical order, pruning supersets only when the declared
 //! monotonicity of the cost function makes it sound, and enforcing an
-//! optional node budget so callers can bound the (inherently
-//! exponential) search.
+//! optional resource [`Budget`] (step count, wall-clock deadline,
+//! cancellation) so callers can bound the (inherently exponential)
+//! search.
 
 use std::ops::ControlFlow;
+use std::time::Duration;
 
 use pkgrec_data::Tuple;
+use pkgrec_guard::{Budget, Interrupted, Meter};
 
 use crate::instance::RecInstance;
 use crate::package::Package;
 use crate::rating::Ext;
-use crate::{CoreError, Result};
+use crate::Result;
 
 /// Options for the exact search.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SolveOptions {
-    /// Abort with [`CoreError::SearchLimitExceeded`] after enumerating
-    /// this many packages. `None` = unbounded.
-    pub node_limit: Option<u64>,
+    /// Resource budget for the search. One step is charged per
+    /// enumerated package; the deadline and cancellation flag are
+    /// checked on the same cadence. Unlimited by default.
+    pub budget: Budget,
 }
 
 impl SolveOptions {
     /// Unbounded search.
-    pub fn unbounded() -> SolveOptions {
-        SolveOptions::default()
+    pub const fn unbounded() -> SolveOptions {
+        SolveOptions {
+            budget: Budget::unlimited(),
+        }
     }
 
     /// Search bounded to `limit` enumerated packages.
     pub fn limited(limit: u64) -> SolveOptions {
         SolveOptions {
-            node_limit: Some(limit),
+            budget: Budget::with_steps(limit),
+        }
+    }
+
+    /// Search bounded by a wall-clock duration from now.
+    pub fn deadline_in(timeout: Duration) -> SolveOptions {
+        SolveOptions {
+            budget: Budget::with_timeout(timeout),
+        }
+    }
+
+    /// Search governed by an arbitrary budget.
+    pub fn with_budget(budget: Budget) -> SolveOptions {
+        SolveOptions { budget }
+    }
+}
+
+impl From<u64> for SolveOptions {
+    /// Back-compat with the old bare `node_limit` field: a plain number
+    /// bounds the number of enumerated packages.
+    fn from(limit: u64) -> SolveOptions {
+        SolveOptions::limited(limit)
+    }
+}
+
+impl From<Budget> for SolveOptions {
+    fn from(budget: Budget) -> SolveOptions {
+        SolveOptions { budget }
+    }
+}
+
+/// How a search run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The whole space was enumerated: negative answers are certified.
+    Exhausted,
+    /// The visitor stopped the search early via `ControlFlow::Break`.
+    Stopped,
+    /// The resource budget ran out; the visitor saw only a prefix of
+    /// the space.
+    Interrupted(Interrupted),
+}
+
+impl Completion {
+    /// Whether the whole space was enumerated.
+    pub fn is_exhausted(self) -> bool {
+        matches!(self, Completion::Exhausted)
+    }
+
+    /// The budget violation, when the search was cut off by one.
+    pub fn interrupted(self) -> Option<Interrupted> {
+        match self {
+            Completion::Interrupted(cut) => Some(cut),
+            _ => None,
         }
     }
 }
@@ -43,10 +102,20 @@ impl SolveOptions {
 /// Statistics reported by a completed search.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
-    /// Packages enumerated (including invalid ones).
+    /// Packages enumerated (including invalid ones). This is also the
+    /// number of budget steps the search charged.
     pub packages_enumerated: u64,
     /// Packages that passed the validity checks.
     pub valid_packages: u64,
+    /// Set when the budget cut the search off before exhausting the
+    /// space; the counts above then cover only the visited prefix.
+    pub interrupted: Option<Interrupted>,
+}
+
+/// What stopped a depth-first walk before exhaustion.
+enum Stop {
+    Visitor,
+    Budget(Interrupted),
 }
 
 /// Enumerate every package `N ⊆ items` with `|N| ≤ max_size` (including
@@ -55,37 +124,33 @@ pub struct SearchStats {
 /// supersets (the caller must guarantee soundness, e.g. via a monotone
 /// cost bound).
 ///
-/// Returns `Ok(false)` when `visit` broke out early, `Ok(true)` when the
-/// space was exhausted.
+/// Returns how the walk ended; budget exhaustion is reported as
+/// [`Completion::Interrupted`] rather than an error so anytime callers
+/// can keep their best-so-far answer.
 pub fn for_each_package(
     items: &[Tuple],
     max_size: usize,
-    opts: SolveOptions,
+    opts: &SolveOptions,
     mut prune: impl FnMut(&Package) -> bool,
     mut visit: impl FnMut(&Package) -> Result<ControlFlow<()>>,
-) -> Result<bool> {
+) -> Result<Completion> {
     let mut pkg = Package::empty();
-    let mut nodes: u64 = 0;
+    let meter = opts.budget.meter();
 
-    #[allow(clippy::too_many_arguments)] // an explicit-state DFS; a struct would obscure it
     fn dfs(
         items: &[Tuple],
         start: usize,
         max_size: usize,
-        opts: &SolveOptions,
-        nodes: &mut u64,
+        meter: &Meter,
         pkg: &mut Package,
         prune: &mut impl FnMut(&Package) -> bool,
         visit: &mut impl FnMut(&Package) -> Result<ControlFlow<()>>,
-    ) -> Result<ControlFlow<()>> {
-        *nodes += 1;
-        if let Some(limit) = opts.node_limit {
-            if *nodes > limit {
-                return Err(CoreError::SearchLimitExceeded { limit });
-            }
+    ) -> Result<ControlFlow<Stop>> {
+        if let Err(cut) = meter.tick() {
+            return Ok(ControlFlow::Break(Stop::Budget(cut)));
         }
         if visit(pkg)?.is_break() {
-            return Ok(ControlFlow::Break(()));
+            return Ok(ControlFlow::Break(Stop::Visitor));
         }
         if !pkg.is_empty() && prune(pkg) {
             return Ok(ControlFlow::Continue(()));
@@ -95,26 +160,21 @@ pub fn for_each_package(
         }
         for i in start..items.len() {
             pkg.insert(items[i].clone());
-            let flow = dfs(items, i + 1, max_size, opts, nodes, pkg, prune, visit);
+            let flow = dfs(items, i + 1, max_size, meter, pkg, prune, visit);
             pkg.remove(&items[i]);
-            if flow?.is_break() {
-                return Ok(ControlFlow::Break(()));
+            if let ControlFlow::Break(stop) = flow? {
+                return Ok(ControlFlow::Break(stop));
             }
         }
         Ok(ControlFlow::Continue(()))
     }
 
-    let flow = dfs(
-        items,
-        0,
-        max_size,
-        &opts,
-        &mut nodes,
-        &mut pkg,
-        &mut prune,
-        &mut visit,
-    )?;
-    Ok(flow.is_continue())
+    let flow = dfs(items, 0, max_size, &meter, &mut pkg, &mut prune, &mut visit)?;
+    Ok(match flow {
+        ControlFlow::Continue(()) => Completion::Exhausted,
+        ControlFlow::Break(Stop::Visitor) => Completion::Stopped,
+        ControlFlow::Break(Stop::Budget(cut)) => Completion::Interrupted(cut),
+    })
 }
 
 /// Enumerate the *valid* packages of an instance (optionally also
@@ -124,18 +184,19 @@ pub fn for_each_package(
 /// unnecessary here.
 ///
 /// Returns the search statistics; `visit` may stop the search early via
-/// `ControlFlow::Break`.
+/// `ControlFlow::Break`, and a budget cut-off is recorded in
+/// [`SearchStats::interrupted`] rather than raised as an error.
 pub fn for_each_valid_package(
     inst: &RecInstance,
     rating_bound: Option<Ext>,
-    opts: SolveOptions,
+    opts: &SolveOptions,
     mut visit: impl FnMut(&Package, Ext) -> ControlFlow<()>,
 ) -> Result<SearchStats> {
     let items = inst.items()?;
     let max_size = inst.max_package_size().min(items.len());
     let mut stats = SearchStats::default();
 
-    for_each_package(
+    let completion = for_each_package(
         &items,
         max_size,
         opts,
@@ -162,6 +223,7 @@ pub fn for_each_valid_package(
             Ok(visit(pkg, val))
         },
     )?;
+    stats.interrupted = completion.interrupted();
     Ok(stats)
 }
 
@@ -171,6 +233,7 @@ mod tests {
     use crate::constraints::Constraint;
     use crate::functions::PackageFn;
     use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+    use pkgrec_guard::Resource;
     use pkgrec_query::{ConjunctiveQuery, Query};
 
     fn items(n: i64) -> Vec<Tuple> {
@@ -180,10 +243,10 @@ mod tests {
     #[test]
     fn enumerates_all_subsets() {
         let mut count = 0;
-        for_each_package(
+        let completion = for_each_package(
             &items(4),
             4,
-            SolveOptions::default(),
+            &SolveOptions::default(),
             |_| false,
             |_| {
                 count += 1;
@@ -192,6 +255,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(count, 16); // 2^4 including ∅
+        assert_eq!(completion, Completion::Exhausted);
     }
 
     #[test]
@@ -200,7 +264,7 @@ mod tests {
         for_each_package(
             &items(4),
             2,
-            SolveOptions::default(),
+            &SolveOptions::default(),
             |_| false,
             |_| {
                 count += 1;
@@ -215,10 +279,10 @@ mod tests {
     #[test]
     fn early_break_stops() {
         let mut count = 0;
-        let completed = for_each_package(
+        let completion = for_each_package(
             &items(10),
             10,
-            SolveOptions::default(),
+            &SolveOptions::default(),
             |_| false,
             |_| {
                 count += 1;
@@ -230,20 +294,48 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(!completed);
+        assert_eq!(completion, Completion::Stopped);
         assert_eq!(count, 5);
     }
 
     #[test]
-    fn node_limit_errors() {
-        let r = for_each_package(
+    fn node_limit_interrupts() {
+        // Seed semantics preserved: a limit of 100 stops the search
+        // after 100 enumerated packages — now as a Completion carrying
+        // which resource ran out instead of a bare error.
+        let mut count = 0;
+        let completion = for_each_package(
             &items(20),
             20,
-            SolveOptions::limited(100),
+            &SolveOptions::limited(100),
+            |_| false,
+            |_| {
+                count += 1;
+                Ok(ControlFlow::Continue(()))
+            },
+        )
+        .unwrap();
+        match completion {
+            Completion::Interrupted(cut) => {
+                assert_eq!(cut.resource, Resource::Steps { limit: 100 });
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn from_u64_preserves_node_limit_back_compat() {
+        let opts: SolveOptions = 100u64.into();
+        let completion = for_each_package(
+            &items(20),
+            20,
+            &opts,
             |_| false,
             |_| Ok(ControlFlow::Continue(())),
-        );
-        assert!(matches!(r, Err(CoreError::SearchLimitExceeded { limit: 100 })));
+        )
+        .unwrap();
+        assert!(matches!(completion, Completion::Interrupted(_)));
     }
 
     #[test]
@@ -253,7 +345,7 @@ mod tests {
         for_each_package(
             &items(4),
             4,
-            SolveOptions::default(),
+            &SolveOptions::default(),
             |p| p.len() >= 2,
             |p| {
                 sizes.push(p.len());
@@ -285,7 +377,7 @@ mod tests {
                 !p.contains(&tuple![3])
             }));
         let mut valid = Vec::new();
-        let stats = for_each_valid_package(&inst, None, SolveOptions::default(), |p, _| {
+        let stats = for_each_valid_package(&inst, None, &SolveOptions::default(), |p, _| {
             valid.push(p.clone());
             ControlFlow::Continue(())
         })
@@ -294,6 +386,7 @@ mod tests {
         // not {1,2,3} (cost 3 > 2 and contains 3).
         assert_eq!(valid.len(), 3);
         assert_eq!(stats.valid_packages, 3);
+        assert!(stats.interrupted.is_none());
         assert!(valid.contains(&Package::new([tuple![1], tuple![2]])));
     }
 
@@ -306,7 +399,7 @@ mod tests {
         for_each_valid_package(
             &inst,
             Some(Ext::Finite(2.0)),
-            SolveOptions::default(),
+            &SolveOptions::default(),
             |_, _| {
                 count += 1;
                 ControlFlow::Continue(())
@@ -315,5 +408,20 @@ mod tests {
         .unwrap();
         // Packages with ≥ 2 items: 3 pairs + 1 triple.
         assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn interruption_recorded_in_stats() {
+        let inst = small_instance()
+            .with_budget(10.0)
+            .with_val(PackageFn::cardinality());
+        let stats =
+            for_each_valid_package(&inst, None, &SolveOptions::limited(3), |_, _| {
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+        let cut = stats.interrupted.expect("limit 3 < 8 subsets");
+        assert_eq!(cut.resource, Resource::Steps { limit: 3 });
+        assert_eq!(stats.packages_enumerated, 3);
     }
 }

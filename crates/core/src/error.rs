@@ -1,6 +1,7 @@
 use std::fmt;
 
 use pkgrec_data::DataError;
+use pkgrec_guard::Interrupted;
 use pkgrec_query::QueryError;
 
 /// Errors raised by the recommendation solvers.
@@ -13,12 +14,16 @@ pub enum CoreError {
     /// An ill-formed instance or candidate (e.g. arity mismatch between
     /// a package item and the answer schema).
     Invalid(String),
-    /// The exact search exceeded the caller-supplied node budget.
-    /// (These problems are Σp₂-hard and worse; callers bound the search
-    /// when instances may be large.)
+    /// The exact search exceeded its caller-supplied resource budget —
+    /// step limit, wall-clock deadline, or cancellation — before it
+    /// could certify an answer. (These problems are Σp₂-hard and worse;
+    /// callers bound the search when instances may be large.) The
+    /// payload records which resource ran out and how much work was
+    /// spent; anytime solvers report the same event as a non-exact
+    /// [`pkgrec_guard::Outcome`] instead of this error.
     SearchLimitExceeded {
-        /// The configured limit.
-        limit: u64,
+        /// The budget violation that cut the search off.
+        interrupted: Interrupted,
     },
 }
 
@@ -28,8 +33,8 @@ impl fmt::Display for CoreError {
             CoreError::Query(e) => write!(f, "{e}"),
             CoreError::Data(e) => write!(f, "{e}"),
             CoreError::Invalid(m) => write!(f, "invalid instance: {m}"),
-            CoreError::SearchLimitExceeded { limit } => {
-                write!(f, "exact search exceeded the node limit of {limit}")
+            CoreError::SearchLimitExceeded { interrupted } => {
+                write!(f, "exact search stopped early: {interrupted}")
             }
         }
     }
@@ -47,7 +52,19 @@ impl std::error::Error for CoreError {
 
 impl From<QueryError> for CoreError {
     fn from(e: QueryError) -> Self {
-        CoreError::Query(e)
+        match e {
+            // A budgeted query evaluation that ran out of resources is
+            // the same event as the package search running out: surface
+            // one unified error so callers handle a single variant.
+            QueryError::Interrupted(interrupted) => CoreError::SearchLimitExceeded { interrupted },
+            other => CoreError::Query(other),
+        }
+    }
+}
+
+impl From<Interrupted> for CoreError {
+    fn from(interrupted: Interrupted) -> Self {
+        CoreError::SearchLimitExceeded { interrupted }
     }
 }
 

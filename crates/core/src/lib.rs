@@ -36,8 +36,15 @@ pub mod problems;
 mod rating;
 
 pub use constraints::{Constraint, ANSWER_RELATION};
-pub use enumerate::{for_each_package, for_each_valid_package, SearchStats, SolveOptions};
+pub use enumerate::{
+    for_each_package, for_each_valid_package, Completion, SearchStats, SolveOptions,
+};
 pub use error::CoreError;
+
+// Re-export the budget vocabulary so downstream crates can configure
+// and inspect bounded searches without a direct pkgrec-guard
+// dependency.
+pub use pkgrec_guard::{Budget, CancelFlag, Interrupted, Meter, Outcome, Resource};
 pub use functions::PackageFn;
 pub use instance::{RecInstance, SizeBound};
 pub use package::Package;

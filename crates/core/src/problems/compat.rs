@@ -15,14 +15,16 @@ use crate::rating::Ext;
 use crate::Result;
 
 /// Decide the compatibility problem, returning a witness package when
-/// the answer is yes.
+/// the answer is yes. A found witness is a certificate regardless of
+/// the budget; a budget cut-off *without* a witness is an error, since
+/// "no" needs the whole space.
 pub fn compatibility_witness(
     inst: &RecInstance,
     rating_bound: Ext,
-    opts: SolveOptions,
+    opts: &SolveOptions,
 ) -> Result<Option<Package>> {
     let mut witness = None;
-    for_each_valid_package(inst, None, opts, |pkg, val| {
+    let stats = for_each_valid_package(inst, None, opts, |pkg, val| {
         if !pkg.is_empty() && val > rating_bound {
             witness = Some(pkg.clone());
             ControlFlow::Break(())
@@ -30,11 +32,16 @@ pub fn compatibility_witness(
             ControlFlow::Continue(())
         }
     })?;
+    if witness.is_none() {
+        if let Some(cut) = stats.interrupted {
+            return Err(cut.into());
+        }
+    }
     Ok(witness)
 }
 
 /// Decide the compatibility problem.
-pub fn compatibility(inst: &RecInstance, rating_bound: Ext, opts: SolveOptions) -> Result<bool> {
+pub fn compatibility(inst: &RecInstance, rating_bound: Ext, opts: &SolveOptions) -> Result<bool> {
     Ok(compatibility_witness(inst, rating_bound, opts)?.is_some())
 }
 
@@ -61,7 +68,7 @@ mod tests {
     #[test]
     fn witness_found_when_exists() {
         // val = |N|; bound 1 ⇒ need |N| ≥ 2.
-        let w = compatibility_witness(&inst(), Ext::Finite(1.0), SolveOptions::default())
+        let w = compatibility_witness(&inst(), Ext::Finite(1.0), &SolveOptions::default())
             .unwrap()
             .unwrap();
         assert_eq!(w.len(), 2);
@@ -69,7 +76,7 @@ mod tests {
 
     #[test]
     fn no_witness_above_max() {
-        assert!(!compatibility(&inst(), Ext::Finite(2.0), SolveOptions::default()).unwrap());
+        assert!(!compatibility(&inst(), Ext::Finite(2.0), &SolveOptions::default()).unwrap());
     }
 
     #[test]
@@ -79,13 +86,13 @@ mod tests {
         let i = inst()
             .with_val(PackageFn::cardinality().with_empty_value(Ext::Finite(100.0)))
             .with_qc(Constraint::ptime("reject all nonempty", |p, _| p.is_empty()));
-        assert!(!compatibility(&i, Ext::Finite(0.0), SolveOptions::default()).unwrap());
+        assert!(!compatibility(&i, Ext::Finite(0.0), &SolveOptions::default()).unwrap());
     }
 
     #[test]
     fn strictness_of_the_bound() {
         // Max val is 2; bound exactly 2 must fail (strict >), 1.5 passes.
-        assert!(!compatibility(&inst(), Ext::Finite(2.0), SolveOptions::default()).unwrap());
-        assert!(compatibility(&inst(), Ext::Finite(1.5), SolveOptions::default()).unwrap());
+        assert!(!compatibility(&inst(), Ext::Finite(2.0), &SolveOptions::default()).unwrap());
+        assert!(compatibility(&inst(), Ext::Finite(1.5), &SolveOptions::default()).unwrap());
     }
 }

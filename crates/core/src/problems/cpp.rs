@@ -5,38 +5,56 @@
 //! `cost(N) ≤ C`, `val(N) ≥ B`, `|N| ≤ p(|D|)`. The count is exact and
 //! includes the empty package whenever it qualifies (with the canonical
 //! `cost(∅) = ∞` it never does).
+//!
+//! Both entry points are *anytime*: a budget cut-off yields the count
+//! (respectively collection) over the visited prefix — a certified
+//! lower bound — flagged non-exact.
 
 use std::ops::ControlFlow;
 
-use crate::enumerate::{for_each_valid_package, SolveOptions};
+use pkgrec_guard::Outcome;
+
+use crate::enumerate::{for_each_valid_package, SearchStats, SolveOptions};
 use crate::instance::RecInstance;
 use crate::package::Package;
 use crate::rating::Ext;
 use crate::Result;
 
-/// Count the valid packages rated at least `B`.
-pub fn count_valid(inst: &RecInstance, rating_bound: Ext, opts: SolveOptions) -> Result<u128> {
+/// Count the valid packages rated at least `B`. Non-exact outcomes
+/// (budget ran out) carry a lower bound on the true count.
+pub fn count_valid(
+    inst: &RecInstance,
+    rating_bound: Ext,
+    opts: &SolveOptions,
+) -> Result<Outcome<u128, SearchStats>> {
     let mut count: u128 = 0;
-    for_each_valid_package(inst, Some(rating_bound), opts, |_, _| {
+    let stats = for_each_valid_package(inst, Some(rating_bound), opts, |_, _| {
         count += 1;
         ControlFlow::Continue(())
     })?;
-    Ok(count)
+    Ok(match stats.interrupted {
+        None => Outcome::exact(count, stats),
+        Some(cut) => Outcome::partial(count, cut, stats),
+    })
 }
 
 /// Enumerate (rather than just count) the valid packages rated at least
 /// `B` — useful for tests and for small exploratory workloads.
+/// Non-exact outcomes carry the packages found before the cut-off.
 pub fn collect_valid(
     inst: &RecInstance,
     rating_bound: Ext,
-    opts: SolveOptions,
-) -> Result<Vec<Package>> {
+    opts: &SolveOptions,
+) -> Result<Outcome<Vec<Package>, SearchStats>> {
     let mut out = Vec::new();
-    for_each_valid_package(inst, Some(rating_bound), opts, |pkg, _| {
+    let stats = for_each_valid_package(inst, Some(rating_bound), opts, |pkg, _| {
         out.push(pkg.clone());
         ControlFlow::Continue(())
     })?;
-    Ok(out)
+    Ok(match stats.interrupted {
+        None => Outcome::exact(out, stats),
+        Some(cut) => Outcome::partial(out, cut, stats),
+    })
 }
 
 #[cfg(test)]
@@ -59,25 +77,22 @@ mod tests {
             .with_val(PackageFn::cardinality())
     }
 
+    fn count_exact(inst: &RecInstance, bound: Ext) -> u128 {
+        let out = count_valid(inst, bound, &SolveOptions::default()).unwrap();
+        assert!(out.exact);
+        out.value
+    }
+
     #[test]
     fn counts_all_nonempty_subsets() {
         // cost = count (∅ excluded); 2^3 − 1 = 7.
-        assert_eq!(
-            count_valid(&inst(), Ext::NegInf, SolveOptions::default()).unwrap(),
-            7
-        );
+        assert_eq!(count_exact(&inst(), Ext::NegInf), 7);
     }
 
     #[test]
     fn rating_bound_cuts() {
-        assert_eq!(
-            count_valid(&inst(), Ext::Finite(2.0), SolveOptions::default()).unwrap(),
-            4 // 3 pairs + 1 triple
-        );
-        assert_eq!(
-            count_valid(&inst(), Ext::Finite(4.0), SolveOptions::default()).unwrap(),
-            0
-        );
+        assert_eq!(count_exact(&inst(), Ext::Finite(2.0)), 4); // 3 pairs + 1 triple
+        assert_eq!(count_exact(&inst(), Ext::Finite(4.0)), 0);
     }
 
     #[test]
@@ -86,17 +101,16 @@ mod tests {
             !p.contains(&tuple![2])
         }));
         // Subsets of {1,3}: 3 nonempty.
-        assert_eq!(
-            count_valid(&i, Ext::NegInf, SolveOptions::default()).unwrap(),
-            3
-        );
+        assert_eq!(count_exact(&i, Ext::NegInf), 3);
     }
 
     #[test]
     fn collect_matches_count() {
         let i = inst();
-        let c = count_valid(&i, Ext::Finite(2.0), SolveOptions::default()).unwrap();
-        let v = collect_valid(&i, Ext::Finite(2.0), SolveOptions::default()).unwrap();
+        let c = count_exact(&i, Ext::Finite(2.0));
+        let v = collect_valid(&i, Ext::Finite(2.0), &SolveOptions::default())
+            .unwrap()
+            .value;
         assert_eq!(v.len() as u128, c);
     }
 
@@ -104,9 +118,15 @@ mod tests {
     fn size_bound_restricts() {
         use crate::instance::SizeBound;
         let i = inst().with_size_bound(SizeBound::Constant(1));
-        assert_eq!(
-            count_valid(&i, Ext::NegInf, SolveOptions::default()).unwrap(),
-            3
-        );
+        assert_eq!(count_exact(&i, Ext::NegInf), 3);
+    }
+
+    #[test]
+    fn partial_count_is_a_lower_bound() {
+        let out = count_valid(&inst(), Ext::NegInf, &SolveOptions::limited(4)).unwrap();
+        assert!(!out.exact);
+        assert!(out.interrupted.is_some());
+        assert!(out.value < 7);
+        assert!(out.value <= out.stats.packages_enumerated as u128);
     }
 }

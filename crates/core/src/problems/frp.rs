@@ -6,17 +6,23 @@
 //! * [`top_k`] — a direct enumerator that streams all valid packages
 //!   and keeps the k best (rating-descending, package-ascending
 //!   tie-break). This is the Corollary 6.1 algorithm when the size
-//!   bound is constant.
+//!   bound is constant. It is *anytime*: under an exhausted
+//!   [`SolveOptions`] budget it returns the best selection found so
+//!   far, flagged non-exact, instead of failing.
 //! * [`top_k_via_oracle`] — the oracle-guided structure of the paper's
 //!   FPΣp₂ algorithm (Theorem 5.1): repeatedly call the `EXISTPACK≥`
 //!   oracle for the best valid package distinct from those already
 //!   selected. Our oracle ([`exist_pack_ge`]) is the exhaustive-search
-//!   stand-in for the Σp₂ oracle.
+//!   stand-in for the Σp₂ oracle; because each oracle answer must be
+//!   certified by a complete search, this solver is strict and errors
+//!   on budget exhaustion.
 
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
-use crate::enumerate::{for_each_valid_package, SolveOptions};
+use pkgrec_guard::Outcome;
+
+use crate::enumerate::{for_each_valid_package, SearchStats, SolveOptions};
 use crate::instance::RecInstance;
 use crate::package::Package;
 use crate::rating::Ext;
@@ -31,15 +37,26 @@ fn key(val: Ext, pkg: &Package) -> Key {
     (val, std::cmp::Reverse(pkg.clone()))
 }
 
-/// Compute a top-k package selection, or `None` if fewer than `k`
-/// distinct valid packages exist. The result is sorted by descending
-/// rating (ties: canonically smaller package first) and is
-/// deterministic.
-pub fn top_k(inst: &RecInstance, opts: SolveOptions) -> Result<Option<Vec<Package>>> {
+/// Compute a top-k package selection, sorted by descending rating
+/// (ties: canonically smaller package first), deterministically.
+///
+/// The result is an [`Outcome`]:
+///
+/// * exact, `Some(sel)` — a certified top-k selection;
+/// * exact, `None` — certified that fewer than `k` distinct valid
+///   packages exist;
+/// * non-exact (budget exhausted) — the best-so-far selection over the
+///   visited prefix: `Some` of up to `k` packages, or `None` when the
+///   cut-off happened before any valid package was seen. Nothing is
+///   certified.
+pub fn top_k(
+    inst: &RecInstance,
+    opts: &SolveOptions,
+) -> Result<Outcome<Option<Vec<Package>>, SearchStats>> {
     let k = inst.k;
     // Min-keyed working set of the current best k.
     let mut best: BTreeSet<Key> = BTreeSet::new();
-    for_each_valid_package(inst, None, opts, |pkg, val| {
+    let stats = for_each_valid_package(inst, None, opts, |pkg, val| {
         let candidate = key(val, pkg);
         if best.len() < k {
             best.insert(candidate);
@@ -52,30 +69,38 @@ pub fn top_k(inst: &RecInstance, opts: SolveOptions) -> Result<Option<Vec<Packag
         }
         ControlFlow::Continue(())
     })?;
-    if best.len() < k {
-        return Ok(None);
-    }
-    let mut out: Vec<Package> = best
+    let mut found: Vec<Package> = best
         .into_iter()
         .rev() // best first
         .map(|(_, std::cmp::Reverse(p))| p)
         .collect();
-    out.truncate(k);
-    Ok(Some(out))
+    found.truncate(k);
+    Ok(match stats.interrupted {
+        None => {
+            let value = if found.len() < k { None } else { Some(found) };
+            Outcome::exact(value, stats)
+        }
+        Some(cut) => {
+            let value = if found.is_empty() { None } else { Some(found) };
+            Outcome::partial(value, cut, stats)
+        }
+    })
 }
 
 /// The `EXISTPACK≥` oracle of Theorem 5.1: a valid package `N` with
 /// `val(N) ≥ bound` that is not in `exclude`, if one exists. The
 /// *best* such package (same order as [`top_k`]) is returned, making
-/// the oracle deterministic.
+/// the oracle deterministic. Strict: a budget cut-off is an error,
+/// since a partial search certifies neither the best package nor
+/// nonexistence.
 pub fn exist_pack_ge(
     inst: &RecInstance,
     exclude: &[Package],
     bound: Ext,
-    opts: SolveOptions,
+    opts: &SolveOptions,
 ) -> Result<Option<Package>> {
     let mut best: Option<Key> = None;
-    for_each_valid_package(inst, Some(bound), opts, |pkg, val| {
+    let stats = for_each_valid_package(inst, Some(bound), opts, |pkg, val| {
         if !exclude.contains(pkg) {
             let candidate = key(val, pkg);
             if best.as_ref().is_none_or(|b| candidate > *b) {
@@ -84,13 +109,17 @@ pub fn exist_pack_ge(
         }
         ControlFlow::Continue(())
     })?;
+    if let Some(cut) = stats.interrupted {
+        return Err(cut.into());
+    }
     Ok(best.map(|(_, std::cmp::Reverse(p))| p))
 }
 
 /// Compute a top-k selection with the paper's oracle-call structure:
 /// `k` rounds, each selecting the best valid package distinct from the
-/// already-selected ones.
-pub fn top_k_via_oracle(inst: &RecInstance, opts: SolveOptions) -> Result<Option<Vec<Package>>> {
+/// already-selected ones. Strict (see [`exist_pack_ge`]); note the step
+/// budget applies per oracle call.
+pub fn top_k_via_oracle(inst: &RecInstance, opts: &SolveOptions) -> Result<Option<Vec<Package>>> {
     let mut selected: Vec<Package> = Vec::with_capacity(inst.k);
     for _ in 0..inst.k {
         match exist_pack_ge(inst, &selected, Ext::NegInf, opts)? {
@@ -106,6 +135,7 @@ mod tests {
     use super::*;
     use crate::constraints::Constraint;
     use crate::functions::PackageFn;
+    use crate::CoreError;
     use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
     use pkgrec_query::{ConjunctiveQuery, Query};
 
@@ -121,17 +151,22 @@ mod tests {
             .with_val(PackageFn::sum_col(0, true))
     }
 
+    /// Exact helper for tests: unwrap an exact outcome's value.
+    fn top_k_exact(inst: &RecInstance, opts: &SolveOptions) -> Option<Vec<Package>> {
+        let out = top_k(inst, opts).unwrap();
+        assert!(out.exact, "expected an exact (uninterrupted) run");
+        out.value
+    }
+
     #[test]
     fn top_1_is_the_max_sum_pair() {
-        let sel = top_k(&inst(), SolveOptions::default()).unwrap().unwrap();
+        let sel = top_k_exact(&inst(), &SolveOptions::default()).unwrap();
         assert_eq!(sel, vec![Package::new([tuple![2], tuple![3]])]);
     }
 
     #[test]
     fn top_3_ordering() {
-        let sel = top_k(&inst().with_k(3), SolveOptions::default())
-            .unwrap()
-            .unwrap();
+        let sel = top_k_exact(&inst().with_k(3), &SolveOptions::default()).unwrap();
         assert_eq!(
             sel,
             vec![
@@ -146,9 +181,7 @@ mod tests {
     fn tie_break_prefers_smaller_package() {
         // val({1,2}) = 3 = val({3}); the canonical order on packages has
         // {(1),(2)} < {(3)} (first element (1) < (3)), so {1,2} wins.
-        let sel = top_k(&inst().with_k(3), SolveOptions::default())
-            .unwrap()
-            .unwrap();
+        let sel = top_k_exact(&inst().with_k(3), &SolveOptions::default()).unwrap();
         assert_eq!(sel[2], Package::new([tuple![1], tuple![2]]));
     }
 
@@ -156,21 +189,21 @@ mod tests {
     fn none_when_not_enough_packages() {
         // Qc rejects everything.
         let i = inst().with_qc(Constraint::ptime("reject all", |_, _| false));
-        assert!(top_k(&i, SolveOptions::default()).unwrap().is_none());
+        assert!(top_k_exact(&i, &SolveOptions::default()).is_none());
         // k larger than the number of valid packages (6 nonempty ≤2-item
         // subsets of 3 items).
         let i = inst().with_k(7);
-        assert!(top_k(&i, SolveOptions::default()).unwrap().is_none());
+        assert!(top_k_exact(&i, &SolveOptions::default()).is_none());
         let i = inst().with_k(6);
-        assert!(top_k(&i, SolveOptions::default()).unwrap().is_some());
+        assert!(top_k_exact(&i, &SolveOptions::default()).is_some());
     }
 
     #[test]
     fn oracle_and_enumerator_agree() {
         for k in 1..=6 {
             let i = inst().with_k(k);
-            let a = top_k(&i, SolveOptions::default()).unwrap();
-            let b = top_k_via_oracle(&i, SolveOptions::default()).unwrap();
+            let a = top_k_exact(&i, &SolveOptions::default());
+            let b = top_k_via_oracle(&i, &SolveOptions::default()).unwrap();
             assert_eq!(a, b, "k = {k}");
         }
     }
@@ -180,19 +213,19 @@ mod tests {
         use crate::problems::rpp::is_top_k;
         for k in 1..=4 {
             let i = inst().with_k(k);
-            let sel = top_k(&i, SolveOptions::default()).unwrap().unwrap();
-            assert!(is_top_k(&i, &sel, SolveOptions::default()).unwrap(), "k = {k}");
+            let sel = top_k_exact(&i, &SolveOptions::default()).unwrap();
+            assert!(is_top_k(&i, &sel, &SolveOptions::default()).unwrap(), "k = {k}");
         }
     }
 
     #[test]
     fn exist_pack_bound_filters() {
         let i = inst();
-        let p = exist_pack_ge(&i, &[], Ext::Finite(5.0), SolveOptions::default())
+        let p = exist_pack_ge(&i, &[], Ext::Finite(5.0), &SolveOptions::default())
             .unwrap()
             .unwrap();
         assert_eq!(p, Package::new([tuple![2], tuple![3]]));
-        assert!(exist_pack_ge(&i, &[], Ext::Finite(6.0), SolveOptions::default())
+        assert!(exist_pack_ge(&i, &[], Ext::Finite(6.0), &SolveOptions::default())
             .unwrap()
             .is_none());
         // Excluding the best yields the runner-up.
@@ -200,10 +233,29 @@ mod tests {
             &i,
             &[Package::new([tuple![2], tuple![3]])],
             Ext::NegInf,
-            SolveOptions::default(),
+            &SolveOptions::default(),
         )
         .unwrap()
         .unwrap();
         assert_eq!(second, Package::new([tuple![1], tuple![3]]));
+    }
+
+    #[test]
+    fn exhausted_budget_yields_anytime_best() {
+        // Canonical DFS order visits ∅, {1}, {1,2}, ... — a budget of 3
+        // sees val 1 and 3 but never the true best ({2,3}, val 5).
+        let out = top_k(&inst(), &SolveOptions::limited(3)).unwrap();
+        assert!(!out.exact);
+        let sel = out.value.expect("a valid package was seen before cut-off");
+        assert!(!sel.is_empty());
+        // The unbounded run strictly improves on the partial one.
+        let full = top_k_exact(&inst(), &SolveOptions::default()).unwrap();
+        assert!(inst().val.eval(&full[0]) > inst().val.eval(&sel[0]));
+    }
+
+    #[test]
+    fn oracle_is_strict_under_budget() {
+        let r = top_k_via_oracle(&inst(), &SolveOptions::limited(2));
+        assert!(matches!(r, Err(CoreError::SearchLimitExceeded { .. })));
     }
 }

@@ -108,8 +108,12 @@ impl GroupInstance {
         }))
     }
 
-    /// Top-k packages for the group.
-    pub fn top_k(&self, opts: crate::enumerate::SolveOptions) -> Result<Option<Vec<Package>>> {
+    /// Top-k packages for the group. Anytime, like
+    /// [`crate::problems::frp::top_k`].
+    pub fn top_k(
+        &self,
+        opts: &crate::enumerate::SolveOptions,
+    ) -> Result<pkgrec_guard::Outcome<Option<Vec<Package>>, crate::enumerate::SearchStats>> {
         crate::problems::frp::top_k(&self.lower(), opts)
     }
 }
@@ -155,7 +159,7 @@ mod tests {
     #[test]
     fn least_misery_prefers_the_balanced_item() {
         let g = GroupInstance::new(base(), members(), GroupSemantics::LeastMisery);
-        let top = g.top_k(SolveOptions::default()).unwrap().unwrap();
+        let top = g.top_k(&SolveOptions::default()).unwrap().value.unwrap();
         assert_eq!(top[0], Package::new([tuple![2, 5, 5]]));
         assert_eq!(g.group_val(&top[0]), Ext::Finite(5.0));
     }
@@ -163,7 +167,7 @@ mod tests {
     #[test]
     fn most_pleasure_prefers_an_extreme_item() {
         let g = GroupInstance::new(base(), members(), GroupSemantics::MostPleasure);
-        let top = g.top_k(SolveOptions::default()).unwrap().unwrap();
+        let top = g.top_k(&SolveOptions::default()).unwrap().value.unwrap();
         assert_eq!(g.group_val(&top[0]), Ext::Finite(9.0));
         assert_ne!(top[0], Package::new([tuple![2, 5, 5]]));
     }
@@ -171,7 +175,7 @@ mod tests {
     #[test]
     fn utilitarian_is_indifferent_between_equal_sums() {
         let g = GroupInstance::new(base(), members(), GroupSemantics::Utilitarian);
-        let top = g.top_k(SolveOptions::default()).unwrap().unwrap();
+        let top = g.top_k(&SolveOptions::default()).unwrap().value.unwrap();
         // All three items sum to 10 — ties break canonically (smallest
         // package first), so item 0 wins.
         assert_eq!(g.group_val(&top[0]), Ext::Finite(10.0));
@@ -187,8 +191,8 @@ mod tests {
         );
         let solo = base().with_val(PackageFn::sum_col(1, true));
         assert_eq!(
-            g.top_k(SolveOptions::default()).unwrap(),
-            crate::problems::frp::top_k(&solo, SolveOptions::default()).unwrap()
+            g.top_k(&SolveOptions::default()).unwrap(),
+            crate::problems::frp::top_k(&solo, &SolveOptions::default()).unwrap()
         );
     }
 
@@ -200,11 +204,11 @@ mod tests {
             GroupSemantics::MostPleasure,
         ] {
             let g = GroupInstance::new(base().with_k(2), members(), semantics);
-            let sel = g.top_k(SolveOptions::default()).unwrap().unwrap();
+            let sel = g.top_k(&SolveOptions::default()).unwrap().value.unwrap();
             assert!(crate::problems::rpp::is_top_k(
                 &g.lower(),
                 &sel,
-                SolveOptions::default()
+                &SolveOptions::default()
             )
             .unwrap());
         }

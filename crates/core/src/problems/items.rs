@@ -211,8 +211,9 @@ mod tests {
             let item_inst = inst(k);
             let fast = item_inst.top_k_items().unwrap().unwrap();
             let pkg_inst = item_inst.as_package_instance();
-            let slow = frp::top_k(&pkg_inst, SolveOptions::default())
+            let slow = frp::top_k(&pkg_inst, &SolveOptions::default())
                 .unwrap()
+                .value
                 .unwrap();
             let slow_items: Vec<Tuple> = slow
                 .iter()
@@ -222,7 +223,7 @@ mod tests {
             // And the package-level RPP accepts the embedded selection.
             let as_packages: Vec<Package> =
                 fast.iter().cloned().map(Package::singleton).collect();
-            assert!(rpp::is_top_k(&pkg_inst, &as_packages, SolveOptions::default()).unwrap());
+            assert!(rpp::is_top_k(&pkg_inst, &as_packages, &SolveOptions::default()).unwrap());
         }
     }
 
@@ -233,8 +234,9 @@ mod tests {
         assert_eq!(i.count_items_ge(3.0).unwrap(), 2);
         assert_eq!(i.count_items_ge(0.0).unwrap(), 4);
         // Embedded MBP agrees.
-        let mb = mbp::maximum_bound(&i.as_package_instance(), SolveOptions::default())
+        let mb = mbp::maximum_bound(&i.as_package_instance(), &SolveOptions::default())
             .unwrap()
+            .value
             .unwrap();
         assert_eq!(mb, Ext::Finite(3.0));
     }

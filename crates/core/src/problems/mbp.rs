@@ -8,18 +8,26 @@
 //! packages rate `≥ B` (L1), and it is maximum iff additionally *no*
 //! `k` distinct valid packages rate `> B` (L2). Both tests are
 //! early-stopping enumerations.
+//!
+//! The decision procedures are strict — a budget cut-off before the
+//! answer is certified is an error — while the function problem
+//! [`maximum_bound`] is *anytime*: under an exhausted budget it returns
+//! the k-th best rating over the visited prefix (a lower bound on the
+//! true maximum bound), flagged non-exact.
 
 use std::ops::ControlFlow;
 
-use crate::enumerate::{for_each_valid_package, SolveOptions};
+use pkgrec_guard::Outcome;
+
+use crate::enumerate::{for_each_valid_package, SearchStats, SolveOptions};
 use crate::instance::RecInstance;
 use crate::rating::Ext;
 use crate::Result;
 
 /// L1: do `k` distinct valid packages rate `≥ B`?
-pub fn is_bound(inst: &RecInstance, bound: Ext, opts: SolveOptions) -> Result<bool> {
+pub fn is_bound(inst: &RecInstance, bound: Ext, opts: &SolveOptions) -> Result<bool> {
     let mut found = 0usize;
-    for_each_valid_package(inst, Some(bound), opts, |_, _| {
+    let stats = for_each_valid_package(inst, Some(bound), opts, |_, _| {
         found += 1;
         if found >= inst.k {
             ControlFlow::Break(())
@@ -27,14 +35,20 @@ pub fn is_bound(inst: &RecInstance, bound: Ext, opts: SolveOptions) -> Result<bo
             ControlFlow::Continue(())
         }
     })?;
-    Ok(found >= inst.k)
+    if found >= inst.k {
+        return Ok(true); // certified yes, even if the budget then ran out
+    }
+    match stats.interrupted {
+        Some(cut) => Err(cut.into()), // "no" would need the full space
+        None => Ok(false),
+    }
 }
 
 /// L2 (negated): do `k` distinct valid packages rate **strictly above**
 /// `B`?
-fn k_packages_above(inst: &RecInstance, bound: Ext, opts: SolveOptions) -> Result<bool> {
+fn k_packages_above(inst: &RecInstance, bound: Ext, opts: &SolveOptions) -> Result<bool> {
     let mut found = 0usize;
-    for_each_valid_package(inst, Some(bound), opts, |_, val| {
+    let stats = for_each_valid_package(inst, Some(bound), opts, |_, val| {
         if val > bound {
             found += 1;
             if found >= inst.k {
@@ -43,21 +57,34 @@ fn k_packages_above(inst: &RecInstance, bound: Ext, opts: SolveOptions) -> Resul
         }
         ControlFlow::Continue(())
     })?;
-    Ok(found >= inst.k)
+    if found >= inst.k {
+        return Ok(true);
+    }
+    match stats.interrupted {
+        Some(cut) => Err(cut.into()),
+        None => Ok(false),
+    }
 }
 
 /// Decide MBP: is `B` the maximum bound for
 /// `(Q, D, Qc, cost(), val(), C, k)`?
-pub fn is_maximum_bound(inst: &RecInstance, bound: Ext, opts: SolveOptions) -> Result<bool> {
+pub fn is_maximum_bound(inst: &RecInstance, bound: Ext, opts: &SolveOptions) -> Result<bool> {
     Ok(is_bound(inst, bound, opts)? && !k_packages_above(inst, bound, opts)?)
 }
 
 /// Compute the maximum bound — the rating of the k-th best valid
 /// package — or `None` when no top-k selection exists.
-pub fn maximum_bound(inst: &RecInstance, opts: SolveOptions) -> Result<Option<Ext>> {
+///
+/// Anytime: when the budget runs out the outcome is non-exact and
+/// carries the k-th best rating over the packages seen so far (a lower
+/// bound on the true answer), or `None` if fewer than `k` were seen.
+pub fn maximum_bound(
+    inst: &RecInstance,
+    opts: &SolveOptions,
+) -> Result<Outcome<Option<Ext>, SearchStats>> {
     // The k best ratings over distinct packages.
     let mut best: Vec<Ext> = Vec::new();
-    for_each_valid_package(inst, None, opts, |_, val| {
+    let stats = for_each_valid_package(inst, None, opts, |_, val| {
         // Maintain the k largest ratings (multiset).
         let pos = best.partition_point(|&v| v < val);
         best.insert(pos, val);
@@ -66,16 +93,22 @@ pub fn maximum_bound(inst: &RecInstance, opts: SolveOptions) -> Result<Option<Ex
         }
         ControlFlow::Continue(())
     })?;
-    if best.len() < inst.k {
-        return Ok(None);
-    }
-    Ok(Some(best[0]))
+    let value = if best.len() < inst.k {
+        None
+    } else {
+        Some(best[0])
+    };
+    Ok(match stats.interrupted {
+        None => Outcome::exact(value, stats),
+        Some(cut) => Outcome::partial(value, cut, stats),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::functions::PackageFn;
+    use crate::CoreError;
     use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
     use pkgrec_query::{ConjunctiveQuery, Query};
 
@@ -91,42 +124,36 @@ mod tests {
             .with_val(PackageFn::sum_col(0, true))
     }
 
+    fn maximum_bound_exact(inst: &RecInstance) -> Option<Ext> {
+        let out = maximum_bound(inst, &SolveOptions::default()).unwrap();
+        assert!(out.exact);
+        out.value
+    }
+
     #[test]
     fn maximum_bound_is_kth_best_rating() {
         // Ratings of valid packages: {2,3}=5, {1,3}=4, {1,2}=3, {3}=3,
         // {2}=2, {1}=1.
-        assert_eq!(
-            maximum_bound(&inst(), SolveOptions::default()).unwrap(),
-            Some(Ext::Finite(5.0))
-        );
-        assert_eq!(
-            maximum_bound(&inst().with_k(3), SolveOptions::default()).unwrap(),
-            Some(Ext::Finite(3.0))
-        );
-        assert_eq!(
-            maximum_bound(&inst().with_k(6), SolveOptions::default()).unwrap(),
-            Some(Ext::Finite(1.0))
-        );
-        assert_eq!(
-            maximum_bound(&inst().with_k(7), SolveOptions::default()).unwrap(),
-            None
-        );
+        assert_eq!(maximum_bound_exact(&inst()), Some(Ext::Finite(5.0)));
+        assert_eq!(maximum_bound_exact(&inst().with_k(3)), Some(Ext::Finite(3.0)));
+        assert_eq!(maximum_bound_exact(&inst().with_k(6)), Some(Ext::Finite(1.0)));
+        assert_eq!(maximum_bound_exact(&inst().with_k(7)), None);
     }
 
     #[test]
     fn decision_agrees_with_function() {
         for k in 1..=6 {
             let i = inst().with_k(k);
-            let mb = maximum_bound(&i, SolveOptions::default()).unwrap().unwrap();
-            assert!(is_maximum_bound(&i, mb, SolveOptions::default()).unwrap());
+            let mb = maximum_bound_exact(&i).unwrap();
+            assert!(is_maximum_bound(&i, mb, &SolveOptions::default()).unwrap());
             // A lower value is a bound but not maximum; a higher one is
             // not a bound at all.
             let lower = Ext::Finite(mb.as_finite().unwrap() - 0.5);
-            assert!(is_bound(&i, lower, SolveOptions::default()).unwrap());
-            assert!(!is_maximum_bound(&i, lower, SolveOptions::default()).unwrap());
+            assert!(is_bound(&i, lower, &SolveOptions::default()).unwrap());
+            assert!(!is_maximum_bound(&i, lower, &SolveOptions::default()).unwrap());
             let higher = Ext::Finite(mb.as_finite().unwrap() + 0.5);
-            assert!(!is_bound(&i, higher, SolveOptions::default()).unwrap());
-            assert!(!is_maximum_bound(&i, higher, SolveOptions::default()).unwrap());
+            assert!(!is_bound(&i, higher, &SolveOptions::default()).unwrap());
+            assert!(!is_maximum_bound(&i, higher, &SolveOptions::default()).unwrap());
         }
     }
 
@@ -134,10 +161,26 @@ mod tests {
     fn duplicate_ratings_count_distinct_packages() {
         // Constant val: every nonempty ≤2-subset rates 1; k=6 bound is 1.
         let i = inst().with_val(PackageFn::constant(Ext::Finite(1.0))).with_k(6);
-        assert_eq!(
-            maximum_bound(&i, SolveOptions::default()).unwrap(),
-            Some(Ext::Finite(1.0))
-        );
-        assert!(is_maximum_bound(&i, Ext::Finite(1.0), SolveOptions::default()).unwrap());
+        assert_eq!(maximum_bound_exact(&i), Some(Ext::Finite(1.0)));
+        assert!(is_maximum_bound(&i, Ext::Finite(1.0), &SolveOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn partial_bound_is_a_lower_bound() {
+        // Budget 3 sees ∅, {1}, {1,2}: k=1 best-so-far is 3, below the
+        // true maximum bound 5.
+        let out = maximum_bound(&inst(), &SolveOptions::limited(3)).unwrap();
+        assert!(!out.exact);
+        let partial = out.value.expect("a valid package was seen");
+        let full = maximum_bound_exact(&inst()).unwrap();
+        assert!(partial <= full);
+    }
+
+    #[test]
+    fn strict_decision_errors_when_uncertifiable() {
+        // "Is 100 a bound?" — no package rates ≥ 100, so certifying
+        // "no" needs the whole space; a 2-step budget cannot.
+        let r = is_bound(&inst(), Ext::Finite(100.0), &SolveOptions::limited(2));
+        assert!(matches!(r, Err(CoreError::SearchLimitExceeded { .. })));
     }
 }

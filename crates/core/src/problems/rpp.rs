@@ -43,11 +43,13 @@ pub enum RppRefutation {
     },
 }
 
-/// Decide RPP, explaining a "no" answer.
+/// Decide RPP, explaining a "no" answer. Strict: the dominating-package
+/// search must either find a refutation or exhaust the space, so a
+/// budget cut-off with no refutation in hand is an error.
 pub fn check_top_k(
     inst: &RecInstance,
     selection: &[Package],
-    opts: SolveOptions,
+    opts: &SolveOptions,
 ) -> Result<std::result::Result<(), RppRefutation>> {
     // Step 1: validity of the selection itself.
     if selection.len() != inst.k {
@@ -76,7 +78,7 @@ pub fn check_top_k(
         .expect("k ≥ 1");
 
     let mut refutation = None;
-    for_each_valid_package(inst, Some(min_val), opts, |pkg, val| {
+    let stats = for_each_valid_package(inst, Some(min_val), opts, |pkg, val| {
         if val > min_val && !selection.contains(pkg) {
             refutation = Some(RppRefutation::Dominated {
                 better: pkg.clone(),
@@ -88,14 +90,17 @@ pub fn check_top_k(
         }
     })?;
     Ok(match refutation {
-        Some(r) => Err(r),
-        None => Ok(()),
+        Some(r) => Err(r), // a found dominator refutes regardless of budget
+        None => match stats.interrupted {
+            Some(cut) => return Err(cut.into()),
+            None => Ok(()),
+        },
     })
 }
 
 /// Decide RPP: is `selection` a top-k package selection for the
 /// instance?
-pub fn is_top_k(inst: &RecInstance, selection: &[Package], opts: SolveOptions) -> Result<bool> {
+pub fn is_top_k(inst: &RecInstance, selection: &[Package], opts: &SolveOptions) -> Result<bool> {
     Ok(check_top_k(inst, selection, opts)?.is_ok())
 }
 
@@ -124,14 +129,14 @@ mod tests {
         // Best 2-item package: {2,3} with val 5.
         let i = inst();
         let sel = vec![Package::new([tuple![2], tuple![3]])];
-        assert!(is_top_k(&i, &sel, SolveOptions::default()).unwrap());
+        assert!(is_top_k(&i, &sel, &SolveOptions::default()).unwrap());
     }
 
     #[test]
     fn rejects_dominated_selection() {
         let i = inst();
         let sel = vec![Package::new([tuple![1], tuple![2]])];
-        let r = check_top_k(&i, &sel, SolveOptions::default())
+        let r = check_top_k(&i, &sel, &SolveOptions::default())
             .unwrap()
             .unwrap_err();
         assert!(matches!(r, RppRefutation::Dominated { val, .. } if val > Ext::Finite(3.0)));
@@ -142,7 +147,7 @@ mod tests {
         let i = inst().with_k(2);
         let one = vec![Package::new([tuple![2], tuple![3]])];
         assert!(matches!(
-            check_top_k(&i, &one, SolveOptions::default()).unwrap(),
+            check_top_k(&i, &one, &SolveOptions::default()).unwrap(),
             Err(RppRefutation::WrongCount { expected: 2, found: 1 })
         ));
         let dup = vec![
@@ -150,7 +155,7 @@ mod tests {
             Package::new([tuple![2], tuple![3]]),
         ];
         assert!(matches!(
-            check_top_k(&i, &dup, SolveOptions::default()).unwrap(),
+            check_top_k(&i, &dup, &SolveOptions::default()).unwrap(),
             Err(RppRefutation::NotDistinct)
         ));
     }
@@ -161,13 +166,13 @@ mod tests {
         // Over budget (3 items) — invalid.
         let sel = vec![Package::new([tuple![1], tuple![2], tuple![3]])];
         assert!(matches!(
-            check_top_k(&i, &sel, SolveOptions::default()).unwrap(),
+            check_top_k(&i, &sel, &SolveOptions::default()).unwrap(),
             Err(RppRefutation::InvalidPackage(_))
         ));
         // Item not in Q(D).
         let sel = vec![Package::new([tuple![9]])];
         assert!(matches!(
-            check_top_k(&i, &sel, SolveOptions::default()).unwrap(),
+            check_top_k(&i, &sel, &SolveOptions::default()).unwrap(),
             Err(RppRefutation::InvalidPackage(_))
         ));
     }
@@ -180,12 +185,12 @@ mod tests {
             Package::new([tuple![2], tuple![3]]),
             Package::new([tuple![1], tuple![3]]),
         ];
-        assert!(is_top_k(&i, &good, SolveOptions::default()).unwrap());
+        assert!(is_top_k(&i, &good, &SolveOptions::default()).unwrap());
         let bad = vec![
             Package::new([tuple![2], tuple![3]]),
             Package::new([tuple![1], tuple![2]]), // val 3 < {1,3}'s 4
         ];
-        assert!(!is_top_k(&i, &bad, SolveOptions::default()).unwrap());
+        assert!(!is_top_k(&i, &bad, &SolveOptions::default()).unwrap());
     }
 
     #[test]
@@ -194,8 +199,8 @@ mod tests {
         // is top-k.
         let i = inst().with_val(PackageFn::constant(Ext::Finite(1.0)));
         let sel = vec![Package::new([tuple![1]])];
-        assert!(is_top_k(&i, &sel, SolveOptions::default()).unwrap());
+        assert!(is_top_k(&i, &sel, &SolveOptions::default()).unwrap());
         let sel2 = vec![Package::new([tuple![3]])];
-        assert!(is_top_k(&i, &sel2, SolveOptions::default()).unwrap());
+        assert!(is_top_k(&i, &sel2, &SolveOptions::default()).unwrap());
     }
 }

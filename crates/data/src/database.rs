@@ -1,7 +1,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{DataError, Relation, RelationSchema, Result, Tuple, Value};
 
@@ -73,7 +72,7 @@ impl FromIterator<Value> for ActiveDomain {
 ///
 /// This is the item collection of the paper's model (Section 2). The
 /// catalog is a `BTreeMap` for deterministic iteration.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
 }

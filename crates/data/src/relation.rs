@@ -1,7 +1,6 @@
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{RelationSchema, Result, Tuple, Value};
 
@@ -11,12 +10,11 @@ use crate::{RelationSchema, Result, Tuple, Value};
 /// every solver, counter and bench in the workspace is deterministic as a
 /// consequence. Hash indexes on single columns are built lazily by query
 /// evaluation (see [`Relation::index`]) and invalidated on mutation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: RelationSchema,
     tuples: BTreeSet<Tuple>,
     /// Lazily built per-column indexes: column position → value → tuples.
-    #[serde(skip)]
     indexes: std::cell::RefCell<HashMap<usize, HashMap<Value, Vec<Tuple>>>>,
 }
 

@@ -1,12 +1,11 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{AttrType, DataError, Result, Tuple};
 
 /// A named, typed attribute of a relation schema.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Attribute {
     /// Attribute name, unique within its schema.
     pub name: Arc<str>,
@@ -25,7 +24,7 @@ impl Attribute {
 }
 
 /// A relation schema `R(A1, ..., An)` as in Section 2 of the paper.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RelationSchema {
     name: Arc<str>,
     attrs: Arc<[Attribute]>,

@@ -1,7 +1,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use crate::Value;
 
@@ -11,7 +10,7 @@ use crate::Value;
 /// tuples drawn from a query answer `Q(D)` (Section 2). They are shared
 /// via `Arc` because package enumeration clones tuples heavily — a clone
 /// is a pointer copy.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tuple(Arc<[Value]>);
 
 impl Tuple {

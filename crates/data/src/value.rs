@@ -1,7 +1,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 /// The type of an attribute in a relation schema.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// `dom(R.A)` (Section 2). We support three concrete domains; they are
 /// sufficient for every construction in the paper (the Boolean gadgets of
 /// Figure 4.1, integer-coded dates/prices, and string-valued names).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AttrType {
     /// Boolean domain `{0, 1}`, used by all reduction gadgets.
     Bool,
@@ -37,7 +36,7 @@ impl fmt::Display for AttrType {
 /// so relations can be kept in canonical sorted order. Strings are
 /// reference-counted: tuples are cloned freely during join evaluation and
 /// package enumeration.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// A Boolean; the gadget relations of Figure 4.1 are built from these.
     Bool(bool),

@@ -1,0 +1,482 @@
+//! Resource budgets and anytime outcomes for the solver stack.
+//!
+//! Every search loop in this workspace — DPLL branching, QBF
+//! quantifier expansion, model counting, Datalog fixpoints, FO
+//! active-domain enumeration, package-space DFS — is exponential in
+//! the worst case (the paper proves most of these problems
+//! NP-/Σ₂ᵖ-/PSPACE-hard). A [`Budget`] bounds such a loop by three
+//! independent resources:
+//!
+//! * **steps** — a deterministic count of basic search operations,
+//! * **deadline** — a wall-clock instant after which work must stop,
+//! * **cancellation** — a flag another thread can raise at any time.
+//!
+//! A budget is a cheap `Copy` description; to enforce it, a solver
+//! materializes a [`Meter`] and calls [`Meter::tick`] once per basic
+//! operation. `tick` is amortized: the step counter moves every call,
+//! but the clock and the cancellation flag are only consulted every
+//! [`CHECK_INTERVAL`] steps, so metering adds a few nanoseconds per
+//! node even in hot loops.
+//!
+//! When a resource runs out, `tick` returns an [`Interrupted`] error
+//! naming the exhausted [`Resource`] and the steps spent. Decision
+//! procedures propagate it; optimization procedures instead degrade
+//! gracefully by returning an [`Outcome`] whose `exact` flag records
+//! whether the search finished or was cut off with a best-so-far
+//! value (the *anytime* contract).
+//!
+//! ```
+//! use pkgrec_guard::{Budget, Resource};
+//!
+//! let meter = Budget::with_steps(10).meter();
+//! for _ in 0..10 {
+//!     meter.tick().unwrap();
+//! }
+//! let err = meter.tick().unwrap_err();
+//! assert_eq!(err.resource, Resource::Steps { limit: 10 });
+//! assert_eq!(err.steps, 11); // the interrupting tick is counted too
+//! ```
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many steps pass between wall-clock / cancellation checks.
+///
+/// Step-limit accounting is exact; only the *expensive* checks are
+/// amortized, so a deadline or a cancellation is noticed at most this
+/// many steps late.
+pub const CHECK_INTERVAL: u64 = 1024;
+
+/// A cancellation flag shared between the caller and a running solver.
+///
+/// Cloning is cheap (an `Arc` bump); raising the flag from any clone
+/// interrupts every meter built from a budget carrying it.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-raised flag.
+    pub fn new() -> Self {
+        CancelFlag::default()
+    }
+
+    /// Request cancellation; running solvers notice within
+    /// [`CHECK_INTERVAL`] steps.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A declarative bound on how much work a solver call may do.
+///
+/// The default budget is unbounded — every limit is optional and they
+/// compose: the first resource to run out interrupts the search.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// Maximum number of basic search steps (`None` = unlimited).
+    pub steps: Option<u64>,
+    /// Wall-clock instant after which the search must stop.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag checked during the search.
+    pub cancel: Option<CancelFlag>,
+}
+
+impl Budget {
+    /// The unbounded budget: never interrupts. `const` so option
+    /// structs embedding a budget stay const-constructible.
+    pub const fn unlimited() -> Budget {
+        Budget {
+            steps: None,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// A budget bounded only by a step count.
+    pub fn with_steps(steps: u64) -> Budget {
+        Budget {
+            steps: Some(steps),
+            ..Budget::default()
+        }
+    }
+
+    /// A budget bounded only by a wall-clock duration from now.
+    pub fn with_timeout(timeout: Duration) -> Budget {
+        Budget {
+            deadline: Some(Instant::now() + timeout),
+            ..Budget::default()
+        }
+    }
+
+    /// Add / replace the step bound.
+    pub fn steps(mut self, steps: u64) -> Budget {
+        self.steps = Some(steps);
+        self
+    }
+
+    /// Add / replace the deadline, expressed as a duration from now.
+    pub fn timeout(mut self, timeout: Duration) -> Budget {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Add / replace the deadline as an absolute instant.
+    pub fn deadline(mut self, deadline: Instant) -> Budget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a cancellation flag.
+    pub fn cancellable(mut self, flag: &CancelFlag) -> Budget {
+        self.cancel = Some(flag.clone());
+        self
+    }
+
+    /// Whether this budget can never interrupt.
+    pub fn is_unlimited(&self) -> bool {
+        self.steps.is_none() && self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Materialize a meter that enforces this budget.
+    pub fn meter(&self) -> Meter {
+        Meter {
+            budget: self.clone(),
+            spent: Cell::new(0),
+            next_check: Cell::new(CHECK_INTERVAL),
+        }
+    }
+}
+
+impl From<u64> for Budget {
+    /// Back-compat with the old bare `node_limit`: a plain number is a
+    /// step bound.
+    fn from(steps: u64) -> Budget {
+        Budget::with_steps(steps)
+    }
+}
+
+/// The resource that ran out when a search was interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The step budget was spent.
+    Steps {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The cancellation flag was raised.
+    Cancelled,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Steps { limit } => write!(f, "step limit {limit}"),
+            Resource::Deadline => write!(f, "deadline"),
+            Resource::Cancelled => write!(f, "cancellation"),
+        }
+    }
+}
+
+/// A search was cut off before finishing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted {
+    /// Which resource ran out.
+    pub resource: Resource,
+    /// Steps spent when the interruption was noticed.
+    pub steps: u64,
+}
+
+impl fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "search interrupted by {} after {} steps",
+            self.resource, self.steps
+        )
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// Enforces a [`Budget`] inside a solver call.
+///
+/// Interior mutability (`Cell`) lets hot loops tick through a shared
+/// reference, so evaluation contexts stay `Copy`-friendly and a single
+/// meter can be threaded through recursion without `&mut` plumbing.
+#[derive(Debug)]
+pub struct Meter {
+    budget: Budget,
+    spent: Cell<u64>,
+    next_check: Cell<u64>,
+}
+
+impl Meter {
+    /// An unbounded meter (still counts steps for statistics).
+    pub fn unlimited() -> Meter {
+        Budget::unlimited().meter()
+    }
+
+    /// Steps spent so far.
+    pub fn spent(&self) -> u64 {
+        self.spent.get()
+    }
+
+    /// Count one basic operation, interrupting if a resource ran out.
+    ///
+    /// The step bound is enforced exactly; deadline and cancellation
+    /// are polled every [`CHECK_INTERVAL`] steps.
+    #[inline]
+    pub fn tick(&self) -> Result<(), Interrupted> {
+        let spent = self.spent.get() + 1;
+        self.spent.set(spent);
+        if let Some(limit) = self.budget.steps {
+            if spent > limit {
+                return Err(self.interrupted(Resource::Steps { limit }));
+            }
+        }
+        if spent >= self.next_check.get() {
+            self.next_check.set(spent + CHECK_INTERVAL);
+            self.check_slow()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Count `n` basic operations at once (bulk attribution for loops
+    /// whose body is itself cheap, e.g. scanning a relation).
+    #[inline]
+    pub fn tick_n(&self, n: u64) -> Result<(), Interrupted> {
+        let spent = self.spent.get() + n;
+        self.spent.set(spent);
+        if let Some(limit) = self.budget.steps {
+            if spent > limit {
+                return Err(self.interrupted(Resource::Steps { limit }));
+            }
+        }
+        if spent >= self.next_check.get() {
+            self.next_check.set(spent + CHECK_INTERVAL);
+            self.check_slow()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Poll deadline and cancellation immediately, bypassing the
+    /// amortization window. Useful at phase boundaries.
+    pub fn check_now(&self) -> Result<(), Interrupted> {
+        if let Some(limit) = self.budget.steps {
+            if self.spent.get() > limit {
+                return Err(self.interrupted(Resource::Steps { limit }));
+            }
+        }
+        self.check_slow()
+    }
+
+    #[cold]
+    fn check_slow(&self) -> Result<(), Interrupted> {
+        if let Some(flag) = &self.budget.cancel {
+            if flag.is_cancelled() {
+                return Err(self.interrupted(Resource::Cancelled));
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.interrupted(Resource::Deadline));
+            }
+        }
+        Ok(())
+    }
+
+    fn interrupted(&self, resource: Resource) -> Interrupted {
+        Interrupted {
+            resource,
+            steps: self.spent.get(),
+        }
+    }
+}
+
+/// The result of an anytime computation: a value plus whether the
+/// search ran to completion.
+///
+/// When `exact` is `false`, `value` is the best answer found before
+/// the budget ran out and `interrupted` records why the search
+/// stopped; the true optimum may be better.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome<T, S> {
+    /// The (possibly partial) answer.
+    pub value: T,
+    /// Whether the search finished; `false` means best-so-far.
+    pub exact: bool,
+    /// Why the search stopped early, when it did.
+    pub interrupted: Option<Interrupted>,
+    /// Search statistics (layer-specific).
+    pub stats: S,
+}
+
+impl<T, S> Outcome<T, S> {
+    /// An exact, completed outcome.
+    pub fn exact(value: T, stats: S) -> Self {
+        Outcome {
+            value,
+            exact: true,
+            interrupted: None,
+            stats,
+        }
+    }
+
+    /// A partial (anytime) outcome cut off by `interrupted`.
+    pub fn partial(value: T, interrupted: Interrupted, stats: S) -> Self {
+        Outcome {
+            value,
+            exact: false,
+            interrupted: Some(interrupted),
+            stats,
+        }
+    }
+
+    /// Map the value, preserving exactness and stats.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U, S> {
+        Outcome {
+            value: f(self.value),
+            exact: self.exact,
+            interrupted: self.interrupted,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_interrupts() {
+        let m = Meter::unlimited();
+        for _ in 0..10_000 {
+            m.tick().unwrap();
+        }
+        assert_eq!(m.spent(), 10_000);
+    }
+
+    #[test]
+    fn step_limit_is_exact() {
+        let m = Budget::with_steps(5).meter();
+        for _ in 0..5 {
+            m.tick().unwrap();
+        }
+        let err = m.tick().unwrap_err();
+        assert_eq!(err.resource, Resource::Steps { limit: 5 });
+        assert_eq!(err.steps, 6);
+        // Further ticks keep failing.
+        assert!(m.tick().is_err());
+    }
+
+    #[test]
+    fn tick_n_bulk_counts() {
+        let m = Budget::with_steps(100).meter();
+        m.tick_n(60).unwrap();
+        m.tick_n(40).unwrap();
+        assert!(m.tick_n(1).is_err());
+    }
+
+    #[test]
+    fn deadline_interrupts_within_interval() {
+        let m = Budget::with_timeout(Duration::from_millis(0)).meter();
+        let mut result = Ok(());
+        for _ in 0..=CHECK_INTERVAL {
+            result = m.tick();
+            if result.is_err() {
+                break;
+            }
+        }
+        let err = result.unwrap_err();
+        assert_eq!(err.resource, Resource::Deadline);
+    }
+
+    #[test]
+    fn expired_deadline_caught_by_check_now() {
+        let m = Budget::with_timeout(Duration::from_millis(0)).meter();
+        assert_eq!(m.check_now().unwrap_err().resource, Resource::Deadline);
+    }
+
+    #[test]
+    fn cancellation_noticed() {
+        let flag = CancelFlag::new();
+        let m = Budget::unlimited().cancellable(&flag).meter();
+        m.tick().unwrap();
+        flag.cancel();
+        let mut result = Ok(());
+        for _ in 0..=CHECK_INTERVAL {
+            result = m.tick();
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result.unwrap_err().resource, Resource::Cancelled);
+        // The flag is shared: clones observe the raise too.
+        assert!(flag.clone().is_cancelled());
+    }
+
+    #[test]
+    fn from_u64_is_step_bound() {
+        let b: Budget = 42u64.into();
+        assert_eq!(b.steps, Some(42));
+        assert!(b.deadline.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let flag = CancelFlag::new();
+        let b = Budget::unlimited()
+            .steps(7)
+            .timeout(Duration::from_secs(3600))
+            .cancellable(&flag);
+        assert!(!b.is_unlimited());
+        let m = b.meter();
+        for _ in 0..7 {
+            m.tick().unwrap();
+        }
+        assert_eq!(
+            m.tick().unwrap_err().resource,
+            Resource::Steps { limit: 7 }
+        );
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        let o = Outcome::exact(3, ());
+        assert!(o.exact && o.interrupted.is_none());
+        let cut = Interrupted {
+            resource: Resource::Deadline,
+            steps: 9,
+        };
+        let p = Outcome::partial(vec![1], cut, ()).map(|v| v.len());
+        assert!(!p.exact);
+        assert_eq!(p.value, 1);
+        assert_eq!(p.interrupted, Some(cut));
+    }
+
+    #[test]
+    fn display_formats() {
+        let cut = Interrupted {
+            resource: Resource::Steps { limit: 10 },
+            steps: 11,
+        };
+        assert_eq!(
+            cut.to_string(),
+            "search interrupted by step limit 10 after 11 steps"
+        );
+        assert_eq!(Resource::Deadline.to_string(), "deadline");
+        assert_eq!(Resource::Cancelled.to_string(), "cancellation");
+    }
+}

@@ -1,9 +1,8 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A literal: a variable index with a polarity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Lit {
     /// Variable index (0-based).
     pub var: usize,
@@ -58,7 +57,7 @@ impl fmt::Display for Lit {
 }
 
 /// A clause: a disjunction of literals.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Clause(pub Vec<Lit>);
 
 impl Clause {
@@ -124,7 +123,7 @@ impl fmt::Display for Clause {
 }
 
 /// A CNF formula `C1 ∧ ... ∧ Cr` over `num_vars` variables.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CnfFormula {
     /// Number of variables (indices `0..num_vars`).
     pub num_vars: usize,

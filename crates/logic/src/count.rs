@@ -1,26 +1,39 @@
 //! Exact model counting and the quantified counting problems of
 //! Theorem 5.3.
 
+use pkgrec_guard::{Interrupted, Meter};
+
 use crate::cnf::CnfFormula;
 use crate::dnf::DnfFormula;
-use crate::dpll::is_satisfiable;
+use crate::dpll::is_satisfiable_budgeted;
 use crate::{assignments, Lit};
 
 /// Exact number of satisfying assignments of a CNF formula (#SAT),
 /// counting over all `num_vars` variables.
 pub fn count_models(f: &CnfFormula) -> u128 {
-    let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars];
-    count_rec(f, &mut assignment, f.num_vars)
+    count_models_budgeted(f, &Meter::unlimited()).expect("unlimited budget")
 }
 
-fn count_rec(f: &CnfFormula, assignment: &mut Vec<Option<bool>>, unassigned: usize) -> u128 {
+/// Budgeted #SAT: interrupts when the meter's budget runs out.
+pub fn count_models_budgeted(f: &CnfFormula, meter: &Meter) -> Result<u128, Interrupted> {
+    let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars];
+    count_rec(f, &mut assignment, f.num_vars, meter)
+}
+
+fn count_rec(
+    f: &CnfFormula,
+    assignment: &mut Vec<Option<bool>>,
+    unassigned: usize,
+    meter: &Meter,
+) -> Result<u128, Interrupted> {
+    meter.tick()?;
     // Classify clauses under the partial assignment.
     let mut branch: Option<Lit> = None;
     let mut all_satisfied = true;
     for c in &f.clauses {
         match c.eval_partial(assignment) {
             Some(true) => {}
-            Some(false) => return 0,
+            Some(false) => return Ok(0),
             None => {
                 all_satisfied = false;
                 if branch.is_none() {
@@ -30,16 +43,22 @@ fn count_rec(f: &CnfFormula, assignment: &mut Vec<Option<bool>>, unassigned: usi
         }
     }
     if all_satisfied {
-        return 1u128 << unassigned;
+        return Ok(1u128 << unassigned);
     }
     let lit = branch.expect("unresolved clause has an unassigned literal");
     let mut total = 0;
     for value in [true, false] {
         assignment[lit.var] = Some(value);
-        total += count_rec(f, assignment, unassigned - 1);
+        match count_rec(f, assignment, unassigned - 1, meter) {
+            Ok(n) => total += n,
+            Err(cut) => {
+                assignment[lit.var] = None;
+                return Err(cut);
+            }
+        }
     }
     assignment[lit.var] = None;
-    total
+    Ok(total)
 }
 
 /// #Σ₁SAT: given `φ(X, Y) = ∃X (C1 ∧ ... ∧ Cr)` with the matrix a CNF
@@ -48,17 +67,31 @@ fn count_rec(f: &CnfFormula, assignment: &mut Vec<Option<bool>>, unassigned: usi
 /// CPP(CQ) lower bound without compatibility constraints
 /// (Theorem 5.3, citing [Durand–Hermann–Kolaitis]).
 pub fn count_sigma1(matrix: &CnfFormula, x_vars: usize) -> u128 {
+    count_sigma1_budgeted(matrix, x_vars, &Meter::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted #Σ₁SAT: interrupts when the meter's budget runs out.
+pub fn count_sigma1_budgeted(
+    matrix: &CnfFormula,
+    x_vars: usize,
+    meter: &Meter,
+) -> Result<u128, Interrupted> {
     // Variables are ordered X then Y; to fix a Y assignment we need Y
     // first, so swap the roles: re-index to put Y in the prefix.
     let y_vars = matrix.num_vars - x_vars;
     let swapped = swap_blocks(matrix, x_vars);
-    assignments(y_vars)
-        .filter(|y| {
-            swapped
-                .restrict_prefix(y)
-                .is_some_and(|rest| is_satisfiable(&rest))
-        })
-        .count() as u128
+    let mut count = 0u128;
+    for y in assignments(y_vars) {
+        meter.tick()?;
+        let holds = match swapped.restrict_prefix(&y) {
+            None => false,
+            Some(rest) => is_satisfiable_budgeted(&rest, meter)?,
+        };
+        if holds {
+            count += 1;
+        }
+    }
+    Ok(count)
 }
 
 /// #Π₁SAT: given `φ(X, Y) = ∀X (C1 ∨ ... ∨ Cr)` with the matrix a DNF
@@ -66,21 +99,34 @@ pub fn count_sigma1(matrix: &CnfFormula, x_vars: usize) -> u128 {
 /// true. Source problem of the CPP(CQ) lower bound *with* compatibility
 /// constraints (Theorem 5.3).
 pub fn count_pi1(matrix: &DnfFormula, x_vars: usize) -> u128 {
+    count_pi1_budgeted(matrix, x_vars, &Meter::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted #Π₁SAT: interrupts when the meter's budget runs out.
+pub fn count_pi1_budgeted(
+    matrix: &DnfFormula,
+    x_vars: usize,
+    meter: &Meter,
+) -> Result<u128, Interrupted> {
     // ∀X ψ ⟺ ¬∃X ¬ψ; ¬ψ is a CNF.
     let neg = matrix.negate_to_cnf();
     let y_vars = matrix.num_vars - x_vars;
     let swapped = swap_blocks(&neg, x_vars);
-    assignments(y_vars)
-        .filter(|y| {
-            // φ(y) is true iff ¬ψ[Y := y] is unsatisfiable over X. A
-            // `None` restriction means a clause of ¬ψ is already false
-            // under y alone, so ¬ψ is unsatisfiable — φ(y) holds.
-            match swapped.restrict_prefix(y) {
-                None => true,
-                Some(rest) => !is_satisfiable(&rest),
-            }
-        })
-        .count() as u128
+    let mut count = 0u128;
+    for y in assignments(y_vars) {
+        meter.tick()?;
+        // φ(y) is true iff ¬ψ[Y := y] is unsatisfiable over X. A
+        // `None` restriction means a clause of ¬ψ is already false
+        // under y alone, so ¬ψ is unsatisfiable — φ(y) holds.
+        let holds = match swapped.restrict_prefix(&y) {
+            None => true,
+            Some(rest) => !is_satisfiable_budgeted(&rest, meter)?,
+        };
+        if holds {
+            count += 1;
+        }
+    }
+    Ok(count)
 }
 
 /// Reorder variables so the block `[x_vars..]` (Y) comes first.
@@ -197,6 +243,25 @@ mod tests {
             })
             .count() as u128;
         assert_eq!(count_sigma1(&f, 2), brute);
+    }
+
+    #[test]
+    fn budget_interrupts_counting() {
+        // 20 unconstrained-ish vars force an exponential count tree.
+        let f = CnfFormula::new(
+            20,
+            (0..19)
+                .map(|v| Clause::new(vec![Lit::pos(v), Lit::pos(v + 1)]))
+                .collect::<Vec<_>>(),
+        );
+        let meter = pkgrec_guard::Budget::with_steps(100).meter();
+        assert!(count_models_budgeted(&f, &meter).is_err());
+        // A generous budget agrees with the unbounded count.
+        let generous = pkgrec_guard::Budget::with_steps(100_000_000).meter();
+        assert_eq!(
+            count_models_budgeted(&f, &generous).unwrap(),
+            count_models(&f)
+        );
     }
 
     #[test]

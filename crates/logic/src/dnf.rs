@@ -1,11 +1,10 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::cnf::{Clause, CnfFormula, Lit};
 
 /// A conjunct of literals (a term of a DNF formula).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Conjunct(pub Vec<Lit>);
 
 impl Conjunct {
@@ -36,7 +35,7 @@ impl fmt::Display for Conjunct {
 /// A DNF formula `C1 ∨ ... ∨ Cr` over `num_vars` variables. The
 /// ∃*∀*3DNF problem of Lemma 4.2 and the maximum-Σp₂ problem of
 /// Theorem 5.1 use 3DNF matrices.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DnfFormula {
     /// Number of variables.
     pub num_vars: usize,

@@ -2,27 +2,48 @@
 //!
 //! Exact and dependency-free; instance sizes in this workspace are small
 //! (reduction checking, workload generation), so clarity beats watched
-//! literals.
+//! literals. Every search node ticks a [`Meter`], so callers can bound
+//! the exponential worst case with a [`pkgrec_guard::Budget`].
+
+use pkgrec_guard::{Interrupted, Meter};
 
 use crate::cnf::{CnfFormula, Lit};
 
 /// Whether the formula is satisfiable.
 pub fn is_satisfiable(f: &CnfFormula) -> bool {
-    find_model(f).is_some()
+    is_satisfiable_budgeted(f, &Meter::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted satisfiability: interrupts when the meter's budget runs out.
+pub fn is_satisfiable_budgeted(f: &CnfFormula, meter: &Meter) -> Result<bool, Interrupted> {
+    Ok(find_model_budgeted(f, meter)?.is_some())
 }
 
 /// A satisfying assignment, if one exists. Unconstrained variables are
 /// set to `false`.
 pub fn find_model(f: &CnfFormula) -> Option<Vec<bool>> {
+    find_model_budgeted(f, &Meter::unlimited()).expect("unlimited budget")
+}
+
+/// Budgeted model search: interrupts when the meter's budget runs out.
+pub fn find_model_budgeted(
+    f: &CnfFormula,
+    meter: &Meter,
+) -> Result<Option<Vec<bool>>, Interrupted> {
     let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars];
-    if dpll(f, &mut assignment) {
+    Ok(if dpll(f, &mut assignment, meter)? {
         Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
     } else {
         None
-    }
+    })
 }
 
-fn dpll(f: &CnfFormula, assignment: &mut Vec<Option<bool>>) -> bool {
+fn dpll(
+    f: &CnfFormula,
+    assignment: &mut Vec<Option<bool>>,
+    meter: &Meter,
+) -> Result<bool, Interrupted> {
+    meter.tick()?;
     // Unit propagation to fixpoint; remember what we forced so we can
     // undo on backtrack.
     let mut trail: Vec<usize> = Vec::new();
@@ -35,7 +56,7 @@ fn dpll(f: &CnfFormula, assignment: &mut Vec<Option<bool>>) -> bool {
                     for &v in &trail {
                         assignment[v] = None;
                     }
-                    return false;
+                    return Ok(false);
                 }
                 None => {
                     if let Some(unit) = c.unit_literal(assignment) {
@@ -87,7 +108,7 @@ fn dpll(f: &CnfFormula, assignment: &mut Vec<Option<bool>>) -> bool {
                 for &v in &trail {
                     assignment[v] = None;
                 }
-                return false;
+                return Ok(false);
             }
             None => {
                 all_satisfied = false;
@@ -102,21 +123,28 @@ fn dpll(f: &CnfFormula, assignment: &mut Vec<Option<bool>>) -> bool {
         }
     }
     if all_satisfied {
-        return true;
+        return Ok(true);
     }
 
     let lit = branch.expect("an unresolved clause has an unassigned literal");
+    let mut result = Ok(false);
     for value in [lit.positive, !lit.positive] {
         assignment[lit.var] = Some(value);
-        if dpll(f, assignment) {
-            return true;
+        match dpll(f, assignment, meter) {
+            Ok(true) => return Ok(true),
+            Ok(false) => {}
+            Err(cut) => {
+                result = Err(cut);
+                assignment[lit.var] = None;
+                break;
+            }
         }
         assignment[lit.var] = None;
     }
     for &v in &trail {
         assignment[v] = None;
     }
-    false
+    result
 }
 
 #[cfg(test)]
@@ -124,6 +152,7 @@ mod tests {
     use super::*;
     use crate::assignments;
     use crate::cnf::Clause;
+    use pkgrec_guard::{Budget, Resource};
 
     #[test]
     fn trivial_cases() {
@@ -193,5 +222,46 @@ mod tests {
             let brute = assignments(f.num_vars).any(|a| f.eval(&a));
             assert_eq!(is_satisfiable(&f), brute, "formula {f}");
         }
+    }
+
+    /// A hard pigeonhole instance: n+1 pigeons into n holes.
+    fn pigeonhole(n: usize) -> CnfFormula {
+        let var = |p: usize, h: usize| p * n + h;
+        let mut clauses = Vec::new();
+        for p in 0..=n {
+            clauses.push(Clause::new(
+                (0..n).map(|h| Lit::pos(var(p, h))).collect::<Vec<_>>(),
+            ));
+        }
+        for h in 0..n {
+            for p1 in 0..=n {
+                for p2 in (p1 + 1)..=n {
+                    clauses.push(Clause::new(vec![
+                        Lit::neg(var(p1, h)),
+                        Lit::neg(var(p2, h)),
+                    ]));
+                }
+            }
+        }
+        CnfFormula::new((n + 1) * n, clauses)
+    }
+
+    #[test]
+    fn budget_interrupts_hard_instance() {
+        let f = pigeonhole(8);
+        let meter = Budget::with_steps(50).meter();
+        let err = is_satisfiable_budgeted(&f, &meter).unwrap_err();
+        assert_eq!(err.resource, Resource::Steps { limit: 50 });
+    }
+
+    #[test]
+    fn sufficient_budget_equals_unbounded() {
+        let f = pigeonhole(3);
+        let unbounded = is_satisfiable(&f);
+        let generous = Budget::with_steps(1_000_000).meter();
+        assert_eq!(
+            is_satisfiable_budgeted(&f, &generous).unwrap(),
+            unbounded
+        );
     }
 }

@@ -29,11 +29,19 @@ mod maxsat;
 mod qbf;
 
 pub use cnf::{Clause, CnfFormula, Lit};
-pub use count::{count_models, count_pi1, count_sigma1};
+pub use count::{
+    count_models, count_models_budgeted, count_pi1, count_pi1_budgeted, count_sigma1,
+    count_sigma1_budgeted,
+};
 pub use dnf::{Conjunct, DnfFormula};
-pub use dpll::{find_model, is_satisfiable};
-pub use maxsat::{max_weight_sat, MaxWeightSat};
+pub use dpll::{find_model, find_model_budgeted, is_satisfiable, is_satisfiable_budgeted};
+pub use maxsat::{max_weight_sat, max_weight_sat_budgeted, MaxWeightSat};
 pub use qbf::{MaximumSigma2, Quant, QbfFormula, SatUnsat, Sigma2Dnf};
+
+/// Re-export of the budget/anytime vocabulary shared by every solver
+/// layer, so `logic` callers need not depend on `pkgrec-guard` directly.
+pub use pkgrec_guard as guard;
+pub use pkgrec_guard::{Budget, CancelFlag, Interrupted, Meter, Outcome, Resource};
 
 /// Iterate all truth assignments of `n` variables in ascending
 /// lexicographic order of the tuple `(x1, ..., xn)` (variable 0 is the

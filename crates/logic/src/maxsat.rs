@@ -2,6 +2,8 @@
 //! complexity lower bound (Theorem 5.1) and the item-FRP lower bound
 //! (Theorem 6.4).
 
+use pkgrec_guard::{Interrupted, Meter, Outcome};
+
 use crate::cnf::CnfFormula;
 
 /// A MAX-WEIGHT SAT instance: clauses with integer weights. The goal is
@@ -46,11 +48,38 @@ impl MaxWeightSat {
 /// is returned (the search branches `true` first, i.e. in descending
 /// lexicographic order, and keeps the first optimum it completes).
 pub fn max_weight_sat(instance: &MaxWeightSat) -> (u64, Vec<bool>) {
+    let outcome =
+        max_weight_sat_budgeted(instance, &Meter::unlimited()).expect("unlimited budget");
+    debug_assert!(outcome.exact);
+    outcome.value
+}
+
+/// Budgeted, *anytime* MaxSAT.
+///
+/// Runs the same branch-and-bound as [`max_weight_sat`] but stops when
+/// the meter's budget runs out. On interruption the best assignment
+/// found so far is returned as a partial [`Outcome`] (`exact: false`);
+/// the search has always completed at least one leaf before yielding,
+/// so `value` is a genuine (if possibly suboptimal) assignment. The
+/// error case only occurs when the budget is exhausted before the very
+/// first leaf is reached.
+pub fn max_weight_sat_budgeted(
+    instance: &MaxWeightSat,
+    meter: &Meter,
+) -> Result<Outcome<(u64, Vec<bool>), ()>, Interrupted> {
     let n = instance.formula.num_vars;
     let mut assignment: Vec<Option<bool>> = vec![None; n];
     let mut best: Option<(u64, Vec<bool>)> = None;
-    branch(instance, &mut assignment, 0, &mut best);
-    best.expect("the search visits at least one leaf")
+    match branch(instance, &mut assignment, 0, &mut best, meter) {
+        Ok(()) => Ok(Outcome::exact(
+            best.expect("the search visits at least one leaf"),
+            (),
+        )),
+        Err(cut) => match best {
+            Some(found) => Ok(Outcome::partial(found, cut, ())),
+            None => Err(cut),
+        },
+    }
 }
 
 fn branch(
@@ -58,7 +87,9 @@ fn branch(
     assignment: &mut Vec<Option<bool>>,
     var: usize,
     best: &mut Option<(u64, Vec<bool>)>,
-) {
+    meter: &Meter,
+) -> Result<(), Interrupted> {
+    meter.tick()?;
     let n = instance.formula.num_vars;
     // Bound: weight of clauses already satisfied plus weight of clauses
     // not yet falsified.
@@ -73,7 +104,7 @@ fn branch(
     }
     if let Some((incumbent, _)) = best {
         if satisfied + open <= *incumbent {
-            return; // cannot strictly beat the incumbent
+            return Ok(()); // cannot strictly beat the incumbent
         }
     }
     if var == n {
@@ -82,13 +113,15 @@ fn branch(
             Some((incumbent, _)) if satisfied <= *incumbent => {}
             _ => *best = Some((satisfied, leaf)),
         }
-        return;
+        return Ok(());
     }
     for value in [true, false] {
         assignment[var] = Some(value);
-        branch(instance, assignment, var + 1, best);
+        let result = branch(instance, assignment, var + 1, best, meter);
         assignment[var] = None;
+        result?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -155,6 +188,49 @@ mod tests {
         let (w, a) = max_weight_sat(&inst);
         assert_eq!(w, 1);
         assert_eq!(a, vec![true, true]);
+    }
+
+    #[test]
+    fn budget_yields_anytime_best() {
+        // Many variables, conflicting units: the full search is big,
+        // but a small budget still returns a genuine assignment.
+        let n = 24;
+        let f = CnfFormula::new(
+            n,
+            (0..n)
+                .flat_map(|v| {
+                    [
+                        Clause::new(vec![Lit::pos(v)]),
+                        Clause::new(vec![Lit::neg(v)]),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let weights: Vec<u64> = (0..2 * n as u64).map(|i| i % 5 + 1).collect();
+        let inst = MaxWeightSat::new(f, weights);
+        let meter = pkgrec_guard::Budget::with_steps(200).meter();
+        let outcome = max_weight_sat_budgeted(&inst, &meter).unwrap();
+        assert!(!outcome.exact);
+        assert!(outcome.interrupted.is_some());
+        // The partial answer is a real assignment with its true weight.
+        let (w, a) = outcome.value;
+        assert_eq!(inst.weight_of(&a), w);
+    }
+
+    #[test]
+    fn generous_budget_is_exact() {
+        let f = CnfFormula::new(
+            3,
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::pos(1)]),
+                Clause::new(vec![Lit::neg(1), Lit::pos(2)]),
+            ],
+        );
+        let inst = MaxWeightSat::new(f, vec![2, 3]);
+        let meter = pkgrec_guard::Budget::with_steps(1_000_000).meter();
+        let outcome = max_weight_sat_budgeted(&inst, &meter).unwrap();
+        assert!(outcome.exact);
+        assert_eq!(outcome.value, max_weight_sat(&inst));
     }
 
     #[test]

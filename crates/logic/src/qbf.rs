@@ -3,15 +3,16 @@
 //! SAT-UNSAT pairs of Theorem 4.5, and full QBF (Q3SAT) used by the
 //! DATALOGnr/FO membership lower bounds.
 
-use serde::{Deserialize, Serialize};
+
+use pkgrec_guard::{Interrupted, Meter};
 
 use crate::cnf::CnfFormula;
 use crate::dnf::DnfFormula;
-use crate::dpll::is_satisfiable;
+use crate::dpll::is_satisfiable_budgeted;
 use crate::{assignment_index, assignments};
 
 /// A quantifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Quant {
     /// Existential.
     Exists,
@@ -22,7 +23,7 @@ pub enum Quant {
 /// `∃X ∀Y ψ(X, Y)` with `ψ` in DNF over `X ∪ Y` — variables `0..x_vars`
 /// are X, the rest are Y. This is the ∃*∀*3DNF problem, Σp₂-complete
 /// (Stockmeyer; Lemma 4.2 of the paper).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sigma2Dnf {
     /// Number of existential (X) variables; they are the variable prefix.
     pub x_vars: usize,
@@ -46,39 +47,73 @@ impl Sigma2Dnf {
     /// Whether a fixed X assignment makes `∀Y ψ(μX, Y)` true: the
     /// negation ¬ψ is a CNF; restrict it by μX and check unsatisfiability.
     pub fn forall_y_holds(&self, mu_x: &[bool]) -> bool {
+        self.forall_y_holds_budgeted(mu_x, &Meter::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted variant of [`Sigma2Dnf::forall_y_holds`].
+    pub fn forall_y_holds_budgeted(
+        &self,
+        mu_x: &[bool],
+        meter: &Meter,
+    ) -> Result<bool, Interrupted> {
         debug_assert_eq!(mu_x.len(), self.x_vars);
         match self.matrix.negate_to_cnf().restrict_prefix(mu_x) {
             // A clause of ¬ψ already false under μX alone: ¬ψ is
             // unsatisfiable, so ∀Y ψ holds.
-            None => true,
-            Some(rest) => !is_satisfiable(&rest),
+            None => Ok(true),
+            Some(rest) => Ok(!is_satisfiable_budgeted(&rest, meter)?),
         }
     }
 
     /// Whether the sentence `∃X ∀Y ψ` is true.
     pub fn is_true(&self) -> bool {
-        assignments(self.x_vars).any(|x| self.forall_y_holds(&x))
+        self.is_true_budgeted(&Meter::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted variant of [`Sigma2Dnf::is_true`]: interrupts when the
+    /// meter's budget runs out.
+    pub fn is_true_budgeted(&self, meter: &Meter) -> Result<bool, Interrupted> {
+        for x in assignments(self.x_vars) {
+            meter.tick()?;
+            if self.forall_y_holds_budgeted(&x, meter)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 }
 
 /// The maximum-Σp₂ function problem (Theorem 5.1, citing Krentel):
 /// given `φ(X) = ∀Y ψ(X, Y)`, find the truth assignment of X that makes
 /// `φ` true and comes *last* in the lexicographic order, if any.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MaximumSigma2(pub Sigma2Dnf);
 
 impl MaximumSigma2 {
     /// The lexicographically last satisfying X assignment, or `None`.
     pub fn last_satisfying_x(&self) -> Option<Vec<bool>> {
+        self.last_satisfying_x_budgeted(&Meter::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted variant of [`MaximumSigma2::last_satisfying_x`].
+    pub fn last_satisfying_x_budgeted(
+        &self,
+        meter: &Meter,
+    ) -> Result<Option<Vec<bool>>, Interrupted> {
         // Descending lexicographic order over X.
         let n = self.0.x_vars;
         assert!(n < 63, "X space too large to enumerate");
-        (0..(1u64 << n)).rev().map(|i| {
-            (0..n)
-                .map(|bit| (i >> (n - 1 - bit)) & 1 == 1)
-                .collect::<Vec<bool>>()
-        })
-        .find(|x| self.0.forall_y_holds(x))
+        for i in (0..(1u64 << n)).rev() {
+            meter.tick()?;
+            let x: Vec<bool> = (0..n).map(|bit| (i >> (n - 1 - bit)) & 1 == 1).collect();
+            if self.0.forall_y_holds_budgeted(&x, meter)? {
+                return Ok(Some(x));
+            }
+        }
+        Ok(None)
     }
 
     /// The lexicographic rank of the answer, if any (handy for encoding
@@ -90,7 +125,7 @@ impl MaximumSigma2 {
 
 /// A SAT-UNSAT instance `(φ1, φ2)`: a yes-instance iff `φ1` is
 /// satisfiable and `φ2` is not (DP-complete; Theorem 4.5).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SatUnsat {
     /// The formula required to be satisfiable.
     pub phi1: CnfFormula,
@@ -106,14 +141,21 @@ impl SatUnsat {
 
     /// Whether this is a yes-instance.
     pub fn is_yes(&self) -> bool {
-        is_satisfiable(&self.phi1) && !is_satisfiable(&self.phi2)
+        self.is_yes_budgeted(&Meter::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted variant of [`SatUnsat::is_yes`].
+    pub fn is_yes_budgeted(&self, meter: &Meter) -> Result<bool, Interrupted> {
+        Ok(is_satisfiable_budgeted(&self.phi1, meter)?
+            && !is_satisfiable_budgeted(&self.phi2, meter)?)
     }
 }
 
 /// A fully quantified Boolean formula `Q1 x1 ... Qn xn . matrix` with a
 /// CNF matrix (Q3SAT when the matrix is 3CNF) — PSPACE-complete, the
 /// source of the paper's DATALOGnr/FO membership lower bounds.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QbfFormula {
     /// One quantifier per variable, in variable order.
     pub quants: Vec<Quant>,
@@ -132,8 +174,15 @@ impl QbfFormula {
 
     /// Evaluate the sentence.
     pub fn is_true(&self) -> bool {
+        self.is_true_budgeted(&Meter::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// Budgeted variant of [`QbfFormula::is_true`]: interrupts when the
+    /// meter's budget runs out.
+    pub fn is_true_budgeted(&self, meter: &Meter) -> Result<bool, Interrupted> {
         let mut assignment: Vec<Option<bool>> = vec![None; self.matrix.num_vars];
-        self.eval_from(0, &mut assignment)
+        self.eval_from(0, &mut assignment, meter)
     }
 
     /// Treat the first `x_vars` variables as *free* and count the truth
@@ -141,20 +190,38 @@ impl QbfFormula {
     /// sentence is true — the #QBF problem behind the #·PSPACE lower
     /// bound of CPP(DATALOGnr)/CPP(FO) (Theorem 5.3, citing Ladner).
     pub fn count_free_prefix(&self, x_vars: usize) -> u128 {
-        assert!(x_vars <= self.matrix.num_vars, "free block exceeds vars");
-        crate::assignments(x_vars)
-            .filter(|x| {
-                let mut assignment: Vec<Option<bool>> =
-                    vec![None; self.matrix.num_vars];
-                for (i, &b) in x.iter().enumerate() {
-                    assignment[i] = Some(b);
-                }
-                self.eval_from(x_vars, &mut assignment)
-            })
-            .count() as u128
+        self.count_free_prefix_budgeted(x_vars, &Meter::unlimited())
+            .expect("unlimited budget")
     }
 
-    fn eval_from(&self, var: usize, assignment: &mut Vec<Option<bool>>) -> bool {
+    /// Budgeted variant of [`QbfFormula::count_free_prefix`].
+    pub fn count_free_prefix_budgeted(
+        &self,
+        x_vars: usize,
+        meter: &Meter,
+    ) -> Result<u128, Interrupted> {
+        assert!(x_vars <= self.matrix.num_vars, "free block exceeds vars");
+        let mut count = 0u128;
+        for x in crate::assignments(x_vars) {
+            meter.tick()?;
+            let mut assignment: Vec<Option<bool>> = vec![None; self.matrix.num_vars];
+            for (i, &b) in x.iter().enumerate() {
+                assignment[i] = Some(b);
+            }
+            if self.eval_from(x_vars, &mut assignment, meter)? {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    fn eval_from(
+        &self,
+        var: usize,
+        assignment: &mut Vec<Option<bool>>,
+        meter: &Meter,
+    ) -> Result<bool, Interrupted> {
+        meter.tick()?;
         // Early termination: if the matrix is already decided, stop.
         let mut decided = Some(true);
         for c in &self.matrix.clauses {
@@ -171,19 +238,20 @@ impl QbfFormula {
             }
         }
         if let Some(v) = decided {
-            return v;
+            return Ok(v);
         }
         debug_assert!(var < self.quants.len(), "undecided matrix has free vars");
-        let results = [true, false].map(|value| {
+        let mut results = [false; 2];
+        for (slot, value) in [true, false].into_iter().enumerate() {
             assignment[var] = Some(value);
-            let r = self.eval_from(var + 1, assignment);
+            let r = self.eval_from(var + 1, assignment, meter);
             assignment[var] = None;
-            r
-        });
-        match self.quants[var] {
+            results[slot] = r?;
+        }
+        Ok(match self.quants[var] {
             Quant::Exists => results[0] || results[1],
             Quant::Forall => results[0] && results[1],
-        }
+        })
     }
 }
 
@@ -306,6 +374,26 @@ mod tests {
         );
         let g = QbfFormula::new(vec![Quant::Exists, Quant::Forall], matrix_rev);
         assert!(!g.is_true());
+    }
+
+    #[test]
+    fn qbf_budget_interrupts() {
+        // An alternating 16-var QBF whose evaluation tree is large.
+        let n = 16;
+        let matrix = CnfFormula::new(
+            n,
+            (0..n - 1)
+                .map(|v| Clause::new(vec![Lit::pos(v), Lit::neg(v + 1)]))
+                .collect::<Vec<_>>(),
+        );
+        let quants: Vec<Quant> = (0..n)
+            .map(|v| if v % 2 == 0 { Quant::Forall } else { Quant::Exists })
+            .collect();
+        let f = QbfFormula::new(quants, matrix);
+        let meter = pkgrec_guard::Budget::with_steps(50).meter();
+        assert!(f.is_true_budgeted(&meter).is_err());
+        let generous = pkgrec_guard::Budget::with_steps(100_000_000).meter();
+        assert_eq!(f.is_true_budgeted(&generous).unwrap(), f.is_true());
     }
 
     #[test]

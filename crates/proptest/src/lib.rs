@@ -1,0 +1,767 @@
+//! A self-contained subset of the `proptest` API, vendored so the
+//! workspace builds and tests without network access.
+//!
+//! It keeps proptest's *generation* model — composable [`Strategy`]
+//! values driven by a deterministic RNG, a [`proptest!`] macro that
+//! runs each property over many generated cases, and the
+//! `prop_assert*` macros that report failures with a case number — but
+//! drops shrinking: a failing case panics with its seed and message
+//! instead of minimizing. Every combinator the workspace's property
+//! tests use is implemented (`prop_map`, `prop_flat_map`,
+//! `prop_filter_map`, `boxed`, tuples, ranges, `any`, `Just`,
+//! `prop_oneof!`, `prop::collection::{vec, btree_set}`, and regex-like
+//! string strategies over a small pattern subset).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+// ---------------------------------------------------------------- RNG
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    pub fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+// ----------------------------------------------------------- Strategy
+
+/// A composable value generator (shrinking-free subset of
+/// `proptest::strategy::Strategy`).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy (`Strategy::boxed`).
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, g: &mut Gen) -> V {
+        self.0.generate(g)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, g: &mut Gen) -> O {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, g: &mut Gen) -> S2::Value {
+        (self.f)(self.inner.generate(g)).generate(g)
+    }
+}
+
+/// How many times rejection-based combinators retry before giving up.
+const MAX_REJECTS: usize = 10_000;
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, g: &mut Gen) -> S::Value {
+        for _ in 0..MAX_REJECTS {
+            let v = self.inner.generate(g);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter retry limit exhausted: {}", self.whence);
+    }
+}
+
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, g: &mut Gen) -> O {
+        for _ in 0..MAX_REJECTS {
+            if let Some(o) = (self.f)(self.inner.generate(g)) {
+                return o;
+            }
+        }
+        panic!("prop_filter_map retry limit exhausted: {}", self.whence);
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, g: &mut Gen) -> V {
+        let i = g.below(self.0.len());
+        self.0[i].generate(g)
+    }
+}
+
+// Integer range strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (g.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (g.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Tuple strategies.
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                ($(self.$idx.generate(g),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0/0);
+impl_tuple_strategy!(S0/0, S1/1);
+impl_tuple_strategy!(S0/0, S1/1, S2/2);
+impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3);
+impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4);
+impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5);
+
+/// A `Vec` of strategies generates element-wise (used by
+/// `prop_flat_map` pipelines that build per-column generators).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(g)).collect()
+    }
+}
+
+// ------------------------------------------------------ any / Arbitrary
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(g: &mut Gen) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(g: &mut Gen) -> bool {
+        g.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(g: &mut Gen) -> $t {
+                // Mix extremes in so edge cases show up often.
+                match g.below(8) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => 1 as $t,
+                    _ => g.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        T::arbitrary(g)
+    }
+}
+
+// ------------------------------------------------------ string patterns
+
+/// String literals act as regex-subset strategies: literal characters,
+/// `[...]` classes with ranges, and the quantifiers `?`, `*`, `+`,
+/// `{n}`, `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, g: &mut Gen) -> String {
+        generate_from_pattern(self, g)
+    }
+}
+
+#[derive(Debug)]
+enum PatElem {
+    Lit(char),
+    Class(Vec<(char, char)>),
+}
+
+fn parse_pattern(pat: &str) -> Vec<(PatElem, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut elems = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let elem = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pat:?}");
+                i += 1; // consume ']'
+                PatElem::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                PatElem::Lit(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                PatElem::Lit(c)
+            }
+        };
+        // Optional quantifier.
+        let (lo, hi) = if i < chars.len() {
+            match chars[i] {
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated quantifier")
+                        + i;
+                    let inner: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match inner.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad quantifier"),
+                            n.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n: usize = inner.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        elems.push((elem, lo, hi));
+    }
+    elems
+}
+
+fn generate_from_pattern(pat: &str, g: &mut Gen) -> String {
+    let mut out = String::new();
+    for (elem, lo, hi) in parse_pattern(pat) {
+        let reps = lo + g.below(hi - lo + 1);
+        for _ in 0..reps {
+            match &elem {
+                PatElem::Lit(c) => out.push(*c),
+                PatElem::Class(ranges) => {
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|&(a, b)| (b as u32).saturating_sub(a as u32) + 1)
+                        .sum();
+                    let mut pick = g.below(total as usize) as u32;
+                    for &(a, b) in ranges {
+                        let span = (b as u32) - (a as u32) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(a as u32 + pick).expect("valid char"));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------- collections
+
+pub mod collection {
+    use super::{BTreeSet, Gen, Strategy, MAX_REJECTS};
+
+    /// Sizes accepted by `vec`/`btree_set`: exact or a range.
+    pub trait IntoSize {
+        fn pick(&self, g: &mut Gen) -> usize;
+    }
+
+    impl IntoSize for usize {
+        fn pick(&self, _: &mut Gen) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSize for std::ops::Range<usize> {
+        fn pick(&self, g: &mut Gen) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + g.below(self.end - self.start)
+        }
+    }
+
+    impl IntoSize for std::ops::RangeInclusive<usize> {
+        fn pick(&self, g: &mut Gen) -> usize {
+            *self.start() + g.below(*self.end() - *self.start() + 1)
+        }
+    }
+
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    pub fn vec<S: Strategy, Z: IntoSize>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: IntoSize> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+            let n = self.size.pick(g);
+            (0..n).map(|_| self.element.generate(g)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    pub fn btree_set<S, Z>(element: S, size: Z) -> BTreeSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        Z: IntoSize,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        Z: IntoSize,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, g: &mut Gen) -> BTreeSet<S::Value> {
+            let n = self.size.pick(g);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < MAX_REJECTS {
+                out.insert(self.element.generate(g));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+// -------------------------------------------------------- test runner
+
+/// Configuration for [`proptest!`] blocks.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed (or rejected) test case, carrying its message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl fmt::Display) -> TestCaseError {
+        TestCaseError(msg.to_string())
+    }
+
+    pub fn reject(msg: impl fmt::Display) -> TestCaseError {
+        TestCaseError(format!("rejected: {msg}"))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+#[doc(hidden)]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive one property over `cfg.cases` deterministic cases, panicking
+/// with the case index on the first failure. Called by [`proptest!`].
+#[doc(hidden)]
+pub fn run_cases(
+    name: &str,
+    cfg: ProptestConfig,
+    mut body: impl FnMut(&mut Gen) -> Result<(), TestCaseError>,
+) {
+    for case in 0..cfg.cases {
+        let seed = fnv1a(name.as_bytes()) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut g = Gen::new(seed);
+        if let Err(e) = body(&mut g) {
+            panic!("property `{name}` failed at case {case} (seed {seed:#x}): {e}");
+        }
+    }
+}
+
+// ------------------------------------------------------------- macros
+
+/// Run each contained `#[test] fn name(pat in strategy, ...) { ... }`
+/// over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), $cfg, |__proptest_gen| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __proptest_gen);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$attr])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {:?} == {:?}: {}", a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Reject the current case (regenerates under a different seed the
+/// next case; no global retry bookkeeping in this subset).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+// ------------------------------------------------------------- prelude
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+
+    /// Mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_vecs_compose() {
+        let mut g = crate::Gen::new(42);
+        let s = (0usize..5, any::<bool>()).prop_map(|(n, b)| (n * 2, b));
+        for _ in 0..100 {
+            let (n, _) = s.generate(&mut g);
+            assert!(n < 10 && n % 2 == 0);
+        }
+        let v = prop::collection::vec(1i64..4, 2..5).generate(&mut g);
+        assert!((2..5).contains(&v.len()));
+        assert!(v.iter().all(|x| (1..4).contains(x)));
+        let fixed = prop::collection::vec(0i64..2, 3usize).generate(&mut g);
+        assert_eq!(fixed.len(), 3);
+    }
+
+    #[test]
+    fn oneof_and_boxed() {
+        let mut g = crate::Gen::new(7);
+        let s = prop_oneof![Just(1i32), Just(2i32), 5i32..7];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut g));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2) && seen.contains(&5));
+        assert!(seen.iter().all(|&x| x == 1 || x == 2 || x == 5 || x == 6));
+    }
+
+    #[test]
+    fn string_pattern_strategy() {
+        let mut g = crate::Gen::new(9);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_ ]{0,8}[a-z0-9_]?".generate(&mut g);
+            assert!(!s.is_empty() && s.len() <= 10, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+        }
+        let t = "ab?c{2}[x]".generate(&mut g);
+        assert!(t == "accx" || t == "abccx", "{t:?}");
+    }
+
+    #[test]
+    fn btree_set_respects_bounds() {
+        let mut g = crate::Gen::new(11);
+        for _ in 0..50 {
+            let s = prop::collection::btree_set(0i64..100, 0..8).generate(&mut g);
+            assert!(s.len() < 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(xs in prop::collection::vec(0i64..10, 0..6), flag in any::<bool>()) {
+            prop_assert!(xs.len() < 6);
+            if flag {
+                prop_assert_eq!(xs.len(), xs.iter().filter(|x| **x < 10).count());
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config((a, b) in (0i64..5, 0i64..5)) {
+            prop_assert!(a + b <= 8);
+            prop_assert_ne!(a - 1, a);
+        }
+    }
+}

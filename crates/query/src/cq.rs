@@ -1,7 +1,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::term::{Builtin, RelAtom, Term, Var};
 use crate::{QueryError, Result};
@@ -17,7 +16,7 @@ use crate::{QueryError, Result};
 ///
 /// The SP fragment of Corollary 6.2 (selection + projection over a single
 /// relation) is recognized by [`ConjunctiveQuery::is_sp`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConjunctiveQuery {
     /// Head terms (variables or constants); the answer arity is
     /// `head.len()`.
@@ -159,7 +158,7 @@ impl fmt::Display for ConjunctiveQuery {
 }
 
 /// A union of conjunctive queries `Q1 ∪ ... ∪ Qr`, all of one arity.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnionQuery {
     /// The disjuncts.
     pub disjuncts: Vec<ConjunctiveQuery>,

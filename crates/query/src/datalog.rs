@@ -2,7 +2,6 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use crate::term::{Builtin, RelAtom, Var};
 use crate::{QueryError, Result};
@@ -10,7 +9,7 @@ use crate::{QueryError, Result};
 /// A literal in a Datalog rule body: a (positive) relation or IDB atom,
 /// or a built-in predicate. The paper's DATALOG is positive Datalog with
 /// built-ins (Section 2(d),(f)).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BodyLiteral {
     /// An EDB or IDB atom.
     Rel(RelAtom),
@@ -38,7 +37,7 @@ impl fmt::Display for BodyLiteral {
 }
 
 /// A Datalog rule `p(x̄) ← p1(x̄1), ..., pn(x̄n)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
     /// Head atom; its predicate is an IDB predicate.
     pub head: RelAtom,
@@ -105,7 +104,7 @@ impl fmt::Display for Rule {
 /// with head `p` (Section 2(d), following [Chaudhuri & Vardi]).
 /// [`DatalogProgram::is_nonrecursive`] checks acyclicity, i.e. membership
 /// in DATALOGnr.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatalogProgram {
     /// The rules.
     pub rules: Vec<Rule>,

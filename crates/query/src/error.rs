@@ -42,6 +42,13 @@ pub enum QueryError {
         /// Byte offset in the input.
         offset: usize,
     },
+    /// Evaluation exceeded its resource budget (steps, deadline or
+    /// cancellation) and was cut off.
+    Interrupted(pkgrec_guard::Interrupted),
+    /// An internal invariant of the evaluation engine was violated — a
+    /// bug in this crate, reported as an error instead of a panic so
+    /// callers embedding the engine stay up.
+    Internal(String),
     /// An underlying data-layer error.
     Data(DataError),
 }
@@ -76,6 +83,10 @@ impl fmt::Display for QueryError {
             QueryError::Parse { message, offset } => {
                 write!(f, "parse error at byte {offset}: {message}")
             }
+            QueryError::Interrupted(cut) => write!(f, "{cut}"),
+            QueryError::Internal(msg) => {
+                write!(f, "internal evaluation invariant violated: {msg}")
+            }
             QueryError::Data(e) => write!(f, "{e}"),
         }
     }
@@ -93,5 +104,11 @@ impl std::error::Error for QueryError {
 impl From<DataError> for QueryError {
     fn from(e: DataError) -> Self {
         QueryError::Data(e)
+    }
+}
+
+impl From<pkgrec_guard::Interrupted> for QueryError {
+    fn from(cut: pkgrec_guard::Interrupted) -> Self {
+        QueryError::Interrupted(cut)
     }
 }

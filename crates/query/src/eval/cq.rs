@@ -69,6 +69,22 @@ struct IBuiltin {
     right: ITerm,
 }
 
+/// Resolve both sides of a scheduled builtin. Scheduling guarantees
+/// both are determined; a miss is an engine bug, reported as a typed
+/// error rather than a panic.
+fn resolved_pair<'a>(
+    b: &'a IBuiltin,
+    bindings: &'a [Option<Value>],
+) -> Result<(&'a Value, &'a Value)> {
+    match (b.left.value(bindings), b.right.value(bindings)) {
+        (Some(l), Some(r)) => Ok((l, r)),
+        _ => Err(QueryError::Internal(format!(
+            "builtin `{}` scheduled before its operands were bound",
+            b.original
+        ))),
+    }
+}
+
 /// Evaluate a conjunction `head :- atoms, builtins` where `rels[i]` is
 /// the relation instance for `atoms[i]`.
 ///
@@ -221,8 +237,7 @@ pub(crate) fn eval_conjunction_with(
     // comparisons, or comparisons over pre-bound head variables).
     for &bi in &builtin_at[0] {
         let b = &ibuiltins[bi];
-        let l = b.left.value(&bindings).expect("scheduled ⇒ determined");
-        let r = b.right.value(&bindings).expect("scheduled ⇒ determined");
+        let (l, r) = resolved_pair(b, &bindings)?;
         if !ctx.eval_builtin(&b.original, l, r)? {
             return Ok(out);
         }
@@ -282,6 +297,9 @@ pub(crate) fn eval_conjunction_with(
             };
 
             'next_tuple: for t in candidates {
+                // One step per candidate tuple considered: the join's
+                // work is proportional to exactly this count.
+                self.ctx.tick()?;
                 let mut newly_bound: Vec<usize> = Vec::new();
                 for (col, term) in atom.terms.iter().enumerate() {
                     match term {
@@ -313,8 +331,15 @@ pub(crate) fn eval_conjunction_with(
                 let mut ok = true;
                 for &bi in &self.builtin_at[depth + 1] {
                     let b = &self.ibuiltins[bi];
-                    let l = b.left.value(bindings).expect("scheduled ⇒ determined");
-                    let r = b.right.value(bindings).expect("scheduled ⇒ determined");
+                    let (l, r) = match resolved_pair(b, bindings) {
+                        Ok(pair) => pair,
+                        Err(e) => {
+                            for &v in &newly_bound {
+                                bindings[v] = None;
+                            }
+                            return Err(e);
+                        }
+                    };
                     if !self.ctx.eval_builtin(&b.original, l, r)? {
                         ok = false;
                         break;

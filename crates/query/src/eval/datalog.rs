@@ -164,6 +164,12 @@ pub(crate) fn eval_datalog(ctx: EvalContext<'_>, prog: &DatalogProgram) -> Resul
         if delta.values().all(BTreeSet::is_empty) {
             break;
         }
+        // Each round re-materializes every IDB relation for the join
+        // engine; charge that copying work (plus one step for the round
+        // itself) so a long fixpoint chain is interruptible even when
+        // individual rule firings are small.
+        ctx.tick()?;
+        ctx.tick_n(full.values().map(|s| s.len() as u64).sum())?;
         let full_rels: BTreeMap<Arc<str>, Relation> = arities
             .iter()
             .map(|(p, &a)| (Arc::clone(p), materialize(p, a, &full[p])))

@@ -52,7 +52,7 @@ impl VarRelation {
     }
 
     /// Natural join with another relation.
-    fn join(&self, other: &VarRelation) -> VarRelation {
+    fn join(&self, other: &VarRelation, ctx: EvalContext<'_>) -> Result<VarRelation> {
         // Output variable order: self's vars, then other's new vars.
         let mut vars = self.vars.clone();
         let extra: Vec<(usize, Var)> = other
@@ -74,26 +74,34 @@ impl VarRelation {
         // Hash join on shared columns.
         let mut index: BTreeMap<Vec<&Value>, Vec<&Vec<Value>>> = BTreeMap::new();
         for row in &other.rows {
+            ctx.tick()?;
             let key: Vec<&Value> = shared.iter().map(|&(_, j)| &row[j]).collect();
             index.entry(key).or_default().push(row);
         }
         for row in &self.rows {
+            ctx.tick()?;
             let key: Vec<&Value> = shared.iter().map(|&(i, _)| &row[i]).collect();
             if let Some(matches) = index.get(&key) {
                 for m in matches {
+                    ctx.tick()?;
                     let mut new_row = row.clone();
                     new_row.extend(extra.iter().map(|&(j, _)| m[j].clone()));
                     out.rows.insert(new_row);
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Extend this relation with extra variables ranging over `domain`
     /// and reorder columns to exactly `target_vars` (a superset of
     /// `self.vars`).
-    fn extend_to(&self, target_vars: &[Var], domain: &[Value]) -> VarRelation {
+    fn extend_to(
+        &self,
+        target_vars: &[Var],
+        domain: &[Value],
+        ctx: EvalContext<'_>,
+    ) -> Result<VarRelation> {
         let missing: Vec<&Var> = target_vars
             .iter()
             .filter(|v| self.position(v).is_none())
@@ -119,11 +127,12 @@ impl VarRelation {
             .collect();
         if !missing.is_empty() && domain.is_empty() {
             // Extending over an empty domain yields no rows.
-            return out;
+            return Ok(out);
         }
         let mut combo = vec![0usize; missing.len()];
         for row in &self.rows {
             if missing.is_empty() {
+                ctx.tick()?;
                 out.rows.insert(
                     srcs.iter()
                         .map(|s| match s {
@@ -137,6 +146,7 @@ impl VarRelation {
             // Enumerate domain^missing.
             combo.iter_mut().for_each(|c| *c = 0);
             loop {
+                ctx.tick()?;
                 out.rows.insert(
                     srcs.iter()
                         .map(|s| match s {
@@ -163,22 +173,23 @@ impl VarRelation {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Complement relative to `domain^|vars|`.
-    fn complement(&self, domain: &[Value]) -> VarRelation {
+    fn complement(&self, domain: &[Value], ctx: EvalContext<'_>) -> Result<VarRelation> {
         let mut out = VarRelation::new(self.vars.clone());
         let k = self.vars.len();
         if k == 0 {
-            return VarRelation::boolean(self.rows.is_empty());
+            return Ok(VarRelation::boolean(self.rows.is_empty()));
         }
         if domain.is_empty() {
             // domain^k is empty, so the complement is too.
-            return out;
+            return Ok(out);
         }
         let mut combo = vec![0usize; k];
         loop {
+            ctx.tick()?;
             let row: Vec<Value> = combo.iter().map(|&i| domain[i].clone()).collect();
             if !self.rows.contains(&row) {
                 out.rows.insert(row);
@@ -199,7 +210,7 @@ impl VarRelation {
                 break;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Project away the given variables.
@@ -231,6 +242,7 @@ fn eval_formula(
     f: &Formula,
     domain: &[Value],
 ) -> Result<VarRelation> {
+    ctx.tick()?;
     match f {
         Formula::Atom(a) => {
             let rel = provider
@@ -254,6 +266,7 @@ fn eval_formula(
             }
             let mut out = VarRelation::new(vars.clone());
             'tuples: for t in rel.iter() {
+                ctx.tick()?;
                 let mut assignment: Vec<Option<Value>> = vec![None; vars.len()];
                 for (col, term) in a.terms.iter().enumerate() {
                     match term {
@@ -312,6 +325,7 @@ fn eval_formula(
                 }
                 1 => {
                     for v in domain {
+                        ctx.tick()?;
                         let row = vec![v.clone()];
                         let lv = resolve(l, &row, &vars);
                         let rv = resolve(r, &row, &vars);
@@ -323,6 +337,7 @@ fn eval_formula(
                 _ => {
                     for v in domain {
                         for w in domain {
+                            ctx.tick()?;
                             let row = vec![v.clone(), w.clone()];
                             let lv = resolve(l, &row, &vars);
                             let rv = resolve(r, &row, &vars);
@@ -348,7 +363,7 @@ fn eval_formula(
                     // wrong column set.
                     return Ok(VarRelation::new(f.free_vars().into_iter().collect()));
                 }
-                acc = acc.join(&eval_formula(ctx, provider, g, domain)?);
+                acc = acc.join(&eval_formula(ctx, provider, g, domain)?, ctx)?;
             }
             Ok(acc)
         }
@@ -360,13 +375,13 @@ fn eval_formula(
             let mut acc = VarRelation::new(target.clone());
             for g in fs {
                 let r = eval_formula(ctx, provider, g, domain)?;
-                acc = acc.union(&r.extend_to(&target, domain));
+                acc = acc.union(&r.extend_to(&target, domain, ctx)?);
             }
             Ok(acc)
         }
         Formula::Not(g) => {
             let r = eval_formula(ctx, provider, g, domain)?;
-            Ok(r.complement(domain))
+            r.complement(domain, ctx)
         }
         Formula::Exists(vs, g) => {
             let r = eval_formula(ctx, provider, g, domain)?;
@@ -382,10 +397,10 @@ fn eval_formula(
                     full_vars.push(v.clone());
                 }
             }
-            let extended = r.extend_to(&full_vars, domain);
-            let negated = extended.complement(domain);
+            let extended = r.extend_to(&full_vars, domain, ctx)?;
+            let negated = extended.complement(domain, ctx)?;
             let projected = negated.project_out(vs);
-            Ok(projected.complement(domain))
+            projected.complement(domain, ctx)
         }
     }
 }

@@ -14,6 +14,7 @@ pub(crate) mod datalog;
 pub(crate) mod fo;
 
 use pkgrec_data::{Database, Relation, Value};
+use pkgrec_guard::Meter;
 
 use crate::metric::MetricSet;
 use crate::term::Builtin;
@@ -32,8 +33,9 @@ impl RelProvider for Database {
     }
 }
 
-/// Evaluation context: the database plus the metric set Γ needed to
-/// evaluate distance builtins introduced by query relaxation.
+/// Evaluation context: the database, the metric set Γ needed to
+/// evaluate distance builtins introduced by query relaxation, and an
+/// optional [`Meter`] bounding how much work evaluation may do.
 #[derive(Clone, Copy)]
 pub struct EvalContext<'a> {
     /// The database `D`.
@@ -41,12 +43,19 @@ pub struct EvalContext<'a> {
     /// Distance functions for `DistLe` builtins; `None` when the query
     /// contains none.
     pub metrics: Option<&'a MetricSet>,
+    /// Resource meter ticked by the evaluation engines; `None` runs
+    /// unbounded.
+    pub meter: Option<&'a Meter>,
 }
 
 impl<'a> EvalContext<'a> {
     /// Context without metrics.
     pub fn new(db: &'a Database) -> Self {
-        EvalContext { db, metrics: None }
+        EvalContext {
+            db,
+            metrics: None,
+            meter: None,
+        }
     }
 
     /// Context with a metric set Γ.
@@ -54,6 +63,32 @@ impl<'a> EvalContext<'a> {
         EvalContext {
             db,
             metrics: Some(metrics),
+            meter: None,
+        }
+    }
+
+    /// Attach a resource meter; evaluation interrupts with
+    /// [`QueryError::Interrupted`] when its budget runs out.
+    pub fn with_meter(mut self, meter: &'a Meter) -> Self {
+        self.meter = Some(meter);
+        self
+    }
+
+    /// Count one basic evaluation step against the budget, if any.
+    #[inline]
+    pub(crate) fn tick(&self) -> Result<()> {
+        match self.meter {
+            Some(m) => m.tick().map_err(QueryError::from),
+            None => Ok(()),
+        }
+    }
+
+    /// Count `n` basic evaluation steps against the budget, if any.
+    #[inline]
+    pub(crate) fn tick_n(&self, n: u64) -> Result<()> {
+        match self.meter {
+            Some(m) => m.tick_n(n).map_err(QueryError::from),
+            None => Ok(()),
         }
     }
 

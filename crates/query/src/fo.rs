@@ -1,7 +1,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::term::{Builtin, RelAtom, Term, Var};
 use crate::{QueryError, Result};
@@ -12,7 +11,7 @@ use crate::{QueryError, Result};
 /// The positive-existential fragment (no `¬`, no `∀`) is the paper's
 /// ∃FO⁺ (Section 2(c)); [`Formula::is_positive_existential`] recognizes
 /// it, so one AST serves both languages.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Formula {
     /// A relation atom.
     Atom(RelAtom),
@@ -218,7 +217,7 @@ impl fmt::Display for Formula {
 
 /// A first-order query `Q(t̄) = φ`, evaluated under active-domain
 /// semantics.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FoQuery {
     /// Head terms.
     pub head: Vec<Term>,

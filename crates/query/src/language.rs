@@ -1,6 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// The query-language lattice of Section 2.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// `SP ⊂ CQ ⊂ UCQ ⊂ ∃FO⁺`; `∃FO⁺ ⊂ DATALOGnr ⊂ DATALOG` and
 /// `∃FO⁺ ⊂ FO`; `DATALOGnr ⊂ FO` (a non-recursive program unfolds into
 /// FO). `DATALOG` and `FO` are incomparable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum QueryLanguage {
     /// Selection–projection queries over one relation (Corollary 6.2).
     Sp,

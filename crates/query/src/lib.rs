@@ -41,5 +41,9 @@ pub use metric::{AbsDiff, Discrete, Metric, MetricSet, TableMetric};
 pub use query::Query;
 pub use term::{var, Builtin, CmpOp, Comparison, RelAtom, Term, Var};
 
+// Re-export the budget vocabulary so downstream crates can bound
+// evaluation without depending on pkgrec-guard directly.
+pub use pkgrec_guard::{Budget, CancelFlag, Interrupted, Meter, Resource};
+
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, QueryError>;

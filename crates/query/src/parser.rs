@@ -282,7 +282,15 @@ impl Parser {
                         _ => return Err(self.err("expected integer distance bound")),
                     };
                     let mut it = terms.into_iter();
-                    let (l, r) = (it.next().expect("len 2"), it.next().expect("len 2"));
+                    let (l, r) = match (it.next(), it.next()) {
+                        (Some(l), Some(r)) => (l, r),
+                        _ => {
+                            return Err(QueryError::Internal(
+                                "dist_* argument list changed arity after the length check"
+                                    .to_string(),
+                            ))
+                        }
+                    };
                     return Ok(BodyLiteral::Builtin(Builtin::dist_le(metric, l, r, bound)));
                 }
                 return Ok(BodyLiteral::Rel(RelAtom::new(name, terms)));
@@ -423,8 +431,14 @@ pub fn parse_query(src: &str) -> Result<Query> {
                 ConjunctiveQuery::new(r.head.terms.clone(), atoms, builtins)
             })
             .collect();
+        let mut disjuncts = disjuncts;
         return if disjuncts.len() == 1 {
-            Ok(Query::Cq(disjuncts.into_iter().next().expect("len 1")))
+            match disjuncts.pop() {
+                Some(only) => Ok(Query::Cq(only)),
+                None => Err(QueryError::Internal(
+                    "single-disjunct query lost its disjunct".to_string(),
+                )),
+            }
         } else {
             Ok(Query::Ucq(UnionQuery::new(disjuncts)?))
         };

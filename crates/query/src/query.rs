@@ -1,7 +1,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use pkgrec_data::{Database, Tuple, Value};
 
@@ -20,7 +19,7 @@ use crate::Result;
 /// least member of the Section 2 lattice containing it — is computed by
 /// [`Query::language`]. E.g. a `Fo` query without negation or `∀`
 /// classifies as ∃FO⁺, and an acyclic `Datalog` program as DATALOGnr.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Query {
     /// A conjunctive query (possibly SP).
     Cq(ConjunctiveQuery),
@@ -109,6 +108,19 @@ impl Query {
         self.eval_ctx(EvalContext::with_metrics(db, metrics))
     }
 
+    /// Evaluate `Q(D)` under a resource budget. Evaluation counts one
+    /// step per candidate tuple / domain combination considered and
+    /// returns [`crate::QueryError::Interrupted`] when the meter's
+    /// budget is exhausted, so even queries whose answers are
+    /// exponential in the active domain terminate promptly.
+    pub fn eval_budgeted(
+        &self,
+        db: &Database,
+        meter: &pkgrec_guard::Meter,
+    ) -> Result<BTreeSet<Tuple>> {
+        self.eval_ctx(EvalContext::new(db).with_meter(meter))
+    }
+
     /// The membership test `t ∈ Q(D)` — the paper's "membership problem"
     /// whose complexity drives the upper bounds for DATALOGnr, FO and
     /// DATALOG (Theorem 4.1). For CQ/UCQ/FO the head is pre-bound so
@@ -125,6 +137,17 @@ impl Query {
     /// [`Query::contains_ctx`] without metrics.
     pub fn contains(&self, db: &Database, t: &Tuple) -> Result<bool> {
         self.contains_ctx(EvalContext::new(db), t)
+    }
+
+    /// [`Query::contains`] under a resource budget; see
+    /// [`Query::eval_budgeted`].
+    pub fn contains_budgeted(
+        &self,
+        db: &Database,
+        t: &Tuple,
+        meter: &pkgrec_guard::Meter,
+    ) -> Result<bool> {
+        self.contains_ctx(EvalContext::new(db).with_meter(meter), t)
     }
 
     /// Names of database relations the query reads.

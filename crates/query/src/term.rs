@@ -2,7 +2,6 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use pkgrec_data::Value;
 
@@ -16,7 +15,7 @@ pub fn var(name: impl AsRef<str>) -> Var {
 }
 
 /// A term: a variable or a constant.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Term {
     /// A variable.
     Var(Var),
@@ -64,7 +63,7 @@ impl fmt::Display for Term {
 
 /// The built-in comparison predicates the paper allows in every language:
 /// `=, ≠, <, ≤, >, ≥` (Section 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -121,7 +120,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// A comparison between two terms, e.g. `x < 5` or `xTo = uTo`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Comparison {
     /// Left operand.
     pub left: Term,
@@ -145,7 +144,7 @@ impl fmt::Display for Comparison {
 }
 
 /// A relation atom `R(t1, ..., tn)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RelAtom {
     /// Relation (or IDB predicate) name.
     pub relation: Arc<str>,
@@ -187,7 +186,7 @@ impl fmt::Display for RelAtom {
 /// A built-in predicate atom: either a comparison or a bounded-distance
 /// predicate `dist_m(l, r) ≤ d`, the form query relaxation introduces
 /// (Section 7.1).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Builtin {
     /// A comparison `l op r`.
     Cmp(Comparison),

@@ -1,0 +1,110 @@
+//! Budgeted evaluation terminates promptly on instances engineered to
+//! blow up, and agrees with unbounded evaluation when the budget is
+//! generous — one test per evaluation engine (CQ joins, FO
+//! active-domain semantics, Datalog fixpoint).
+
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_query::parser::{parse_fo, parse_query};
+use pkgrec_query::{Budget, QueryError, Resource};
+
+/// A database with a single binary relation `e` forming a complete
+/// directed graph on `n` nodes: n² tuples, so a k-atom join has n^(2k)
+/// candidate bindings and FO negation ranges over n^k combinations.
+fn complete_graph(n: i64) -> Database {
+    let mut db = Database::new();
+    let schema = RelationSchema::new("e", [("s", AttrType::Int), ("d", AttrType::Int)]).unwrap();
+    let tuples = (1..=n).flat_map(|a| (1..=n).map(move |b| tuple![a, b]));
+    db.add_relation(Relation::from_tuples(schema, tuples).unwrap())
+        .unwrap();
+    db
+}
+
+fn assert_step_interrupt(err: QueryError, limit: u64) {
+    match err {
+        QueryError::Interrupted(cut) => {
+            assert_eq!(cut.resource, Resource::Steps { limit });
+            assert!(cut.steps > limit);
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+}
+
+#[test]
+fn cq_join_interrupts_under_small_budget() {
+    // Four chained atoms over a complete graph on 12 nodes: the join
+    // explores far more than 200 candidate tuples.
+    let db = complete_graph(12);
+    let q = parse_query("q(a, e) :- e(a, b), e(b, c), e(c, d), e(d, e).").unwrap();
+
+    let meter = Budget::with_steps(200).meter();
+    assert_step_interrupt(q.eval_budgeted(&db, &meter).unwrap_err(), 200);
+
+    // A generous budget changes nothing about the answer.
+    let meter = Budget::with_steps(100_000_000).meter();
+    assert_eq!(q.eval_budgeted(&db, &meter).unwrap(), q.eval(&db).unwrap());
+}
+
+#[test]
+fn fo_negation_interrupts_under_small_budget() {
+    // ∀-over-¬ forces complement enumeration over domain³.
+    let db = complete_graph(40);
+    let q = parse_fo("q(x) = forall y. forall z. (!e(y, z) | e(x, y))").unwrap();
+
+    let meter = Budget::with_steps(500).meter();
+    assert_step_interrupt(q.eval_budgeted(&db, &meter).unwrap_err(), 500);
+
+    let meter = Budget::with_steps(100_000_000).meter();
+    assert_eq!(q.eval_budgeted(&db, &meter).unwrap(), q.eval(&db).unwrap());
+}
+
+#[test]
+fn datalog_fixpoint_interrupts_under_small_budget() {
+    // Transitive closure over a complete graph on 15 nodes re-derives
+    // every pair from every rule firing.
+    let db = complete_graph(15);
+    let q = parse_query(
+        "tc(x, y) :- e(x, y).\n\
+         tc(x, z) :- tc(x, y), e(y, z).",
+    )
+    .unwrap();
+
+    let meter = Budget::with_steps(300).meter();
+    assert_step_interrupt(q.eval_budgeted(&db, &meter).unwrap_err(), 300);
+
+    let meter = Budget::with_steps(100_000_000).meter();
+    assert_eq!(q.eval_budgeted(&db, &meter).unwrap(), q.eval(&db).unwrap());
+}
+
+#[test]
+fn membership_test_respects_budget() {
+    let db = complete_graph(12);
+    let q = parse_query("q(a, e) :- e(a, b), e(b, c), e(c, d), e(d, e).").unwrap();
+
+    let meter = Budget::with_steps(100).meter();
+    // Pre-binding prunes, but a tiny budget still cuts the search off
+    // before completion on this instance.
+    let r = q.contains_budgeted(&db, &tuple![1, 1], &meter);
+    match r {
+        Ok(found) => assert!(found), // finished inside the budget — fine
+        Err(e) => assert_step_interrupt(e, 100),
+    }
+
+    let meter = Budget::with_steps(100_000_000).meter();
+    assert!(q.contains_budgeted(&db, &tuple![1, 1], &meter).unwrap());
+}
+
+#[test]
+fn cancellation_stops_evaluation() {
+    use pkgrec_query::CancelFlag;
+
+    let db = complete_graph(12);
+    let q = parse_query("q(a, e) :- e(a, b), e(b, c), e(c, d), e(d, e).").unwrap();
+
+    let flag = CancelFlag::new();
+    flag.cancel();
+    let meter = Budget::unlimited().cancellable(&flag).meter();
+    match q.eval_budgeted(&db, &meter) {
+        Err(QueryError::Interrupted(cut)) => assert_eq!(cut.resource, Resource::Cancelled),
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+}

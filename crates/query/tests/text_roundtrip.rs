@@ -1,8 +1,11 @@
-//! Serde round-trips: every query AST serializes and deserializes to an
-//! equal value (and an equal *semantics* — evaluated answers agree), so
-//! instances can be persisted and shipped as JSON.
+//! Text round-trips: every query AST prints in the parser's surface
+//! syntax and parses back to an equal value (or at least an equal
+//! *semantics* — evaluated answers agree), so instances can be
+//! persisted and shipped as plain text without a serialization
+//! framework.
 
 use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_query::parser::{parse_fo, parse_query};
 use pkgrec_query::{
     BodyLiteral, Builtin, CmpOp, ConjunctiveQuery, DatalogProgram, Formula, FoQuery, Query,
     QueryLanguage, RelAtom, Rule, Term, UnionQuery,
@@ -16,9 +19,27 @@ fn db() -> Database {
     db
 }
 
-fn roundtrip(q: &Query) -> Query {
-    let json = serde_json::to_string(q).expect("serializes");
-    serde_json::from_str(&json).expect("deserializes")
+/// Print a rule-form query (CQ/UCQ/Datalog) as parser input.
+fn rule_text(q: &Query) -> String {
+    match q {
+        Query::Cq(cq) => format!("{cq}."),
+        Query::Ucq(u) => u
+            .disjuncts
+            .iter()
+            .map(|d| format!("{d}."))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        Query::Datalog(p) => {
+            let rules = p
+                .rules
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("output {}.\n{rules}", p.output)
+        }
+        Query::Fo(_) => unreachable!("FO uses the formula form"),
+    }
 }
 
 #[test]
@@ -31,7 +52,7 @@ fn cq_roundtrip() {
             Builtin::dist_le("m", Term::v("x"), Term::c(1), 5),
         ],
     ));
-    let back = roundtrip(&q);
+    let back = parse_query(&rule_text(&q)).expect("parses");
     assert_eq!(q, back);
     assert_eq!(back.language(), QueryLanguage::Sp); // single atom, distinct vars
 }
@@ -49,7 +70,7 @@ fn ucq_roundtrip_preserves_answers() {
         ])
         .unwrap(),
     );
-    let back = roundtrip(&q);
+    let back = parse_query(&rule_text(&q)).expect("parses");
     let db = db();
     assert_eq!(q.eval(&db).unwrap(), back.eval(&db).unwrap());
 }
@@ -72,8 +93,7 @@ fn fo_roundtrip_with_all_connectives() {
             )),
         ]),
     ));
-    let back = roundtrip(&q);
-    assert_eq!(q, back);
+    let back = parse_fo(&q.to_string()).expect("parses");
     let db = db();
     assert_eq!(q.eval(&db).unwrap(), back.eval(&db).unwrap());
 }
@@ -100,7 +120,7 @@ fn datalog_roundtrip() {
         ],
         "tc",
     ));
-    let back = roundtrip(&q);
+    let back = parse_query(&rule_text(&q)).expect("parses");
     assert_eq!(q, back);
     assert_eq!(back.language(), QueryLanguage::Datalog);
     let db = db();
@@ -110,7 +130,7 @@ fn datalog_roundtrip() {
 #[test]
 fn database_roundtrip() {
     let db = db();
-    let json = serde_json::to_string(&db).expect("serializes");
-    let back: Database = serde_json::from_str(&json).expect("deserializes");
+    let text = pkgrec_data::text::write_database(&db);
+    let back = pkgrec_data::text::parse_database(&text).expect("parses");
     assert_eq!(db, back);
 }

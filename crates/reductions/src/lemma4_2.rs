@@ -84,7 +84,7 @@ mod tests {
 
     fn solves_to(phi: &Sigma2Dnf) -> bool {
         let r = reduce(phi);
-        compat::compatibility(&r.instance, r.rating_bound, SolveOptions::default()).unwrap()
+        compat::compatibility(&r.instance, r.rating_bound, &SolveOptions::default()).unwrap()
     }
 
     #[test]
@@ -153,7 +153,7 @@ mod tests {
             ),
         );
         let r = reduce(&phi);
-        let w = compat::compatibility_witness(&r.instance, r.rating_bound, SolveOptions::default())
+        let w = compat::compatibility_witness(&r.instance, r.rating_bound, &SolveOptions::default())
             .unwrap()
             .unwrap();
         let t = w.iter().next().unwrap();

@@ -224,7 +224,7 @@ mod tests {
             }
             let r = reduce(&phi);
             let reduced =
-                compat::compatibility(&r.instance, r.rating_bound, SolveOptions::default())
+                compat::compatibility(&r.instance, r.rating_bound, &SolveOptions::default())
                     .unwrap();
             assert_eq!(reduced, direct, "φ = {phi}");
         }
@@ -238,7 +238,7 @@ mod tests {
             let phi = gen::random_3cnf(&mut rng, 3, 8);
             let direct = is_satisfiable(&phi);
             let r = rpp_reduce(&phi);
-            let ans = rpp::is_top_k(&r.instance, &r.selection, SolveOptions::default()).unwrap();
+            let ans = rpp::is_top_k(&r.instance, &r.selection, &SolveOptions::default()).unwrap();
             assert_eq!(ans, !direct, "φ = {phi}");
         }
     }

@@ -248,7 +248,7 @@ mod tests {
             let direct = qbf.is_true();
             let (db, q) = qbf_to_datalognr(&qbf);
             let (inst, sel) = rpp_from_membership(db, q, tuple![]);
-            let ans = rpp::is_top_k(&inst, &sel, SolveOptions::default()).unwrap();
+            let ans = rpp::is_top_k(&inst, &sel, &SolveOptions::default()).unwrap();
             assert_eq!(ans, direct);
         }
     }

@@ -58,7 +58,7 @@ mod tests {
 
     fn rpp_answer(phi: &Sigma2Dnf) -> bool {
         let r = reduce(phi);
-        rpp::is_top_k(&r.instance, &r.selection, SolveOptions::default()).unwrap()
+        rpp::is_top_k(&r.instance, &r.selection, &SolveOptions::default()).unwrap()
     }
 
     #[test]

@@ -92,7 +92,7 @@ mod tests {
 
     fn answer(pair: &SatUnsat) -> bool {
         let r = reduce(pair);
-        rpp::is_top_k(&r.instance, &r.selection, SolveOptions::default()).unwrap()
+        rpp::is_top_k(&r.instance, &r.selection, &SolveOptions::default()).unwrap()
     }
 
     #[test]

@@ -74,7 +74,7 @@ mod tests {
             let phi = gen::random_sigma2(&mut rng, 3, 2, 3);
             let direct = MaximumSigma2(phi.clone()).last_satisfying_x();
             let inst = reduce_maximum_sigma2(&phi);
-            let sel = frp::top_k(&inst, SolveOptions::default()).unwrap();
+            let sel = frp::top_k(&inst, &SolveOptions::default()).unwrap().value;
             match (&direct, &sel) {
                 (None, None) => none += 1,
                 (Some(x), Some(packages)) => {
@@ -105,8 +105,9 @@ mod tests {
             let inst = gen::random_max_weight_sat(&mut rng, 4, 5, 9);
             let (direct_weight, _) = max_weight_sat(&inst);
             let rec = reduce_max_weight_sat(&inst);
-            let sel = frp::top_k(&rec, SolveOptions::default())
+            let sel = frp::top_k(&rec, &SolveOptions::default())
                 .unwrap()
+                .value
                 .expect("a single-tuple package always exists");
             assert_eq!(
                 rec.val.eval(&sel[0]),
@@ -124,7 +125,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(49);
         let inst = gen::random_max_weight_sat(&mut rng, 4, 6, 5);
         let rec = reduce_max_weight_sat(&inst);
-        let sel = frp::top_k(&rec, SolveOptions::default()).unwrap().unwrap();
+        let sel = frp::top_k(&rec, &SolveOptions::default()).unwrap().value.unwrap();
         assert!(lemma4_4::package_is_consistent(&sel[0]));
     }
 }

@@ -265,7 +265,7 @@ mod tests {
 
     fn combined_answer(phi1: &Sigma2Dnf, phi2: &Sigma2Dnf) -> bool {
         let (inst, b) = reduce_pair(phi1, phi2);
-        mbp::is_maximum_bound(&inst, b, SolveOptions::default()).unwrap()
+        mbp::is_maximum_bound(&inst, b, &SolveOptions::default()).unwrap()
     }
 
     #[test]
@@ -313,7 +313,7 @@ mod tests {
 
     fn data_answer(pair: &SatUnsat) -> bool {
         let (inst, b) = reduce_sat_unsat(pair);
-        mbp::is_maximum_bound(&inst, b, SolveOptions::default()).unwrap()
+        mbp::is_maximum_bound(&inst, b, &SolveOptions::default()).unwrap()
     }
 
     #[test]

@@ -141,7 +141,7 @@ mod tests {
             let matrix = gen::random_3dnf(&mut rng, 4, 3);
             let direct = count_pi1(&matrix, 2);
             let (inst, b) = reduce_pi1(&matrix, 2);
-            let counted = cpp::count_valid(&inst, b, SolveOptions::default()).unwrap();
+            let counted = cpp::count_valid(&inst, b, &SolveOptions::default()).unwrap().value;
             assert_eq!(counted, direct, "matrix {matrix}");
             if direct > 0 {
                 nonzero += 1;
@@ -152,13 +152,13 @@ mod tests {
 
     #[test]
     fn sigma1_counts_agree() {
-        let mut rng = StdRng::seed_from_u64(53);
+        let mut rng = StdRng::seed_from_u64(54);
         let mut interesting = 0;
         for _ in 0..12 {
             let matrix = gen::random_3cnf(&mut rng, 4, 4);
             let direct = count_sigma1(&matrix, 2);
             let (inst, b) = reduce_sigma1(&matrix, 2);
-            let counted = cpp::count_valid(&inst, b, SolveOptions::default()).unwrap();
+            let counted = cpp::count_valid(&inst, b, &SolveOptions::default()).unwrap().value;
             assert_eq!(counted, direct, "matrix {matrix}");
             if direct > 0 && direct < 4 {
                 interesting += 1;
@@ -195,7 +195,7 @@ mod tests {
             let phi = gen::random_3cnf(&mut rng, 4, 6);
             let direct = count_over_occurring_vars(&phi);
             let (inst, b) = reduce_sharp_sat(&phi);
-            let counted = cpp::count_valid(&inst, b, SolveOptions::default()).unwrap();
+            let counted = cpp::count_valid(&inst, b, &SolveOptions::default()).unwrap().value;
             assert_eq!(counted, direct, "φ = {phi}");
             if direct > 0 {
                 nonzero += 1;
@@ -213,10 +213,10 @@ mod tests {
             for free in [1usize, 2] {
                 let direct = qbf.count_free_prefix(free);
                 let (dl, b1) = reduce_sharp_qbf_datalognr(&qbf, free);
-                let got_dl = cpp::count_valid(&dl, b1, SolveOptions::default()).unwrap();
+                let got_dl = cpp::count_valid(&dl, b1, &SolveOptions::default()).unwrap().value;
                 assert_eq!(got_dl, direct, "DATALOGnr, matrix {}", qbf.matrix);
                 let (fo, b2) = reduce_sharp_qbf_fo(&qbf, free);
-                let got_fo = cpp::count_valid(&fo, b2, SolveOptions::default()).unwrap();
+                let got_fo = cpp::count_valid(&fo, b2, &SolveOptions::default()).unwrap().value;
                 assert_eq!(got_fo, direct, "FO, matrix {}", qbf.matrix);
                 if direct > 0 {
                     nonzero += 1;
@@ -238,6 +238,9 @@ mod tests {
             ],
         );
         let (inst, b) = reduce_pi1(&matrix, 1);
-        assert_eq!(cpp::count_valid(&inst, b, SolveOptions::default()).unwrap(), 1);
+        assert_eq!(
+            cpp::count_valid(&inst, b, &SolveOptions::default()).unwrap().value,
+            1
+        );
     }
 }

@@ -138,10 +138,16 @@ mod tests {
 
     #[test]
     fn item_mbp_random_agreement() {
+        // A random phi2 over 3 vars is almost never unsatisfiable, so
+        // force half the draws into yes-eligible shape with a
+        // guaranteed-unsat phi2; the rest stay fully random.
         let mut rng = StdRng::seed_from_u64(56);
         let (mut yes, mut no) = (0, 0);
-        for _ in 0..20 {
-            let pair = gen::random_sat_unsat(&mut rng, 3, 8);
+        for i in 0..20 {
+            let mut pair = gen::random_sat_unsat(&mut rng, 3, 8);
+            if i % 2 == 0 {
+                pair.phi2 = gen::force_unsat(&pair.phi2);
+            }
             let direct = pair.is_yes();
             if direct {
                 yes += 1;

@@ -243,7 +243,7 @@ mod tests {
                 ],
             ),
         );
-        let w = qrpp(&reduce_sigma2(&yes), SolveOptions::default()).unwrap();
+        let w = qrpp(&reduce_sigma2(&yes), &SolveOptions::default()).unwrap();
         assert!(w.is_some());
         assert_eq!(w.unwrap().gap, 1);
 
@@ -258,7 +258,7 @@ mod tests {
                 ],
             ),
         );
-        assert!(qrpp(&reduce_sigma2(&no), SolveOptions::default())
+        assert!(qrpp(&reduce_sigma2(&no), &SolveOptions::default())
             .unwrap()
             .is_none());
     }
@@ -279,7 +279,7 @@ mod tests {
             } else {
                 no += 1;
             }
-            let got = qrpp(&reduce_sigma2(&phi), SolveOptions::default())
+            let got = qrpp(&reduce_sigma2(&phi), &SolveOptions::default())
                 .unwrap()
                 .is_some();
             assert_eq!(got, direct, "φ = ∃X∀Y {}", phi.matrix);
@@ -303,7 +303,7 @@ mod tests {
             } else {
                 no += 1;
             }
-            let got = qrpp(&reduce_3sat(&phi), SolveOptions::default())
+            let got = qrpp(&reduce_3sat(&phi), &SolveOptions::default())
                 .unwrap()
                 .is_some();
             assert_eq!(got, direct, "φ = {phi}");

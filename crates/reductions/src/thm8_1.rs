@@ -228,7 +228,7 @@ mod tests {
                 ],
             ),
         );
-        let w = arpp(&reduce_sigma2(&yes), SolveOptions::default()).unwrap();
+        let w = arpp(&reduce_sigma2(&yes), &SolveOptions::default()).unwrap();
         let w = w.expect("yes instance");
         assert_eq!(w.adjustment.len(), 2, "both Boolean tuples inserted");
 
@@ -243,7 +243,7 @@ mod tests {
                 ],
             ),
         );
-        assert!(arpp(&reduce_sigma2(&no), SolveOptions::default())
+        assert!(arpp(&reduce_sigma2(&no), &SolveOptions::default())
             .unwrap()
             .is_none());
     }
@@ -263,7 +263,7 @@ mod tests {
             } else {
                 no += 1;
             }
-            let got = arpp(&reduce_sigma2(&phi), SolveOptions::default())
+            let got = arpp(&reduce_sigma2(&phi), &SolveOptions::default())
                 .unwrap()
                 .is_some();
             assert_eq!(got, direct, "φ = ∃X∀Y {}", phi.matrix);
@@ -281,7 +281,7 @@ mod tests {
                 Clause::new(vec![Lit::neg(0), Lit::neg(0), Lit::neg(0)]),
             ],
         );
-        assert!(arpp(&reduce_3sat(&unsat), SolveOptions::default())
+        assert!(arpp(&reduce_3sat(&unsat), &SolveOptions::default())
             .unwrap()
             .is_none());
 
@@ -290,7 +290,7 @@ mod tests {
             2,
             vec![Clause::new(vec![Lit::pos(0), Lit::pos(1), Lit::pos(0)])],
         );
-        let w = arpp(&reduce_3sat(&sat), SolveOptions::default())
+        let w = arpp(&reduce_3sat(&sat), &SolveOptions::default())
             .unwrap()
             .expect("satisfiable");
         assert_eq!(w.adjustment.len(), 2, "one value per variable");
@@ -311,7 +311,7 @@ mod tests {
             } else {
                 no += 1;
             }
-            let got = arpp(&reduce_3sat(&phi), SolveOptions::default())
+            let got = arpp(&reduce_3sat(&phi), &SolveOptions::default())
                 .unwrap()
                 .is_some();
             assert_eq!(got, direct, "φ = {phi}");

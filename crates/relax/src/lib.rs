@@ -525,7 +525,7 @@ pub struct RelaxationWitness {
 
 /// Decide QRPP and return a *minimum-gap* witness relaxation when the
 /// answer is yes (`None` = no relaxation within budget works).
-pub fn qrpp(inst: &QrppInstance, opts: SolveOptions) -> Result<Option<RelaxationWitness>> {
+pub fn qrpp(inst: &QrppInstance, opts: &SolveOptions) -> Result<Option<RelaxationWitness>> {
     let metrics = inst.base.metrics.as_ref().ok_or_else(|| {
         CoreError::Invalid("QRPP requires a metric set Γ on the base instance".into())
     })?;
@@ -559,10 +559,10 @@ pub fn qrpp(inst: &QrppInstance, opts: SolveOptions) -> Result<Option<Relaxation
 fn has_k_valid_packages(
     inst: &RecInstance,
     bound: pkgrec_core::Ext,
-    opts: SolveOptions,
+    opts: &SolveOptions,
 ) -> Result<bool> {
     let mut found = 0usize;
-    for_each_valid_package(inst, Some(bound), opts, |_, _| {
+    let stats = for_each_valid_package(inst, Some(bound), opts, |_, _| {
         found += 1;
         if found >= inst.k {
             ControlFlow::Break(())
@@ -570,7 +570,16 @@ fn has_k_valid_packages(
             ControlFlow::Continue(())
         }
     })?;
-    Ok(found >= inst.k)
+    // Finding the k-th package certifies "yes" even if the budget then
+    // ran out; an interrupted search that found fewer cannot certify
+    // "no", so it reports the cut-off instead of guessing.
+    if found >= inst.k {
+        return Ok(true);
+    }
+    match stats.interrupted {
+        Some(cut) => Err(cut.into()),
+        None => Ok(false),
+    }
 }
 
 /// QRPP for items (Corollary 7.3): relax `Q` so that at least `k`
@@ -691,7 +700,7 @@ mod tests {
     #[test]
     fn relaxation_within_15_miles_finds_ewr_and_jfk() {
         // Example 7.1: dist ≤ 15 admits ewr (9) and jfk (12).
-        let w = qrpp(&qrpp_inst(15, 1), SolveOptions::default())
+        let w = qrpp(&qrpp_inst(15, 1), &SolveOptions::default())
             .unwrap()
             .unwrap();
         assert_eq!(w.gap, 9); // minimal gap: just far enough for ewr
@@ -706,7 +715,7 @@ mod tests {
 
     #[test]
     fn no_relaxation_within_tiny_budget() {
-        assert!(qrpp(&qrpp_inst(5, 1), SolveOptions::default())
+        assert!(qrpp(&qrpp_inst(5, 1), &SolveOptions::default())
             .unwrap()
             .is_none());
     }
@@ -715,7 +724,7 @@ mod tests {
     fn k_2_needs_a_larger_gap() {
         // Two valid packages need two distinct items ⇒ both ewr and jfk
         // must be reachable ⇒ gap 12.
-        let w = qrpp(&qrpp_inst(15, 2), SolveOptions::default())
+        let w = qrpp(&qrpp_inst(15, 2), &SolveOptions::default())
             .unwrap()
             .unwrap();
         assert_eq!(w.gap, 12);
@@ -734,7 +743,7 @@ mod tests {
         ));
         let mut inst = qrpp_inst(15, 1);
         inst.base.query = q;
-        let w = qrpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        let w = qrpp(&inst, &SolveOptions::default()).unwrap().unwrap();
         assert_eq!(w.gap, 0);
         assert_eq!(w.relaxation, Relaxation::identity(&inst.spec));
     }
@@ -775,7 +784,7 @@ mod tests {
             rating_bound: Ext::Finite(1.0),
             gap_budget: 5,
         };
-        let w = qrpp(&inst, SolveOptions::default()).unwrap().unwrap();
+        let w = qrpp(&inst, &SolveOptions::default()).unwrap().unwrap();
         assert_eq!(w.gap, 2); // |10 − 12|
     }
 

@@ -94,7 +94,7 @@ fn instance(gap_budget: i64) -> QrppInstance {
 fn all_three_kinds_relax_together() {
     // Needed: city gap 9 (nyc→ewr), day gap 2 (1→3), join gap 2 (10→12)
     // — total 13.
-    let w = qrpp(&instance(13), SolveOptions::default())
+    let w = qrpp(&instance(13), &SolveOptions::default())
         .unwrap()
         .expect("13 suffices");
     assert_eq!(w.gap, 13);
@@ -102,7 +102,7 @@ fn all_three_kinds_relax_together() {
     assert_eq!(w.relaxation.join_levels, vec![Level::DistLe(2)]);
 
     // One unit less and no relaxation works.
-    assert!(qrpp(&instance(12), SolveOptions::default())
+    assert!(qrpp(&instance(12), &SolveOptions::default())
         .unwrap()
         .is_none());
 }
@@ -152,10 +152,18 @@ fn unknown_metric_is_an_error() {
 }
 
 #[test]
-fn node_limit_propagates_through_qrpp() {
-    let r = qrpp(&instance(13), SolveOptions::limited(1));
-    assert!(matches!(
-        r,
-        Err(pkgrec_core::CoreError::SearchLimitExceeded { limit: 1 })
-    ));
+fn step_budget_propagates_through_qrpp() {
+    // QRPP is a strict decision problem: an exhausted budget cannot
+    // certify "no relaxation works", so it surfaces as an error naming
+    // the spent resource.
+    let r = qrpp(&instance(13), &SolveOptions::limited(1));
+    match r {
+        Err(pkgrec_core::CoreError::SearchLimitExceeded { interrupted }) => {
+            assert_eq!(
+                interrupted.resource,
+                pkgrec_core::Resource::Steps { limit: 1 }
+            );
+        }
+        other => panic!("expected a budget error, got {other:?}"),
+    }
 }

@@ -197,7 +197,7 @@ mod tests {
         // {standalone} (3 credits, rating 4) and {intro, standalone}
         // (5 credits — over budget).
         let inst = course_instance(tiny_db(), 4.0, 1);
-        let sel = frp::top_k(&inst, SolveOptions::default()).unwrap().unwrap();
+        let sel = frp::top_k(&inst, &SolveOptions::default()).unwrap().value.unwrap();
         assert_eq!(
             sel[0],
             Package::new([tuple![0, "db", 2, 3], tuple![1, "db", 2, 5]])

@@ -164,7 +164,7 @@ mod tests {
             SizeBound::Constant(2),
             distinct_groups_ptime(),
         );
-        let sel = frp::top_k(&inst, SolveOptions::default()).unwrap();
+        let sel = frp::top_k(&inst, &SolveOptions::default()).unwrap().value;
         assert!(sel.is_some());
     }
 }

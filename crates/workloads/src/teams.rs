@@ -167,14 +167,14 @@ mod tests {
         // (both rows) rates 7 − 1 = 6, {0-rust, 1-ml} rates 10 − 2.5 =
         // 7.5 but needs 2 experts. With team budget 1 the polymath wins.
         let inst = team_instance(tiny_db(), &["rust", "ml"], 1.0, 1);
-        let sel = frp::top_k(&inst, SolveOptions::default()).unwrap().unwrap();
+        let sel = frp::top_k(&inst, &SolveOptions::default()).unwrap().value.unwrap();
         assert!(sel[0].iter().all(|t| t[0].as_int() == Some(0)));
     }
 
     #[test]
     fn larger_budget_prefers_stronger_team() {
         let inst = team_instance(tiny_db(), &["rust", "ml"], 2.0, 1);
-        let sel = frp::top_k(&inst, SolveOptions::default()).unwrap().unwrap();
+        let sel = frp::top_k(&inst, &SolveOptions::default()).unwrap().value.unwrap();
         let val = inst.val.eval(&sel[0]);
         // The strongest 2-expert team rates at least 7.5.
         assert!(val >= Ext::Finite(7.5), "got {val}");

@@ -324,7 +324,7 @@ mod tests {
     #[test]
     fn top_package_prefers_cheap_flight_and_many_pois() {
         let inst = travel_instance(tiny_db(), "edi", "nyc", 1, 300.0, 1);
-        let sel = frp::top_k(&inst, SolveOptions::default()).unwrap().unwrap();
+        let sel = frp::top_k(&inst, &SolveOptions::default()).unwrap().value.unwrap();
         let pkg = &sel[0];
         // All items share the cheap flight 2.
         assert!(pkg.iter().all(|t| t[0].as_int() == Some(2)));

@@ -36,23 +36,23 @@ fn main() {
     check("RPP(CQ) with Qc  [Thm 4.1]", "Πp₂-complete", 6, |rng| {
         let phi = gen::random_sigma2(rng, 2, 2, 3);
         let r = thm4_1::reduce(&phi);
-        rpp::is_top_k(&r.instance, &r.selection, opts).unwrap() != phi.is_true()
+        rpp::is_top_k(&r.instance, &r.selection, &opts).unwrap() != phi.is_true()
     });
     check("RPP(CQ) without Qc  [Thm 4.5]", "DP-complete", 6, |rng| {
         let pair = gen::random_sat_unsat(rng, 3, 7);
         let r = thm4_5::reduce(&pair);
-        rpp::is_top_k(&r.instance, &r.selection, opts).unwrap() == pair.is_yes()
+        rpp::is_top_k(&r.instance, &r.selection, &opts).unwrap() == pair.is_yes()
     });
     check("compatibility(CQ)  [Lem 4.2]", "Σp₂-complete", 6, |rng| {
         let phi = gen::random_sigma2(rng, 2, 2, 3);
         let r = lemma4_2::reduce(&phi);
-        compat::compatibility(&r.instance, r.rating_bound, opts).unwrap() == phi.is_true()
+        compat::compatibility(&r.instance, r.rating_bound, &opts).unwrap() == phi.is_true()
     });
     check("FRP(CQ)  [Thm 5.1]", "FPΣp₂-complete", 5, |rng| {
         let phi = gen::random_sigma2(rng, 3, 2, 3);
         let direct = MaximumSigma2(phi.clone()).last_satisfying_index();
         let inst = thm5_1::reduce_maximum_sigma2(&phi);
-        let got = frp::top_k(&inst, opts).unwrap().map(|sel| {
+        let got = frp::top_k(&inst, &opts).unwrap().value.map(|sel| {
             inst.val.eval(&sel[0]).as_finite().expect("finite rating") as u64
         });
         got == direct
@@ -61,28 +61,28 @@ fn main() {
         let phi1 = gen::random_sigma2(rng, 2, 1, 2);
         let phi2 = gen::random_sigma2(rng, 1, 2, 2);
         let (inst, b) = thm5_2::reduce_pair(&phi1, &phi2);
-        mbp::is_maximum_bound(&inst, b, opts).unwrap() == (phi1.is_true() && !phi2.is_true())
+        mbp::is_maximum_bound(&inst, b, &opts).unwrap() == (phi1.is_true() && !phi2.is_true())
     });
     check("CPP(CQ) with Qc  [Thm 5.3]", "#·coNP-complete", 4, |rng| {
         let matrix = gen::random_3dnf(rng, 4, 3);
         let (inst, b) = thm5_3::reduce_pi1(&matrix, 2);
-        cpp::count_valid(&inst, b, opts).unwrap() == count_pi1(&matrix, 2)
+        cpp::count_valid(&inst, b, &opts).unwrap().value == count_pi1(&matrix, 2)
     });
     check("CPP(CQ) without Qc  [Thm 5.3]", "#·NP-complete", 4, |rng| {
         let matrix = gen::random_3cnf(rng, 4, 4);
         let (inst, b) = thm5_3::reduce_sigma1(&matrix, 2);
-        cpp::count_valid(&inst, b, opts).unwrap() == count_sigma1(&matrix, 2)
+        cpp::count_valid(&inst, b, &opts).unwrap().value == count_sigma1(&matrix, 2)
     });
     check("QRPP(CQ)  [Thm 7.2]", "Σp₂-complete", 4, |rng| {
         let phi = gen::random_sigma2(rng, 2, 2, 3);
-        pkgrec::relax::qrpp(&thm7_2::reduce_sigma2(&phi), opts)
+        pkgrec::relax::qrpp(&thm7_2::reduce_sigma2(&phi), &opts)
             .unwrap()
             .is_some()
             == phi.is_true()
     });
     check("ARPP(CQ)  [Thm 8.1]", "Σp₂-complete", 3, |rng| {
         let phi = gen::random_sigma2(rng, 2, 2, 3);
-        pkgrec::adjust::arpp(&thm8_1::reduce_sigma2(&phi), opts)
+        pkgrec::adjust::arpp(&thm8_1::reduce_sigma2(&phi), &opts)
             .unwrap()
             .is_some()
             == phi.is_true()
@@ -102,22 +102,22 @@ fn main() {
     check("RPP data  [Thm 4.3 / Lem 4.4]", "coNP-complete", 5, |rng| {
         let phi = gen::random_3cnf(rng, 4, 9);
         let r = lemma4_4::rpp_reduce(&phi);
-        rpp::is_top_k(&r.instance, &r.selection, opts).unwrap() != is_satisfiable(&phi)
+        rpp::is_top_k(&r.instance, &r.selection, &opts).unwrap() != is_satisfiable(&phi)
     });
     check("FRP data via MAX-WEIGHT SAT  [Thm 5.1]", "FPNP-complete", 4, |rng| {
         let inst = gen::random_max_weight_sat(rng, 4, 5, 9);
         let rec = thm5_1::reduce_max_weight_sat(&inst);
-        let sel = frp::top_k(&rec, opts).unwrap().expect("nonempty");
+        let sel = frp::top_k(&rec, &opts).unwrap().value.expect("nonempty");
         rec.val.eval(&sel[0]).as_finite() == Some(max_weight_sat(&inst).0 as f64)
     });
     check("MBP data via SAT-UNSAT  [Thm 5.2]", "DP-complete", 3, |rng| {
         let pair = gen::random_sat_unsat(rng, 3, 6);
         let (inst, b) = thm5_2::reduce_sat_unsat(&pair);
-        mbp::is_maximum_bound(&inst, b, opts).unwrap() == pair.is_yes()
+        mbp::is_maximum_bound(&inst, b, &opts).unwrap() == pair.is_yes()
     });
     check("QRPP data via 3SAT  [Thm 7.2]", "NP-complete", 4, |rng| {
         let phi = gen::random_3cnf(rng, 4, 9);
-        pkgrec::relax::qrpp(&thm7_2::reduce_3sat(&phi), opts)
+        pkgrec::relax::qrpp(&thm7_2::reduce_3sat(&phi), &opts)
             .unwrap()
             .is_some()
             == is_satisfiable(&phi)

@@ -43,8 +43,9 @@ fn main() {
         }
     );
 
-    let selection = frp::top_k(&inst, SolveOptions::default())
+    let selection = frp::top_k(&inst, &SolveOptions::default())
         .expect("solver runs")
+        .value
         .expect("three bundles exist");
     for (rank, pkg) in selection.iter().enumerate() {
         let credits = inst.cost.eval(pkg);
@@ -73,14 +74,16 @@ fn main() {
     }
 
     // MBP: what rating does the 3rd-best bundle reach?
-    let bound = mbp::maximum_bound(&inst, SolveOptions::default())
+    let bound = mbp::maximum_bound(&inst, &SolveOptions::default())
         .expect("solver runs")
+        .value
         .expect("bundles exist");
     println!("\nMBP: the maximum bound for top-3 bundles is {bound}");
 
     // CPP: how many prerequisite-closed bundles rate at least 8?
-    let count = cpp::count_valid(&inst, Ext::Finite(8.0), SolveOptions::default())
-        .expect("solver runs");
+    let count = cpp::count_valid(&inst, Ext::Finite(8.0), &SolveOptions::default())
+        .expect("solver runs")
+        .value;
     println!("CPP: {count} valid bundles rate ≥ 8");
     assert!(count > 0);
 }

@@ -64,8 +64,9 @@ fn main() {
     ] {
         let group = GroupInstance::new(base.clone(), members.clone(), semantics);
         let top = group
-            .top_k(SolveOptions::default())
+            .top_k(&SolveOptions::default())
             .expect("solver runs")
+            .value
             .expect("dinners exist");
         let names: Vec<String> = top[0].iter().map(|t| t[0].to_string()).collect();
         println!(
@@ -78,6 +79,6 @@ fn main() {
     // Least misery avoids steak (vegetarian rating 0) even though the
     // carnivore loves it.
     let lm = GroupInstance::new(base, members, GroupSemantics::LeastMisery);
-    let top = lm.top_k(SolveOptions::default()).unwrap().unwrap();
+    let top = lm.top_k(&SolveOptions::default()).unwrap().value.unwrap();
     assert!(!top[0].iter().any(|t| t[0].as_str() == Some("steak")));
 }

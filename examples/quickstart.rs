@@ -51,8 +51,9 @@ fn main() {
     println!("Selection query Q [{}]:\n  {}\n", inst.query.language(), inst.query);
 
     // ── FRP: compute the top-k packages ─────────────────────────────
-    let selection = frp::top_k(&inst, SolveOptions::default())
+    let selection = frp::top_k(&inst, &SolveOptions::default())
         .expect("solver runs")
+        .value
         .expect("this database admits at least two valid plans");
     for (rank, pkg) in selection.iter().enumerate() {
         let val = inst.val.eval(pkg);
@@ -67,15 +68,16 @@ fn main() {
     }
 
     // ── RPP: certify the answer ──────────────────────────────────────
-    let certified = rpp::is_top_k(&inst, &selection, SolveOptions::default()).expect("solver runs");
+    let certified = rpp::is_top_k(&inst, &selection, &SolveOptions::default()).expect("solver runs");
     println!("\nRPP certifies the selection: {certified}");
     assert!(certified);
 
     // ── MBP: the maximum rating bound ────────────────────────────────
-    let bound = mbp::maximum_bound(&inst, SolveOptions::default())
+    let bound = mbp::maximum_bound(&inst, &SolveOptions::default())
         .expect("solver runs")
+        .value
         .expect("a top-2 selection exists");
     println!("MBP maximum bound (rating of the 2nd-best package): {bound}");
-    assert!(mbp::is_maximum_bound(&inst, bound, SolveOptions::default()).expect("solver runs"));
+    assert!(mbp::is_maximum_bound(&inst, bound, &SolveOptions::default()).expect("solver runs"));
     assert!(bound > Ext::NegInf);
 }

@@ -28,7 +28,9 @@ fn main() {
 
     // Required: rust + ml, team of at most 2 experts.
     let inst = teams::team_instance(db, &["rust", "ml"], 2.0, 1);
-    let direct = frp::top_k(&inst, SolveOptions::default()).expect("solver runs");
+    let direct = frp::top_k(&inst, &SolveOptions::default())
+        .expect("solver runs")
+        .value;
     println!("Team covering {{rust, ml}} from the current roster: {direct:?}");
     assert!(direct.is_none(), "nobody knows ml yet");
 
@@ -51,7 +53,7 @@ fn main() {
         rating_bound: Ext::Finite(0.0),
         max_ops: 1,
     };
-    let witness = arpp(&arpp_inst, SolveOptions::default())
+    let witness = arpp(&arpp_inst, &SolveOptions::default())
         .expect("solver runs")
         .expect("one hire suffices");
 
@@ -64,8 +66,9 @@ fn main() {
     // After the adjustment, a team exists.
     let mut fixed = arpp_inst.base.clone();
     fixed.db = witness.db.clone();
-    let team = frp::top_k(&fixed, SolveOptions::default())
+    let team = frp::top_k(&fixed, &SolveOptions::default())
         .expect("solver runs")
+        .value
         .expect("the adjusted roster covers the skills");
     println!("\nBest team after the hire:");
     for t in team[0].iter() {

@@ -73,7 +73,7 @@ fn main() {
         rating_bound: Ext::Finite(1.0),
         gap_budget: 15,
     };
-    let witness = qrpp(&inst, SolveOptions::default())
+    let witness = qrpp(&inst, &SolveOptions::default())
         .expect("solver runs")
         .expect("a relaxation within 15 miles exists");
 
@@ -97,7 +97,7 @@ fn main() {
         gap_budget: 5,
         ..inst
     };
-    assert!(qrpp(&too_tight, SolveOptions::default())
+    assert!(qrpp(&too_tight, &SolveOptions::default())
         .expect("solver runs")
         .is_none());
     println!("\nWithin 5 miles: no relaxation exists (as expected).");

@@ -15,7 +15,13 @@
 //!   --val SPEC         count | sum:COL | negsum:COL (default count)
 //!   --min-val B        rating bound for `count`
 //!   --max-size N       constant package-size bound (default |D|)
+//!   --steps N          search budget: stop after N enumeration steps
+//!   --timeout-ms T     search budget: stop after T milliseconds
 //! ```
+//!
+//! With `--steps`/`--timeout-ms`, `topk`, `bound` and `count` are
+//! *anytime*: when the budget runs out they print the best result found
+//! so far, marked as a partial (lower-bound) answer.
 //!
 //! The database file uses the `pkgrec::data::text` format; the query is
 //! inline text (rule form `q(x) :- r(x, y).` or FO form
@@ -24,8 +30,8 @@
 use std::process::ExitCode;
 
 use pkgrec::core::{
-    problems::cpp, problems::frp, problems::mbp, Ext, PackageFn, RecInstance, SizeBound,
-    SolveOptions,
+    problems::cpp, problems::frp, problems::mbp, Budget, Ext, PackageFn, RecInstance,
+    SizeBound, SolveOptions,
 };
 use pkgrec::data::text::parse_database;
 use pkgrec::data::Database;
@@ -49,6 +55,8 @@ struct Options {
     val: PackageFn,
     min_val: Option<f64>,
     max_size: Option<usize>,
+    steps: Option<u64>,
+    timeout_ms: Option<u64>,
 }
 
 fn parse_fn_spec(spec: &str) -> Result<PackageFn, String> {
@@ -76,6 +84,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         val: PackageFn::cardinality(),
         min_val: None,
         max_size: None,
+        steps: None,
+        timeout_ms: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -99,6 +109,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--max-size" => {
                 opts.max_size =
                     Some(value.parse().map_err(|_| "bad --max-size value".to_string())?)
+            }
+            "--steps" => {
+                opts.steps =
+                    Some(value.parse().map_err(|_| "bad --steps value".to_string())?)
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| "bad --timeout-ms value".to_string())?,
+                )
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -163,7 +184,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
     let db = load_db(db_path)?;
     let query = load_query(query_arg)?;
-    let solver_opts = SolveOptions::default();
+    let mut budget = Budget::unlimited();
+    if let Some(n) = opts.steps {
+        budget = budget.steps(n);
+    }
+    if let Some(ms) = opts.timeout_ms {
+        budget = budget.timeout(std::time::Duration::from_millis(ms));
+    }
+    let solver_opts = SolveOptions::with_budget(budget);
 
     match cmd {
         "eval" => {
@@ -175,7 +203,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         "topk" => {
             let inst = build_instance(db, query, &opts);
-            match frp::top_k(&inst, solver_opts).map_err(|e| e.to_string())? {
+            let out = frp::top_k(&inst, &solver_opts).map_err(|e| e.to_string())?;
+            if let Some(cut) = out.interrupted {
+                println!("partial result ({cut}):");
+            }
+            match out.value {
                 None => println!("no top-{} selection exists", opts.k),
                 Some(sel) => {
                     for (rank, pkg) in sel.iter().enumerate() {
@@ -192,9 +224,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         "bound" => {
             let inst = build_instance(db, query, &opts);
-            match mbp::maximum_bound(&inst, solver_opts).map_err(|e| e.to_string())? {
+            let out = mbp::maximum_bound(&inst, &solver_opts).map_err(|e| e.to_string())?;
+            let qualifier = if out.exact { "" } else { " (lower bound; budget ran out)" };
+            match out.value {
                 None => println!("no top-{} selection exists", opts.k),
-                Some(b) => println!("maximum bound: {b}"),
+                Some(b) => println!("maximum bound: {b}{qualifier}"),
             }
         }
         "count" => {
@@ -203,15 +237,22 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     .ok_or("`count` requires --min-val B".to_string())?,
             );
             let inst = build_instance(db, query, &opts);
-            let n = cpp::count_valid(&inst, bound, solver_opts).map_err(|e| e.to_string())?;
-            println!("{n} valid packages with val >= {bound}");
+            let out =
+                cpp::count_valid(&inst, bound, &solver_opts).map_err(|e| e.to_string())?;
+            let prefix = if out.exact { "" } else { "at least " };
+            let suffix = if out.exact { "" } else { " (budget ran out)" };
+            println!("{prefix}{} valid packages with val >= {bound}{suffix}", out.value);
         }
         "items" => {
             let inst = build_instance(db, query, &opts)
                 .with_cost(PackageFn::count())
                 .with_budget(1.0)
                 .with_size_bound(SizeBound::Constant(1));
-            match frp::top_k(&inst, solver_opts).map_err(|e| e.to_string())? {
+            let out = frp::top_k(&inst, &solver_opts).map_err(|e| e.to_string())?;
+            if let Some(cut) = out.interrupted {
+                println!("partial result ({cut}):");
+            }
+            match out.value {
                 None => println!("fewer than {} items", opts.k),
                 Some(sel) => {
                     for (rank, pkg) in sel.iter().enumerate() {

@@ -42,8 +42,39 @@
 //! let inst = RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("item", 1)))
 //!     .with_budget(2.0)
 //!     .with_val(PackageFn::sum_col(0, true));
-//! let top = frp::top_k(&inst, SolveOptions::default()).unwrap().unwrap();
+//! let out = frp::top_k(&inst, &SolveOptions::default()).unwrap();
+//! assert!(out.exact); // no budget was set, so the answer is exact
+//! let top = out.value.unwrap();
 //! assert_eq!(top[0].len(), 2); // items {2, 3}
+//! ```
+//!
+//! ## Resource budgets
+//!
+//! Every solver accepts a [`core::SolveOptions`] carrying a
+//! [`core::Budget`] — a step bound, wall-clock deadline, and/or
+//! cancellation flag. Decision solvers (RPP, MBP's `is_*`, QRPP, ARPP)
+//! are *strict*: they either certify an answer or report the exhausted
+//! resource as an error. Function/counting solvers (FRP, MBP, CPP) are
+//! *anytime*: they return a [`core::Outcome`] whose `value` is the
+//! best result found so far and whose `exact` flag says whether the
+//! search completed.
+//!
+//! ```
+//! use pkgrec::core::{problems::frp, RecInstance, PackageFn, SolveOptions};
+//! # use pkgrec::data::{tuple, AttrType, Database, Relation, RelationSchema};
+//! # use pkgrec::query::{ConjunctiveQuery, Query};
+//! # let schema = RelationSchema::new("item", [("id", AttrType::Int)]).unwrap();
+//! # let rel = Relation::from_tuples(schema, [tuple![1], tuple![2], tuple![3]]).unwrap();
+//! # let mut db = Database::new();
+//! # db.add_relation(rel).unwrap();
+//! # let inst = RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("item", 1)))
+//! #     .with_budget(2.0)
+//! #     .with_val(PackageFn::sum_col(0, true));
+//! // Give the search only 3 enumeration steps: it returns its best
+//! // package so far instead of hanging or erroring.
+//! let partial = frp::top_k(&inst, &SolveOptions::limited(3)).unwrap();
+//! assert!(!partial.exact);
+//! assert!(partial.value.is_some());
 //! ```
 
 pub use pkgrec_adjust as adjust;

@@ -16,7 +16,7 @@ use pkgrec::workloads::{courses, teams, travel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const OPTS: SolveOptions = SolveOptions { node_limit: None };
+const OPTS: SolveOptions = SolveOptions::unbounded();
 
 fn travel_db() -> Database {
     let mut flights = Relation::empty(travel::flight_schema());
@@ -47,8 +47,8 @@ fn travel_db() -> Database {
 fn example_1_1_full_pipeline() {
     // FRP → RPP certification → MBP consistency → CPP sanity.
     let inst = travel::travel_instance(travel_db(), "edi", "nyc", 1, 300.0, 2);
-    let sel = frp::top_k(&inst, OPTS).unwrap().expect("plans exist");
-    assert!(rpp::is_top_k(&inst, &sel, OPTS).unwrap());
+    let sel = frp::top_k(&inst, &OPTS).unwrap().value.expect("plans exist");
+    assert!(rpp::is_top_k(&inst, &sel, &OPTS).unwrap());
 
     // Compatibility: ≤ 2 museums, single flight per package.
     for pkg in &sel {
@@ -61,9 +61,9 @@ fn example_1_1_full_pipeline() {
         assert_eq!(fnos.len(), 1);
     }
 
-    let bound = mbp::maximum_bound(&inst, OPTS).unwrap().expect("bound exists");
+    let bound = mbp::maximum_bound(&inst, &OPTS).unwrap().value.expect("bound exists");
     assert_eq!(bound, inst.val.eval(&sel[1]), "bound = rating of the k-th best");
-    assert!(cpp::count_valid(&inst, bound, OPTS).unwrap() >= 2);
+    assert!(cpp::count_valid(&inst, bound, &OPTS).unwrap().value >= 2);
 }
 
 #[test]
@@ -80,10 +80,10 @@ fn parsed_query_drives_the_solver() {
         .with_budget(300.0)
         .with_val(travel::travel_rating())
         .with_k(1);
-    let sel = frp::top_k(&inst, OPTS).unwrap().expect("plans exist");
+    let sel = frp::top_k(&inst, &OPTS).unwrap().value.expect("plans exist");
     // Same top package as the AST-built instance.
     let ast_inst = travel::travel_instance(travel_db(), "edi", "nyc", 1, 300.0, 1);
-    let ast_sel = frp::top_k(&ast_inst, OPTS).unwrap().unwrap();
+    let ast_sel = frp::top_k(&ast_inst, &OPTS).unwrap().value.unwrap();
     assert_eq!(sel, ast_sel);
 }
 
@@ -152,7 +152,7 @@ fn relaxation_pipeline_on_travel() {
         rating_bound: Ext::Finite(1.0),
         gap_budget: 50,
     };
-    let w = qrpp(&inst, OPTS).unwrap().expect("nyc is within 12 of jfk");
+    let w = qrpp(&inst, &OPTS).unwrap().expect("nyc is within 12 of jfk");
     assert_eq!(w.gap, 12);
 }
 
@@ -175,7 +175,7 @@ fn adjustment_pipeline_on_teams() {
         rating_bound: Ext::NegInf,
         max_ops: 3,
     };
-    let w = arpp(&arpp_inst, OPTS).unwrap().expect("three hires always fix it");
+    let w = arpp(&arpp_inst, &OPTS).unwrap().expect("three hires always fix it");
     assert!(!w.adjustment.is_empty(), "nobody knows quantum computing yet");
     // The witness is minimal: one fewer operation admits no witness at
     // all (any witness under the smaller budget would contradict the
@@ -184,7 +184,7 @@ fn adjustment_pipeline_on_teams() {
         max_ops: w.adjustment.len() - 1,
         ..arpp_inst.clone()
     };
-    assert!(arpp(&smaller, OPTS).unwrap().is_none());
+    assert!(arpp(&smaller, &OPTS).unwrap().is_none());
 }
 
 #[test]
@@ -195,17 +195,28 @@ fn size_bound_regimes_agree_where_they_overlap() {
     let inst_const = travel::travel_instance(travel_db(), "edi", "nyc", 1, 200.0, 1)
         .with_size_bound(SizeBound::Constant(100));
     assert_eq!(
-        frp::top_k(&inst_poly, OPTS).unwrap(),
-        frp::top_k(&inst_const, OPTS).unwrap()
+        frp::top_k(&inst_poly, &OPTS).unwrap().value,
+        frp::top_k(&inst_const, &OPTS).unwrap().value
     );
 }
 
 #[test]
-fn node_limit_guards_the_search() {
+fn step_budget_guards_the_search() {
+    // FRP is anytime: an exhausted budget yields a partial outcome that
+    // records which resource ran out, never a hang or a panic.
     let inst = travel::travel_instance(travel_db(), "edi", "nyc", 1, 500.0, 1);
-    let r = frp::top_k(&inst, SolveOptions::limited(5));
+    let out = frp::top_k(&inst, &SolveOptions::limited(5)).unwrap();
+    assert!(!out.exact);
+    let cut = out.stats.interrupted.expect("budget was exhausted");
+    assert_eq!(cut.resource, pkgrec::core::Resource::Steps { limit: 5 });
+    assert!(out.stats.packages_enumerated <= 5);
+
+    // RPP is strict: it cannot certify an answer under the same budget,
+    // so it reports the cut-off as an error instead of guessing.
+    let full = frp::top_k(&inst, &OPTS).unwrap().value.expect("plans exist");
+    let r = rpp::is_top_k(&inst, &full, &SolveOptions::limited(2));
     assert!(matches!(
         r,
-        Err(pkgrec::core::CoreError::SearchLimitExceeded { limit: 5 })
+        Err(pkgrec::core::CoreError::SearchLimitExceeded { .. })
     ));
 }

@@ -9,7 +9,7 @@ use pkgrec::core::{
 use pkgrec::data::{tuple, AttrType, Database, Relation, RelationSchema};
 use pkgrec::query::{ConjunctiveQuery, Query};
 
-const OPTS: SolveOptions = SolveOptions { node_limit: None };
+const OPTS: SolveOptions = SolveOptions::unbounded();
 
 fn db(n: i64) -> Database {
     let schema = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
@@ -29,10 +29,10 @@ fn base(n: i64) -> RecInstance {
 #[test]
 fn empty_package_is_excluded_by_the_cost_convention() {
     let inst = base(2).with_budget(1e12);
-    let sel = frp::top_k(&inst, OPTS).unwrap().unwrap();
+    let sel = frp::top_k(&inst, &OPTS).unwrap().value.unwrap();
     assert!(!sel[0].is_empty());
     // And {∅} is not a top-1 selection.
-    assert!(!rpp::is_top_k(&inst, &[Package::empty()], OPTS).unwrap());
+    assert!(!rpp::is_top_k(&inst, &[Package::empty()], &OPTS).unwrap());
 }
 
 /// Section 2, condition (5): *every* member of a top-k selection must
@@ -45,8 +45,8 @@ fn condition_5_compares_against_the_minimum_member() {
     // outside.
     let good = vec![Package::new([tuple![3]]), Package::new([tuple![2]])];
     let bad = vec![Package::new([tuple![3]]), Package::new([tuple![1]])];
-    assert!(rpp::is_top_k(&inst, &good, OPTS).unwrap());
-    assert!(!rpp::is_top_k(&inst, &bad, OPTS).unwrap());
+    assert!(rpp::is_top_k(&inst, &good, &OPTS).unwrap());
+    assert!(!rpp::is_top_k(&inst, &bad, &OPTS).unwrap());
 }
 
 /// Section 2, condition (6): the k packages must be pairwise distinct —
@@ -57,7 +57,7 @@ fn distinctness_is_by_package_not_by_rating() {
         .with_budget(1.0)
         .with_val(PackageFn::constant(Ext::Finite(1.0)))
         .with_k(3);
-    let sel = frp::top_k(&inst, OPTS).unwrap().unwrap();
+    let sel = frp::top_k(&inst, &OPTS).unwrap().value.unwrap();
     assert_eq!(sel.len(), 3);
     let distinct: std::collections::BTreeSet<_> = sel.iter().collect();
     assert_eq!(distinct.len(), 3);
@@ -70,12 +70,12 @@ fn distinctness_is_by_package_not_by_rating() {
 #[test]
 fn maximum_bound_uniqueness() {
     let inst = base(4).with_budget(2.0).with_k(3);
-    let b = mbp::maximum_bound(&inst, OPTS).unwrap().unwrap();
-    assert!(mbp::is_maximum_bound(&inst, b, OPTS).unwrap());
+    let b = mbp::maximum_bound(&inst, &OPTS).unwrap().value.unwrap();
+    assert!(mbp::is_maximum_bound(&inst, b, &OPTS).unwrap());
     for delta in [-1.0, -0.5, 0.5, 1.0] {
         let other = Ext::Finite(b.as_finite().unwrap() + delta);
         assert!(
-            !mbp::is_maximum_bound(&inst, other, OPTS).unwrap(),
+            !mbp::is_maximum_bound(&inst, other, &OPTS).unwrap(),
             "B = {other} must not also be maximum"
         );
     }
@@ -88,10 +88,10 @@ fn maximum_bound_uniqueness() {
 fn cpp_counts_match_manual_enumeration() {
     let inst = base(3).with_budget(2.0);
     // Nonempty subsets of 3 items with ≤ 2 elements: 3 + 3 = 6.
-    assert_eq!(cpp::count_valid(&inst, Ext::NegInf, OPTS).unwrap(), 6);
+    assert_eq!(cpp::count_valid(&inst, Ext::NegInf, &OPTS).unwrap().value, 6);
     // With a cost that admits ∅ (cardinality: |∅| = 0 ≤ 2), ∅ joins in.
     let lenient = base(3).with_budget(2.0).with_cost(PackageFn::cardinality());
-    assert_eq!(cpp::count_valid(&lenient, Ext::NegInf, OPTS).unwrap(), 7);
+    assert_eq!(cpp::count_valid(&lenient, Ext::NegInf, &OPTS).unwrap().value, 7);
 }
 
 /// Section 6: a constant bound `Bp = 1` plus absent `Qc` is exactly the
@@ -102,7 +102,7 @@ fn constant_bound_one_yields_singletons() {
         .with_budget(1e9)
         .with_size_bound(SizeBound::Constant(1))
         .with_k(2);
-    let sel = frp::top_k(&inst, OPTS).unwrap().unwrap();
+    let sel = frp::top_k(&inst, &OPTS).unwrap().value.unwrap();
     assert!(sel.iter().all(|p| p.len() == 1));
 }
 
@@ -140,7 +140,7 @@ fn ptime_and_query_constraints_agree_end_to_end() {
         .with_k(2);
     let with_ptime = base(4).with_budget(3.0).with_qc(ptime_qc).with_k(2);
     assert_eq!(
-        frp::top_k(&with_query, OPTS).unwrap(),
-        frp::top_k(&with_ptime, OPTS).unwrap()
+        frp::top_k(&with_query, &OPTS).unwrap().value,
+        frp::top_k(&with_ptime, &OPTS).unwrap().value
     );
 }

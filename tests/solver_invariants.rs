@@ -57,8 +57,8 @@ proptest! {
     fn frp_output_passes_rpp(scores in scores_strategy(), with_qc in any::<bool>(), k in 1usize..4) {
         let inst = instance(scores, with_qc, k);
         let opts = SolveOptions::default();
-        if let Some(sel) = frp::top_k(&inst, opts).unwrap() {
-            prop_assert!(rpp::is_top_k(&inst, &sel, opts).unwrap());
+        if let Some(sel) = frp::top_k(&inst, &opts).unwrap().value {
+            prop_assert!(rpp::is_top_k(&inst, &sel, &opts).unwrap());
             prop_assert_eq!(sel.len(), k);
             // Ratings are non-increasing in rank.
             for w in sel.windows(2) {
@@ -73,8 +73,8 @@ proptest! {
         let inst = instance(scores, with_qc, k);
         let opts = SolveOptions::default();
         prop_assert_eq!(
-            frp::top_k(&inst, opts).unwrap(),
-            frp::top_k_via_oracle(&inst, opts).unwrap()
+            frp::top_k(&inst, &opts).unwrap().value,
+            frp::top_k_via_oracle(&inst, &opts).unwrap()
         );
     }
 
@@ -84,15 +84,15 @@ proptest! {
     fn mbp_function_and_decision_agree(scores in scores_strategy(), with_qc in any::<bool>(), k in 1usize..4) {
         let inst = instance(scores, with_qc, k);
         let opts = SolveOptions::default();
-        match mbp::maximum_bound(&inst, opts).unwrap() {
+        match mbp::maximum_bound(&inst, &opts).unwrap().value {
             Some(b) => {
-                prop_assert!(mbp::is_maximum_bound(&inst, b, opts).unwrap());
+                prop_assert!(mbp::is_maximum_bound(&inst, b, &opts).unwrap());
                 let above = Ext::Finite(b.as_finite().unwrap() + 0.5);
-                prop_assert!(!mbp::is_bound(&inst, above, opts).unwrap());
+                prop_assert!(!mbp::is_bound(&inst, above, &opts).unwrap());
             }
             None => {
                 // No top-k selection ⇒ FRP agrees.
-                prop_assert!(frp::top_k(&inst, opts).unwrap().is_none());
+                prop_assert!(frp::top_k(&inst, &opts).unwrap().value.is_none());
             }
         }
     }
@@ -103,12 +103,12 @@ proptest! {
     fn cpp_antitone_and_consistent(scores in scores_strategy(), with_qc in any::<bool>()) {
         let inst = instance(scores, with_qc, 1);
         let opts = SolveOptions::default();
-        let c_low = cpp::count_valid(&inst, Ext::Finite(0.0), opts).unwrap();
-        let c_mid = cpp::count_valid(&inst, Ext::Finite(30.0), opts).unwrap();
-        let c_high = cpp::count_valid(&inst, Ext::Finite(1e9), opts).unwrap();
+        let c_low = cpp::count_valid(&inst, Ext::Finite(0.0), &opts).unwrap().value;
+        let c_mid = cpp::count_valid(&inst, Ext::Finite(30.0), &opts).unwrap().value;
+        let c_high = cpp::count_valid(&inst, Ext::Finite(1e9), &opts).unwrap().value;
         prop_assert!(c_low >= c_mid && c_mid >= c_high);
-        if let Some(b) = mbp::maximum_bound(&inst, opts).unwrap() {
-            prop_assert!(cpp::count_valid(&inst, b, opts).unwrap() >= 1);
+        if let Some(b) = mbp::maximum_bound(&inst, &opts).unwrap().value {
+            prop_assert!(cpp::count_valid(&inst, b, &opts).unwrap().value >= 1);
         }
     }
 
@@ -119,11 +119,64 @@ proptest! {
         let opts = SolveOptions::default();
         let free = instance(scores.clone(), false, 1);
         let capped = instance(scores, false, 1).with_size_bound(SizeBound::Constant(1));
-        let mb_free = mbp::maximum_bound(&free, opts).unwrap();
-        let mb_capped = mbp::maximum_bound(&capped, opts).unwrap();
+        let mb_free = mbp::maximum_bound(&free, &opts).unwrap().value;
+        let mb_capped = mbp::maximum_bound(&capped, &opts).unwrap().value;
         if let (Some(f), Some(c)) = (mb_free, mb_capped) {
             prop_assert!(c <= f);
         }
+    }
+
+    /// A search that *finishes* within a step budget returns exactly
+    /// the unbounded answer: budgets only cut work short, they never
+    /// change a completed result.
+    #[test]
+    fn finished_budgeted_run_equals_unbounded(
+        scores in scores_strategy(),
+        with_qc in any::<bool>(),
+        k in 1usize..4,
+        budget in 1u64..40,
+    ) {
+        let inst = instance(scores, with_qc, k);
+        let unbounded = frp::top_k(&inst, &SolveOptions::default()).unwrap();
+        prop_assert!(unbounded.exact);
+        let bounded = frp::top_k(&inst, &SolveOptions::limited(budget)).unwrap();
+        if bounded.exact {
+            prop_assert_eq!(&bounded.value, &unbounded.value);
+            prop_assert!(bounded.stats.packages_enumerated <= budget);
+        } else {
+            prop_assert!(bounded.stats.interrupted.is_some());
+        }
+        // A budget at least the unbounded run's step count always
+        // finishes exactly.
+        let enough = frp::top_k(
+            &inst,
+            &SolveOptions::limited(unbounded.stats.packages_enumerated),
+        )
+        .unwrap();
+        prop_assert!(enough.exact);
+        prop_assert_eq!(enough.value, unbounded.value);
+    }
+
+    /// Budget monotonicity: more steps never shrink what the anytime
+    /// counter has seen — the partial CPP count is non-decreasing in
+    /// the budget and always a lower bound on the exact count.
+    #[test]
+    fn cpp_partial_counts_are_monotone(
+        scores in scores_strategy(),
+        with_qc in any::<bool>(),
+        b1 in 1u64..20,
+        extra in 0u64..20,
+    ) {
+        let inst = instance(scores, with_qc, 1);
+        let bound = Ext::Finite(0.0);
+        let exact = cpp::count_valid(&inst, bound, &SolveOptions::default()).unwrap();
+        prop_assert!(exact.exact);
+        let small = cpp::count_valid(&inst, bound, &SolveOptions::limited(b1)).unwrap();
+        let large =
+            cpp::count_valid(&inst, bound, &SolveOptions::limited(b1 + extra)).unwrap();
+        prop_assert!(small.value <= large.value);
+        prop_assert!(large.value <= exact.value);
+        prop_assert!(small.stats.packages_enumerated <= large.stats.packages_enumerated);
     }
 
     /// The item fast path equals the Section 2 embedding into packages.
@@ -146,7 +199,9 @@ proptest! {
             k,
         );
         let fast = item_inst.top_k_items().unwrap();
-        let slow = frp::top_k(&item_inst.as_package_instance(), SolveOptions::default()).unwrap();
+        let slow = frp::top_k(&item_inst.as_package_instance(), &SolveOptions::default())
+            .unwrap()
+            .value;
         match (fast, slow) {
             (None, None) => {}
             (Some(f), Some(s)) => {
