@@ -152,6 +152,7 @@ pub fn candidate_ops(inst: &ArppInstance) -> Result<Vec<AdjustOp>> {
 /// Decide ARPP and return a *minimum-size* witness adjustment when the
 /// answer is yes.
 pub fn arpp(inst: &ArppInstance, opts: &SolveOptions) -> Result<Option<AdjustmentWitness>> {
+    let _span = pkgrec_trace::span!("arpp.solve");
     search(inst, |candidate| {
         has_k_valid_packages(candidate, inst.rating_bound, opts)
     })
@@ -188,6 +189,7 @@ fn search(
     for size in 0..=max_ops {
         let mut combo: Vec<usize> = (0..size).collect();
         loop {
+            pkgrec_trace::counter!("arpp.adjustments");
             let adjustment = Adjustment {
                 ops: combo.iter().map(|&i| ops[i].clone()).collect(),
             };

@@ -16,6 +16,13 @@
 //! printed with a trailing `*`: its time is a *censored* runtime (the
 //! solver gave up there), so blow-up rows degrade to partial cells
 //! instead of hanging the report.
+//!
+//! With `--stats` the report enables `pkgrec-trace` and prints, under
+//! every row, the dominant solver counter per cell — which probe fired
+//! most — so a runtime blow-up can be attributed to a layer (SAT
+//! branching vs. join fan-out vs. package enumeration) at a glance.
+//! Counter values are step counts from seeded runs, so the stats lines
+//! are deterministic across invocations.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -59,10 +66,18 @@ fn anytime<T, S>(r: Result<Outcome<T, S>, CoreError>) -> bool {
     r.expect("solves").exact
 }
 
+struct Point {
+    size: f64,
+    time: Duration,
+    exact: bool,
+    /// Dominant trace counter over the cell's runs (`--stats` only).
+    dominant: Option<String>,
+}
+
 struct Row {
     label: String,
     paper: String,
-    points: Vec<(f64, Duration, bool)>,
+    points: Vec<Point>,
 }
 
 impl Row {
@@ -70,15 +85,15 @@ impl Row {
         let pts: Vec<(f64, f64)> = self
             .points
             .iter()
-            .map(|&(s, t, _)| (s, t.as_secs_f64()))
+            .map(|p| (p.size, p.time.as_secs_f64()))
             .collect();
         let order = growth_order(&pts);
         let ratio = mean_step_ratio(&pts);
         let series: Vec<String> = self
             .points
             .iter()
-            .map(|(s, t, exact)| {
-                format!("{s:>3.0}:{:>9.3?}{}", t, if *exact { "" } else { "*" })
+            .map(|p| {
+                format!("{:>3.0}:{:>9.3?}{}", p.size, p.time, if p.exact { "" } else { "*" })
             })
             .collect();
         // Heuristic read-out. For geometric sweeps (size more than
@@ -89,8 +104,8 @@ impl Row {
             .points
             .first()
             .zip(self.points.last())
-            .is_some_and(|((s0, _, _), (s1, _, _))| s1 / s0 >= 4.0);
-        let censored = self.points.iter().any(|&(_, _, exact)| !exact);
+            .is_some_and(|(p0, p1)| p1.size / p0.size >= 4.0);
+        let censored = self.points.iter().any(|p| !p.exact);
         let verdict = if censored {
             "partial (budget hit)"
         } else if ratio.is_nan() {
@@ -112,6 +127,20 @@ impl Row {
             self.paper,
             series.join(" ")
         );
+        if self.points.iter().any(|p| p.dominant.is_some()) {
+            let stats: Vec<String> = self
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{:.0}:{}",
+                        p.size,
+                        p.dominant.as_deref().unwrap_or("-")
+                    )
+                })
+                .collect();
+            println!("  {:<34} stats: {}", "", stats.join("  "));
+        }
     }
 }
 
@@ -125,8 +154,21 @@ fn sweep(
         .iter()
         .map(|&s| {
             let mut exact = true;
+            pkgrec_trace::reset();
             let t = time_best_of(3, || exact &= run(s));
-            (s as f64, t, exact)
+            // With `--stats` tracing is enabled and this names the
+            // busiest probe (ties break lexicographically, and counter
+            // values come from seeded runs, so the cell is stable);
+            // otherwise the report is empty and the cell stays bare.
+            let dominant = pkgrec_trace::take()
+                .dominant_counter()
+                .map(|(name, v)| format!("{name}={v}"));
+            Point {
+                size: s as f64,
+                time: t,
+                exact,
+                dominant,
+            }
         })
         .collect();
     Row {
@@ -146,6 +188,12 @@ fn main() {
         print_gadgets();
         return;
     }
+    let _stats_scope = if args.iter().any(|a| a == "--stats") {
+        println!("(per-cell solver stats: dominant trace counter over the cell's runs)\n");
+        Some(pkgrec_trace::scoped())
+    } else {
+        None
+    };
     if let Some(pos) = args.iter().position(|a| a == "--deadline-ms") {
         let ms: u64 = match args.get(pos + 1).and_then(|v| v.parse().ok()) {
             Some(ms) => ms,

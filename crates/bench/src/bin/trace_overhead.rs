@@ -1,0 +1,111 @@
+//! `trace_overhead` — measure what the `pkgrec-trace` probes cost.
+//!
+//! Runs the Theorem 4.1 RPP configuration (the `t81_rpp` bench's
+//! `cq_with_qc` sweep: a random Σ₂ 3DNF sentence reduced to an RPP
+//! instance and decided by `rpp::is_top_k`) three times:
+//!
+//! 1. **disabled** — tracing off, the shipping default;
+//! 2. **disabled (rerun)** — tracing still off. The relative gap to
+//!    run 1 is the measurement noise floor: the disabled probes are a
+//!    single relaxed atomic load, so any difference between two
+//!    disabled runs is noise, and that gap is the honest upper bound
+//!    on "overhead of having the probes compiled in but off";
+//! 3. **enabled** — full span/counter collection, what `--trace` and
+//!    `report --stats` pay.
+//!
+//! Each measurement is the median of [`ROUNDS`] timed rounds of
+//! [`ITERS`] solves. Results go to stdout, or as JSON to the path in
+//! the first argument:
+//!
+//! ```sh
+//! cargo run --release -p pkgrec-bench --bin trace_overhead -- BENCH_trace_overhead.json
+//! ```
+
+use std::time::{Duration, Instant};
+
+use pkgrec_core::{problems::rpp, SolveOptions};
+use pkgrec_logic::gen;
+use pkgrec_reductions::thm4_1;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Solves per timed round.
+const ITERS: usize = 40;
+/// Timed rounds per configuration; the median is reported.
+const ROUNDS: usize = 7;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Wall time of one round: `ITERS` solves of the Thm 4.1 instance.
+fn round(r: &thm4_1::RppReduction, opts: &SolveOptions) -> Duration {
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        let ok = rpp::is_top_k(&r.instance, &r.selection, opts).expect("solves");
+        std::hint::black_box(ok);
+    }
+    start.elapsed()
+}
+
+fn pct(base: Duration, other: Duration) -> f64 {
+    (other.as_secs_f64() - base.as_secs_f64()) / base.as_secs_f64() * 100.0
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(92), 2, 2, 3);
+    let r = thm4_1::reduce(&phi);
+    let opts = SolveOptions::default();
+
+    assert!(!pkgrec_trace::is_enabled(), "tracing must start disabled");
+    // Warm-up round so page faults and lazy init don't land in run 1.
+    round(&r, &opts);
+
+    // Interleave the three configurations round by round so slow drift
+    // (frequency scaling, other tenants) hits them all alike instead of
+    // whichever block ran first; the medians then compare like rounds.
+    let (mut d1, mut d2, mut en) = (Vec::new(), Vec::new(), Vec::new());
+    pkgrec_trace::reset();
+    for _ in 0..ROUNDS {
+        d1.push(round(&r, &opts));
+        d2.push(round(&r, &opts));
+        let _scope = pkgrec_trace::scoped();
+        en.push(round(&r, &opts));
+    }
+    let disabled = median(d1);
+    let disabled_rerun = median(d2);
+    let enabled = median(en);
+    let report = pkgrec_trace::take();
+    let dominant = report
+        .dominant_counter()
+        .map(|(name, v)| format!("{name}={v}"))
+        .unwrap_or_else(|| "-".to_string());
+
+    let noise_floor_pct = pct(disabled, disabled_rerun);
+    let enabled_overhead_pct = pct(disabled, enabled);
+    let json = format!(
+        "{{\"bench\":\"t81_rpp cq_with_qc (thm4_1 reduce of random_sigma2 m=2, seed 92)\",\
+\"iters_per_round\":{ITERS},\"rounds\":{ROUNDS},\
+\"disabled_ns\":{},\"disabled_rerun_ns\":{},\"enabled_ns\":{},\
+\"disabled_overhead_pct\":{:.2},\"enabled_overhead_pct\":{:.2},\
+\"dominant_counter\":\"{dominant}\"}}",
+        disabled.as_nanos(),
+        disabled_rerun.as_nanos(),
+        enabled.as_nanos(),
+        noise_floor_pct,
+        enabled_overhead_pct,
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).expect("write output file");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "disabled {disabled:?} | disabled rerun {disabled_rerun:?} ({noise_floor_pct:+.2}%, \
+         noise floor) | enabled {enabled:?} ({enabled_overhead_pct:+.2}%)"
+    );
+}

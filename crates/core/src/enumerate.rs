@@ -134,6 +134,7 @@ pub fn for_each_package(
     mut prune: impl FnMut(&Package) -> bool,
     mut visit: impl FnMut(&Package) -> Result<ControlFlow<()>>,
 ) -> Result<Completion> {
+    let _span = pkgrec_trace::span!("enumerate.dfs");
     let mut pkg = Package::empty();
     let meter = opts.budget.meter();
 
@@ -149,10 +150,12 @@ pub fn for_each_package(
         if let Err(cut) = meter.tick() {
             return Ok(ControlFlow::Break(Stop::Budget(cut)));
         }
+        pkgrec_trace::counter!("enumerate.nodes");
         if visit(pkg)?.is_break() {
             return Ok(ControlFlow::Break(Stop::Visitor));
         }
         if !pkg.is_empty() && prune(pkg) {
+            pkgrec_trace::counter!("enumerate.pruned");
             return Ok(ControlFlow::Continue(()));
         }
         if pkg.len() == max_size {
@@ -219,6 +222,7 @@ pub fn for_each_valid_package(
             if !inst.qc_satisfied(pkg)? {
                 return Ok(ControlFlow::Continue(()));
             }
+            pkgrec_trace::counter!("enumerate.valid");
             stats.valid_packages += 1;
             Ok(visit(pkg, val))
         },

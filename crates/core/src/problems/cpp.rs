@@ -27,6 +27,7 @@ pub fn count_valid(
     rating_bound: Ext,
     opts: &SolveOptions,
 ) -> Result<Outcome<u128, SearchStats>> {
+    let _span = pkgrec_trace::span!("cpp.count_valid");
     let mut count: u128 = 0;
     let stats = for_each_valid_package(inst, Some(rating_bound), opts, |_, _| {
         count += 1;

@@ -53,6 +53,7 @@ pub fn top_k(
     inst: &RecInstance,
     opts: &SolveOptions,
 ) -> Result<Outcome<Option<Vec<Package>>, SearchStats>> {
+    let _span = pkgrec_trace::span!("frp.top_k");
     let k = inst.k;
     // Min-keyed working set of the current best k.
     let mut best: BTreeSet<Key> = BTreeSet::new();
@@ -99,6 +100,7 @@ pub fn exist_pack_ge(
     bound: Ext,
     opts: &SolveOptions,
 ) -> Result<Option<Package>> {
+    let _span = pkgrec_trace::span!("frp.exist_pack_ge");
     let mut best: Option<Key> = None;
     let stats = for_each_valid_package(inst, Some(bound), opts, |pkg, val| {
         if !exclude.contains(pkg) {

@@ -26,6 +26,7 @@ use crate::Result;
 
 /// L1: do `k` distinct valid packages rate `≥ B`?
 pub fn is_bound(inst: &RecInstance, bound: Ext, opts: &SolveOptions) -> Result<bool> {
+    let _span = pkgrec_trace::span!("mbp.is_bound");
     let mut found = 0usize;
     let stats = for_each_valid_package(inst, Some(bound), opts, |_, _| {
         found += 1;
@@ -82,6 +83,7 @@ pub fn maximum_bound(
     inst: &RecInstance,
     opts: &SolveOptions,
 ) -> Result<Outcome<Option<Ext>, SearchStats>> {
+    let _span = pkgrec_trace::span!("mbp.maximum_bound");
     // The k best ratings over distinct packages.
     let mut best: Vec<Ext> = Vec::new();
     let stats = for_each_valid_package(inst, None, opts, |_, val| {

@@ -51,6 +51,7 @@ pub fn check_top_k(
     selection: &[Package],
     opts: &SolveOptions,
 ) -> Result<std::result::Result<(), RppRefutation>> {
+    let _span = pkgrec_trace::span!("rpp.check_top_k");
     // Step 1: validity of the selection itself.
     if selection.len() != inst.k {
         return Ok(Err(RppRefutation::WrongCount {

@@ -18,6 +18,13 @@
 //! [`CHECK_INTERVAL`] steps, so metering adds a few nanoseconds per
 //! node even in hot loops.
 //!
+//! Metering also feeds the observability layer: every `tick` reports
+//! its step count to `pkgrec_trace`, so when tracing is enabled the
+//! innermost open span accumulates the search steps spent inside it —
+//! one counter, not two parallel ones. An interruption is tagged with
+//! the span that tripped it ([`Interrupted::span`]) and bumps the
+//! `guard.interrupted` trace counter.
+//!
 //! When a resource runs out, `tick` returns an [`Interrupted`] error
 //! naming the exhausted [`Resource`] and the steps spent. Decision
 //! procedures propagate it; optimization procedures instead degrade
@@ -194,6 +201,23 @@ pub struct Interrupted {
     pub resource: Resource,
     /// Steps spent when the interruption was noticed.
     pub steps: u64,
+    /// The innermost `pkgrec_trace` span open when the budget tripped
+    /// (`None` when tracing is disabled or no span was open). Names
+    /// *where* the search was cut off, e.g. `enumerate.dfs`.
+    pub span: Option<&'static str>,
+}
+
+impl Interrupted {
+    /// Build an interruption record without span attribution (the
+    /// span is captured automatically by [`Meter`]; this constructor
+    /// serves tests and synthetic outcomes).
+    pub fn new(resource: Resource, steps: u64) -> Interrupted {
+        Interrupted {
+            resource,
+            steps,
+            span: None,
+        }
+    }
 }
 
 impl fmt::Display for Interrupted {
@@ -202,7 +226,11 @@ impl fmt::Display for Interrupted {
             f,
             "search interrupted by {} after {} steps",
             self.resource, self.steps
-        )
+        )?;
+        if let Some(span) = self.span {
+            write!(f, " in {span}")?;
+        }
+        Ok(())
     }
 }
 
@@ -239,6 +267,7 @@ impl Meter {
     pub fn tick(&self) -> Result<(), Interrupted> {
         let spent = self.spent.get() + 1;
         self.spent.set(spent);
+        pkgrec_trace::add_steps(1);
         if let Some(limit) = self.budget.steps {
             if spent > limit {
                 return Err(self.interrupted(Resource::Steps { limit }));
@@ -258,6 +287,7 @@ impl Meter {
     pub fn tick_n(&self, n: u64) -> Result<(), Interrupted> {
         let spent = self.spent.get() + n;
         self.spent.set(spent);
+        pkgrec_trace::add_steps(n);
         if let Some(limit) = self.budget.steps {
             if spent > limit {
                 return Err(self.interrupted(Resource::Steps { limit }));
@@ -298,9 +328,11 @@ impl Meter {
     }
 
     fn interrupted(&self, resource: Resource) -> Interrupted {
+        pkgrec_trace::counter!("guard.interrupted");
         Interrupted {
             resource,
             steps: self.spent.get(),
+            span: pkgrec_trace::current_span_name(),
         }
     }
 }
@@ -456,10 +488,7 @@ mod tests {
     fn outcome_constructors() {
         let o = Outcome::exact(3, ());
         assert!(o.exact && o.interrupted.is_none());
-        let cut = Interrupted {
-            resource: Resource::Deadline,
-            steps: 9,
-        };
+        let cut = Interrupted::new(Resource::Deadline, 9);
         let p = Outcome::partial(vec![1], cut, ()).map(|v| v.len());
         assert!(!p.exact);
         assert_eq!(p.value, 1);
@@ -467,14 +496,37 @@ mod tests {
     }
 
     #[test]
-    fn display_formats() {
-        let cut = Interrupted {
-            resource: Resource::Steps { limit: 10 },
-            steps: 11,
+    fn ticks_feed_trace_spans_and_interrupts_carry_span() {
+        let _on = pkgrec_trace::scoped();
+        pkgrec_trace::reset();
+        let m = Budget::with_steps(3).meter();
+        let err = {
+            let _s = pkgrec_trace::span!("guard.test");
+            m.tick().unwrap();
+            m.tick_n(2).unwrap();
+            m.tick().unwrap_err()
         };
+        assert_eq!(err.span, Some("guard.test"));
+        let report = pkgrec_trace::take();
+        // 1 + 2 + the interrupting tick, all attributed to the span.
+        assert_eq!(report.spans["guard.test"].steps, 4);
+        assert_eq!(report.counters["guard.interrupted"], 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let cut = Interrupted::new(Resource::Steps { limit: 10 }, 11);
         assert_eq!(
             cut.to_string(),
             "search interrupted by step limit 10 after 11 steps"
+        );
+        let placed = Interrupted {
+            span: Some("enumerate.dfs"),
+            ..cut
+        };
+        assert_eq!(
+            placed.to_string(),
+            "search interrupted by step limit 10 after 11 steps in enumerate.dfs"
         );
         assert_eq!(Resource::Deadline.to_string(), "deadline");
         assert_eq!(Resource::Cancelled.to_string(), "cancellation");

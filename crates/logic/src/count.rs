@@ -16,6 +16,7 @@ pub fn count_models(f: &CnfFormula) -> u128 {
 
 /// Budgeted #SAT: interrupts when the meter's budget runs out.
 pub fn count_models_budgeted(f: &CnfFormula, meter: &Meter) -> Result<u128, Interrupted> {
+    let _span = pkgrec_trace::span!("sharpsat.count");
     let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars];
     count_rec(f, &mut assignment, f.num_vars, meter)
 }
@@ -27,6 +28,7 @@ fn count_rec(
     meter: &Meter,
 ) -> Result<u128, Interrupted> {
     meter.tick()?;
+    pkgrec_trace::counter!("sharpsat.branches");
     // Classify clauses under the partial assignment.
     let mut branch: Option<Lit> = None;
     let mut all_satisfied = true;

@@ -30,6 +30,7 @@ pub fn find_model_budgeted(
     f: &CnfFormula,
     meter: &Meter,
 ) -> Result<Option<Vec<bool>>, Interrupted> {
+    let _span = pkgrec_trace::span!("dpll.solve");
     let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars];
     Ok(if dpll(f, &mut assignment, meter)? {
         Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
@@ -53,6 +54,7 @@ fn dpll(
             match c.eval_partial(assignment) {
                 Some(true) => {}
                 Some(false) => {
+                    pkgrec_trace::counter!("dpll.conflicts");
                     for &v in &trail {
                         assignment[v] = None;
                     }
@@ -60,6 +62,7 @@ fn dpll(
                 }
                 None => {
                     if let Some(unit) = c.unit_literal(assignment) {
+                        pkgrec_trace::counter!("dpll.propagations");
                         assignment[unit.var] = Some(unit.positive);
                         trail.push(unit.var);
                         changed = true;
@@ -92,6 +95,7 @@ fn dpll(
         }
         for v in 0..f.num_vars {
             if assignment[v].is_none() && (seen_pos[v] ^ seen_neg[v]) {
+                pkgrec_trace::counter!("dpll.pure_literals");
                 assignment[v] = Some(seen_pos[v]);
                 trail.push(v);
             }
@@ -105,6 +109,7 @@ fn dpll(
         match c.eval_partial(assignment) {
             Some(true) => {}
             Some(false) => {
+                pkgrec_trace::counter!("dpll.conflicts");
                 for &v in &trail {
                     assignment[v] = None;
                 }
@@ -129,6 +134,7 @@ fn dpll(
     let lit = branch.expect("an unresolved clause has an unassigned literal");
     let mut result = Ok(false);
     for value in [lit.positive, !lit.positive] {
+        pkgrec_trace::counter!("dpll.decisions");
         assignment[lit.var] = Some(value);
         match dpll(f, assignment, meter) {
             Ok(true) => return Ok(true),

@@ -67,6 +67,7 @@ pub fn max_weight_sat_budgeted(
     instance: &MaxWeightSat,
     meter: &Meter,
 ) -> Result<Outcome<(u64, Vec<bool>), ()>, Interrupted> {
+    let _span = pkgrec_trace::span!("maxsat.solve");
     let n = instance.formula.num_vars;
     let mut assignment: Vec<Option<bool>> = vec![None; n];
     let mut best: Option<(u64, Vec<bool>)> = None;
@@ -90,6 +91,7 @@ fn branch(
     meter: &Meter,
 ) -> Result<(), Interrupted> {
     meter.tick()?;
+    pkgrec_trace::counter!("maxsat.branches");
     let n = instance.formula.num_vars;
     // Bound: weight of clauses already satisfied plus weight of clauses
     // not yet falsified.

@@ -75,8 +75,10 @@ impl Sigma2Dnf {
     /// Budgeted variant of [`Sigma2Dnf::is_true`]: interrupts when the
     /// meter's budget runs out.
     pub fn is_true_budgeted(&self, meter: &Meter) -> Result<bool, Interrupted> {
+        let _span = pkgrec_trace::span!("qbf.sigma2");
         for x in assignments(self.x_vars) {
             meter.tick()?;
+            pkgrec_trace::counter!("qbf.expansions");
             if self.forall_y_holds_budgeted(&x, meter)? {
                 return Ok(true);
             }
@@ -104,10 +106,12 @@ impl MaximumSigma2 {
         meter: &Meter,
     ) -> Result<Option<Vec<bool>>, Interrupted> {
         // Descending lexicographic order over X.
+        let _span = pkgrec_trace::span!("qbf.max_sigma2");
         let n = self.0.x_vars;
         assert!(n < 63, "X space too large to enumerate");
         for i in (0..(1u64 << n)).rev() {
             meter.tick()?;
+            pkgrec_trace::counter!("qbf.expansions");
             let x: Vec<bool> = (0..n).map(|bit| (i >> (n - 1 - bit)) & 1 == 1).collect();
             if self.0.forall_y_holds_budgeted(&x, meter)? {
                 return Ok(Some(x));
@@ -181,6 +185,7 @@ impl QbfFormula {
     /// Budgeted variant of [`QbfFormula::is_true`]: interrupts when the
     /// meter's budget runs out.
     pub fn is_true_budgeted(&self, meter: &Meter) -> Result<bool, Interrupted> {
+        let _span = pkgrec_trace::span!("qbf.eval");
         let mut assignment: Vec<Option<bool>> = vec![None; self.matrix.num_vars];
         self.eval_from(0, &mut assignment, meter)
     }
@@ -241,6 +246,7 @@ impl QbfFormula {
             return Ok(v);
         }
         debug_assert!(var < self.quants.len(), "undecided matrix has free vars");
+        pkgrec_trace::counter!("qbf.expansions");
         let mut results = [false; 2];
         for (slot, value) in [true, false].into_iter().enumerate() {
             assignment[var] = Some(value);

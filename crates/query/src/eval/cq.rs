@@ -300,6 +300,7 @@ pub(crate) fn eval_conjunction_with(
                 // One step per candidate tuple considered: the join's
                 // work is proportional to exactly this count.
                 self.ctx.tick()?;
+                pkgrec_trace::counter!("cq.join_candidates");
                 let mut newly_bound: Vec<usize> = Vec::new();
                 for (col, term) in atom.terms.iter().enumerate() {
                     match term {
@@ -396,6 +397,7 @@ pub(crate) fn eval_cq(
     q: &ConjunctiveQuery,
     pre_bound: Option<&Tuple>,
 ) -> Result<BTreeSet<Tuple>> {
+    let _span = pkgrec_trace::span!("cq.eval");
     q.check_safe()?;
     eval_conjunction(ctx, ctx.db, &q.head, &q.atoms, &q.builtins, pre_bound)
 }

@@ -42,6 +42,7 @@ struct RuleParts<'r> {
 /// Evaluate a Datalog program; returns the derived relation of the
 /// output predicate as a set of tuples.
 pub(crate) fn eval_datalog(ctx: EvalContext<'_>, prog: &DatalogProgram) -> Result<BTreeSet<Tuple>> {
+    let _span = pkgrec_trace::span!("datalog.fixpoint");
     prog.check()?;
     let arities = prog.idb_arities()?;
     let idb: BTreeSet<Arc<str>> = prog.idb_predicates();
@@ -170,6 +171,7 @@ pub(crate) fn eval_datalog(ctx: EvalContext<'_>, prog: &DatalogProgram) -> Resul
         // individual rule firings are small.
         ctx.tick()?;
         ctx.tick_n(full.values().map(|s| s.len() as u64).sum())?;
+        pkgrec_trace::counter!("datalog.fixpoint_rounds");
         let full_rels: BTreeMap<Arc<str>, Relation> = arities
             .iter()
             .map(|(p, &a)| (Arc::clone(p), materialize(p, a, &full[p])))
@@ -208,6 +210,10 @@ pub(crate) fn eval_datalog(ctx: EvalContext<'_>, prog: &DatalogProgram) -> Resul
         for (pred, d) in &new_delta {
             full.get_mut(pred).expect("same keys").extend(d.iter().cloned());
         }
+        pkgrec_trace::counter!(
+            "datalog.facts_derived",
+            new_delta.values().map(|s| s.len() as u64).sum()
+        );
         delta = new_delta;
     }
 

@@ -147,6 +147,7 @@ impl VarRelation {
             combo.iter_mut().for_each(|c| *c = 0);
             loop {
                 ctx.tick()?;
+                pkgrec_trace::counter!("fo.assignments");
                 out.rows.insert(
                     srcs.iter()
                         .map(|s| match s {
@@ -190,6 +191,7 @@ impl VarRelation {
         let mut combo = vec![0usize; k];
         loop {
             ctx.tick()?;
+            pkgrec_trace::counter!("fo.assignments");
             let row: Vec<Value> = combo.iter().map(|&i| domain[i].clone()).collect();
             if !self.rows.contains(&row) {
                 out.rows.insert(row);
@@ -419,6 +421,7 @@ pub(crate) fn eval_fo(
     q: &FoQuery,
     pre_bound: Option<&Tuple>,
 ) -> Result<BTreeSet<Tuple>> {
+    let _span = pkgrec_trace::span!("fo.eval");
     q.check_safe()?;
     if let Some(t) = pre_bound {
         if t.arity() != q.head.len() {

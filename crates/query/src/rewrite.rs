@@ -31,6 +31,7 @@ use crate::{QueryError, Result};
 /// Embed a CQ into FO: `Q(t̄) = ∃ ȳ (atoms ∧ builtins)` with the
 /// non-head body variables quantified explicitly.
 pub fn cq_to_fo(q: &ConjunctiveQuery) -> FoQuery {
+    pkgrec_trace::counter!("rewrite.steps");
     let head_vars = q.head_variables();
     let bound: Vec<Var> = q
         .all_variables()
@@ -46,6 +47,7 @@ pub fn cq_to_fo(q: &ConjunctiveQuery) -> FoQuery {
 /// The disjuncts' head terms may differ; each branch is rewritten to a
 /// shared head-variable vector via equality constraints.
 pub fn ucq_to_fo(q: &UnionQuery) -> FoQuery {
+    pkgrec_trace::counter!("rewrite.steps");
     let arity = q.arity();
     let head: Vec<Term> = (0..arity).map(|i| Term::v(format!("__h{i}"))).collect();
     let branches: Vec<Formula> = q
@@ -117,6 +119,7 @@ struct Conjunct {
 /// Fails with [`QueryError::Parse`]-style errors when the body is not
 /// positive-existential.
 pub fn posfo_to_ucq(q: &FoQuery) -> Result<UnionQuery> {
+    pkgrec_trace::counter!("rewrite.steps");
     if !q.body.is_positive_existential() {
         return Err(QueryError::DisjunctsBindDifferentVars);
     }
@@ -367,6 +370,7 @@ pub fn cq_to_datalog(q: &ConjunctiveQuery) -> DatalogProgram {
 
 /// Embed a UCQ into Datalog: one rule per disjunct, all defining `out`.
 pub fn ucq_to_datalog(q: &UnionQuery) -> DatalogProgram {
+    pkgrec_trace::counter!("rewrite.steps");
     let rules = q
         .disjuncts
         .iter()
@@ -384,6 +388,7 @@ pub fn ucq_to_datalog(q: &UnionQuery) -> DatalogProgram {
 /// substituting each IDB predicate with the disjunction of its rule
 /// bodies, processed in dependency order. Errors on recursive programs.
 pub fn nonrecursive_datalog_to_fo(p: &DatalogProgram) -> Result<FoQuery> {
+    pkgrec_trace::counter!("rewrite.steps");
     p.check()?;
     let order = p.strata_order().ok_or(QueryError::RecursiveProgram)?;
     let arities = p.idb_arities()?;

@@ -526,6 +526,7 @@ pub struct RelaxationWitness {
 /// Decide QRPP and return a *minimum-gap* witness relaxation when the
 /// answer is yes (`None` = no relaxation within budget works).
 pub fn qrpp(inst: &QrppInstance, opts: &SolveOptions) -> Result<Option<RelaxationWitness>> {
+    let _span = pkgrec_trace::span!("qrpp.solve");
     let metrics = inst.base.metrics.as_ref().ok_or_else(|| {
         CoreError::Invalid("QRPP requires a metric set Γ on the base instance".into())
     })?;
@@ -537,6 +538,7 @@ pub fn qrpp(inst: &QrppInstance, opts: &SolveOptions) -> Result<Option<Relaxatio
         inst.gap_budget,
     )?;
     for relaxation in enumerate_relaxations(&levels, inst.gap_budget) {
+        pkgrec_trace::counter!("qrpp.relaxations");
         let relaxed = apply_relaxation(&inst.base.query, &inst.spec, &relaxation)?;
         let candidate = {
             let mut c = inst.base.clone();
@@ -595,8 +597,10 @@ pub fn qrpp_items(
     rating_bound: f64,
     gap_budget: i64,
 ) -> Result<Option<RelaxationWitness>> {
+    let _span = pkgrec_trace::span!("qrpp.items");
     let levels = candidate_levels(db, query, spec, metrics, gap_budget)?;
     for relaxation in enumerate_relaxations(&levels, gap_budget) {
+        pkgrec_trace::counter!("qrpp.relaxations");
         let relaxed = apply_relaxation(query, spec, &relaxation)?;
         let answers = relaxed
             .eval_with_metrics(db, metrics)

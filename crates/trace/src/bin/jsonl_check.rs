@@ -1,0 +1,59 @@
+//! `jsonl_check` — validate that every line of a file (or stdin) is a
+//! well-formed JSON object, i.e. the file is valid JSONL of the shape
+//! `pkgrec --trace-out` emits. Used by the CI trace smoke step.
+//!
+//! ```text
+//! jsonl_check <file>     validate a file (use `-` for stdin)
+//! ```
+//!
+//! Exits 0 when every non-empty line validates, 1 otherwise (each bad
+//! line is reported with its line number).
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] => p.clone(),
+        _ => {
+            eprintln!("usage: jsonl_check <file> (use `-` for stdin)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let input = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("jsonl_check: cannot read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("jsonl_check: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let mut records = 0usize;
+    let mut bad = 0usize;
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records += 1;
+        if let Err(e) = pkgrec_trace::json::validate_object(line) {
+            bad += 1;
+            eprintln!("jsonl_check: line {}: {e}", lineno + 1);
+        }
+    }
+    if bad > 0 {
+        eprintln!("jsonl_check: {bad} of {records} records invalid");
+        return ExitCode::FAILURE;
+    }
+    println!("jsonl_check: {records} records OK");
+    ExitCode::SUCCESS
+}

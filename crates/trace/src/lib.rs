@@ -1,0 +1,784 @@
+//! Structured tracing and solver metrics for the solver stack.
+//!
+//! The paper's results are asymptotic — NP/Σ₂ᵖ/PSPACE bounds per
+//! language and regime — so the only way to *see* those complexity
+//! cliffs in a running system is to measure where the work goes: DPLL
+//! branching, Datalog fixpoint rounds, package-space DFS nodes. This
+//! crate is the dependency-free observability layer the rest of the
+//! workspace reports into:
+//!
+//! * **spans** — hierarchical RAII regions ([`span!`]) recording call
+//!   count, wall time and search steps per span *path* (e.g.
+//!   `frp.top_k/enumerate.dfs`);
+//! * **counters** — named monotonic counters ([`counter!`]), e.g.
+//!   `dpll.conflicts` or `enumerate.nodes` (see the registry below);
+//! * **histograms** — log₂-bucketed per-call latency distributions,
+//!   recorded automatically for every span path;
+//! * **reports** — a thread-local collector snapshots into a
+//!   serializable [`TraceReport`] with merge, stable (sorted) JSON
+//!   export and a human-readable rendering.
+//!
+//! Tracing is **off by default** and zero-cost while off: every probe
+//! reduces to a single relaxed atomic load. Enable it process-wide with
+//! [`enable`] (or scoped with [`scoped`]); aggregation state is
+//! per-thread, so concurrent solves never contend on a lock.
+//!
+//! ```
+//! let _on = pkgrec_trace::scoped();
+//! {
+//!     let _solve = pkgrec_trace::span!("demo.solve");
+//!     pkgrec_trace::counter!("demo.nodes", 3);
+//!     pkgrec_trace::add_steps(7);
+//! }
+//! let report = pkgrec_trace::take();
+//! assert_eq!(report.counters["demo.nodes"], 3);
+//! assert_eq!(report.spans["demo.solve"].steps, 7);
+//! ```
+//!
+//! # Counter name registry
+//!
+//! Counter and span names are a **stable public contract** (tests pin
+//! them; downstream dashboards may key on them):
+//!
+//! | name | layer | meaning |
+//! |------|-------|---------|
+//! | `dpll.decisions` | logic | DPLL branching decisions |
+//! | `dpll.propagations` | logic | unit-propagation assignments |
+//! | `dpll.conflicts` | logic | falsified-clause backtracks |
+//! | `dpll.pure_literals` | logic | pure-literal eliminations |
+//! | `qbf.expansions` | logic | quantifier-block assignments tried |
+//! | `sharpsat.branches` | logic | #SAT branch nodes |
+//! | `maxsat.branches` | logic | MaxSAT branch-and-bound nodes |
+//! | `datalog.fixpoint_rounds` | query | semi-naive fixpoint rounds |
+//! | `datalog.facts_derived` | query | new IDB facts per round |
+//! | `cq.join_candidates` | query | candidate tuples tried by the join |
+//! | `fo.assignments` | query | active-domain rows enumerated |
+//! | `rewrite.steps` | query | language-lattice rewrite steps |
+//! | `enumerate.nodes` | core | package-space DFS nodes visited |
+//! | `enumerate.pruned` | core | subtrees pruned by the cost bound |
+//! | `enumerate.valid` | core | packages passing all validity checks |
+//! | `qrpp.relaxations` | relax | relaxation candidates tried |
+//! | `arpp.adjustments` | adjust | adjustment candidates tried |
+//! | `guard.interrupted` | guard | budget interruptions raised |
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+pub mod json;
+
+/// Number of log₂ histogram buckets: bucket `i` holds values whose bit
+/// length is `i` (bucket 0 holds the value 0).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Process-wide enable count (an RAII-friendly counter rather than a
+/// flag, so nested/concurrent enablers compose). Tracing is on while
+/// nonzero; every probe checks this with one relaxed load.
+static ENABLED: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether tracing is currently enabled. This is the *only* cost a
+/// probe pays while tracing is off.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed) != 0
+}
+
+/// Enable tracing process-wide. Pair with [`disable`], or prefer
+/// [`scoped`] for automatic pairing.
+pub fn enable() {
+    ENABLED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Undo one [`enable`]. Saturates at zero so an unpaired call cannot
+/// wrap the counter.
+pub fn disable() {
+    let _ = ENABLED.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+        Some(n.saturating_sub(1))
+    });
+}
+
+/// RAII handle returned by [`scoped`]: tracing stays enabled until it
+/// drops.
+#[derive(Debug)]
+pub struct ScopedEnable(());
+
+impl Drop for ScopedEnable {
+    fn drop(&mut self) {
+        disable();
+    }
+}
+
+/// Enable tracing for the lifetime of the returned guard.
+#[must_use = "tracing is disabled again when the guard drops"]
+pub fn scoped() -> ScopedEnable {
+    enable();
+    ScopedEnable(())
+}
+
+/// One frame of the active span stack.
+struct Frame {
+    name: &'static str,
+    /// Length of the collector's `path` string up to and including this
+    /// frame's segment.
+    path_len: usize,
+    start: Instant,
+    steps: u64,
+}
+
+/// Per-thread aggregation state.
+#[derive(Default)]
+struct Collector {
+    stack: Vec<Frame>,
+    /// Slash-joined path of the open spans, e.g. `frp.top_k/enumerate.dfs`.
+    path: String,
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    /// Steps ticked while no span was open.
+    orphan_steps: u64,
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::default());
+}
+
+/// Run `f` with the thread's collector; silently a no-op during thread
+/// teardown (TLS already destroyed).
+#[inline]
+fn with_collector<R>(f: impl FnOnce(&mut Collector) -> R) -> Option<R> {
+    COLLECTOR.try_with(|c| f(&mut c.borrow_mut())).ok()
+}
+
+/// Aggregate statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed calls.
+    pub count: u64,
+    /// Total wall time across calls, in nanoseconds.
+    pub total_ns: u64,
+    /// Search steps attributed to this span (fed by `Meter::tick` and
+    /// [`add_steps`]); *self* steps only — not rolled up into parents.
+    pub steps: u64,
+}
+
+impl SpanStat {
+    fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.steps += other.steps;
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (nanoseconds for the
+/// automatic per-span latency histograms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// `buckets[i]` counts samples of bit length `i` (bucket 0: the
+    /// value 0), i.e. sample `v` lands in bucket `64 - v.leading_zeros()`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Pointwise merge of another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+/// RAII guard for an open span; closing (dropping) it records the
+/// call's wall time, step count and latency-histogram sample. Created
+/// by [`span`] / [`span!`]. Drop order is panic-safe: unwinding closes
+/// inner spans first, and a leaked guard (`mem::forget`) is healed by
+/// truncation on the next close.
+#[must_use = "a span measures the region until the guard drops"]
+pub struct SpanGuard {
+    /// Stack depth this guard expects to close (1-based); 0 marks a
+    /// no-op guard created while tracing was disabled.
+    depth: usize,
+}
+
+/// Open a span named `name`. Names are static so probes never allocate
+/// on the hot path; the dynamic span *path* is maintained by the
+/// collector. Prefer the [`span!`] macro.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { depth: 0 };
+    }
+    let depth = with_collector(|c| {
+        if !c.path.is_empty() {
+            c.path.push('/');
+        }
+        c.path.push_str(name);
+        let frame = Frame {
+            name,
+            path_len: c.path.len(),
+            start: Instant::now(),
+            steps: 0,
+        };
+        c.stack.push(frame);
+        c.stack.len()
+    });
+    SpanGuard {
+        depth: depth.unwrap_or(0),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.depth == 0 {
+            return;
+        }
+        let depth = self.depth;
+        with_collector(|c| {
+            // Heal any leaked inner guards, then close our frame.
+            while c.stack.len() >= depth {
+                let frame = c.stack.pop().expect("len >= depth >= 1");
+                let elapsed = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let path = c.path[..frame.path_len].to_string();
+                let stat = c.spans.entry(path.clone()).or_default();
+                stat.count += 1;
+                stat.total_ns += elapsed;
+                stat.steps += frame.steps;
+                c.histograms.entry(path).or_default().record(elapsed);
+                let parent_len = c.stack.last().map_or(0, |f| f.path_len);
+                c.path.truncate(parent_len);
+            }
+        });
+    }
+}
+
+/// Open a span: `let _guard = span!("dpll.solve");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// Add `n` to the named monotonic counter. Prefer the [`counter!`]
+/// macro.
+#[inline]
+pub fn add_counter(name: &'static str, n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_collector(|c| *c.counters.entry(name).or_insert(0) += n);
+}
+
+/// Bump a named counter: `counter!("dpll.conflicts")` or
+/// `counter!("datalog.facts_derived", n)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::add_counter($name, 1)
+    };
+    ($name:expr, $n:expr) => {
+        $crate::add_counter($name, $n)
+    };
+}
+
+/// Attribute `n` search steps to the innermost open span. This is the
+/// hook `pkgrec_guard::Meter::tick` feeds, so metered solvers get span
+/// step counts without maintaining a second parallel counter.
+#[inline]
+pub fn add_steps(n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_collector(|c| match c.stack.last_mut() {
+        Some(frame) => frame.steps += n,
+        None => c.orphan_steps += n,
+    });
+}
+
+/// Name of the innermost open span on this thread, if tracing is
+/// enabled and a span is open. Used by `pkgrec_guard` to tag
+/// `Interrupted` errors with where the budget tripped.
+#[inline]
+pub fn current_span_name() -> Option<&'static str> {
+    if !is_enabled() {
+        return None;
+    }
+    with_collector(|c| c.stack.last().map(|f| f.name)).flatten()
+}
+
+/// Slash-joined path of the open spans on this thread (empty when no
+/// span is open or tracing is disabled).
+pub fn current_span_path() -> String {
+    if !is_enabled() {
+        return String::new();
+    }
+    with_collector(|c| c.path.clone()).unwrap_or_default()
+}
+
+/// A serializable aggregate of everything recorded on one thread (or
+/// merged across threads/solves): per-path span statistics, counters,
+/// and per-path latency histograms. Keys are sorted (`BTreeMap`), so
+/// every rendering of a report is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// Span statistics keyed by slash-joined span path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Monotonic counters keyed by registry name.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-span-path latency histograms (nanoseconds).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl TraceReport {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge another report into this one (counters add, span stats
+    /// add, histograms merge pointwise).
+    pub fn merge(&mut self, other: &TraceReport) {
+        for (path, stat) in &other.spans {
+            self.spans.entry(path.clone()).or_default().merge(stat);
+        }
+        for (name, n) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += n;
+        }
+        for (path, h) in &other.histograms {
+            self.histograms.entry(path.clone()).or_default().merge(h);
+        }
+    }
+
+    /// The counter with the largest value (ties broken toward the
+    /// lexicographically first name, so the choice is deterministic).
+    pub fn dominant_counter(&self) -> Option<(&str, u64)> {
+        self.counters
+            .iter()
+            .max_by(|(an, av), (bn, bv)| av.cmp(bv).then(bn.cmp(an)))
+            .map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// Serialize as one JSON object (sorted keys, no whitespace) —
+    /// suitable as a JSONL record.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Append the JSON object form to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"spans\":{");
+        for (i, (path, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(out, path);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"total_ns\":{},\"steps\":{}}}",
+                s.count, s.total_ns, s.steps
+            );
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, n)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(out, name);
+            let _ = write!(out, ":{n}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (path, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(out, path);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"buckets\":[",
+                h.count, h.sum, h.min, h.max
+            );
+            let mut first = true;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n > 0 {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "[{b},{n}]");
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+    }
+
+    /// Multi-line human rendering (sorted, aligned), for `--trace=human`.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("trace: nothing recorded\n");
+            return out;
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans (path, calls, total wall time, steps):\n");
+            let width = self.spans.keys().map(|p| p.len()).max().unwrap_or(0);
+            for (path, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {path:<width$}  ×{:<8} {:>12}  steps={}",
+                    s.count,
+                    format_ns(s.total_ns),
+                    s.steps
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self.counters.keys().map(|p| p.len()).max().unwrap_or(0);
+            for (name, n) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {n}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("per-call latency (min / mean / max):\n");
+            let width = self.histograms.keys().map(|p| p.len()).max().unwrap_or(0);
+            for (path, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {path:<width$}  {} / {} / {}",
+                    format_ns(h.min),
+                    format_ns(h.mean()),
+                    format_ns(h.max)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Render nanoseconds with an adaptive unit.
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn report_of(c: &Collector) -> TraceReport {
+    let mut report = TraceReport {
+        spans: c
+            .spans
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        counters: c
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect(),
+        histograms: c.histograms.clone(),
+    };
+    if c.orphan_steps > 0 {
+        report
+            .counters
+            .insert("trace.orphan_steps".to_string(), c.orphan_steps);
+    }
+    report
+}
+
+/// Copy this thread's aggregates into a report without resetting them.
+/// Open (unfinished) spans are not included.
+pub fn snapshot() -> TraceReport {
+    with_collector(|c| report_of(c)).unwrap_or_default()
+}
+
+/// Snapshot this thread's aggregates and reset them (open spans stay
+/// open and will record into the fresh epoch when they close).
+pub fn take() -> TraceReport {
+    with_collector(|c| {
+        let report = report_of(c);
+        c.spans.clear();
+        c.counters.clear();
+        c.histograms.clear();
+        c.orphan_steps = 0;
+        report
+    })
+    .unwrap_or_default()
+}
+
+/// Discard this thread's aggregates (open spans stay open).
+pub fn reset() {
+    let _ = take();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        reset();
+        let _s = span!("off.span");
+        counter!("off.counter", 5);
+        add_steps(9);
+        drop(_s);
+        assert!(snapshot().is_empty());
+        assert_eq!(current_span_name(), None);
+    }
+
+    #[test]
+    fn nested_spans_build_paths_and_attribute_steps() {
+        let _on = scoped();
+        reset();
+        {
+            let _outer = span!("outer");
+            add_steps(2);
+            {
+                let _inner = span!("inner");
+                assert_eq!(current_span_name(), Some("inner"));
+                assert_eq!(current_span_path(), "outer/inner");
+                add_steps(5);
+            }
+            add_steps(1);
+        }
+        let r = take();
+        assert_eq!(r.spans["outer"].steps, 3);
+        assert_eq!(r.spans["outer/inner"].steps, 5);
+        assert_eq!(r.spans["outer"].count, 1);
+        assert!(r.spans["outer"].total_ns >= r.spans["outer/inner"].total_ns);
+        assert!(r.histograms.contains_key("outer/inner"));
+    }
+
+    #[test]
+    fn repeated_spans_aggregate() {
+        let _on = scoped();
+        reset();
+        for _ in 0..4 {
+            let _s = span!("repeat");
+        }
+        let r = take();
+        assert_eq!(r.spans["repeat"].count, 4);
+        assert_eq!(r.histograms["repeat"].count, 4);
+    }
+
+    #[test]
+    fn panic_unwinds_close_spans_cleanly() {
+        let _on = scoped();
+        reset();
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span!("panic.outer");
+            let _inner = span!("panic.inner");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        // Both spans were closed by the unwind and the stack is empty.
+        assert_eq!(current_span_name(), None);
+        assert_eq!(current_span_path(), "");
+        let r = take();
+        assert_eq!(r.spans["panic.outer"].count, 1);
+        assert_eq!(r.spans["panic.outer/panic.inner"].count, 1);
+        // A fresh span after the panic nests at the root again.
+        let _on2 = scoped();
+        let s = span!("after");
+        assert_eq!(current_span_path(), "after");
+        drop(s);
+        let _ = take();
+    }
+
+    #[test]
+    fn orphan_steps_are_reported() {
+        let _on = scoped();
+        reset();
+        add_steps(11);
+        let r = take();
+        assert_eq!(r.counters["trace.orphan_steps"], 11);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.sum, 1030);
+        assert_eq!(h.mean(), 206);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[11], 1); // 1024
+    }
+
+    #[test]
+    fn report_merge_adds_everything() {
+        let mut a = TraceReport::default();
+        a.counters.insert("c".into(), 2);
+        a.spans.insert(
+            "s".into(),
+            SpanStat {
+                count: 1,
+                total_ns: 10,
+                steps: 3,
+            },
+        );
+        let mut ha = Histogram::default();
+        ha.record(10);
+        a.histograms.insert("s".into(), ha);
+
+        let mut b = TraceReport::default();
+        b.counters.insert("c".into(), 5);
+        b.counters.insert("d".into(), 1);
+        b.spans.insert(
+            "s".into(),
+            SpanStat {
+                count: 2,
+                total_ns: 30,
+                steps: 4,
+            },
+        );
+        let mut hb = Histogram::default();
+        hb.record(20);
+        hb.record(40);
+        b.histograms.insert("s".into(), hb);
+
+        a.merge(&b);
+        assert_eq!(a.counters["c"], 7);
+        assert_eq!(a.counters["d"], 1);
+        assert_eq!(
+            a.spans["s"],
+            SpanStat {
+                count: 3,
+                total_ns: 40,
+                steps: 7
+            }
+        );
+        let h = &a.histograms["s"];
+        assert_eq!((h.count, h.min, h.max, h.sum), (3, 10, 40, 70));
+    }
+
+    #[test]
+    fn dominant_counter_is_deterministic() {
+        let mut r = TraceReport::default();
+        assert_eq!(r.dominant_counter(), None);
+        r.counters.insert("b".into(), 9);
+        r.counters.insert("a".into(), 9);
+        r.counters.insert("z".into(), 3);
+        // Tie on 9 → lexicographically first name.
+        assert_eq!(r.dominant_counter(), Some(("a", 9)));
+    }
+
+    #[test]
+    fn json_is_valid_and_sorted() {
+        let mut r = TraceReport::default();
+        r.counters.insert("zeta".into(), 1);
+        r.counters.insert("alpha \"quoted\"".into(), 2);
+        r.spans.insert(
+            "a/b".into(),
+            SpanStat {
+                count: 1,
+                total_ns: 5,
+                steps: 2,
+            },
+        );
+        let mut h = Histogram::default();
+        h.record(7);
+        r.histograms.insert("a/b".into(), h);
+        let line = r.to_json();
+        json::validate(&line).expect("valid JSON");
+        assert!(line.find("alpha").unwrap() < line.find("zeta").unwrap());
+        assert!(line.contains("\"total_ns\":5"));
+        assert!(line.contains("\"buckets\":[[3,1]]"));
+    }
+
+    #[test]
+    fn take_resets_but_snapshot_does_not() {
+        let _on = scoped();
+        reset();
+        counter!("x");
+        assert_eq!(snapshot().counters["x"], 1);
+        assert_eq!(snapshot().counters["x"], 1);
+        assert_eq!(take().counters["x"], 1);
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn human_rendering_mentions_everything() {
+        let _on = scoped();
+        reset();
+        {
+            let _s = span!("render.me");
+            counter!("render.counter", 42);
+        }
+        let text = take().render_human();
+        assert!(text.contains("render.me"));
+        assert!(text.contains("render.counter"));
+        assert!(text.contains("42"));
+        assert!(TraceReport::default().render_human().contains("nothing recorded"));
+    }
+}

@@ -7,6 +7,7 @@
 //! pkgrec bound <db-file> <query> [options]        MBP: maximum rating bound
 //! pkgrec count <db-file> <query> --min-val B ...  CPP: count valid packages
 //! pkgrec items <db-file> <query> --val sum:COL --k K    top-k items
+//! pkgrec qbf   <qdimacs-file> [options]           check Theorem 4.1 encodings
 //!
 //! options:
 //!   --k N              number of packages/items (default 1)
@@ -17,6 +18,10 @@
 //!   --max-size N       constant package-size bound (default |D|)
 //!   --steps N          search budget: stop after N enumeration steps
 //!   --timeout-ms T     search budget: stop after T milliseconds
+//!   --trace[=human|json]   collect solver metrics; print them after the
+//!                      answer (human) or as one JSONL record (json)
+//!   --trace-out PATH   append the JSONL trace record to PATH instead
+//!                      of stdout (implies --trace=json)
 //! ```
 //!
 //! With `--steps`/`--timeout-ms`, `topk`, `bound` and `count` are
@@ -26,17 +31,26 @@
 //! The database file uses the `pkgrec::data::text` format; the query is
 //! inline text (rule form `q(x) :- r(x, y).` or FO form
 //! `q(x) = exists y. r(x, y)`) or `@path` to read it from a file.
+//!
+//! `qbf` reads a QDIMACS file (`p cnf V C`, `e`/`a` quantifier lines,
+//! DIMACS clauses), evaluates the sentence with the QBF solver, then
+//! machine-checks the paper's Theorem 4.1 membership encodings against
+//! it: the DATALOGnr and FO rewritings evaluated by the query engine,
+//! and the RPP top-1 wrapping decided by the package enumerator. With
+//! `--trace` this exercises — and meters — all three solver layers.
 
 use std::process::ExitCode;
 
 use pkgrec::core::{
-    problems::cpp, problems::frp, problems::mbp, Budget, Ext, PackageFn, RecInstance,
-    SizeBound, SolveOptions,
+    problems::cpp, problems::frp, problems::mbp, problems::rpp, Budget, Ext, PackageFn,
+    RecInstance, SizeBound, SolveOptions,
 };
 use pkgrec::data::text::parse_database;
-use pkgrec::data::Database;
+use pkgrec::data::{tuple, Database};
+use pkgrec::logic::{Clause, CnfFormula, Lit, QbfFormula, Quant};
 use pkgrec::query::parser::{parse_fo, parse_query};
 use pkgrec::query::Query;
+use pkgrec::reductions::membership;
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -57,6 +71,14 @@ struct Options {
     max_size: Option<usize>,
     steps: Option<u64>,
     timeout_ms: Option<u64>,
+    trace: Option<TraceFormat>,
+    trace_out: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Human,
+    Json,
 }
 
 fn parse_fn_spec(spec: &str) -> Result<PackageFn, String> {
@@ -86,10 +108,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_size: None,
         steps: None,
         timeout_ms: None,
+        trace: None,
+        trace_out: None,
     };
     let mut i = 0;
     while i < args.len() {
         let flag = &args[i];
+        // `--trace` variants are single-token flags (no separate value).
+        if flag == "--trace" || flag == "--trace=human" {
+            opts.trace = Some(TraceFormat::Human);
+            i += 1;
+            continue;
+        }
+        if flag == "--trace=json" {
+            opts.trace = Some(TraceFormat::Json);
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
@@ -120,6 +155,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .parse()
                         .map_err(|_| "bad --timeout-ms value".to_string())?,
                 )
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(value.clone());
+                // Writing to a file only makes sense as JSONL; a prior
+                // explicit `--trace=human` still prints to stdout too.
+                opts.trace.get_or_insert(TraceFormat::Json);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -168,14 +209,172 @@ fn build_instance(db: Database, query: Query, opts: &Options) -> RecInstance {
     inst
 }
 
+/// Parse a QDIMACS file: `c` comments, a `p cnf <vars> <clauses>`
+/// header, `e`/`a` quantifier lines and clause lines, all 0-terminated.
+/// Every variable must be quantified (the CLI checks closed sentences).
+fn load_qbf(path: &str) -> Result<QbfFormula, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut num_vars: Option<usize> = None;
+    let mut quants: Vec<Option<Quant>> = Vec::new();
+    let mut clauses: Vec<Clause> = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line = line.trim();
+        let err = |msg: String| format!("{path}:{}: {msg}", lineno + 1);
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("p cnf") {
+            let mut nums = header.split_whitespace();
+            let v: usize = nums
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad `p cnf` header".into()))?;
+            num_vars = Some(v);
+            quants = vec![None; v];
+            continue;
+        }
+        let n = num_vars.ok_or_else(|| err("clause before `p cnf` header".into()))?;
+        let (quant, rest) = match line.split_at(1) {
+            ("e", rest) => (Some(Quant::Exists), rest),
+            ("a", rest) => (Some(Quant::Forall), rest),
+            _ => (None, line),
+        };
+        let mut lits = Vec::new();
+        for tok in rest.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| err(format!("bad literal `{tok}`")))?;
+            if v == 0 {
+                break; // terminator
+            }
+            let var = (v.unsigned_abs() as usize)
+                .checked_sub(1)
+                .filter(|&i| i < n)
+                .ok_or_else(|| err(format!("variable {} out of range 1..={n}", v.abs())))?;
+            match quant {
+                Some(q) => quants[var] = Some(q),
+                None => lits.push(if v > 0 { Lit::pos(var) } else { Lit::neg(var) }),
+            }
+        }
+        if quant.is_none() {
+            clauses.push(Clause::new(lits));
+        }
+    }
+    let n = num_vars.ok_or_else(|| format!("{path}: missing `p cnf` header"))?;
+    let quants: Vec<Quant> = quants
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| q.ok_or_else(|| format!("{path}: variable {} is not quantified", i + 1)))
+        .collect::<Result<_, _>>()?;
+    Ok(QbfFormula::new(quants, CnfFormula::new(n, clauses)))
+}
+
+/// The `qbf` command: evaluate a closed QBF sentence directly, then
+/// machine-check the Theorem 4.1 membership encodings against it —
+/// DATALOGnr and FO via the query engine, RPP top-1 membership via the
+/// package enumerator. Exercises the logic, query and core layers in
+/// one run, so `--trace` surfaces counters from all three.
+fn cmd_qbf(qbf_path: &str, opts: &Options, solver_opts: &SolveOptions) -> Result<(), String> {
+    let qbf = load_qbf(qbf_path)?;
+    let mut budget = Budget::unlimited();
+    if let Some(n) = opts.steps {
+        budget = budget.steps(n);
+    }
+    if let Some(ms) = opts.timeout_ms {
+        budget = budget.timeout(std::time::Duration::from_millis(ms));
+    }
+    let direct = qbf
+        .is_true_budgeted(&budget.meter())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "qbf: {} vars, {} clauses: {}",
+        qbf.matrix.num_vars,
+        qbf.matrix.clauses.len(),
+        if direct { "TRUE" } else { "FALSE" }
+    );
+
+    let (db, q) = membership::qbf_to_datalognr(&qbf);
+    let via_datalog = !q.eval(&db).map_err(|e| e.to_string())?.is_empty();
+    let (db, q) = membership::qbf_to_fo(&qbf);
+    let via_fo = !q.eval(&db).map_err(|e| e.to_string())?.is_empty();
+    // Wrap the FO encoding as an RPP instance: {()} is a top-1
+    // selection iff the empty tuple is an answer, i.e. iff the QBF
+    // holds.
+    let (inst, sel) = membership::rpp_from_membership(db, q, tuple![]);
+    let via_rpp = rpp::is_top_k(&inst, &sel, solver_opts).map_err(|e| e.to_string())?;
+
+    for (name, got) in [
+        ("datalognr", via_datalog),
+        ("fo", via_fo),
+        ("rpp top-1 membership", via_rpp),
+    ] {
+        if got != direct {
+            return Err(format!(
+                "{name} encoding disagrees with the QBF solver \
+                 ({got} vs {direct}) — reduction bug"
+            ));
+        }
+    }
+    println!("encodings agree: datalognr, fo, rpp top-1 membership");
+    Ok(())
+}
+
+/// Emit the collected trace report per `--trace`/`--trace-out`.
+fn emit_trace(opts: &Options) -> Result<(), String> {
+    let Some(format) = opts.trace else {
+        return Ok(());
+    };
+    let report = pkgrec_trace::take();
+    match format {
+        TraceFormat::Human => print!("{}", report.render_human()),
+        TraceFormat::Json => {
+            if opts.trace_out.is_none() {
+                println!("{}", report.to_json());
+            }
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open `{path}`: {e}"))?;
+        writeln!(file, "{}", report.to_json())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(())
+}
+
 fn run(args: Vec<String>) -> Result<(), String> {
     let usage = "usage: pkgrec <eval|topk|bound|count|items> <db-file> <query> [options] \
+                 | pkgrec qbf <qdimacs-file> [options] \
                  (see --help in the source header)";
     let mut it = args.iter();
     let cmd = it.next().ok_or(usage)?.as_str();
     if cmd == "--help" || cmd == "-h" {
         println!("{usage}");
         return Ok(());
+    }
+    if cmd == "qbf" {
+        let qbf_path = it.next().ok_or(usage)?;
+        let rest: Vec<String> = it.cloned().collect();
+        let opts = parse_options(&rest)?;
+        let mut budget = Budget::unlimited();
+        if let Some(n) = opts.steps {
+            budget = budget.steps(n);
+        }
+        if let Some(ms) = opts.timeout_ms {
+            budget = budget.timeout(std::time::Duration::from_millis(ms));
+        }
+        let solver_opts = SolveOptions::with_budget(budget);
+        let _tracing = opts.trace.map(|_| {
+            pkgrec_trace::reset();
+            pkgrec_trace::scoped()
+        });
+        cmd_qbf(qbf_path, &opts, &solver_opts)?;
+        return emit_trace(&opts);
     }
     let db_path = it.next().ok_or(usage)?;
     let query_arg = it.next().ok_or(usage)?;
@@ -192,6 +391,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
         budget = budget.timeout(std::time::Duration::from_millis(ms));
     }
     let solver_opts = SolveOptions::with_budget(budget);
+
+    // Collect solver metrics for this solve when asked to.
+    let _tracing = opts.trace.map(|_| {
+        pkgrec_trace::reset();
+        pkgrec_trace::scoped()
+    });
 
     match cmd {
         "eval" => {
@@ -264,5 +469,6 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         other => return Err(format!("unknown command `{other}`; {usage}")),
     }
-    Ok(())
+
+    emit_trace(&opts)
 }

@@ -1,0 +1,97 @@
+//! Cross-crate observability tests: the counter names emitted by a
+//! solve are a stable public contract (dashboards and the bench report
+//! key on them), interrupted searches name the span that tripped the
+//! budget, and the CLI's JSONL records are valid JSON.
+//!
+//! Tracing state is global-enable + thread-local collection, and the
+//! test harness runs each test on its own thread, so enabling tracing
+//! here cannot contaminate other tests' collectors.
+
+use pkgrec::core::{
+    problems::frp, problems::rpp, Package, PackageFn, RecInstance, SolveOptions,
+};
+use pkgrec::data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec::query::{ConjunctiveQuery, Query};
+
+/// Items {1, 2, 3}; val = sum of items; cost = |N|; budget 2.
+fn small_instance() -> RecInstance {
+    let mut db = Database::new();
+    let r = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+    db.add_relation(Relation::from_tuples(r, [tuple![1], tuple![2], tuple![3]]).unwrap())
+        .unwrap();
+    RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("r", 1)))
+        .with_budget(2.0)
+        .with_val(PackageFn::sum_col(0, true))
+}
+
+/// Golden test: the exact counter and span names a small RPP solve
+/// emits. A rename here breaks `report --stats` consumers and saved
+/// JSONL traces, so it must be deliberate — update the registry table
+/// in `crates/trace/src/lib.rs`, DESIGN.md and this list together.
+#[test]
+fn rpp_solve_emits_the_documented_counter_names() {
+    let _scope = pkgrec_trace::scoped();
+    pkgrec_trace::reset();
+    let inst = small_instance();
+    let sel = vec![Package::new([tuple![2], tuple![3]])];
+    assert!(rpp::is_top_k(&inst, &sel, &SolveOptions::default()).unwrap());
+    let report = pkgrec_trace::take();
+
+    let counters: Vec<&str> = report.counters.keys().map(String::as_str).collect();
+    assert_eq!(
+        counters,
+        ["cq.join_candidates", "enumerate.nodes", "enumerate.pruned", "enumerate.valid"],
+        "counter names are a stable contract; see the registry in pkgrec-trace"
+    );
+    let spans: Vec<&str> = report.spans.keys().map(String::as_str).collect();
+    assert_eq!(
+        spans,
+        [
+            "rpp.check_top_k",
+            "rpp.check_top_k/cq.eval",
+            "rpp.check_top_k/enumerate.dfs"
+        ]
+    );
+    // The probes carry real measurements, not just names.
+    assert!(report.counters["enumerate.nodes"] > 0);
+    assert!(report.spans["rpp.check_top_k"].total_ns > 0);
+    assert!(report.spans["rpp.check_top_k/enumerate.dfs"].steps > 0);
+}
+
+/// An FRP search cut off mid-enumeration reports *where* the budget
+/// tripped: the interruption is tagged with the innermost open span.
+#[test]
+fn interrupted_frp_solve_names_the_enumeration_span() {
+    let _scope = pkgrec_trace::scoped();
+    pkgrec_trace::reset();
+    let out = frp::top_k(&small_instance(), &SolveOptions::limited(3)).unwrap();
+    assert!(!out.exact);
+    let cut = out.interrupted.expect("3 steps cannot finish the search");
+    assert_eq!(cut.span, Some("enumerate.dfs"));
+    assert!(
+        cut.to_string().ends_with("in enumerate.dfs"),
+        "Display names the tripping span: {cut}"
+    );
+}
+
+/// Without tracing enabled the same interruption carries no span — the
+/// disabled probes stay invisible.
+#[test]
+fn interruption_span_is_absent_when_tracing_is_off() {
+    let out = frp::top_k(&small_instance(), &SolveOptions::limited(3)).unwrap();
+    let cut = out.interrupted.expect("3 steps cannot finish the search");
+    assert_eq!(cut.span, None);
+}
+
+/// The report serializes to valid JSON (one JSONL record), checked by
+/// the same validator the `jsonl_check` CI tool uses.
+#[test]
+fn trace_report_serializes_to_valid_json() {
+    let _scope = pkgrec_trace::scoped();
+    pkgrec_trace::reset();
+    let sel = vec![Package::new([tuple![2], tuple![3]])];
+    rpp::is_top_k(&small_instance(), &sel, &SolveOptions::default()).unwrap();
+    let json = pkgrec_trace::take().to_json();
+    assert!(!json.contains('\n'), "JSONL records are single-line");
+    pkgrec_trace::json::validate_object(&json).expect("valid JSON object");
+}
