@@ -14,9 +14,8 @@
 //! the Theorem 8.1 upper-bound algorithm.
 
 use std::fmt;
-use std::ops::ControlFlow;
 
-use pkgrec_core::{for_each_valid_package, CoreError, Ext, RecInstance, SolveOptions};
+use pkgrec_core::{CoreError, Ext, RecInstance, SolveOptions};
 use pkgrec_data::{Database, Tuple};
 
 /// Result alias (errors come from the core layer).
@@ -234,26 +233,12 @@ fn next_combination(combo: &mut [usize], n: usize) -> bool {
     false
 }
 
+/// Delegates to MBP's L1 decision, which threads `opts.jobs` through to
+/// the (possibly parallel) package-space engine and keeps the strictness
+/// contract: the k-th found package certifies "yes" regardless of the
+/// budget, but an interrupted search cannot certify "no".
 fn has_k_valid_packages(inst: &RecInstance, bound: Ext, opts: &SolveOptions) -> Result<bool> {
-    let mut found = 0usize;
-    let stats = for_each_valid_package(inst, Some(bound), opts, |_, _| {
-        found += 1;
-        if found >= inst.k {
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    })?;
-    // Same strictness contract as pkgrec-core's decision solvers: the
-    // k-th found package certifies "yes" regardless of the budget, but
-    // an interrupted search cannot certify "no".
-    if found >= inst.k {
-        return Ok(true);
-    }
-    match stats.interrupted {
-        Some(cut) => Err(cut.into()),
-        None => Ok(false),
-    }
+    pkgrec_core::problems::mbp::is_bound(inst, bound, opts)
 }
 
 #[cfg(test)]

@@ -1,0 +1,108 @@
+//! `parallel_speedup` — measure the parallel package-space engine
+//! against the sequential walk on a pruning-free search.
+//!
+//! The workload is CPP over `N` items under an unlimited cost budget:
+//! every one of the `2^N` subsets is enumerated, so the whole search is
+//! parallel work with no early exit — the cleanest speedup measurement
+//! the engine admits. Each `--jobs` level is timed best-of-[`REPS`],
+//! and every level must return the *same* count as `--jobs 1` (the
+//! bench doubles as an equivalence check).
+//!
+//! Speedup is bounded by the cores the host actually has; the report
+//! records `available_cores` so a ~1.0× result on a single-core runner
+//! reads as a host limit, not an engine regression.
+//!
+//! ```sh
+//! cargo run --release -p pkgrec-bench --bin parallel_speedup -- BENCH_parallel_speedup.json
+//! ```
+//!
+//! `--smoke` shrinks the space to `2^14` packages for CI shape checks.
+
+use std::time::Duration;
+
+use pkgrec_bench::time_best_of;
+use pkgrec_core::{problems::cpp, Ext, PackageFn, RecInstance, SolveOptions};
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_query::{ConjunctiveQuery, Query};
+
+/// Best-of repetitions per jobs level.
+const REPS: usize = 3;
+/// log2 of the package space: the full run covers ≥ 2^20 packages.
+const ITEMS: usize = 20;
+const ITEMS_SMOKE: usize = 14;
+
+/// `n` integer items under an identity query, unlimited cost budget,
+/// val = sum of item ids: nothing prunes, so the search visits all
+/// `2^n` subsets.
+fn instance(n: usize) -> RecInstance {
+    let schema = RelationSchema::new("item", [("id", AttrType::Int)]).expect("valid schema");
+    let rel = Relation::from_tuples(schema, (0..n).map(|i| tuple![i as i64]))
+        .expect("schema-conformant");
+    let mut db = Database::new();
+    db.add_relation(rel).expect("fresh db");
+    RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("item", 1)))
+        .with_val(PackageFn::sum_col(0, true))
+}
+
+fn run(inst: &RecInstance, jobs: usize) -> (Duration, u128) {
+    let opts = SolveOptions::default().with_jobs(jobs);
+    let mut count = 0;
+    let t = time_best_of(REPS, || {
+        let out = cpp::count_valid(inst, Ext::NegInf, &opts).expect("solves");
+        assert!(out.exact, "unlimited budget always finishes");
+        count = out.value;
+        count
+    });
+    (t, count)
+}
+
+fn main() {
+    let mut out_path = None;
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = Some(arg);
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_parallel_speedup.json".to_string());
+
+    let items = if smoke { ITEMS_SMOKE } else { ITEMS };
+    let cores = std::thread::available_parallelism().map_or(0, usize::from);
+    let inst = instance(items);
+
+    let (base, base_count) = run(&inst, 1);
+    let mut runs = vec![(1usize, base, 1.0f64)];
+    for jobs in [2usize, 4] {
+        let (t, count) = run(&inst, jobs);
+        assert_eq!(
+            count, base_count,
+            "parallel engine must agree with sequential at jobs={jobs}"
+        );
+        runs.push((jobs, t, base.as_secs_f64() / t.as_secs_f64()));
+        eprintln!(
+            "jobs {jobs}: {t:?} ({:.2}x vs sequential {base:?})",
+            base.as_secs_f64() / t.as_secs_f64()
+        );
+    }
+
+    let runs_json: Vec<String> = runs
+        .iter()
+        .map(|(jobs, t, speedup)| {
+            format!(
+                "{{\"jobs\":{jobs},\"seconds\":{:.6},\"speedup\":{speedup:.3}}}",
+                t.as_secs_f64()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"cpp.count_valid, identity query, no pruning\",\
+\"packages\":{},\"reps\":{REPS},\"available_cores\":{cores},\"runs\":[{}]}}",
+        1u64 << items,
+        runs_json.join(",")
+    );
+    pkgrec_trace::json::validate_object(&json).expect("report is valid JSON");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write output file");
+    eprintln!("wrote {out_path}");
+}

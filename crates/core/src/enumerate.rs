@@ -11,12 +11,15 @@
 //! search.
 
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use pkgrec_data::Tuple;
-use pkgrec_guard::{Budget, Interrupted, Meter};
+use pkgrec_guard::{Budget, Interrupted, Meter, SharedMeter, WorkerMeter};
 
-use crate::instance::RecInstance;
+use crate::error::CoreError;
+use crate::instance::{RecInstance, SearchContext};
 use crate::package::Package;
 use crate::rating::Ext;
 use crate::Result;
@@ -28,6 +31,12 @@ pub struct SolveOptions {
     /// enumerated package; the deadline and cancellation flag are
     /// checked on the same cadence. Unlimited by default.
     pub budget: Budget,
+    /// Worker threads for the package-space walk. `0` (the default)
+    /// resolves to the `PKGREC_JOBS` environment variable, or `1` when
+    /// it is unset; `1` runs the sequential engine. Any value returns
+    /// bit-identical results on uninterrupted runs (see
+    /// [`reduce_valid_packages`]).
+    pub jobs: usize,
 }
 
 impl SolveOptions {
@@ -35,6 +44,7 @@ impl SolveOptions {
     pub const fn unbounded() -> SolveOptions {
         SolveOptions {
             budget: Budget::unlimited(),
+            jobs: 0,
         }
     }
 
@@ -42,6 +52,7 @@ impl SolveOptions {
     pub fn limited(limit: u64) -> SolveOptions {
         SolveOptions {
             budget: Budget::with_steps(limit),
+            ..SolveOptions::unbounded()
         }
     }
 
@@ -49,12 +60,40 @@ impl SolveOptions {
     pub fn deadline_in(timeout: Duration) -> SolveOptions {
         SolveOptions {
             budget: Budget::with_timeout(timeout),
+            ..SolveOptions::unbounded()
         }
     }
 
     /// Search governed by an arbitrary budget.
     pub fn with_budget(budget: Budget) -> SolveOptions {
-        SolveOptions { budget }
+        SolveOptions {
+            budget,
+            ..SolveOptions::unbounded()
+        }
+    }
+
+    /// Builder-style setter for the worker-thread count (`0` = the
+    /// `PKGREC_JOBS` default).
+    pub fn with_jobs(mut self, jobs: usize) -> SolveOptions {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The concrete worker count this search will use: `jobs` when set,
+    /// otherwise the `PKGREC_JOBS` environment default (read once per
+    /// process), otherwise 1.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs != 0 {
+            return self.jobs;
+        }
+        static ENV_DEFAULT: OnceLock<usize> = OnceLock::new();
+        *ENV_DEFAULT.get_or_init(|| {
+            std::env::var("PKGREC_JOBS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(1)
+        })
     }
 }
 
@@ -68,7 +107,7 @@ impl From<u64> for SolveOptions {
 
 impl From<Budget> for SolveOptions {
     fn from(budget: Budget) -> SolveOptions {
-        SolveOptions { budget }
+        SolveOptions::with_budget(budget)
     }
 }
 
@@ -195,40 +234,381 @@ pub fn for_each_valid_package(
     opts: &SolveOptions,
     mut visit: impl FnMut(&Package, Ext) -> ControlFlow<()>,
 ) -> Result<SearchStats> {
-    let items = inst.items()?;
-    let max_size = inst.max_package_size().min(items.len());
-    let mut stats = SearchStats::default();
+    let ctx = inst.search_context()?;
+    sequential_walk(&ctx, rating_bound, opts, &mut visit)
+}
 
+/// The sequential engine: walk the whole space on the calling thread.
+/// The `FnMut` visitor makes this inherently single-threaded; parallel
+/// searches go through [`reduce_valid_packages`].
+fn sequential_walk(
+    ctx: &SearchContext<'_>,
+    rating_bound: Option<Ext>,
+    opts: &SolveOptions,
+    visit: &mut impl FnMut(&Package, Ext) -> ControlFlow<()>,
+) -> Result<SearchStats> {
+    let mut stats = SearchStats::default();
     let completion = for_each_package(
-        &items,
-        max_size,
+        ctx.items(),
+        ctx.max_package_size(),
         opts,
-        |pkg| {
-            inst.cost
-                .superset_bound(pkg)
-                .is_some_and(|b| b > inst.budget)
-        },
+        |pkg| ctx.prune(pkg),
         |pkg| {
             stats.packages_enumerated += 1;
-            if inst.cost.eval(pkg) > inst.budget {
-                return Ok(ControlFlow::Continue(()));
-            }
-            let val = inst.val.eval(pkg);
-            if let Some(b) = rating_bound {
-                if val < b {
-                    return Ok(ControlFlow::Continue(()));
+            match ctx.classify(pkg, rating_bound)? {
+                None => Ok(ControlFlow::Continue(())),
+                Some(val) => {
+                    pkgrec_trace::counter!("enumerate.valid");
+                    stats.valid_packages += 1;
+                    Ok(visit(pkg, val))
                 }
             }
-            if !inst.qc_satisfied(pkg)? {
-                return Ok(ControlFlow::Continue(()));
-            }
-            pkgrec_trace::counter!("enumerate.valid");
-            stats.valid_packages += 1;
-            Ok(visit(pkg, val))
         },
     )?;
     stats.interrupted = completion.interrupted();
     Ok(stats)
+}
+
+/// A fold over the valid packages of a search that can be split across
+/// worker threads: each worker folds its partition into a fresh
+/// accumulator with [`visit`](ValidPackageReducer::visit), and the
+/// coordinator combines the per-partition accumulators *in canonical
+/// order* with [`merge`](ValidPackageReducer::merge).
+///
+/// For results to be bit-identical to the sequential engine, `merge`
+/// must be the fold homomorphism of `visit`: folding a visit sequence
+/// split at any point and merging the halves must equal folding the
+/// whole sequence. All reducers in [`crate::problems`] satisfy this.
+///
+/// `visit` may return `ControlFlow::Break` to stop the search early
+/// (e.g. a counting reducer that has seen enough); packages after the
+/// breaking one — in canonical order — are then discarded, exactly as
+/// the sequential engine never visits them.
+pub trait ValidPackageReducer: Sync {
+    /// Per-partition accumulator.
+    type Acc: Send;
+
+    /// A fresh (identity) accumulator.
+    fn new_acc(&self) -> Self::Acc;
+
+    /// Fold one valid package into the accumulator.
+    fn visit(&self, acc: &mut Self::Acc, pkg: &Package, val: Ext) -> ControlFlow<()>;
+
+    /// Combine a later partition's accumulator into an earlier one.
+    fn merge(&self, into: &mut Self::Acc, later: Self::Acc);
+}
+
+/// Fold the valid packages of `inst` with `reducer`, on
+/// [`SolveOptions::effective_jobs`] worker threads.
+///
+/// With `jobs = 1` this is exactly [`for_each_valid_package`]; with
+/// more, the canonical-order DFS is partitioned by first-item prefix
+/// and the per-worker folds are merged deterministically, so
+/// uninterrupted runs return **bit-identical** `(Acc, SearchStats)` for
+/// any job count. Budget-interrupted runs cover a canonical-order
+/// prefix of the space (possibly smaller than the sequential prefix for
+/// the same step limit), so anytime lower-bound guarantees carry over.
+pub fn reduce_valid_packages<R: ValidPackageReducer>(
+    inst: &RecInstance,
+    rating_bound: Option<Ext>,
+    opts: &SolveOptions,
+    reducer: &R,
+) -> Result<(R::Acc, SearchStats)> {
+    let ctx = inst.search_context()?;
+    reduce_valid_packages_in(&ctx, rating_bound, opts, reducer)
+}
+
+/// [`reduce_valid_packages`] on a prebuilt [`SearchContext`] (solvers
+/// that need the context for other checks build it once and share it).
+pub fn reduce_valid_packages_in<R: ValidPackageReducer>(
+    ctx: &SearchContext<'_>,
+    rating_bound: Option<Ext>,
+    opts: &SolveOptions,
+    reducer: &R,
+) -> Result<(R::Acc, SearchStats)> {
+    let jobs = opts.effective_jobs();
+    if jobs <= 1 {
+        let mut acc = reducer.new_acc();
+        let stats = sequential_walk(ctx, rating_bound, opts, &mut |pkg, val| {
+            reducer.visit(&mut acc, pkg, val)
+        })?;
+        return Ok((acc, stats));
+    }
+    parallel_reduce(ctx, rating_bound, opts, reducer, jobs)
+}
+
+/// One partition of the canonical-order package space. The sequential
+/// DFS visits `∅`, then for each `i` the subtree of packages whose
+/// smallest item is `i` — which itself is `{i}` followed by, for each
+/// `j > i`, the subtree rooted at `{i, j}`. Splitting at this depth
+/// yields `O(n²)` units (fine-grained enough to balance `n` ≫ jobs),
+/// and concatenating the units in index order reproduces the exact
+/// sequential visitation order.
+#[derive(Clone, Copy)]
+enum Unit {
+    /// The empty package.
+    Root,
+    /// The singleton `{items[i]}` alone (its subtrees are separate units).
+    Single(usize),
+    /// The full subtree rooted at `{items[i], items[j]}`.
+    Subtree(usize, usize),
+}
+
+/// Why a unit's walk stopped before exhausting its partition.
+enum UnitStop {
+    /// The reducer broke; later units are discarded.
+    Visitor,
+    /// The shared budget ran out.
+    Budget(Interrupted),
+    /// Classification failed; later units are discarded.
+    Error(CoreError),
+    /// A unit before this one already stopped the search — this unit's
+    /// partial work is discarded entirely.
+    Abandoned,
+}
+
+/// A completed (or budget-cut) unit, as reported by a worker.
+struct UnitOutcome<A> {
+    idx: usize,
+    acc: A,
+    stats: SearchStats,
+    error: Option<CoreError>,
+}
+
+/// Depth-first walk of one unit's partition, mirroring the sequential
+/// `dfs` node-for-node (tick, counters, classify, prune, size cap,
+/// descend) with two additions: the shared meter and the abandon check
+/// against `floor`.
+#[allow(clippy::too_many_arguments)]
+fn unit_walk<R: ValidPackageReducer>(
+    ctx: &SearchContext<'_>,
+    reducer: &R,
+    rating_bound: Option<Ext>,
+    meter: &WorkerMeter<'_>,
+    unit_idx: usize,
+    floor: &AtomicUsize,
+    max_size: usize,
+    pkg: &mut Package,
+    start: usize,
+    acc: &mut R::Acc,
+    stats: &mut SearchStats,
+) -> ControlFlow<UnitStop> {
+    // A monotonically decreasing floor: stale reads only delay the
+    // abandon, never cause a unit ≤ the final floor to abandon.
+    if floor.load(Ordering::Relaxed) < unit_idx {
+        return ControlFlow::Break(UnitStop::Abandoned);
+    }
+    if let Err(cut) = meter.tick() {
+        return ControlFlow::Break(UnitStop::Budget(cut));
+    }
+    pkgrec_trace::counter!("enumerate.nodes");
+    stats.packages_enumerated += 1;
+    match ctx.classify(pkg, rating_bound) {
+        Err(e) => return ControlFlow::Break(UnitStop::Error(e)),
+        Ok(Some(val)) => {
+            pkgrec_trace::counter!("enumerate.valid");
+            stats.valid_packages += 1;
+            if reducer.visit(acc, pkg, val).is_break() {
+                return ControlFlow::Break(UnitStop::Visitor);
+            }
+        }
+        Ok(None) => {}
+    }
+    if !pkg.is_empty() && ctx.prune(pkg) {
+        pkgrec_trace::counter!("enumerate.pruned");
+        return ControlFlow::Continue(());
+    }
+    if pkg.len() == max_size {
+        return ControlFlow::Continue(());
+    }
+    let items = ctx.items();
+    for (i, item) in items.iter().enumerate().skip(start) {
+        pkg.insert(item.clone());
+        let flow = unit_walk(
+            ctx,
+            reducer,
+            rating_bound,
+            meter,
+            unit_idx,
+            floor,
+            max_size,
+            pkg,
+            i + 1,
+            acc,
+            stats,
+        );
+        pkg.remove(item);
+        if flow.is_break() {
+            return flow;
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// One worker: claim units off the shared counter in index order, walk
+/// each, and report the outcomes plus this thread's trace aggregates.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<R: ValidPackageReducer>(
+    ctx: &SearchContext<'_>,
+    reducer: &R,
+    rating_bound: Option<Ext>,
+    units: &[Unit],
+    max_size: usize,
+    next: &AtomicUsize,
+    floor: &AtomicUsize,
+    shared: &SharedMeter,
+) -> (Vec<UnitOutcome<R::Acc>>, pkgrec_trace::TraceReport) {
+    let span = pkgrec_trace::span!("enumerate.worker");
+    let meter = shared.worker();
+    let items = ctx.items();
+    let mut outcomes = Vec::new();
+    loop {
+        let u = next.fetch_add(1, Ordering::Relaxed);
+        // Units are claimed in increasing order, so once the floor is
+        // below the next claim every later unit is discarded too.
+        if u >= units.len() || floor.load(Ordering::Relaxed) < u || shared.is_stopped() {
+            break;
+        }
+        let (mut pkg, start) = match units[u] {
+            Unit::Root => (Package::empty(), items.len()),
+            Unit::Single(i) => (Package::singleton(items[i].clone()), items.len()),
+            Unit::Subtree(i, j) => (
+                Package::new([items[i].clone(), items[j].clone()]),
+                j + 1,
+            ),
+        };
+        let mut acc = reducer.new_acc();
+        let mut stats = SearchStats::default();
+        let flow = unit_walk(
+            ctx,
+            reducer,
+            rating_bound,
+            &meter,
+            u,
+            floor,
+            max_size,
+            &mut pkg,
+            start,
+            &mut acc,
+            &mut stats,
+        );
+        let mut outcome = UnitOutcome {
+            idx: u,
+            acc,
+            stats,
+            error: None,
+        };
+        match flow {
+            ControlFlow::Continue(()) => outcomes.push(outcome),
+            ControlFlow::Break(UnitStop::Abandoned) => {}
+            ControlFlow::Break(UnitStop::Visitor) => {
+                floor.fetch_min(u, Ordering::Relaxed);
+                outcomes.push(outcome);
+            }
+            ControlFlow::Break(UnitStop::Error(e)) => {
+                floor.fetch_min(u, Ordering::Relaxed);
+                outcome.error = Some(e);
+                outcomes.push(outcome);
+            }
+            ControlFlow::Break(UnitStop::Budget(cut)) => {
+                floor.fetch_min(u, Ordering::Relaxed);
+                outcome.stats.interrupted = Some(cut);
+                outcomes.push(outcome);
+                break;
+            }
+        }
+    }
+    drop(span);
+    (outcomes, pkgrec_trace::take())
+}
+
+/// The parallel engine. Determinism argument: workers claim units in
+/// index order, so every unit below the final `floor` (the least unit
+/// index that broke, erred, or ran out of budget) was claimed earlier
+/// than the floor unit and — abandonment only triggers *above* the
+/// floor — ran to completion. The merge therefore folds, in canonical
+/// order, exactly the full units `< floor` plus the floor unit's
+/// prefix: the same visit sequence the sequential engine folds.
+fn parallel_reduce<R: ValidPackageReducer>(
+    ctx: &SearchContext<'_>,
+    rating_bound: Option<Ext>,
+    opts: &SolveOptions,
+    reducer: &R,
+    jobs: usize,
+) -> Result<(R::Acc, SearchStats)> {
+    let _span = pkgrec_trace::span!("enumerate.par");
+    let items = ctx.items();
+    let max_size = ctx.max_package_size();
+
+    // Build the unit list in canonical order. A pruned singleton cuts
+    // off all its subtrees in the sequential walk, so those subtree
+    // units must not exist here either (`prune` is deterministic; the
+    // singleton unit itself re-checks it and bumps the counter).
+    let mut units = vec![Unit::Root];
+    if max_size >= 1 {
+        for i in 0..items.len() {
+            units.push(Unit::Single(i));
+            if max_size >= 2 && !ctx.prune(&Package::singleton(items[i].clone())) {
+                for j in (i + 1)..items.len() {
+                    units.push(Unit::Subtree(i, j));
+                }
+            }
+        }
+    }
+
+    let shared = opts.budget.shared_meter();
+    let next = AtomicUsize::new(0);
+    let floor = AtomicUsize::new(usize::MAX);
+    let jobs = jobs.min(units.len());
+    let worker_results: Vec<(Vec<UnitOutcome<R::Acc>>, pkgrec_trace::TraceReport)> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(|| {
+                        run_worker(
+                            ctx,
+                            reducer,
+                            rating_bound,
+                            &units,
+                            max_size,
+                            &next,
+                            &floor,
+                            &shared,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
+
+    let mut outcomes: Vec<UnitOutcome<R::Acc>> = Vec::new();
+    for (worker_outcomes, report) in worker_results {
+        pkgrec_trace::absorb(&report);
+        outcomes.extend(worker_outcomes);
+    }
+    outcomes.sort_by_key(|o| o.idx);
+
+    let floor = floor.load(Ordering::Relaxed);
+    let mut acc = reducer.new_acc();
+    let mut stats = SearchStats::default();
+    for outcome in outcomes {
+        if outcome.idx > floor {
+            break;
+        }
+        stats.packages_enumerated += outcome.stats.packages_enumerated;
+        stats.valid_packages += outcome.stats.valid_packages;
+        if let Some(e) = outcome.error {
+            return Err(e);
+        }
+        reducer.merge(&mut acc, outcome.acc);
+        if outcome.idx == floor {
+            stats.interrupted = outcome.stats.interrupted;
+        }
+    }
+    Ok((acc, stats))
 }
 
 #[cfg(test)]

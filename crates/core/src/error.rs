@@ -4,6 +4,18 @@ use pkgrec_data::DataError;
 use pkgrec_guard::Interrupted;
 use pkgrec_query::QueryError;
 
+/// Why a [`CoreError::FunctionColumn`] check rejected a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnIssue {
+    /// The column index is out of range for the item schema.
+    Missing {
+        /// Arity of the items the function would be applied to.
+        arity: usize,
+    },
+    /// The column exists but holds a non-numeric attribute type.
+    NonNumeric,
+}
+
 /// Errors raised by the recommendation solvers.
 #[derive(Debug, Clone)]
 pub enum CoreError {
@@ -25,6 +37,19 @@ pub enum CoreError {
         /// The budget violation that cut the search off.
         interrupted: Interrupted,
     },
+    /// A `cost`/`val` function reads a column the instance's items do
+    /// not provide as a number. Detected once at search start, instead
+    /// of silently scoring the column as 0 on every package.
+    FunctionColumn {
+        /// Which function declared the column: `"cost"` or `"val"`.
+        role: &'static str,
+        /// The function's description.
+        function: String,
+        /// The offending column index.
+        column: usize,
+        /// What is wrong with the column.
+        issue: ColumnIssue,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +60,20 @@ impl fmt::Display for CoreError {
             CoreError::Invalid(m) => write!(f, "invalid instance: {m}"),
             CoreError::SearchLimitExceeded { interrupted } => {
                 write!(f, "exact search stopped early: {interrupted}")
+            }
+            CoreError::FunctionColumn {
+                role,
+                function,
+                column,
+                issue,
+            } => {
+                write!(f, "{role} function `{function}` reads column {column}, ")?;
+                match issue {
+                    ColumnIssue::Missing { arity } => {
+                        write!(f, "but the items have arity {arity}")
+                    }
+                    ColumnIssue::NonNumeric => write!(f, "which is not numeric"),
+                }
             }
         }
     }

@@ -27,6 +27,11 @@ pub struct PackageFn {
     /// on `f(N')` over all supersets `N' ⊇ N` (see
     /// [`PackageFn::with_superset_lower_bound`]).
     superset_lower_bound: Option<RatingFn>,
+    /// Columns this function reads as numbers from every item. Declared
+    /// by the aggregate constructors so a search can validate them
+    /// against the item schema once up front, instead of silently
+    /// scoring a missing/non-numeric column as 0 on every package.
+    numeric_cols: Arc<[usize]>,
     description: Arc<str>,
 }
 
@@ -43,6 +48,7 @@ impl PackageFn {
             f: Arc::new(f),
             monotone_nonempty,
             superset_lower_bound: None,
+            numeric_cols: Arc::from([]),
             description: Arc::from(description.as_ref()),
         }
     }
@@ -98,25 +104,29 @@ impl PackageFn {
     /// Sum of a numeric column over the items (`∅ ↦ 0`). Monotone only
     /// when the column is guaranteed non-negative — state it explicitly.
     pub fn sum_col(col: usize, nonnegative: bool) -> PackageFn {
-        PackageFn::custom(format!("sum(col {col})"), nonnegative, move |p| {
+        let mut f = PackageFn::custom(format!("sum(col {col})"), nonnegative, move |p| {
             Ext::Finite(
                 p.iter()
                     .map(|t| t.get(col).and_then(|v| v.as_numeric()).unwrap_or(0) as f64)
                     .sum(),
             )
-        })
+        });
+        f.numeric_cols = Arc::from([col]);
+        f
     }
 
     /// Negated sum of a numeric column: "the higher the total price, the
     /// lower the rating" (Example 1.1). Never monotone.
     pub fn neg_sum_col(col: usize) -> PackageFn {
-        PackageFn::custom(format!("-sum(col {col})"), false, move |p| {
+        let mut f = PackageFn::custom(format!("-sum(col {col})"), false, move |p| {
             Ext::Finite(
                 -p.iter()
                     .map(|t| t.get(col).and_then(|v| v.as_numeric()).unwrap_or(0) as f64)
                     .sum::<f64>(),
             )
-        })
+        });
+        f.numeric_cols = Arc::from([col]);
+        f
     }
 
     /// Rate a *singleton* package by reading the listed columns of its
@@ -167,6 +177,7 @@ impl PackageFn {
                 }
             },
         );
+        out.numeric_cols = Arc::clone(&self.numeric_cols);
         if let Some(lb) = &self.superset_lower_bound {
             let lb = Arc::clone(lb);
             // Sound on nonempty packages (where the value is unchanged);
@@ -185,6 +196,12 @@ impl PackageFn {
     /// Evaluate on a package.
     pub fn eval(&self, p: &Package) -> Ext {
         (self.f)(p)
+    }
+
+    /// Columns this function declares it reads numerically from every
+    /// item (empty for custom closures, which declare nothing).
+    pub fn numeric_columns(&self) -> &[usize] {
+        &self.numeric_cols
     }
 
     /// Whether `N ⊆ N' ⇒ f(N) ≤ f(N')` is declared for nonempty `N`.

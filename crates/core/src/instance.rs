@@ -4,6 +4,7 @@ use pkgrec_data::{Database, Tuple};
 use pkgrec_query::{EvalContext, MetricSet, Query};
 
 use crate::constraints::Constraint;
+use crate::error::{ColumnIssue, CoreError};
 use crate::functions::PackageFn;
 use crate::package::Package;
 use crate::rating::Ext;
@@ -155,8 +156,31 @@ impl RecInstance {
     }
 
     /// The arity of the answer schema `R_Q`.
+    ///
+    /// Deriving the arity walks the query AST, so searches must not
+    /// call this per package — [`SearchContext`] caches it once per
+    /// solve, and the `core.arity_derivations` trace counter pins that.
     pub fn answer_arity(&self) -> Result<usize> {
+        pkgrec_trace::counter!("core.arity_derivations");
         Ok(self.query.arity()?)
+    }
+
+    /// Precompute the per-search state — the item pool `Q(D)`, the
+    /// answer arity and the query-evaluation context — and validate the
+    /// `cost`/`val` functions' declared numeric columns against the
+    /// items. Every solve (and every worker of a parallel solve) shares
+    /// one context, so this work happens O(1) times per search instead
+    /// of once per enumerated package.
+    pub fn search_context(&self) -> Result<SearchContext<'_>> {
+        let items = self.items()?;
+        let answer_arity = self.answer_arity()?;
+        validate_fn_columns("cost", &self.cost, &items)?;
+        validate_fn_columns("val", &self.val, &items)?;
+        Ok(SearchContext {
+            inst: self,
+            items,
+            answer_arity,
+        })
     }
 
     /// The concrete maximum package size `p(|D|)` (or `Bp`).
@@ -196,6 +220,122 @@ impl RecInstance {
             }
         }
         self.qc_satisfied(pkg)
+    }
+}
+
+/// Check a function's declared numeric columns against the actual
+/// items, surfacing a typed error instead of letting the closure
+/// silently score the column as 0.
+fn validate_fn_columns(role: &'static str, f: &PackageFn, items: &[Tuple]) -> Result<()> {
+    for &col in f.numeric_columns() {
+        for t in items {
+            let issue = match t.get(col) {
+                None => ColumnIssue::Missing { arity: t.arity() },
+                Some(v) if v.as_numeric().is_none() => ColumnIssue::NonNumeric,
+                Some(_) => continue,
+            };
+            return Err(CoreError::FunctionColumn {
+                role,
+                function: f.description().to_string(),
+                column: col,
+                issue,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Per-search state shared by every visitor (and every worker thread)
+/// of one solve: the item pool `Q(D)` in canonical order, the cached
+/// answer arity, and the instance itself. Built once by
+/// [`RecInstance::search_context`]; the construction also validates the
+/// `cost`/`val` functions' declared columns against the items.
+#[derive(Debug)]
+pub struct SearchContext<'a> {
+    inst: &'a RecInstance,
+    items: Vec<Tuple>,
+    answer_arity: usize,
+}
+
+impl<'a> SearchContext<'a> {
+    /// The instance this context belongs to.
+    pub fn instance(&self) -> &'a RecInstance {
+        self.inst
+    }
+
+    /// The item pool `Q(D)`, in canonical order (computed once).
+    pub fn items(&self) -> &[Tuple] {
+        &self.items
+    }
+
+    /// The cached answer arity.
+    pub fn answer_arity(&self) -> usize {
+        self.answer_arity
+    }
+
+    /// The concrete package-size cap for the search: `p(|D|)` clamped
+    /// to the item-pool size.
+    pub fn max_package_size(&self) -> usize {
+        self.inst.max_package_size().min(self.items.len())
+    }
+
+    /// `Qc(N, D) = ∅`, using the cached arity (no per-package query
+    /// AST walk).
+    pub fn qc_satisfied(&self, pkg: &Package) -> Result<bool> {
+        self.inst
+            .qc
+            .satisfied(pkg, &self.inst.db, self.answer_arity, self.inst.metrics.as_ref())
+    }
+
+    /// Full package validity (same notion as
+    /// [`RecInstance::is_valid_package`]), with the cached arity.
+    pub fn is_valid_package(&self, pkg: &Package, rating_bound: Option<Ext>) -> Result<bool> {
+        if pkg.len() > self.inst.max_package_size() {
+            return Ok(false);
+        }
+        if self.inst.cost.eval(pkg) > self.inst.budget {
+            return Ok(false);
+        }
+        if let Some(b) = rating_bound {
+            if self.inst.val.eval(pkg) < b {
+                return Ok(false);
+            }
+        }
+        let ctx = self.inst.eval_ctx();
+        for t in pkg.iter() {
+            if !self.inst.query.contains_ctx(ctx, t)? {
+                return Ok(false);
+            }
+        }
+        self.qc_satisfied(pkg)
+    }
+
+    /// Whether every superset of `pkg` is over budget (sound to skip).
+    pub(crate) fn prune(&self, pkg: &Package) -> bool {
+        self.inst
+            .cost
+            .superset_bound(pkg)
+            .is_some_and(|b| b > self.inst.budget)
+    }
+
+    /// Classify an enumerated package: `Ok(Some(val))` when it is valid
+    /// (optionally also `val ≥ rating_bound`), `Ok(None)` otherwise.
+    /// Membership in `Q(D)` is already guaranteed by enumeration from
+    /// `self.items`.
+    pub(crate) fn classify(&self, pkg: &Package, rating_bound: Option<Ext>) -> Result<Option<Ext>> {
+        if self.inst.cost.eval(pkg) > self.inst.budget {
+            return Ok(None);
+        }
+        let val = self.inst.val.eval(pkg);
+        if let Some(b) = rating_bound {
+            if val < b {
+                return Ok(None);
+            }
+        }
+        if !self.qc_satisfied(pkg)? {
+            return Ok(None);
+        }
+        Ok(Some(val))
     }
 }
 
@@ -270,6 +410,80 @@ mod tests {
         assert!(!i
             .is_valid_package(&Package::new([tuple![1]]), Some(Ext::Finite(2.0)))
             .unwrap());
+    }
+
+    #[test]
+    fn search_context_caches_items_and_arity() {
+        let i = inst();
+        let ctx = i.search_context().unwrap();
+        assert_eq!(ctx.items().len(), 3);
+        assert_eq!(ctx.answer_arity(), 1);
+        assert_eq!(ctx.max_package_size(), 3);
+        assert!(ctx
+            .is_valid_package(&Package::new([tuple![1]]), None)
+            .unwrap());
+    }
+
+    #[test]
+    fn arity_is_derived_once_per_search() {
+        // Regression: `qc_satisfied` used to re-derive the query's
+        // answer arity for every enumerated package (O(2^n) AST walks);
+        // the search context derives it once per solve.
+        use crate::problems::cpp;
+        let _scope = pkgrec_trace::scoped();
+        pkgrec_trace::reset();
+        let i = inst()
+            .with_budget(10.0)
+            .with_qc(Constraint::ptime("accept all", |_, _| true));
+        cpp::count_valid(&i, Ext::NegInf, &crate::SolveOptions::default().with_jobs(1)).unwrap();
+        let report = pkgrec_trace::take();
+        assert!(report.counters["enumerate.nodes"] >= 8);
+        assert_eq!(
+            report.counters["core.arity_derivations"], 1,
+            "arity derivation must be O(1) per search, not O(2^n)"
+        );
+    }
+
+    #[test]
+    fn missing_function_column_is_a_typed_error() {
+        // Regression: sum_col(5) on 1-column items used to silently
+        // score every package as 0.
+        let i = inst().with_val(PackageFn::sum_col(5, true));
+        match i.search_context() {
+            Err(CoreError::FunctionColumn {
+                role,
+                column,
+                issue,
+                ..
+            }) => {
+                assert_eq!(role, "val");
+                assert_eq!(column, 5);
+                assert_eq!(issue, ColumnIssue::Missing { arity: 1 });
+            }
+            other => panic!("expected FunctionColumn error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_function_column_is_a_typed_error() {
+        let mut db = Database::new();
+        let r = RelationSchema::new("s", [("name", AttrType::Str)]).unwrap();
+        db.add_relation(Relation::from_tuples(r, [tuple!["a"], tuple!["b"]]).unwrap())
+            .unwrap();
+        let i = RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("s", 1)))
+            .with_cost(PackageFn::sum_col(0, true));
+        match i.search_context() {
+            Err(CoreError::FunctionColumn { role, issue, .. }) => {
+                assert_eq!(role, "cost");
+                assert_eq!(issue, ColumnIssue::NonNumeric);
+            }
+            other => panic!("expected FunctionColumn error, got {other:?}"),
+        }
+        // The error message names the function and the problem.
+        let msg = i.search_context().unwrap_err().to_string();
+        assert!(msg.contains("cost"), "{msg}");
+        assert!(msg.contains("sum(col 0)"), "{msg}");
+        assert!(msg.contains("not numeric"), "{msg}");
     }
 
     #[test]

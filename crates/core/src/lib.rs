@@ -37,16 +37,17 @@ mod rating;
 
 pub use constraints::{Constraint, ANSWER_RELATION};
 pub use enumerate::{
-    for_each_package, for_each_valid_package, Completion, SearchStats, SolveOptions,
+    for_each_package, for_each_valid_package, reduce_valid_packages, Completion, SearchStats,
+    SolveOptions, ValidPackageReducer,
 };
-pub use error::CoreError;
+pub use error::{ColumnIssue, CoreError};
 
 // Re-export the budget vocabulary so downstream crates can configure
 // and inspect bounded searches without a direct pkgrec-guard
 // dependency.
 pub use pkgrec_guard::{Budget, CancelFlag, Interrupted, Meter, Outcome, Resource};
 pub use functions::PackageFn;
-pub use instance::{RecInstance, SizeBound};
+pub use instance::{RecInstance, SearchContext, SizeBound};
 pub use package::Package;
 pub use problems::group::{GroupInstance, GroupSemantics};
 pub use problems::items::{ItemInstance, ItemUtility};

@@ -8,11 +8,42 @@
 
 use std::ops::ControlFlow;
 
-use crate::enumerate::{for_each_valid_package, SolveOptions};
+use crate::enumerate::{reduce_valid_packages, SolveOptions, ValidPackageReducer};
 use crate::instance::RecInstance;
 use crate::package::Package;
 use crate::rating::Ext;
 use crate::Result;
+
+/// Stop at the first (in canonical order) nonempty package rated
+/// strictly above the bound. Like RPP's dominator search, the break
+/// depends only on the visited package, so every engine returns the
+/// canonically first witness.
+struct FirstWitness {
+    rating_bound: Ext,
+}
+
+impl ValidPackageReducer for FirstWitness {
+    type Acc = Option<Package>;
+
+    fn new_acc(&self) -> Self::Acc {
+        None
+    }
+
+    fn visit(&self, acc: &mut Self::Acc, pkg: &Package, val: Ext) -> ControlFlow<()> {
+        if !pkg.is_empty() && val > self.rating_bound {
+            *acc = Some(pkg.clone());
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+
+    fn merge(&self, into: &mut Self::Acc, later: Self::Acc) {
+        if into.is_none() {
+            *into = later;
+        }
+    }
+}
 
 /// Decide the compatibility problem, returning a witness package when
 /// the answer is yes. A found witness is a certificate regardless of
@@ -23,15 +54,8 @@ pub fn compatibility_witness(
     rating_bound: Ext,
     opts: &SolveOptions,
 ) -> Result<Option<Package>> {
-    let mut witness = None;
-    let stats = for_each_valid_package(inst, None, opts, |pkg, val| {
-        if !pkg.is_empty() && val > rating_bound {
-            witness = Some(pkg.clone());
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    })?;
+    let (witness, stats) =
+        reduce_valid_packages(inst, None, opts, &FirstWitness { rating_bound })?;
     if witness.is_none() {
         if let Some(cut) = stats.interrupted {
             return Err(cut.into());

@@ -14,11 +14,53 @@ use std::ops::ControlFlow;
 
 use pkgrec_guard::Outcome;
 
-use crate::enumerate::{for_each_valid_package, SearchStats, SolveOptions};
+use crate::enumerate::{reduce_valid_packages, SearchStats, SolveOptions, ValidPackageReducer};
 use crate::instance::RecInstance;
 use crate::package::Package;
 use crate::rating::Ext;
 use crate::Result;
+
+/// Count every visited valid package.
+struct Count;
+
+impl ValidPackageReducer for Count {
+    type Acc = u128;
+
+    fn new_acc(&self) -> Self::Acc {
+        0
+    }
+
+    fn visit(&self, acc: &mut Self::Acc, _pkg: &Package, _val: Ext) -> ControlFlow<()> {
+        *acc += 1;
+        ControlFlow::Continue(())
+    }
+
+    fn merge(&self, into: &mut Self::Acc, later: Self::Acc) {
+        *into += later;
+    }
+}
+
+/// Collect every visited valid package (canonical order is preserved:
+/// workers collect per-partition runs, which the coordinator
+/// concatenates in partition order).
+struct Collect;
+
+impl ValidPackageReducer for Collect {
+    type Acc = Vec<Package>;
+
+    fn new_acc(&self) -> Self::Acc {
+        Vec::new()
+    }
+
+    fn visit(&self, acc: &mut Self::Acc, pkg: &Package, _val: Ext) -> ControlFlow<()> {
+        acc.push(pkg.clone());
+        ControlFlow::Continue(())
+    }
+
+    fn merge(&self, into: &mut Self::Acc, later: Self::Acc) {
+        into.extend(later);
+    }
+}
 
 /// Count the valid packages rated at least `B`. Non-exact outcomes
 /// (budget ran out) carry a lower bound on the true count.
@@ -28,11 +70,7 @@ pub fn count_valid(
     opts: &SolveOptions,
 ) -> Result<Outcome<u128, SearchStats>> {
     let _span = pkgrec_trace::span!("cpp.count_valid");
-    let mut count: u128 = 0;
-    let stats = for_each_valid_package(inst, Some(rating_bound), opts, |_, _| {
-        count += 1;
-        ControlFlow::Continue(())
-    })?;
+    let (count, stats) = reduce_valid_packages(inst, Some(rating_bound), opts, &Count)?;
     Ok(match stats.interrupted {
         None => Outcome::exact(count, stats),
         Some(cut) => Outcome::partial(count, cut, stats),
@@ -47,11 +85,7 @@ pub fn collect_valid(
     rating_bound: Ext,
     opts: &SolveOptions,
 ) -> Result<Outcome<Vec<Package>, SearchStats>> {
-    let mut out = Vec::new();
-    let stats = for_each_valid_package(inst, Some(rating_bound), opts, |pkg, _| {
-        out.push(pkg.clone());
-        ControlFlow::Continue(())
-    })?;
+    let (out, stats) = reduce_valid_packages(inst, Some(rating_bound), opts, &Collect)?;
     Ok(match stats.interrupted {
         None => Outcome::exact(out, stats),
         Some(cut) => Outcome::partial(out, cut, stats),

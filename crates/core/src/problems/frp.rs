@@ -22,7 +22,7 @@ use std::ops::ControlFlow;
 
 use pkgrec_guard::Outcome;
 
-use crate::enumerate::{for_each_valid_package, SearchStats, SolveOptions};
+use crate::enumerate::{reduce_valid_packages, SearchStats, SolveOptions, ValidPackageReducer};
 use crate::instance::RecInstance;
 use crate::package::Package;
 use crate::rating::Ext;
@@ -33,8 +33,106 @@ use crate::Result;
 /// max-comparison prefer the smaller package on rating ties.
 type Key = (Ext, std::cmp::Reverse<Package>);
 
-fn key(val: Ext, pkg: &Package) -> Key {
-    (val, std::cmp::Reverse(pkg.clone()))
+/// Whether `(val, pkg)` beats the current weakest kept candidate,
+/// compared **by reference** — no package clone on the (overwhelmingly
+/// common) rejection path.
+fn beats(val: Ext, pkg: &Package, weakest: &Key) -> bool {
+    match val.cmp(&weakest.0) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        // Equal rating: the canonically smaller package wins.
+        std::cmp::Ordering::Equal => *pkg < weakest.1 .0,
+    }
+}
+
+/// Insert a candidate into a size-capped min-keyed working set, cloning
+/// the package only when it actually enters the set.
+fn insert_capped(best: &mut BTreeSet<Key>, k: usize, pkg: &Package, val: Ext) {
+    if best.len() == k {
+        let weakest = best.first().expect("k ≥ 1 and the set is full");
+        if !beats(val, pkg, weakest) {
+            return;
+        }
+        best.pop_first();
+    }
+    pkgrec_trace::counter!("frp.candidate_inserts");
+    best.insert((val, std::cmp::Reverse(pkg.clone())));
+}
+
+/// Merge-side variant of [`insert_capped`] for already-owned keys
+/// (combining per-worker working sets; no counter — the insertions were
+/// counted when the workers first saw the packages).
+fn insert_capped_owned(best: &mut BTreeSet<Key>, k: usize, candidate: Key) {
+    if best.len() == k {
+        let weakest = best.first().expect("k ≥ 1 and the set is full");
+        if !beats(candidate.0, &candidate.1 .0, weakest) {
+            return;
+        }
+        best.pop_first();
+    }
+    best.insert(candidate);
+}
+
+/// Keep the `k` best `(rating, package)` candidates seen.
+struct TopKSel {
+    k: usize,
+}
+
+impl ValidPackageReducer for TopKSel {
+    type Acc = BTreeSet<Key>;
+
+    fn new_acc(&self) -> Self::Acc {
+        BTreeSet::new()
+    }
+
+    fn visit(&self, acc: &mut Self::Acc, pkg: &Package, val: Ext) -> ControlFlow<()> {
+        insert_capped(acc, self.k, pkg, val);
+        ControlFlow::Continue(())
+    }
+
+    fn merge(&self, into: &mut Self::Acc, later: Self::Acc) {
+        for candidate in later {
+            insert_capped_owned(into, self.k, candidate);
+        }
+    }
+}
+
+/// Keep the single best candidate not in an exclusion list.
+struct BestAbove<'a> {
+    exclude: &'a [Package],
+}
+
+impl ValidPackageReducer for BestAbove<'_> {
+    type Acc = Option<Key>;
+
+    fn new_acc(&self) -> Self::Acc {
+        None
+    }
+
+    fn visit(&self, acc: &mut Self::Acc, pkg: &Package, val: Ext) -> ControlFlow<()> {
+        if !self.exclude.contains(pkg) {
+            let better = match acc {
+                None => true,
+                Some(best) => beats(val, pkg, best),
+            };
+            if better {
+                *acc = Some((val, std::cmp::Reverse(pkg.clone())));
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn merge(&self, into: &mut Self::Acc, later: Self::Acc) {
+        if let Some(candidate) = later {
+            let better = match into {
+                None => true,
+                Some(best) => beats(candidate.0, &candidate.1 .0, best),
+            };
+            if better {
+                *into = Some(candidate);
+            }
+        }
+    }
 }
 
 /// Compute a top-k package selection, sorted by descending rating
@@ -55,27 +153,12 @@ pub fn top_k(
 ) -> Result<Outcome<Option<Vec<Package>>, SearchStats>> {
     let _span = pkgrec_trace::span!("frp.top_k");
     let k = inst.k;
-    // Min-keyed working set of the current best k.
-    let mut best: BTreeSet<Key> = BTreeSet::new();
-    let stats = for_each_valid_package(inst, None, opts, |pkg, val| {
-        let candidate = key(val, pkg);
-        if best.len() < k {
-            best.insert(candidate);
-        } else {
-            let weakest = best.first().expect("nonempty").clone();
-            if candidate > weakest {
-                best.remove(&weakest);
-                best.insert(candidate);
-            }
-        }
-        ControlFlow::Continue(())
-    })?;
-    let mut found: Vec<Package> = best
+    let (best, stats) = reduce_valid_packages(inst, None, opts, &TopKSel { k })?;
+    let found: Vec<Package> = best
         .into_iter()
         .rev() // best first
         .map(|(_, std::cmp::Reverse(p))| p)
         .collect();
-    found.truncate(k);
     Ok(match stats.interrupted {
         None => {
             let value = if found.len() < k { None } else { Some(found) };
@@ -101,16 +184,7 @@ pub fn exist_pack_ge(
     opts: &SolveOptions,
 ) -> Result<Option<Package>> {
     let _span = pkgrec_trace::span!("frp.exist_pack_ge");
-    let mut best: Option<Key> = None;
-    let stats = for_each_valid_package(inst, Some(bound), opts, |pkg, val| {
-        if !exclude.contains(pkg) {
-            let candidate = key(val, pkg);
-            if best.as_ref().is_none_or(|b| candidate > *b) {
-                best = Some(candidate);
-            }
-        }
-        ControlFlow::Continue(())
-    })?;
+    let (best, stats) = reduce_valid_packages(inst, Some(bound), opts, &BestAbove { exclude })?;
     if let Some(cut) = stats.interrupted {
         return Err(cut.into());
     }
@@ -243,10 +317,28 @@ mod tests {
     }
 
     #[test]
+    fn working_set_clones_only_on_insertion() {
+        // Regression: every visited valid package used to be cloned
+        // into a candidate key (plus a `weakest.clone()` per visit).
+        // Now a candidate enters the working set only when it beats the
+        // weakest kept one, and the `frp.candidate_inserts` counter
+        // pins the insertion count: with k = 1 the valid ratings arrive
+        // as 1, 3, 4, 2, 5, 3 — exactly 4 improve on the incumbent.
+        let _scope = pkgrec_trace::scoped();
+        pkgrec_trace::reset();
+        top_k(&inst(), &SolveOptions::default().with_jobs(1)).unwrap();
+        let report = pkgrec_trace::take();
+        assert_eq!(report.counters["enumerate.valid"], 6);
+        assert_eq!(report.counters["frp.candidate_inserts"], 4);
+    }
+
+    #[test]
     fn exhausted_budget_yields_anytime_best() {
         // Canonical DFS order visits ∅, {1}, {1,2}, ... — a budget of 3
         // sees val 1 and 3 but never the true best ({2,3}, val 5).
-        let out = top_k(&inst(), &SolveOptions::limited(3)).unwrap();
+        // Pinned to the sequential engine: which prefix a step budget
+        // covers is engine-dependent.
+        let out = top_k(&inst(), &SolveOptions::limited(3).with_jobs(1)).unwrap();
         assert!(!out.exact);
         let sel = out.value.expect("a valid package was seen before cut-off");
         assert!(!sel.is_empty());

@@ -19,23 +19,90 @@ use std::ops::ControlFlow;
 
 use pkgrec_guard::Outcome;
 
-use crate::enumerate::{for_each_valid_package, SearchStats, SolveOptions};
+use crate::enumerate::{reduce_valid_packages, SearchStats, SolveOptions, ValidPackageReducer};
 use crate::instance::RecInstance;
+use crate::package::Package;
 use crate::rating::Ext;
 use crate::Result;
 
-/// L1: do `k` distinct valid packages rate `≥ B`?
-pub fn is_bound(inst: &RecInstance, bound: Ext, opts: &SolveOptions) -> Result<bool> {
-    let _span = pkgrec_trace::span!("mbp.is_bound");
-    let mut found = 0usize;
-    let stats = for_each_valid_package(inst, Some(bound), opts, |_, _| {
-        found += 1;
-        if found >= inst.k {
+/// Count matching packages up to `k`, early-stopping at `k`. The break
+/// is accumulator-dependent (a worker partition may not reach `k`
+/// locally even when the global count does), but the *decision* — is
+/// the merged count ≥ k? — is identical for every engine: either some
+/// partition reaches `k` (merged count ≥ k) or none does and every
+/// partition counts exhaustively (merged count is the true count).
+struct CountUpTo {
+    k: usize,
+    /// When set, count only packages rated strictly above this.
+    strictly_above: Option<Ext>,
+}
+
+impl ValidPackageReducer for CountUpTo {
+    type Acc = usize;
+
+    fn new_acc(&self) -> Self::Acc {
+        0
+    }
+
+    fn visit(&self, acc: &mut Self::Acc, _pkg: &Package, val: Ext) -> ControlFlow<()> {
+        if let Some(b) = self.strictly_above {
+            if val <= b {
+                return ControlFlow::Continue(());
+            }
+        }
+        *acc += 1;
+        if *acc >= self.k {
             ControlFlow::Break(())
         } else {
             ControlFlow::Continue(())
         }
-    })?;
+    }
+
+    fn merge(&self, into: &mut Self::Acc, later: Self::Acc) {
+        *into += later;
+    }
+}
+
+/// Keep the `k` largest ratings (multiset) seen.
+struct KLargest {
+    k: usize,
+}
+
+impl ValidPackageReducer for KLargest {
+    type Acc = Vec<Ext>;
+
+    fn new_acc(&self) -> Self::Acc {
+        Vec::new()
+    }
+
+    fn visit(&self, acc: &mut Self::Acc, _pkg: &Package, val: Ext) -> ControlFlow<()> {
+        let pos = acc.partition_point(|&v| v < val);
+        acc.insert(pos, val);
+        if acc.len() > self.k {
+            acc.remove(0);
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn merge(&self, into: &mut Self::Acc, later: Self::Acc) {
+        for val in later {
+            let pos = into.partition_point(|&v| v < val);
+            into.insert(pos, val);
+            if into.len() > self.k {
+                into.remove(0);
+            }
+        }
+    }
+}
+
+/// L1: do `k` distinct valid packages rate `≥ B`?
+pub fn is_bound(inst: &RecInstance, bound: Ext, opts: &SolveOptions) -> Result<bool> {
+    let _span = pkgrec_trace::span!("mbp.is_bound");
+    let reducer = CountUpTo {
+        k: inst.k,
+        strictly_above: None,
+    };
+    let (found, stats) = reduce_valid_packages(inst, Some(bound), opts, &reducer)?;
     if found >= inst.k {
         return Ok(true); // certified yes, even if the budget then ran out
     }
@@ -48,16 +115,11 @@ pub fn is_bound(inst: &RecInstance, bound: Ext, opts: &SolveOptions) -> Result<b
 /// L2 (negated): do `k` distinct valid packages rate **strictly above**
 /// `B`?
 fn k_packages_above(inst: &RecInstance, bound: Ext, opts: &SolveOptions) -> Result<bool> {
-    let mut found = 0usize;
-    let stats = for_each_valid_package(inst, Some(bound), opts, |_, val| {
-        if val > bound {
-            found += 1;
-            if found >= inst.k {
-                return ControlFlow::Break(());
-            }
-        }
-        ControlFlow::Continue(())
-    })?;
+    let reducer = CountUpTo {
+        k: inst.k,
+        strictly_above: Some(bound),
+    };
+    let (found, stats) = reduce_valid_packages(inst, Some(bound), opts, &reducer)?;
     if found >= inst.k {
         return Ok(true);
     }
@@ -85,16 +147,7 @@ pub fn maximum_bound(
 ) -> Result<Outcome<Option<Ext>, SearchStats>> {
     let _span = pkgrec_trace::span!("mbp.maximum_bound");
     // The k best ratings over distinct packages.
-    let mut best: Vec<Ext> = Vec::new();
-    let stats = for_each_valid_package(inst, None, opts, |_, val| {
-        // Maintain the k largest ratings (multiset).
-        let pos = best.partition_point(|&v| v < val);
-        best.insert(pos, val);
-        if best.len() > inst.k {
-            best.remove(0);
-        }
-        ControlFlow::Continue(())
-    })?;
+    let (best, stats) = reduce_valid_packages(inst, None, opts, &KLargest { k: inst.k })?;
     let value = if best.len() < inst.k {
         None
     } else {
@@ -170,8 +223,9 @@ mod tests {
     #[test]
     fn partial_bound_is_a_lower_bound() {
         // Budget 3 sees ∅, {1}, {1,2}: k=1 best-so-far is 3, below the
-        // true maximum bound 5.
-        let out = maximum_bound(&inst(), &SolveOptions::limited(3)).unwrap();
+        // true maximum bound 5. Pinned to the sequential engine: which
+        // prefix a step budget covers is engine-dependent.
+        let out = maximum_bound(&inst(), &SolveOptions::limited(3).with_jobs(1)).unwrap();
         assert!(!out.exact);
         let partial = out.value.expect("a valid package was seen");
         let full = maximum_bound_exact(&inst()).unwrap();

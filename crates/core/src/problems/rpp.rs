@@ -13,7 +13,7 @@
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
-use crate::enumerate::{for_each_valid_package, SolveOptions};
+use crate::enumerate::{reduce_valid_packages_in, SolveOptions, ValidPackageReducer};
 use crate::instance::RecInstance;
 use crate::package::Package;
 use crate::rating::Ext;
@@ -43,6 +43,41 @@ pub enum RppRefutation {
     },
 }
 
+/// Stop at the first (in canonical order) valid package outside the
+/// selection rated strictly above `min_val`. The break depends only on
+/// the visited package, so every engine finds the *same* dominator: the
+/// canonically first one.
+struct FirstDominator<'a> {
+    selection: &'a [Package],
+    min_val: Ext,
+}
+
+impl ValidPackageReducer for FirstDominator<'_> {
+    type Acc = Option<RppRefutation>;
+
+    fn new_acc(&self) -> Self::Acc {
+        None
+    }
+
+    fn visit(&self, acc: &mut Self::Acc, pkg: &Package, val: Ext) -> ControlFlow<()> {
+        if val > self.min_val && !self.selection.contains(pkg) {
+            *acc = Some(RppRefutation::Dominated {
+                better: pkg.clone(),
+                val,
+            });
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+
+    fn merge(&self, into: &mut Self::Acc, later: Self::Acc) {
+        if into.is_none() {
+            *into = later;
+        }
+    }
+}
+
 /// Decide RPP, explaining a "no" answer. Strict: the dominating-package
 /// search must either find a refutation or exhaust the space, so a
 /// budget cut-off with no refutation in hand is an error.
@@ -52,6 +87,7 @@ pub fn check_top_k(
     opts: &SolveOptions,
 ) -> Result<std::result::Result<(), RppRefutation>> {
     let _span = pkgrec_trace::span!("rpp.check_top_k");
+    let ctx = inst.search_context()?;
     // Step 1: validity of the selection itself.
     if selection.len() != inst.k {
         return Ok(Err(RppRefutation::WrongCount {
@@ -64,7 +100,7 @@ pub fn check_top_k(
         return Ok(Err(RppRefutation::NotDistinct));
     }
     for pkg in selection {
-        if !inst.is_valid_package(pkg, None)? {
+        if !ctx.is_valid_package(pkg, None)? {
             return Ok(Err(RppRefutation::InvalidPackage(pkg.clone())));
         }
     }
@@ -78,18 +114,8 @@ pub fn check_top_k(
         .min()
         .expect("k ≥ 1");
 
-    let mut refutation = None;
-    let stats = for_each_valid_package(inst, Some(min_val), opts, |pkg, val| {
-        if val > min_val && !selection.contains(pkg) {
-            refutation = Some(RppRefutation::Dominated {
-                better: pkg.clone(),
-                val,
-            });
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    })?;
+    let reducer = FirstDominator { selection, min_val };
+    let (refutation, stats) = reduce_valid_packages_in(&ctx, Some(min_val), opts, &reducer)?;
     Ok(match refutation {
         Some(r) => Err(r), // a found dominator refutes regardless of budget
         None => match stats.interrupted {

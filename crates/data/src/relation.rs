@@ -9,13 +9,28 @@ use crate::{RelationSchema, Result, Tuple, Value};
 /// Tuples are stored in a `BTreeSet` so iteration order is canonical —
 /// every solver, counter and bench in the workspace is deterministic as a
 /// consequence. Hash indexes on single columns are built lazily by query
-/// evaluation (see [`Relation::index`]) and invalidated on mutation.
-#[derive(Debug, Clone)]
+/// evaluation (see [`Relation::index`]) and invalidated on mutation. The
+/// index cache sits behind an `RwLock` (not a `RefCell`) so a relation
+/// can be probed concurrently by the parallel search workers; reads
+/// share the lock and only the first probe of a column takes it
+/// exclusively.
+#[derive(Debug)]
 pub struct Relation {
     schema: RelationSchema,
     tuples: BTreeSet<Tuple>,
     /// Lazily built per-column indexes: column position → value → tuples.
-    indexes: std::cell::RefCell<HashMap<usize, HashMap<Value, Vec<Tuple>>>>,
+    indexes: std::sync::RwLock<HashMap<usize, HashMap<Value, Vec<Tuple>>>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self.tuples.clone(),
+            // The cache rebuilds lazily; cloning it would just copy work.
+            indexes: Default::default(),
+        }
+    }
 }
 
 impl PartialEq for Relation {
@@ -83,7 +98,7 @@ impl Relation {
         self.schema.check_tuple(&t)?;
         let new = self.tuples.insert(t);
         if new {
-            self.indexes.borrow_mut().clear();
+            self.indexes.get_mut().expect("index lock poisoned").clear();
         }
         Ok(new)
     }
@@ -92,7 +107,7 @@ impl Relation {
     pub fn remove(&mut self, t: &Tuple) -> bool {
         let removed = self.tuples.remove(t);
         if removed {
-            self.indexes.borrow_mut().clear();
+            self.indexes.get_mut().expect("index lock poisoned").clear();
         }
         removed
     }
@@ -115,7 +130,15 @@ impl Relation {
     /// Tuples whose column `col` equals `v`, via a lazily built hash
     /// index. Falls back to an empty slice when no tuple matches.
     pub fn lookup(&self, col: usize, v: &Value) -> Vec<Tuple> {
-        let mut indexes = self.indexes.borrow_mut();
+        if let Some(index) = self
+            .indexes
+            .read()
+            .expect("index lock poisoned")
+            .get(&col)
+        {
+            return index.get(v).cloned().unwrap_or_default();
+        }
+        let mut indexes = self.indexes.write().expect("index lock poisoned");
         let index = indexes.entry(col).or_insert_with(|| {
             let mut m: HashMap<Value, Vec<Tuple>> = HashMap::new();
             for t in &self.tuples {

@@ -46,8 +46,8 @@
 
 use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How many steps pass between wall-clock / cancellation checks.
@@ -86,12 +86,29 @@ impl CancelFlag {
 ///
 /// The default budget is unbounded — every limit is optional and they
 /// compose: the first resource to run out interrupts the search.
+///
+/// # Per-meter timeout semantics
+///
+/// A *timeout* is a duration, resolved to a concrete deadline when a
+/// [`Meter`] (or [`SharedMeter`]) is materialized — **not** when the
+/// budget is built. Every meter therefore gets the full window: a
+/// solver that materializes one meter per phase (e.g. the FRP oracle
+/// loop, which is documented as "budget applies per oracle call") gives
+/// each phase the whole timeout, and time spent between building the
+/// budget and starting the solve does not count against it. For a hard
+/// wall-clock cut-off shared by every meter, use the absolute
+/// [`Budget::deadline`] instead; when both are set, the earlier instant
+/// wins.
 #[derive(Debug, Clone, Default)]
 pub struct Budget {
     /// Maximum number of basic search steps (`None` = unlimited).
     pub steps: Option<u64>,
-    /// Wall-clock instant after which the search must stop.
+    /// Absolute wall-clock instant after which the search must stop
+    /// (shared by every meter built from this budget).
     pub deadline: Option<Instant>,
+    /// Wall-clock allowance resolved to a deadline *per meter*, at
+    /// [`Budget::meter`] time.
+    pub timeout: Option<Duration>,
     /// Cooperative cancellation flag checked during the search.
     pub cancel: Option<CancelFlag>,
 }
@@ -103,6 +120,7 @@ impl Budget {
         Budget {
             steps: None,
             deadline: None,
+            timeout: None,
             cancel: None,
         }
     }
@@ -115,10 +133,12 @@ impl Budget {
         }
     }
 
-    /// A budget bounded only by a wall-clock duration from now.
+    /// A budget bounded only by a wall-clock duration, counted from the
+    /// moment a meter is materialized (see *Per-meter timeout
+    /// semantics* on [`Budget`]).
     pub fn with_timeout(timeout: Duration) -> Budget {
         Budget {
-            deadline: Some(Instant::now() + timeout),
+            timeout: Some(timeout),
             ..Budget::default()
         }
     }
@@ -129,13 +149,15 @@ impl Budget {
         self
     }
 
-    /// Add / replace the deadline, expressed as a duration from now.
+    /// Add / replace the per-meter wall-clock allowance (resolved to a
+    /// deadline at [`Budget::meter`] time, not here).
     pub fn timeout(mut self, timeout: Duration) -> Budget {
-        self.deadline = Some(Instant::now() + timeout);
+        self.timeout = Some(timeout);
         self
     }
 
-    /// Add / replace the deadline as an absolute instant.
+    /// Add / replace the deadline as an absolute instant, shared by
+    /// every meter built from this budget.
     pub fn deadline(mut self, deadline: Instant) -> Budget {
         self.deadline = Some(deadline);
         self
@@ -149,15 +171,44 @@ impl Budget {
 
     /// Whether this budget can never interrupt.
     pub fn is_unlimited(&self) -> bool {
-        self.steps.is_none() && self.deadline.is_none() && self.cancel.is_none()
+        self.steps.is_none()
+            && self.deadline.is_none()
+            && self.timeout.is_none()
+            && self.cancel.is_none()
     }
 
-    /// Materialize a meter that enforces this budget.
+    /// The wall-clock cut-off a meter materialized *now* must honor:
+    /// the earlier of the absolute deadline and `now + timeout`.
+    fn effective_deadline(&self) -> Option<Instant> {
+        let from_timeout = self.timeout.map(|t| Instant::now() + t);
+        match (self.deadline, from_timeout) {
+            (Some(d), Some(t)) => Some(d.min(t)),
+            (d, t) => d.or(t),
+        }
+    }
+
+    /// Materialize a meter that enforces this budget. The timeout (if
+    /// any) starts counting here.
     pub fn meter(&self) -> Meter {
         Meter {
             budget: self.clone(),
+            deadline: self.effective_deadline(),
             spent: Cell::new(0),
             next_check: Cell::new(CHECK_INTERVAL),
+        }
+    }
+
+    /// Materialize a `Sync` meter enforcing this budget *jointly*
+    /// across cooperating worker threads (see [`SharedMeter`]). As with
+    /// [`Budget::meter`], the timeout starts counting here.
+    pub fn shared_meter(&self) -> SharedMeter {
+        SharedMeter {
+            steps_limit: self.steps,
+            deadline: self.effective_deadline(),
+            cancel: self.cancel.clone(),
+            spent: AtomicU64::new(0),
+            stopped: AtomicBool::new(false),
+            first: OnceLock::new(),
         }
     }
 }
@@ -244,6 +295,10 @@ impl std::error::Error for Interrupted {}
 #[derive(Debug)]
 pub struct Meter {
     budget: Budget,
+    /// Wall-clock cut-off resolved when this meter was materialized
+    /// (min of the budget's absolute deadline and its per-meter
+    /// timeout counted from materialization).
+    deadline: Option<Instant>,
     spent: Cell<u64>,
     next_check: Cell<u64>,
 }
@@ -319,7 +374,7 @@ impl Meter {
                 return Err(self.interrupted(Resource::Cancelled));
             }
         }
-        if let Some(deadline) = self.budget.deadline {
+        if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
                 return Err(self.interrupted(Resource::Deadline));
             }
@@ -334,6 +389,145 @@ impl Meter {
             steps: self.spent.get(),
             span: pkgrec_trace::current_span_name(),
         }
+    }
+}
+
+/// A `Sync` meter enforcing one [`Budget`] **jointly** across
+/// cooperating worker threads — the parallel package-space search
+/// charges every worker's steps against a single shared counter, so a
+/// step limit means the same total amount of work whether the search
+/// runs on one thread or eight.
+///
+/// Step accounting is an `AtomicU64`, exact across workers: at most
+/// `limit` ticks ever succeed globally. The expensive checks (deadline,
+/// cancellation, and the shared stop latch) are amortized per worker
+/// via [`WorkerMeter`], so an interruption observed by one worker stops
+/// the others within [`CHECK_INTERVAL`] of their own steps. The first
+/// interruption is latched and every later worker reports that same
+/// record, giving the coordinator one consistent cut to surface.
+#[derive(Debug)]
+pub struct SharedMeter {
+    steps_limit: Option<u64>,
+    deadline: Option<Instant>,
+    cancel: Option<CancelFlag>,
+    spent: AtomicU64,
+    stopped: AtomicBool,
+    first: OnceLock<Interrupted>,
+}
+
+impl SharedMeter {
+    /// Total steps spent across all workers so far.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// Whether some worker already tripped the budget (workers consult
+    /// this between units of work to stop early).
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::Acquire)
+    }
+
+    /// The latched first interruption, once one worker tripped.
+    pub fn interruption(&self) -> Option<Interrupted> {
+        self.first.get().copied()
+    }
+
+    /// A per-worker handle. Each worker thread gets its own (the handle
+    /// amortizes the slow checks with thread-local state and is not
+    /// `Sync`).
+    pub fn worker(&self) -> WorkerMeter<'_> {
+        WorkerMeter {
+            shared: self,
+            until_check: Cell::new(CHECK_INTERVAL),
+        }
+    }
+
+    /// Latch an interruption and raise the stop flag; returns the
+    /// winning (first-latched) record so racing workers agree.
+    fn trip(&self, resource: Resource, spent: u64) -> Interrupted {
+        let mut won = false;
+        let cut = *self.first.get_or_init(|| {
+            won = true;
+            Interrupted {
+                resource,
+                steps: spent,
+                span: pkgrec_trace::current_span_name(),
+            }
+        });
+        if won {
+            pkgrec_trace::counter!("guard.interrupted");
+        }
+        self.stopped.store(true, Ordering::Release);
+        cut
+    }
+}
+
+/// One worker thread's handle on a [`SharedMeter`]: ticks move the
+/// shared counter, while the slow checks stay amortized with
+/// per-worker state.
+#[derive(Debug)]
+pub struct WorkerMeter<'a> {
+    shared: &'a SharedMeter,
+    /// This worker's ticks remaining until the next slow check.
+    until_check: Cell<u64>,
+}
+
+impl WorkerMeter<'_> {
+    /// Count one basic operation against the shared budget. The step
+    /// bound is exact globally; deadline, cancellation and the stop
+    /// latch are polled every [`CHECK_INTERVAL`] of *this worker's*
+    /// steps.
+    #[inline]
+    pub fn tick(&self) -> Result<(), Interrupted> {
+        let spent = self.shared.spent.fetch_add(1, Ordering::Relaxed) + 1;
+        pkgrec_trace::add_steps(1);
+        if let Some(limit) = self.shared.steps_limit {
+            if spent > limit {
+                return Err(self.shared.trip(Resource::Steps { limit }, spent));
+            }
+        }
+        let left = self.until_check.get();
+        if left <= 1 {
+            self.until_check.set(CHECK_INTERVAL);
+            self.check_slow(spent)
+        } else {
+            self.until_check.set(left - 1);
+            Ok(())
+        }
+    }
+
+    /// Poll every resource immediately, bypassing the amortization
+    /// window.
+    pub fn check_now(&self) -> Result<(), Interrupted> {
+        let spent = self.shared.spent();
+        if let Some(limit) = self.shared.steps_limit {
+            if spent > limit {
+                return Err(self.shared.trip(Resource::Steps { limit }, spent));
+            }
+        }
+        self.check_slow(spent)
+    }
+
+    #[cold]
+    fn check_slow(&self, spent: u64) -> Result<(), Interrupted> {
+        if self.shared.is_stopped() {
+            // Another worker tripped first; report its record.
+            return Err(self
+                .shared
+                .interruption()
+                .unwrap_or(Interrupted::new(Resource::Cancelled, spent)));
+        }
+        if let Some(flag) = &self.shared.cancel {
+            if flag.is_cancelled() {
+                return Err(self.shared.trip(Resource::Cancelled, spent));
+            }
+        }
+        if let Some(deadline) = self.shared.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.shared.trip(Resource::Deadline, spent));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -457,6 +651,93 @@ mod tests {
         assert_eq!(result.unwrap_err().resource, Resource::Cancelled);
         // The flag is shared: clones observe the raise too.
         assert!(flag.clone().is_cancelled());
+    }
+
+    #[test]
+    fn timeout_window_starts_at_meter_not_at_budget_construction() {
+        // Regression: `with_timeout` used to resolve `now + timeout`
+        // when the *budget* was built, so setup time (here simulated by
+        // sleeping) silently ate the search's allowance.
+        let budget = Budget::with_timeout(Duration::from_millis(40));
+        std::thread::sleep(Duration::from_millis(60));
+        let m = budget.meter();
+        assert!(
+            m.check_now().is_ok(),
+            "the timeout window must start when the meter is materialized"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(m.check_now().unwrap_err().resource, Resource::Deadline);
+    }
+
+    #[test]
+    fn each_meter_gets_the_full_timeout_window() {
+        // The per-oracle-call contract: successive meters from one
+        // budget each get the whole allowance.
+        let budget = Budget::with_timeout(Duration::from_millis(30));
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(15));
+            assert!(budget.meter().check_now().is_ok());
+        }
+    }
+
+    #[test]
+    fn absolute_deadline_is_shared_and_wins_over_timeout() {
+        let budget = Budget::unlimited()
+            .timeout(Duration::from_secs(3600))
+            .deadline(Instant::now());
+        assert_eq!(
+            budget.meter().check_now().unwrap_err().resource,
+            Resource::Deadline
+        );
+        assert!(!budget.is_unlimited());
+        assert!(!Budget::with_timeout(Duration::from_secs(1)).is_unlimited());
+    }
+
+    #[test]
+    fn shared_meter_enforces_one_step_budget_across_workers() {
+        let shared = Budget::with_steps(100).shared_meter();
+        let ok = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let w = shared.worker();
+                    while w.tick().is_ok() {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        // Exactly `limit` ticks succeed globally, no matter the racing.
+        assert_eq!(ok.load(Ordering::Relaxed), 100);
+        assert!(shared.is_stopped());
+        let cut = shared.interruption().expect("tripped");
+        assert_eq!(cut.resource, Resource::Steps { limit: 100 });
+    }
+
+    #[test]
+    fn shared_meter_latches_the_first_interruption_for_all_workers() {
+        let shared = Budget::with_steps(5).shared_meter();
+        let w1 = shared.worker();
+        for _ in 0..5 {
+            w1.tick().unwrap();
+        }
+        let first = w1.tick().unwrap_err();
+        // A different worker that never exceeded anything itself still
+        // observes the stop latch and reports the same record.
+        let w2 = shared.worker();
+        assert_eq!(w2.check_now().unwrap_err(), first);
+        assert_eq!(shared.interruption(), Some(first));
+    }
+
+    #[test]
+    fn shared_meter_sees_cancellation() {
+        let flag = CancelFlag::new();
+        let shared = Budget::unlimited().cancellable(&flag).shared_meter();
+        let w = shared.worker();
+        w.tick().unwrap();
+        flag.cancel();
+        assert_eq!(w.check_now().unwrap_err().resource, Resource::Cancelled);
+        assert!(shared.is_stopped());
     }
 
     #[test]

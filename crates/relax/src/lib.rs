@@ -18,9 +18,8 @@
 //! pkgrec-core validity machinery for the package-existence check.
 
 use std::collections::BTreeSet;
-use std::ops::ControlFlow;
 
-use pkgrec_core::{for_each_valid_package, CoreError, RecInstance, SolveOptions};
+use pkgrec_core::{CoreError, RecInstance, SolveOptions};
 use pkgrec_data::Value;
 use pkgrec_query::{Builtin, Query, RelAtom, Term};
 
@@ -558,30 +557,16 @@ pub fn qrpp(inst: &QrppInstance, opts: &SolveOptions) -> Result<Option<Relaxatio
 }
 
 /// L1-style check: do `k` distinct valid packages rated `≥ B` exist?
+/// Delegates to MBP's L1 decision, which threads `opts.jobs` through to
+/// the (possibly parallel) package-space engine and keeps the strictness
+/// contract: the k-th found package certifies "yes" regardless of the
+/// budget, but an interrupted search cannot certify "no".
 fn has_k_valid_packages(
     inst: &RecInstance,
     bound: pkgrec_core::Ext,
     opts: &SolveOptions,
 ) -> Result<bool> {
-    let mut found = 0usize;
-    let stats = for_each_valid_package(inst, Some(bound), opts, |_, _| {
-        found += 1;
-        if found >= inst.k {
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    })?;
-    // Finding the k-th package certifies "yes" even if the budget then
-    // ran out; an interrupted search that found fewer cannot certify
-    // "no", so it reports the cut-off instead of guessing.
-    if found >= inst.k {
-        return Ok(true);
-    }
-    match stats.interrupted {
-        Some(cut) => Err(cut.into()),
-        None => Ok(false),
-    }
+    pkgrec_core::problems::mbp::is_bound(inst, bound, opts)
 }
 
 /// QRPP for items (Corollary 7.3): relax `Q` so that at least `k`

@@ -57,6 +57,8 @@
 //! | `enumerate.nodes` | core | package-space DFS nodes visited |
 //! | `enumerate.pruned` | core | subtrees pruned by the cost bound |
 //! | `enumerate.valid` | core | packages passing all validity checks |
+//! | `core.arity_derivations` | core | query answer-arity derivations (O(1) per search) |
+//! | `frp.candidate_inserts` | core | top-k working-set insertions |
 //! | `qrpp.relaxations` | relax | relaxation candidates tried |
 //! | `arpp.adjustments` | adjust | adjustment candidates tried |
 //! | `guard.interrupted` | guard | budget interruptions raised |
@@ -138,6 +140,12 @@ struct Collector {
     histograms: BTreeMap<String, Histogram>,
     /// Steps ticked while no span was open.
     orphan_steps: u64,
+    /// Reports handed over from other threads via [`absorb`] (e.g.
+    /// per-worker traces from a parallel search), folded into this
+    /// thread's report at snapshot time. Kept separate because the live
+    /// counters are keyed by `&'static str` while absorbed reports own
+    /// their keys.
+    absorbed: TraceReport,
 }
 
 thread_local! {
@@ -352,6 +360,18 @@ pub fn add_steps(n: u64) {
     });
 }
 
+/// Fold a report produced on *another* thread into this thread's
+/// aggregates, as if its spans/counters/histograms had been recorded
+/// here. This is how a parallel search's coordinator reunites the
+/// per-worker traces ([`take`]n on each worker before it exits) into
+/// the solve's single report. No-op while tracing is disabled.
+pub fn absorb(report: &TraceReport) {
+    if !is_enabled() || report.is_empty() {
+        return;
+    }
+    with_collector(|c| c.absorbed.merge(report));
+}
+
 /// Name of the innermost open span on this thread, if tracing is
 /// enabled and a span is open. Used by `pkgrec_guard` to tag
 /// `Interrupted` errors with where the budget tripped.
@@ -547,6 +567,7 @@ fn report_of(c: &Collector) -> TraceReport {
             .counters
             .insert("trace.orphan_steps".to_string(), c.orphan_steps);
     }
+    report.merge(&c.absorbed);
     report
 }
 
@@ -565,6 +586,7 @@ pub fn take() -> TraceReport {
         c.counters.clear();
         c.histograms.clear();
         c.orphan_steps = 0;
+        c.absorbed = TraceReport::default();
         report
     })
     .unwrap_or_default()
@@ -765,6 +787,41 @@ mod tests {
         assert_eq!(snapshot().counters["x"], 1);
         assert_eq!(take().counters["x"], 1);
         assert!(take().is_empty());
+    }
+
+    #[test]
+    fn absorbed_worker_reports_merge_into_the_thread_report() {
+        let _on = scoped();
+        reset();
+        counter!("local.counter", 1);
+        // Simulate a worker thread's report (String-keyed) being folded
+        // into the coordinator's aggregates.
+        let worker = std::thread::spawn(|| {
+            let _on = scoped();
+            {
+                let _s = span!("worker.span");
+                counter!("local.counter", 2);
+                add_steps(4);
+            }
+            take()
+        })
+        .join()
+        .unwrap();
+        absorb(&worker);
+        let r = take();
+        assert_eq!(r.counters["local.counter"], 3);
+        assert_eq!(r.spans["worker.span"].steps, 4);
+        // `take` cleared the absorbed state along with everything else.
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn absorb_is_a_noop_while_disabled() {
+        reset();
+        let mut foreign = TraceReport::default();
+        foreign.counters.insert("ghost".into(), 7);
+        absorb(&foreign);
+        assert!(snapshot().is_empty());
     }
 
     #[test]

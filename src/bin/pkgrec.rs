@@ -18,6 +18,8 @@
 //!   --max-size N       constant package-size bound (default |D|)
 //!   --steps N          search budget: stop after N enumeration steps
 //!   --timeout-ms T     search budget: stop after T milliseconds
+//!   --jobs N           worker threads for the package search
+//!                      (default 1; 0 = $PKGREC_JOBS or 1)
 //!   --trace[=human|json]   collect solver metrics; print them after the
 //!                      answer (human) or as one JSONL record (json)
 //!   --trace-out PATH   append the JSONL trace record to PATH instead
@@ -71,6 +73,7 @@ struct Options {
     max_size: Option<usize>,
     steps: Option<u64>,
     timeout_ms: Option<u64>,
+    jobs: Option<usize>,
     trace: Option<TraceFormat>,
     trace_out: Option<String>,
 }
@@ -108,6 +111,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_size: None,
         steps: None,
         timeout_ms: None,
+        jobs: None,
         trace: None,
         trace_out: None,
     };
@@ -155,6 +159,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .parse()
                         .map_err(|_| "bad --timeout-ms value".to_string())?,
                 )
+            }
+            "--jobs" => {
+                opts.jobs = Some(value.parse().map_err(|_| "bad --jobs value".to_string())?)
             }
             "--trace-out" => {
                 opts.trace_out = Some(value.clone());
@@ -368,7 +375,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
         if let Some(ms) = opts.timeout_ms {
             budget = budget.timeout(std::time::Duration::from_millis(ms));
         }
-        let solver_opts = SolveOptions::with_budget(budget);
+        // Default 1 (not env) so traced runs stay reproducible unless
+        // the user opts in with --jobs 0.
+        let solver_opts = SolveOptions::with_budget(budget).with_jobs(opts.jobs.unwrap_or(1));
         let _tracing = opts.trace.map(|_| {
             pkgrec_trace::reset();
             pkgrec_trace::scoped()
@@ -390,7 +399,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     if let Some(ms) = opts.timeout_ms {
         budget = budget.timeout(std::time::Duration::from_millis(ms));
     }
-    let solver_opts = SolveOptions::with_budget(budget);
+    let solver_opts = SolveOptions::with_budget(budget).with_jobs(opts.jobs.unwrap_or(1));
 
     // Collect solver metrics for this solve when asked to.
     let _tracing = opts.trace.map(|_| {

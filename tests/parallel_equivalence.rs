@@ -1,0 +1,163 @@
+//! Parallel-engine equivalence: the prefix-partitioned multi-worker
+//! search must be *bit-identical* to the sequential walk on completed
+//! runs — same packages, same ratings, same statistics — for every
+//! jobs level, and budget-interrupted parallel runs must still satisfy
+//! the anytime contracts (certified lower bounds, charged steps within
+//! the budget).
+
+use proptest::prelude::*;
+
+use pkgrec::core::{
+    problems::cpp, problems::frp, problems::mbp, problems::rpp, Constraint, Ext, PackageFn,
+    RecInstance, SolveOptions,
+};
+use pkgrec::data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec::query::{ConjunctiveQuery, Query};
+
+const JOBS_LEVELS: [usize; 3] = [2, 4, 8];
+
+/// Same generator as `solver_invariants`: items with groups and scores,
+/// budget 2 items, val = total score, optional PTIME constraint.
+fn instance(scores: Vec<(i64, i64)>, with_qc: bool, k: usize) -> RecInstance {
+    let schema = RelationSchema::new(
+        "item",
+        [("id", AttrType::Int), ("grp", AttrType::Int), ("score", AttrType::Int)],
+    )
+    .expect("valid schema");
+    let rel = Relation::from_tuples(
+        schema,
+        scores
+            .iter()
+            .enumerate()
+            .map(|(i, &(g, s))| tuple![i as i64, g, s]),
+    )
+    .expect("schema-conformant");
+    let mut db = Database::new();
+    db.add_relation(rel).expect("fresh db");
+    let mut inst = RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("item", 3)))
+        .with_budget(2.0)
+        .with_val(PackageFn::sum_col(2, true))
+        .with_k(k);
+    if with_qc {
+        inst = inst.with_qc(Constraint::ptime("distinct groups", |p, _| {
+            let mut seen = std::collections::BTreeSet::new();
+            p.iter().all(|t| seen.insert(t[1].clone()))
+        }));
+    }
+    inst
+}
+
+fn scores_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..3, 1i64..50), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Completed runs are bit-identical across engines: the whole FRP
+    /// outcome (selection, exactness, statistics), the MBP maximum
+    /// bound, the CPP count, and the RPP verdict all match jobs=1
+    /// exactly at every jobs level.
+    #[test]
+    fn all_solvers_agree_across_jobs_levels(
+        scores in scores_strategy(),
+        with_qc in any::<bool>(),
+        k in 1usize..4,
+    ) {
+        let inst = instance(scores, with_qc, k);
+        let seq = SolveOptions::default().with_jobs(1);
+        let topk_seq = frp::top_k(&inst, &seq).unwrap();
+        let mb_seq = mbp::maximum_bound(&inst, &seq).unwrap();
+        let count_seq = cpp::count_valid(&inst, Ext::Finite(10.0), &seq).unwrap();
+        let rpp_seq = topk_seq
+            .value
+            .as_ref()
+            .map(|sel| rpp::is_top_k(&inst, sel, &seq).unwrap());
+        for jobs in JOBS_LEVELS {
+            let par = SolveOptions::default().with_jobs(jobs);
+            prop_assert_eq!(&frp::top_k(&inst, &par).unwrap(), &topk_seq, "jobs {}", jobs);
+            prop_assert_eq!(&mbp::maximum_bound(&inst, &par).unwrap(), &mb_seq, "jobs {}", jobs);
+            prop_assert_eq!(
+                &cpp::count_valid(&inst, Ext::Finite(10.0), &par).unwrap(),
+                &count_seq,
+                "jobs {}", jobs
+            );
+            let rpp_par = topk_seq
+                .value
+                .as_ref()
+                .map(|sel| rpp::is_top_k(&inst, sel, &par).unwrap());
+            prop_assert_eq!(&rpp_par, &rpp_seq, "jobs {}", jobs);
+        }
+    }
+
+    /// A budget-interrupted parallel run keeps the anytime contracts:
+    /// the partial count is a certified lower bound on the exact count,
+    /// never exceeds the steps actually charged, the charged steps stay
+    /// within the budget, and non-exactness always names the cut-off.
+    #[test]
+    fn interrupted_parallel_runs_honor_anytime_contracts(
+        scores in scores_strategy(),
+        with_qc in any::<bool>(),
+        budget in 1u64..30,
+        jobs_idx in 0usize..3,
+    ) {
+        let inst = instance(scores, with_qc, 1);
+        let jobs = JOBS_LEVELS[jobs_idx];
+        let exact = cpp::count_valid(&inst, Ext::NegInf, &SolveOptions::default().with_jobs(jobs))
+            .unwrap();
+        prop_assert!(exact.exact);
+        let bounded = cpp::count_valid(
+            &inst,
+            Ext::NegInf,
+            &SolveOptions::limited(budget).with_jobs(jobs),
+        )
+        .unwrap();
+        prop_assert_eq!(bounded.exact, bounded.stats.interrupted.is_none());
+        prop_assert!(bounded.value <= exact.value);
+        prop_assert!(bounded.value <= u128::from(bounded.stats.packages_enumerated));
+        prop_assert!(bounded.stats.packages_enumerated <= budget);
+        if bounded.exact {
+            prop_assert_eq!(bounded.value, exact.value);
+        }
+
+        // FRP under the same cut: a *finished* budgeted parallel run is
+        // the unbounded answer, and an unfinished one says so.
+        let full = frp::top_k(&inst, &SolveOptions::default().with_jobs(jobs)).unwrap();
+        let cut = frp::top_k(&inst, &SolveOptions::limited(budget).with_jobs(jobs)).unwrap();
+        if cut.exact {
+            prop_assert_eq!(&cut.value, &full.value);
+        } else {
+            prop_assert!(cut.interrupted.is_some());
+        }
+    }
+}
+
+/// The refutation search breaks on the canonically *first* dominating
+/// package, so even the explanation of a "no" answer is engine-
+/// independent.
+#[test]
+fn refutations_are_deterministic_across_engines() {
+    // Items {1,2,3}, budget 2 items, val = sum: {1} (val 1) is beaten
+    // first by {1,2} in canonical subset order.
+    let mut db = Database::new();
+    let r = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+    db.add_relation(Relation::from_tuples(r, [tuple![1], tuple![2], tuple![3]]).unwrap())
+        .unwrap();
+    let inst = RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("r", 1)))
+        .with_budget(2.0)
+        .with_val(PackageFn::sum_col(0, true));
+    let sel = vec![pkgrec::core::Package::new([tuple![1]])];
+    let seq = rpp::check_top_k(&inst, &sel, &SolveOptions::default().with_jobs(1))
+        .unwrap()
+        .unwrap_err();
+    assert!(matches!(
+        &seq,
+        rpp::RppRefutation::Dominated { better, .. } if *better == pkgrec::core::Package::new([tuple![1], tuple![2]])
+    ));
+    for jobs in JOBS_LEVELS {
+        let par = rpp::check_top_k(&inst, &sel, &SolveOptions::default().with_jobs(jobs))
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(par, seq, "jobs {jobs}");
+    }
+}

@@ -34,13 +34,21 @@ fn rpp_solve_emits_the_documented_counter_names() {
     pkgrec_trace::reset();
     let inst = small_instance();
     let sel = vec![Package::new([tuple![2], tuple![3]])];
-    assert!(rpp::is_top_k(&inst, &sel, &SolveOptions::default()).unwrap());
+    // jobs=1: the golden span list is the sequential engine's (the
+    // parallel engine adds enumerate.par/enumerate.worker spans).
+    assert!(rpp::is_top_k(&inst, &sel, &SolveOptions::default().with_jobs(1)).unwrap());
     let report = pkgrec_trace::take();
 
     let counters: Vec<&str> = report.counters.keys().map(String::as_str).collect();
     assert_eq!(
         counters,
-        ["cq.join_candidates", "enumerate.nodes", "enumerate.pruned", "enumerate.valid"],
+        [
+            "core.arity_derivations",
+            "cq.join_candidates",
+            "enumerate.nodes",
+            "enumerate.pruned",
+            "enumerate.valid"
+        ],
         "counter names are a stable contract; see the registry in pkgrec-trace"
     );
     let spans: Vec<&str> = report.spans.keys().map(String::as_str).collect();
@@ -64,7 +72,8 @@ fn rpp_solve_emits_the_documented_counter_names() {
 fn interrupted_frp_solve_names_the_enumeration_span() {
     let _scope = pkgrec_trace::scoped();
     pkgrec_trace::reset();
-    let out = frp::top_k(&small_instance(), &SolveOptions::limited(3)).unwrap();
+    // jobs=1: the parallel engine trips inside enumerate.worker.
+    let out = frp::top_k(&small_instance(), &SolveOptions::limited(3).with_jobs(1)).unwrap();
     assert!(!out.exact);
     let cut = out.interrupted.expect("3 steps cannot finish the search");
     assert_eq!(cut.span, Some("enumerate.dfs"));
@@ -78,7 +87,7 @@ fn interrupted_frp_solve_names_the_enumeration_span() {
 /// disabled probes stay invisible.
 #[test]
 fn interruption_span_is_absent_when_tracing_is_off() {
-    let out = frp::top_k(&small_instance(), &SolveOptions::limited(3)).unwrap();
+    let out = frp::top_k(&small_instance(), &SolveOptions::limited(3).with_jobs(1)).unwrap();
     let cut = out.interrupted.expect("3 steps cannot finish the search");
     assert_eq!(cut.span, None);
 }
@@ -90,7 +99,7 @@ fn trace_report_serializes_to_valid_json() {
     let _scope = pkgrec_trace::scoped();
     pkgrec_trace::reset();
     let sel = vec![Package::new([tuple![2], tuple![3]])];
-    rpp::is_top_k(&small_instance(), &sel, &SolveOptions::default()).unwrap();
+    rpp::is_top_k(&small_instance(), &sel, &SolveOptions::default().with_jobs(1)).unwrap();
     let json = pkgrec_trace::take().to_json();
     assert!(!json.contains('\n'), "JSONL records are single-line");
     pkgrec_trace::json::validate_object(&json).expect("valid JSON object");
