@@ -189,6 +189,9 @@ fn search(
         let mut combo: Vec<usize> = (0..size).collect();
         loop {
             pkgrec_trace::counter!("arpp.adjustments");
+            pkgrec_trace::flight::record(pkgrec_trace::flight::FlightEvent::Candidate {
+                label: "arpp.adjustment",
+            });
             let adjustment = Adjustment {
                 ops: combo.iter().map(|&i| ops[i].clone()).collect(),
             };

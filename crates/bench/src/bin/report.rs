@@ -72,6 +72,9 @@ struct Point {
     exact: bool,
     /// Dominant trace counter over the cell's runs (`--stats` only).
     dominant: Option<String>,
+    /// `enumerate.pruned.*` reason breakdown for the cell (`--stats`
+    /// only; empty when the cell never reached the package enumerator).
+    pruned: Option<String>,
 }
 
 struct Row {
@@ -141,6 +144,16 @@ impl Row {
                 .collect();
             println!("  {:<34} stats: {}", "", stats.join("  "));
         }
+        if self.points.iter().any(|p| p.pruned.is_some()) {
+            let pruned: Vec<String> = self
+                .points
+                .iter()
+                .map(|p| {
+                    format!("{:.0}:[{}]", p.size, p.pruned.as_deref().unwrap_or("-"))
+                })
+                .collect();
+            println!("  {:<34} pruned: {}", "", pruned.join("  "));
+        }
     }
 }
 
@@ -160,14 +173,24 @@ fn sweep(
             // busiest probe (ties break lexicographically, and counter
             // values come from seeded runs, so the cell is stable);
             // otherwise the report is empty and the cell stays bare.
-            let dominant = pkgrec_trace::take()
+            let report = pkgrec_trace::take();
+            let dominant = report
                 .dominant_counter()
                 .map(|(name, v)| format!("{name}={v}"));
+            let breakdown = report.pruned_breakdown();
+            let pruned = (!breakdown.is_empty()).then(|| {
+                breakdown
+                    .iter()
+                    .map(|(reason, n)| format!("{reason}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            });
             Point {
                 size: s as f64,
                 time: t,
                 exact,
                 dominant,
+                pruned,
             }
         })
         .collect();
@@ -189,7 +212,11 @@ fn main() {
         return;
     }
     let _stats_scope = if args.iter().any(|a| a == "--stats") {
-        println!("(per-cell solver stats: dominant trace counter over the cell's runs)\n");
+        println!(
+            "(per-cell solver stats: dominant trace counter, plus the \
+             enumerate.pruned.* reason breakdown where the package \
+             enumerator ran)\n"
+        );
         Some(pkgrec_trace::scoped())
     } else {
         None

@@ -36,11 +36,17 @@ pub enum Constraint {
         description: Arc<str>,
         /// The predicate.
         f: PTimePredicate,
+        /// Whether satisfaction is declared *anti-monotone* under item
+        /// addition (see [`Constraint::is_antimonotone`]). Declared by
+        /// the caller via [`Constraint::ptime_antimonotone`]; the
+        /// engine prunes on it, so a false declaration is unsound.
+        antimonotone: bool,
     },
 }
 
 impl Constraint {
-    /// Build a PTIME constraint.
+    /// Build a PTIME constraint (no monotonicity declared — the engine
+    /// will re-check it on every package).
     pub fn ptime(
         description: impl AsRef<str>,
         f: impl Fn(&Package, &Database) -> bool + Send + Sync + 'static,
@@ -48,12 +54,51 @@ impl Constraint {
         Constraint::PTime {
             description: Arc::from(description.as_ref()),
             f: Arc::new(f),
+            antimonotone: false,
+        }
+    }
+
+    /// Build a PTIME constraint whose satisfaction the caller
+    /// guarantees to be anti-monotone: once a package violates it,
+    /// every superset does too. The search engine uses this to prune
+    /// whole subtrees (`enumerate.pruned.compat`); declaring it for a
+    /// predicate that is not anti-monotone silently drops packages.
+    pub fn ptime_antimonotone(
+        description: impl AsRef<str>,
+        f: impl Fn(&Package, &Database) -> bool + Send + Sync + 'static,
+    ) -> Constraint {
+        Constraint::PTime {
+            description: Arc::from(description.as_ref()),
+            f: Arc::new(f),
+            antimonotone: true,
         }
     }
 
     /// Whether this is the absent-`Qc` case.
     pub fn is_empty(&self) -> bool {
         matches!(self, Constraint::Empty)
+    }
+
+    /// Whether satisfaction is *anti-monotone* under item addition: if
+    /// `Qc` rejects `N`, it rejects every `N' ⊇ N`. When true, the
+    /// search soundly skips the supersets of an incompatible package.
+    ///
+    /// * CQ / UCQ constraints are positive queries, so `Qc(N, D)` only
+    ///   grows as `N` (and with it the `R_Q` relation) grows — a
+    ///   nonempty answer stays nonempty. Always anti-monotone.
+    /// * FO / Datalog constraints may use negation; conservatively not
+    ///   anti-monotone.
+    /// * PTIME constraints are anti-monotone only when declared so via
+    ///   [`Constraint::ptime_antimonotone`].
+    /// * The empty constraint rejects nothing, so the question never
+    ///   arises.
+    pub fn is_antimonotone(&self) -> bool {
+        match self {
+            Constraint::Empty => false,
+            Constraint::Query(Query::Cq(_) | Query::Ucq(_)) => true,
+            Constraint::Query(_) => false,
+            Constraint::PTime { antimonotone, .. } => *antimonotone,
+        }
     }
 
     /// Evaluate the constraint: is the package compatible?
@@ -179,6 +224,19 @@ mod tests {
         let c = Constraint::Query(qc);
         let r = c.satisfied(&Package::new([tuple![1, 2]]), &db(), 1, None);
         assert!(matches!(r, Err(CoreError::Invalid(_))));
+    }
+
+    #[test]
+    fn antimonotonicity_is_classified_per_constraint_kind() {
+        let cq = Query::Cq(ConjunctiveQuery::new(
+            Vec::<Term>::new(),
+            vec![RelAtom::new(ANSWER_RELATION, vec![Term::v("x")])],
+            vec![],
+        ));
+        assert!(Constraint::Query(cq).is_antimonotone());
+        assert!(!Constraint::Empty.is_antimonotone());
+        assert!(!Constraint::ptime("opaque", |_, _| true).is_antimonotone());
+        assert!(Constraint::ptime_antimonotone("size cap", |p, _| p.len() <= 2).is_antimonotone());
     }
 
     #[test]

@@ -4,23 +4,43 @@
 //! of packages `N ⊆ Q(D)` with `|N| ≤ p(|D|)` (e.g. step 3 of the
 //! EXPTIME algorithm in Theorem 4.1, or the subset enumeration of
 //! Corollary 6.1). This module walks that space depth-first in
-//! canonical order, pruning supersets only when the declared
-//! monotonicity of the cost function makes it sound, and enforcing an
+//! canonical order, pruning supersets only when it is sound — a
+//! monotone cost bound over the budget, or an anti-monotone
+//! compatibility constraint already violated — and enforcing an
 //! optional resource [`Budget`] (step count, wall-clock deadline,
 //! cancellation) so callers can bound the (inherently exponential)
 //! search.
+//!
+//! Both engines walk the same *prefix partition* of the space (see
+//! [`Unit`]): the sequential engine visits the units in index order on
+//! one thread, the parallel engine deals them to workers and merges in
+//! index order. That shared structure is what the observability layer
+//! hangs off:
+//!
+//! * every prune bumps an attributed `enumerate.pruned.*` counter
+//!   (cost / compat / budget / floor) instead of a lump sum;
+//! * with the flight recorder on (`pkgrec_trace::flight`), each node,
+//!   prune, valid package and interruption is appended to a bounded
+//!   per-thread event ring, and parallel workers' rings are replayed in
+//!   unit order so sequential and parallel runs produce bit-identical
+//!   merged recordings on uninterrupted searches;
+//! * a shared [`Progress`] estimate is credited per node and per pruned
+//!   subtree — the subtree sizes are known in closed form, so the
+//!   fraction is exact, monotone, and reaches 1.0 on completion.
 
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use pkgrec_data::Tuple;
 use pkgrec_guard::{Budget, Interrupted, Meter, SharedMeter, WorkerMeter};
+use pkgrec_trace::flight::{self, FlightEvent, PruneReason};
 
 use crate::error::CoreError;
-use crate::instance::{RecInstance, SearchContext};
+use crate::instance::{Classified, RecInstance, Reject, SearchContext};
 use crate::package::Package;
+use crate::progress::{count_nodes, Progress, ProgressSink};
 use crate::rating::Ext;
 use crate::Result;
 
@@ -37,6 +57,13 @@ pub struct SolveOptions {
     /// bit-identical results on uninterrupted runs (see
     /// [`reduce_valid_packages`]).
     pub jobs: usize,
+    /// Shared live-progress estimate. When set, the search resets it at
+    /// start and credits it as the walk advances, so another thread
+    /// (e.g. a CLI `--progress` monitor) can poll
+    /// [`Progress::fraction`] concurrently. Each search a solver runs
+    /// restarts the estimate. `None` keeps the estimator private to the
+    /// search (it still feeds `progress_at_interrupt`).
+    pub progress: Option<Arc<Progress>>,
 }
 
 impl SolveOptions {
@@ -45,6 +72,7 @@ impl SolveOptions {
         SolveOptions {
             budget: Budget::unlimited(),
             jobs: 0,
+            progress: None,
         }
     }
 
@@ -76,6 +104,12 @@ impl SolveOptions {
     /// `PKGREC_JOBS` default).
     pub fn with_jobs(mut self, jobs: usize) -> SolveOptions {
         self.jobs = jobs;
+        self
+    }
+
+    /// Builder-style setter for the shared progress estimate.
+    pub fn with_progress(mut self, progress: Arc<Progress>) -> SolveOptions {
+        self.progress = Some(progress);
         self
     }
 
@@ -139,7 +173,7 @@ impl Completion {
 }
 
 /// Statistics reported by a completed search.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SearchStats {
     /// Packages enumerated (including invalid ones). This is also the
     /// number of budget steps the search charged.
@@ -149,6 +183,12 @@ pub struct SearchStats {
     /// Set when the budget cut the search off before exhausting the
     /// space; the counts above then cover only the visited prefix.
     pub interrupted: Option<Interrupted>,
+    /// The live-progress estimate (fraction of the bounded search space
+    /// visited or pruned, in `[0.0, 1.0)`) at the moment the budget cut
+    /// the search off. `None` on uninterrupted runs — they end at
+    /// exactly 1.0, and keeping the field `None` preserves bit-identical
+    /// stats across sequential and parallel engines.
+    pub progress_at_interrupt: Option<f64>,
 }
 
 /// What stopped a depth-first walk before exhaustion.
@@ -161,7 +201,7 @@ enum Stop {
 /// the empty package), calling `visit` on each. `prune` is consulted
 /// after visiting a nonempty package; returning `true` skips all its
 /// supersets (the caller must guarantee soundness, e.g. via a monotone
-/// cost bound).
+/// cost bound — hence the `enumerate.pruned.cost` attribution).
 ///
 /// Returns how the walk ended; budget exhaustion is reported as
 /// [`Completion::Interrupted`] rather than an error so anytime callers
@@ -187,6 +227,7 @@ pub fn for_each_package(
         visit: &mut impl FnMut(&Package) -> Result<ControlFlow<()>>,
     ) -> Result<ControlFlow<Stop>> {
         if let Err(cut) = meter.tick() {
+            pkgrec_trace::counter!("enumerate.pruned.budget");
             return Ok(ControlFlow::Break(Stop::Budget(cut)));
         }
         pkgrec_trace::counter!("enumerate.nodes");
@@ -194,7 +235,7 @@ pub fn for_each_package(
             return Ok(ControlFlow::Break(Stop::Visitor));
         }
         if !pkg.is_empty() && prune(pkg) {
-            pkgrec_trace::counter!("enumerate.pruned");
+            pkgrec_trace::counter!("enumerate.pruned.cost");
             return Ok(ControlFlow::Continue(()));
         }
         if pkg.len() == max_size {
@@ -238,34 +279,94 @@ pub fn for_each_valid_package(
     sequential_walk(&ctx, rating_bound, opts, &mut visit)
 }
 
-/// The sequential engine: walk the whole space on the calling thread.
-/// The `FnMut` visitor makes this inherently single-threaded; parallel
-/// searches go through [`reduce_valid_packages`].
+/// The sequential engine: walk the units in index order on the calling
+/// thread. The `FnMut` visitor makes this inherently single-threaded;
+/// parallel searches go through [`reduce_valid_packages`]. Walking the
+/// same unit partition as the parallel engine (instead of one monolithic
+/// DFS) is what makes flight recordings and progress estimates
+/// bit-comparable across engines.
 fn sequential_walk(
     ctx: &SearchContext<'_>,
     rating_bound: Option<Ext>,
     opts: &SolveOptions,
     visit: &mut impl FnMut(&Package, Ext) -> ControlFlow<()>,
 ) -> Result<SearchStats> {
+    let _span = pkgrec_trace::span!("enumerate.dfs");
+    let items = ctx.items();
+    let max_size = ctx.max_package_size();
+    let (units, preskipped) = build_units(ctx, rating_bound, max_size)?;
+    let total_nodes = count_nodes(items.len(), max_size);
+
+    let local_progress = Progress::new();
+    let progress = opts.progress.as_deref().unwrap_or(&local_progress);
+    progress.begin(units.len());
+    let mut sink = ProgressSink::new(progress, total_nodes);
+    sink.skip(preskipped);
+
+    let fl = flight::is_enabled();
+    if fl {
+        flight::begin_search(units.len() as u64);
+    }
+
+    let meter = opts.budget.meter();
+    // The sequential engine never abandons a unit.
+    let floor = AtomicUsize::new(usize::MAX);
     let mut stats = SearchStats::default();
-    let completion = for_each_package(
-        ctx.items(),
-        ctx.max_package_size(),
-        opts,
-        |pkg| ctx.prune(pkg),
-        |pkg| {
-            stats.packages_enumerated += 1;
-            match ctx.classify(pkg, rating_bound)? {
-                None => Ok(ControlFlow::Continue(())),
-                Some(val) => {
-                    pkgrec_trace::counter!("enumerate.valid");
-                    stats.valid_packages += 1;
-                    Ok(visit(pkg, val))
+    let mut interrupted = None;
+    for (idx, unit) in units.iter().enumerate() {
+        if fl {
+            flight::begin_unit(idx as u64);
+        }
+        let (mut pkg, start) = unit_seed(items, *unit);
+        let flow = unit_walk(
+            ctx,
+            rating_bound,
+            &meter,
+            idx,
+            &floor,
+            max_size,
+            &mut pkg,
+            start,
+            visit,
+            &mut stats,
+            &mut sink,
+            fl,
+        );
+        match flow {
+            ControlFlow::Continue(()) => {
+                if fl {
+                    flight::record(FlightEvent::UnitFinished);
                 }
+                sink.unit_done();
             }
-        },
-    )?;
-    stats.interrupted = completion.interrupted();
+            ControlFlow::Break(UnitStop::Visitor) => {
+                sink.flush();
+                // The rest of the space is decided (the visitor chose
+                // to stop), so the search is done.
+                progress.finish();
+                return Ok(stats);
+            }
+            ControlFlow::Break(UnitStop::Error(e)) => {
+                sink.flush();
+                return Err(e);
+            }
+            ControlFlow::Break(UnitStop::Budget(cut)) => {
+                interrupted = Some(cut);
+                break;
+            }
+            ControlFlow::Break(UnitStop::Abandoned) => {
+                unreachable!("sequential walks never abandon a unit")
+            }
+        }
+    }
+    sink.flush();
+    match interrupted {
+        None => progress.finish(),
+        Some(cut) => {
+            stats.interrupted = Some(cut);
+            stats.progress_at_interrupt = Some(progress.fraction());
+        }
+    }
     Ok(stats)
 }
 
@@ -337,13 +438,13 @@ pub fn reduce_valid_packages_in<R: ValidPackageReducer>(
     parallel_reduce(ctx, rating_bound, opts, reducer, jobs)
 }
 
-/// One partition of the canonical-order package space. The sequential
+/// One partition of the canonical-order package space. The canonical
 /// DFS visits `∅`, then for each `i` the subtree of packages whose
 /// smallest item is `i` — which itself is `{i}` followed by, for each
 /// `j > i`, the subtree rooted at `{i, j}`. Splitting at this depth
 /// yields `O(n²)` units (fine-grained enough to balance `n` ≫ jobs),
 /// and concatenating the units in index order reproduces the exact
-/// sequential visitation order.
+/// monolithic visitation order. Both engines walk this partition.
 #[derive(Clone, Copy)]
 enum Unit {
     /// The empty package.
@@ -354,16 +455,69 @@ enum Unit {
     Subtree(usize, usize),
 }
 
+/// The seed package and descend position of a unit.
+fn unit_seed(items: &[Tuple], unit: Unit) -> (Package, usize) {
+    match unit {
+        Unit::Root => (Package::empty(), items.len()),
+        Unit::Single(i) => (Package::singleton(items[i].clone()), items.len()),
+        Unit::Subtree(i, j) => (
+            Package::new([items[i].clone(), items[j].clone()]),
+            j + 1,
+        ),
+    }
+}
+
+/// Build the unit list in canonical order, shared by both engines. A
+/// pruned singleton cuts off all its subtrees in the canonical walk —
+/// whether by the monotone cost bound or by an anti-monotone `Qc`
+/// violation — so those subtree units must not exist (the singleton
+/// unit itself re-checks the prune and bumps the attributed counter).
+/// Also returns the number of search-tree nodes skipped this way, so
+/// the progress estimate can credit them upfront.
+fn build_units(
+    ctx: &SearchContext<'_>,
+    rating_bound: Option<Ext>,
+    max_size: usize,
+) -> Result<(Vec<Unit>, f64)> {
+    let items = ctx.items();
+    let n = items.len();
+    let mut units = vec![Unit::Root];
+    let mut preskipped = 0.0;
+    if max_size >= 1 {
+        for (i, item) in items.iter().enumerate() {
+            units.push(Unit::Single(i));
+            if max_size < 2 || i + 1 >= n {
+                continue;
+            }
+            let single = Package::singleton(item.clone());
+            let skip = ctx.prune(&single)
+                || (ctx.qc_antimonotone()
+                    && matches!(
+                        ctx.classify(&single, rating_bound)?,
+                        Classified::Rejected(Reject::Compat)
+                    ));
+            if skip {
+                preskipped += count_nodes(n - i - 1, max_size - 1) - 1.0;
+            } else {
+                for j in (i + 1)..n {
+                    units.push(Unit::Subtree(i, j));
+                }
+            }
+        }
+    }
+    Ok((units, preskipped))
+}
+
 /// Why a unit's walk stopped before exhausting its partition.
 enum UnitStop {
-    /// The reducer broke; later units are discarded.
+    /// The visitor broke; later units are discarded.
     Visitor,
-    /// The shared budget ran out.
+    /// The budget ran out.
     Budget(Interrupted),
     /// Classification failed; later units are discarded.
     Error(CoreError),
     /// A unit before this one already stopped the search — this unit's
-    /// partial work is discarded entirely.
+    /// partial work is discarded entirely (parallel engine only).
     Abandoned,
 }
 
@@ -373,25 +527,48 @@ struct UnitOutcome<A> {
     acc: A,
     stats: SearchStats,
     error: Option<CoreError>,
+    /// The unit's flight-recorder events, drained from the worker's
+    /// ring so the coordinator can replay them in unit order. `None`
+    /// while recording is off.
+    events: Option<flight::UnitEvents>,
 }
 
-/// Depth-first walk of one unit's partition, mirroring the sequential
-/// `dfs` node-for-node (tick, counters, classify, prune, size cap,
-/// descend) with two additions: the shared meter and the abandon check
-/// against `floor`.
+/// Per-node budget polling, abstracting over the sequential [`Meter`]
+/// and the pooled [`WorkerMeter`] so both engines share one walk.
+trait SearchMeter {
+    /// Charge one step; `Err` when the budget ran out.
+    fn tick(&self) -> std::result::Result<(), Interrupted>;
+}
+
+impl SearchMeter for Meter {
+    fn tick(&self) -> std::result::Result<(), Interrupted> {
+        Meter::tick(self)
+    }
+}
+
+impl SearchMeter for WorkerMeter<'_> {
+    fn tick(&self) -> std::result::Result<(), Interrupted> {
+        WorkerMeter::tick(self)
+    }
+}
+
+/// Depth-first walk of one unit's partition — the single node loop both
+/// engines run: floor check, budget tick, counters, flight events,
+/// classification, attributed pruning, progress credit, descend.
 #[allow(clippy::too_many_arguments)]
-fn unit_walk<R: ValidPackageReducer>(
+fn unit_walk<M: SearchMeter>(
     ctx: &SearchContext<'_>,
-    reducer: &R,
     rating_bound: Option<Ext>,
-    meter: &WorkerMeter<'_>,
+    meter: &M,
     unit_idx: usize,
     floor: &AtomicUsize,
     max_size: usize,
     pkg: &mut Package,
     start: usize,
-    acc: &mut R::Acc,
+    visit: &mut impl FnMut(&Package, Ext) -> ControlFlow<()>,
     stats: &mut SearchStats,
+    sink: &mut ProgressSink<'_>,
+    fl: bool,
 ) -> ControlFlow<UnitStop> {
     // A monotonically decreasing floor: stale reads only delay the
     // abandon, never cause a unit ≤ the final floor to abandon.
@@ -399,24 +576,54 @@ fn unit_walk<R: ValidPackageReducer>(
         return ControlFlow::Break(UnitStop::Abandoned);
     }
     if let Err(cut) = meter.tick() {
+        pkgrec_trace::counter!("enumerate.pruned.budget");
         return ControlFlow::Break(UnitStop::Budget(cut));
     }
     pkgrec_trace::counter!("enumerate.nodes");
     stats.packages_enumerated += 1;
+    sink.node();
+    if fl {
+        flight::record(FlightEvent::BranchEnter {
+            depth: pkg.len() as u32,
+        });
+    }
+    let mut rejected = None;
     match ctx.classify(pkg, rating_bound) {
         Err(e) => return ControlFlow::Break(UnitStop::Error(e)),
-        Ok(Some(val)) => {
+        Ok(Classified::Valid(val)) => {
             pkgrec_trace::counter!("enumerate.valid");
             stats.valid_packages += 1;
-            if reducer.visit(acc, pkg, val).is_break() {
+            if fl {
+                flight::record(FlightEvent::Valid {
+                    size: pkg.len() as u32,
+                });
+            }
+            if visit(pkg, val).is_break() {
                 return ControlFlow::Break(UnitStop::Visitor);
             }
         }
-        Ok(None) => {}
+        Ok(Classified::Rejected(r)) => rejected = Some(r),
     }
-    if !pkg.is_empty() && ctx.prune(pkg) {
-        pkgrec_trace::counter!("enumerate.pruned");
-        return ControlFlow::Continue(());
+    if !pkg.is_empty() {
+        let reason = if ctx.prune(pkg) {
+            Some(PruneReason::CostBound)
+        } else if rejected == Some(Reject::Compat) && ctx.qc_antimonotone() {
+            Some(PruneReason::Compat)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            pkgrec_trace::add_counter(reason.counter_name(), 1);
+            if fl {
+                flight::record(FlightEvent::Prune {
+                    reason,
+                    depth: pkg.len() as u32,
+                });
+            }
+            // The whole subtree below this node is decided.
+            sink.skip(count_nodes(ctx.items().len() - start, max_size - pkg.len()) - 1.0);
+            return ControlFlow::Continue(());
+        }
     }
     if pkg.len() == max_size {
         return ControlFlow::Continue(());
@@ -426,7 +633,6 @@ fn unit_walk<R: ValidPackageReducer>(
         pkg.insert(item.clone());
         let flow = unit_walk(
             ctx,
-            reducer,
             rating_bound,
             meter,
             unit_idx,
@@ -434,8 +640,10 @@ fn unit_walk<R: ValidPackageReducer>(
             max_size,
             pkg,
             i + 1,
-            acc,
+            visit,
             stats,
+            sink,
+            fl,
         );
         pkg.remove(item);
         if flow.is_break() {
@@ -446,7 +654,8 @@ fn unit_walk<R: ValidPackageReducer>(
 }
 
 /// One worker: claim units off the shared counter in index order, walk
-/// each, and report the outcomes plus this thread's trace aggregates.
+/// each, and report the outcomes (with their drained flight events)
+/// plus this thread's trace aggregates.
 #[allow(clippy::too_many_arguments)]
 fn run_worker<R: ValidPackageReducer>(
     ctx: &SearchContext<'_>,
@@ -457,10 +666,14 @@ fn run_worker<R: ValidPackageReducer>(
     next: &AtomicUsize,
     floor: &AtomicUsize,
     shared: &SharedMeter,
+    progress: &Progress,
+    total_nodes: f64,
+    fl: bool,
 ) -> (Vec<UnitOutcome<R::Acc>>, pkgrec_trace::TraceReport) {
     let span = pkgrec_trace::span!("enumerate.worker");
     let meter = shared.worker();
     let items = ctx.items();
+    let mut sink = ProgressSink::new(progress, total_nodes);
     let mut outcomes = Vec::new();
     loop {
         let u = next.fetch_add(1, Ordering::Relaxed);
@@ -469,19 +682,15 @@ fn run_worker<R: ValidPackageReducer>(
         if u >= units.len() || floor.load(Ordering::Relaxed) < u || shared.is_stopped() {
             break;
         }
-        let (mut pkg, start) = match units[u] {
-            Unit::Root => (Package::empty(), items.len()),
-            Unit::Single(i) => (Package::singleton(items[i].clone()), items.len()),
-            Unit::Subtree(i, j) => (
-                Package::new([items[i].clone(), items[j].clone()]),
-                j + 1,
-            ),
-        };
+        let mark = flight::mark();
+        if fl {
+            flight::begin_unit(u as u64);
+        }
+        let (mut pkg, start) = unit_seed(items, units[u]);
         let mut acc = reducer.new_acc();
         let mut stats = SearchStats::default();
         let flow = unit_walk(
             ctx,
-            reducer,
             rating_bound,
             &meter,
             u,
@@ -489,35 +698,64 @@ fn run_worker<R: ValidPackageReducer>(
             max_size,
             &mut pkg,
             start,
-            &mut acc,
+            &mut |p, val| reducer.visit(&mut acc, p, val),
             &mut stats,
+            &mut sink,
+            fl,
         );
-        let mut outcome = UnitOutcome {
-            idx: u,
-            acc,
-            stats,
-            error: None,
-        };
         match flow {
-            ControlFlow::Continue(()) => outcomes.push(outcome),
-            ControlFlow::Break(UnitStop::Abandoned) => {}
+            ControlFlow::Continue(()) => {
+                if fl {
+                    flight::record(FlightEvent::UnitFinished);
+                }
+                sink.unit_done();
+                outcomes.push(UnitOutcome {
+                    idx: u,
+                    acc,
+                    stats,
+                    error: None,
+                    events: fl.then(|| flight::drain_from(mark)),
+                });
+            }
+            ControlFlow::Break(UnitStop::Abandoned) => {
+                pkgrec_trace::counter!("enumerate.pruned.floor");
+                flight::discard_from(mark);
+            }
             ControlFlow::Break(UnitStop::Visitor) => {
                 floor.fetch_min(u, Ordering::Relaxed);
-                outcomes.push(outcome);
+                outcomes.push(UnitOutcome {
+                    idx: u,
+                    acc,
+                    stats,
+                    error: None,
+                    events: fl.then(|| flight::drain_from(mark)),
+                });
             }
             ControlFlow::Break(UnitStop::Error(e)) => {
                 floor.fetch_min(u, Ordering::Relaxed);
-                outcome.error = Some(e);
-                outcomes.push(outcome);
+                outcomes.push(UnitOutcome {
+                    idx: u,
+                    acc,
+                    stats,
+                    error: Some(e),
+                    events: fl.then(|| flight::drain_from(mark)),
+                });
             }
             ControlFlow::Break(UnitStop::Budget(cut)) => {
                 floor.fetch_min(u, Ordering::Relaxed);
-                outcome.stats.interrupted = Some(cut);
-                outcomes.push(outcome);
+                stats.interrupted = Some(cut);
+                outcomes.push(UnitOutcome {
+                    idx: u,
+                    acc,
+                    stats,
+                    error: None,
+                    events: fl.then(|| flight::drain_from(mark)),
+                });
                 break;
             }
         }
     }
+    sink.flush();
     drop(span);
     (outcomes, pkgrec_trace::take())
 }
@@ -528,7 +766,9 @@ fn run_worker<R: ValidPackageReducer>(
 /// than the floor unit and — abandonment only triggers *above* the
 /// floor — ran to completion. The merge therefore folds, in canonical
 /// order, exactly the full units `< floor` plus the floor unit's
-/// prefix: the same visit sequence the sequential engine folds.
+/// prefix: the same visit sequence the sequential engine folds. Flight
+/// recordings inherit the argument: replaying the kept units' drained
+/// events in index order reproduces the sequential event stream.
 fn parallel_reduce<R: ValidPackageReducer>(
     ctx: &SearchContext<'_>,
     rating_bound: Option<Ext>,
@@ -539,21 +779,23 @@ fn parallel_reduce<R: ValidPackageReducer>(
     let _span = pkgrec_trace::span!("enumerate.par");
     let items = ctx.items();
     let max_size = ctx.max_package_size();
+    let (units, preskipped) = build_units(ctx, rating_bound, max_size)?;
+    let total_nodes = count_nodes(items.len(), max_size);
 
-    // Build the unit list in canonical order. A pruned singleton cuts
-    // off all its subtrees in the sequential walk, so those subtree
-    // units must not exist here either (`prune` is deterministic; the
-    // singleton unit itself re-checks it and bumps the counter).
-    let mut units = vec![Unit::Root];
-    if max_size >= 1 {
-        for i in 0..items.len() {
-            units.push(Unit::Single(i));
-            if max_size >= 2 && !ctx.prune(&Package::singleton(items[i].clone())) {
-                for j in (i + 1)..items.len() {
-                    units.push(Unit::Subtree(i, j));
-                }
-            }
-        }
+    let local_progress = Progress::new();
+    let progress = opts.progress.as_deref().unwrap_or(&local_progress);
+    progress.begin(units.len());
+    {
+        let mut sink = ProgressSink::new(progress, total_nodes);
+        sink.skip(preskipped);
+        sink.flush();
+    }
+
+    let fl = flight::is_enabled();
+    if fl {
+        // The coordinator's ring holds the merged recording; workers
+        // record into their own rings and hand events back per unit.
+        flight::begin_search(units.len() as u64);
     }
 
     let shared = opts.budget.shared_meter();
@@ -574,6 +816,9 @@ fn parallel_reduce<R: ValidPackageReducer>(
                             &next,
                             &floor,
                             &shared,
+                            progress,
+                            total_nodes,
+                            fl,
                         )
                     })
                 })
@@ -598,6 +843,9 @@ fn parallel_reduce<R: ValidPackageReducer>(
         if outcome.idx > floor {
             break;
         }
+        if let Some(events) = &outcome.events {
+            flight::replay(events);
+        }
         stats.packages_enumerated += outcome.stats.packages_enumerated;
         stats.valid_packages += outcome.stats.valid_packages;
         if let Some(e) = outcome.error {
@@ -607,6 +855,10 @@ fn parallel_reduce<R: ValidPackageReducer>(
         if outcome.idx == floor {
             stats.interrupted = outcome.stats.interrupted;
         }
+    }
+    match stats.interrupted {
+        None => progress.finish(),
+        Some(_) => stats.progress_at_interrupt = Some(progress.fraction()),
     }
     Ok((acc, stats))
 }
@@ -618,7 +870,7 @@ mod tests {
     use crate::functions::PackageFn;
     use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
     use pkgrec_guard::Resource;
-    use pkgrec_query::{ConjunctiveQuery, Query};
+    use pkgrec_query::{Builtin, CmpOp, ConjunctiveQuery, Query, RelAtom, Term};
 
     fn items(n: i64) -> Vec<Tuple> {
         (0..n).map(|i| tuple![i]).collect()
@@ -771,6 +1023,7 @@ mod tests {
         assert_eq!(valid.len(), 3);
         assert_eq!(stats.valid_packages, 3);
         assert!(stats.interrupted.is_none());
+        assert!(stats.progress_at_interrupt.is_none());
         assert!(valid.contains(&Package::new([tuple![1], tuple![2]])));
     }
 
@@ -807,5 +1060,76 @@ mod tests {
         let cut = stats.interrupted.expect("limit 3 < 8 subsets");
         assert_eq!(cut.resource, Resource::Steps { limit: 3 });
         assert_eq!(stats.packages_enumerated, 3);
+        let frac = stats.progress_at_interrupt.expect("interrupted run");
+        assert!((0.0..1.0).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn pruned_counters_are_attributed_by_reason() {
+        let _scope = pkgrec_trace::scoped();
+        pkgrec_trace::reset();
+        // Budget 1.0 with cost = |N|: every singleton's supersets are
+        // over budget, so the cost prune fires on each singleton.
+        let inst = small_instance().with_budget(1.0);
+        for_each_valid_package(&inst, None, &SolveOptions::default(), |_, _| {
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+        let report = pkgrec_trace::take();
+        assert!(report.counters["enumerate.pruned.cost"] >= 3);
+        assert!(
+            !report.counters.contains_key("enumerate.pruned"),
+            "the lump-sum counter is gone"
+        );
+    }
+
+    #[test]
+    fn antimonotone_qc_prunes_without_changing_the_answer() {
+        // Qc() :- RQ(x), RQ(y), x != y — "no two distinct items", a CQ
+        // and therefore anti-monotone; the equivalent opaque PTIME
+        // predicate forces the engine to visit every rejected superset.
+        let cq = Query::Cq(ConjunctiveQuery::new(
+            Vec::<Term>::new(),
+            vec![
+                RelAtom::new(crate::constraints::ANSWER_RELATION, vec![Term::v("x")]),
+                RelAtom::new(crate::constraints::ANSWER_RELATION, vec![Term::v("y")]),
+            ],
+            vec![Builtin::cmp(Term::v("x"), CmpOp::Neq, Term::v("y"))],
+        ));
+        let run = |qc: Constraint| {
+            let _scope = pkgrec_trace::scoped();
+            pkgrec_trace::reset();
+            let inst = small_instance().with_budget(10.0).with_qc(qc);
+            let mut valid = 0u64;
+            let stats = for_each_valid_package(&inst, None, &SolveOptions::default(), |_, _| {
+                valid += 1;
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+            (valid, stats.valid_packages, pkgrec_trace::take())
+        };
+        let (valid_cq, stats_cq, report_cq) = run(Constraint::Query(cq));
+        let (valid_pt, stats_pt, report_pt) = run(Constraint::ptime("≤ 1 item", |p, _| p.len() <= 1));
+        assert_eq!(valid_cq, valid_pt, "pruning must not change the answer");
+        assert_eq!(stats_cq, stats_pt);
+        assert_eq!(stats_cq, valid_cq);
+        assert!(report_cq.counters["enumerate.pruned.compat"] >= 1);
+        assert!(!report_pt.counters.contains_key("enumerate.pruned.compat"));
+        // The anti-monotone run visits no more nodes than the opaque one.
+        assert!(
+            report_cq.counters["enumerate.nodes"] <= report_pt.counters["enumerate.nodes"]
+        );
+    }
+
+    #[test]
+    fn progress_reaches_one_on_exact_completion() {
+        let progress = Arc::new(Progress::new());
+        let inst = small_instance().with_budget(10.0);
+        let opts = SolveOptions::unbounded().with_progress(Arc::clone(&progress));
+        for_each_valid_package(&inst, None, &opts, |_, _| ControlFlow::Continue(())).unwrap();
+        assert_eq!(progress.fraction(), 1.0);
+        let (done, total) = progress.units();
+        assert_eq!(done, total);
+        assert!(total > 0);
     }
 }

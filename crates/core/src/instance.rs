@@ -180,6 +180,7 @@ impl RecInstance {
             inst: self,
             items,
             answer_arity,
+            qc_antimonotone: self.qc.is_antimonotone(),
         })
     }
 
@@ -255,6 +256,34 @@ pub struct SearchContext<'a> {
     inst: &'a RecInstance,
     items: Vec<Tuple>,
     answer_arity: usize,
+    qc_antimonotone: bool,
+}
+
+/// Why [`SearchContext::classify`] rejected a package. The search uses
+/// the distinction both to attribute prunes (`enumerate.pruned.*`
+/// counters, flight-recorder [`PruneReason`]s) and to decide whether
+/// rejection licenses skipping the supersets.
+///
+/// [`PruneReason`]: pkgrec_trace::flight::PruneReason
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Reject {
+    /// `cost(N) > C`.
+    Cost,
+    /// `val(N) < B` for the given rating bound.
+    Rating,
+    /// `Qc(N, D) ≠ ∅`.
+    Compat,
+}
+
+/// The outcome of classifying an enumerated package.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Classified {
+    /// Valid; carries `val(N)`.
+    Valid(Ext),
+    /// Invalid, with the first check that failed (cost → rating →
+    /// compatibility, in that fixed order so attribution is
+    /// deterministic across engines).
+    Rejected(Reject),
 }
 
 impl<'a> SearchContext<'a> {
@@ -318,24 +347,31 @@ impl<'a> SearchContext<'a> {
             .is_some_and(|b| b > self.inst.budget)
     }
 
-    /// Classify an enumerated package: `Ok(Some(val))` when it is valid
-    /// (optionally also `val ≥ rating_bound`), `Ok(None)` otherwise.
-    /// Membership in `Q(D)` is already guaranteed by enumeration from
-    /// `self.items`.
-    pub(crate) fn classify(&self, pkg: &Package, rating_bound: Option<Ext>) -> Result<Option<Ext>> {
+    /// Whether `Qc` is anti-monotone (cached from
+    /// [`Constraint::is_antimonotone`]): a compatibility rejection then
+    /// also rules out every superset, so the search may prune.
+    pub(crate) fn qc_antimonotone(&self) -> bool {
+        self.qc_antimonotone
+    }
+
+    /// Classify an enumerated package: [`Classified::Valid`] carries
+    /// `val(N)`; [`Classified::Rejected`] names the first failing check
+    /// (cost → rating → compatibility). Membership in `Q(D)` is already
+    /// guaranteed by enumeration from `self.items`.
+    pub(crate) fn classify(&self, pkg: &Package, rating_bound: Option<Ext>) -> Result<Classified> {
         if self.inst.cost.eval(pkg) > self.inst.budget {
-            return Ok(None);
+            return Ok(Classified::Rejected(Reject::Cost));
         }
         let val = self.inst.val.eval(pkg);
         if let Some(b) = rating_bound {
             if val < b {
-                return Ok(None);
+                return Ok(Classified::Rejected(Reject::Rating));
             }
         }
         if !self.qc_satisfied(pkg)? {
-            return Ok(None);
+            return Ok(Classified::Rejected(Reject::Compat));
         }
-        Ok(Some(val))
+        Ok(Classified::Valid(val))
     }
 }
 

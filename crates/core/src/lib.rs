@@ -33,6 +33,7 @@ mod functions;
 mod instance;
 mod package;
 pub mod problems;
+mod progress;
 mod rating;
 
 pub use constraints::{Constraint, ANSWER_RELATION};
@@ -49,6 +50,7 @@ pub use pkgrec_guard::{Budget, CancelFlag, Interrupted, Meter, Outcome, Resource
 pub use functions::PackageFn;
 pub use instance::{RecInstance, SearchContext, SizeBound};
 pub use package::Package;
+pub use progress::Progress;
 pub use problems::group::{GroupInstance, GroupSemantics};
 pub use problems::items::{ItemInstance, ItemUtility};
 pub use rating::Ext;

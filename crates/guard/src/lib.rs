@@ -23,7 +23,11 @@
 //! innermost open span accumulates the search steps spent inside it —
 //! one counter, not two parallel ones. An interruption is tagged with
 //! the span that tripped it ([`Interrupted::span`]) and bumps the
-//! `guard.interrupted` trace counter.
+//! `guard.interrupted` trace counter. When the flight recorder is on,
+//! the interruption is also appended to the tripping thread's event
+//! ring (`pkgrec_trace::flight`) — the guard carries the recorder
+//! handle, so every cut-off recording ends with the exact interruption
+//! that caused it, with no cooperation needed from the solver loop.
 //!
 //! When a resource runs out, `tick` returns an [`Interrupted`] error
 //! naming the exhausted [`Resource`] and the steps spent. Decision
@@ -235,6 +239,17 @@ pub enum Resource {
     Cancelled,
 }
 
+impl Resource {
+    /// Stable short label used in flight-recorder JSONL records.
+    pub fn label(self) -> &'static str {
+        match self {
+            Resource::Steps { .. } => "steps",
+            Resource::Deadline => "deadline",
+            Resource::Cancelled => "cancelled",
+        }
+    }
+}
+
 impl fmt::Display for Resource {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -269,6 +284,18 @@ impl Interrupted {
             span: None,
         }
     }
+}
+
+/// Append an interruption to the current thread's flight-recorder ring
+/// (no-op while recording is disabled). Called on *every* path that
+/// surfaces an interruption to a solver — including workers observing
+/// another worker's trip — so whichever thread's recording survives the
+/// merge, its tail names the cut.
+fn flight_interrupted(cut: &Interrupted) {
+    pkgrec_trace::flight::record(pkgrec_trace::flight::FlightEvent::Interrupted {
+        resource: cut.resource.label(),
+        steps: cut.steps,
+    });
 }
 
 impl fmt::Display for Interrupted {
@@ -384,11 +411,13 @@ impl Meter {
 
     fn interrupted(&self, resource: Resource) -> Interrupted {
         pkgrec_trace::counter!("guard.interrupted");
-        Interrupted {
+        let cut = Interrupted {
             resource,
             steps: self.spent.get(),
             span: pkgrec_trace::current_span_name(),
-        }
+        };
+        flight_interrupted(&cut);
+        cut
     }
 }
 
@@ -443,7 +472,11 @@ impl SharedMeter {
     }
 
     /// Latch an interruption and raise the stop flag; returns the
-    /// winning (first-latched) record so racing workers agree.
+    /// winning (first-latched) record so racing workers agree. Every
+    /// tripping worker records the cut into its *own* flight ring
+    /// (only the winner bumps the `guard.interrupted` counter): the
+    /// merged recording keeps exactly the floor unit's events, and that
+    /// unit may belong to a worker that lost the latch race.
     fn trip(&self, resource: Resource, spent: u64) -> Interrupted {
         let mut won = false;
         let cut = *self.first.get_or_init(|| {
@@ -457,6 +490,7 @@ impl SharedMeter {
         if won {
             pkgrec_trace::counter!("guard.interrupted");
         }
+        flight_interrupted(&cut);
         self.stopped.store(true, Ordering::Release);
         cut
     }
@@ -511,11 +545,15 @@ impl WorkerMeter<'_> {
     #[cold]
     fn check_slow(&self, spent: u64) -> Result<(), Interrupted> {
         if self.shared.is_stopped() {
-            // Another worker tripped first; report its record.
-            return Err(self
+            // Another worker tripped first; report its record — and
+            // append it to *this* thread's flight ring, since this
+            // worker's current unit may be the one the merge keeps.
+            let cut = self
                 .shared
                 .interruption()
-                .unwrap_or(Interrupted::new(Resource::Cancelled, spent)));
+                .unwrap_or(Interrupted::new(Resource::Cancelled, spent));
+            flight_interrupted(&cut);
+            return Err(cut);
         }
         if let Some(flag) = &self.shared.cancel {
             if flag.is_cancelled() {
@@ -792,6 +830,63 @@ mod tests {
         // 1 + 2 + the interrupting tick, all attributed to the span.
         assert_eq!(report.spans["guard.test"].steps, 4);
         assert_eq!(report.counters["guard.interrupted"], 1);
+    }
+
+    #[test]
+    fn meter_trips_append_to_the_flight_recorder() {
+        let _fl = pkgrec_trace::flight::scoped();
+        pkgrec_trace::flight::reset();
+        let m = Budget::with_steps(2).meter();
+        m.tick().unwrap();
+        m.tick().unwrap();
+        let err = m.tick().unwrap_err();
+        let rec = pkgrec_trace::flight::take_recording();
+        assert_eq!(
+            rec.events.last().map(|r| r.event),
+            Some(pkgrec_trace::flight::FlightEvent::Interrupted {
+                resource: "steps",
+                steps: err.steps,
+            })
+        );
+    }
+
+    #[test]
+    fn every_worker_trip_lands_in_its_own_flight_ring() {
+        let _fl = pkgrec_trace::flight::scoped();
+        pkgrec_trace::flight::reset();
+        let shared = Budget::with_steps(5).shared_meter();
+        let w1 = shared.worker();
+        for _ in 0..5 {
+            w1.tick().unwrap();
+        }
+        let first = w1.tick().unwrap_err();
+        // A worker on another thread that only observes the latch still
+        // gets the same cut recorded on *its* thread.
+        let other = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _fl = pkgrec_trace::flight::scoped();
+                pkgrec_trace::flight::reset();
+                let w2 = shared.worker();
+                assert!(w2.check_now().is_err());
+                pkgrec_trace::flight::take_recording()
+            })
+            .join()
+            .unwrap()
+        });
+        let mine = pkgrec_trace::flight::take_recording();
+        let expect = pkgrec_trace::flight::FlightEvent::Interrupted {
+            resource: "steps",
+            steps: first.steps,
+        };
+        assert_eq!(mine.events.last().map(|r| r.event), Some(expect));
+        assert_eq!(other.events.last().map(|r| r.event), Some(expect));
+    }
+
+    #[test]
+    fn resource_labels_are_stable() {
+        assert_eq!(Resource::Steps { limit: 3 }.label(), "steps");
+        assert_eq!(Resource::Deadline.label(), "deadline");
+        assert_eq!(Resource::Cancelled.label(), "cancelled");
     }
 
     #[test]

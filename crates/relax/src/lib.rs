@@ -538,6 +538,9 @@ pub fn qrpp(inst: &QrppInstance, opts: &SolveOptions) -> Result<Option<Relaxatio
     )?;
     for relaxation in enumerate_relaxations(&levels, inst.gap_budget) {
         pkgrec_trace::counter!("qrpp.relaxations");
+        pkgrec_trace::flight::record(pkgrec_trace::flight::FlightEvent::Candidate {
+            label: "qrpp.relaxation",
+        });
         let relaxed = apply_relaxation(&inst.base.query, &inst.spec, &relaxation)?;
         let candidate = {
             let mut c = inst.base.clone();
@@ -586,6 +589,9 @@ pub fn qrpp_items(
     let levels = candidate_levels(db, query, spec, metrics, gap_budget)?;
     for relaxation in enumerate_relaxations(&levels, gap_budget) {
         pkgrec_trace::counter!("qrpp.relaxations");
+        pkgrec_trace::flight::record(pkgrec_trace::flight::FlightEvent::Candidate {
+            label: "qrpp.relaxation",
+        });
         let relaxed = apply_relaxation(query, spec, &relaxation)?;
         let answers = relaxed
             .eval_with_metrics(db, metrics)

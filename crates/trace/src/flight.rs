@@ -1,0 +1,600 @@
+//! The flight recorder: a bounded, per-thread ring buffer of
+//! structured search events — the event-level companion to the
+//! aggregate counters in the crate root.
+//!
+//! Aggregates answer "how much work happened"; the flight recorder
+//! answers "what was the solver doing *just now*, and why did it give
+//! up": every budget interruption can be dumped together with the last
+//! N events that led up to it (its black box), and every prune carries
+//! a typed [`PruneReason`] saying *which* rule cut the subtree.
+//!
+//! # Model
+//!
+//! Recording is per-thread (like the trace collector) and bounded: a
+//! ring of at most [`capacity`] records, evicting the oldest when full
+//! (the `dropped` count is preserved so a recording says how much
+//! history was lost). Each record carries the index of the search
+//! *unit* it happened in — the prefix partitions of the parallel
+//! engine — which is what makes parallel recordings mergeable: a
+//! worker drains its events per unit ([`mark`] / [`drain_from`]) and
+//! the coordinator [`replay`]s the kept units in index order, so an
+//! uninterrupted parallel run reproduces the sequential event stream
+//! bit for bit.
+//!
+//! Recording is **off by default** and costs one relaxed atomic load
+//! per probe while off. Enable it with [`enable`] / [`scoped`], or
+//! process-wide with the `PKGREC_FLIGHT` environment variable (any
+//! nonempty value other than `0`).
+//!
+//! Serialization is JSONL via the crate's hand-rolled writer: one JSON
+//! object per record, validated by the bundled `jsonl_check` tool.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::json;
+
+/// Why a subtree of the package-space search was skipped. Each reason
+/// owns one `enumerate.pruned.*` counter (see the registry table in the
+/// crate root); the sum over reasons replaces the old lump-sum
+/// `enumerate.pruned`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneReason {
+    /// Every superset is over the cost budget (sound via the declared
+    /// monotone superset bound).
+    CostBound,
+    /// The compatibility constraint is violated and declared
+    /// anti-monotone, so every superset violates it too.
+    Compat,
+    /// The resource budget ran out; the rest of the walk is abandoned.
+    Budget,
+    /// A parallel unit above the merge floor was discarded (its work is
+    /// redone by no one — the floor unit already ended the search).
+    ParallelFloor,
+}
+
+impl PruneReason {
+    /// The trace counter this reason bumps.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            PruneReason::CostBound => "enumerate.pruned.cost",
+            PruneReason::Compat => "enumerate.pruned.compat",
+            PruneReason::Budget => "enumerate.pruned.budget",
+            PruneReason::ParallelFloor => "enumerate.pruned.floor",
+        }
+    }
+
+    /// Short label used in JSONL records.
+    pub fn label(self) -> &'static str {
+        match self {
+            PruneReason::CostBound => "cost",
+            PruneReason::Compat => "compat",
+            PruneReason::Budget => "budget",
+            PruneReason::ParallelFloor => "floor",
+        }
+    }
+}
+
+/// One structured search event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEvent {
+    /// A search started, partitioned into `units` units.
+    SearchStart {
+        /// Total number of units the search was split into.
+        units: u64,
+    },
+    /// A unit was claimed (by the sequential loop or a worker).
+    UnitClaimed,
+    /// A unit's partition was walked to completion.
+    UnitFinished,
+    /// The DFS entered a branch (enumerated one package).
+    BranchEnter {
+        /// Package size at this node.
+        depth: u32,
+    },
+    /// A subtree was skipped.
+    Prune {
+        /// Which rule cut it.
+        reason: PruneReason,
+        /// Package size at the pruned node.
+        depth: u32,
+    },
+    /// A valid package was found.
+    Valid {
+        /// Its size.
+        size: u32,
+    },
+    /// The resource budget interrupted the search (recorded by
+    /// `pkgrec-guard` when a meter trips, so the recording's tail names
+    /// the exact cut point).
+    Interrupted {
+        /// Which resource ran out (`"steps"`, `"deadline"`,
+        /// `"cancelled"`).
+        resource: &'static str,
+        /// Steps spent when the interruption was noticed.
+        steps: u64,
+    },
+    /// A higher-level candidate was examined (e.g. one relaxation in
+    /// QRPP or one adjustment in ARPP).
+    Candidate {
+        /// What kind of candidate, e.g. `"qrpp.relaxation"`.
+        label: &'static str,
+    },
+}
+
+/// One recorded event, stamped with the unit it happened in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Index of the search unit active when the event fired (0 before
+    /// any unit started).
+    pub unit: u64,
+    /// The event.
+    pub event: FlightEvent,
+}
+
+impl FlightRecord {
+    /// Append this record as one JSON object to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(out, "{{\"unit\":{},\"event\":", self.unit);
+        match self.event {
+            FlightEvent::SearchStart { units } => {
+                let _ = write!(out, "\"search_start\",\"units\":{units}");
+            }
+            FlightEvent::UnitClaimed => out.push_str("\"unit_claimed\""),
+            FlightEvent::UnitFinished => out.push_str("\"unit_finished\""),
+            FlightEvent::BranchEnter { depth } => {
+                let _ = write!(out, "\"branch\",\"depth\":{depth}");
+            }
+            FlightEvent::Prune { reason, depth } => {
+                let _ = write!(out, "\"prune\",\"reason\":");
+                json::write_string(out, reason.label());
+                let _ = write!(out, ",\"depth\":{depth}");
+            }
+            FlightEvent::Valid { size } => {
+                let _ = write!(out, "\"valid\",\"size\":{size}");
+            }
+            FlightEvent::Interrupted { resource, steps } => {
+                let _ = write!(out, "\"interrupted\",\"resource\":");
+                json::write_string(out, resource);
+                let _ = write!(out, ",\"steps\":{steps}");
+            }
+            FlightEvent::Candidate { label } => {
+                let _ = write!(out, "\"candidate\",\"label\":");
+                json::write_string(out, label);
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// Process-wide enable count, composable like the trace enable.
+static FLIGHT: AtomicUsize = AtomicUsize::new(0);
+
+/// Ring capacity (records kept per thread). One global knob: the
+/// recorder is a black box, not an archive.
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+/// Default per-thread ring capacity.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+fn env_enabled() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PKGREC_FLIGHT").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// Whether flight recording is on (via [`enable`] or `PKGREC_FLIGHT`).
+#[inline]
+pub fn is_enabled() -> bool {
+    FLIGHT.load(Ordering::Relaxed) != 0 || env_enabled()
+}
+
+/// Enable recording process-wide; pair with [`disable`] or use
+/// [`scoped`].
+pub fn enable() {
+    FLIGHT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Undo one [`enable`] (saturating, like the trace enable).
+pub fn disable() {
+    let _ = FLIGHT.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+        Some(n.saturating_sub(1))
+    });
+}
+
+/// RAII guard: recording stays enabled until it drops.
+#[derive(Debug)]
+pub struct ScopedFlight(());
+
+impl Drop for ScopedFlight {
+    fn drop(&mut self) {
+        disable();
+    }
+}
+
+/// Enable recording for the lifetime of the returned guard.
+#[must_use = "recording is disabled again when the guard drops"]
+pub fn scoped() -> ScopedFlight {
+    enable();
+    ScopedFlight(())
+}
+
+/// Set the per-thread ring capacity (clamped to at least 16). Applies
+/// to subsequent pushes on every thread.
+pub fn set_capacity(records: usize) {
+    CAPACITY.store(records.max(16), Ordering::Relaxed);
+}
+
+/// The current ring capacity.
+pub fn capacity() -> usize {
+    CAPACITY.load(Ordering::Relaxed)
+}
+
+/// Per-thread ring buffer. `pushed` is the *logical* stream position —
+/// records evicted by capacity still advance it — so marks taken with
+/// [`mark`] stay valid as the ring wraps.
+#[derive(Default)]
+struct Ring {
+    events: VecDeque<FlightRecord>,
+    /// Logical records appended (and not drained/truncated away).
+    pushed: u64,
+    /// Records evicted by the capacity bound.
+    dropped: u64,
+    /// Current unit index, stamped onto every record.
+    unit: u64,
+}
+
+impl Ring {
+    fn push(&mut self, rec: FlightRecord) {
+        let cap = capacity();
+        while self.events.len() >= cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(rec);
+        self.pushed += 1;
+    }
+}
+
+thread_local! {
+    static RING: std::cell::RefCell<Ring> = std::cell::RefCell::new(Ring::default());
+}
+
+#[inline]
+fn with_ring<R>(f: impl FnOnce(&mut Ring) -> R) -> Option<R> {
+    RING.try_with(|r| f(&mut r.borrow_mut())).ok()
+}
+
+/// Record one event, stamped with the current unit. No-op while
+/// recording is disabled.
+#[inline]
+pub fn record(event: FlightEvent) {
+    if !is_enabled() {
+        return;
+    }
+    with_ring(|r| {
+        let unit = r.unit;
+        r.push(FlightRecord { unit, event });
+    });
+}
+
+/// Start a new search: reset the unit stamp to 0 and record
+/// [`FlightEvent::SearchStart`].
+pub fn begin_search(units: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_ring(|r| {
+        r.unit = 0;
+        r.push(FlightRecord {
+            unit: 0,
+            event: FlightEvent::SearchStart { units },
+        });
+    });
+}
+
+/// Enter unit `unit`: subsequent records are stamped with it, and a
+/// [`FlightEvent::UnitClaimed`] is recorded.
+pub fn begin_unit(unit: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_ring(|r| {
+        r.unit = unit;
+        r.push(FlightRecord {
+            unit,
+            event: FlightEvent::UnitClaimed,
+        });
+    });
+}
+
+/// The current logical stream position (0 while disabled). Pass to
+/// [`drain_from`] / [`discard_from`] to address everything recorded
+/// after this point.
+pub fn mark() -> u64 {
+    with_ring(|r| r.pushed).unwrap_or(0)
+}
+
+/// Events drained out of a ring for one unit of work, carried by the
+/// worker's outcome until the coordinator [`replay`]s them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnitEvents {
+    /// The still-buffered records of the range, oldest first.
+    pub records: Vec<FlightRecord>,
+    /// Records of the range already evicted by the capacity bound.
+    pub dropped: u64,
+}
+
+/// Remove and return every record at logical position ≥ `from` (a
+/// [`mark`]). Records of the range that were already evicted are
+/// reported via [`UnitEvents::dropped`], so a later [`replay`] restores
+/// the exact ring state a direct recording would have produced.
+pub fn drain_from(from: u64) -> UnitEvents {
+    with_ring(|r| {
+        let excess = r.pushed.saturating_sub(from);
+        let in_ring = (excess.min(r.events.len() as u64)) as usize;
+        let at = r.events.len() - in_ring;
+        let records: Vec<FlightRecord> = r.events.split_off(at).into();
+        let dropped = excess - in_ring as u64;
+        r.dropped -= dropped;
+        r.pushed = from;
+        UnitEvents { records, dropped }
+    })
+    .unwrap_or_default()
+}
+
+/// Remove every record at logical position ≥ `from` without keeping it
+/// (an abandoned parallel unit's partial recording).
+pub fn discard_from(from: u64) {
+    let _ = drain_from(from);
+}
+
+/// Append a drained range to this thread's ring, preserving each
+/// record's unit stamp. This is how the parallel coordinator merges the
+/// per-worker recordings in unit order.
+pub fn replay(events: &UnitEvents) {
+    if !is_enabled() {
+        return;
+    }
+    with_ring(|r| {
+        r.dropped += events.dropped;
+        for rec in &events.records {
+            r.push(*rec);
+        }
+    });
+}
+
+/// A finished recording: the retained events (oldest first) plus how
+/// many older events the capacity bound evicted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightRecording {
+    /// Retained records, oldest first.
+    pub events: Vec<FlightRecord>,
+    /// Records evicted before the retained window.
+    pub dropped: u64,
+}
+
+impl FlightRecording {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0
+    }
+
+    /// Serialize as JSONL: one JSON object per line. When events were
+    /// evicted, the first line is an `{"event":"overflow",...}` record
+    /// saying how many.
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.events.len() * 32);
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "{{\"event\":\"overflow\",\"dropped\":{}}}",
+                self.dropped
+            );
+        }
+        for rec in &self.events {
+            rec.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Take this thread's recording and reset the ring (unit stamp
+/// included).
+pub fn take_recording() -> FlightRecording {
+    with_ring(|r| {
+        let rec = FlightRecording {
+            events: std::mem::take(&mut r.events).into(),
+            dropped: r.dropped,
+        };
+        *r = Ring::default();
+        rec
+    })
+    .unwrap_or_default()
+}
+
+/// Discard this thread's recording.
+pub fn reset() {
+    let _ = take_recording();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests force-enable via the counter, so they behave the same
+    // whether or not PKGREC_FLIGHT is set in the environment.
+
+    #[test]
+    fn disabled_records_nothing() {
+        reset();
+        if env_enabled() {
+            return; // the env override keeps the recorder on
+        }
+        record(FlightEvent::UnitClaimed);
+        begin_unit(3);
+        assert!(take_recording().is_empty());
+        assert_eq!(mark(), 0);
+    }
+
+    #[test]
+    fn records_are_stamped_with_the_current_unit() {
+        let _on = scoped();
+        reset();
+        begin_search(7);
+        begin_unit(2);
+        record(FlightEvent::BranchEnter { depth: 1 });
+        let rec = take_recording();
+        assert_eq!(
+            rec.events,
+            vec![
+                FlightRecord {
+                    unit: 0,
+                    event: FlightEvent::SearchStart { units: 7 }
+                },
+                FlightRecord {
+                    unit: 2,
+                    event: FlightEvent::UnitClaimed
+                },
+                FlightRecord {
+                    unit: 2,
+                    event: FlightEvent::BranchEnter { depth: 1 }
+                },
+            ]
+        );
+        assert_eq!(rec.dropped, 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let _on = scoped();
+        reset();
+        let cap = capacity();
+        for d in 0..(cap + 5) {
+            record(FlightEvent::BranchEnter { depth: d as u32 });
+        }
+        let rec = take_recording();
+        assert_eq!(rec.events.len(), cap);
+        assert_eq!(rec.dropped, 5);
+        // The oldest five were evicted.
+        assert_eq!(rec.events[0].event, FlightEvent::BranchEnter { depth: 5 });
+    }
+
+    #[test]
+    fn drain_and_replay_reproduce_direct_recording() {
+        let _on = scoped();
+        reset();
+        // Direct recording.
+        begin_unit(0);
+        record(FlightEvent::Valid { size: 1 });
+        begin_unit(1);
+        record(FlightEvent::Valid { size: 2 });
+        let direct = take_recording();
+
+        // Drained per unit and replayed, as the parallel path does.
+        let m0 = mark();
+        begin_unit(0);
+        record(FlightEvent::Valid { size: 1 });
+        let u0 = drain_from(m0);
+        let m1 = mark();
+        begin_unit(1);
+        record(FlightEvent::Valid { size: 2 });
+        let u1 = drain_from(m1);
+        assert!(take_recording().is_empty(), "drained rings are empty");
+        replay(&u0);
+        replay(&u1);
+        assert_eq!(take_recording(), direct);
+    }
+
+    #[test]
+    fn discard_removes_a_units_events() {
+        let _on = scoped();
+        reset();
+        record(FlightEvent::UnitClaimed);
+        let m = mark();
+        record(FlightEvent::BranchEnter { depth: 0 });
+        record(FlightEvent::BranchEnter { depth: 1 });
+        discard_from(m);
+        let rec = take_recording();
+        assert_eq!(rec.events.len(), 1);
+        assert_eq!(rec.dropped, 0);
+    }
+
+    #[test]
+    fn drain_carries_evicted_counts_through_replay() {
+        let _on = scoped();
+        reset();
+        let cap = capacity();
+        let m = mark();
+        for d in 0..(cap + 3) {
+            record(FlightEvent::BranchEnter { depth: d as u32 });
+        }
+        let drained = drain_from(m);
+        assert_eq!(drained.records.len(), cap);
+        assert_eq!(drained.dropped, 3);
+        // The origin ring is clean again.
+        let leftover = take_recording();
+        assert!(leftover.events.is_empty());
+        assert_eq!(leftover.dropped, 0);
+        replay(&drained);
+        let rec = take_recording();
+        assert_eq!(rec.events.len(), cap);
+        assert_eq!(rec.dropped, 3);
+    }
+
+    #[test]
+    fn jsonl_lines_validate() {
+        let _on = scoped();
+        reset();
+        begin_search(3);
+        begin_unit(1);
+        record(FlightEvent::BranchEnter { depth: 2 });
+        record(FlightEvent::Prune {
+            reason: PruneReason::CostBound,
+            depth: 2,
+        });
+        record(FlightEvent::Valid { size: 1 });
+        record(FlightEvent::Interrupted {
+            resource: "steps",
+            steps: 42,
+        });
+        record(FlightEvent::Candidate {
+            label: "qrpp.relaxation",
+        });
+        let mut rec = take_recording();
+        rec.dropped = 9; // force the overflow header line too
+        let jsonl = rec.to_jsonl();
+        for line in jsonl.lines() {
+            json::validate_object(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(jsonl.starts_with("{\"event\":\"overflow\",\"dropped\":9}"));
+        assert!(jsonl.contains("\"reason\":\"cost\""));
+        assert!(jsonl.contains("\"resource\":\"steps\""));
+    }
+
+    #[test]
+    fn prune_reasons_map_to_registry_counters() {
+        for (reason, counter, label) in [
+            (PruneReason::CostBound, "enumerate.pruned.cost", "cost"),
+            (PruneReason::Compat, "enumerate.pruned.compat", "compat"),
+            (PruneReason::Budget, "enumerate.pruned.budget", "budget"),
+            (PruneReason::ParallelFloor, "enumerate.pruned.floor", "floor"),
+        ] {
+            assert_eq!(reason.counter_name(), counter);
+            assert_eq!(reason.label(), label);
+        }
+    }
+
+    #[test]
+    fn capacity_is_clamped() {
+        let old = capacity();
+        set_capacity(1);
+        assert_eq!(capacity(), 16);
+        set_capacity(old);
+    }
+}

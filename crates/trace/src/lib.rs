@@ -55,7 +55,10 @@
 //! | `fo.assignments` | query | active-domain rows enumerated |
 //! | `rewrite.steps` | query | language-lattice rewrite steps |
 //! | `enumerate.nodes` | core | package-space DFS nodes visited |
-//! | `enumerate.pruned` | core | subtrees pruned by the cost bound |
+//! | `enumerate.pruned.cost` | core | subtrees skipped: every superset over the cost budget |
+//! | `enumerate.pruned.compat` | core | subtrees skipped: anti-monotone `Qc` already violated |
+//! | `enumerate.pruned.budget` | core | walks cut short by the resource budget |
+//! | `enumerate.pruned.floor` | core | parallel units discarded above the merge floor |
 //! | `enumerate.valid` | core | packages passing all validity checks |
 //! | `core.arity_derivations` | core | query answer-arity derivations (O(1) per search) |
 //! | `frp.candidate_inserts` | core | top-k working-set insertions |
@@ -69,6 +72,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+pub mod flight;
 pub mod json;
 
 /// Number of log₂ histogram buckets: bucket `i` holds values whose bit
@@ -426,13 +430,31 @@ impl TraceReport {
         }
     }
 
-    /// The counter with the largest value (ties broken toward the
-    /// lexicographically first name, so the choice is deterministic).
+    /// The counter with the largest value.
+    ///
+    /// **Tie rule (stable contract):** equal values break toward the
+    /// lexicographically *first* name, so `report --stats` cells and
+    /// anything else keyed on this choice are identical across runs and
+    /// across report merges. Implemented by maximizing `(value, Reverse
+    /// (name))`: among equal values, the reversed name order makes the
+    /// smallest name the maximum.
     pub fn dominant_counter(&self) -> Option<(&str, u64)> {
         self.counters
             .iter()
-            .max_by(|(an, av), (bn, bv)| av.cmp(bv).then(bn.cmp(an)))
+            .max_by_key(|(name, &value)| (value, std::cmp::Reverse(name.as_str())))
             .map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// The `enumerate.pruned.*` breakdown: `(reason suffix, count)`
+    /// pairs in name order, when any attributed prune counter is
+    /// present.
+    pub fn pruned_breakdown(&self) -> Vec<(&str, u64)> {
+        self.counters
+            .iter()
+            .filter_map(|(name, &n)| {
+                name.strip_prefix("enumerate.pruned.").map(|r| (r, n))
+            })
+            .collect()
     }
 
     /// Serialize as one JSON object (sorted keys, no whitespace) —
@@ -516,6 +538,19 @@ impl TraceReport {
             let width = self.counters.keys().map(|p| p.len()).max().unwrap_or(0);
             for (name, n) in &self.counters {
                 let _ = writeln!(out, "  {name:<width$}  {n}");
+            }
+        }
+        let pruned = self.pruned_breakdown();
+        if !pruned.is_empty() {
+            let total: u64 = pruned.iter().map(|&(_, n)| n).sum();
+            let _ = writeln!(out, "pruned subtrees by reason (total {total}):");
+            for (reason, n) in pruned {
+                let pct = if total > 0 {
+                    n as f64 * 100.0 / total as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(out, "  {reason:<8}  {n} ({pct:.1}%)");
             }
         }
         if !self.histograms.is_empty() {
@@ -756,6 +791,76 @@ mod tests {
     }
 
     #[test]
+    fn dominant_counter_tie_rule_is_insertion_order_independent() {
+        // The documented rule — largest value, ties toward the
+        // lexicographically first name — must not depend on how the
+        // report was built or merged.
+        let names = ["m.zz", "m.aa", "a.zz", "z.aa"];
+        for (i, rotate) in names.iter().enumerate() {
+            let mut r = TraceReport::default();
+            for name in names.iter().cycle().skip(i).take(names.len()) {
+                r.counters.insert((*name).into(), 7);
+            }
+            assert_eq!(
+                r.dominant_counter(),
+                Some(("a.zz", 7)),
+                "rotation starting at {rotate}"
+            );
+        }
+        // An all-zero report still yields a deterministic choice.
+        let mut r = TraceReport::default();
+        r.counters.insert("b".into(), 0);
+        r.counters.insert("a".into(), 0);
+        assert_eq!(r.dominant_counter(), Some(("a", 0)));
+    }
+
+    #[test]
+    fn histogram_bucket_edges_pin_the_65_bucket_contract() {
+        // Regression: bucket_of(u64::MAX) must land in bucket 64, so
+        // HISTOGRAM_BUCKETS can never silently shrink below 65.
+        assert_eq!(HISTOGRAM_BUCKETS, 65);
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX >> 1), 63);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.buckets[64], 1);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_record_and_merge_are_equivalent() {
+        // Recording a sample stream into one histogram must equal
+        // recording any split of it into two and merging — including
+        // the extremes (0, u64::MAX) and an empty side.
+        let samples: &[u64] = &[0, 1, 1, 7, 4096, u64::MAX, 3, u64::MAX >> 1];
+        let mut whole = Histogram::default();
+        for &s in samples {
+            whole.record(s);
+        }
+        for split in 0..=samples.len() {
+            let (left, right) = samples.split_at(split);
+            let mut a = Histogram::default();
+            let mut b = Histogram::default();
+            for &s in left {
+                a.record(s);
+            }
+            for &s in right {
+                b.record(s);
+            }
+            a.merge(&b);
+            assert_eq!(a, whole, "split at {split}");
+        }
+    }
+
+    #[test]
     fn json_is_valid_and_sorted() {
         let mut r = TraceReport::default();
         r.counters.insert("zeta".into(), 1);
@@ -837,5 +942,25 @@ mod tests {
         assert!(text.contains("render.counter"));
         assert!(text.contains("42"));
         assert!(TraceReport::default().render_human().contains("nothing recorded"));
+    }
+
+    #[test]
+    fn human_rendering_breaks_down_prune_reasons() {
+        let mut r = TraceReport::default();
+        r.counters.insert("enumerate.pruned.cost".into(), 30);
+        r.counters.insert("enumerate.pruned.compat".into(), 10);
+        r.counters.insert("enumerate.nodes".into(), 100);
+        assert_eq!(
+            r.pruned_breakdown(),
+            vec![("compat", 10), ("cost", 30)]
+        );
+        let text = r.render_human();
+        assert!(text.contains("pruned subtrees by reason (total 40)"), "{text}");
+        assert!(text.contains("cost"), "{text}");
+        assert!(text.contains("75.0%"), "{text}");
+        // No breakdown block without attributed prune counters.
+        let mut plain = TraceReport::default();
+        plain.counters.insert("enumerate.nodes".into(), 5);
+        assert!(!plain.render_human().contains("pruned subtrees"));
     }
 }

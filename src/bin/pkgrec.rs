@@ -24,6 +24,13 @@
 //!                      answer (human) or as one JSONL record (json)
 //!   --trace-out PATH   append the JSONL trace record to PATH instead
 //!                      of stdout (implies --trace=json)
+//!   --flight-out PATH  keep a flight recorder (bounded ring of
+//!                      structured search events) during the solve and
+//!                      write it to PATH as JSONL — on completion *and*
+//!                      on interruption, so a budget cut comes with its
+//!                      last-N-events black box
+//!   --progress         print a throttled live progress line (percent,
+//!                      units, ETA) to stderr while the search runs
 //! ```
 //!
 //! With `--steps`/`--timeout-ms`, `topk`, `bound` and `count` are
@@ -42,10 +49,13 @@
 //! `--trace` this exercises — and meters — all three solver layers.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use pkgrec::core::{
     problems::cpp, problems::frp, problems::mbp, problems::rpp, Budget, Ext, PackageFn,
-    RecInstance, SizeBound, SolveOptions,
+    Progress, RecInstance, SizeBound, SolveOptions,
 };
 use pkgrec::data::text::parse_database;
 use pkgrec::data::{tuple, Database};
@@ -76,6 +86,8 @@ struct Options {
     jobs: Option<usize>,
     trace: Option<TraceFormat>,
     trace_out: Option<String>,
+    flight_out: Option<String>,
+    progress: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +126,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         jobs: None,
         trace: None,
         trace_out: None,
+        flight_out: None,
+        progress: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -126,6 +140,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         }
         if flag == "--trace=json" {
             opts.trace = Some(TraceFormat::Json);
+            i += 1;
+            continue;
+        }
+        if flag == "--progress" {
+            opts.progress = true;
             i += 1;
             continue;
         }
@@ -169,6 +188,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 // explicit `--trace=human` still prints to stdout too.
                 opts.trace.get_or_insert(TraceFormat::Json);
             }
+            "--flight-out" => opts.flight_out = Some(value.clone()),
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 2;
@@ -354,6 +374,83 @@ fn emit_trace(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Write the flight recording to `--flight-out` as JSONL. Called on
+/// success *and* error paths so an interrupted or failed solve still
+/// leaves its black box behind.
+fn emit_flight(opts: &Options) -> Result<(), String> {
+    let Some(path) = &opts.flight_out else {
+        return Ok(());
+    };
+    let recording = pkgrec_trace::flight::take_recording();
+    std::fs::write(path, recording.to_jsonl())
+        .map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+/// Live reporting for `--progress`: a monitor thread polls the shared
+/// [`Progress`] estimate the enumeration engines feed and prints a
+/// throttled stderr line with percent, unit counts and an ETA
+/// extrapolated from the elapsed wall time.
+struct ProgressMonitor {
+    progress: Arc<Progress>,
+    stop: Arc<AtomicBool>,
+    started: Instant,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressMonitor {
+    const PRINT_EVERY: Duration = Duration::from_millis(200);
+
+    fn spawn(progress: Arc<Progress>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let handle = {
+            let (progress, stop) = (Arc::clone(&progress), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut last_print = Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(25));
+                    if last_print.elapsed() < Self::PRINT_EVERY {
+                        continue;
+                    }
+                    last_print = Instant::now();
+                    Self::print_line(&progress, started);
+                }
+            })
+        };
+        ProgressMonitor { progress, stop, started, handle: Some(handle) }
+    }
+
+    /// One throttled stderr line; silent until a search announces its
+    /// unit count (so `eval` runs print nothing).
+    fn print_line(progress: &Progress, started: Instant) {
+        let (done, total) = progress.units();
+        if total == 0 {
+            return;
+        }
+        let f = progress.fraction();
+        let elapsed = started.elapsed().as_secs_f64();
+        if f > 0.0 && f < 1.0 {
+            let eta = elapsed * (1.0 - f) / f;
+            eprintln!(
+                "progress: {:5.1}%  {done}/{total} units  elapsed {elapsed:.1}s  eta {eta:.1}s",
+                f * 100.0
+            );
+        } else {
+            eprintln!("progress: {:5.1}%  {done}/{total} units  elapsed {elapsed:.1}s", f * 100.0);
+        }
+    }
+
+    /// Stop the monitor and print the final state — short runs that
+    /// never crossed a print interval still get one line.
+    fn finish(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        Self::print_line(&self.progress, self.started);
+    }
+}
+
 fn run(args: Vec<String>) -> Result<(), String> {
     let usage = "usage: pkgrec <eval|topk|bound|count|items> <db-file> <query> [options] \
                  | pkgrec qbf <qdimacs-file> [options] \
@@ -377,12 +474,29 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         // Default 1 (not env) so traced runs stay reproducible unless
         // the user opts in with --jobs 0.
-        let solver_opts = SolveOptions::with_budget(budget).with_jobs(opts.jobs.unwrap_or(1));
+        let mut solver_opts =
+            SolveOptions::with_budget(budget).with_jobs(opts.jobs.unwrap_or(1));
+        let monitor = if opts.progress {
+            let progress = Arc::new(Progress::new());
+            solver_opts = solver_opts.with_progress(Arc::clone(&progress));
+            Some(ProgressMonitor::spawn(progress))
+        } else {
+            None
+        };
         let _tracing = opts.trace.map(|_| {
             pkgrec_trace::reset();
             pkgrec_trace::scoped()
         });
-        cmd_qbf(qbf_path, &opts, &solver_opts)?;
+        let _flight = opts.flight_out.as_ref().map(|_| {
+            pkgrec_trace::flight::reset();
+            pkgrec_trace::flight::scoped()
+        });
+        let result = cmd_qbf(qbf_path, &opts, &solver_opts);
+        if let Some(monitor) = monitor {
+            monitor.finish();
+        }
+        emit_flight(&opts)?;
+        result?;
         return emit_trace(&opts);
     }
     let db_path = it.next().ok_or(usage)?;
@@ -399,14 +513,44 @@ fn run(args: Vec<String>) -> Result<(), String> {
     if let Some(ms) = opts.timeout_ms {
         budget = budget.timeout(std::time::Duration::from_millis(ms));
     }
-    let solver_opts = SolveOptions::with_budget(budget).with_jobs(opts.jobs.unwrap_or(1));
+    let mut solver_opts = SolveOptions::with_budget(budget).with_jobs(opts.jobs.unwrap_or(1));
+    let monitor = if opts.progress {
+        let progress = Arc::new(Progress::new());
+        solver_opts = solver_opts.with_progress(Arc::clone(&progress));
+        Some(ProgressMonitor::spawn(progress))
+    } else {
+        None
+    };
 
     // Collect solver metrics for this solve when asked to.
     let _tracing = opts.trace.map(|_| {
         pkgrec_trace::reset();
         pkgrec_trace::scoped()
     });
+    let _flight = opts.flight_out.as_ref().map(|_| {
+        pkgrec_trace::flight::reset();
+        pkgrec_trace::flight::scoped()
+    });
 
+    let result = run_command(cmd, db, query, &opts, &solver_opts, usage);
+    if let Some(monitor) = monitor {
+        monitor.finish();
+    }
+    emit_flight(&opts)?;
+    result?;
+    emit_trace(&opts)
+}
+
+/// Dispatch the non-qbf commands. Split out of [`run`] so the flight
+/// recording can be dumped on both the success and the error path.
+fn run_command(
+    cmd: &str,
+    db: Database,
+    query: Query,
+    opts: &Options,
+    solver_opts: &SolveOptions,
+    usage: &str,
+) -> Result<(), String> {
     match cmd {
         "eval" => {
             let answers = query.eval(&db).map_err(|e| e.to_string())?;
@@ -416,8 +560,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
         }
         "topk" => {
-            let inst = build_instance(db, query, &opts);
-            let out = frp::top_k(&inst, &solver_opts).map_err(|e| e.to_string())?;
+            let inst = build_instance(db, query, opts);
+            let out = frp::top_k(&inst, solver_opts).map_err(|e| e.to_string())?;
             if let Some(cut) = out.interrupted {
                 println!("partial result ({cut}):");
             }
@@ -437,8 +581,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
         }
         "bound" => {
-            let inst = build_instance(db, query, &opts);
-            let out = mbp::maximum_bound(&inst, &solver_opts).map_err(|e| e.to_string())?;
+            let inst = build_instance(db, query, opts);
+            let out = mbp::maximum_bound(&inst, solver_opts).map_err(|e| e.to_string())?;
             let qualifier = if out.exact { "" } else { " (lower bound; budget ran out)" };
             match out.value {
                 None => println!("no top-{} selection exists", opts.k),
@@ -450,19 +594,19 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 opts.min_val
                     .ok_or("`count` requires --min-val B".to_string())?,
             );
-            let inst = build_instance(db, query, &opts);
+            let inst = build_instance(db, query, opts);
             let out =
-                cpp::count_valid(&inst, bound, &solver_opts).map_err(|e| e.to_string())?;
+                cpp::count_valid(&inst, bound, solver_opts).map_err(|e| e.to_string())?;
             let prefix = if out.exact { "" } else { "at least " };
             let suffix = if out.exact { "" } else { " (budget ran out)" };
             println!("{prefix}{} valid packages with val >= {bound}{suffix}", out.value);
         }
         "items" => {
-            let inst = build_instance(db, query, &opts)
+            let inst = build_instance(db, query, opts)
                 .with_cost(PackageFn::count())
                 .with_budget(1.0)
                 .with_size_bound(SizeBound::Constant(1));
-            let out = frp::top_k(&inst, &solver_opts).map_err(|e| e.to_string())?;
+            let out = frp::top_k(&inst, solver_opts).map_err(|e| e.to_string())?;
             if let Some(cut) = out.interrupted {
                 println!("partial result ({cut}):");
             }
@@ -478,6 +622,5 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         other => return Err(format!("unknown command `{other}`; {usage}")),
     }
-
-    emit_trace(&opts)
+    Ok(())
 }

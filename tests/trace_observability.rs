@@ -46,7 +46,7 @@ fn rpp_solve_emits_the_documented_counter_names() {
             "core.arity_derivations",
             "cq.join_candidates",
             "enumerate.nodes",
-            "enumerate.pruned",
+            "enumerate.pruned.cost",
             "enumerate.valid"
         ],
         "counter names are a stable contract; see the registry in pkgrec-trace"
