@@ -1,9 +1,9 @@
 use std::fmt;
 
 use pkgrec_data::{Database, Tuple};
-use pkgrec_query::{EvalContext, MetricSet, Query};
+use pkgrec_query::{CompiledPlan, EvalContext, MetricSet, Query};
 
-use crate::constraints::Constraint;
+use crate::constraints::{Constraint, ANSWER_RELATION};
 use crate::error::{ColumnIssue, CoreError};
 use crate::functions::PackageFn;
 use crate::package::Package;
@@ -166,14 +166,25 @@ impl RecInstance {
     }
 
     /// Precompute the per-search state — the item pool `Q(D)`, the
-    /// answer arity and the query-evaluation context — and validate the
-    /// `cost`/`val` functions' declared numeric columns against the
-    /// items. Every solve (and every worker of a parallel solve) shares
-    /// one context, so this work happens O(1) times per search instead
-    /// of once per enumerated package.
+    /// answer arity, compiled plans for `Q` and `Qc`, and the
+    /// query-evaluation context — and validate the `cost`/`val`
+    /// functions' declared numeric columns against the items. Every
+    /// solve (and every worker of a parallel solve) shares one context,
+    /// so this work happens O(1) times per search instead of once per
+    /// enumerated package.
     pub fn search_context(&self) -> Result<SearchContext<'_>> {
-        let items = self.items()?;
         let answer_arity = self.answer_arity()?;
+        let q_plan = self.query.compile(&self.db)?;
+        let items: Vec<Tuple> = q_plan
+            .eval(self.metrics.as_ref(), None)?
+            .into_iter()
+            .collect();
+        let qc_plan = match &self.qc {
+            Constraint::Query(qc) => {
+                Some(qc.compile_with_dynamic(&self.db, ANSWER_RELATION, answer_arity)?)
+            }
+            _ => None,
+        };
         validate_fn_columns("cost", &self.cost, &items)?;
         validate_fn_columns("val", &self.val, &items)?;
         Ok(SearchContext {
@@ -181,6 +192,8 @@ impl RecInstance {
             items,
             answer_arity,
             qc_antimonotone: self.qc.is_antimonotone(),
+            q_plan,
+            qc_plan,
         })
     }
 
@@ -257,6 +270,12 @@ pub struct SearchContext<'a> {
     items: Vec<Tuple>,
     answer_arity: usize,
     qc_antimonotone: bool,
+    /// `Q` compiled against `D` — answers membership probes without
+    /// re-interning or re-planning per package item.
+    q_plan: CompiledPlan<'a>,
+    /// `Qc` compiled against `D` with the answer relation `R_Q` bound
+    /// dynamically, when `Qc` is a query constraint.
+    qc_plan: Option<CompiledPlan<'a>>,
 }
 
 /// Why [`SearchContext::classify`] rejected a package. The search uses
@@ -309,8 +328,22 @@ impl<'a> SearchContext<'a> {
     }
 
     /// `Qc(N, D) = ∅`, using the cached arity (no per-package query
-    /// AST walk).
+    /// AST walk). Query constraints go through the compiled plan: the
+    /// package is bound to `R_Q` as a zero-copy overlay instead of
+    /// cloning the whole database per probe.
     pub fn qc_satisfied(&self, pkg: &Package) -> Result<bool> {
+        if let (Constraint::Query(_), Some(plan)) = (&self.inst.qc, &self.qc_plan) {
+            for t in pkg.iter() {
+                if t.arity() != self.answer_arity {
+                    return Err(CoreError::Invalid(format!(
+                        "package item arity {} does not match answer arity {}",
+                        t.arity(),
+                        self.answer_arity
+                    )));
+                }
+            }
+            return Ok(!plan.has_answer_dynamic(pkg.iter(), self.inst.metrics.as_ref(), None)?);
+        }
         self.inst
             .qc
             .satisfied(pkg, &self.inst.db, self.answer_arity, self.inst.metrics.as_ref())
@@ -330,9 +363,8 @@ impl<'a> SearchContext<'a> {
                 return Ok(false);
             }
         }
-        let ctx = self.inst.eval_ctx();
         for t in pkg.iter() {
-            if !self.inst.query.contains_ctx(ctx, t)? {
+            if !self.q_plan.contains(t, self.inst.metrics.as_ref(), None)? {
                 return Ok(false);
             }
         }

@@ -1,0 +1,96 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::Value;
+
+/// Dense interning of [`Value`]s to `u32` symbol ids.
+///
+/// Compiled query plans intern every value a join can touch once at
+/// compile time, so the inner join loops compare and copy 4-byte ids
+/// instead of cloning `Value`s (which may carry an `Arc<str>`). Two ids
+/// from the same interner are equal iff the values they denote are
+/// equal; order is *not* preserved, so anything that needs the value's
+/// ordering (comparison builtins, answer tuples) resolves the id back
+/// first.
+#[derive(Clone, Default)]
+pub struct ValueInterner {
+    ids: HashMap<Value, u32>,
+    values: Vec<Value>,
+}
+
+impl ValueInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a value, returning its dense id (assigned in first-seen
+    /// order).
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        if let Some(&id) = self.ids.get(v) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("fewer than 2^32 distinct values");
+        self.ids.insert(v.clone(), id);
+        self.values.push(v.clone());
+        id
+    }
+
+    /// The id of an already-interned value, if any.
+    pub fn get(&self, v: &Value) -> Option<u32> {
+        self.ids.get(v).copied()
+    }
+
+    /// Resolve an id back to its value.
+    ///
+    /// # Panics
+    /// If the id was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &Value {
+        &self.values[id as usize]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Debug for ValueInterner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ValueInterner")
+            .field("len", &self.values.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = ValueInterner::new();
+        let a = i.intern(&Value::Int(7));
+        let b = i.intern(&Value::from("x"));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(i.intern(&Value::Int(7)), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), &Value::Int(7));
+        assert_eq!(i.resolve(b), &Value::from("x"));
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = ValueInterner::new();
+        assert_eq!(i.get(&Value::Bool(true)), None);
+        let id = i.intern(&Value::Bool(true));
+        assert_eq!(i.get(&Value::Bool(true)), Some(id));
+        assert!(!i.is_empty());
+    }
+}

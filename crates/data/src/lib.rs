@@ -24,6 +24,7 @@
 
 mod database;
 mod error;
+mod interner;
 mod relation;
 mod schema;
 pub mod text;
@@ -32,6 +33,7 @@ mod value;
 
 pub use database::{ActiveDomain, Database};
 pub use error::DataError;
+pub use interner::ValueInterner;
 pub use relation::Relation;
 pub use schema::{Attribute, RelationSchema};
 pub use tuple::Tuple;

@@ -1,6 +1,6 @@
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-
+use std::sync::Arc;
 
 use crate::{RelationSchema, Result, Tuple, Value};
 
@@ -13,14 +13,18 @@ use crate::{RelationSchema, Result, Tuple, Value};
 /// index cache sits behind an `RwLock` (not a `RefCell`) so a relation
 /// can be probed concurrently by the parallel search workers; reads
 /// share the lock and only the first probe of a column takes it
-/// exclusively.
+/// exclusively. Buckets are `Arc<[Tuple]>` so a probe hands out a
+/// shared reference — no per-probe allocation or tuple cloning.
 #[derive(Debug)]
 pub struct Relation {
     schema: RelationSchema,
     tuples: BTreeSet<Tuple>,
     /// Lazily built per-column indexes: column position → value → tuples.
-    indexes: std::sync::RwLock<HashMap<usize, HashMap<Value, Vec<Tuple>>>>,
+    indexes: std::sync::RwLock<IndexCache>,
 }
+
+/// Per-column hash indexes: column position → value → shared bucket.
+type IndexCache = HashMap<usize, HashMap<Value, Arc<[Tuple]>>>;
 
 impl Clone for Relation {
     fn clone(&self) -> Self {
@@ -128,25 +132,32 @@ impl Relation {
     }
 
     /// Tuples whose column `col` equals `v`, via a lazily built hash
-    /// index. Falls back to an empty slice when no tuple matches.
-    pub fn lookup(&self, col: usize, v: &Value) -> Vec<Tuple> {
+    /// index: a shared bucket in canonical order, or `None` when no
+    /// tuple matches. Cloning the returned `Arc` is a refcount bump, so
+    /// repeated probes do no per-probe allocation.
+    pub fn lookup(&self, col: usize, v: &Value) -> Option<Arc<[Tuple]>> {
         if let Some(index) = self
             .indexes
             .read()
             .expect("index lock poisoned")
             .get(&col)
         {
-            return index.get(v).cloned().unwrap_or_default();
+            return index.get(v).cloned();
         }
+        // Double-checked build: two probes can both miss the read lock
+        // above; `entry` re-probes under the write lock so the second
+        // thread reuses the first one's index instead of rebuilding it
+        // (the `query.index_builds` counter pins at-most-once builds).
         let mut indexes = self.indexes.write().expect("index lock poisoned");
         let index = indexes.entry(col).or_insert_with(|| {
+            pkgrec_trace::counter!("query.index_builds");
             let mut m: HashMap<Value, Vec<Tuple>> = HashMap::new();
             for t in &self.tuples {
                 m.entry(t[col].clone()).or_default().push(t.clone());
             }
-            m
+            m.into_iter().map(|(k, b)| (k, Arc::from(b))).collect()
         });
-        index.get(v).cloned().unwrap_or_default()
+        index.get(v).cloned()
     }
 
     /// Hint used by `lookup` consumers: `index(col)` forces index
@@ -222,19 +233,64 @@ mod tests {
     #[test]
     fn lookup_uses_index() {
         let r = rel();
-        let hits = r.lookup(0, &Value::Int(1));
+        let hits = r.lookup(0, &Value::Int(1)).expect("two matches");
         assert_eq!(hits.len(), 2);
-        assert!(r.lookup(0, &Value::Int(9)).is_empty());
+        assert!(r.lookup(0, &Value::Int(9)).is_none());
+    }
+
+    #[test]
+    fn lookup_buckets_are_shared_and_canonical() {
+        let r = rel();
+        let a = r.lookup(0, &Value::Int(1)).unwrap();
+        let b = r.lookup(0, &Value::Int(1)).unwrap();
+        // Same allocation handed out to every probe.
+        assert!(Arc::ptr_eq(&a, &b));
+        let mut sorted: Vec<Tuple> = a.to_vec();
+        sorted.sort();
+        assert_eq!(&*a, &sorted[..]);
     }
 
     #[test]
     fn mutation_invalidates_index() {
         let mut r = rel();
-        assert_eq!(r.lookup(0, &Value::Int(1)).len(), 2);
+        assert_eq!(r.lookup(0, &Value::Int(1)).unwrap().len(), 2);
         r.insert(tuple![1, "w"]).unwrap();
-        assert_eq!(r.lookup(0, &Value::Int(1)).len(), 3);
+        assert_eq!(r.lookup(0, &Value::Int(1)).unwrap().len(), 3);
         r.remove(&tuple![1, "w"]);
-        assert_eq!(r.lookup(0, &Value::Int(1)).len(), 2);
+        assert_eq!(r.lookup(0, &Value::Int(1)).unwrap().len(), 2);
+    }
+
+    /// Satellite regression: concurrent first probes of the same column
+    /// must build its index exactly once. Counters are thread-local, so
+    /// each prober hands its report back for the main thread to absorb.
+    #[test]
+    fn concurrent_lookups_build_the_index_at_most_once() {
+        let _scope = pkgrec_trace::scoped();
+        let r = std::sync::Arc::new(rel());
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let mut total = pkgrec_trace::TraceReport::default();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    pkgrec_trace::reset();
+                    barrier.wait();
+                    for _ in 0..100 {
+                        let _ = r.lookup(0, &Value::Int(1));
+                    }
+                    pkgrec_trace::take()
+                })
+            })
+            .collect();
+        for h in handles {
+            total.merge(&h.join().expect("prober thread"));
+        }
+        assert_eq!(
+            total.counters.get("query.index_builds").copied(),
+            Some(1),
+            "double-checked rebuild must dedupe concurrent index builds"
+        );
     }
 
     #[test]

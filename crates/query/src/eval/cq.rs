@@ -69,6 +69,112 @@ struct IBuiltin {
     right: ITerm,
 }
 
+/// The "shape" of an atom for static planning: one entry per position,
+/// `Some(var)` for a variable, `None` for a constant (always
+/// determined). Both the interpreter and the plan compiler reduce their
+/// term representations to this view, so the two derive *identical*
+/// join orders and builtin schedules — a requirement for compiled
+/// evaluation to stay tick-for-tick equivalent with interpreted runs.
+pub(crate) type AtomShape = Vec<Option<usize>>;
+
+fn shape_determined(s: &Option<usize>, bound: &[bool]) -> bool {
+    match s {
+        None => true,
+        Some(v) => bound[*v],
+    }
+}
+
+/// Greedy static atom order: repeatedly pick the atom with the most
+/// already-determined positions (constants or bound variables),
+/// breaking ties toward smaller relations. `max_by_key` keeps the
+/// *last* maximal element, which is part of the contract — the compiler
+/// must reproduce the interpreter's choice exactly.
+pub(crate) fn greedy_order(
+    shapes: &[AtomShape],
+    sizes: &[usize],
+    initially_bound: &[bool],
+) -> Vec<usize> {
+    let mut bound = initially_bound.to_vec();
+    let mut remaining: Vec<usize> = (0..shapes.len()).collect();
+    let mut order = Vec::with_capacity(shapes.len());
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let det = shapes[i]
+                    .iter()
+                    .filter(|s| shape_determined(s, &bound))
+                    .count();
+                (det, std::cmp::Reverse(sizes[i]))
+            })
+            .expect("remaining non-empty");
+        order.push(best);
+        remaining.remove(pos);
+        for &v in shapes[best].iter().flatten() {
+            bound[v] = true;
+        }
+    }
+    order
+}
+
+/// Schedule each builtin at the earliest depth where both sides are
+/// determined; depth = number of atoms already joined. `Err(i)` names
+/// the first builtin that can never be scheduled (unsafe query).
+pub(crate) fn schedule_builtins(
+    shapes: &[AtomShape],
+    order: &[usize],
+    builtin_shapes: &[(Option<usize>, Option<usize>)],
+    initially_bound: &[bool],
+) -> std::result::Result<Vec<Vec<usize>>, usize> {
+    let mut bound = initially_bound.to_vec();
+    let mut builtin_at: Vec<Vec<usize>> = vec![Vec::new(); order.len() + 1];
+    let mut scheduled = vec![false; builtin_shapes.len()];
+    for (depth, at) in builtin_at.iter_mut().enumerate() {
+        if depth > 0 {
+            for &v in shapes[order[depth - 1]].iter().flatten() {
+                bound[v] = true;
+            }
+        }
+        for (bi, (l, r)) in builtin_shapes.iter().enumerate() {
+            if !scheduled[bi] && shape_determined(l, &bound) && shape_determined(r, &bound) {
+                scheduled[bi] = true;
+                at.push(bi);
+            }
+        }
+    }
+    match scheduled.iter().position(|s| !s) {
+        Some(i) => Err(i),
+        None => Ok(builtin_at),
+    }
+}
+
+/// The access path at each join depth is statically known: the probe
+/// column is the first atom position holding a constant or a variable
+/// bound by the atoms ordered before it (`None` = full scan). This is
+/// exactly the column the interpreter's dynamic `find_map` picks at
+/// runtime, hoisted to plan time so the compiler knows which column
+/// indexes to force.
+pub(crate) fn probe_columns(
+    shapes: &[AtomShape],
+    order: &[usize],
+    initially_bound: &[bool],
+) -> Vec<Option<usize>> {
+    let mut bound = initially_bound.to_vec();
+    let mut probes = Vec::with_capacity(order.len());
+    for &ai in order {
+        probes.push(
+            shapes[ai]
+                .iter()
+                .position(|s| shape_determined(s, &bound)),
+        );
+        for &v in shapes[ai].iter().flatten() {
+            bound[v] = true;
+        }
+    }
+    probes
+}
+
 /// Resolve both sides of a scheduled builtin. Scheduling guarantees
 /// both are determined; a miss is an engine bug, reported as a typed
 /// error rather than a panic.
@@ -160,68 +266,24 @@ pub(crate) fn eval_conjunction_with(
         }
     }
 
-    // Greedy static atom order: repeatedly pick the atom with the most
-    // already-determined positions (constants or bound variables),
-    // breaking ties toward smaller relations.
-    let mut order: Vec<usize> = Vec::with_capacity(iatoms.len());
-    {
-        let mut bound_vars: Vec<bool> = bindings.iter().map(Option::is_some).collect();
-        let mut remaining: Vec<usize> = (0..iatoms.len()).collect();
-        while !remaining.is_empty() {
-            let (pos, &best) = remaining
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &i)| {
-                    let det = iatoms[i]
-                        .terms
-                        .iter()
-                        .filter(|t| match t {
-                            ITerm::Const(_) => true,
-                            ITerm::Var(v) => bound_vars[*v],
-                        })
-                        .count();
-                    (det, std::cmp::Reverse(rels[i].len()))
-                })
-                .expect("remaining non-empty");
-            order.push(best);
-            remaining.remove(pos);
-            for t in &iatoms[best].terms {
-                if let ITerm::Var(v) = t {
-                    bound_vars[*v] = true;
-                }
-            }
-        }
-    }
-
-    // Schedule each builtin at the earliest depth where both sides are
-    // determined; depth = number of atoms already joined.
-    let mut builtin_at: Vec<Vec<usize>> = vec![Vec::new(); iatoms.len() + 1];
-    {
-        let mut bound_vars: Vec<bool> = bindings.iter().map(Option::is_some).collect();
-        let determined = |t: &ITerm, bv: &[bool]| match t {
-            ITerm::Const(_) => true,
-            ITerm::Var(v) => bv[*v],
-        };
-        let mut scheduled = vec![false; ibuiltins.len()];
-        for depth in 0..=iatoms.len() {
-            if depth > 0 {
-                for t in &iatoms[order[depth - 1]].terms {
-                    if let ITerm::Var(v) = t {
-                        bound_vars[*v] = true;
-                    }
-                }
-            }
-            for (bi, b) in ibuiltins.iter().enumerate() {
-                if !scheduled[bi]
-                    && determined(&b.left, &bound_vars)
-                    && determined(&b.right, &bound_vars)
-                {
-                    scheduled[bi] = true;
-                    builtin_at[depth].push(bi);
-                }
-            }
-        }
-        if let Some(unscheduled) = scheduled.iter().position(|s| !s) {
+    // Static planning, via the same helpers the plan compiler uses.
+    let term_shape = |t: &ITerm| match t {
+        ITerm::Var(v) => Some(*v),
+        ITerm::Const(_) => None,
+    };
+    let shapes: Vec<AtomShape> = iatoms
+        .iter()
+        .map(|a| a.terms.iter().map(term_shape).collect())
+        .collect();
+    let sizes: Vec<usize> = rels.iter().map(|r| r.len()).collect();
+    let initially_bound: Vec<bool> = bindings.iter().map(Option::is_some).collect();
+    let order = greedy_order(&shapes, &sizes, &initially_bound);
+    let builtin_shapes: Vec<(Option<usize>, Option<usize>)> = ibuiltins
+        .iter()
+        .map(|b| (term_shape(&b.left), term_shape(&b.right)))
+        .collect();
+    let builtin_at = schedule_builtins(&shapes, &order, &builtin_shapes, &initially_bound)
+        .map_err(|unscheduled| {
             // A builtin variable occurs in no atom: unsafe query.
             let v = builtins[unscheduled]
                 .variables()
@@ -229,9 +291,8 @@ pub(crate) fn eval_conjunction_with(
                 .next()
                 .map(|v| v.to_string())
                 .unwrap_or_default();
-            return Err(QueryError::UnsafeVariable(v));
-        }
-    }
+            QueryError::UnsafeVariable(v)
+        })?;
 
     // Check builtins already determined before any join (e.g. ground
     // comparisons, or comparisons over pre-bound head variables).
@@ -285,73 +346,94 @@ pub(crate) fn eval_conjunction_with(
             let rel = self.rels[ai];
 
             // Pick an access path: an indexed probe on the first
-            // determined column, else a full scan.
+            // determined column (a shared bucket — no per-probe
+            // allocation), else a full scan borrowed from the relation.
             let probe = atom
                 .terms
                 .iter()
                 .enumerate()
                 .find_map(|(col, t)| t.value(bindings).map(|v| (col, v.clone())));
-            let candidates: Vec<Tuple> = match probe {
-                Some((col, v)) => rel.lookup(col, &v),
-                None => rel.tuples(),
-            };
-
-            'next_tuple: for t in candidates {
-                // One step per candidate tuple considered: the join's
-                // work is proportional to exactly this count.
-                self.ctx.tick()?;
-                pkgrec_trace::counter!("cq.join_candidates");
-                let mut newly_bound: Vec<usize> = Vec::new();
-                for (col, term) in atom.terms.iter().enumerate() {
-                    match term {
-                        ITerm::Const(c) => {
-                            if c != &t[col] {
-                                for &v in &newly_bound {
-                                    bindings[v] = None;
-                                }
-                                continue 'next_tuple;
-                            }
+            match probe {
+                Some((col, v)) => {
+                    if let Some(bucket) = rel.lookup(col, &v) {
+                        for t in bucket.iter() {
+                            self.candidate(depth, t, bindings, out)?;
                         }
-                        ITerm::Var(v) => match &bindings[*v] {
-                            Some(existing) => {
-                                if existing != &t[col] {
-                                    for &u in &newly_bound {
-                                        bindings[u] = None;
-                                    }
-                                    continue 'next_tuple;
-                                }
-                            }
-                            None => {
-                                bindings[*v] = Some(t[col].clone());
-                                newly_bound.push(*v);
-                            }
-                        },
                     }
                 }
-                // Builtins that became checkable at this depth.
-                let mut ok = true;
-                for &bi in &self.builtin_at[depth + 1] {
-                    let b = &self.ibuiltins[bi];
-                    let (l, r) = match resolved_pair(b, bindings) {
-                        Ok(pair) => pair,
-                        Err(e) => {
+                None => {
+                    for t in rel.iter() {
+                        self.candidate(depth, t, bindings, out)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        /// Try one candidate tuple at `depth`: bind, check builtins,
+        /// recurse, unbind.
+        fn candidate(
+            &self,
+            depth: usize,
+            t: &Tuple,
+            bindings: &mut Vec<Option<Value>>,
+            out: &mut BTreeSet<Tuple>,
+        ) -> Result<()> {
+            // One step per candidate tuple considered: the join's
+            // work is proportional to exactly this count.
+            self.ctx.tick()?;
+            pkgrec_trace::counter!("cq.join_candidates");
+            let atom = &self.iatoms[self.order[depth]];
+            let mut newly_bound: Vec<usize> = Vec::new();
+            for (col, term) in atom.terms.iter().enumerate() {
+                match term {
+                    ITerm::Const(c) => {
+                        if c != &t[col] {
                             for &v in &newly_bound {
                                 bindings[v] = None;
                             }
-                            return Err(e);
+                            return Ok(());
                         }
-                    };
-                    if !self.ctx.eval_builtin(&b.original, l, r)? {
-                        ok = false;
-                        break;
                     }
+                    ITerm::Var(v) => match &bindings[*v] {
+                        Some(existing) => {
+                            if existing != &t[col] {
+                                for &u in &newly_bound {
+                                    bindings[u] = None;
+                                }
+                                return Ok(());
+                            }
+                        }
+                        None => {
+                            bindings[*v] = Some(t[col].clone());
+                            newly_bound.push(*v);
+                        }
+                    },
                 }
-                if ok {
-                    self.run(depth + 1, bindings, out)?;
+            }
+            // Builtins that became checkable at this depth.
+            let mut ok = true;
+            for &bi in &self.builtin_at[depth + 1] {
+                let b = &self.ibuiltins[bi];
+                let (l, r) = match resolved_pair(b, bindings) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        for &v in &newly_bound {
+                            bindings[v] = None;
+                        }
+                        return Err(e);
+                    }
+                };
+                if !self.ctx.eval_builtin(&b.original, l, r)? {
+                    ok = false;
+                    break;
                 }
-                for &v in &newly_bound {
-                    bindings[v] = None;
-                }
+            }
+            if ok {
+                self.run(depth + 1, bindings, out)?;
+            }
+            for &v in &newly_bound {
+                bindings[v] = None;
             }
             Ok(())
         }

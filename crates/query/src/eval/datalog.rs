@@ -42,6 +42,17 @@ struct RuleParts<'r> {
 /// Evaluate a Datalog program; returns the derived relation of the
 /// output predicate as a set of tuples.
 pub(crate) fn eval_datalog(ctx: EvalContext<'_>, prog: &DatalogProgram) -> Result<BTreeSet<Tuple>> {
+    eval_datalog_with(ctx, ctx.db, prog)
+}
+
+/// Like [`eval_datalog`] but resolving EDB relations through an explicit
+/// provider, so a compiled plan can shadow one relation (the dynamic
+/// answer relation) without cloning the database.
+pub(crate) fn eval_datalog_with(
+    ctx: EvalContext<'_>,
+    provider: &dyn RelProvider,
+    prog: &DatalogProgram,
+) -> Result<BTreeSet<Tuple>> {
     let _span = pkgrec_trace::span!("datalog.fixpoint");
     prog.check()?;
     let arities = prog.idb_arities()?;
@@ -49,7 +60,7 @@ pub(crate) fn eval_datalog(ctx: EvalContext<'_>, prog: &DatalogProgram) -> Resul
 
     // Validate EDB references up front for a clean error.
     for name in prog.edb_relations() {
-        if ctx.db.relation(&name).is_none() {
+        if provider.get_relation(&name).is_none() {
             return Err(QueryError::UnknownRelation(name.to_string()));
         }
     }
@@ -117,7 +128,7 @@ pub(crate) fn eval_datalog(ctx: EvalContext<'_>, prog: &DatalogProgram) -> Resul
                 if let Some(r) = full_rels.get(&a.relation) {
                     Ok(r)
                 } else {
-                    ctx.db
+                    provider
                         .get_relation(&a.relation)
                         .ok_or_else(|| QueryError::UnknownRelation(a.relation.to_string()))
                 }

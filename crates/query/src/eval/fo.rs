@@ -409,7 +409,7 @@ fn eval_formula(
 
 /// The evaluation domain: active domain of the database plus the query's
 /// constants.
-fn eval_domain(ctx: EvalContext<'_>, f: &Formula) -> Vec<Value> {
+pub(crate) fn eval_domain(ctx: EvalContext<'_>, f: &Formula) -> Vec<Value> {
     let mut dom: BTreeSet<Value> = ctx.db.active_domain().iter().cloned().collect();
     dom.extend(f.constants());
     dom.into_iter().collect()
@@ -423,13 +423,26 @@ pub(crate) fn eval_fo(
 ) -> Result<BTreeSet<Tuple>> {
     let _span = pkgrec_trace::span!("fo.eval");
     q.check_safe()?;
+    let domain = eval_domain(ctx, &q.body);
+    eval_fo_with(ctx, ctx.db, q, &domain, pre_bound)
+}
+
+/// Evaluate a *checked* FO query over an explicit provider and domain.
+/// Compiled plans call this directly with a cached domain (and possibly
+/// an overlay provider); `eval_fo` recomputes both each call.
+pub(crate) fn eval_fo_with(
+    ctx: EvalContext<'_>,
+    provider: &dyn RelProvider,
+    q: &FoQuery,
+    domain: &[Value],
+    pre_bound: Option<&Tuple>,
+) -> Result<BTreeSet<Tuple>> {
     if let Some(t) = pre_bound {
         if t.arity() != q.head.len() {
             return Ok(BTreeSet::new());
         }
     }
-    let domain = eval_domain(ctx, &q.body);
-    let result = eval_formula(ctx, ctx.db, &q.body, &domain)?;
+    let result = eval_formula(ctx, provider, &q.body, domain)?;
 
     let mut out = BTreeSet::new();
     if result.vars.is_empty() {

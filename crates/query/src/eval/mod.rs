@@ -33,6 +33,26 @@ impl RelProvider for Database {
     }
 }
 
+/// A database with exactly one relation shadowed by an overlay — the
+/// zero-copy equivalent of [`Database::set_relation`] on a clone.
+/// Compiled plans use this to bind the dynamic answer relation `RQ` per
+/// probe without cloning the whole database.
+pub(crate) struct OverlayProvider<'a> {
+    pub base: &'a Database,
+    pub name: &'a str,
+    pub rel: &'a Relation,
+}
+
+impl RelProvider for OverlayProvider<'_> {
+    fn get_relation(&self, name: &str) -> Option<&Relation> {
+        if name == self.name {
+            Some(self.rel)
+        } else {
+            self.base.relation(name)
+        }
+    }
+}
+
 /// Evaluation context: the database, the metric set Γ needed to
 /// evaluate distance builtins introduced by query relaxation, and an
 /// optional [`Meter`] bounding how much work evaluation may do.

@@ -27,6 +27,7 @@ mod fo;
 mod language;
 mod metric;
 pub mod parser;
+mod plan;
 mod query;
 pub mod rewrite;
 mod term;
@@ -38,6 +39,7 @@ pub use eval::{EvalContext, RelProvider};
 pub use fo::{Formula, FoQuery};
 pub use language::QueryLanguage;
 pub use metric::{AbsDiff, Discrete, Metric, MetricSet, TableMetric};
+pub use plan::CompiledPlan;
 pub use query::Query;
 pub use term::{var, Builtin, CmpOp, Comparison, RelAtom, Term, Var};
 

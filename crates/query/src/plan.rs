@@ -1,0 +1,1177 @@
+//! Compiled query plans: compile once, probe many times.
+//!
+//! The interpreted engines in [`crate::eval`] re-do a lot of per-call
+//! work that depends only on the (query, database) pair: interning
+//! variables, choosing a greedy join order, scheduling builtins,
+//! building column indexes, and — for compatibility constraints — even
+//! cloning the whole database to bind the answer relation `R_Q`.
+//! Package search makes *millions* of such calls against one fixed
+//! database, so [`Query::compile`] hoists all of it to solve-time:
+//!
+//! * relation tuples are flattened into row-major `u32` cell arrays
+//!   over a shared [`ValueInterner`], so the join inner loop compares
+//!   4-byte ids instead of cloning [`Value`]s;
+//! * the greedy atom order, builtin schedule and probe columns are
+//!   computed once per disjunct and mode (evaluation vs membership),
+//!   using the *same* helpers the interpreter uses, so a compiled run
+//!   makes tick-for-tick the same budget charges as an interpreted one;
+//! * every column index the static access paths need is built at
+//!   compile time (`query.index_builds` counts them);
+//! * [`CompiledPlan::eval_dynamic`] binds the dynamic answer relation
+//!   as a zero-copy overlay instead of `Database::with_relation`'s full
+//!   clone — the dominant cost of interpreted `Qc` probes.
+//!
+//! A plan borrows the database it was compiled against and snapshots
+//! its contents; mutate the database and you must recompile.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use pkgrec_data::{AttrType, Database, Relation, RelationSchema, Tuple, Value, ValueInterner};
+use pkgrec_guard::Meter;
+
+use crate::cq::ConjunctiveQuery;
+use crate::datalog::DatalogProgram;
+use crate::eval::cq::{greedy_order, probe_columns, schedule_builtins, AtomShape};
+use crate::eval::{datalog as dl_eval, fo as fo_eval, EvalContext, OverlayProvider};
+use crate::fo::FoQuery;
+use crate::metric::MetricSet;
+use crate::query::Query;
+use crate::term::{Builtin, Term};
+use crate::{QueryError, Result};
+
+impl Query {
+    /// Compile this query against `db` into a reusable [`CompiledPlan`].
+    ///
+    /// The plan snapshots the database contents: answers are those of
+    /// `Q(D)` as of compile time, and mutating `D` afterwards requires
+    /// recompiling. Compilation performs the query's safety and arity
+    /// checks up front, so errors the interpreter would raise on every
+    /// call surface once here.
+    pub fn compile<'db>(&self, db: &'db Database) -> Result<CompiledPlan<'db>> {
+        CompiledPlan::build(self, db, None)
+    }
+
+    /// Compile with one *dynamic* relation left open: atoms over
+    /// `name` (arity `arity`) resolve, per probe, to tuples supplied to
+    /// [`CompiledPlan::eval_dynamic`] / [`CompiledPlan::has_answer_dynamic`].
+    /// Like [`Database::set_relation`], the dynamic relation shadows any
+    /// base relation of the same name.
+    pub fn compile_with_dynamic<'db>(
+        &self,
+        db: &'db Database,
+        name: &str,
+        arity: usize,
+    ) -> Result<CompiledPlan<'db>> {
+        CompiledPlan::build(self, db, Some((name, arity)))
+    }
+}
+
+/// A query compiled against one database. See the module docs.
+pub struct CompiledPlan<'db> {
+    db: &'db Database,
+    dynamic: Option<DynSpec>,
+    arity: usize,
+    kind: PlanKind,
+}
+
+struct DynSpec {
+    name: String,
+    arity: usize,
+    schema: RelationSchema,
+}
+
+enum PlanKind {
+    Conj(ConjSet),
+    Fo(FoPlan),
+    Dl(DlPlan),
+}
+
+impl fmt::Debug for CompiledPlan<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledPlan")
+            .field("arity", &self.arity)
+            .field(
+                "kind",
+                &match self.kind {
+                    PlanKind::Conj(_) => "conj",
+                    PlanKind::Fo(_) => "fo",
+                    PlanKind::Dl(_) => "datalog",
+                },
+            )
+            .field("dynamic", &self.dynamic.as_ref().map(|d| &d.name))
+            .finish()
+    }
+}
+
+/// The untyped schema used to materialize the dynamic relation for the
+/// FO and Datalog engines — identical to the one interpreted `Qc`
+/// probes build.
+fn answer_schema(name: &str, arity: usize) -> RelationSchema {
+    RelationSchema::new(name, (0..arity).map(|i| (format!("c{i}"), AttrType::Int)))
+        .expect("generated attribute names are distinct")
+}
+
+impl<'db> CompiledPlan<'db> {
+    fn build(q: &Query, db: &'db Database, dynamic: Option<(&str, usize)>) -> Result<Self> {
+        pkgrec_trace::counter!("query.plan_compiles");
+        let arity = q.arity()?;
+        let kind = match q {
+            Query::Cq(c) => {
+                PlanKind::Conj(ConjSet::compile(std::slice::from_ref(c), db, dynamic)?)
+            }
+            Query::Ucq(u) => PlanKind::Conj(ConjSet::compile(&u.disjuncts, db, dynamic)?),
+            Query::Fo(f) => PlanKind::Fo(FoPlan::compile(f, db, dynamic.map(|(n, _)| n))?),
+            Query::Datalog(p) => PlanKind::Dl(DlPlan::compile(p, db, dynamic.map(|(n, _)| n))?),
+        };
+        Ok(CompiledPlan {
+            db,
+            dynamic: dynamic.map(|(n, a)| DynSpec {
+                name: n.to_string(),
+                arity: a,
+                schema: answer_schema(n, a),
+            }),
+            arity,
+            kind,
+        })
+    }
+
+    /// Answer arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn ctx<'c>(&'c self, metrics: Option<&'c MetricSet>, meter: Option<&'c Meter>) -> EvalContext<'c> {
+        EvalContext {
+            db: self.db,
+            metrics,
+            meter,
+        }
+    }
+
+    /// Evaluate `Q(D)` — the compiled equivalent of [`Query::eval_ctx`],
+    /// with identical answers, trace spans and budget charges.
+    pub fn eval(
+        &self,
+        metrics: Option<&MetricSet>,
+        meter: Option<&Meter>,
+    ) -> Result<BTreeSet<Tuple>> {
+        pkgrec_trace::counter!("query.plan_probes");
+        let ctx = self.ctx(metrics, meter);
+        match &self.kind {
+            PlanKind::Conj(set) => {
+                let mut syms = ProbeSyms::new(&set.syms);
+                set.eval_impl(ctx, None, None, &mut syms, false)
+            }
+            PlanKind::Fo(fp) => fp.eval(ctx, None),
+            PlanKind::Dl(dp) => dl_eval::eval_datalog_with(ctx, self.db, &dp.prog),
+        }
+    }
+
+    /// Evaluate with the head pre-bound to `t`: the answers restricted
+    /// to `{t}`. Enumerates exactly like the interpreter's pre-bound
+    /// mode (no early exit), so budget charges match tick for tick.
+    pub fn eval_pre_bound(
+        &self,
+        t: &Tuple,
+        metrics: Option<&MetricSet>,
+        meter: Option<&Meter>,
+    ) -> Result<BTreeSet<Tuple>> {
+        pkgrec_trace::counter!("query.plan_probes");
+        let ctx = self.ctx(metrics, meter);
+        match &self.kind {
+            PlanKind::Conj(set) => {
+                let mut syms = ProbeSyms::new(&set.syms);
+                set.eval_impl(ctx, Some(t), None, &mut syms, false)
+            }
+            PlanKind::Fo(fp) => fp.eval(ctx, Some(t)),
+            PlanKind::Dl(dp) => {
+                let mut ans = dl_eval::eval_datalog_with(ctx, self.db, &dp.prog)?;
+                ans.retain(|a| a == t);
+                Ok(ans)
+            }
+        }
+    }
+
+    /// The membership test `t ∈ Q(D)` — compiled [`Query::contains_ctx`].
+    /// Conjunctive plans stop at the first witness, so this may charge
+    /// *fewer* budget ticks than the interpreter (never more).
+    pub fn contains(
+        &self,
+        t: &Tuple,
+        metrics: Option<&MetricSet>,
+        meter: Option<&Meter>,
+    ) -> Result<bool> {
+        pkgrec_trace::counter!("query.plan_probes");
+        let ctx = self.ctx(metrics, meter);
+        match &self.kind {
+            PlanKind::Conj(set) => {
+                let mut syms = ProbeSyms::new(&set.syms);
+                Ok(!set.eval_impl(ctx, Some(t), None, &mut syms, true)?.is_empty())
+            }
+            PlanKind::Fo(fp) => Ok(!fp.eval(ctx, Some(t))?.is_empty()),
+            PlanKind::Dl(dp) => {
+                Ok(dl_eval::eval_datalog_with(ctx, self.db, &dp.prog)?.contains(t))
+            }
+        }
+    }
+
+    /// Evaluate with the dynamic relation bound to `items` — the
+    /// compiled, zero-copy equivalent of
+    /// `Query::eval_ctx` over `db.with_relation(R_Q)`.
+    pub fn eval_dynamic<'t>(
+        &self,
+        items: impl IntoIterator<Item = &'t Tuple>,
+        metrics: Option<&MetricSet>,
+        meter: Option<&Meter>,
+    ) -> Result<BTreeSet<Tuple>> {
+        pkgrec_trace::counter!("query.plan_probes");
+        self.dynamic_impl(items, metrics, meter, false)
+    }
+
+    /// Whether the dynamic-bound query has any answer; conjunctive
+    /// plans stop at the first witness. This is the hot probe of
+    /// compatibility-constraint checking (`Qc(N, D) = ∅`?).
+    pub fn has_answer_dynamic<'t>(
+        &self,
+        items: impl IntoIterator<Item = &'t Tuple>,
+        metrics: Option<&MetricSet>,
+        meter: Option<&Meter>,
+    ) -> Result<bool> {
+        pkgrec_trace::counter!("query.plan_probes");
+        Ok(!self.dynamic_impl(items, metrics, meter, true)?.is_empty())
+    }
+
+    fn dynamic_impl<'t>(
+        &self,
+        items: impl IntoIterator<Item = &'t Tuple>,
+        metrics: Option<&MetricSet>,
+        meter: Option<&Meter>,
+        stop_on_first: bool,
+    ) -> Result<BTreeSet<Tuple>> {
+        let spec = self
+            .dynamic
+            .as_ref()
+            .ok_or_else(|| QueryError::Internal("plan compiled without a dynamic relation".into()))?;
+        let ctx = self.ctx(metrics, meter);
+        match &self.kind {
+            PlanKind::Conj(set) => {
+                let mut syms = ProbeSyms::new(&set.syms);
+                let table = DynTable::build(spec.arity, items, &mut syms);
+                set.eval_impl(ctx, None, Some(&table), &mut syms, stop_on_first)
+            }
+            PlanKind::Fo(fp) => {
+                let rel = spec.materialize(items);
+                let mut dom = fp.base_dom.clone();
+                for t in rel.iter() {
+                    dom.extend(t.values().iter().cloned());
+                }
+                let domain: Vec<Value> = dom.into_iter().collect();
+                let provider = OverlayProvider {
+                    base: self.db,
+                    name: &spec.name,
+                    rel: &rel,
+                };
+                let _span = pkgrec_trace::span!("fo.eval");
+                fo_eval::eval_fo_with(ctx, &provider, &fp.query, &domain, None)
+            }
+            PlanKind::Dl(dp) => {
+                let rel = spec.materialize(items);
+                let provider = OverlayProvider {
+                    base: self.db,
+                    name: &spec.name,
+                    rel: &rel,
+                };
+                dl_eval::eval_datalog_with(ctx, &provider, &dp.prog)
+            }
+        }
+    }
+}
+
+impl DynSpec {
+    fn materialize<'t>(&self, items: impl IntoIterator<Item = &'t Tuple>) -> Relation {
+        Relation::from_tuples_unchecked(self.schema.clone(), items.into_iter().cloned())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conjunctive plans (CQ / UCQ): the fully compiled u32 path.
+// ---------------------------------------------------------------------
+
+/// A compiled union of conjunctions. All disjuncts share one value
+/// interner and one table of compiled base relations.
+struct ConjSet {
+    syms: ValueInterner,
+    rels: Vec<CompiledRel>,
+    plans: Vec<ConjPlan>,
+}
+
+/// A base relation flattened to row-major interned cells, with the
+/// column indexes the static access paths need prebuilt.
+struct CompiledRel {
+    arity: usize,
+    rows: usize,
+    cells: Vec<u32>,
+    /// column → cell id → row numbers (ascending = canonical order).
+    indexes: HashMap<usize, HashMap<u32, Vec<u32>>>,
+}
+
+impl CompiledRel {
+    fn compile(rel: &Relation, syms: &mut ValueInterner) -> CompiledRel {
+        let arity = rel.schema().arity();
+        let mut cells = Vec::with_capacity(rel.len() * arity);
+        for t in rel.iter() {
+            for v in t.values() {
+                cells.push(syms.intern(v));
+            }
+        }
+        CompiledRel {
+            arity,
+            rows: rel.len(),
+            cells,
+            indexes: HashMap::new(),
+        }
+    }
+
+    fn ensure_index(&mut self, col: usize) {
+        if self.indexes.contains_key(&col) {
+            return;
+        }
+        pkgrec_trace::counter!("query.index_builds");
+        let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+        for row in 0..self.rows {
+            let id = self.cells[row * self.arity + col];
+            index.entry(id).or_default().push(row as u32);
+        }
+        self.indexes.insert(col, index);
+    }
+
+    fn row(&self, row: u32) -> &[u32] {
+        let start = row as usize * self.arity;
+        &self.cells[start..start + self.arity]
+    }
+}
+
+/// A term with constants interned and variables densified — the
+/// compiled mirror of the interpreter's `ITerm`.
+#[derive(Clone, Copy)]
+enum PTerm {
+    Var(usize),
+    Sym(u32),
+}
+
+impl PTerm {
+    fn id(self, bindings: &[Option<u32>]) -> Option<u32> {
+        match self {
+            PTerm::Sym(id) => Some(id),
+            PTerm::Var(v) => bindings[v],
+        }
+    }
+}
+
+enum Source {
+    Base(usize),
+    Dyn,
+}
+
+struct PAtom {
+    src: Source,
+    terms: Vec<PTerm>,
+}
+
+struct PBuiltin {
+    original: Builtin,
+    left: PTerm,
+    right: PTerm,
+}
+
+/// Static planning for one evaluation mode: the greedy atom order, the
+/// builtin schedule, and the probe column at each depth.
+struct ModePlan {
+    order: Vec<usize>,
+    builtin_at: Vec<Vec<usize>>,
+    probe: Vec<Option<usize>>,
+}
+
+/// One compiled disjunct.
+struct ConjPlan {
+    head: Vec<PTerm>,
+    atoms: Vec<PAtom>,
+    builtins: Vec<PBuiltin>,
+    nvars: usize,
+    /// Plan for plain evaluation (nothing pre-bound).
+    eval_mode: ModePlan,
+    /// Plan for membership tests (head variables pre-bound).
+    bound_mode: ModePlan,
+}
+
+impl ConjSet {
+    fn compile(
+        disjuncts: &[ConjunctiveQuery],
+        db: &Database,
+        dynamic: Option<(&str, usize)>,
+    ) -> Result<ConjSet> {
+        let mut syms = ValueInterner::new();
+        let mut rels: Vec<CompiledRel> = Vec::new();
+        let mut rel_ids: HashMap<String, usize> = HashMap::new();
+        let mut plans = Vec::with_capacity(disjuncts.len());
+
+        for d in disjuncts {
+            d.check_safe()?;
+
+            // Dense variable interning, in the interpreter's traversal
+            // order (head, atoms, builtins) so both sides derive the
+            // same shapes and therefore the same static plans.
+            let mut var_ids: HashMap<crate::term::Var, usize> = HashMap::new();
+            let mut pterm = |t: &Term, syms: &mut ValueInterner| match t {
+                Term::Var(v) => {
+                    let next = var_ids.len();
+                    PTerm::Var(*var_ids.entry(v.clone()).or_insert(next))
+                }
+                Term::Const(c) => PTerm::Sym(syms.intern(c)),
+            };
+            let head: Vec<PTerm> = d.head.iter().map(|t| pterm(t, &mut syms)).collect();
+            let mut atoms = Vec::with_capacity(d.atoms.len());
+            for a in &d.atoms {
+                let terms: Vec<PTerm> = a.terms.iter().map(|t| pterm(t, &mut syms)).collect();
+                let src = match dynamic {
+                    // The dynamic relation shadows any same-named base
+                    // relation, matching `Database::set_relation`.
+                    Some((name, arity)) if *a.relation == *name => {
+                        if a.terms.len() != arity {
+                            return Err(QueryError::AtomArityMismatch {
+                                relation: a.relation.to_string(),
+                                expected: arity,
+                                found: a.terms.len(),
+                            });
+                        }
+                        Source::Dyn
+                    }
+                    _ => {
+                        let rel = db
+                            .relation(&a.relation)
+                            .ok_or_else(|| QueryError::UnknownRelation(a.relation.to_string()))?;
+                        if a.terms.len() != rel.schema().arity() {
+                            return Err(QueryError::AtomArityMismatch {
+                                relation: a.relation.to_string(),
+                                expected: rel.schema().arity(),
+                                found: a.terms.len(),
+                            });
+                        }
+                        let ri = *rel_ids.entry(a.relation.to_string()).or_insert_with(|| {
+                            rels.push(CompiledRel::compile(rel, &mut syms));
+                            rels.len() - 1
+                        });
+                        Source::Base(ri)
+                    }
+                };
+                atoms.push(PAtom { src, terms });
+            }
+            let builtins: Vec<PBuiltin> = d
+                .builtins
+                .iter()
+                .map(|b| {
+                    let (l, r) = match b {
+                        Builtin::Cmp(c) => (&c.left, &c.right),
+                        Builtin::DistLe { left, right, .. } => (left, right),
+                    };
+                    PBuiltin {
+                        original: b.clone(),
+                        left: pterm(l, &mut syms),
+                        right: pterm(r, &mut syms),
+                    }
+                })
+                .collect();
+            let nvars = var_ids.len();
+
+            let term_shape = |t: &PTerm| match t {
+                PTerm::Var(v) => Some(*v),
+                PTerm::Sym(_) => None,
+            };
+            let shapes: Vec<AtomShape> = atoms
+                .iter()
+                .map(|a| a.terms.iter().map(term_shape).collect())
+                .collect();
+            // Sizes drive the greedy tie-break. Base relations use
+            // their snapshot size; the dynamic relation counts as 0
+            // (it holds a handful of package items per probe, and no
+            // tick-parity is required on the dynamic path).
+            let sizes: Vec<usize> = atoms
+                .iter()
+                .map(|a| match a.src {
+                    Source::Base(ri) => rels[ri].rows,
+                    Source::Dyn => 0,
+                })
+                .collect();
+            let builtin_shapes: Vec<(Option<usize>, Option<usize>)> = builtins
+                .iter()
+                .map(|b| (term_shape(&b.left), term_shape(&b.right)))
+                .collect();
+
+            let mode = |initially_bound: &[bool]| -> Result<ModePlan> {
+                let order = greedy_order(&shapes, &sizes, initially_bound);
+                let builtin_at = schedule_builtins(&shapes, &order, &builtin_shapes, initially_bound)
+                    .map_err(|unscheduled| {
+                        let v = d.builtins[unscheduled]
+                            .variables()
+                            .into_iter()
+                            .next()
+                            .map(|v| v.to_string())
+                            .unwrap_or_default();
+                        QueryError::UnsafeVariable(v)
+                    })?;
+                let probe = probe_columns(&shapes, &order, initially_bound);
+                Ok(ModePlan {
+                    order,
+                    builtin_at,
+                    probe,
+                })
+            };
+            let eval_mode = mode(&vec![false; nvars])?;
+            let mut head_bound = vec![false; nvars];
+            for t in &head {
+                if let PTerm::Var(v) = t {
+                    head_bound[*v] = true;
+                }
+            }
+            let bound_mode = mode(&head_bound)?;
+
+            // Force every column index the static access paths probe.
+            for m in [&eval_mode, &bound_mode] {
+                for (depth, &ai) in m.order.iter().enumerate() {
+                    if let (Some(col), Source::Base(ri)) = (m.probe[depth], &atoms[ai].src) {
+                        rels[*ri].ensure_index(col);
+                    }
+                }
+            }
+
+            plans.push(ConjPlan {
+                head,
+                atoms,
+                builtins,
+                nvars,
+                eval_mode,
+                bound_mode,
+            });
+        }
+
+        Ok(ConjSet { syms, rels, plans })
+    }
+
+    /// Evaluate all disjuncts. With `stop_on_first`, returns as soon as
+    /// one answer is found (a singleton set).
+    fn eval_impl(
+        &self,
+        ctx: EvalContext<'_>,
+        pre_bound: Option<&Tuple>,
+        dyn_table: Option<&DynTable>,
+        syms: &mut ProbeSyms<'_>,
+        stop_on_first: bool,
+    ) -> Result<BTreeSet<Tuple>> {
+        let mut out = BTreeSet::new();
+        'disjuncts: for plan in &self.plans {
+            let _span = pkgrec_trace::span!("cq.eval");
+            let mode = if pre_bound.is_some() {
+                &plan.bound_mode
+            } else {
+                &plan.eval_mode
+            };
+            let mut bindings: Vec<Option<u32>> = vec![None; plan.nvars];
+            if let Some(t) = pre_bound {
+                if t.arity() != plan.head.len() {
+                    continue; // wrong arity can never match
+                }
+                for (term, val) in plan.head.iter().zip(t.values()) {
+                    let vid = syms.intern(val);
+                    match term {
+                        PTerm::Sym(id) => {
+                            if *id != vid {
+                                continue 'disjuncts;
+                            }
+                        }
+                        PTerm::Var(v) => match bindings[*v] {
+                            Some(existing) if existing != vid => continue 'disjuncts,
+                            Some(_) => {}
+                            None => bindings[*v] = Some(vid),
+                        },
+                    }
+                }
+            }
+            // Builtins determined before any join.
+            let mut ok = true;
+            for &bi in &mode.builtin_at[0] {
+                let b = &plan.builtins[bi];
+                let (l, r) = resolved_ids(b, &bindings)?;
+                if !ctx.eval_builtin(&b.original, syms.resolve(l), syms.resolve(r))? {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let run = ConjRun {
+                ctx,
+                set: self,
+                plan,
+                mode,
+                dyn_table,
+                stop_on_first,
+            };
+            if run.search(0, &mut bindings, syms, &mut out)? && stop_on_first {
+                return Ok(out);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Resolve both sides of a scheduled builtin to cell ids.
+fn resolved_ids(b: &PBuiltin, bindings: &[Option<u32>]) -> Result<(u32, u32)> {
+    match (b.left.id(bindings), b.right.id(bindings)) {
+        (Some(l), Some(r)) => Ok((l, r)),
+        _ => Err(QueryError::Internal(format!(
+            "builtin `{}` scheduled before its operands were bound",
+            b.original
+        ))),
+    }
+}
+
+/// Per-probe interner extension: values foreign to the compiled base
+/// (pre-bound tuples, dynamic package items) get ids past the base
+/// range, so they can never spuriously equal a base relation cell.
+struct ProbeSyms<'a> {
+    base: &'a ValueInterner,
+    extra_ids: HashMap<Value, u32>,
+    extra: Vec<Value>,
+}
+
+impl<'a> ProbeSyms<'a> {
+    fn new(base: &'a ValueInterner) -> Self {
+        ProbeSyms {
+            base,
+            extra_ids: HashMap::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, v: &Value) -> u32 {
+        if let Some(id) = self.base.get(v) {
+            return id;
+        }
+        if let Some(&id) = self.extra_ids.get(v) {
+            return id;
+        }
+        let id = u32::try_from(self.base.len() + self.extra.len())
+            .expect("fewer than 2^32 distinct values");
+        self.extra_ids.insert(v.clone(), id);
+        self.extra.push(v.clone());
+        id
+    }
+
+    fn resolve(&self, id: u32) -> &Value {
+        let i = id as usize;
+        if i < self.base.len() {
+            self.base.resolve(id)
+        } else {
+            &self.extra[i - self.base.len()]
+        }
+    }
+}
+
+/// The dynamic relation's tuples, interned for one probe.
+struct DynTable {
+    arity: usize,
+    rows: usize,
+    cells: Vec<u32>,
+}
+
+impl DynTable {
+    fn build<'t>(
+        arity: usize,
+        items: impl IntoIterator<Item = &'t Tuple>,
+        syms: &mut ProbeSyms<'_>,
+    ) -> DynTable {
+        let mut cells = Vec::new();
+        let mut rows = 0;
+        for t in items {
+            debug_assert_eq!(t.arity(), arity, "caller checks item arity");
+            for v in t.values() {
+                cells.push(syms.intern(v));
+            }
+            rows += 1;
+        }
+        DynTable { arity, rows, cells }
+    }
+
+    fn row(&self, row: usize) -> &[u32] {
+        &self.cells[row * self.arity..(row + 1) * self.arity]
+    }
+}
+
+/// One depth-first join over a compiled disjunct.
+struct ConjRun<'r> {
+    ctx: EvalContext<'r>,
+    set: &'r ConjSet,
+    plan: &'r ConjPlan,
+    mode: &'r ModePlan,
+    dyn_table: Option<&'r DynTable>,
+    stop_on_first: bool,
+}
+
+impl ConjRun<'_> {
+    /// Returns `true` when an answer was found and the caller asked to
+    /// stop at the first one.
+    fn search(
+        &self,
+        depth: usize,
+        bindings: &mut Vec<Option<u32>>,
+        syms: &ProbeSyms<'_>,
+        out: &mut BTreeSet<Tuple>,
+    ) -> Result<bool> {
+        if depth == self.mode.order.len() {
+            let mut values = Vec::with_capacity(self.plan.head.len());
+            for t in &self.plan.head {
+                let id = t
+                    .id(bindings)
+                    .expect("checked safe: head vars bound at emit depth");
+                values.push(syms.resolve(id).clone());
+            }
+            out.insert(Tuple::new(values));
+            return Ok(self.stop_on_first);
+        }
+
+        let ai = self.mode.order[depth];
+        let atom = &self.plan.atoms[ai];
+        match atom.src {
+            Source::Base(ri) => {
+                let rel = &self.set.rels[ri];
+                match self.mode.probe[depth] {
+                    Some(col) => {
+                        let pid = atom.terms[col]
+                            .id(bindings)
+                            .expect("probe column statically determined");
+                        let index = rel
+                            .indexes
+                            .get(&col)
+                            .expect("probe index forced at compile time");
+                        if let Some(rows) = index.get(&pid) {
+                            for &row in rows {
+                                if self.candidate(depth, rel.row(row), bindings, syms, out)? {
+                                    return Ok(true);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        for row in 0..rel.rows as u32 {
+                            if self.candidate(depth, rel.row(row), bindings, syms, out)? {
+                                return Ok(true);
+                            }
+                        }
+                    }
+                }
+            }
+            Source::Dyn => {
+                // Per-probe tuples: a handful of package items, scanned
+                // linearly (no per-probe index construction).
+                if let Some(table) = self.dyn_table {
+                    for row in 0..table.rows {
+                        if self.candidate(depth, table.row(row), bindings, syms, out)? {
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Try one candidate row at `depth`: bind, check builtins, recurse,
+    /// unbind — the compiled mirror of the interpreter's candidate step,
+    /// charging exactly one tick per candidate.
+    fn candidate(
+        &self,
+        depth: usize,
+        cells: &[u32],
+        bindings: &mut Vec<Option<u32>>,
+        syms: &ProbeSyms<'_>,
+        out: &mut BTreeSet<Tuple>,
+    ) -> Result<bool> {
+        self.ctx.tick()?;
+        pkgrec_trace::counter!("cq.join_candidates");
+        let atom = &self.plan.atoms[self.mode.order[depth]];
+        let mut newly_bound: Vec<usize> = Vec::new();
+        for (col, term) in atom.terms.iter().enumerate() {
+            let cell = cells[col];
+            match term {
+                PTerm::Sym(id) => {
+                    if *id != cell {
+                        for &v in &newly_bound {
+                            bindings[v] = None;
+                        }
+                        return Ok(false);
+                    }
+                }
+                PTerm::Var(v) => match bindings[*v] {
+                    Some(existing) => {
+                        if existing != cell {
+                            for &u in &newly_bound {
+                                bindings[u] = None;
+                            }
+                            return Ok(false);
+                        }
+                    }
+                    None => {
+                        bindings[*v] = Some(cell);
+                        newly_bound.push(*v);
+                    }
+                },
+            }
+        }
+        let mut ok = true;
+        for &bi in &self.mode.builtin_at[depth + 1] {
+            let b = &self.plan.builtins[bi];
+            let (l, r) = match resolved_ids(b, bindings) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    for &v in &newly_bound {
+                        bindings[v] = None;
+                    }
+                    return Err(e);
+                }
+            };
+            if !self.ctx.eval_builtin(&b.original, syms.resolve(l), syms.resolve(r))? {
+                ok = false;
+                break;
+            }
+        }
+        let mut stop = false;
+        if ok {
+            stop = self.search(depth + 1, bindings, syms, out)?;
+        }
+        for &v in &newly_bound {
+            bindings[v] = None;
+        }
+        Ok(stop)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FO plans: cached evaluation domain + overlay provider.
+// ---------------------------------------------------------------------
+
+struct FoPlan {
+    query: FoQuery,
+    /// Static evaluation domain: `adom(D)` ∪ the query's constants,
+    /// cached at compile time (the interpreter recomputes it per call).
+    domain: Vec<Value>,
+    /// The domain contribution of everything *except* the dynamic
+    /// relation (which `set_relation` semantics would replace), plus
+    /// the query's constants. Dynamic probes extend this with the
+    /// package items' values.
+    base_dom: BTreeSet<Value>,
+}
+
+impl FoPlan {
+    fn compile(q: &FoQuery, db: &Database, dynamic: Option<&str>) -> Result<FoPlan> {
+        q.check_safe()?;
+        let ctx = EvalContext::new(db);
+        let domain = fo_eval::eval_domain(ctx, &q.body);
+        let mut base_dom: BTreeSet<Value> = db
+            .relations()
+            .filter(|r| dynamic != Some(r.schema().name()))
+            .flat_map(|r| r.iter().flat_map(|t| t.values().iter().cloned()))
+            .collect();
+        base_dom.extend(q.body.constants());
+        Ok(FoPlan {
+            query: q.clone(),
+            domain,
+            base_dom,
+        })
+    }
+
+    fn eval(&self, ctx: EvalContext<'_>, pre_bound: Option<&Tuple>) -> Result<BTreeSet<Tuple>> {
+        let _span = pkgrec_trace::span!("fo.eval");
+        fo_eval::eval_fo_with(ctx, ctx.db, &self.query, &self.domain, pre_bound)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Datalog plans: checked program + provider-threaded fixpoint.
+// ---------------------------------------------------------------------
+
+struct DlPlan {
+    prog: DatalogProgram,
+}
+
+impl DlPlan {
+    fn compile(p: &DatalogProgram, db: &Database, dynamic: Option<&str>) -> Result<DlPlan> {
+        p.check()?;
+        // Validate EDB references once; the dynamic relation is bound
+        // per probe and therefore always resolvable.
+        for name in p.edb_relations() {
+            if dynamic != Some(&*name) && db.relation(&name).is_none() {
+                return Err(QueryError::UnknownRelation(name.to_string()));
+            }
+        }
+        Ok(DlPlan { prog: p.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datalog::{BodyLiteral, Rule};
+    use crate::fo::Formula;
+    use crate::metric::Discrete;
+    use crate::term::{var, CmpOp, RelAtom};
+    use crate::UnionQuery;
+    use pkgrec_data::{tuple, Database};
+    use pkgrec_guard::Budget;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let e = RelationSchema::new("e", [("s", AttrType::Int), ("d", AttrType::Int)]).unwrap();
+        db.add_relation(
+            Relation::from_tuples(
+                e,
+                [tuple![1, 2], tuple![2, 3], tuple![3, 4], tuple![1, 3]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn path2() -> Query {
+        Query::Cq(ConjunctiveQuery::new(
+            vec![Term::v("x"), Term::v("z")],
+            vec![
+                RelAtom::new("e", vec![Term::v("x"), Term::v("y")]),
+                RelAtom::new("e", vec![Term::v("y"), Term::v("z")]),
+            ],
+            vec![],
+        ))
+    }
+
+    #[test]
+    fn cq_plan_matches_interpreter() {
+        let db = db();
+        let q = path2();
+        let plan = q.compile(&db).unwrap();
+        assert_eq!(plan.arity(), 2);
+        assert_eq!(plan.eval(None, None).unwrap(), q.eval(&db).unwrap());
+        for t in [tuple![1, 3], tuple![4, 1], tuple![1, 4]] {
+            assert_eq!(
+                plan.contains(&t, None, None).unwrap(),
+                q.contains(&db, &t).unwrap(),
+                "membership of {t}"
+            );
+            assert_eq!(
+                !plan.eval_pre_bound(&t, None, None).unwrap().is_empty(),
+                q.contains(&db, &t).unwrap()
+            );
+        }
+        // Wrong arity never matches, same as the interpreter.
+        assert!(!plan.contains(&tuple![1], None, None).unwrap());
+    }
+
+    #[test]
+    fn ucq_plan_matches_interpreter() {
+        let db = db();
+        let q1 = ConjunctiveQuery::new(
+            vec![Term::v("y")],
+            vec![RelAtom::new("e", vec![Term::c(1), Term::v("y")])],
+            vec![],
+        );
+        let q2 = ConjunctiveQuery::new(
+            vec![Term::v("y")],
+            vec![RelAtom::new("e", vec![Term::v("y"), Term::v("z")])],
+            vec![Builtin::cmp(Term::v("z"), CmpOp::Geq, Term::c(4))],
+        );
+        let q = Query::Ucq(UnionQuery::new(vec![q1, q2]).unwrap());
+        let plan = q.compile(&db).unwrap();
+        assert_eq!(plan.eval(None, None).unwrap(), q.eval(&db).unwrap());
+    }
+
+    #[test]
+    fn fo_plan_matches_interpreter() {
+        let db = db();
+        let q = Query::Fo(FoQuery::new(
+            vec![Term::v("x"), Term::v("y")],
+            Formula::and(vec![
+                Formula::Atom(RelAtom::new("e", vec![Term::v("x"), Term::v("y")])),
+                Formula::not(Formula::Atom(RelAtom::new(
+                    "e",
+                    vec![Term::v("y"), Term::v("x")],
+                ))),
+            ]),
+        ));
+        let plan = q.compile(&db).unwrap();
+        assert_eq!(plan.eval(None, None).unwrap(), q.eval(&db).unwrap());
+        assert!(plan.contains(&tuple![1, 2], None, None).unwrap());
+    }
+
+    #[test]
+    fn datalog_plan_matches_interpreter() {
+        let db = db();
+        let q = Query::Datalog(DatalogProgram::new(
+            vec![
+                Rule::new(
+                    RelAtom::new("tc", vec![Term::v("x"), Term::v("y")]),
+                    vec![BodyLiteral::Rel(RelAtom::new(
+                        "e",
+                        vec![Term::v("x"), Term::v("y")],
+                    ))],
+                ),
+                Rule::new(
+                    RelAtom::new("tc", vec![Term::v("x"), Term::v("z")]),
+                    vec![
+                        BodyLiteral::Rel(RelAtom::new("tc", vec![Term::v("x"), Term::v("y")])),
+                        BodyLiteral::Rel(RelAtom::new("e", vec![Term::v("y"), Term::v("z")])),
+                    ],
+                ),
+            ],
+            "tc",
+        ));
+        let plan = q.compile(&db).unwrap();
+        assert_eq!(plan.eval(None, None).unwrap(), q.eval(&db).unwrap());
+        assert!(plan.contains(&tuple![1, 4], None, None).unwrap());
+        assert!(!plan.contains(&tuple![4, 1], None, None).unwrap());
+    }
+
+    /// The dynamic overlay must agree with the interpreted
+    /// `db.with_relation(R_Q)` route — for every language family.
+    #[test]
+    fn dynamic_overlay_matches_with_relation() {
+        let db = db();
+        let items = [tuple![2, 9], tuple![3, 4]];
+        let rq = Relation::from_tuples_unchecked(
+            answer_schema("RQ", 2),
+            items.iter().cloned(),
+        );
+        let overlaid = db.with_relation(rq);
+
+        // Qc joins the answer relation against the base data.
+        let queries = [
+            Query::Cq(ConjunctiveQuery::new(
+                vec![Term::v("x"), Term::v("y")],
+                vec![
+                    RelAtom::new("RQ", vec![Term::v("x"), Term::v("y")]),
+                    RelAtom::new("e", vec![Term::v("x"), Term::v("z")]),
+                ],
+                vec![],
+            )),
+            Query::Fo(FoQuery::new(
+                vec![Term::v("x")],
+                Formula::exists(
+                    vec![var("y")],
+                    Formula::and(vec![
+                        Formula::Atom(RelAtom::new("RQ", vec![Term::v("x"), Term::v("y")])),
+                        Formula::not(Formula::Atom(RelAtom::new(
+                            "e",
+                            vec![Term::v("x"), Term::v("y")],
+                        ))),
+                    ]),
+                ),
+            )),
+            Query::Datalog(DatalogProgram::new(
+                vec![Rule::new(
+                    RelAtom::new("out", vec![Term::v("x")]),
+                    vec![
+                        BodyLiteral::Rel(RelAtom::new("RQ", vec![Term::v("x"), Term::v("y")])),
+                        BodyLiteral::Rel(RelAtom::new("e", vec![Term::v("x"), Term::v("y")])),
+                    ],
+                )],
+                "out",
+            )),
+        ];
+        for q in queries {
+            let plan = q.compile_with_dynamic(&db, "RQ", 2).unwrap();
+            let compiled = plan.eval_dynamic(items.iter(), None, None).unwrap();
+            let interpreted = q.eval(&overlaid).unwrap();
+            assert_eq!(compiled, interpreted, "query {q}");
+            assert_eq!(
+                plan.has_answer_dynamic(items.iter(), None, None).unwrap(),
+                !interpreted.is_empty()
+            );
+            // The empty package binds an empty dynamic relation.
+            assert!(!plan.has_answer_dynamic([], None, None).unwrap());
+        }
+    }
+
+    /// Satellite regression: a relaxed query's `DistLe` constants must
+    /// enter the cached FO evaluation domain, exactly as they enter the
+    /// interpreter's per-call domain.
+    #[test]
+    fn relaxed_query_constants_enter_cached_domain() {
+        let db = db();
+        // Q(x) = dist(x, 99) ≤ 0 under the discrete metric: only x = 99
+        // satisfies it, and 99 is reachable only via the query-constant
+        // rule of the domain computation.
+        let q = Query::Fo(FoQuery::new(
+            vec![Term::v("x")],
+            Formula::Builtin(Builtin::DistLe {
+                metric: "d".into(),
+                left: Term::v("x"),
+                right: Term::c(99),
+                bound: 0,
+            }),
+        ));
+        let metrics = MetricSet::new().with("d", Discrete);
+        let plan = q.compile(&db).unwrap();
+        let compiled = plan.eval(Some(&metrics), None).unwrap();
+        assert_eq!(compiled, [tuple![99]].into_iter().collect());
+        assert_eq!(compiled, q.eval_with_metrics(&db, &metrics).unwrap());
+    }
+
+    #[test]
+    fn budget_interruption_matches_interpreter() {
+        let db = db();
+        let q = path2();
+        let plan = q.compile(&db).unwrap();
+        // Find the exact tick cost, then pin budgets on both sides of it.
+        let meter = Budget::with_steps(u64::MAX).meter();
+        plan.eval(None, Some(&meter)).unwrap();
+        let used = meter.spent();
+        for budget in [used.saturating_sub(1), used] {
+            let m1 = Budget::with_steps(budget).meter();
+            let m2 = Budget::with_steps(budget).meter();
+            let compiled = plan.eval(None, Some(&m1));
+            let interpreted = q.eval_budgeted(&db, &m2);
+            match (compiled, interpreted) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(QueryError::Interrupted(_)), Err(QueryError::Interrupted(_))) => {}
+                (a, b) => panic!("divergent budget outcomes: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn plan_counters_are_emitted() {
+        let _scope = pkgrec_trace::scoped();
+        pkgrec_trace::reset();
+        let db = db();
+        let q = path2();
+        let plan = q.compile(&db).unwrap();
+        plan.eval(None, None).unwrap();
+        plan.contains(&tuple![1, 3], None, None).unwrap();
+        let report = pkgrec_trace::take();
+        assert_eq!(report.counters.get("query.plan_compiles").copied(), Some(1));
+        assert_eq!(report.counters.get("query.plan_probes").copied(), Some(2));
+        // The join probes e on each column once across the two modes.
+        assert!(report.counters.get("query.index_builds").copied() >= Some(1));
+    }
+
+    #[test]
+    fn dynamic_plan_without_items_api_misuse() {
+        let db = db();
+        let q = path2();
+        let plan = q.compile(&db).unwrap();
+        assert!(matches!(
+            plan.eval_dynamic([], None, None),
+            Err(QueryError::Internal(_))
+        ));
+    }
+}

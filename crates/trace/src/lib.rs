@@ -52,6 +52,9 @@
 //! | `datalog.fixpoint_rounds` | query | semi-naive fixpoint rounds |
 //! | `datalog.facts_derived` | query | new IDB facts per round |
 //! | `cq.join_candidates` | query | candidate tuples tried by the join |
+//! | `query.plan_compiles` | query | query plans compiled (once per (query, db) pair) |
+//! | `query.plan_probes` | query | compiled-plan evaluations / membership probes |
+//! | `query.index_builds` | query | column indexes built (relation or compiled plan) |
 //! | `fo.assignments` | query | active-domain rows enumerated |
 //! | `rewrite.steps` | query | language-lattice rewrite steps |
 //! | `enumerate.nodes` | core | package-space DFS nodes visited |

@@ -1,0 +1,263 @@
+//! Randomized equivalence between the compiled-plan evaluator and the
+//! interpreter: for random databases and queries across every language
+//! (CQ, UCQ, ∃FO⁺, FO with negation, DATALOGnr/DATALOG),
+//! `CompiledPlan` must produce exactly the interpreter's answers — for
+//! full evaluation, pre-bound membership probes, budget-interrupted
+//! runs (bit-identical tick accounting), and dynamic-relation overlays
+//! versus materializing the relation with `Database::with_relation`.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use pkgrec::data::{tuple, AttrType, Database, Relation, RelationSchema, Tuple};
+use pkgrec::query::rewrite::{cq_to_datalog, cq_to_fo, ucq_to_fo};
+use pkgrec::query::{
+    Budget, Builtin, CmpOp, ConjunctiveQuery, EvalContext, Formula, FoQuery, Query, QueryError,
+    RelAtom, Term, UnionQuery,
+};
+
+/// A small random database over two relations r(a, b) and s(a).
+fn db_strategy() -> impl Strategy<Value = Database> {
+    let r_rows = prop::collection::btree_set((0i64..4, 0i64..4), 0..8);
+    let s_rows = prop::collection::btree_set(0i64..4, 0..4);
+    (r_rows, s_rows).prop_map(|(r_rows, s_rows)| {
+        let r = RelationSchema::new("r", [("a", AttrType::Int), ("b", AttrType::Int)])
+            .expect("valid schema");
+        let s = RelationSchema::new("s", [("a", AttrType::Int)]).expect("valid schema");
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::from_tuples(r, r_rows.into_iter().map(|(a, b)| tuple![a, b]))
+                .expect("schema-conformant"),
+        )
+        .expect("fresh db");
+        db.add_relation(
+            Relation::from_tuples(s, s_rows.into_iter().map(|a| tuple![a]))
+                .expect("schema-conformant"),
+        )
+        .expect("fresh db");
+        db
+    })
+}
+
+/// A random term over a small variable pool and small constants.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0usize..4).prop_map(|i| Term::v(format!("v{i}"))),
+        (0i64..4).prop_map(Term::c),
+    ]
+}
+
+/// Close a random atom list into a safe CQ: head = two variables that
+/// occur in some atom, plus up to two comparisons over atom variables.
+fn close_cq(
+    atoms: Vec<RelAtom>,
+    cmps: Vec<(CmpOp, i64)>,
+) -> Option<ConjunctiveQuery> {
+    let vars: Vec<_> = atoms
+        .iter()
+        .flat_map(|a| a.variables())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    if vars.is_empty() {
+        return None;
+    }
+    let head = vec![
+        Term::Var(vars[0].clone()),
+        Term::Var(vars[vars.len() / 2].clone()),
+    ];
+    let builtins: Vec<Builtin> = cmps
+        .into_iter()
+        .enumerate()
+        .map(|(i, (op, c))| Builtin::cmp(Term::Var(vars[i % vars.len()].clone()), op, Term::c(c)))
+        .collect();
+    Some(ConjunctiveQuery::new(head, atoms, builtins))
+}
+
+fn cmp_op_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Neq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Leq),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Geq)
+    ]
+}
+
+/// A random safe CQ over the base relations r/s (1–3 atoms).
+fn cq_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    let atom = prop_oneof![
+        (term_strategy(), term_strategy()).prop_map(|(a, b)| RelAtom::new("r", vec![a, b])),
+        term_strategy().prop_map(|a| RelAtom::new("s", vec![a])),
+    ];
+    (
+        prop::collection::vec(atom, 1..4),
+        prop::collection::vec((cmp_op_strategy(), 0i64..4), 0..3),
+    )
+        .prop_filter_map("need at least one variable", |(atoms, cmps)| {
+            close_cq(atoms, cmps)
+        })
+}
+
+/// A random safe CQ that also reads the dynamic relation p(a, b).
+fn dyn_cq_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    let base_atom = prop_oneof![
+        (term_strategy(), term_strategy()).prop_map(|(a, b)| RelAtom::new("r", vec![a, b])),
+        term_strategy().prop_map(|a| RelAtom::new("s", vec![a])),
+    ];
+    let dyn_atom =
+        (term_strategy(), term_strategy()).prop_map(|(a, b)| RelAtom::new("p", vec![a, b]));
+    (
+        prop::collection::vec(dyn_atom, 1..3),
+        prop::collection::vec(base_atom, 0..3),
+        prop::collection::vec((cmp_op_strategy(), 0i64..4), 0..3),
+    )
+        .prop_filter_map("need at least one variable", |(dyns, bases, cmps)| {
+            let mut atoms = dyns;
+            atoms.extend(bases);
+            close_cq(atoms, cmps)
+        })
+}
+
+/// The query forms exercised per random CQ: the CQ itself, a UCQ, its
+/// ∃FO⁺ embedding, and its Datalog embedding (`cq_to_datalog` emits a
+/// non-recursive program, which `Query::language` classifies as
+/// DATALOGnr; the Datalog engine runs both).
+fn embeddings(cq: &ConjunctiveQuery, other: &ConjunctiveQuery) -> Vec<Query> {
+    let ucq = UnionQuery::new(vec![cq.clone(), other.clone()]).expect("same arity");
+    vec![
+        Query::Cq(cq.clone()),
+        Query::Ucq(ucq.clone()),
+        Query::Fo(cq_to_fo(cq)),
+        Query::Fo(ucq_to_fo(&ucq)),
+        Query::Datalog(cq_to_datalog(cq)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full evaluation: `CompiledPlan::eval` ≡ `Query::eval` across
+    /// every language, including full FO with negation.
+    #[test]
+    fn compiled_eval_matches_interpreter(
+        db in db_strategy(),
+        a in cq_strategy(),
+        b in cq_strategy(),
+    ) {
+        for q in embeddings(&a, &b) {
+            let interpreted = q.eval(&db).unwrap();
+            let plan = q.compile(&db).unwrap();
+            prop_assert_eq!(&interpreted, &plan.eval(None, None).unwrap(), "on {}", q);
+        }
+        // Full FO: the negated body over the active domain.
+        let fo = cq_to_fo(&a);
+        let neg = Query::Fo(FoQuery::new(fo.head.clone(), Formula::not(fo.body.clone())));
+        let interpreted = neg.eval(&db).unwrap();
+        let plan = neg.compile(&db).unwrap();
+        prop_assert_eq!(&interpreted, &plan.eval(None, None).unwrap(), "on {}", neg);
+    }
+
+    /// Membership mode: `eval_pre_bound` returns exactly the matching
+    /// answers and `contains` agrees with the interpreter's membership
+    /// test, for answers and for out-of-domain tuples alike.
+    #[test]
+    fn pre_bound_probes_match_interpreter(
+        db in db_strategy(),
+        a in cq_strategy(),
+        b in cq_strategy(),
+    ) {
+        for q in embeddings(&a, &b) {
+            let answers = q.eval(&db).unwrap();
+            let plan = q.compile(&db).unwrap();
+            for t in answers.iter().take(4) {
+                let bound = plan.eval_pre_bound(t, None, None).unwrap();
+                prop_assert_eq!(&bound, &BTreeSet::from([t.clone()]), "on {}", q);
+                prop_assert!(plan.contains(t, None, None).unwrap(), "on {}", q);
+            }
+            let foreign = tuple![99, 99];
+            prop_assert!(plan.eval_pre_bound(&foreign, None, None).unwrap().is_empty());
+            prop_assert_eq!(
+                plan.contains(&foreign, None, None).unwrap(),
+                q.contains(&db, &foreign).unwrap(),
+                "on {}", q
+            );
+        }
+    }
+
+    /// Budget parity: the compiled static path charges the same ticks
+    /// in the same sequence as the interpreter, so under any step
+    /// budget both either finish with equal answers or trip
+    /// `Interrupted` together.
+    #[test]
+    fn budget_interruption_is_bit_identical(db in db_strategy(), cq in cq_strategy()) {
+        let queries = [
+            Query::Cq(cq.clone()),
+            Query::Fo(cq_to_fo(&cq)),
+            Query::Datalog(cq_to_datalog(&cq)),
+        ];
+        for q in &queries {
+            let unlimited = Budget::with_steps(u64::MAX).meter();
+            let full = q
+                .eval_ctx(EvalContext::new(&db).with_meter(&unlimited))
+                .unwrap();
+            let used = unlimited.spent();
+            let plan = q.compile(&db).unwrap();
+            for steps in [used.saturating_sub(1), used] {
+                let im = Budget::with_steps(steps).meter();
+                let pm = Budget::with_steps(steps).meter();
+                let lhs = q.eval_ctx(EvalContext::new(&db).with_meter(&im));
+                let rhs = plan.eval(None, Some(&pm));
+                match (lhs, rhs) {
+                    (Ok(l), Ok(r)) => {
+                        prop_assert_eq!(&l, &r, "on {} with {} steps", q, steps);
+                        prop_assert_eq!(&l, &full, "on {} with {} steps", q, steps);
+                    }
+                    (Err(QueryError::Interrupted(_)), Err(QueryError::Interrupted(_))) => {}
+                    (l, r) => prop_assert!(
+                        false,
+                        "divergent outcomes on {} with {} steps: {:?} vs {:?}",
+                        q, steps, l, r
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Dynamic overlays: binding random items to the open relation `p`
+    /// answers exactly like materializing `p` with
+    /// `Database::with_relation`, across the CQ, FO and Datalog paths.
+    #[test]
+    fn dynamic_overlay_matches_with_relation(
+        db in db_strategy(),
+        cq in dyn_cq_strategy(),
+        items in prop::collection::btree_set((0i64..4, 0i64..4), 0..4),
+    ) {
+        let tuples: Vec<Tuple> = items.iter().map(|&(a, b)| tuple![a, b]).collect();
+        let schema = RelationSchema::new("p", [("c0", AttrType::Int), ("c1", AttrType::Int)])
+            .expect("valid schema");
+        let rel = Relation::from_tuples_unchecked(schema, tuples.iter().cloned());
+        let extended = db.with_relation(rel);
+        let queries = [
+            Query::Cq(cq.clone()),
+            Query::Fo(cq_to_fo(&cq)),
+            Query::Datalog(cq_to_datalog(&cq)),
+        ];
+        for q in &queries {
+            let interpreted = q.eval(&extended).unwrap();
+            let plan = q.compile_with_dynamic(&db, "p", 2).unwrap();
+            prop_assert_eq!(
+                &interpreted,
+                &plan.eval_dynamic(tuples.iter(), None, None).unwrap(),
+                "on {}", q
+            );
+            prop_assert_eq!(
+                !interpreted.is_empty(),
+                plan.has_answer_dynamic(tuples.iter(), None, None).unwrap(),
+                "on {}", q
+            );
+        }
+    }
+}

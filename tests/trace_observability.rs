@@ -47,7 +47,10 @@ fn rpp_solve_emits_the_documented_counter_names() {
             "cq.join_candidates",
             "enumerate.nodes",
             "enumerate.pruned.cost",
-            "enumerate.valid"
+            "enumerate.valid",
+            "query.index_builds",
+            "query.plan_compiles",
+            "query.plan_probes"
         ],
         "counter names are a stable contract; see the registry in pkgrec-trace"
     );
@@ -64,6 +67,26 @@ fn rpp_solve_emits_the_documented_counter_names() {
     assert!(report.counters["enumerate.nodes"] > 0);
     assert!(report.spans["rpp.check_top_k"].total_ns > 0);
     assert!(report.spans["rpp.check_top_k/enumerate.dfs"].steps > 0);
+}
+
+/// Golden test for the compiled-plan counters: one solve compiles `Q`
+/// exactly once and answers every item-pool evaluation and membership
+/// probe through the plan. A drift here means per-package work crept
+/// back into the hot path (e.g. a `tuples()` clone or a re-compile).
+#[test]
+fn rpp_solve_pins_compiled_plan_counters() {
+    let _scope = pkgrec_trace::scoped();
+    pkgrec_trace::reset();
+    let inst = small_instance();
+    let sel = vec![Package::new([tuple![2], tuple![3]])];
+    assert!(rpp::is_top_k(&inst, &sel, &SolveOptions::default().with_jobs(1)).unwrap());
+    let report = pkgrec_trace::take();
+
+    // One plan per solve: Q compiled once, Qc is empty (no plan).
+    assert_eq!(report.counters["query.plan_compiles"], 1);
+    // Probes: 1 item-pool evaluation + 2 membership checks for the
+    // candidate selection's items {2, 3}.
+    assert_eq!(report.counters["query.plan_probes"], 3);
 }
 
 /// An FRP search cut off mid-enumeration reports *where* the budget
