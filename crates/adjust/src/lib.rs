@@ -198,7 +198,7 @@ fn search(
             let adjusted = adjustment.apply(&inst.base.db)?;
             let candidate = {
                 let mut c = inst.base.clone();
-                c.db = adjusted.clone();
+                c.db = std::sync::Arc::new(adjusted.clone());
                 c
             };
             if accepts(&candidate)? {

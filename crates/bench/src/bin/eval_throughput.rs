@@ -109,7 +109,7 @@ fn qc_overlay(smoke: bool) -> WorkloadResult {
             days: 7,
         }
     };
-    let db = travel_db(&mut rng, &cfg);
+    let db = std::sync::Arc::new(travel_db(&mut rng, &cfg));
     let q = travel_query_for(&db);
     let qc = match max_two_museums() {
         Constraint::Query(qc) => qc,
@@ -172,7 +172,7 @@ fn thm41_membership(smoke: bool) -> WorkloadResult {
     let (x, conj, width) = if smoke { (3, 4, 3) } else { (6, 12, 3) };
     let phi = gen::random_sigma2(&mut rng, x, conj, width);
     let r = lemma4_2::reduce(&phi);
-    let (db, q): (&Database, &Query) = (&r.instance.db, &r.instance.query);
+    let (db, q) = (&r.instance.db, &r.instance.query);
 
     let items: Vec<Tuple> = q.eval(db).expect("gadget query evaluates").into_iter().collect();
     assert!(!items.is_empty(), "gadget pool must be nonempty");
@@ -223,7 +223,7 @@ fn travel_eval(smoke: bool) -> WorkloadResult {
             days: 7,
         }
     };
-    let db = travel_db(&mut rng, &cfg);
+    let db = std::sync::Arc::new(travel_db(&mut rng, &cfg));
     let q = travel_query_for(&db);
     let expected = q.eval(&db).expect("selection query evaluates");
     assert!(!expected.is_empty(), "travel pool must be nonempty");

@@ -1,0 +1,209 @@
+//! `serve_throughput` — sustained request throughput of the resident
+//! `pkgrec serve` service, measured end to end through real TCP
+//! sockets: keep-alive clients hammer `POST /solve` with a mix of
+//! count and top-k probes against a resident travel database, and we
+//! report requests/second plus p50/p99 latency.
+//!
+//! This exercises the whole service stack the robustness tests pin
+//! functionally — HTTP framing, admission control, the plan cache
+//! (every request after the first per shape is a cache hit), the
+//! worker pool, per-request trace scoping — under load, so a
+//! regression in any resident-path hot spot shows up as a throughput
+//! cliff rather than a test failure.
+//!
+//! ```sh
+//! cargo run --release -p pkgrec-bench --bin serve_throughput -- BENCH_serve_throughput.json
+//! ```
+//!
+//! `--smoke` shrinks clients and request counts for 1-core CI shape
+//! checks (and skips the throughput floor assertion, which only
+//! full-size runs must meet).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use pkgrec_data::{tuple, AttrType, Database, Relation, RelationSchema};
+use pkgrec_serve::{start, ServerConfig, Service, ServiceConfig};
+
+/// Requests per client connection.
+fn requests_per_client(smoke: bool) -> usize {
+    if smoke {
+        40
+    } else {
+        500
+    }
+}
+
+fn clients(smoke: bool) -> usize {
+    if smoke {
+        2
+    } else {
+        8
+    }
+}
+
+/// A small item table: solves stay microsecond-scale, so the bench
+/// measures the service path, not the search.
+fn bench_db() -> Database {
+    let schema = RelationSchema::new(
+        "item",
+        [("id", AttrType::Int), ("price", AttrType::Int)],
+    )
+    .expect("valid schema");
+    let rel = Relation::from_tuples(
+        schema,
+        (0..8i64).map(|i| tuple![i, (i + 1) * 10]),
+    )
+    .expect("schema-conformant");
+    let mut db = Database::new();
+    db.add_relation(rel).expect("fresh db");
+    db
+}
+
+const COUNT_BODY: &str = r#"{"db":"shop","problem":"count","query":"q(x, p) :- item(x, p).","cost":"count","max_size":3}"#;
+const TOPK_BODY: &str = r#"{"db":"shop","problem":"topk","query":"q(x, p) :- item(x, p).","cost":"count","val":"sum:1","max_size":2,"k":1}"#;
+
+fn send_request(stream: &mut TcpStream, body: &str) -> std::io::Result<()> {
+    let req = format!(
+        "POST /solve HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())
+}
+
+/// Reads one HTTP response off the keep-alive stream; returns the
+/// status code.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<u16> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v
+                .parse()
+                .map_err(|_| std::io::Error::other("bad content-length"))?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(status)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let mut out_path = None;
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = Some(arg);
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_serve_throughput.json".to_string());
+
+    let mut service = Service::new(ServiceConfig::default());
+    service.add_db("shop", bench_db());
+    let server = start(
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 256,
+            ..ServerConfig::default()
+        },
+        service,
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let n_clients = clients(smoke);
+    let per_client = requests_per_client(smoke);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..n_clients)
+        .map(|c| {
+            std::thread::spawn(move || -> (Vec<Duration>, usize) {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut errors = 0usize;
+                for i in 0..per_client {
+                    let body = if (c + i) % 2 == 0 { COUNT_BODY } else { TOPK_BODY };
+                    let t0 = Instant::now();
+                    send_request(&mut writer, body).expect("write request");
+                    let status = read_response(&mut reader).expect("read response");
+                    latencies.push(t0.elapsed());
+                    if status != 200 {
+                        errors += 1;
+                    }
+                }
+                (latencies, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut errors = 0usize;
+    for h in handles {
+        let (lat, err) = h.join().expect("client thread");
+        latencies.extend(lat);
+        errors += err;
+    }
+    let elapsed = started.elapsed();
+    server.shutdown();
+
+    latencies.sort();
+    let total = latencies.len();
+    let req_per_sec = total as f64 / elapsed.as_secs_f64();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    eprintln!(
+        "serve_throughput: {total} requests over {n_clients} clients in {elapsed:?} \
+({req_per_sec:.0} req/s, p50 {p50:?}, p99 {p99:?}, {errors} errors)"
+    );
+
+    assert_eq!(errors, 0, "every well-formed request must get a 200");
+    if !smoke {
+        assert!(
+            req_per_sec >= 500.0,
+            "resident service must sustain ≥ 500 req/s on a trivial db, got {req_per_sec:.0}"
+        );
+    }
+
+    let json = format!(
+        "{{\"bench\":\"resident serve throughput (keep-alive TCP clients)\",\
+\"smoke\":{smoke},\"clients\":{n_clients},\"requests\":{total},\
+\"seconds\":{:.6},\"req_per_sec\":{req_per_sec:.1},\
+\"p50_us\":{},\"p99_us\":{},\"errors\":{errors}}}",
+        elapsed.as_secs_f64(),
+        p50.as_micros(),
+        p99.as_micros(),
+    );
+    pkgrec_trace::json::validate_object(&json).expect("report is valid JSON");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write output file");
+    eprintln!("wrote {out_path}");
+}

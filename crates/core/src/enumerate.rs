@@ -197,6 +197,55 @@ enum Stop {
     Budget(Interrupted),
 }
 
+/// Extract a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one unit's walk with a panic fence at the unit boundary: a
+/// panicking visitor, classifier, or injected `PKGREC_CHAOS` fault
+/// becomes a typed [`CoreError::WorkerPanic`] instead of unwinding
+/// through the engine (which, on a scoped worker thread, would abort
+/// the whole process). Bumps `enumerate.worker_panics` on catch.
+#[allow(clippy::too_many_arguments)]
+fn unit_walk_caught<M: SearchMeter>(
+    ctx: &SearchContext<'_>,
+    rating_bound: Option<Ext>,
+    meter: &M,
+    unit_idx: usize,
+    floor: &AtomicUsize,
+    max_size: usize,
+    pkg: &mut Package,
+    start: usize,
+    visit: &mut impl FnMut(&Package, Ext) -> ControlFlow<()>,
+    stats: &mut SearchStats,
+    sink: &mut ProgressSink<'_>,
+    fl: bool,
+) -> ControlFlow<UnitStop> {
+    let walk = std::panic::AssertUnwindSafe(|| {
+        unit_walk(
+            ctx, rating_bound, meter, unit_idx, floor, max_size, pkg, start, visit, stats,
+            sink, fl,
+        )
+    });
+    match std::panic::catch_unwind(walk) {
+        Ok(flow) => flow,
+        Err(payload) => {
+            pkgrec_trace::counter!("enumerate.worker_panics");
+            ControlFlow::Break(UnitStop::Error(CoreError::WorkerPanic {
+                unit: Some(unit_idx),
+                message: panic_message(payload.as_ref()),
+            }))
+        }
+    }
+}
+
 /// Enumerate every package `N ⊆ items` with `|N| ≤ max_size` (including
 /// the empty package), calling `visit` on each. `prune` is consulted
 /// after visiting a nonempty package; returning `true` skips all its
@@ -318,7 +367,7 @@ fn sequential_walk(
             flight::begin_unit(idx as u64);
         }
         let (mut pkg, start) = unit_seed(items, *unit);
-        let flow = unit_walk(
+        let flow = unit_walk_caught(
             ctx,
             rating_bound,
             &meter,
@@ -689,7 +738,7 @@ fn run_worker<R: ValidPackageReducer>(
         let (mut pkg, start) = unit_seed(items, units[u]);
         let mut acc = reducer.new_acc();
         let mut stats = SearchStats::default();
-        let flow = unit_walk(
+        let flow = unit_walk_caught(
             ctx,
             rating_bound,
             &meter,
@@ -802,7 +851,8 @@ fn parallel_reduce<R: ValidPackageReducer>(
     let next = AtomicUsize::new(0);
     let floor = AtomicUsize::new(usize::MAX);
     let jobs = jobs.min(units.len());
-    let worker_results: Vec<(Vec<UnitOutcome<R::Acc>>, pkgrec_trace::TraceReport)> =
+    type WorkerResult<A> = (Vec<UnitOutcome<A>>, pkgrec_trace::TraceReport);
+    let (worker_results, join_panic): (Vec<WorkerResult<R::Acc>>, Option<String>) =
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..jobs)
                 .map(|_| {
@@ -823,11 +873,28 @@ fn parallel_reduce<R: ValidPackageReducer>(
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("search worker panicked"))
-                .collect()
+            // Per-unit panics are already fenced inside `run_worker`; a
+            // join error means a worker panicked *outside* any unit.
+            // Consume it here — propagating would abort the process.
+            let mut results = Vec::with_capacity(jobs);
+            let mut join_panic = None;
+            for h in handles {
+                match h.join() {
+                    Ok(r) => results.push(r),
+                    Err(payload) => {
+                        join_panic = Some(panic_message(payload.as_ref()));
+                    }
+                }
+            }
+            (results, join_panic)
         });
+    if let Some(message) = join_panic {
+        pkgrec_trace::counter!("enumerate.worker_panics");
+        return Err(CoreError::WorkerPanic {
+            unit: None,
+            message,
+        });
+    }
 
     let mut outcomes: Vec<UnitOutcome<R::Acc>> = Vec::new();
     for (worker_outcomes, report) in worker_results {
@@ -1119,6 +1186,35 @@ mod tests {
         assert!(
             report_cq.counters["enumerate.nodes"] <= report_pt.counters["enumerate.nodes"]
         );
+    }
+
+    #[test]
+    fn qc_panic_becomes_typed_error_not_abort() {
+        // A Qc predicate that panics mid-search must surface as
+        // CoreError::WorkerPanic from both engines — never tear down
+        // the process (the resident server shares it across requests).
+        for jobs in [1usize, 2] {
+            let inst = small_instance().with_budget(10.0).with_qc(Constraint::ptime(
+                "panics on {2}",
+                |p, _| {
+                    if p.contains(&tuple![2]) {
+                        panic!("injected qc fault");
+                    }
+                    true
+                },
+            ));
+            let opts = SolveOptions::default().with_jobs(jobs);
+            let err = for_each_valid_package(&inst, None, &opts, |_, _| {
+                ControlFlow::Continue(())
+            })
+            .expect_err("injected panic must surface as an error");
+            match err {
+                crate::CoreError::WorkerPanic { message, .. } => {
+                    assert!(message.contains("injected qc fault"), "{message}");
+                }
+                other => panic!("expected WorkerPanic, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,21 @@ pub enum CoreError {
         /// The budget violation that cut the search off.
         interrupted: Interrupted,
     },
+    /// A search worker panicked while walking its unit of the package
+    /// space. The panic is caught at the unit boundary
+    /// (`std::panic::catch_unwind`) so one bad worker — or an injected
+    /// `PKGREC_CHAOS` fault — surfaces as this typed error instead of
+    /// aborting the whole process. The accumulated fold up to the
+    /// panicking unit is discarded: a partially-applied visitor cannot
+    /// be certified.
+    WorkerPanic {
+        /// Index of the search unit that panicked, when the panic
+        /// happened inside a unit walk (`None`: outside any unit, e.g.
+        /// while a worker was reporting its results).
+        unit: Option<usize>,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// A `cost`/`val` function reads a column the instance's items do
     /// not provide as a number. Detected once at search start, instead
     /// of silently scoring the column as 0 on every package.
@@ -61,6 +76,10 @@ impl fmt::Display for CoreError {
             CoreError::SearchLimitExceeded { interrupted } => {
                 write!(f, "exact search stopped early: {interrupted}")
             }
+            CoreError::WorkerPanic { unit, message } => match unit {
+                Some(u) => write!(f, "search worker panicked in unit {u}: {message}"),
+                None => write!(f, "search worker panicked: {message}"),
+            },
             CoreError::FunctionColumn {
                 role,
                 function,

@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::Arc;
 
 use pkgrec_data::{Database, Tuple};
 use pkgrec_query::{CompiledPlan, EvalContext, MetricSet, Query};
@@ -60,8 +61,10 @@ impl SizeBound {
 /// RPP, FRP, MBP and CPP (Sections 3–5).
 #[derive(Debug, Clone)]
 pub struct RecInstance {
-    /// The item database `D`.
-    pub db: Database,
+    /// The item database `D`, behind a shared handle so compiled plans
+    /// (and a resident server's plan cache) can hold onto it without
+    /// borrowing the instance. Cloning the instance shares the data.
+    pub db: Arc<Database>,
     /// The selection query `Q`.
     pub query: Query,
     /// The compatibility constraint `Qc`.
@@ -85,9 +88,9 @@ impl RecInstance {
     /// Start building an instance; defaults: no `Qc`, `cost = count`
     /// (`cost(∅) = ∞`), `val = |N|`, budget `C` = +∞, `k = 1`, linear
     /// size bound, no metrics.
-    pub fn new(db: Database, query: Query) -> RecInstance {
+    pub fn new(db: impl Into<Arc<Database>>, query: Query) -> RecInstance {
         RecInstance {
-            db,
+            db: db.into(),
             query,
             qc: Constraint::Empty,
             cost: PackageFn::count(),
@@ -173,28 +176,8 @@ impl RecInstance {
     /// so this work happens O(1) times per search instead of once per
     /// enumerated package.
     pub fn search_context(&self) -> Result<SearchContext<'_>> {
-        let answer_arity = self.answer_arity()?;
-        let q_plan = self.query.compile(&self.db)?;
-        let items: Vec<Tuple> = q_plan
-            .eval(self.metrics.as_ref(), None)?
-            .into_iter()
-            .collect();
-        let qc_plan = match &self.qc {
-            Constraint::Query(qc) => {
-                Some(qc.compile_with_dynamic(&self.db, ANSWER_RELATION, answer_arity)?)
-            }
-            _ => None,
-        };
-        validate_fn_columns("cost", &self.cost, &items)?;
-        validate_fn_columns("val", &self.val, &items)?;
-        Ok(SearchContext {
-            inst: self,
-            items,
-            answer_arity,
-            qc_antimonotone: self.qc.is_antimonotone(),
-            q_plan,
-            qc_plan,
-        })
+        let parts = PreparedParts::build(self)?;
+        Ok(parts.context(self))
     }
 
     /// The concrete maximum package size `p(|D|)` (or `Bp`).
@@ -259,23 +242,111 @@ fn validate_fn_columns(role: &'static str, f: &PackageFn, items: &[Tuple]) -> Re
     Ok(())
 }
 
+/// The compile-once parts of a search context: the item pool, cached
+/// arity, and the compiled plans for `Q`/`Qc`, all behind shared
+/// handles so stamping out a [`SearchContext`] from them is O(1).
+#[derive(Debug, Clone)]
+struct PreparedParts {
+    items: Arc<[Tuple]>,
+    answer_arity: usize,
+    qc_antimonotone: bool,
+    q_plan: Arc<CompiledPlan>,
+    qc_plan: Option<Arc<CompiledPlan>>,
+}
+
+impl PreparedParts {
+    fn build(inst: &RecInstance) -> Result<PreparedParts> {
+        let answer_arity = inst.answer_arity()?;
+        let q_plan = inst.query.compile(&inst.db)?;
+        let items: Vec<Tuple> = q_plan
+            .eval(inst.metrics.as_ref(), None)?
+            .into_iter()
+            .collect();
+        let qc_plan = match &inst.qc {
+            Constraint::Query(qc) => {
+                Some(qc.compile_with_dynamic(&inst.db, ANSWER_RELATION, answer_arity)?)
+            }
+            _ => None,
+        };
+        validate_fn_columns("cost", &inst.cost, &items)?;
+        validate_fn_columns("val", &inst.val, &items)?;
+        Ok(PreparedParts {
+            items: items.into(),
+            answer_arity,
+            qc_antimonotone: inst.qc.is_antimonotone(),
+            q_plan: Arc::new(q_plan),
+            qc_plan: qc_plan.map(Arc::new),
+        })
+    }
+
+    fn context<'a>(&self, inst: &'a RecInstance) -> SearchContext<'a> {
+        SearchContext {
+            inst,
+            items: Arc::clone(&self.items),
+            answer_arity: self.answer_arity,
+            qc_antimonotone: self.qc_antimonotone,
+            q_plan: Arc::clone(&self.q_plan),
+            qc_plan: self.qc_plan.as_ref().map(Arc::clone),
+        }
+    }
+}
+
+/// An instance whose per-search state — compiled plans, item pool,
+/// cached arity — has been computed once and can be reused across many
+/// solves (compile once, probe many, *solve many*). This is the unit a
+/// resident server caches per `(database, query, parameters)` key:
+/// [`PreparedInstance::context`] stamps out a fresh [`SearchContext`]
+/// per request without recompiling anything, so concurrent requests on
+/// the same prepared instance each pay O(1) setup.
+///
+/// The instance is owned (not borrowed) and only readable afterwards,
+/// which is what makes the cached plans sound: nothing can swap the
+/// database or query out from under them.
+#[derive(Debug, Clone)]
+pub struct PreparedInstance {
+    inst: RecInstance,
+    parts: PreparedParts,
+}
+
+impl PreparedInstance {
+    /// Compile the instance's per-search state once. Surfaces the same
+    /// typed errors an individual solve would (bad query, invalid
+    /// `cost`/`val` columns, …).
+    pub fn new(inst: RecInstance) -> Result<PreparedInstance> {
+        let parts = PreparedParts::build(&inst)?;
+        Ok(PreparedInstance { inst, parts })
+    }
+
+    /// The underlying instance (read-only).
+    pub fn instance(&self) -> &RecInstance {
+        &self.inst
+    }
+
+    /// A fresh search context sharing the precompiled plans — O(1), no
+    /// recompilation, safe to call concurrently from many threads.
+    pub fn context(&self) -> SearchContext<'_> {
+        self.parts.context(&self.inst)
+    }
+}
+
 /// Per-search state shared by every visitor (and every worker thread)
 /// of one solve: the item pool `Q(D)` in canonical order, the cached
 /// answer arity, and the instance itself. Built once by
-/// [`RecInstance::search_context`]; the construction also validates the
+/// [`RecInstance::search_context`] (or stamped out from a
+/// [`PreparedInstance`]); the construction also validates the
 /// `cost`/`val` functions' declared columns against the items.
 #[derive(Debug)]
 pub struct SearchContext<'a> {
     inst: &'a RecInstance,
-    items: Vec<Tuple>,
+    items: Arc<[Tuple]>,
     answer_arity: usize,
     qc_antimonotone: bool,
     /// `Q` compiled against `D` — answers membership probes without
     /// re-interning or re-planning per package item.
-    q_plan: CompiledPlan<'a>,
+    q_plan: Arc<CompiledPlan>,
     /// `Qc` compiled against `D` with the answer relation `R_Q` bound
     /// dynamically, when `Qc` is a query constraint.
-    qc_plan: Option<CompiledPlan<'a>>,
+    qc_plan: Option<Arc<CompiledPlan>>,
 }
 
 /// Why [`SearchContext::classify`] rejected a package. The search uses

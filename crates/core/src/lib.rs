@@ -38,8 +38,8 @@ mod rating;
 
 pub use constraints::{Constraint, ANSWER_RELATION};
 pub use enumerate::{
-    for_each_package, for_each_valid_package, reduce_valid_packages, Completion, SearchStats,
-    SolveOptions, ValidPackageReducer,
+    for_each_package, for_each_valid_package, reduce_valid_packages,
+    reduce_valid_packages_in, Completion, SearchStats, SolveOptions, ValidPackageReducer,
 };
 pub use error::{ColumnIssue, CoreError};
 
@@ -48,7 +48,7 @@ pub use error::{ColumnIssue, CoreError};
 // dependency.
 pub use pkgrec_guard::{Budget, CancelFlag, Interrupted, Meter, Outcome, Resource};
 pub use functions::PackageFn;
-pub use instance::{RecInstance, SearchContext, SizeBound};
+pub use instance::{PreparedInstance, RecInstance, SearchContext, SizeBound};
 pub use package::Package;
 pub use progress::Progress;
 pub use problems::group::{GroupInstance, GroupSemantics};

@@ -14,8 +14,11 @@ use std::ops::ControlFlow;
 
 use pkgrec_guard::Outcome;
 
-use crate::enumerate::{reduce_valid_packages, SearchStats, SolveOptions, ValidPackageReducer};
-use crate::instance::RecInstance;
+use crate::enumerate::{
+    reduce_valid_packages, reduce_valid_packages_in, SearchStats, SolveOptions,
+    ValidPackageReducer,
+};
+use crate::instance::{RecInstance, SearchContext};
 use crate::package::Package;
 use crate::rating::Ext;
 use crate::Result;
@@ -69,8 +72,19 @@ pub fn count_valid(
     rating_bound: Ext,
     opts: &SolveOptions,
 ) -> Result<Outcome<u128, SearchStats>> {
+    let ctx = inst.search_context()?;
+    count_valid_in(&ctx, rating_bound, opts)
+}
+
+/// [`count_valid`] on a prebuilt [`SearchContext`] — for callers that
+/// amortize plan compilation across solves.
+pub fn count_valid_in(
+    ctx: &SearchContext<'_>,
+    rating_bound: Ext,
+    opts: &SolveOptions,
+) -> Result<Outcome<u128, SearchStats>> {
     let _span = pkgrec_trace::span!("cpp.count_valid");
-    let (count, stats) = reduce_valid_packages(inst, Some(rating_bound), opts, &Count)?;
+    let (count, stats) = reduce_valid_packages_in(ctx, Some(rating_bound), opts, &Count)?;
     Ok(match stats.interrupted {
         None => Outcome::exact(count, stats),
         Some(cut) => Outcome::partial(count, cut, stats),

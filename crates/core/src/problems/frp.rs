@@ -22,8 +22,11 @@ use std::ops::ControlFlow;
 
 use pkgrec_guard::Outcome;
 
-use crate::enumerate::{reduce_valid_packages, SearchStats, SolveOptions, ValidPackageReducer};
-use crate::instance::RecInstance;
+use crate::enumerate::{
+    reduce_valid_packages, reduce_valid_packages_in, SearchStats, SolveOptions,
+    ValidPackageReducer,
+};
+use crate::instance::{RecInstance, SearchContext};
 use crate::package::Package;
 use crate::rating::Ext;
 use crate::Result;
@@ -151,9 +154,21 @@ pub fn top_k(
     inst: &RecInstance,
     opts: &SolveOptions,
 ) -> Result<Outcome<Option<Vec<Package>>, SearchStats>> {
+    let ctx = inst.search_context()?;
+    top_k_in(&ctx, opts)
+}
+
+/// [`top_k`] on a prebuilt [`SearchContext`] — the entry point for
+/// callers that amortize plan compilation across solves (e.g. a
+/// resident server stamping contexts out of a
+/// [`PreparedInstance`](crate::PreparedInstance)).
+pub fn top_k_in(
+    ctx: &SearchContext<'_>,
+    opts: &SolveOptions,
+) -> Result<Outcome<Option<Vec<Package>>, SearchStats>> {
     let _span = pkgrec_trace::span!("frp.top_k");
-    let k = inst.k;
-    let (best, stats) = reduce_valid_packages(inst, None, opts, &TopKSel { k })?;
+    let k = ctx.instance().k;
+    let (best, stats) = reduce_valid_packages_in(ctx, None, opts, &TopKSel { k })?;
     let found: Vec<Package> = best
         .into_iter()
         .rev() // best first

@@ -19,8 +19,11 @@ use std::ops::ControlFlow;
 
 use pkgrec_guard::Outcome;
 
-use crate::enumerate::{reduce_valid_packages, SearchStats, SolveOptions, ValidPackageReducer};
-use crate::instance::RecInstance;
+use crate::enumerate::{
+    reduce_valid_packages, reduce_valid_packages_in, SearchStats, SolveOptions,
+    ValidPackageReducer,
+};
+use crate::instance::{RecInstance, SearchContext};
 use crate::package::Package;
 use crate::rating::Ext;
 use crate::Result;
@@ -145,10 +148,21 @@ pub fn maximum_bound(
     inst: &RecInstance,
     opts: &SolveOptions,
 ) -> Result<Outcome<Option<Ext>, SearchStats>> {
+    let ctx = inst.search_context()?;
+    maximum_bound_in(&ctx, opts)
+}
+
+/// [`maximum_bound`] on a prebuilt [`SearchContext`] — for callers that
+/// amortize plan compilation across solves.
+pub fn maximum_bound_in(
+    ctx: &SearchContext<'_>,
+    opts: &SolveOptions,
+) -> Result<Outcome<Option<Ext>, SearchStats>> {
     let _span = pkgrec_trace::span!("mbp.maximum_bound");
+    let k = ctx.instance().k;
     // The k best ratings over distinct packages.
-    let (best, stats) = reduce_valid_packages(inst, None, opts, &KLargest { k: inst.k })?;
-    let value = if best.len() < inst.k {
+    let (best, stats) = reduce_valid_packages_in(ctx, None, opts, &KLargest { k })?;
+    let value = if best.len() < k {
         None
     } else {
         Some(best[0])

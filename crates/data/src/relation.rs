@@ -102,7 +102,10 @@ impl Relation {
         self.schema.check_tuple(&t)?;
         let new = self.tuples.insert(t);
         if new {
-            self.indexes.get_mut().expect("index lock poisoned").clear();
+            self.indexes
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
         }
         Ok(new)
     }
@@ -111,7 +114,10 @@ impl Relation {
     pub fn remove(&mut self, t: &Tuple) -> bool {
         let removed = self.tuples.remove(t);
         if removed {
-            self.indexes.get_mut().expect("index lock poisoned").clear();
+            self.indexes
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
         }
         removed
     }
@@ -135,11 +141,17 @@ impl Relation {
     /// index: a shared bucket in canonical order, or `None` when no
     /// tuple matches. Cloning the returned `Arc` is a refcount bump, so
     /// repeated probes do no per-probe allocation.
+    ///
+    /// Poisoned locks are recovered rather than propagated: the `entry`
+    /// API only inserts a finished index (the builder closure returns
+    /// the complete map or unwinds before insertion), so the cache is
+    /// never observable half-built and a panic elsewhere in the process
+    /// must not wedge every future probe of this relation.
     pub fn lookup(&self, col: usize, v: &Value) -> Option<Arc<[Tuple]>> {
         if let Some(index) = self
             .indexes
             .read()
-            .expect("index lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .get(&col)
         {
             return index.get(v).cloned();
@@ -148,7 +160,7 @@ impl Relation {
         // above; `entry` re-probes under the write lock so the second
         // thread reuses the first one's index instead of rebuilding it
         // (the `query.index_builds` counter pins at-most-once builds).
-        let mut indexes = self.indexes.write().expect("index lock poisoned");
+        let mut indexes = self.indexes.write().unwrap_or_else(|e| e.into_inner());
         let index = indexes.entry(col).or_insert_with(|| {
             pkgrec_trace::counter!("query.index_builds");
             let mut m: HashMap<Value, Vec<Tuple>> = HashMap::new();
@@ -291,6 +303,27 @@ mod tests {
             Some(1),
             "double-checked rebuild must dedupe concurrent index builds"
         );
+    }
+
+    /// Satellite regression: a panic while holding the index lock (as a
+    /// crashed search worker would leave it) poisons the `RwLock`, but
+    /// the cache must keep serving probes — the resident server reuses
+    /// one `Relation` across requests, and a single fault must not
+    /// wedge every later lookup.
+    #[test]
+    fn lookup_recovers_from_poisoned_index_lock() {
+        let r = std::sync::Arc::new(rel());
+        let r2 = std::sync::Arc::clone(&r);
+        std::thread::spawn(move || {
+            let _guard = r2.indexes.write().unwrap();
+            panic!("poison the index lock");
+        })
+        .join()
+        .expect_err("the poisoning thread panicked");
+        assert!(r.indexes.is_poisoned());
+        let hits = r.lookup(0, &Value::Int(1)).expect("two matches");
+        assert_eq!(hits.len(), 2);
+        assert!(r.lookup(0, &Value::Int(9)).is_none());
     }
 
     #[test]

@@ -27,6 +27,7 @@ mod dpll;
 pub mod gen;
 mod maxsat;
 mod qbf;
+mod qdimacs;
 
 pub use cnf::{Clause, CnfFormula, Lit};
 pub use count::{
@@ -37,6 +38,7 @@ pub use dnf::{Conjunct, DnfFormula};
 pub use dpll::{find_model, find_model_budgeted, is_satisfiable, is_satisfiable_budgeted};
 pub use maxsat::{max_weight_sat, max_weight_sat_budgeted, MaxWeightSat};
 pub use qbf::{MaximumSigma2, Quant, QbfFormula, SatUnsat, Sigma2Dnf};
+pub use qdimacs::{parse_qdimacs, QdimacsError};
 
 /// Re-export of the budget/anytime vocabulary shared by every solver
 /// layer, so `logic` callers need not depend on `pkgrec-guard` directly.

@@ -1,0 +1,173 @@
+//! QDIMACS parsing: `c` comments, a `p cnf <vars> <clauses>` header,
+//! `e`/`a` quantifier lines and clause lines, all 0-terminated. The
+//! grammar here is the one the CLI's `qbf` command accepts — closed
+//! sentences only, so every variable must be quantified.
+//!
+//! Parsing is total on arbitrary bytes: malformed input yields a typed
+//! [`QdimacsError`] with a line number, never a panic, and a header
+//! declaring an absurd variable count is rejected *before* any
+//! allocation sized by it (an adversarial `p cnf 99999999999 1` must
+//! not abort the process by exhausting memory).
+
+use crate::{Clause, CnfFormula, Lit, QbfFormula, Quant};
+
+/// Largest accepted `p cnf` variable count. The direct QBF solvers are
+/// exponential in the prefix, so real instances are tiny; the cap only
+/// exists to bound allocation on hostile input.
+pub const MAX_VARS: usize = 1_000_000;
+
+/// A QDIMACS syntax error, with its 1-based line when attributable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QdimacsError {
+    /// 1-based source line, when the error is attributable to one.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for QdimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for QdimacsError {}
+
+fn err_at(line: usize, message: impl Into<String>) -> QdimacsError {
+    QdimacsError {
+        line: Some(line),
+        message: message.into(),
+    }
+}
+
+/// Parse QDIMACS source into a closed [`QbfFormula`].
+pub fn parse_qdimacs(src: &str) -> Result<QbfFormula, QdimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut quants: Vec<Option<Quant>> = Vec::new();
+    let mut clauses: Vec<Clause> = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line = line.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("p cnf") {
+            if num_vars.is_some() {
+                return Err(err_at(lineno, "duplicate `p cnf` header"));
+            }
+            let mut nums = header.split_whitespace();
+            let v: usize = nums
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err_at(lineno, "bad `p cnf` header"))?;
+            if v > MAX_VARS {
+                return Err(err_at(
+                    lineno,
+                    format!("{v} variables exceeds the {MAX_VARS} limit"),
+                ));
+            }
+            num_vars = Some(v);
+            quants = vec![None; v];
+            continue;
+        }
+        let n = num_vars.ok_or_else(|| err_at(lineno, "clause before `p cnf` header"))?;
+        let (quant, rest) = match line.split_at(1) {
+            ("e", rest) => (Some(Quant::Exists), rest),
+            ("a", rest) => (Some(Quant::Forall), rest),
+            _ => (None, line),
+        };
+        let mut lits = Vec::new();
+        for tok in rest.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| err_at(lineno, format!("bad literal `{tok}`")))?;
+            if v == 0 {
+                break; // terminator
+            }
+            let var = (v.unsigned_abs() as usize)
+                .checked_sub(1)
+                .filter(|&i| i < n)
+                .ok_or_else(|| {
+                    err_at(lineno, format!("variable {} out of range 1..={n}", v.abs()))
+                })?;
+            match quant {
+                Some(q) => quants[var] = Some(q),
+                None => lits.push(if v > 0 { Lit::pos(var) } else { Lit::neg(var) }),
+            }
+        }
+        if quant.is_none() {
+            clauses.push(Clause::new(lits));
+        }
+    }
+    let n = num_vars.ok_or(QdimacsError {
+        line: None,
+        message: "missing `p cnf` header".to_string(),
+    })?;
+    let quants: Vec<Quant> = quants
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            q.ok_or(QdimacsError {
+                line: None,
+                message: format!("variable {} is not quantified", i + 1),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(QbfFormula::new(quants, CnfFormula::new(n, clauses)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+c a closed sentence: ∃x1 ∀x2. (x1 ∨ x2) ∧ (x1 ∨ ¬x2)
+p cnf 2 2
+e 1 0
+a 2 0
+1 2 0
+1 -2 0
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let qbf = parse_qdimacs(SAMPLE).unwrap();
+        assert_eq!(qbf.quants, vec![Quant::Exists, Quant::Forall]);
+        assert_eq!(qbf.matrix.num_vars, 2);
+        assert_eq!(qbf.matrix.clauses.len(), 2);
+        assert!(qbf.is_true());
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let e = parse_qdimacs("p cnf x 1\n").unwrap_err();
+        assert_eq!(e.line, Some(1));
+        let e = parse_qdimacs("1 0\n").unwrap_err();
+        assert_eq!(e.line, Some(1));
+        assert!(e.message.contains("before `p cnf`"));
+        let e = parse_qdimacs("p cnf 2 1\ne 1 2 0\n1 zz 0\n").unwrap_err();
+        assert_eq!(e.line, Some(3));
+        let e = parse_qdimacs("p cnf 1 1\ne 1 0\n5 0\n").unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn unquantified_and_headerless_inputs_are_typed_errors() {
+        let e = parse_qdimacs("").unwrap_err();
+        assert_eq!(e.line, None);
+        assert!(e.message.contains("missing"), "{e}");
+        let e = parse_qdimacs("p cnf 2 1\ne 1 0\n1 2 0\n").unwrap_err();
+        assert!(e.message.contains("not quantified"), "{e}");
+    }
+
+    #[test]
+    fn absurd_header_is_rejected_before_allocation() {
+        let e = parse_qdimacs("p cnf 99999999999999 1\n").unwrap_err();
+        assert!(e.message.contains("limit"), "{e}");
+        let e = parse_qdimacs("p cnf 2 1\np cnf 2 1\n").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+}

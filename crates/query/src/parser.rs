@@ -71,7 +71,10 @@ impl<'a> Lexer<'a> {
         let bytes = self.src.as_bytes();
         while self.pos < bytes.len() {
             let start = self.pos;
-            let c = bytes[self.pos] as char;
+            // Decode a real char: a raw `bytes[pos] as char` would
+            // misread multibyte UTF-8 and leave `pos` off a char
+            // boundary, panicking in the slice below.
+            let c = self.src[self.pos..].chars().next().expect("pos on boundary");
             match c {
                 ' ' | '\t' | '\n' | '\r' => {
                     self.pos += 1;
@@ -121,10 +124,12 @@ impl<'a> Lexer<'a> {
                 }
                 c if c.is_alphabetic() || c == '_' => {
                     let s0 = self.pos;
-                    while self.pos < bytes.len()
-                        && ((bytes[self.pos] as char).is_alphanumeric() || bytes[self.pos] == b'_')
-                    {
-                        self.pos += 1;
+                    while self.pos < bytes.len() {
+                        let ch = self.src[self.pos..].chars().next().expect("pos on boundary");
+                        if !(ch.is_alphanumeric() || ch == '_') {
+                            break;
+                        }
+                        self.pos += ch.len_utf8();
                     }
                     self.toks
                         .push((Tok::Ident(self.src[s0..self.pos].to_string()), start));
@@ -591,5 +596,15 @@ mod tests {
     fn negative_numbers() {
         let q = parse_query("q(x) :- e(x, y), x > -1.").unwrap();
         assert_eq!(q.eval(&db()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn multibyte_input_is_lexed_not_panicked() {
+        // Non-ASCII identifiers lex as single tokens; the lexer must
+        // advance by whole chars, never into the middle of one.
+        assert!(parse_query("é").is_err());
+        assert!(parse_query("q(é) :- item(é).").is_ok());
+        assert!(parse_fo("q(x) = ∃").is_err());
+        assert!(parse_query("\u{00B5}\u{0080}").is_err());
     }
 }

@@ -21,11 +21,15 @@
 //!   as a zero-copy overlay instead of `Database::with_relation`'s full
 //!   clone — the dominant cost of interpreted `Qc` probes.
 //!
-//! A plan borrows the database it was compiled against and snapshots
-//! its contents; mutate the database and you must recompile.
+//! A plan holds a shared handle (`Arc`) to the database it was
+//! compiled against and snapshots its contents, so plans have no
+//! borrow lifetime and can be cached across solves (the `pkgrec serve`
+//! plan cache keys them by `(query, database)`); replace the database
+//! and you must recompile.
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 use pkgrec_data::{AttrType, Database, Relation, RelationSchema, Tuple, Value, ValueInterner};
 use pkgrec_guard::Meter;
@@ -48,7 +52,7 @@ impl Query {
     /// recompiling. Compilation performs the query's safety and arity
     /// checks up front, so errors the interpreter would raise on every
     /// call surface once here.
-    pub fn compile<'db>(&self, db: &'db Database) -> Result<CompiledPlan<'db>> {
+    pub fn compile(&self, db: &Arc<Database>) -> Result<CompiledPlan> {
         CompiledPlan::build(self, db, None)
     }
 
@@ -57,19 +61,19 @@ impl Query {
     /// [`CompiledPlan::eval_dynamic`] / [`CompiledPlan::has_answer_dynamic`].
     /// Like [`Database::set_relation`], the dynamic relation shadows any
     /// base relation of the same name.
-    pub fn compile_with_dynamic<'db>(
+    pub fn compile_with_dynamic(
         &self,
-        db: &'db Database,
+        db: &Arc<Database>,
         name: &str,
         arity: usize,
-    ) -> Result<CompiledPlan<'db>> {
+    ) -> Result<CompiledPlan> {
         CompiledPlan::build(self, db, Some((name, arity)))
     }
 }
 
 /// A query compiled against one database. See the module docs.
-pub struct CompiledPlan<'db> {
-    db: &'db Database,
+pub struct CompiledPlan {
+    db: Arc<Database>,
     dynamic: Option<DynSpec>,
     arity: usize,
     kind: PlanKind,
@@ -87,7 +91,7 @@ enum PlanKind {
     Dl(DlPlan),
 }
 
-impl fmt::Debug for CompiledPlan<'_> {
+impl fmt::Debug for CompiledPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CompiledPlan")
             .field("arity", &self.arity)
@@ -112,8 +116,8 @@ fn answer_schema(name: &str, arity: usize) -> RelationSchema {
         .expect("generated attribute names are distinct")
 }
 
-impl<'db> CompiledPlan<'db> {
-    fn build(q: &Query, db: &'db Database, dynamic: Option<(&str, usize)>) -> Result<Self> {
+impl CompiledPlan {
+    fn build(q: &Query, db: &Arc<Database>, dynamic: Option<(&str, usize)>) -> Result<Self> {
         pkgrec_trace::counter!("query.plan_compiles");
         let arity = q.arity()?;
         let kind = match q {
@@ -125,7 +129,7 @@ impl<'db> CompiledPlan<'db> {
             Query::Datalog(p) => PlanKind::Dl(DlPlan::compile(p, db, dynamic.map(|(n, _)| n))?),
         };
         Ok(CompiledPlan {
-            db,
+            db: Arc::clone(db),
             dynamic: dynamic.map(|(n, a)| DynSpec {
                 name: n.to_string(),
                 arity: a,
@@ -143,7 +147,7 @@ impl<'db> CompiledPlan<'db> {
 
     fn ctx<'c>(&'c self, metrics: Option<&'c MetricSet>, meter: Option<&'c Meter>) -> EvalContext<'c> {
         EvalContext {
-            db: self.db,
+            db: self.db.as_ref(),
             metrics,
             meter,
         }
@@ -164,7 +168,7 @@ impl<'db> CompiledPlan<'db> {
                 set.eval_impl(ctx, None, None, &mut syms, false)
             }
             PlanKind::Fo(fp) => fp.eval(ctx, None),
-            PlanKind::Dl(dp) => dl_eval::eval_datalog_with(ctx, self.db, &dp.prog),
+            PlanKind::Dl(dp) => dl_eval::eval_datalog_with(ctx, self.db.as_ref(), &dp.prog),
         }
     }
 
@@ -186,7 +190,7 @@ impl<'db> CompiledPlan<'db> {
             }
             PlanKind::Fo(fp) => fp.eval(ctx, Some(t)),
             PlanKind::Dl(dp) => {
-                let mut ans = dl_eval::eval_datalog_with(ctx, self.db, &dp.prog)?;
+                let mut ans = dl_eval::eval_datalog_with(ctx, self.db.as_ref(), &dp.prog)?;
                 ans.retain(|a| a == t);
                 Ok(ans)
             }
@@ -211,7 +215,7 @@ impl<'db> CompiledPlan<'db> {
             }
             PlanKind::Fo(fp) => Ok(!fp.eval(ctx, Some(t))?.is_empty()),
             PlanKind::Dl(dp) => {
-                Ok(dl_eval::eval_datalog_with(ctx, self.db, &dp.prog)?.contains(t))
+                Ok(dl_eval::eval_datalog_with(ctx, self.db.as_ref(), &dp.prog)?.contains(t))
             }
         }
     }
@@ -268,7 +272,7 @@ impl<'db> CompiledPlan<'db> {
                 }
                 let domain: Vec<Value> = dom.into_iter().collect();
                 let provider = OverlayProvider {
-                    base: self.db,
+                    base: self.db.as_ref(),
                     name: &spec.name,
                     rel: &rel,
                 };
@@ -278,7 +282,7 @@ impl<'db> CompiledPlan<'db> {
             PlanKind::Dl(dp) => {
                 let rel = spec.materialize(items);
                 let provider = OverlayProvider {
-                    base: self.db,
+                    base: self.db.as_ref(),
                     name: &spec.name,
                     rel: &rel,
                 };
@@ -930,7 +934,7 @@ mod tests {
     use pkgrec_data::{tuple, Database};
     use pkgrec_guard::Budget;
 
-    fn db() -> Database {
+    fn db() -> Arc<Database> {
         let mut db = Database::new();
         let e = RelationSchema::new("e", [("s", AttrType::Int), ("d", AttrType::Int)]).unwrap();
         db.add_relation(
@@ -941,7 +945,7 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        db
+        Arc::new(db)
     }
 
     fn path2() -> Query {

@@ -1,0 +1,293 @@
+//! A minimal server-side HTTP/1.1 codec over blocking [`std::io`]
+//! streams — just enough protocol for the solve service, hand-rolled
+//! like the rest of the stack so the server adds zero dependencies.
+//!
+//! Robustness is the point, not feature coverage: requests are read
+//! with hard caps on header and body size (a hostile peer cannot make
+//! the server allocate unboundedly), framing errors are typed (never
+//! panics on arbitrary bytes), and socket timeouts set by the caller
+//! surface as [`HttpError::Timeout`] so an idle or stalled connection
+//! costs a worker nothing beyond the timeout. Only what the service
+//! needs is implemented: `Content-Length` bodies (no chunked encoding),
+//! keep-alive, and plain paths.
+
+use std::io::{self, Read, Write};
+
+/// Cap on the request line + headers, in bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Cap on a request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/solve`.
+    pub path: String,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by `Connection: close`).
+    pub keep_alive: bool,
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The socket read timed out (idle keep-alive or a stalled peer).
+    Timeout,
+    /// The header block or body exceeded its cap; names which.
+    TooLarge(&'static str),
+    /// The bytes were not a well-formed request.
+    Malformed(String),
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Timeout => write!(f, "read timed out"),
+            HttpError::TooLarge(what) => write!(f, "{what} exceeds the configured cap"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+fn malformed(m: impl Into<String>) -> HttpError {
+    HttpError::Malformed(m.into())
+}
+
+fn io_error(e: io::Error) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+        io::ErrorKind::UnexpectedEof => HttpError::Closed,
+        _ => HttpError::Io(e),
+    }
+}
+
+/// Read and parse one request from `stream`. Blocks until a full
+/// request arrives, the peer closes, the socket times out, or a cap is
+/// exceeded — whichever comes first. Total on arbitrary bytes: every
+/// failure is a typed [`HttpError`].
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge("header block"));
+        }
+        let n = stream.read(&mut chunk).map_err(io_error)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Err(HttpError::Closed)
+            } else {
+                Err(malformed("connection closed mid-header"))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    if head_end > MAX_HEADER_BYTES {
+        return Err(HttpError::TooLarge("header block"));
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| malformed("header block is not UTF-8"))?
+        .to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(malformed(format!("bad request line `{request_line}`"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(malformed(format!("unsupported version `{version}`")));
+    }
+    let mut content_length: usize = 0;
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed(format!("bad header line `{line}`")))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| malformed(format!("bad Content-Length `{value}`")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+    // The body: whatever followed the header terminator, then the rest.
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(malformed("more body bytes than Content-Length"));
+    }
+    let start = body.len();
+    body.resize(content_length, 0);
+    stream.read_exact(&mut body[start..]).map_err(io_error)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        keep_alive,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The standard reason phrase for the status codes the service uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one `application/json` response. `extra_headers` lets the
+/// caller add e.g. `Retry-After`; `keep_alive` picks the `Connection`
+/// header so the peer knows whether to reuse the socket.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut out = String::with_capacity(body.len() + 160);
+    out.push_str("HTTP/1.1 ");
+    out.push_str(&status.to_string());
+    out.push(' ');
+    out.push_str(reason(status));
+    out.push_str("\r\nContent-Type: application/json\r\nContent-Length: ");
+    out.push_str(&body.len().to_string());
+    out.push_str("\r\nConnection: ");
+    out.push_str(if keep_alive { "keep-alive" } else { "close" });
+    for (name, value) in extra_headers {
+        out.push_str("\r\n");
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+    }
+    out.push_str("\r\n\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /solve HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET /health HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET /health HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn framing_errors_are_typed() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"weird stuff\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/2\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nContent-Length: zz\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nnocolon\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn caps_bound_hostile_requests() {
+        let huge = format!(
+            "POST /solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(HttpError::TooLarge("body"))
+        ));
+        let mut header_bomb = b"GET /x HTTP/1.1\r\n".to_vec();
+        while header_bomb.len() <= MAX_HEADER_BYTES + 8 {
+            header_bomb.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        assert!(matches!(
+            parse(&header_bomb),
+            Err(HttpError::TooLarge("header block"))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_reported_not_hung() {
+        // Cursor ends before Content-Length is satisfied: typed error.
+        let e = parse(b"POST /s HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert!(matches!(e, HttpError::Closed | HttpError::Io(_)), "{e}");
+    }
+
+    #[test]
+    fn responses_carry_framing_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 503, &[("Retry-After", "1")], "{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

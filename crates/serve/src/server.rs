@@ -1,0 +1,353 @@
+//! The network front of the service: one accept thread feeding a
+//! bounded connection queue, a fixed worker pool draining it, and the
+//! robustness fences the ISSUE's contract demands:
+//!
+//! * **Admission control** — a full queue sheds load *with an answer*:
+//!   HTTP 503, a typed `overloaded` body and a `Retry-After` hint, so
+//!   clients back off instead of timing out blind.
+//! * **Panic isolation** — each request runs inside `catch_unwind`; a
+//!   panicking handler (or an injected chaos panic) costs one response
+//!   (`internal_panic`), never the worker thread, never the process.
+//! * **Bounded everything** — socket read/write timeouts, header/body
+//!   caps, and per-request deadlines mean no connection can pin a
+//!   worker forever.
+//!
+//! Chaos integration: the connection loop polls
+//! [`chaos::hit("serve.request")`](pkgrec_trace::chaos::hit) after
+//! reading each request; a `drop` directive severs the connection
+//! mid-flight, which is exactly the fault the integration suite uses
+//! to prove clients observe clean EOF rather than a hung socket.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pkgrec_trace::chaos;
+
+use crate::http::{self, HttpError, Request};
+use crate::service::{Metrics, ServeError, Service};
+
+/// Network-side knobs (the solve-side ones live in
+/// [`ServiceConfig`](crate::service::ServiceConfig)).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878` (port 0 for ephemeral).
+    pub listen: String,
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Connection-queue capacity; beyond it, admission control sheds.
+    pub queue_cap: usize,
+    /// Socket read/write timeout, milliseconds.
+    pub io_timeout_ms: u64,
+    /// The `Retry-After` hint on shed load, milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            io_timeout_ms: 5_000,
+            retry_after_ms: 100,
+        }
+    }
+}
+
+/// The bounded handoff between the accept thread and the workers.
+/// Plain `Mutex` + `Condvar`; poisoning is recovered (`into_inner`)
+/// because the queue state is a `VecDeque` that is valid at every
+/// intermediate step.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueue, or hand the stream back when full/closed — the caller
+    /// owes the peer a 503 in that case.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed || state.conns.len() >= self.cap {
+            return Err(stream);
+        }
+        state.conns.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(conn) = state.conns.pop_front() {
+                return Some(conn);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A running server. Dropping the handle shuts it down; call
+/// [`shutdown`](ServerHandle::shutdown) for an explicit, joined stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service, e.g. to read metrics from tests.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Stop accepting, drain the queue, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        self.queue.close();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Bind and start serving. Returns once the listener is live; the
+/// accept loop and workers run on background threads until
+/// [`ServerHandle::shutdown`].
+pub fn start(config: ServerConfig, service: Service) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.listen)?;
+    let addr = listener.local_addr()?;
+    let service = Arc::new(service);
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnQueue::new(config.queue_cap));
+    let io_timeout = Duration::from_millis(config.io_timeout_ms.max(1));
+
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for _ in 0..config.workers.max(1) {
+        let service = Arc::clone(&service);
+        let queue = Arc::clone(&queue);
+        workers.push(std::thread::spawn(move || {
+            while let Some(stream) = queue.pop() {
+                let _ = stream.set_read_timeout(Some(io_timeout));
+                let _ = stream.set_write_timeout(Some(io_timeout));
+                let _ = stream.set_nodelay(true);
+                serve_connection(&service, stream);
+            }
+        }));
+    }
+
+    let accept = {
+        let service = Arc::clone(&service);
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        let retry_after = config.retry_after_ms;
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if let Err(mut shed) = queue.push(stream) {
+                    // Shed load with an answer, not a silent drop.
+                    Metrics::bump(&service.metrics.rejected_overload);
+                    pkgrec_trace::counter!("serve.rejected.overload");
+                    let err = ServeError::overloaded(retry_after);
+                    let _ = shed.set_write_timeout(Some(Duration::from_millis(250)));
+                    let retry_secs = retry_after.div_ceil(1000).max(1).to_string();
+                    let _ = http::write_response(
+                        &mut shed,
+                        err.status,
+                        &[("Retry-After", retry_secs.as_str())],
+                        &err.body(),
+                        false,
+                    );
+                }
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        service,
+        stop,
+        queue,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+/// Serve one connection until it closes, times out, errs, or a chaos
+/// directive severs it.
+fn serve_connection(service: &Service, mut stream: TcpStream) {
+    loop {
+        let req = match http::read_request(&mut stream) {
+            Ok(req) => req,
+            Err(HttpError::Closed | HttpError::Timeout | HttpError::Io(_)) => return,
+            Err(HttpError::TooLarge(what)) => {
+                Metrics::bump(&service.metrics.rejected_bad_request);
+                pkgrec_trace::counter!("serve.rejected.bad_request");
+                let err = ServeError::new(413, "bad_request", format!("{what} too large"));
+                let _ = http::write_response(&mut stream, err.status, &[], &err.body(), false);
+                return;
+            }
+            Err(HttpError::Malformed(m)) => {
+                Metrics::bump(&service.metrics.rejected_bad_request);
+                pkgrec_trace::counter!("serve.rejected.bad_request");
+                let err = ServeError::new(400, "bad_request", m);
+                // Framing is broken; answering then closing is all we
+                // can do safely.
+                let _ = http::write_response(&mut stream, err.status, &[], &err.body(), false);
+                return;
+            }
+        };
+        // Fault-injection point: `drop@serve.request:N` severs here,
+        // after the read, before any response — the harshest client-
+        // visible failure short of a crash.
+        if chaos::hit("serve.request") {
+            return;
+        }
+        let keep_alive = req.keep_alive;
+        let (status, body) = route(service, &req);
+        if http::write_response(&mut stream, status, &[], &body, keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request. The solve path runs under `catch_unwind`: a
+/// panic — organic or chaos-injected at any `counter!` probe site —
+/// becomes a typed `internal_panic` response and the worker lives on.
+fn route(service: &Service, req: &Request) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/metrics") => (200, service.metrics_json()),
+        ("POST", "/solve") => {
+            match catch_unwind(AssertUnwindSafe(|| service.handle_solve(&req.body))) {
+                Ok(response) => response,
+                Err(payload) => {
+                    Metrics::bump(&service.metrics.worker_panics);
+                    pkgrec_trace::counter!("serve.worker_panics");
+                    let err = ServeError::new(
+                        500,
+                        "internal_panic",
+                        format!("request handler panicked: {}", panic_text(payload.as_ref())),
+                    );
+                    (err.status, err.body())
+                }
+            }
+        }
+        ("POST", _) | ("GET", _) => {
+            let err = ServeError::new(404, "not_found", format!("no route for {}", req.path));
+            (err.status, err.body())
+        }
+        (method, _) => {
+            let err = ServeError::new(405, "bad_request", format!("method {method} not allowed"));
+            (err.status, err.body())
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_sheds_when_full_and_drains_in_order() {
+        let q = ConnQueue::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let b = TcpStream::connect(addr).unwrap();
+        assert!(q.push(a).is_ok());
+        assert!(q.push(b).is_err(), "second conn exceeds cap 1");
+        assert!(q.pop().is_some());
+        q.close();
+        assert!(q.pop().is_none());
+        let c = TcpStream::connect(addr).unwrap();
+        assert!(q.push(c).is_err(), "closed queue refuses work");
+    }
+
+    #[test]
+    fn panic_payload_text_is_extracted() {
+        let p = catch_unwind(|| panic!("boom {}", 1)).unwrap_err();
+        assert_eq!(panic_text(p.as_ref()), "boom 1");
+        let p = catch_unwind(|| panic!("static boom")).unwrap_err();
+        assert_eq!(panic_text(p.as_ref()), "static boom");
+    }
+}

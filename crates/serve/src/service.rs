@@ -1,0 +1,808 @@
+//! The resident solve service: databases stay loaded, prepared
+//! instances (compiled plans + item pools) are cached per
+//! `(db, query, parameters)` key, and each request stamps out an O(1)
+//! [`SearchContext`](pkgrec_core::SearchContext) and runs under its own
+//! [`Budget`]. Degradation is graceful by construction: a deadline that
+//! trips mid-search yields the solver's best-so-far anytime
+//! [`Outcome`](pkgrec_guard::Outcome) — reported with `"exact": false`,
+//! the interruption cause and the live progress estimate — never an
+//! empty 5xx.
+//!
+//! The service owns no sockets; [`server`](crate::server) does framing,
+//! admission control and panic isolation, and calls into here.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pkgrec_core::problems::{cpp, frp, mbp};
+use pkgrec_core::{
+    Budget, CoreError, Ext, Interrupted, Package, PreparedInstance, RecInstance, SearchStats,
+    SizeBound, SolveOptions,
+};
+use pkgrec_data::{Database, Tuple, Value};
+use pkgrec_query::parser::{parse_fo, parse_query};
+use pkgrec_query::Query;
+use pkgrec_trace::json::write_string;
+use pkgrec_trace::{flight, Histogram, TraceReport};
+
+use crate::request::{parse_fn_spec, parse_solve_request, ProblemKind, SolveRequest};
+
+/// Service-level limits. Every request is clamped to them, so a
+/// client can tighten the deadline or parallelism but never exceed
+/// what the operator configured.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Hard wall-clock cap per request, in milliseconds. Requests
+    /// without a `deadline_ms` get exactly this; requests with one get
+    /// `min(deadline_ms, max_deadline_ms)`. Every solve is therefore
+    /// bounded — a hostile query cannot pin a worker forever.
+    pub max_deadline_ms: u64,
+    /// Cap on per-request worker threads.
+    pub max_jobs: usize,
+    /// Prepared-instance cache capacity (entries, FIFO eviction).
+    pub plan_cache_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_deadline_ms: 10_000,
+            max_jobs: 4,
+            plan_cache_cap: 64,
+        }
+    }
+}
+
+/// Counters and latency telemetry, exported by `/metrics`. Plain
+/// atomics: always on, no locks on the count path, readable while the
+/// server is under load.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Solve requests accepted for processing.
+    pub requests: AtomicU64,
+    /// Solve requests answered `"status": "ok"`.
+    pub ok: AtomicU64,
+    /// Connections shed by admission control (queue full).
+    pub rejected_overload: AtomicU64,
+    /// Requests rejected as malformed (framing, JSON, validation).
+    pub rejected_bad_request: AtomicU64,
+    /// Request handlers that panicked and were contained.
+    pub worker_panics: AtomicU64,
+    /// Solves cut off by their budget that returned a partial result.
+    pub deadline_partial: AtomicU64,
+    /// Prepared-instance cache hits.
+    pub plan_cache_hits: AtomicU64,
+    /// Prepared-instance cache misses (compiles).
+    pub plan_cache_misses: AtomicU64,
+    /// Solve latency, microseconds, log₂-bucketed.
+    pub latency_us: Mutex<Histogram>,
+    /// Trace reports absorbed from solves (merged across requests).
+    pub trace: Mutex<TraceReport>,
+}
+
+impl Metrics {
+    /// Increment one counter (relaxed; these are statistics).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A typed service error, carrying the HTTP status and machine-readable
+/// kind the server puts on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable kind: `bad_request`, `parse_error`,
+    /// `unknown_db`, `solve_error`, `worker_panic`, `overloaded`,
+    /// `internal_panic`, `not_found`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// For `overloaded`: when to try again.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ServeError {
+    /// Build an error with no retry hint.
+    pub fn new(status: u16, kind: &'static str, message: impl Into<String>) -> ServeError {
+        ServeError {
+            status,
+            kind,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// The admission-control rejection.
+    pub fn overloaded(retry_after_ms: u64) -> ServeError {
+        ServeError {
+            status: 503,
+            kind: "overloaded",
+            message: "request queue is full".to_string(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
+
+    /// The response body for this error.
+    pub fn body(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"status\":\"error\",\"error\":{\"kind\":\"");
+        out.push_str(self.kind);
+        out.push_str("\",\"message\":");
+        write_string(&mut out, &self.message);
+        if let Some(ms) = self.retry_after_ms {
+            out.push_str(",\"retry_after_ms\":");
+            out.push_str(&ms.to_string());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Cache key: everything that shapes a [`PreparedInstance`]. Two
+/// requests with the same key can share compiled plans and item pool.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    db: String,
+    query: String,
+    cost: String,
+    val: String,
+    /// `budget` as IEEE bits (`None` = unbounded).
+    budget_bits: Option<u64>,
+    k: usize,
+    max_size: Option<usize>,
+}
+
+impl PlanKey {
+    fn of(req: &SolveRequest) -> PlanKey {
+        PlanKey {
+            db: req.db.clone(),
+            query: req.query.clone(),
+            cost: req.cost.clone(),
+            val: req.val.clone(),
+            budget_bits: req.budget.map(f64::to_bits),
+            k: req.k,
+            max_size: req.max_size,
+        }
+    }
+}
+
+/// FIFO-bounded cache of prepared instances.
+#[derive(Debug, Default)]
+struct PlanCache {
+    map: HashMap<PlanKey, Arc<PreparedInstance>>,
+    order: VecDeque<PlanKey>,
+}
+
+/// The resident service state shared by every worker thread.
+#[derive(Debug)]
+pub struct Service {
+    config: ServiceConfig,
+    dbs: BTreeMap<String, Arc<Database>>,
+    plans: Mutex<PlanCache>,
+    /// Telemetry; public so the server can stamp admission-control and
+    /// panic counters on the same ledger `/metrics` reads.
+    pub metrics: Metrics,
+}
+
+impl Service {
+    /// An empty service with the given limits.
+    pub fn new(config: ServiceConfig) -> Service {
+        Service {
+            config,
+            dbs: BTreeMap::new(),
+            plans: Mutex::new(PlanCache::default()),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Register a resident database under `name` (before serving).
+    pub fn add_db(&mut self, name: impl Into<String>, db: impl Into<Arc<Database>>) {
+        self.dbs.insert(name.into(), db.into());
+    }
+
+    /// Names of the resident databases.
+    pub fn db_names(&self) -> Vec<&str> {
+        self.dbs.keys().map(String::as_str).collect()
+    }
+
+    /// Handle one `/solve` body end to end: decode, solve under a
+    /// clamped budget, encode. Returns `(http_status, response_body)`;
+    /// every failure mode is a typed error body.
+    pub fn handle_solve(&self, body: &[u8]) -> (u16, String) {
+        let started = std::time::Instant::now();
+        pkgrec_trace::counter!("serve.requests");
+        let req = match parse_solve_request(body) {
+            Ok(req) => req,
+            Err(e) => {
+                Metrics::bump(&self.metrics.rejected_bad_request);
+                pkgrec_trace::counter!("serve.rejected.bad_request");
+                let err = ServeError::new(400, "bad_request", e.message);
+                return (err.status, err.body());
+            }
+        };
+        Metrics::bump(&self.metrics.requests);
+        let result = self.solve(&req);
+        let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.metrics
+            .latency_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(elapsed_us);
+        match result {
+            Ok(body) => {
+                Metrics::bump(&self.metrics.ok);
+                (200, body)
+            }
+            Err(err) => {
+                if err.status == 400 {
+                    Metrics::bump(&self.metrics.rejected_bad_request);
+                    pkgrec_trace::counter!("serve.rejected.bad_request");
+                }
+                (err.status, err.body())
+            }
+        }
+    }
+
+    /// Solve a validated request.
+    pub fn solve(&self, req: &SolveRequest) -> Result<String, ServeError> {
+        let prepared = self.prepared(req)?;
+        let budget = self.budget_for(req);
+        let jobs = req.jobs.min(self.config.max_jobs).max(1);
+        let opts = SolveOptions::with_budget(budget).with_jobs(jobs);
+        // Collect this solve's trace so `/metrics` can report merged
+        // counters/spans across requests; enable() nests refcounted, so
+        // concurrent requests and an operator-enabled trace compose.
+        let _trace = pkgrec_trace::scoped();
+        pkgrec_trace::reset();
+        let solved = match req.problem {
+            ProblemKind::Eval => Ok(render_eval(&prepared)),
+            ProblemKind::TopK => {
+                let ctx = prepared.context();
+                frp::top_k_in(&ctx, &opts).map(|out| {
+                    self.note_partial(&out);
+                    let val = prepared.instance().val.clone();
+                    render_outcome(req, out.map(|v| TopkResult { found: v, val }))
+                })
+            }
+            ProblemKind::Bound => {
+                let ctx = prepared.context();
+                mbp::maximum_bound_in(&ctx, &opts).map(|out| {
+                    self.note_partial(&out);
+                    render_outcome(req, out)
+                })
+            }
+            ProblemKind::Count => {
+                let ctx = prepared.context();
+                let bound = req.min_val.map_or(Ext::NegInf, Ext::from);
+                cpp::count_valid_in(&ctx, bound, &opts).map(|out| {
+                    self.note_partial(&out);
+                    render_outcome(req, out)
+                })
+            }
+        };
+        let report = pkgrec_trace::take();
+        self.metrics
+            .trace
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&report);
+        solved.map_err(solve_error)
+    }
+
+    /// The effective budget: the server's deadline cap, tightened by
+    /// the request's own deadline and optional step limit.
+    fn budget_for(&self, req: &SolveRequest) -> Budget {
+        let ms = req
+            .deadline_ms
+            .map_or(self.config.max_deadline_ms, |d| {
+                d.min(self.config.max_deadline_ms)
+            });
+        let budget = Budget::with_timeout(Duration::from_millis(ms));
+        match req.steps {
+            Some(s) => budget.steps(s),
+            None => budget,
+        }
+    }
+
+    /// Fetch or build the prepared instance for a request.
+    fn prepared(&self, req: &SolveRequest) -> Result<Arc<PreparedInstance>, ServeError> {
+        let db = self.dbs.get(&req.db).ok_or_else(|| {
+            ServeError::new(
+                404,
+                "unknown_db",
+                format!(
+                    "no resident database `{}` (have: {})",
+                    req.db,
+                    self.db_names().join(", ")
+                ),
+            )
+        })?;
+        let key = PlanKey::of(req);
+        {
+            let plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(hit) = plans.map.get(&key) {
+                Metrics::bump(&self.metrics.plan_cache_hits);
+                pkgrec_trace::counter!("serve.plan_cache_hits");
+                return Ok(Arc::clone(hit));
+            }
+        }
+        // Compile outside the lock: a slow compile must not stall
+        // cache hits on other workers.
+        Metrics::bump(&self.metrics.plan_cache_misses);
+        pkgrec_trace::counter!("serve.plan_cache_misses");
+        let query = load_query(&req.query)?;
+        let mut inst = RecInstance::new(Arc::clone(db), query)
+            .with_cost(parse_fn_spec(&req.cost).map_err(|e| bad_request(e.message))?)
+            .with_val(parse_fn_spec(&req.val).map_err(|e| bad_request(e.message))?)
+            .with_k(req.k);
+        if let Some(budget) = req.budget {
+            inst = inst.with_budget(budget);
+        }
+        if let Some(cap) = req.max_size {
+            inst = inst.with_size_bound(SizeBound::Constant(cap));
+        }
+        let prepared = Arc::new(PreparedInstance::new(inst).map_err(solve_error)?);
+        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        if !plans.map.contains_key(&key) {
+            while plans.order.len() >= self.config.plan_cache_cap {
+                if let Some(old) = plans.order.pop_front() {
+                    plans.map.remove(&old);
+                }
+            }
+            plans.order.push_back(key.clone());
+            plans.map.insert(key, Arc::clone(&prepared));
+        }
+        Ok(prepared)
+    }
+
+    /// Number of prepared instances currently cached.
+    pub fn plans_cached(&self) -> usize {
+        self.plans.lock().unwrap_or_else(|e| e.into_inner()).map.len()
+    }
+
+    /// The `/metrics` response body.
+    pub fn metrics_json(&self) -> String {
+        let m = &self.metrics;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"serve\":{");
+        let counters = [
+            ("requests", &m.requests),
+            ("ok", &m.ok),
+            ("rejected_overload", &m.rejected_overload),
+            ("rejected_bad_request", &m.rejected_bad_request),
+            ("worker_panics", &m.worker_panics),
+            ("deadline_partial", &m.deadline_partial),
+            ("plan_cache_hits", &m.plan_cache_hits),
+            ("plan_cache_misses", &m.plan_cache_misses),
+        ];
+        for (i, (name, counter)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&counter.load(Ordering::Relaxed).to_string());
+        }
+        out.push_str("},\"latency_us\":");
+        {
+            let h = m.latency_us.lock().unwrap_or_else(|e| e.into_inner());
+            write_latency(&mut out, &h);
+        }
+        out.push_str(",\"plans_cached\":");
+        out.push_str(&self.plans_cached().to_string());
+        out.push_str(",\"dbs\":[");
+        for (i, name) in self.db_names().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(&mut out, name);
+        }
+        out.push_str("],\"flight\":{\"enabled\":");
+        out.push_str(if flight::is_enabled() { "true" } else { "false" });
+        out.push_str(",\"capacity\":");
+        out.push_str(&flight::capacity().to_string());
+        out.push_str("},\"trace\":");
+        {
+            let report = m.trace.lock().unwrap_or_else(|e| e.into_inner());
+            report.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Note a partial (budget-cut) solve on the metrics ledger, so
+    /// every problem kind counts degradations uniformly.
+    fn note_partial<T>(&self, out: &pkgrec_guard::Outcome<T, SearchStats>) {
+        if !out.exact {
+            Metrics::bump(&self.metrics.deadline_partial);
+            pkgrec_trace::counter!("serve.deadline_partial");
+        }
+    }
+}
+
+/// Histogram summary with approximate percentiles. Buckets are log₂,
+/// so p50/p99 are lower bounds of the bucket the quantile falls in —
+/// good enough to see orders of magnitude, cheap enough to always keep.
+fn write_latency(out: &mut String, h: &Histogram) {
+    out.push_str("{\"count\":");
+    out.push_str(&h.count.to_string());
+    out.push_str(",\"min\":");
+    out.push_str(&h.min.to_string());
+    out.push_str(",\"mean\":");
+    out.push_str(&h.mean().to_string());
+    out.push_str(",\"max\":");
+    out.push_str(&h.max.to_string());
+    out.push_str(",\"p50\":");
+    out.push_str(&approx_percentile(h, 0.50).to_string());
+    out.push_str(",\"p99\":");
+    out.push_str(&approx_percentile(h, 0.99).to_string());
+    out.push('}');
+}
+
+fn approx_percentile(h: &Histogram, q: f64) -> u64 {
+    if h.count == 0 {
+        return 0;
+    }
+    let rank = ((h.count as f64) * q).ceil() as u64;
+    let mut seen = 0u64;
+    for (bucket, &n) in h.buckets.iter().enumerate() {
+        seen += n;
+        if n > 0 && seen >= rank {
+            return if bucket == 0 { 0 } else { 1u64 << (bucket - 1) };
+        }
+    }
+    h.max
+}
+
+fn bad_request(message: impl Into<String>) -> ServeError {
+    ServeError::new(400, "bad_request", message)
+}
+
+/// Map a solver error onto the wire: a contained worker panic keeps
+/// its own kind (it is the robustness contract's receipt), everything
+/// else is a `solve_error` with the solver's message.
+fn solve_error(e: CoreError) -> ServeError {
+    match e {
+        CoreError::WorkerPanic { .. } => ServeError::new(500, "worker_panic", e.to_string()),
+        other => ServeError::new(422, "solve_error", other.to_string()),
+    }
+}
+
+/// Parse `Q` the way the CLI does: rule form first, FO fallback.
+fn load_query(src: &str) -> Result<Query, ServeError> {
+    match parse_query(src) {
+        Ok(q) => Ok(q),
+        Err(rule_err) => parse_fo(src).map_err(|fo_err| {
+            ServeError::new(
+                400,
+                "parse_error",
+                format!("query parses neither as rules ({rule_err}) nor as FO ({fo_err})"),
+            )
+        }),
+    }
+}
+
+// ---- response rendering ---------------------------------------------
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Str(s) => write_string(out, s),
+    }
+}
+
+fn write_tuple(out: &mut String, t: &Tuple) {
+    out.push('[');
+    for (i, v) in t.values().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_value(out, v);
+    }
+    out.push(']');
+}
+
+fn write_ext(out: &mut String, e: Ext) {
+    match e {
+        Ext::NegInf => out.push_str("\"-inf\""),
+        Ext::PosInf => out.push_str("\"+inf\""),
+        Ext::Finite(x) => out.push_str(&format_f64(x)),
+    }
+}
+
+/// A finite f64 as JSON. `{}` prints integral values without a dot
+/// (`5`), which is still a valid JSON number and round-trips.
+fn format_f64(x: f64) -> String {
+    format!("{x}")
+}
+
+/// `topk`'s renderable value: packages plus the rating function to
+/// label each with its `val`.
+struct TopkResult {
+    found: Option<Vec<Package>>,
+    val: pkgrec_core::PackageFn,
+}
+
+/// How each problem's value renders into the `result` field.
+trait RenderResult {
+    fn render(&self, out: &mut String);
+}
+
+impl RenderResult for TopkResult {
+    fn render(&self, out: &mut String) {
+        let Some(packages) = &self.found else {
+            out.push_str("null");
+            return;
+        };
+        out.push('[');
+        for (i, p) in packages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"items\":[");
+            for (j, t) in p.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write_tuple(out, t);
+            }
+            out.push_str("],\"val\":");
+            write_ext(out, self.val.eval(p));
+            out.push('}');
+        }
+        out.push(']');
+    }
+}
+
+impl RenderResult for Option<Ext> {
+    fn render(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(e) => write_ext(out, *e),
+        }
+    }
+}
+
+impl RenderResult for u128 {
+    fn render(&self, out: &mut String) {
+        // Raw digits: u128 exceeds f64's exact range, so the count is
+        // written as a JSON number verbatim, never rounded.
+        out.push_str(&self.to_string());
+    }
+}
+
+fn write_interrupted(out: &mut String, cut: Option<&Interrupted>, stats: &SearchStats) {
+    match cut {
+        None => out.push_str("null"),
+        Some(cut) => {
+            out.push_str("{\"resource\":");
+            write_string(out, cut.resource.label());
+            out.push_str(",\"steps\":");
+            out.push_str(&cut.steps.to_string());
+            out.push_str(",\"progress\":");
+            match stats.progress_at_interrupt {
+                Some(p) => out.push_str(&format_f64(p)),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_outcome<T: RenderResult>(
+    req: &SolveRequest,
+    out: pkgrec_guard::Outcome<T, SearchStats>,
+) -> String {
+    let mut body = String::with_capacity(256);
+    body.push_str("{\"status\":\"ok\",\"problem\":\"");
+    body.push_str(req.problem.name());
+    body.push_str("\",\"exact\":");
+    body.push_str(if out.exact { "true" } else { "false" });
+    body.push_str(",\"interrupted\":");
+    write_interrupted(&mut body, out.interrupted.as_ref(), &out.stats);
+    body.push_str(",\"result\":");
+    out.value.render(&mut body);
+    body.push_str(",\"stats\":{\"packages_enumerated\":");
+    body.push_str(&out.stats.packages_enumerated.to_string());
+    body.push_str(",\"valid_packages\":");
+    body.push_str(&out.stats.valid_packages.to_string());
+    body.push_str("}}");
+    body
+}
+
+/// `eval` answers straight from the prepared item pool — exact by
+/// construction (the pool was materialized at prepare time).
+fn render_eval(prepared: &PreparedInstance) -> String {
+    let ctx = prepared.context();
+    let items = ctx.items();
+    let mut body = String::with_capacity(64 + items.len() * 16);
+    body.push_str(
+        "{\"status\":\"ok\",\"problem\":\"eval\",\"exact\":true,\"interrupted\":null,\"result\":[",
+    );
+    for (i, t) in items.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        write_tuple(&mut body, t);
+    }
+    body.push_str("],\"stats\":{\"items\":");
+    body.push_str(&items.len().to_string());
+    body.push_str("}}");
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgrec_data::{AttrType, Relation, RelationSchema};
+    use pkgrec_trace::json::{self, Json};
+
+    fn service() -> Service {
+        let schema =
+            RelationSchema::new("item", [("id", AttrType::Int), ("price", AttrType::Int)])
+                .unwrap();
+        let rel = Relation::from_tuples(
+            schema,
+            [
+                Tuple::new(vec![Value::Int(1), Value::Int(10)]),
+                Tuple::new(vec![Value::Int(2), Value::Int(20)]),
+                Tuple::new(vec![Value::Int(3), Value::Int(30)]),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_relation(rel).unwrap();
+        let mut svc = Service::new(ServiceConfig::default());
+        svc.add_db("shop", db);
+        svc
+    }
+
+    fn solve_body(body: &str) -> (u16, json::Json) {
+        let svc = service();
+        let (status, body) = svc.handle_solve(body.as_bytes());
+        (status, json::parse(&body).expect("response is valid JSON"))
+    }
+
+    #[test]
+    fn topk_solves_and_reports_exact() {
+        let (status, resp) = solve_body(
+            r#"{"db":"shop","problem":"topk","query":"q(x, p) :- item(x, p).",
+                "val":"negsum:1","max_size":2,"k":1}"#,
+        );
+        assert_eq!(status, 200, "{resp:?}");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(resp.get("exact").and_then(Json::as_bool), Some(true));
+        let result = resp.get("result").and_then(Json::as_array).unwrap();
+        assert_eq!(result.len(), 1);
+        // Best package by -sum(price): the empty package (val 0).
+        let items = result[0].get("items").and_then(Json::as_array).unwrap();
+        assert_eq!(items.len(), 0);
+        assert_eq!(result[0].get("val").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn count_renders_u128_and_bound_renders_ext() {
+        let (status, resp) = solve_body(
+            r#"{"db":"shop","problem":"count","query":"q(x, p) :- item(x, p).","max_size":3}"#,
+        );
+        assert_eq!(status, 200);
+        // All subsets of 3 items, empty package included: 8.
+        assert_eq!(resp.get("result").and_then(Json::as_u64), Some(8));
+
+        let (status, resp) = solve_body(
+            r#"{"db":"shop","problem":"bound","query":"q(x, p) :- item(x, p).","max_size":2}"#,
+        );
+        assert_eq!(status, 200);
+        assert_eq!(resp.get("result").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn eval_returns_the_item_pool() {
+        let (status, resp) =
+            solve_body(r#"{"db":"shop","problem":"eval","query":"q(x, p) :- item(x, p)."}"#);
+        assert_eq!(status, 200);
+        let rows = resp.get("result").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn typed_errors_for_unknown_db_bad_query_and_bad_payload() {
+        let svc = service();
+        let (status, body) =
+            svc.handle_solve(br#"{"db":"nope","problem":"eval","query":"q(x) :- item(x, p)."}"#);
+        assert_eq!(status, 404);
+        let resp = json::parse(&body).unwrap();
+        assert_eq!(
+            resp.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("unknown_db")
+        );
+
+        let (status, body) =
+            svc.handle_solve(br#"{"db":"shop","problem":"eval","query":"q(x :-"}"#);
+        assert_eq!(status, 400);
+        let resp = json::parse(&body).unwrap();
+        assert_eq!(
+            resp.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("parse_error")
+        );
+
+        let (status, body) = svc.handle_solve(b"{broken json");
+        assert_eq!(status, 400);
+        let resp = json::parse(&body).unwrap();
+        assert_eq!(
+            resp.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("bad_request")
+        );
+        assert_eq!(svc.metrics.rejected_bad_request.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn deadline_cut_returns_partial_not_error() {
+        let svc = service();
+        // A 1-step budget cannot finish 7 packages: expect a partial.
+        let (status, body) = svc.handle_solve(
+            br#"{"db":"shop","problem":"count","query":"q(x, p) :- item(x, p).",
+                 "max_size":3,"steps":1}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        let resp = json::parse(&body).unwrap();
+        assert_eq!(resp.get("exact").and_then(Json::as_bool), Some(false));
+        let cut = resp.get("interrupted").unwrap();
+        assert_eq!(cut.get("resource").and_then(Json::as_str), Some("steps"));
+        assert!(resp.get("result").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_and_is_bounded() {
+        let mut svc = service();
+        svc.config.plan_cache_cap = 2;
+        let body = br#"{"db":"shop","problem":"count","query":"q(x, p) :- item(x, p).","max_size":2}"#;
+        svc.handle_solve(body);
+        svc.handle_solve(body);
+        assert_eq!(svc.metrics.plan_cache_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(svc.metrics.plan_cache_hits.load(Ordering::Relaxed), 1);
+        // Distinct max_size values are distinct keys; cap 2 evicts FIFO.
+        svc.handle_solve(br#"{"db":"shop","problem":"count","query":"q(x, p) :- item(x, p).","max_size":1}"#);
+        svc.handle_solve(br#"{"db":"shop","problem":"count","query":"q(x, p) :- item(x, p).","max_size":3}"#);
+        assert_eq!(svc.plans_cached(), 2);
+    }
+
+    #[test]
+    fn metrics_json_is_valid_json() {
+        let svc = service();
+        svc.handle_solve(br#"{"db":"shop","problem":"eval","query":"q(x, p) :- item(x, p)."}"#);
+        let m = svc.metrics_json();
+        let parsed = json::parse(&m).expect("metrics must be valid JSON");
+        assert_eq!(
+            parsed
+                .get("serve")
+                .and_then(|s| s.get("requests"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(parsed.get("latency_us").is_some());
+        assert!(parsed.get("trace").is_some());
+    }
+
+    #[test]
+    fn percentiles_come_from_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(approx_percentile(&h, 0.5), 0);
+        for v in [1u64, 2, 4, 100] {
+            h.record(v);
+        }
+        assert!(approx_percentile(&h, 0.5) <= 4);
+        assert!(approx_percentile(&h, 0.99) >= 64);
+    }
+}

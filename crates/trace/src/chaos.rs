@@ -1,0 +1,282 @@
+//! Deterministic fault injection for robustness tests, piggybacking on
+//! the trace probe sites: every [`counter!`](crate::counter) call is a
+//! potential fault site, keyed by its counter name, and servers can
+//! declare extra sites explicitly with [`hit`].
+//!
+//! A chaos spec is a comma-separated list of directives:
+//!
+//! ```text
+//! panic@enumerate.nodes:100        # panic at the 100th hit of the site
+//! delay@serve.requests:3:250       # sleep 250 ms at the 3rd hit
+//! drop@serve.requests:2            # tell the caller to drop (serve closes the socket)
+//! ```
+//!
+//! Faults are **deterministic**: each site has its own hit counter and
+//! a directive fires exactly once, at the Nth hit, so a failing run
+//! replays bit-identically. The harness is armed either from the
+//! `PKGREC_CHAOS` environment variable (read once, at the first probe)
+//! or programmatically with [`arm`] — tests prefer the latter plus
+//! [`disarm`], serialized, because the configuration is process-global.
+//!
+//! Cost while disarmed: the `Once` completion check plus one relaxed
+//! atomic load per probe — no lock, no allocation — so production
+//! solves do not pay for the harness they don't use.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static CONFIG: Mutex<Option<Config>> = Mutex::new(None);
+
+/// What a directive does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Panic at the site (exercises the catch_unwind fences).
+    Panic,
+    /// Sleep this many milliseconds (exercises deadlines).
+    DelayMs(u64),
+    /// Report `true` from [`hit`] so the caller severs its connection.
+    Drop,
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    site: String,
+    /// 1-based hit number at which the rule fires, exactly once.
+    at: u64,
+    action: Action,
+}
+
+#[derive(Debug, Default)]
+struct Config {
+    rules: Vec<Rule>,
+    /// Hits so far per site (all sites count, rule or not, so `at`
+    /// refers to the site's own deterministic sequence).
+    counts: HashMap<String, u64>,
+}
+
+fn parse_rule(s: &str) -> Result<Rule, String> {
+    let (kind, rest) = s
+        .split_once('@')
+        .ok_or_else(|| format!("`{s}`: expected `kind@site:n`"))?;
+    let parse_n = |n: &str| {
+        n.parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("`{s}`: hit number must be a positive integer"))
+    };
+    match kind {
+        "panic" | "drop" => {
+            let (site, n) = rest
+                .rsplit_once(':')
+                .ok_or_else(|| format!("`{s}`: expected `{kind}@site:n`"))?;
+            Ok(Rule {
+                site: site.to_string(),
+                at: parse_n(n)?,
+                action: if kind == "panic" {
+                    Action::Panic
+                } else {
+                    Action::Drop
+                },
+            })
+        }
+        "delay" => {
+            let (head, ms) = rest
+                .rsplit_once(':')
+                .ok_or_else(|| format!("`{s}`: expected `delay@site:n:ms`"))?;
+            let (site, n) = head
+                .rsplit_once(':')
+                .ok_or_else(|| format!("`{s}`: expected `delay@site:n:ms`"))?;
+            Ok(Rule {
+                site: site.to_string(),
+                at: parse_n(n)?,
+                action: Action::DelayMs(
+                    ms.parse::<u64>()
+                        .map_err(|_| format!("`{s}`: delay must be milliseconds"))?,
+                ),
+            })
+        }
+        other => Err(format!("`{s}`: unknown chaos kind `{other}`")),
+    }
+}
+
+/// Arm the harness with a chaos spec (see the module docs for the
+/// grammar). Replaces any previous configuration and resets every
+/// site's hit counter, so each `arm` starts a fresh deterministic run.
+pub fn arm(spec: &str) -> Result<(), String> {
+    // Consume the one-shot env arming first: an explicit arm() must
+    // replace `PKGREC_CHAOS`, not be clobbered by it when the next
+    // probe happens to be the process's first.
+    env_init();
+    arm_spec(spec)
+}
+
+fn arm_spec(spec: &str) -> Result<(), String> {
+    let rules = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_rule)
+        .collect::<Result<Vec<_>, _>>()?;
+    if rules.is_empty() {
+        return Err("empty chaos spec".to_string());
+    }
+    let mut guard = CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(Config {
+        rules,
+        counts: HashMap::new(),
+    });
+    ARMED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Disarm the harness and drop its configuration.
+pub fn disarm() {
+    env_init();
+    ARMED.store(false, Ordering::Relaxed);
+    *CONFIG.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Whether any chaos directives are currently armed.
+pub fn armed() -> bool {
+    env_init();
+    ARMED.load(Ordering::Relaxed)
+}
+
+fn env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("PKGREC_CHAOS") {
+            if !spec.trim().is_empty() {
+                if let Err(e) = arm_spec(&spec) {
+                    eprintln!("PKGREC_CHAOS ignored: {e}");
+                }
+            }
+        }
+    });
+}
+
+/// Register one hit of a fault site. Fires any directive scheduled for
+/// this exact hit: panics and delays happen here; a `drop` directive is
+/// reported as `true` so the caller (the server's connection loop) can
+/// sever the connection. Called automatically by every
+/// [`counter!`](crate::counter) probe; callers with sites of their own
+/// (e.g. `serve.requests`) call it directly and honor the bool.
+#[inline]
+pub fn hit(site: &str) -> bool {
+    env_init();
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    hit_slow(site)
+}
+
+#[cold]
+fn hit_slow(site: &str) -> bool {
+    let mut panic_now = None;
+    let mut delay = None;
+    let mut drop_now = false;
+    {
+        let mut guard = CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(cfg) = guard.as_mut() else {
+            return false;
+        };
+        let count = cfg.counts.entry(site.to_string()).or_insert(0);
+        *count += 1;
+        let n = *count;
+        for rule in &cfg.rules {
+            if rule.site == site && rule.at == n {
+                match rule.action {
+                    Action::Panic => panic_now = Some(n),
+                    Action::DelayMs(ms) => delay = Some(ms),
+                    Action::Drop => drop_now = true,
+                }
+            }
+        }
+        // The lock is released before any side effect: a panic must not
+        // poison the config, and a delay must not stall other sites.
+    }
+    if let Some(ms) = delay {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = panic_now {
+        panic!("chaos: injected panic at `{site}` (hit {n})");
+    }
+    drop_now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chaos state is process-global; every test takes this lock so
+    /// parallel test threads never see each other's directives.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spec_parse_errors_are_reported() {
+        for bad in [
+            "",
+            "explode@x:1",
+            "panic@x",
+            "panic@x:0",
+            "panic@x:abc",
+            "delay@x:1",
+            "delay@x:1:fast",
+        ] {
+            assert!(arm(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn panic_fires_exactly_once_at_the_nth_hit() {
+        let _s = serial();
+        arm("panic@test.site:3").unwrap();
+        assert!(!hit("test.site"));
+        assert!(!hit("other.site"));
+        assert!(!hit("test.site"));
+        let r = std::panic::catch_unwind(|| hit("test.site"));
+        let msg = *r.expect_err("3rd hit panics").downcast::<String>().unwrap();
+        assert!(msg.contains("test.site"), "{msg}");
+        // Hit 4 and beyond: quiet again.
+        assert!(!hit("test.site"));
+        disarm();
+        assert!(!armed());
+    }
+
+    #[test]
+    fn drop_is_reported_to_the_caller() {
+        let _s = serial();
+        arm("drop@conn.site:2, delay@conn.site:1:0").unwrap();
+        assert!(!hit("conn.site")); // delay of 0 ms: fires, no drop
+        assert!(hit("conn.site"));
+        assert!(!hit("conn.site"));
+        disarm();
+    }
+
+    #[test]
+    fn rearming_resets_hit_counters() {
+        let _s = serial();
+        arm("drop@re.site:1").unwrap();
+        assert!(hit("re.site"));
+        arm("drop@re.site:1").unwrap();
+        assert!(hit("re.site"), "fresh arm restarts the sequence");
+        disarm();
+    }
+
+    #[test]
+    fn counter_probes_are_chaos_sites() {
+        let _s = serial();
+        arm("panic@probe.site:1").unwrap();
+        // Tracing disabled: the hook still fires before the enabled
+        // check, so chaos does not depend on tracing being on.
+        let r = std::panic::catch_unwind(|| crate::add_counter("probe.site", 1));
+        assert!(r.is_err(), "counter probe must trip the directive");
+        disarm();
+    }
+}

@@ -1,8 +1,18 @@
 //! Minimal JSON support: a string writer used by the report
-//! serializer, and a recursive-descent validator used by the
-//! [`jsonl_check`](../bin/jsonl_check.rs) tool and the CI smoke test.
-//! Both are dependency-free by design — this crate must not pull a
-//! serde stack into every solver crate that reports into it.
+//! serializer, a recursive-descent validator used by the
+//! [`jsonl_check`](../bin/jsonl_check.rs) tool and the CI smoke test,
+//! and a tree parser ([`parse`]) used by the resident server to decode
+//! request bodies. All are dependency-free by design — this crate must
+//! not pull a serde stack into every solver crate that reports into it.
+//!
+//! Both the validator and the parser enforce a nesting-depth limit
+//! ([`MAX_DEPTH`]): they face adversarial input (network bodies, files
+//! on disk), and unbounded recursion on `[[[[…` would abort the whole
+//! process via stack overflow — precisely the failure mode the server's
+//! robustness contract rules out.
+
+/// Maximum nesting depth accepted by [`validate`] and [`parse`].
+pub const MAX_DEPTH: usize = 512;
 
 /// Append `s` to `out` as a JSON string literal (quoted, escaped).
 pub fn write_string(out: &mut String, s: &str) {
@@ -31,6 +41,7 @@ pub fn validate(input: &str) -> Result<(), String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     p.value()?;
@@ -39,6 +50,107 @@ pub fn validate(input: &str) -> Result<(), String> {
         return Err(p.err("trailing characters after JSON value"));
     }
     Ok(())
+}
+
+/// A parsed JSON value. Objects keep their key order in a `Vec` (the
+/// payloads the server decodes are small, so linear [`Json::get`] beats
+/// hashing), and numbers are `f64` as in JSON itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if it is one exactly (no fraction, no
+    /// sign, in range).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n <= u64::MAX as f64 && n.fract() == 0.0 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The number as an `i64`, if it is one exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        let n = self.as_f64()?;
+        if (i64::MIN as f64..=i64::MAX as f64).contains(&n) && n.fract() == 0.0 {
+            Some(n as i64)
+        } else {
+            None
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `input` as exactly one JSON value (any trailing non-whitespace
+/// is an error), decoding string escapes. Returns a position-annotated
+/// message on failure; nesting beyond [`MAX_DEPTH`] is rejected rather
+/// than recursed into.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
 }
 
 /// Check that `input` is one JSON **object** (the JSONL record shape
@@ -54,11 +166,23 @@ pub fn validate_object(input: &str) -> Result<(), String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, msg: &str) -> String {
         format!("{msg} at byte {}", self.pos)
+    }
+
+    /// Enter one nesting level; errors past [`MAX_DEPTH`] instead of
+    /// recursing toward a stack overflow.
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than the 512-level limit"));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -103,10 +227,12 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<(), String> {
+        self.enter()?;
         self.expect(b'{')?;
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(());
         }
         loop {
@@ -121,6 +247,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(());
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -129,10 +256,12 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<(), String> {
+        self.enter()?;
         self.expect(b'[')?;
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(());
         }
         loop {
@@ -143,11 +272,201 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(());
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
             }
         }
+    }
+
+    // ---- tree-building twins of the validating methods above ----
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Json::Str),
+            Some(b't') => self.literal("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    /// Four hex digits of a `\u` escape as a code unit.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut unit = 0u32;
+        for _ in 0..4 {
+            match self.peek() {
+                Some(c) if c.is_ascii_hexdigit() => {
+                    unit = unit * 16 + (c as char).to_digit(16).expect("hex digit");
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("bad \\u escape")),
+            }
+        }
+        Ok(unit)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut run_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(&String::from_utf8_lossy(&self.bytes[run_start..self.pos]));
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&String::from_utf8_lossy(&self.bytes[run_start..self.pos]));
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => {
+                            out.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'/') => {
+                            out.push('/');
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{8}');
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{c}');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: pair it with a
+                                // following `\uXXXX` low surrogate, or
+                                // decode lone halves to U+FFFD.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    let mark = self.pos;
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        let cp = 0x10000
+                                            + ((unit - 0xD800) << 10)
+                                            + (low - 0xDC00);
+                                        char::from_u32(cp).unwrap_or('\u{FFFD}')
+                                    } else {
+                                        // Not a low surrogate: rewind so
+                                        // the escape decodes on its own.
+                                        self.pos = mark;
+                                        '\u{FFFD}'
+                                    }
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                '\u{FFFD}'
+                            } else {
+                                char::from_u32(unit).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    run_start = self.pos;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        self.number()?;
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-UTF-8 number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("number out of range"))
     }
 
     fn string(&mut self) -> Result<(), String> {
@@ -280,5 +599,57 @@ mod tests {
         validate_object("{\"a\":1}").expect("object ok");
         assert!(validate_object("[1]").is_err());
         assert!(validate_object("42").is_err());
+    }
+
+    #[test]
+    fn parse_builds_the_tree() {
+        let v = parse("{\"a\":[1,2.5,{\"b\":null}],\"c\":\"x\",\"t\":true}").unwrap();
+        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("t").and_then(Json::as_bool), Some(true));
+        let arr = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[0].as_i64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[1].as_u64(), None);
+        assert_eq!(arr[2].get("b"), Some(&Json::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_decodes_escapes() {
+        let v = parse(r#""a\n\t\"\\\/éA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"\\/éA"));
+        // Surrogate pair → one astral char; lone halves → U+FFFD.
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap().as_str(), Some("😀"));
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        assert_eq!(parse(r#""\ud83dx""#).unwrap().as_str(), Some("\u{FFFD}x"));
+        assert_eq!(parse(r#""\ude00""#).unwrap().as_str(), Some("\u{FFFD}"));
+        // Writer → parser round-trips.
+        let mut out = String::new();
+        write_string(&mut out, "a\"b\\c\nd\u{1}é😀");
+        assert_eq!(parse(&out).unwrap().as_str(), Some("a\"b\\c\nd\u{1}é😀"));
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["", "{", "[1,]", "\"unterminated", "{} trailing", "1e"] {
+            assert!(parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn depth_limit_stops_adversarial_nesting() {
+        // One past the limit fails — in both the validator and the
+        // parser — instead of aborting the process by stack overflow.
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        validate(&deep_ok).expect("at the limit is fine");
+        parse(&deep_ok).expect("at the limit is fine");
+        let too_deep = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(validate(&too_deep).is_err());
+        assert!(parse(&too_deep).is_err());
+        // Unclosed nesting (the fuzzer's favourite) is also bounded.
+        let unclosed = "[".repeat(100_000);
+        assert!(validate(&unclosed).is_err());
+        assert!(parse(&unclosed).is_err());
     }
 }

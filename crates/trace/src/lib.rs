@@ -63,11 +63,19 @@
 //! | `enumerate.pruned.budget` | core | walks cut short by the resource budget |
 //! | `enumerate.pruned.floor` | core | parallel units discarded above the merge floor |
 //! | `enumerate.valid` | core | packages passing all validity checks |
+//! | `enumerate.worker_panics` | core | search-unit panics caught and converted to typed errors |
 //! | `core.arity_derivations` | core | query answer-arity derivations (O(1) per search) |
 //! | `frp.candidate_inserts` | core | top-k working-set insertions |
 //! | `qrpp.relaxations` | relax | relaxation candidates tried |
 //! | `arpp.adjustments` | adjust | adjustment candidates tried |
 //! | `guard.interrupted` | guard | budget interruptions raised |
+//! | `serve.requests` | serve | HTTP requests accepted for processing |
+//! | `serve.rejected.overload` | serve | requests shed by admission control |
+//! | `serve.rejected.bad_request` | serve | malformed requests answered with a typed error |
+//! | `serve.worker_panics` | serve | request-handler panics caught at the worker fence |
+//! | `serve.deadline_partial` | serve | responses returned best-so-far at a deadline |
+//! | `serve.plan_cache_hits` | serve | solve requests served from the prepared-plan cache |
+//! | `serve.plan_cache_misses` | serve | solve requests that compiled a fresh plan |
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -75,6 +83,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+pub mod chaos;
 pub mod flight;
 pub mod json;
 
@@ -333,8 +342,13 @@ macro_rules! span {
 
 /// Add `n` to the named monotonic counter. Prefer the [`counter!`]
 /// macro.
+///
+/// Every counter probe is also a [`chaos`] fault site (keyed by the
+/// counter name) — the chaos hook runs *before* the enabled check so
+/// fault injection works with tracing off, as in production serving.
 #[inline]
 pub fn add_counter(name: &'static str, n: u64) {
+    let _ = chaos::hit(name);
     if !is_enabled() {
         return;
     }

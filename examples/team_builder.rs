@@ -65,7 +65,7 @@ fn main() {
 
     // After the adjustment, a team exists.
     let mut fixed = arpp_inst.base.clone();
-    fixed.db = witness.db.clone();
+    fixed.db = witness.db.clone().into();
     let team = frp::top_k(&fixed, &SolveOptions::default())
         .expect("solver runs")
         .value

@@ -8,6 +8,7 @@
 //! pkgrec count <db-file> <query> --min-val B ...  CPP: count valid packages
 //! pkgrec items <db-file> <query> --val sum:COL --k K    top-k items
 //! pkgrec qbf   <qdimacs-file> [options]           check Theorem 4.1 encodings
+//! pkgrec serve --db NAME=PATH [...]               resident solve service
 //!
 //! options:
 //!   --k N              number of packages/items (default 1)
@@ -31,7 +32,28 @@
 //!                      last-N-events black box
 //!   --progress         print a throttled live progress line (percent,
 //!                      units, ETA) to stderr while the search runs
+//!
+//! serve options:
+//!   --listen ADDR         bind address (default 127.0.0.1:7878; port 0
+//!                         picks an ephemeral port, printed on startup)
+//!   --db NAME=PATH        load PATH (text format) as resident db NAME;
+//!                         repeatable, at least one required
+//!   --workers N           request worker threads (default 4)
+//!   --queue N             connection-queue capacity; beyond it requests
+//!                         are shed with HTTP 503 `overloaded` (default 64)
+//!   --max-deadline-ms T   hard per-request wall-clock cap (default 10000);
+//!                         requests can tighten it, never exceed it
+//!   --max-jobs N          cap on per-request solver threads (default 4)
 //! ```
+//!
+//! `serve` keeps databases resident, caches compiled plans per
+//! `(db, query, parameters)` key, and answers `POST /solve`
+//! (JSON), `GET /metrics` and `GET /health` until killed. Deadlines
+//! that trip mid-search return the best-so-far partial answer
+//! (`"exact": false`), overload is shed with a typed `overloaded`
+//! error plus `Retry-After`, and panicking requests are contained
+//! per-request. Set `PKGREC_CHAOS` (see `pkgrec::trace::chaos`) to
+//! inject deterministic faults for robustness testing.
 //!
 //! With `--steps`/`--timeout-ms`, `topk`, `bound` and `count` are
 //! *anytime*: when the budget runs out they print the best result found
@@ -59,7 +81,7 @@ use pkgrec::core::{
 };
 use pkgrec::data::text::parse_database;
 use pkgrec::data::{tuple, Database};
-use pkgrec::logic::{Clause, CnfFormula, Lit, QbfFormula, Quant};
+use pkgrec::logic::{parse_qdimacs, QbfFormula};
 use pkgrec::query::parser::{parse_fo, parse_query};
 use pkgrec::query::Query;
 use pkgrec::reductions::membership;
@@ -236,65 +258,12 @@ fn build_instance(db: Database, query: Query, opts: &Options) -> RecInstance {
     inst
 }
 
-/// Parse a QDIMACS file: `c` comments, a `p cnf <vars> <clauses>`
-/// header, `e`/`a` quantifier lines and clause lines, all 0-terminated.
-/// Every variable must be quantified (the CLI checks closed sentences).
+/// Load a QDIMACS file via [`pkgrec::logic::parse_qdimacs`], prefixing
+/// errors with the path (and line, for syntax errors).
 fn load_qbf(path: &str) -> Result<QbfFormula, String> {
     let src =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let mut num_vars: Option<usize> = None;
-    let mut quants: Vec<Option<Quant>> = Vec::new();
-    let mut clauses: Vec<Clause> = Vec::new();
-    for (lineno, line) in src.lines().enumerate() {
-        let line = line.trim();
-        let err = |msg: String| format!("{path}:{}: {msg}", lineno + 1);
-        if line.is_empty() || line.starts_with('c') {
-            continue;
-        }
-        if let Some(header) = line.strip_prefix("p cnf") {
-            let mut nums = header.split_whitespace();
-            let v: usize = nums
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| err("bad `p cnf` header".into()))?;
-            num_vars = Some(v);
-            quants = vec![None; v];
-            continue;
-        }
-        let n = num_vars.ok_or_else(|| err("clause before `p cnf` header".into()))?;
-        let (quant, rest) = match line.split_at(1) {
-            ("e", rest) => (Some(Quant::Exists), rest),
-            ("a", rest) => (Some(Quant::Forall), rest),
-            _ => (None, line),
-        };
-        let mut lits = Vec::new();
-        for tok in rest.split_whitespace() {
-            let v: i64 = tok
-                .parse()
-                .map_err(|_| err(format!("bad literal `{tok}`")))?;
-            if v == 0 {
-                break; // terminator
-            }
-            let var = (v.unsigned_abs() as usize)
-                .checked_sub(1)
-                .filter(|&i| i < n)
-                .ok_or_else(|| err(format!("variable {} out of range 1..={n}", v.abs())))?;
-            match quant {
-                Some(q) => quants[var] = Some(q),
-                None => lits.push(if v > 0 { Lit::pos(var) } else { Lit::neg(var) }),
-            }
-        }
-        if quant.is_none() {
-            clauses.push(Clause::new(lits));
-        }
-    }
-    let n = num_vars.ok_or_else(|| format!("{path}: missing `p cnf` header"))?;
-    let quants: Vec<Quant> = quants
-        .into_iter()
-        .enumerate()
-        .map(|(i, q)| q.ok_or_else(|| format!("{path}: variable {} is not quantified", i + 1)))
-        .collect::<Result<_, _>>()?;
-    Ok(QbfFormula::new(quants, CnfFormula::new(n, clauses)))
+    parse_qdimacs(&src).map_err(|e| format!("{path}:{e}"))
 }
 
 /// The `qbf` command: evaluate a closed QBF sentence directly, then
@@ -451,15 +420,99 @@ impl ProgressMonitor {
     }
 }
 
+/// `pkgrec serve`: load the named databases, start the resident
+/// service, print the bound address, and serve until the process is
+/// killed. All solve-side limits are clamps — requests can tighten
+/// them but never exceed them.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use pkgrec::serve::{self, ServerConfig, Service, ServiceConfig};
+
+    let mut server_cfg = ServerConfig {
+        listen: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut service_cfg = ServiceConfig::default();
+    let mut dbs: Vec<(String, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => server_cfg.listen = value("--listen")?,
+            "--db" => {
+                let spec = value("--db")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--db expects NAME=PATH, got `{spec}`"))?;
+                dbs.push((name.to_string(), path.to_string()));
+            }
+            "--workers" => {
+                server_cfg.workers = value("--workers")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--workers must be a positive integer")?;
+            }
+            "--queue" => {
+                server_cfg.queue_cap = value("--queue")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--queue must be a positive integer")?;
+            }
+            "--max-deadline-ms" => {
+                service_cfg.max_deadline_ms = value("--max-deadline-ms")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--max-deadline-ms must be a positive integer")?;
+            }
+            "--max-jobs" => {
+                service_cfg.max_jobs = value("--max-jobs")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--max-jobs must be a positive integer")?;
+            }
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    if dbs.is_empty() {
+        return Err("serve needs at least one --db NAME=PATH".to_string());
+    }
+    let mut service = Service::new(service_cfg);
+    for (name, path) in dbs {
+        service.add_db(name, load_db(&path)?);
+    }
+    let names = service.db_names().join(", ");
+    let handle = serve::start(server_cfg, service).map_err(|e| format!("cannot bind: {e}"))?;
+    // The address line goes out first and flushed so wrappers (CI
+    // smoke scripts, tests) can scrape the ephemeral port.
+    println!("pkgrec serve: listening on {} (dbs: {names})", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
 fn run(args: Vec<String>) -> Result<(), String> {
     let usage = "usage: pkgrec <eval|topk|bound|count|items> <db-file> <query> [options] \
                  | pkgrec qbf <qdimacs-file> [options] \
+                 | pkgrec serve --db NAME=PATH [options] \
                  (see --help in the source header)";
     let mut it = args.iter();
     let cmd = it.next().ok_or(usage)?.as_str();
     if cmd == "--help" || cmd == "-h" {
         println!("{usage}");
         return Ok(());
+    }
+    if cmd == "serve" {
+        let rest: Vec<String> = it.cloned().collect();
+        return cmd_serve(&rest);
     }
     if cmd == "qbf" {
         let qbf_path = it.next().ok_or(usage)?;

@@ -84,4 +84,6 @@ pub use pkgrec_logic as logic;
 pub use pkgrec_query as query;
 pub use pkgrec_reductions as reductions;
 pub use pkgrec_relax as relax;
+pub use pkgrec_serve as serve;
+pub use pkgrec_trace as trace;
 pub use pkgrec_workloads as workloads;

@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 
 use pkgrec::core::{
-    problems::cpp, problems::frp, problems::mbp, problems::rpp, Constraint, Ext, PackageFn,
-    RecInstance, SolveOptions,
+    problems::cpp, problems::frp, problems::mbp, problems::rpp, Budget, CancelFlag, Constraint,
+    Ext, PackageFn, RecInstance, SolveOptions,
 };
 use pkgrec::data::{tuple, AttrType, Database, Relation, RelationSchema};
 use pkgrec::query::{ConjunctiveQuery, Query};
@@ -49,6 +49,30 @@ fn instance(scores: Vec<(i64, i64)>, with_qc: bool, k: usize) -> RecInstance {
 
 fn scores_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
     prop::collection::vec((0i64..3, 1i64..50), 1..8)
+}
+
+/// Like [`instance`] but with no item-count budget: the full 2^n
+/// package space is enumerated, so for large enough n the search is
+/// guaranteed to cross the amortized (per-worker) deadline and
+/// cancellation polls.
+fn wide_instance(scores: Vec<(i64, i64)>) -> RecInstance {
+    let schema = RelationSchema::new(
+        "item",
+        [("id", AttrType::Int), ("grp", AttrType::Int), ("score", AttrType::Int)],
+    )
+    .expect("valid schema");
+    let rel = Relation::from_tuples(
+        schema,
+        scores
+            .iter()
+            .enumerate()
+            .map(|(i, &(g, s))| tuple![i as i64, g, s]),
+    )
+    .expect("schema-conformant");
+    let mut db = Database::new();
+    db.add_relation(rel).expect("fresh db");
+    RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("item", 3)))
+        .with_val(PackageFn::sum_col(2, true))
 }
 
 proptest! {
@@ -129,6 +153,125 @@ proptest! {
         } else {
             prop_assert!(cut.interrupted.is_some());
         }
+    }
+
+    /// Cutting the same search at ever-later ticks refines the answer
+    /// monotonically: sequentially (jobs=1, canonical enumeration
+    /// order — the first b steps are a prefix of the first 2b) the
+    /// partial count and the reported progress fraction never shrink
+    /// as the budget grows. Parallel cuts at the same budgets are
+    /// scheduling-dependent in *which* packages get the ticks, so they
+    /// promise only the anytime bounds: a valid undercount and a
+    /// progress fraction in [0, 1].
+    #[test]
+    fn progress_is_monotone_across_step_cuts(
+        scores in scores_strategy(),
+        with_qc in any::<bool>(),
+        base in 1u64..20,
+        jobs_idx in 0usize..3,
+    ) {
+        let inst = instance(scores, with_qc, 1);
+        let jobs = JOBS_LEVELS[jobs_idx];
+        let exact = cpp::count_valid(&inst, Ext::NegInf, &SolveOptions::default()).unwrap();
+        let mut prev_count = 0u128;
+        let mut prev_progress = 0.0f64;
+        for budget in [base, base * 2, base * 4, base * 8] {
+            let out = cpp::count_valid(&inst, Ext::NegInf, &SolveOptions::limited(budget))
+                .unwrap();
+            prop_assert!(out.value <= exact.value);
+            prop_assert!(out.value >= prev_count, "count shrank as budget grew");
+            prev_count = out.value;
+            match out.stats.progress_at_interrupt {
+                Some(p) => {
+                    prop_assert!(!out.exact);
+                    prop_assert!((0.0..=1.0).contains(&p), "progress {p} out of range");
+                    prop_assert!(
+                        p >= prev_progress,
+                        "progress receded: {p} < {prev_progress}"
+                    );
+                    prev_progress = p;
+                }
+                None => {
+                    prop_assert!(out.exact);
+                    prop_assert_eq!(out.value, exact.value);
+                }
+            }
+
+            let par = cpp::count_valid(
+                &inst,
+                Ext::NegInf,
+                &SolveOptions::limited(budget).with_jobs(jobs),
+            )
+            .unwrap();
+            prop_assert!(par.value <= exact.value);
+            if let Some(p) = par.stats.progress_at_interrupt {
+                prop_assert!(!par.exact);
+                prop_assert!((0.0..=1.0).contains(&p), "parallel progress {p} out of range");
+            } else {
+                prop_assert!(par.exact);
+                prop_assert_eq!(par.value, exact.value);
+            }
+        }
+    }
+
+    /// Cancellation raised while a large search is in flight degrades
+    /// to a best-so-far partial naming `cancelled` as the cut-off —
+    /// never an error, never a wrong (over-counted) answer. The flag is
+    /// raised before the solve, but polling is amortized *per worker*
+    /// (every 1024 of a worker's own steps), so the search only
+    /// notices mid-enumeration — and with 2^14+ packages across at
+    /// most 8 workers, some worker is guaranteed to reach its poll.
+    #[test]
+    fn cancel_mid_search_degrades_to_a_partial(
+        scores in prop::collection::vec((0i64..3, 1i64..50), 14..16),
+        jobs_idx in 0usize..3,
+    ) {
+        let n = scores.len() as u32;
+        let inst = wide_instance(scores);
+        let jobs = JOBS_LEVELS[jobs_idx];
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let opts = SolveOptions::with_budget(Budget::default().cancellable(&flag)).with_jobs(jobs);
+        let out = cpp::count_valid(&inst, Ext::NegInf, &opts).unwrap();
+        prop_assert!(!out.exact);
+        let cut = out.interrupted.as_ref().expect("cancelled run is interrupted");
+        prop_assert_eq!(cut.resource.label(), "cancelled");
+        prop_assert!(out.value < 1u128 << n, "partial must be a strict undercount");
+        let p = out.stats.progress_at_interrupt.expect("interrupted run reports progress");
+        prop_assert!((0.0..1.0).contains(&p));
+
+        // Same cut through FRP. Its bound-pruned search may finish
+        // before the first amortized poll; the contract is "exact, or
+        // a typed cancellation" — never an error or a silent partial.
+        let topk = frp::top_k(&inst, &opts).unwrap();
+        if !topk.exact {
+            prop_assert_eq!(
+                topk.interrupted.as_ref().expect("interrupted").resource.label(),
+                "cancelled"
+            );
+        }
+    }
+
+    /// An already-expired deadline behaves exactly like cancellation:
+    /// the search runs to its first poll, then returns a partial that
+    /// names `deadline`.
+    #[test]
+    fn expired_deadline_degrades_to_a_partial(
+        scores in prop::collection::vec((0i64..3, 1i64..50), 14..16),
+        jobs_idx in 0usize..3,
+    ) {
+        let inst = wide_instance(scores);
+        let jobs = JOBS_LEVELS[jobs_idx];
+        let opts = SolveOptions::with_budget(Budget::with_timeout(std::time::Duration::ZERO))
+            .with_jobs(jobs);
+        let out = cpp::count_valid(&inst, Ext::NegInf, &opts).unwrap();
+        prop_assert!(!out.exact);
+        prop_assert_eq!(
+            out.interrupted.as_ref().expect("interrupted").resource.label(),
+            "deadline"
+        );
+        let p = out.stats.progress_at_interrupt.expect("interrupted run reports progress");
+        prop_assert!((0.0..1.0).contains(&p));
     }
 }
 

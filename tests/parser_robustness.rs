@@ -1,0 +1,141 @@
+//! Property fuzz of every parser entry point that faces external
+//! bytes: the text database format, both query grammars, QDIMACS, the
+//! JSON validator/parser, the chaos spec, and the serve request
+//! decoder. The invariant under test is *totality*: arbitrary input
+//! produces `Ok` or a typed `Err` — never a panic, never an abort
+//! (e.g. via an absurd allocation), never a hang.
+//!
+//! Two input distributions per entry point: arbitrary bytes decoded
+//! lossily (exercises the lexer edges), and strings over each
+//! grammar's own alphabet (gets past the first token and deep into
+//! the grammar, where the interesting bugs live).
+
+use proptest::prelude::*;
+
+use pkgrec::data::text::parse_database;
+use pkgrec::logic::parse_qdimacs;
+use pkgrec::query::parser::{parse_fo, parse_query};
+use pkgrec::serve::parse_solve_request;
+use pkgrec::trace::json;
+
+fn lossy(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+fn raw_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn database_text_parser_is_total(bytes in raw_bytes()) {
+        let _ = parse_database(&lossy(&bytes));
+    }
+
+    #[test]
+    fn database_text_parser_survives_its_own_tokens(
+        input in "[relation item(d: ,pricestbol)0-9#\n\t]{0,200}"
+    ) {
+        let _ = parse_database(&input);
+    }
+
+    #[test]
+    fn query_parsers_are_total(bytes in raw_bytes()) {
+        let input = lossy(&bytes);
+        let _ = parse_query(&input);
+        let _ = parse_fo(&input);
+    }
+
+    #[test]
+    fn query_parsers_survive_their_own_tokens(
+        input in "[qxyz(), :.!=<>\"&|existforalu0-9_\n-]{0,200}"
+    ) {
+        let _ = parse_query(&input);
+        let _ = parse_fo(&input);
+    }
+
+    #[test]
+    fn qdimacs_parser_is_total(bytes in raw_bytes()) {
+        let _ = parse_qdimacs(&lossy(&bytes));
+    }
+
+    #[test]
+    fn qdimacs_parser_survives_its_own_tokens(
+        input in "[pcnf ea0-9\n\t-]{0,200}"
+    ) {
+        // Includes hostile headers like `p cnf 99999999 1`; the parser
+        // must reject them *before* allocating (no OOM abort).
+        let _ = parse_qdimacs(&input);
+    }
+
+    #[test]
+    fn json_parser_and_validator_are_total_and_agree(bytes in raw_bytes()) {
+        let input = lossy(&bytes);
+        let parsed = json::parse(&input);
+        let validated = json::validate(&input);
+        prop_assert_eq!(
+            parsed.is_ok(),
+            validated.is_ok(),
+            "parse and validate disagree on {:?}",
+            input
+        );
+    }
+
+    #[test]
+    fn json_survives_its_own_tokens(
+        // `]` cannot be a class member in the vendored pattern syntax;
+        // `<` stands in for it and is substituted below.
+        soup in "[{}\\[<\":,0-9.eE+u123abfnrt nulse\\\\-]{0,150}"
+    ) {
+        let input = soup.replace('<', "]");
+        let parsed = json::parse(&input);
+        prop_assert_eq!(parsed.is_ok(), json::validate(&input).is_ok());
+    }
+
+    #[test]
+    fn solve_request_decoder_is_total(bytes in raw_bytes()) {
+        let _ = parse_solve_request(&bytes);
+    }
+
+    #[test]
+    fn solve_request_decoder_survives_near_valid_bodies(
+        db in "[shop\" ]{0,12}",
+        problem in "[evaltopkboundc\" ]{0,12}",
+        k in any::<i64>(),
+        deadline in any::<i64>(),
+    ) {
+        let body = format!(
+            r#"{{"db":"{db}","problem":"{problem}","query":"q(x) :- item(x).","k":{k},"deadline_ms":{deadline}}}"#
+        );
+        let _ = parse_solve_request(body.as_bytes());
+    }
+
+    #[test]
+    fn chaos_spec_parser_is_total(input in "[panicdelydrop@:,0-9a-z ]{0,60}") {
+        // arm() rejects bad specs with Err; disarm unconditionally so a
+        // rare valid spec cannot leak into other tests.
+        let _ = pkgrec::trace::chaos::arm(&input);
+        pkgrec::trace::chaos::disarm();
+    }
+}
+
+/// Adversarial nesting must hit the depth cap, not the stack guard.
+#[test]
+fn json_depth_bomb_is_rejected() {
+    let bomb = "[".repeat(100_000);
+    assert!(json::parse(&bomb).is_err());
+    assert!(json::validate(&bomb).is_err());
+    let deep = format!("{}1{}", "[".repeat(600), "]".repeat(600));
+    assert!(json::parse(&deep).is_err(), "deeper than MAX_DEPTH");
+}
+
+/// The QDIMACS variable cap fires before the quantifier allocation.
+#[test]
+fn qdimacs_allocation_bomb_is_rejected() {
+    let e = parse_qdimacs("p cnf 18446744073709551615 1\n").unwrap_err();
+    assert!(e.message.contains("header") || e.message.contains("limit"), "{e}");
+    let e = parse_qdimacs("p cnf 999999999999 3\n").unwrap_err();
+    assert!(e.message.contains("limit"), "{e}");
+}

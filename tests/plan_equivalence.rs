@@ -147,6 +147,7 @@ proptest! {
         a in cq_strategy(),
         b in cq_strategy(),
     ) {
+        let db = std::sync::Arc::new(db);
         for q in embeddings(&a, &b) {
             let interpreted = q.eval(&db).unwrap();
             let plan = q.compile(&db).unwrap();
@@ -169,6 +170,7 @@ proptest! {
         a in cq_strategy(),
         b in cq_strategy(),
     ) {
+        let db = std::sync::Arc::new(db);
         for q in embeddings(&a, &b) {
             let answers = q.eval(&db).unwrap();
             let plan = q.compile(&db).unwrap();
@@ -193,6 +195,7 @@ proptest! {
     /// `Interrupted` together.
     #[test]
     fn budget_interruption_is_bit_identical(db in db_strategy(), cq in cq_strategy()) {
+        let db = std::sync::Arc::new(db);
         let queries = [
             Query::Cq(cq.clone()),
             Query::Fo(cq_to_fo(&cq)),
@@ -238,6 +241,7 @@ proptest! {
         let tuples: Vec<Tuple> = items.iter().map(|&(a, b)| tuple![a, b]).collect();
         let schema = RelationSchema::new("p", [("c0", AttrType::Int), ("c1", AttrType::Int)])
             .expect("valid schema");
+        let db = std::sync::Arc::new(db);
         let rel = Relation::from_tuples_unchecked(schema, tuples.iter().cloned());
         let extended = db.with_relation(rel);
         let queries = [

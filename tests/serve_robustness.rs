@@ -1,0 +1,382 @@
+//! Integration tests for `pkgrec serve`'s robustness contract: under
+//! injected faults — worker panics (in the HTTP handler *and* deep in
+//! the search), delays past the deadline, severed connections,
+//! overload, malformed input — the server returns a correct result or
+//! a typed error, and keeps serving. Never a wrong answer, never a
+//! hang, never a crash.
+//!
+//! The chaos harness is process-global, so every test that arms it (or
+//! that must not see someone else's directives) takes the `SERIAL`
+//! lock. Tests talk to the server over real loopback sockets with a
+//! tiny hand-rolled HTTP/1.1 client.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use pkgrec::data::text::parse_database;
+use pkgrec::serve::{start, ServerConfig, ServerHandle, Service, ServiceConfig};
+use pkgrec::trace::chaos;
+use pkgrec::trace::json::{self, Json};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const DB: &str = "\
+relation item(id: int, price: int)
+1, 10
+2, 20
+3, 30
+4, 40
+";
+
+const QUERY: &str = "q(x, p) :- item(x, p).";
+
+fn server_with(server_cfg: ServerConfig, service_cfg: ServiceConfig) -> ServerHandle {
+    let mut service = Service::new(service_cfg);
+    service.add_db("shop", parse_database(DB).expect("fixture db parses"));
+    start(server_cfg, service).expect("bind loopback")
+}
+
+fn server() -> ServerHandle {
+    server_with(ServerConfig::default(), ServiceConfig::default())
+}
+
+/// Send one request on a fresh connection; return (status, body).
+fn request(handle: &ServerHandle, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    send(&mut stream, method, path, body, false);
+    read_response(&mut stream).expect("server must answer")
+}
+
+fn solve(handle: &ServerHandle, body: &str) -> (u16, Json) {
+    let (status, text) = request(handle, "POST", "/solve", body);
+    let parsed = json::parse(&text).unwrap_or_else(|e| panic!("invalid JSON `{text}`: {e}"));
+    (status, parsed)
+}
+
+fn send(stream: &mut TcpStream, method: &str, path: &str, body: &str, keep_alive: bool) {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let msg = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: {connection}\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(msg.as_bytes()).expect("write request");
+}
+
+/// Minimal HTTP/1.1 response reader: status line, Content-Length, body.
+/// Returns `None` when the connection dies before a full response — the
+/// observable effect of a chaos `drop` directive.
+fn read_response(stream: &mut TcpStream) -> Option<(u16, String)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.parse().ok())?;
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(content_length);
+    Some((status, String::from_utf8_lossy(&body).to_string()))
+}
+
+fn error_kind(resp: &Json) -> Option<&str> {
+    resp.get("error")?.get("kind")?.as_str()
+}
+
+#[test]
+fn solves_all_problems_and_keeps_the_connection_alive() {
+    let _s = serial();
+    let handle = server();
+
+    let (status, resp) = solve(
+        &handle,
+        &format!(r#"{{"db":"shop","problem":"count","query":"{QUERY}","max_size":4}}"#),
+    );
+    assert_eq!(status, 200, "{resp:?}");
+    assert_eq!(resp.get("exact").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp.get("result").and_then(Json::as_u64), Some(16));
+
+    // Keep-alive: two requests, one socket.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let body = format!(r#"{{"db":"shop","problem":"eval","query":"{QUERY}"}}"#);
+    send(&mut stream, "POST", "/solve", &body, true);
+    let (status, _) = read_response(&mut stream).expect("first response");
+    assert_eq!(status, 200);
+    send(&mut stream, "POST", "/solve", &body, false);
+    let (status, text) = read_response(&mut stream).expect("second response on same socket");
+    assert_eq!(status, 200);
+    let resp = json::parse(&text).unwrap();
+    assert_eq!(
+        resp.get("result").and_then(Json::as_array).map(<[Json]>::len),
+        Some(4)
+    );
+
+    let (status, text) = request(&handle, "GET", "/health", "");
+    assert_eq!(status, 200);
+    assert!(text.contains("ok"));
+
+    // The plan cache served the repeated (db, query, params) key.
+    let service = handle.service();
+    assert!(service.metrics.plan_cache_hits.load(Ordering::Relaxed) >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn handler_panic_is_contained_and_typed() {
+    let _s = serial();
+    let handle = server();
+    // `serve.requests` is hit once per handled solve; panic on the 1st.
+    chaos::arm("panic@serve.requests:1").unwrap();
+    let (status, resp) = solve(
+        &handle,
+        &format!(r#"{{"db":"shop","problem":"eval","query":"{QUERY}"}}"#),
+    );
+    chaos::disarm();
+    assert_eq!(status, 500, "{resp:?}");
+    assert_eq!(error_kind(&resp), Some("internal_panic"));
+    assert_eq!(
+        handle.service().metrics.worker_panics.load(Ordering::Relaxed),
+        1
+    );
+    // The worker survived: the very next request succeeds.
+    let (status, resp) = solve(
+        &handle,
+        &format!(r#"{{"db":"shop","problem":"eval","query":"{QUERY}"}}"#),
+    );
+    assert_eq!(status, 200, "{resp:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn search_panic_surfaces_as_typed_worker_panic() {
+    let _s = serial();
+    let handle = server();
+    // `enumerate.nodes` fires per enumerated package, deep inside the
+    // search: the engine's own catch_unwind fence converts the panic
+    // to a typed CoreError::WorkerPanic, which serves as HTTP 500
+    // `worker_panic` — not a dead worker, not a dead server.
+    chaos::arm("panic@enumerate.nodes:2").unwrap();
+    let (status, resp) = solve(
+        &handle,
+        &format!(r#"{{"db":"shop","problem":"count","query":"{QUERY}","max_size":4}}"#),
+    );
+    chaos::disarm();
+    assert_eq!(status, 500, "{resp:?}");
+    assert_eq!(error_kind(&resp), Some("worker_panic"));
+    let (status, resp) = solve(
+        &handle,
+        &format!(r#"{{"db":"shop","problem":"count","query":"{QUERY}","max_size":4}}"#),
+    );
+    assert_eq!(status, 200, "{resp:?}");
+    assert_eq!(resp.get("result").and_then(Json::as_u64), Some(16));
+    handle.shutdown();
+}
+
+#[test]
+fn injected_delay_past_the_deadline_degrades_to_a_partial() {
+    let _s = serial();
+    // Deadlines are polled every `pkgrec::core::Budget` CHECK_INTERVAL
+    // (1024) steps, so the space must be big enough to reach a poll:
+    // 11 items → 2^11 = 2048 packages.
+    let mut txt = String::from("relation item(id: int, price: int)\n");
+    for i in 0..11 {
+        txt.push_str(&format!("{i}, {}\n", 10 * i));
+    }
+    let mut service = Service::new(ServiceConfig::default());
+    service.add_db("big", parse_database(&txt).unwrap());
+    let handle = start(ServerConfig::default(), service).unwrap();
+    // Sleep 150 ms at the 5th enumerated package while the request
+    // allows 40 ms: the deadline trips mid-search and the server
+    // returns the best-so-far partial answer, not an error.
+    chaos::arm("delay@enumerate.nodes:5:150").unwrap();
+    let (status, resp) = solve(
+        &handle,
+        &format!(r#"{{"db":"big","problem":"count","query":"{QUERY}","deadline_ms":40}}"#),
+    );
+    chaos::disarm();
+    assert_eq!(status, 200, "{resp:?}");
+    assert_eq!(resp.get("exact").and_then(Json::as_bool), Some(false));
+    let cut = resp.get("interrupted").expect("interruption is reported");
+    assert_eq!(cut.get("resource").and_then(Json::as_str), Some("deadline"));
+    // The partial count is a valid lower bound on the true 2048.
+    let partial = resp.get("result").and_then(Json::as_u64).unwrap();
+    assert!(partial < 2048, "partial {partial} must be a strict prefix");
+    assert_eq!(
+        handle
+            .service()
+            .metrics
+            .deadline_partial
+            .load(Ordering::Relaxed),
+        1
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn dropped_connection_severs_cleanly_and_server_lives() {
+    let _s = serial();
+    let handle = server();
+    chaos::arm("drop@serve.request:1").unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let body = format!(r#"{{"db":"shop","problem":"eval","query":"{QUERY}"}}"#);
+    send(&mut stream, "POST", "/solve", &body, false);
+    // The chaos drop directive severs before any response: clean EOF,
+    // not a hang.
+    assert!(read_response(&mut stream).is_none(), "connection must die");
+    chaos::disarm();
+    let (status, _) = solve(&handle, &body);
+    assert_eq!(status, 200, "server must survive the severed connection");
+    handle.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_typed_503_and_retry_after() {
+    let _s = serial();
+    let handle = server_with(
+        ServerConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..ServerConfig::default()
+        },
+        ServiceConfig::default(),
+    );
+    // Occupy the single worker with an open connection it is reading
+    // from, fill the queue of one with a second, then watch the third
+    // get shed with a typed answer instead of a silent drop.
+    let _busy = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let _queued = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let mut shed = TcpStream::connect(handle.addr()).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let (status, text) = read_response(&mut shed).expect("shed connection gets an answer");
+    assert_eq!(status, 503, "{text}");
+    let resp = json::parse(&text).unwrap();
+    assert_eq!(error_kind(&resp), Some("overloaded"));
+    assert!(
+        resp.get("error")
+            .and_then(|e| e.get("retry_after_ms"))
+            .and_then(Json::as_u64)
+            .is_some(),
+        "{text}"
+    );
+    assert!(
+        handle
+            .service()
+            .metrics
+            .rejected_overload
+            .load(Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_inputs_get_typed_errors_not_crashes() {
+    let _s = serial();
+    let handle = server();
+
+    // Broken JSON body.
+    let (status, resp) = solve(&handle, "{this is not json");
+    assert_eq!(status, 400);
+    assert_eq!(error_kind(&resp), Some("bad_request"));
+
+    // Unknown database.
+    let (status, resp) = solve(
+        &handle,
+        &format!(r#"{{"db":"void","problem":"eval","query":"{QUERY}"}}"#),
+    );
+    assert_eq!(status, 404);
+    assert_eq!(error_kind(&resp), Some("unknown_db"));
+
+    // Unparseable query.
+    let (status, resp) = solve(&handle, r#"{"db":"shop","problem":"eval","query":"q(x :-("}"#);
+    assert_eq!(status, 400);
+    assert_eq!(error_kind(&resp), Some("parse_error"));
+
+    // Broken HTTP framing.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+    let (status, text) = read_response(&mut stream).expect("typed framing error");
+    assert_eq!(status, 400, "{text}");
+
+    // Body bigger than the cap is refused up front.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /solve HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+        .unwrap();
+    let (status, _) = read_response(&mut stream).expect("typed too-large error");
+    assert_eq!(status, 413);
+
+    // GET of a bad route.
+    let (status, _) = request(&handle, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    // The server is still healthy after all of that.
+    let (status, _) = request(&handle, "GET", "/health", "");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_reports_the_ledger_as_valid_json() {
+    let _s = serial();
+    let handle = server();
+    let body = format!(r#"{{"db":"shop","problem":"count","query":"{QUERY}","max_size":3}}"#);
+    solve(&handle, &body);
+    solve(&handle, &body);
+    let (status, text) = request(&handle, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let m = json::parse(&text).unwrap_or_else(|e| panic!("metrics not JSON: {e}\n{text}"));
+    let serve = m.get("serve").expect("serve section");
+    assert_eq!(serve.get("requests").and_then(Json::as_u64), Some(2));
+    assert_eq!(serve.get("ok").and_then(Json::as_u64), Some(2));
+    assert_eq!(serve.get("plan_cache_misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(serve.get("plan_cache_hits").and_then(Json::as_u64), Some(1));
+    let latency = m.get("latency_us").expect("latency section");
+    assert_eq!(latency.get("count").and_then(Json::as_u64), Some(2));
+    assert!(m.get("trace").is_some(), "merged trace report present");
+    assert_eq!(
+        m.get("dbs").and_then(Json::as_array).map(<[Json]>::len),
+        Some(1)
+    );
+    handle.shutdown();
+}
