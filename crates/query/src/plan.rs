@@ -313,6 +313,8 @@ struct ConjSet {
 /// A base relation flattened to row-major interned cells, with the
 /// column indexes the static access paths need prebuilt.
 struct CompiledRel {
+    /// The relation's name, kept for [`CompiledPlan::explain`].
+    name: String,
     arity: usize,
     rows: usize,
     cells: Vec<u32>,
@@ -330,6 +332,7 @@ impl CompiledRel {
             }
         }
         CompiledRel {
+            name: rel.schema().name().to_string(),
             arity,
             rows: rel.len(),
             cells,
@@ -909,6 +912,293 @@ struct DlPlan {
     prog: DatalogProgram,
 }
 
+// ---------------------------------------------------------------------
+// EXPLAIN: structured introspection of a compiled plan.
+// ---------------------------------------------------------------------
+
+/// A structured description of a [`CompiledPlan`]: what `compile`
+/// decided, rendered either as JSON (for the `/explain` endpoint) or
+/// human-readable text (for `pkgrec explain`). Conjunctive plans
+/// expose the full static story — interned symbol count, the greedy
+/// join order per mode with each atom's relation cardinality and the
+/// index column it probes, and the builtin schedule; FO and Datalog
+/// plans report what their (interpreted-core) plans cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanReport {
+    /// Plan family: `cq`, `ucq`, `fo` or `datalog`.
+    pub kind: &'static str,
+    /// Answer arity.
+    pub arity: usize,
+    /// Distinct values interned at compile time (conjunctive plans;
+    /// 0 for FO/Datalog, which do not intern).
+    pub interned_symbols: usize,
+    /// Name of the dynamic (per-probe) relation, if one was left open.
+    pub dynamic: Option<String>,
+    /// Per-disjunct static plans (conjunctive plans only).
+    pub disjuncts: Vec<DisjunctReport>,
+    /// FO plans: size of the cached evaluation domain.
+    pub fo_domain: Option<usize>,
+    /// Datalog plans: number of rules in the checked program.
+    pub datalog_rules: Option<usize>,
+}
+
+/// The static plan of one conjunctive disjunct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjunctReport {
+    /// Number of relational atoms.
+    pub atoms: usize,
+    /// Number of builtin constraints.
+    pub builtins: usize,
+    /// Number of distinct variables.
+    pub variables: usize,
+    /// The two static modes: plain evaluation and membership
+    /// (head pre-bound).
+    pub modes: Vec<ModeReport>,
+}
+
+/// One evaluation mode's join schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeReport {
+    /// `eval` (nothing pre-bound) or `membership` (head pre-bound).
+    pub mode: &'static str,
+    /// Builtins checked before the first join step.
+    pub pre_builtins: usize,
+    /// The join steps, in execution order.
+    pub steps: Vec<JoinStepReport>,
+}
+
+/// One step of a mode's greedy join order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinStepReport {
+    /// The relation the atom joins against.
+    pub relation: String,
+    /// Snapshot cardinality (`None` for the dynamic relation, whose
+    /// rows are supplied per probe).
+    pub rows: Option<usize>,
+    /// Access path: `index` (probe a prebuilt column index), `scan`
+    /// (full scan of a base relation) or `dynamic-scan` (linear scan
+    /// of the per-probe dynamic rows).
+    pub access: &'static str,
+    /// The column probed when `access` is `index`.
+    pub probe_column: Option<usize>,
+    /// Builtins scheduled immediately after this step binds its
+    /// variables.
+    pub builtins_after: usize,
+}
+
+impl CompiledPlan {
+    /// Describe this plan's static decisions. See [`PlanReport`].
+    pub fn explain(&self) -> PlanReport {
+        let dynamic = self.dynamic.as_ref().map(|d| d.name.clone());
+        let mut report = PlanReport {
+            kind: match &self.kind {
+                PlanKind::Conj(set) if set.plans.len() > 1 => "ucq",
+                PlanKind::Conj(_) => "cq",
+                PlanKind::Fo(_) => "fo",
+                PlanKind::Dl(_) => "datalog",
+            },
+            arity: self.arity,
+            interned_symbols: 0,
+            dynamic: dynamic.clone(),
+            disjuncts: Vec::new(),
+            fo_domain: None,
+            datalog_rules: None,
+        };
+        match &self.kind {
+            PlanKind::Conj(set) => {
+                report.interned_symbols = set.syms.len();
+                for plan in &set.plans {
+                    let mode_report = |name: &'static str, mode: &ModePlan| ModeReport {
+                        mode: name,
+                        pre_builtins: mode.builtin_at[0].len(),
+                        steps: mode
+                            .order
+                            .iter()
+                            .enumerate()
+                            .map(|(depth, &ai)| {
+                                let atom = &plan.atoms[ai];
+                                let probe = mode.probe[depth];
+                                match atom.src {
+                                    Source::Base(ri) => JoinStepReport {
+                                        relation: set.rels[ri].name.clone(),
+                                        rows: Some(set.rels[ri].rows),
+                                        access: if probe.is_some() { "index" } else { "scan" },
+                                        probe_column: probe,
+                                        builtins_after: mode.builtin_at[depth + 1].len(),
+                                    },
+                                    Source::Dyn => JoinStepReport {
+                                        relation: dynamic.clone().unwrap_or_default(),
+                                        rows: None,
+                                        access: "dynamic-scan",
+                                        probe_column: None,
+                                        builtins_after: mode.builtin_at[depth + 1].len(),
+                                    },
+                                }
+                            })
+                            .collect(),
+                    };
+                    report.disjuncts.push(DisjunctReport {
+                        atoms: plan.atoms.len(),
+                        builtins: plan.builtins.len(),
+                        variables: plan.nvars,
+                        modes: vec![
+                            mode_report("eval", &plan.eval_mode),
+                            mode_report("membership", &plan.bound_mode),
+                        ],
+                    });
+                }
+            }
+            PlanKind::Fo(fp) => report.fo_domain = Some(fp.domain.len()),
+            PlanKind::Dl(dp) => report.datalog_rules = Some(dp.prog.rules.len()),
+        }
+        report
+    }
+}
+
+impl PlanReport {
+    /// The report as one JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Write the JSON rendering into `out`.
+    pub fn write_json(&self, out: &mut String) {
+        use pkgrec_trace::json::write_string;
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"kind\":\"{}\",\"arity\":{},\"interned_symbols\":{},\"dynamic\":",
+            self.kind, self.arity, self.interned_symbols
+        );
+        match &self.dynamic {
+            Some(name) => write_string(out, name),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"disjuncts\":[");
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"atoms\":{},\"builtins\":{},\"variables\":{},\"modes\":[",
+                d.atoms, d.builtins, d.variables
+            );
+            for (j, m) in d.modes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"mode\":\"{}\",\"pre_builtins\":{},\"steps\":[",
+                    m.mode, m.pre_builtins
+                );
+                for (k, s) in m.steps.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"relation\":");
+                    write_string(out, &s.relation);
+                    out.push_str(",\"rows\":");
+                    match s.rows {
+                        Some(n) => {
+                            let _ = write!(out, "{n}");
+                        }
+                        None => out.push_str("null"),
+                    }
+                    let _ = write!(out, ",\"access\":\"{}\",\"probe_column\":", s.access);
+                    match s.probe_column {
+                        Some(c) => {
+                            let _ = write!(out, "{c}");
+                        }
+                        None => out.push_str("null"),
+                    }
+                    let _ = write!(out, ",\"builtins_after\":{}}}", s.builtins_after);
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"fo_domain\":");
+        match self.fo_domain {
+            Some(n) => {
+                let _ = write!(out, "{n}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"datalog_rules\":");
+        match self.datalog_rules {
+            Some(n) => {
+                let _ = write!(out, "{n}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+
+    /// A human-readable rendering (what `pkgrec explain` prints).
+    pub fn render_human(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256);
+        let _ = write!(out, "plan {} (arity {}", self.kind, self.arity);
+        if self.interned_symbols > 0 {
+            let _ = write!(out, ", {} interned symbols", self.interned_symbols);
+        }
+        if let Some(name) = &self.dynamic {
+            let _ = write!(out, ", dynamic relation `{name}`");
+        }
+        out.push_str(")\n");
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  disjunct {}/{}: {} atoms, {} builtins, {} variables",
+                i + 1,
+                self.disjuncts.len(),
+                d.atoms,
+                d.builtins,
+                d.variables
+            );
+            for m in &d.modes {
+                let _ = write!(out, "    {} order:", m.mode);
+                if m.pre_builtins > 0 {
+                    let _ = write!(out, " ({} builtins before the join)", m.pre_builtins);
+                }
+                out.push('\n');
+                for (k, s) in m.steps.iter().enumerate() {
+                    let _ = write!(out, "      {}. {}", k + 1, s.relation);
+                    match s.rows {
+                        Some(n) => {
+                            let _ = write!(out, " [{n} rows]");
+                        }
+                        None => out.push_str(" [dynamic]"),
+                    }
+                    match (s.access, s.probe_column) {
+                        ("index", Some(c)) => {
+                            let _ = write!(out, " index probe on column {c}");
+                        }
+                        (access, _) => {
+                            let _ = write!(out, " {access}");
+                        }
+                    }
+                    if s.builtins_after > 0 {
+                        let _ = write!(out, ", then {} builtins", s.builtins_after);
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        if let Some(n) = self.fo_domain {
+            let _ = writeln!(out, "  cached evaluation domain: {n} values");
+        }
+        if let Some(n) = self.datalog_rules {
+            let _ = writeln!(out, "  checked program: {n} rules");
+        }
+        out
+    }
+}
+
 impl DlPlan {
     fn compile(p: &DatalogProgram, db: &Database, dynamic: Option<&str>) -> Result<DlPlan> {
         p.check()?;
@@ -1177,5 +1467,117 @@ mod tests {
             plan.eval_dynamic([], None, None),
             Err(QueryError::Internal(_))
         ));
+    }
+
+    #[test]
+    fn explain_reports_cq_join_order_and_access_paths() {
+        let db = db();
+        let plan = path2().compile(&db).unwrap();
+        let report = plan.explain();
+        assert_eq!(report.kind, "cq");
+        assert_eq!(report.arity, 2);
+        assert_eq!(report.dynamic, None);
+        assert_eq!(report.fo_domain, None);
+        assert_eq!(report.datalog_rules, None);
+        assert_eq!(report.disjuncts.len(), 1);
+        let d = &report.disjuncts[0];
+        assert_eq!((d.atoms, d.builtins, d.variables), (2, 0, 3));
+        assert_eq!(d.modes.len(), 2);
+        assert_eq!(d.modes[0].mode, "eval");
+        assert_eq!(d.modes[1].mode, "membership");
+        for m in &d.modes {
+            assert_eq!(m.steps.len(), 2);
+            for s in &m.steps {
+                assert_eq!(s.relation, "e");
+                assert_eq!(s.rows, Some(4));
+            }
+        }
+        // Plain eval: the first atom has nothing bound (full scan), the
+        // second joins on the shared variable through an index.
+        let eval = &d.modes[0];
+        assert_eq!(eval.steps[0].access, "scan");
+        assert_eq!(eval.steps[0].probe_column, None);
+        assert_eq!(eval.steps[1].access, "index");
+        assert!(eval.steps[1].probe_column.is_some());
+        // Membership: the head is pre-bound, so every step can probe.
+        let member = &d.modes[1];
+        assert!(member.steps.iter().all(|s| s.access == "index"));
+    }
+
+    #[test]
+    fn explain_reports_fo_datalog_and_dynamic_plans() {
+        let db = db();
+
+        let fo = Query::Fo(FoQuery::new(
+            vec![Term::v("x")],
+            Formula::Atom(RelAtom::new("e", vec![Term::v("x"), Term::v("y")])),
+        ));
+        let report = fo.compile(&db).unwrap().explain();
+        assert_eq!(report.kind, "fo");
+        assert_eq!(report.interned_symbols, 0);
+        assert!(report.disjuncts.is_empty());
+        // Domain of e: the distinct values 1..=4.
+        assert_eq!(report.fo_domain, Some(4));
+
+        let dl = Query::Datalog(DatalogProgram::new(
+            vec![Rule::new(
+                RelAtom::new("p", vec![Term::v("x")]),
+                vec![BodyLiteral::Rel(RelAtom::new(
+                    "e",
+                    vec![Term::v("x"), Term::v("y")],
+                ))],
+            )],
+            "p",
+        ));
+        let report = dl.compile(&db).unwrap().explain();
+        assert_eq!(report.kind, "datalog");
+        assert_eq!(report.datalog_rules, Some(1));
+
+        // A dynamic atom shows up as a per-probe scan with unknown rows.
+        let q = Query::Cq(ConjunctiveQuery::new(
+            vec![Term::v("x")],
+            vec![
+                RelAtom::new("e", vec![Term::v("x"), Term::v("y")]),
+                RelAtom::new("picked", vec![Term::v("x")]),
+            ],
+            vec![],
+        ));
+        let plan = q.compile_with_dynamic(&db, "picked", 1).unwrap();
+        let report = plan.explain();
+        assert_eq!(report.dynamic.as_deref(), Some("picked"));
+        let dyn_steps: Vec<_> = report.disjuncts[0]
+            .modes
+            .iter()
+            .flat_map(|m| &m.steps)
+            .filter(|s| s.relation == "picked")
+            .collect();
+        assert!(!dyn_steps.is_empty());
+        for s in dyn_steps {
+            assert_eq!(s.access, "dynamic-scan");
+            assert_eq!(s.rows, None);
+            assert_eq!(s.probe_column, None);
+        }
+    }
+
+    #[test]
+    fn explain_json_is_valid_and_human_text_is_stable() {
+        let db = db();
+        let q = Query::Cq(ConjunctiveQuery::new(
+            vec![Term::v("x")],
+            vec![RelAtom::new("e", vec![Term::v("x"), Term::v("y")])],
+            vec![Builtin::cmp(Term::v("y"), CmpOp::Geq, Term::c(3))],
+        ));
+        let report = q.compile(&db).unwrap().explain();
+        let json = report.to_json();
+        let parsed = pkgrec_trace::json::parse(&json).expect("explain JSON parses");
+        assert_eq!(parsed.get("kind").and_then(|v| v.as_str()), Some("cq"));
+        assert_eq!(parsed.get("arity").and_then(|v| v.as_u64()), Some(1));
+        let disjuncts = parsed.get("disjuncts").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(disjuncts.len(), 1);
+        let human = report.render_human();
+        assert!(human.starts_with("plan cq (arity 1"), "{human}");
+        assert!(human.contains("eval order"), "{human}");
+        assert!(human.contains("membership order"), "{human}");
+        assert!(human.contains("[4 rows]"), "{human}");
     }
 }

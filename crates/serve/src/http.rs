@@ -178,12 +178,34 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_typed(
+        stream,
+        status,
+        "application/json",
+        extra_headers,
+        body,
+        keep_alive,
+    )
+}
+
+/// [`write_response`] with an explicit `Content-Type` (the Prometheus
+/// exposition endpoint answers `text/plain`, everything else JSON).
+pub fn write_response_typed(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     let mut out = String::with_capacity(body.len() + 160);
     out.push_str("HTTP/1.1 ");
     out.push_str(&status.to_string());
     out.push(' ');
     out.push_str(reason(status));
-    out.push_str("\r\nContent-Type: application/json\r\nContent-Length: ");
+    out.push_str("\r\nContent-Type: ");
+    out.push_str(content_type);
+    out.push_str("\r\nContent-Length: ");
     out.push_str(&body.len().to_string());
     out.push_str("\r\nConnection: ");
     out.push_str(if keep_alive { "keep-alive" } else { "close" });

@@ -32,12 +32,14 @@
 //! [`std::net`] with JSON bodies ([`http`]), hand-rolled like every
 //! other layer of the stack — the crate adds zero dependencies.
 
+pub mod access_log;
 pub mod http;
 pub mod request;
 pub mod server;
 pub mod service;
 
+pub use access_log::AccessLog;
 pub use http::{Request, MAX_BODY_BYTES, MAX_HEADER_BYTES};
 pub use request::{parse_solve_request, ProblemKind, RequestError, SolveRequest};
 pub use server::{start, ServerConfig, ServerHandle};
-pub use service::{Metrics, ServeError, Service, ServiceConfig};
+pub use service::{Metrics, RequestCtx, ServeError, Service, ServiceConfig};

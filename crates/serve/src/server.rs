@@ -22,15 +22,18 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pkgrec_trace::chaos;
 
 use crate::http::{self, HttpError, Request};
-use crate::service::{Metrics, ServeError, Service};
+use crate::service::{Metrics, RequestCtx, ServeError, Service};
+
+/// The response header carrying each request's trace id.
+pub const REQUEST_ID_HEADER: &str = "x-pkgrec-request-id";
 
 /// Network-side knobs (the solve-side ones live in
 /// [`ServiceConfig`](crate::service::ServiceConfig)).
@@ -68,10 +71,15 @@ struct ConnQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
     cap: usize,
+    /// Mirror of the queue length, exported as the `queue_depth`
+    /// gauge so saturation is visible before load shedding starts.
+    depth: AtomicU64,
 }
 
 struct QueueState {
-    conns: VecDeque<TcpStream>,
+    /// Queued connections, each stamped with its enqueue time so the
+    /// first request on it can report its queue latency.
+    conns: VecDeque<(TcpStream, Instant)>,
     closed: bool,
 }
 
@@ -84,6 +92,7 @@ impl ConnQueue {
             }),
             ready: Condvar::new(),
             cap: cap.max(1),
+            depth: AtomicU64::new(0),
         }
     }
 
@@ -94,17 +103,19 @@ impl ConnQueue {
         if state.closed || state.conns.len() >= self.cap {
             return Err(stream);
         }
-        state.conns.push_back(stream);
+        state.conns.push_back((stream, Instant::now()));
+        self.depth.store(state.conns.len() as u64, Ordering::Relaxed);
         drop(state);
         self.ready.notify_one();
         Ok(())
     }
 
     /// Dequeue, blocking; `None` once closed and drained.
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<(TcpStream, Instant)> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(conn) = state.conns.pop_front() {
+                self.depth.store(state.conns.len() as u64, Ordering::Relaxed);
                 return Some(conn);
             }
             if state.closed {
@@ -167,6 +178,9 @@ impl ServerHandle {
         for t in self.workers.drain(..) {
             let _ = t.join();
         }
+        // Final flush: anything the workers logged is on disk before
+        // shutdown returns.
+        self.service.close_access_log();
     }
 }
 
@@ -192,11 +206,15 @@ pub fn start(config: ServerConfig, service: Service) -> io::Result<ServerHandle>
         let service = Arc::clone(&service);
         let queue = Arc::clone(&queue);
         workers.push(std::thread::spawn(move || {
-            while let Some(stream) = queue.pop() {
+            while let Some((stream, enqueued)) = queue.pop() {
+                service
+                    .metrics
+                    .queue_depth
+                    .store(queue.depth.load(Ordering::Relaxed), Ordering::Relaxed);
                 let _ = stream.set_read_timeout(Some(io_timeout));
                 let _ = stream.set_write_timeout(Some(io_timeout));
                 let _ = stream.set_nodelay(true);
-                serve_connection(&service, stream);
+                serve_connection(&service, stream, enqueued);
             }
         }));
     }
@@ -217,15 +235,24 @@ pub fn start(config: ServerConfig, service: Service) -> io::Result<ServerHandle>
                     Metrics::bump(&service.metrics.rejected_overload);
                     pkgrec_trace::counter!("serve.rejected.overload");
                     let err = ServeError::overloaded(retry_after);
+                    let id = service.next_request_id();
                     let _ = shed.set_write_timeout(Some(Duration::from_millis(250)));
                     let retry_secs = retry_after.div_ceil(1000).max(1).to_string();
                     let _ = http::write_response(
                         &mut shed,
                         err.status,
-                        &[("Retry-After", retry_secs.as_str())],
-                        &err.body(),
+                        &[
+                            ("Retry-After", retry_secs.as_str()),
+                            (REQUEST_ID_HEADER, id.as_str()),
+                        ],
+                        &err.body_with_id(Some(&id)),
                         false,
                     );
+                } else {
+                    service
+                        .metrics
+                        .queue_depth
+                        .store(queue.depth.load(Ordering::Relaxed), Ordering::Relaxed);
                 }
             }
         })
@@ -242,8 +269,11 @@ pub fn start(config: ServerConfig, service: Service) -> io::Result<ServerHandle>
 }
 
 /// Serve one connection until it closes, times out, errs, or a chaos
-/// directive severs it.
-fn serve_connection(service: &Service, mut stream: TcpStream) {
+/// directive severs it. `enqueued` is when the accept thread queued the
+/// connection; the first request reports the difference as its queue
+/// latency (keep-alive follow-ups report 0).
+fn serve_connection(service: &Service, mut stream: TcpStream, enqueued: Instant) {
+    let mut queue_us = enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     loop {
         let req = match http::read_request(&mut stream) {
             Ok(req) => req,
@@ -251,17 +281,31 @@ fn serve_connection(service: &Service, mut stream: TcpStream) {
             Err(HttpError::TooLarge(what)) => {
                 Metrics::bump(&service.metrics.rejected_bad_request);
                 pkgrec_trace::counter!("serve.rejected.bad_request");
+                let id = service.next_request_id();
                 let err = ServeError::new(413, "bad_request", format!("{what} too large"));
-                let _ = http::write_response(&mut stream, err.status, &[], &err.body(), false);
+                let _ = http::write_response(
+                    &mut stream,
+                    err.status,
+                    &[(REQUEST_ID_HEADER, id.as_str())],
+                    &err.body_with_id(Some(&id)),
+                    false,
+                );
                 return;
             }
             Err(HttpError::Malformed(m)) => {
                 Metrics::bump(&service.metrics.rejected_bad_request);
                 pkgrec_trace::counter!("serve.rejected.bad_request");
+                let id = service.next_request_id();
                 let err = ServeError::new(400, "bad_request", m);
                 // Framing is broken; answering then closing is all we
                 // can do safely.
-                let _ = http::write_response(&mut stream, err.status, &[], &err.body(), false);
+                let _ = http::write_response(
+                    &mut stream,
+                    err.status,
+                    &[(REQUEST_ID_HEADER, id.as_str())],
+                    &err.body_with_id(Some(&id)),
+                    false,
+                );
                 return;
             }
         };
@@ -271,9 +315,23 @@ fn serve_connection(service: &Service, mut stream: TcpStream) {
         if chaos::hit("serve.request") {
             return;
         }
+        let ctx = RequestCtx {
+            id: service.next_request_id(),
+            queue_us,
+        };
+        queue_us = 0;
         let keep_alive = req.keep_alive;
-        let (status, body) = route(service, &req);
-        if http::write_response(&mut stream, status, &[], &body, keep_alive).is_err() {
+        let response = route(service, &req, &ctx);
+        if http::write_response_typed(
+            &mut stream,
+            response.status,
+            response.content_type,
+            &[(REQUEST_ID_HEADER, ctx.id.as_str())],
+            &response.body,
+            keep_alive,
+        )
+        .is_err()
+        {
             return;
         }
         if !keep_alive {
@@ -282,35 +340,94 @@ fn serve_connection(service: &Service, mut stream: TcpStream) {
     }
 }
 
-/// Dispatch one request. The solve path runs under `catch_unwind`: a
-/// panic — organic or chaos-injected at any `counter!` probe site —
-/// becomes a typed `internal_panic` response and the worker lives on.
-fn route(service: &Service, req: &Request) -> (u16, String) {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/health") => (200, "{\"status\":\"ok\"}".to_string()),
-        ("GET", "/metrics") => (200, service.metrics_json()),
-        ("POST", "/solve") => {
-            match catch_unwind(AssertUnwindSafe(|| service.handle_solve(&req.body))) {
-                Ok(response) => response,
-                Err(payload) => {
-                    Metrics::bump(&service.metrics.worker_panics);
-                    pkgrec_trace::counter!("serve.worker_panics");
-                    let err = ServeError::new(
-                        500,
-                        "internal_panic",
-                        format!("request handler panicked: {}", panic_text(payload.as_ref())),
-                    );
-                    (err.status, err.body())
-                }
-            }
+/// A routed response: status, body, and the body's content type
+/// (JSON everywhere except the Prometheus exposition).
+struct Routed {
+    status: u16,
+    body: String,
+    content_type: &'static str,
+}
+
+impl Routed {
+    fn json((status, body): (u16, String)) -> Routed {
+        Routed {
+            status,
+            body,
+            content_type: "application/json",
         }
+    }
+}
+
+/// The value of `key` in a raw query string (`a=1&b=2`). No percent
+/// decoding: the parameters this server accepts (`format`, `db`) are
+/// plain identifiers.
+fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
+    query?.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
+}
+
+/// Run `f` under a panic fence: a panic — organic or chaos-injected at
+/// any `counter!` probe site — becomes a typed `internal_panic`
+/// response and the worker lives on.
+fn fenced(service: &Service, id: &str, f: impl FnOnce() -> (u16, String)) -> (u16, String) {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(response) => response,
+        Err(payload) => {
+            Metrics::bump(&service.metrics.worker_panics);
+            pkgrec_trace::counter!("serve.worker_panics");
+            let err = ServeError::new(
+                500,
+                "internal_panic",
+                format!("request handler panicked: {}", panic_text(payload.as_ref())),
+            );
+            (err.status, err.body_with_id(Some(id)))
+        }
+    }
+}
+
+/// Dispatch one request.
+fn route(service: &Service, req: &Request, ctx: &RequestCtx) -> Routed {
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (req.path.as_str(), None),
+    };
+    match (req.method.as_str(), path) {
+        ("GET", "/health") => Routed::json((200, "{\"status\":\"ok\"}".to_string())),
+        ("GET", "/metrics") => match query_param(query, "format") {
+            None | Some("json") => Routed::json((200, service.metrics_json())),
+            Some("prometheus") => Routed {
+                status: 200,
+                body: service.metrics_prometheus(),
+                content_type: "text/plain; version=0.0.4",
+            },
+            Some(other) => {
+                let err = ServeError::new(
+                    400,
+                    "bad_request",
+                    format!("unknown metrics format `{other}` (json, prometheus)"),
+                );
+                Routed::json((err.status, err.body_with_id(Some(&ctx.id))))
+            }
+        },
+        ("GET", "/debug/slow") => Routed::json((200, service.debug_slow_json())),
+        ("GET" | "POST", "/explain") => {
+            let db = query_param(query, "db");
+            Routed::json(fenced(service, &ctx.id, || {
+                service.handle_explain(db, &req.body)
+            }))
+        }
+        ("POST", "/solve") => Routed::json(fenced(service, &ctx.id, || {
+            service.handle_solve_ctx(&req.body, ctx)
+        })),
         ("POST", _) | ("GET", _) => {
-            let err = ServeError::new(404, "not_found", format!("no route for {}", req.path));
-            (err.status, err.body())
+            let err = ServeError::new(404, "not_found", format!("no route for {path}"));
+            Routed::json((err.status, err.body_with_id(Some(&ctx.id))))
         }
         (method, _) => {
             let err = ServeError::new(405, "bad_request", format!("method {method} not allowed"));
-            (err.status, err.body())
+            Routed::json((err.status, err.body_with_id(Some(&ctx.id))))
         }
     }
 }

@@ -12,9 +12,10 @@
 //! admission control and panic isolation, and calls into here.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pkgrec_core::problems::{cpp, frp, mbp};
 use pkgrec_core::{
@@ -25,9 +26,14 @@ use pkgrec_data::{Database, Tuple, Value};
 use pkgrec_query::parser::{parse_fo, parse_query};
 use pkgrec_query::Query;
 use pkgrec_trace::json::write_string;
-use pkgrec_trace::{flight, Histogram, TraceReport};
+use pkgrec_trace::window::RollingWindow;
+use pkgrec_trace::{flight, prom, Histogram, TraceReport};
 
+use crate::access_log::AccessLog;
 use crate::request::{parse_fn_spec, parse_solve_request, ProblemKind, SolveRequest};
+
+/// How many recent slow requests `GET /debug/slow` retains.
+const SLOW_RING_CAP: usize = 32;
 
 /// Service-level limits. Every request is clamped to them, so a
 /// client can tighten the deadline or parallelism but never exceed
@@ -43,6 +49,12 @@ pub struct ServiceConfig {
     pub max_jobs: usize,
     /// Prepared-instance cache capacity (entries, FIFO eviction).
     pub plan_cache_cap: usize,
+    /// Requests slower than this (total, milliseconds) land in the
+    /// `/debug/slow` ring. 0 records everything.
+    pub slow_threshold_ms: u64,
+    /// Whether per-second rolling windows are maintained (the bench
+    /// turns them off to measure their cost; production leaves them on).
+    pub windows_enabled: bool,
 }
 
 impl Default for ServiceConfig {
@@ -51,6 +63,8 @@ impl Default for ServiceConfig {
             max_deadline_ms: 10_000,
             max_jobs: 4,
             plan_cache_cap: 64,
+            slow_threshold_ms: 250,
+            windows_enabled: true,
         }
     }
 }
@@ -76,8 +90,15 @@ pub struct Metrics {
     pub plan_cache_hits: AtomicU64,
     /// Prepared-instance cache misses (compiles).
     pub plan_cache_misses: AtomicU64,
+    /// Connections currently waiting in the accept queue (gauge:
+    /// bumped on enqueue, dropped on dequeue — saturation is visible
+    /// before 503s start).
+    pub queue_depth: AtomicU64,
     /// Solve latency, microseconds, log₂-bucketed.
     pub latency_us: Mutex<Histogram>,
+    /// Per-second rolling window of request totals (latency + errors),
+    /// behind `/metrics`' 1s/10s/60s rates and windowed percentiles.
+    pub window: RollingWindow,
     /// Trace reports absorbed from solves (merged across requests).
     pub trace: Mutex<TraceReport>,
 }
@@ -126,10 +147,28 @@ impl ServeError {
         }
     }
 
+    /// The outcome label for the access log and slow ring.
+    pub fn outcome(&self) -> String {
+        format!("error:{}", self.kind)
+    }
+
     /// The response body for this error.
     pub fn body(&self) -> String {
+        self.body_with_id(None)
+    }
+
+    /// The response body, carrying the request id (when one was
+    /// assigned before the failure) so the error correlates with the
+    /// access log, `/debug/slow` and the flight export.
+    pub fn body_with_id(&self, id: Option<&str>) -> String {
         let mut out = String::with_capacity(96);
-        out.push_str("{\"status\":\"error\",\"error\":{\"kind\":\"");
+        out.push_str("{\"status\":\"error\",");
+        if let Some(id) = id {
+            out.push_str("\"request_id\":");
+            write_string(&mut out, id);
+            out.push(',');
+        }
+        out.push_str("\"error\":{\"kind\":\"");
         out.push_str(self.kind);
         out.push_str("\",\"message\":");
         write_string(&mut out, &self.message);
@@ -177,6 +216,32 @@ struct PlanCache {
     order: VecDeque<PlanKey>,
 }
 
+/// Per-request context the server threads into the service: the
+/// assigned trace id and how long the connection waited in the accept
+/// queue before a worker picked it up.
+#[derive(Debug, Clone)]
+pub struct RequestCtx {
+    /// The request's trace id (`req-<boot>-<seq>`), echoed in the
+    /// `x-pkgrec-request-id` header and every error/partial body.
+    pub id: String,
+    /// Microseconds the connection spent queued before this request
+    /// was read (0 for keep-alive follow-ups).
+    pub queue_us: u64,
+}
+
+/// One `/debug/slow` entry: the black-box pointer for a slow request.
+#[derive(Debug, Clone)]
+struct SlowEntry {
+    id: String,
+    db: Option<String>,
+    problem: Option<String>,
+    status: u16,
+    outcome: String,
+    queue_us: u64,
+    solve_us: u64,
+    total_us: u64,
+}
+
 /// The resident service state shared by every worker thread.
 #[derive(Debug)]
 pub struct Service {
@@ -186,6 +251,13 @@ pub struct Service {
     /// Telemetry; public so the server can stamp admission-control and
     /// panic counters on the same ledger `/metrics` reads.
     pub metrics: Metrics,
+    /// Boot epoch-second, baked into request ids and `uptime_seconds`.
+    boot_epoch: u64,
+    started: Instant,
+    req_seq: AtomicU64,
+    access_log: Option<Arc<AccessLog>>,
+    flight_dir: Option<PathBuf>,
+    slow: Mutex<VecDeque<SlowEntry>>,
 }
 
 impl Service {
@@ -196,7 +268,31 @@ impl Service {
             dbs: BTreeMap::new(),
             plans: Mutex::new(PlanCache::default()),
             metrics: Metrics::default(),
+            boot_epoch: pkgrec_trace::window::now_sec(),
+            started: Instant::now(),
+            req_seq: AtomicU64::new(0),
+            access_log: None,
+            flight_dir: None,
+            slow: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// Attach an opened access log (before serving). Closed on drop.
+    pub fn set_access_log(&mut self, log: Arc<AccessLog>) {
+        self.access_log = Some(log);
+    }
+
+    /// Export each request's flight recording (when the recorder is
+    /// enabled) to `dir/<request-id>.flight.jsonl`.
+    pub fn set_flight_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.flight_dir = Some(dir.into());
+    }
+
+    /// Mint the next request id: `req-<boot-epoch-hex>-<seq-hex>`.
+    /// Deterministic format, unique per process lifetime, cheap.
+    pub fn next_request_id(&self) -> String {
+        let seq = self.req_seq.fetch_add(1, Ordering::Relaxed);
+        format!("req-{:08x}-{:06x}", self.boot_epoch, seq)
     }
 
     /// The configured limits.
@@ -214,11 +310,24 @@ impl Service {
         self.dbs.keys().map(String::as_str).collect()
     }
 
-    /// Handle one `/solve` body end to end: decode, solve under a
-    /// clamped budget, encode. Returns `(http_status, response_body)`;
-    /// every failure mode is a typed error body.
+    /// Handle one `/solve` body with a synthesized [`RequestCtx`]
+    /// (direct callers and tests; the server passes its own ctx).
     pub fn handle_solve(&self, body: &[u8]) -> (u16, String) {
-        let started = std::time::Instant::now();
+        let ctx = RequestCtx {
+            id: self.next_request_id(),
+            queue_us: 0,
+        };
+        self.handle_solve_ctx(body, &ctx)
+    }
+
+    /// Handle one `/solve` body end to end: decode, solve under a
+    /// clamped budget, encode, and account the request on every
+    /// observability surface — cumulative metrics, rolling window,
+    /// access log, slow ring and (when enabled) the per-request flight
+    /// export. Returns `(http_status, response_body)`; every failure
+    /// mode is a typed error body carrying the request id.
+    pub fn handle_solve_ctx(&self, body: &[u8], ctx: &RequestCtx) -> (u16, String) {
+        let started = Instant::now();
         pkgrec_trace::counter!("serve.requests");
         let req = match parse_solve_request(body) {
             Ok(req) => req,
@@ -226,43 +335,78 @@ impl Service {
                 Metrics::bump(&self.metrics.rejected_bad_request);
                 pkgrec_trace::counter!("serve.rejected.bad_request");
                 let err = ServeError::new(400, "bad_request", e.message);
-                return (err.status, err.body());
+                self.account(ctx, started, None, err.status, &err.outcome(), None);
+                return (err.status, err.body_with_id(Some(&ctx.id)));
             }
         };
         Metrics::bump(&self.metrics.requests);
-        let result = self.solve(&req);
-        let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+
+        // Collect this solve's trace so `/metrics` can report merged
+        // counters/spans across requests; enable() nests refcounted, so
+        // concurrent requests and an operator-enabled trace compose.
+        let _trace = pkgrec_trace::scoped();
+        pkgrec_trace::reset();
+        if self.flight_dir.is_some() {
+            // A fresh ring per request, so the export is this
+            // request's black box and nothing else's.
+            flight::reset();
+        }
+        let result = self.solve_rendered(&req);
+        let report = pkgrec_trace::take();
         self.metrics
-            .latency_us
+            .trace
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .record(elapsed_us);
-        match result {
-            Ok(body) => {
+            .merge(&report);
+        self.export_flight(&ctx.id);
+
+        let (status, outcome, body) = match result {
+            Ok(rendered) => {
                 Metrics::bump(&self.metrics.ok);
-                (200, body)
+                (
+                    200,
+                    rendered.outcome,
+                    inject_request_id(rendered.body, &ctx.id),
+                )
             }
             Err(err) => {
                 if err.status == 400 {
                     Metrics::bump(&self.metrics.rejected_bad_request);
                     pkgrec_trace::counter!("serve.rejected.bad_request");
                 }
-                (err.status, err.body())
+                (
+                    err.status,
+                    err.outcome(),
+                    err.body_with_id(Some(&ctx.id)),
+                )
             }
-        }
+        };
+        self.account(ctx, started, Some(&req), status, &outcome, Some(&report));
+        (status, body)
     }
 
-    /// Solve a validated request.
+    /// Solve a validated request (trace scope managed by the caller for
+    /// request-path accounting; this wrapper scopes its own).
     pub fn solve(&self, req: &SolveRequest) -> Result<String, ServeError> {
+        let _trace = pkgrec_trace::scoped();
+        pkgrec_trace::reset();
+        let solved = self.solve_rendered(req);
+        let report = pkgrec_trace::take();
+        self.metrics
+            .trace
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&report);
+        solved.map(|r| r.body)
+    }
+
+    /// Solve and render, also labelling the outcome (`exact` /
+    /// `partial:<resource>`) for the access log and slow ring.
+    fn solve_rendered(&self, req: &SolveRequest) -> Result<Rendered, ServeError> {
         let prepared = self.prepared(req)?;
         let budget = self.budget_for(req);
         let jobs = req.jobs.min(self.config.max_jobs).max(1);
         let opts = SolveOptions::with_budget(budget).with_jobs(jobs);
-        // Collect this solve's trace so `/metrics` can report merged
-        // counters/spans across requests; enable() nests refcounted, so
-        // concurrent requests and an operator-enabled trace compose.
-        let _trace = pkgrec_trace::scoped();
-        pkgrec_trace::reset();
         let solved = match req.problem {
             ProblemKind::Eval => Ok(render_eval(&prepared)),
             ProblemKind::TopK => {
@@ -289,13 +433,76 @@ impl Service {
                 })
             }
         };
-        let report = pkgrec_trace::take();
+        solved.map_err(solve_error)
+    }
+
+    /// Stamp one finished request onto every passive surface: the
+    /// latency histogram, the rolling window, the slow ring and the
+    /// access log. `req`/`report` are `None` when parsing failed before
+    /// a request existed.
+    fn account(
+        &self,
+        ctx: &RequestCtx,
+        started: Instant,
+        req: Option<&SolveRequest>,
+        status: u16,
+        outcome: &str,
+        report: Option<&TraceReport>,
+    ) {
+        let solve_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let total_us = ctx.queue_us.saturating_add(solve_us);
         self.metrics
-            .trace
+            .latency_us
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .merge(&report);
-        solved.map_err(solve_error)
+            .record(solve_us);
+        if self.config.windows_enabled {
+            self.metrics.window.record(total_us, status >= 400);
+        }
+        if total_us >= self.config.slow_threshold_ms.saturating_mul(1000) {
+            let mut slow = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+            while slow.len() >= SLOW_RING_CAP {
+                slow.pop_front();
+            }
+            slow.push_back(SlowEntry {
+                id: ctx.id.clone(),
+                db: req.map(|r| r.db.clone()),
+                problem: req.map(|r| r.problem.name().to_string()),
+                status,
+                outcome: outcome.to_string(),
+                queue_us: ctx.queue_us,
+                solve_us,
+                total_us,
+            });
+        }
+        if let Some(log) = &self.access_log {
+            log.push(access_record(
+                ctx, req, status, outcome, solve_us, total_us, report,
+            ));
+        }
+    }
+
+    /// Write this request's flight recording (if any) to the export
+    /// directory. Failures are swallowed: the export is best-effort
+    /// telemetry, never a request outcome.
+    fn export_flight(&self, id: &str) {
+        let Some(dir) = &self.flight_dir else { return };
+        if !flight::is_enabled() {
+            return;
+        }
+        let recording = flight::take_recording();
+        if recording.is_empty() {
+            return;
+        }
+        let _ = std::fs::write(dir.join(format!("{id}.flight.jsonl")), recording.to_jsonl());
+    }
+
+    /// Close the access log (final flush + writer join). Idempotent;
+    /// called by the server on shutdown.
+    pub fn close_access_log(&self) {
+        if let Some(log) = &self.access_log {
+            log.close();
+        }
     }
 
     /// The effective budget: the server's deadline cap, tightened by
@@ -393,12 +600,52 @@ impl Service {
             out.push_str("\":");
             out.push_str(&counter.load(Ordering::Relaxed).to_string());
         }
-        out.push_str("},\"latency_us\":");
+        out.push_str("},\"uptime_seconds\":");
+        out.push_str(&self.started.elapsed().as_secs().to_string());
+        out.push_str(",\"version\":");
+        write_string(&mut out, env!("CARGO_PKG_VERSION"));
+        out.push_str(",\"queue_depth\":");
+        out.push_str(&m.queue_depth.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"latency_us\":");
         {
             let h = m.latency_us.lock().unwrap_or_else(|e| e.into_inner());
             write_latency(&mut out, &h);
         }
-        out.push_str(",\"plans_cached\":");
+        out.push_str(",\"windows\":");
+        if self.config.windows_enabled {
+            out.push('{');
+            for (i, span) in [1u64, 10, 60].iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let snap = m.window.snapshot(*span);
+                let _ = std::fmt::Write::write_fmt(
+                    &mut out,
+                    format_args!(
+                        "\"{span}s\":{{\"requests\":{},\"errors\":{},\"rate\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                        snap.requests,
+                        snap.errors,
+                        format_f64(snap.rate()),
+                        snap.latency.percentile(0.50),
+                        snap.latency.percentile(0.99),
+                    ),
+                );
+            }
+            out.push('}');
+        } else {
+            out.push_str("null");
+        }
+        out.push_str(",\"access_log\":{\"enabled\":");
+        out.push_str(if self.access_log.is_some() { "true" } else { "false" });
+        out.push_str(",\"dropped\":");
+        out.push_str(
+            &self
+                .access_log
+                .as_ref()
+                .map_or(0, |l| l.dropped())
+                .to_string(),
+        );
+        out.push_str("},\"plans_cached\":");
         out.push_str(&self.plans_cached().to_string());
         out.push_str(",\"dbs\":[");
         for (i, name) in self.db_names().iter().enumerate() {
@@ -418,6 +665,249 @@ impl Service {
         }
         out.push('}');
         out
+    }
+
+    /// The `/metrics?format=prometheus` response body (exposition
+    /// format 0.0.4, rendered by [`pkgrec_trace::prom`]).
+    pub fn metrics_prometheus(&self) -> String {
+        let m = &self.metrics;
+        let mut out = String::with_capacity(2048);
+        let counters: [(&str, &AtomicU64, &str); 8] = [
+            ("requests", &m.requests, "solve requests accepted"),
+            ("ok", &m.ok, "solve requests answered ok"),
+            ("rejected_overload", &m.rejected_overload, "connections shed by admission control"),
+            ("rejected_bad_request", &m.rejected_bad_request, "requests rejected as malformed"),
+            ("worker_panics", &m.worker_panics, "request handlers that panicked"),
+            ("deadline_partial", &m.deadline_partial, "solves cut off by their budget"),
+            ("plan_cache_hits", &m.plan_cache_hits, "prepared-instance cache hits"),
+            ("plan_cache_misses", &m.plan_cache_misses, "prepared-instance cache misses"),
+        ];
+        for (name, counter, help) in counters {
+            prom::write_counter(
+                &mut out,
+                &format!("pkgrec_serve_{name}_total"),
+                help,
+                counter.load(Ordering::Relaxed),
+            );
+        }
+        prom::write_gauge(
+            &mut out,
+            "pkgrec_serve_uptime_seconds",
+            "seconds since the service booted",
+            self.started.elapsed().as_secs() as f64,
+        );
+        prom::write_gauge(
+            &mut out,
+            "pkgrec_serve_queue_depth",
+            "connections waiting in the accept queue",
+            m.queue_depth.load(Ordering::Relaxed) as f64,
+        );
+        prom::write_gauge(
+            &mut out,
+            "pkgrec_serve_plans_cached",
+            "prepared instances currently cached",
+            self.plans_cached() as f64,
+        );
+        prom::write_header(
+            &mut out,
+            "pkgrec_build_info",
+            "gauge",
+            "build metadata (constant 1)",
+        );
+        prom::write_sample(
+            &mut out,
+            "pkgrec_build_info",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+            1.0,
+        );
+        {
+            let h = m.latency_us.lock().unwrap_or_else(|e| e.into_inner());
+            prom::write_histogram(
+                &mut out,
+                "pkgrec_serve_latency_us",
+                "solve latency, microseconds",
+                &[],
+                &h,
+            );
+        }
+        if self.config.windows_enabled {
+            prom::write_header(
+                &mut out,
+                "pkgrec_serve_window_requests",
+                "gauge",
+                "requests in the trailing window",
+            );
+            let snaps: Vec<(&str, _)> = [("1s", 1u64), ("10s", 10), ("60s", 60)]
+                .iter()
+                .map(|&(label, span)| (label, m.window.snapshot(span)))
+                .collect();
+            for (label, snap) in &snaps {
+                prom::write_sample(
+                    &mut out,
+                    "pkgrec_serve_window_requests",
+                    &[("window", label)],
+                    snap.requests as f64,
+                );
+            }
+            prom::write_header(
+                &mut out,
+                "pkgrec_serve_window_errors",
+                "gauge",
+                "error responses in the trailing window",
+            );
+            for (label, snap) in &snaps {
+                prom::write_sample(
+                    &mut out,
+                    "pkgrec_serve_window_errors",
+                    &[("window", label)],
+                    snap.errors as f64,
+                );
+            }
+            prom::write_histogram(
+                &mut out,
+                "pkgrec_serve_window_latency_us",
+                "total request latency over the trailing 60s window",
+                &[("window", "60s")],
+                &m.window.snapshot(60).latency,
+            );
+        }
+        // The merged trace counters, namespaced under their registry
+        // names (`dpll.decisions` → `pkgrec_trace_dpll_decisions_total`).
+        {
+            let report = m.trace.lock().unwrap_or_else(|e| e.into_inner());
+            for info in pkgrec_trace::COUNTER_REGISTRY {
+                if let Some(&n) = report.counters.get(info.name) {
+                    prom::write_counter(
+                        &mut out,
+                        &format!("pkgrec_trace_{}_total", prom::sanitize_name(info.name)),
+                        info.help,
+                        n,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The `GET /debug/slow` body: the retained slow-request ring,
+    /// oldest first.
+    pub fn debug_slow_json(&self) -> String {
+        let slow = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::with_capacity(64 + slow.len() * 128);
+        out.push_str("{\"threshold_ms\":");
+        out.push_str(&self.config.slow_threshold_ms.to_string());
+        out.push_str(",\"slow\":[");
+        for (i, e) in slow.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"request_id\":");
+            write_string(&mut out, &e.id);
+            out.push_str(",\"db\":");
+            match &e.db {
+                Some(db) => write_string(&mut out, db),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"problem\":");
+            match &e.problem {
+                Some(p) => write_string(&mut out, p),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"status\":");
+            out.push_str(&e.status.to_string());
+            out.push_str(",\"outcome\":");
+            write_string(&mut out, &e.outcome);
+            out.push_str(",\"queue_us\":");
+            out.push_str(&e.queue_us.to_string());
+            out.push_str(",\"solve_us\":");
+            out.push_str(&e.solve_us.to_string());
+            out.push_str(",\"total_us\":");
+            out.push_str(&e.total_us.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Handle `/explain`: compile the query against a resident database
+    /// and return the plan's [`PlanReport`] as JSON. The body is either
+    /// a JSON object `{"db": ..., "query": ...}` or raw query text with
+    /// the database named by the `?db=` parameter.
+    pub fn handle_explain(&self, db_param: Option<&str>, body: &[u8]) -> (u16, String) {
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t.trim(),
+            Err(_) => {
+                let err = ServeError::new(400, "bad_request", "body is not UTF-8");
+                return (err.status, err.body());
+            }
+        };
+        let (db_name, query_src) = match pkgrec_trace::json::parse(text) {
+            Ok(v) if v.get("query").is_some() => {
+                let q = v
+                    .get("query")
+                    .and_then(|q| q.as_str())
+                    .map(str::to_string);
+                let db = v
+                    .get("db")
+                    .and_then(|d| d.as_str())
+                    .map(str::to_string)
+                    .or_else(|| db_param.map(str::to_string));
+                match (db, q) {
+                    (Some(db), Some(q)) => (db, q),
+                    _ => {
+                        let err =
+                            ServeError::new(400, "bad_request", "explain needs `db` and `query`");
+                        return (err.status, err.body());
+                    }
+                }
+            }
+            _ => {
+                // Raw query text; the database must come from `?db=`.
+                let Some(db) = db_param else {
+                    let err = ServeError::new(
+                        400,
+                        "bad_request",
+                        "explain needs `?db=<name>` when the body is raw query text",
+                    );
+                    return (err.status, err.body());
+                };
+                if text.is_empty() {
+                    let err = ServeError::new(400, "bad_request", "explain needs a query body");
+                    return (err.status, err.body());
+                }
+                (db.to_string(), text.to_string())
+            }
+        };
+        let Some(db) = self.dbs.get(&db_name) else {
+            let err = ServeError::new(
+                404,
+                "unknown_db",
+                format!(
+                    "no resident database `{db_name}` (have: {})",
+                    self.db_names().join(", ")
+                ),
+            );
+            return (err.status, err.body());
+        };
+        let query = match load_query(&query_src) {
+            Ok(q) => q,
+            Err(err) => return (err.status, err.body()),
+        };
+        let plan = match query.compile(db) {
+            Ok(p) => p,
+            Err(e) => {
+                let err = ServeError::new(422, "solve_error", e.to_string());
+                return (err.status, err.body());
+            }
+        };
+        let report = plan.explain();
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"status\":\"ok\",\"db\":");
+        write_string(&mut out, &db_name);
+        out.push_str(",\"plan\":");
+        report.write_json(&mut out);
+        out.push('}');
+        (200, out)
     }
 
     /// Note a partial (budget-cut) solve on the metrics ledger, so
@@ -443,25 +933,10 @@ fn write_latency(out: &mut String, h: &Histogram) {
     out.push_str(",\"max\":");
     out.push_str(&h.max.to_string());
     out.push_str(",\"p50\":");
-    out.push_str(&approx_percentile(h, 0.50).to_string());
+    out.push_str(&h.percentile(0.50).to_string());
     out.push_str(",\"p99\":");
-    out.push_str(&approx_percentile(h, 0.99).to_string());
+    out.push_str(&h.percentile(0.99).to_string());
     out.push('}');
-}
-
-fn approx_percentile(h: &Histogram, q: f64) -> u64 {
-    if h.count == 0 {
-        return 0;
-    }
-    let rank = ((h.count as f64) * q).ceil() as u64;
-    let mut seen = 0u64;
-    for (bucket, &n) in h.buckets.iter().enumerate() {
-        seen += n;
-        if n > 0 && seen >= rank {
-            return if bucket == 0 { 0 } else { 1u64 << (bucket - 1) };
-        }
-    }
-    h.max
 }
 
 fn bad_request(message: impl Into<String>) -> ServeError {
@@ -600,10 +1075,17 @@ fn write_interrupted(out: &mut String, cut: Option<&Interrupted>, stats: &Search
     }
 }
 
+/// A rendered success body plus its outcome label (`exact` or
+/// `partial:<resource>`), which the access log and slow ring record.
+struct Rendered {
+    body: String,
+    outcome: String,
+}
+
 fn render_outcome<T: RenderResult>(
     req: &SolveRequest,
     out: pkgrec_guard::Outcome<T, SearchStats>,
-) -> String {
+) -> Rendered {
     let mut body = String::with_capacity(256);
     body.push_str("{\"status\":\"ok\",\"problem\":\"");
     body.push_str(req.problem.name());
@@ -618,12 +1100,20 @@ fn render_outcome<T: RenderResult>(
     body.push_str(",\"valid_packages\":");
     body.push_str(&out.stats.valid_packages.to_string());
     body.push_str("}}");
-    body
+    let outcome = if out.exact {
+        "exact".to_string()
+    } else {
+        match &out.interrupted {
+            Some(cut) => format!("partial:{}", cut.resource.label()),
+            None => "partial".to_string(),
+        }
+    };
+    Rendered { body, outcome }
 }
 
 /// `eval` answers straight from the prepared item pool — exact by
 /// construction (the pool was materialized at prepare time).
-fn render_eval(prepared: &PreparedInstance) -> String {
+fn render_eval(prepared: &PreparedInstance) -> Rendered {
     let ctx = prepared.context();
     let items = ctx.items();
     let mut body = String::with_capacity(64 + items.len() * 16);
@@ -639,7 +1129,80 @@ fn render_eval(prepared: &PreparedInstance) -> String {
     body.push_str("],\"stats\":{\"items\":");
     body.push_str(&items.len().to_string());
     body.push_str("}}");
-    body
+    Rendered {
+        body,
+        outcome: "exact".to_string(),
+    }
+}
+
+/// Splice `"request_id":"<id>",` into a rendered body right after the
+/// opening brace, so partial and exact answers alike carry the id the
+/// `x-pkgrec-request-id` header promises.
+fn inject_request_id(body: String, id: &str) -> String {
+    debug_assert!(body.starts_with('{'));
+    let mut out = String::with_capacity(body.len() + id.len() + 16);
+    out.push_str("{\"request_id\":");
+    write_string(&mut out, id);
+    out.push(',');
+    out.push_str(&body[1..]);
+    out
+}
+
+/// One access-log JSONL record. `req`/`report` are absent when the
+/// request never parsed.
+fn access_record(
+    ctx: &RequestCtx,
+    req: Option<&SolveRequest>,
+    status: u16,
+    outcome: &str,
+    solve_us: u64,
+    total_us: u64,
+    report: Option<&TraceReport>,
+) -> String {
+    use std::fmt::Write as _;
+    // This runs once per request on the worker thread: numbers are
+    // written in place (no temporary strings) and the capacity covers
+    // a typical record, so building the line costs one allocation.
+    let mut out = String::with_capacity(320);
+    out.push_str("{\"request_id\":");
+    write_string(&mut out, &ctx.id);
+    out.push_str(",\"db\":");
+    match req {
+        Some(r) => write_string(&mut out, &r.db),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"problem\":");
+    match req {
+        Some(r) => write_string(&mut out, r.problem.name()),
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, ",\"status\":{status},\"outcome\":");
+    write_string(&mut out, outcome);
+    let _ = write!(
+        out,
+        ",\"queue_us\":{},\"solve_us\":{solve_us},\"total_us\":{total_us},\"dominant_counter\":",
+        ctx.queue_us
+    );
+    match report.and_then(TraceReport::dominant_counter) {
+        Some((name, value)) => {
+            out.push_str("{\"name\":");
+            write_string(&mut out, name);
+            let _ = write!(out, ",\"value\":{value}}}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"pruned\":{");
+    if let Some(report) = report {
+        for (i, (name, n)) in report.pruned_breakdown().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(&mut out, name);
+            let _ = write!(out, ":{n}");
+        }
+    }
+    out.push_str("}}");
+    out
 }
 
 #[cfg(test)]
@@ -798,11 +1361,162 @@ mod tests {
     #[test]
     fn percentiles_come_from_buckets() {
         let mut h = Histogram::default();
-        assert_eq!(approx_percentile(&h, 0.5), 0);
+        assert_eq!(h.percentile(0.5), 0);
         for v in [1u64, 2, 4, 100] {
             h.record(v);
         }
-        assert!(approx_percentile(&h, 0.5) <= 4);
-        assert!(approx_percentile(&h, 0.99) >= 64);
+        assert!(h.percentile(0.5) <= 4);
+        assert!(h.percentile(0.99) >= 64);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_echoed_in_bodies() {
+        let svc = service();
+        let a = svc.next_request_id();
+        let b = svc.next_request_id();
+        assert_ne!(a, b);
+        assert!(a.starts_with("req-"), "{a}");
+
+        // Success bodies carry the id...
+        let ctx = RequestCtx {
+            id: "req-test-ok".to_string(),
+            queue_us: 7,
+        };
+        let (status, body) = svc.handle_solve_ctx(
+            br#"{"db":"shop","problem":"eval","query":"q(x, p) :- item(x, p)."}"#,
+            &ctx,
+        );
+        assert_eq!(status, 200);
+        let resp = json::parse(&body).unwrap();
+        assert_eq!(
+            resp.get("request_id").and_then(Json::as_str),
+            Some("req-test-ok")
+        );
+
+        // ...and so do typed error bodies.
+        let ctx = RequestCtx {
+            id: "req-test-err".to_string(),
+            queue_us: 0,
+        };
+        let (status, body) = svc.handle_solve_ctx(b"{broken", &ctx);
+        assert_eq!(status, 400);
+        let resp = json::parse(&body).unwrap();
+        assert_eq!(
+            resp.get("request_id").and_then(Json::as_str),
+            Some("req-test-err")
+        );
+    }
+
+    #[test]
+    fn slow_ring_records_requests_over_threshold() {
+        let mut svc = service();
+        svc.config.slow_threshold_ms = 0; // record everything
+        svc.handle_solve(br#"{"db":"shop","problem":"eval","query":"q(x, p) :- item(x, p)."}"#);
+        svc.handle_solve(b"{broken");
+        let parsed = json::parse(&svc.debug_slow_json()).unwrap();
+        let slow = parsed.get("slow").and_then(Json::as_array).unwrap();
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].get("outcome").and_then(Json::as_str), Some("exact"));
+        assert_eq!(
+            slow[1].get("outcome").and_then(Json::as_str),
+            Some("error:bad_request")
+        );
+        assert!(slow[0]
+            .get("request_id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("req-"));
+    }
+
+    #[test]
+    fn windows_and_gauges_show_up_in_metrics_json() {
+        let svc = service();
+        svc.handle_solve(br#"{"db":"shop","problem":"eval","query":"q(x, p) :- item(x, p)."}"#);
+        let parsed = json::parse(&svc.metrics_json()).unwrap();
+        assert!(parsed.get("uptime_seconds").and_then(Json::as_u64).is_some());
+        assert_eq!(
+            parsed.get("version").and_then(Json::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(parsed.get("queue_depth").and_then(Json::as_u64), Some(0));
+        let windows = parsed.get("windows").unwrap();
+        for span in ["1s", "10s", "60s"] {
+            assert!(windows.get(span).and_then(|w| w.get("rate")).is_some(), "{span}");
+        }
+        let al = parsed.get("access_log").unwrap();
+        assert_eq!(al.get("enabled").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn prometheus_exposition_has_expected_series() {
+        let svc = service();
+        svc.handle_solve(br#"{"db":"shop","problem":"eval","query":"q(x, p) :- item(x, p)."}"#);
+        let text = svc.metrics_prometheus();
+        assert!(text.contains("# TYPE pkgrec_serve_requests_total counter"), "{text}");
+        assert!(text.contains("pkgrec_serve_requests_total 1"), "{text}");
+        assert!(text.contains("# TYPE pkgrec_serve_latency_us histogram"), "{text}");
+        assert!(text.contains("pkgrec_serve_latency_us_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("pkgrec_build_info{version=\""), "{text}");
+        assert!(text.contains("pkgrec_serve_window_requests{window=\"10s\"}"), "{text}");
+        // Trace counters from the solve surface under their registry names.
+        assert!(text.contains("pkgrec_trace_query_plan_compiles_total"), "{text}");
+    }
+
+    #[test]
+    fn explain_endpoint_compiles_and_reports_errors_typed() {
+        let svc = service();
+        // JSON body form.
+        let (status, body) =
+            svc.handle_explain(None, br#"{"db":"shop","query":"q(x, p) :- item(x, p)."}"#);
+        assert_eq!(status, 200, "{body}");
+        let resp = json::parse(&body).unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        let plan = resp.get("plan").unwrap();
+        assert_eq!(plan.get("kind").and_then(Json::as_str), Some("cq"));
+
+        // Raw query text + ?db= form.
+        let (status, body) = svc.handle_explain(Some("shop"), b"q(x, p) :- item(x, p).");
+        assert_eq!(status, 200, "{body}");
+
+        // Typed errors: unknown db, missing db, parse failure.
+        let (status, _) = svc.handle_explain(Some("nope"), b"q(x, p) :- item(x, p).");
+        assert_eq!(status, 404);
+        let (status, _) = svc.handle_explain(None, b"q(x, p) :- item(x, p).");
+        assert_eq!(status, 400);
+        let (status, body) = svc.handle_explain(Some("shop"), b"q(x :-");
+        assert_eq!(status, 400);
+        let resp = json::parse(&body).unwrap();
+        assert_eq!(
+            resp.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("parse_error")
+        );
+    }
+
+    #[test]
+    fn access_log_gets_one_record_per_request() {
+        let dir = std::env::temp_dir().join(format!("pkgrec-svc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("svc-access.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut svc = service();
+        svc.set_access_log(AccessLog::open(&path).unwrap());
+        svc.handle_solve(br#"{"db":"shop","problem":"eval","query":"q(x, p) :- item(x, p)."}"#);
+        svc.handle_solve(b"{broken");
+        svc.close_access_log();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        let ok = json::parse(lines[0]).unwrap();
+        assert_eq!(ok.get("db").and_then(Json::as_str), Some("shop"));
+        assert_eq!(ok.get("outcome").and_then(Json::as_str), Some("exact"));
+        assert_eq!(ok.get("status").and_then(Json::as_u64), Some(200));
+        assert!(ok.get("dominant_counter").is_some());
+        let bad = json::parse(lines[1]).unwrap();
+        assert!(bad.get("db").unwrap().as_str().is_none());
+        assert_eq!(
+            bad.get("outcome").and_then(Json::as_str),
+            Some("error:bad_request")
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

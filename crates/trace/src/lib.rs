@@ -86,10 +86,76 @@ use std::time::Instant;
 pub mod chaos;
 pub mod flight;
 pub mod json;
+pub mod prom;
+pub mod window;
 
 /// Number of log₂ histogram buckets: bucket `i` holds values whose bit
 /// length is `i` (bucket 0 holds the value 0).
 pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// One row of the counter name registry (the table in the crate docs,
+/// machine-readable). The `name` column doubles as the fault-site name
+/// `pkgrec_trace::chaos` directives target, since every [`counter!`]
+/// probe is a chaos site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterInfo {
+    /// The stable counter / fault-site name, e.g. `enumerate.nodes`.
+    pub name: &'static str,
+    /// The layer that owns the probe (`logic`, `query`, `core`, …).
+    pub layer: &'static str,
+    /// What one increment means.
+    pub help: &'static str,
+}
+
+/// The counter name registry as data: one entry per row of the table
+/// in the crate docs, in the same order. A test pins the two in sync,
+/// so `pkgrec chaos-sites` can enumerate valid `PKGREC_CHAOS` targets
+/// from this constant without parsing doc comments at runtime.
+pub const COUNTER_REGISTRY: &[CounterInfo] = &[
+    CounterInfo { name: "dpll.decisions", layer: "logic", help: "DPLL branching decisions" },
+    CounterInfo { name: "dpll.propagations", layer: "logic", help: "unit-propagation assignments" },
+    CounterInfo { name: "dpll.conflicts", layer: "logic", help: "falsified-clause backtracks" },
+    CounterInfo { name: "dpll.pure_literals", layer: "logic", help: "pure-literal eliminations" },
+    CounterInfo { name: "qbf.expansions", layer: "logic", help: "quantifier-block assignments tried" },
+    CounterInfo { name: "sharpsat.branches", layer: "logic", help: "#SAT branch nodes" },
+    CounterInfo { name: "maxsat.branches", layer: "logic", help: "MaxSAT branch-and-bound nodes" },
+    CounterInfo { name: "datalog.fixpoint_rounds", layer: "query", help: "semi-naive fixpoint rounds" },
+    CounterInfo { name: "datalog.facts_derived", layer: "query", help: "new IDB facts per round" },
+    CounterInfo { name: "cq.join_candidates", layer: "query", help: "candidate tuples tried by the join" },
+    CounterInfo { name: "query.plan_compiles", layer: "query", help: "query plans compiled (once per (query, db) pair)" },
+    CounterInfo { name: "query.plan_probes", layer: "query", help: "compiled-plan evaluations / membership probes" },
+    CounterInfo { name: "query.index_builds", layer: "query", help: "column indexes built (relation or compiled plan)" },
+    CounterInfo { name: "fo.assignments", layer: "query", help: "active-domain rows enumerated" },
+    CounterInfo { name: "rewrite.steps", layer: "query", help: "language-lattice rewrite steps" },
+    CounterInfo { name: "enumerate.nodes", layer: "core", help: "package-space DFS nodes visited" },
+    CounterInfo { name: "enumerate.pruned.cost", layer: "core", help: "subtrees skipped: every superset over the cost budget" },
+    CounterInfo { name: "enumerate.pruned.compat", layer: "core", help: "subtrees skipped: anti-monotone `Qc` already violated" },
+    CounterInfo { name: "enumerate.pruned.budget", layer: "core", help: "walks cut short by the resource budget" },
+    CounterInfo { name: "enumerate.pruned.floor", layer: "core", help: "parallel units discarded above the merge floor" },
+    CounterInfo { name: "enumerate.valid", layer: "core", help: "packages passing all validity checks" },
+    CounterInfo { name: "enumerate.worker_panics", layer: "core", help: "search-unit panics caught and converted to typed errors" },
+    CounterInfo { name: "core.arity_derivations", layer: "core", help: "query answer-arity derivations (O(1) per search)" },
+    CounterInfo { name: "frp.candidate_inserts", layer: "core", help: "top-k working-set insertions" },
+    CounterInfo { name: "qrpp.relaxations", layer: "relax", help: "relaxation candidates tried" },
+    CounterInfo { name: "arpp.adjustments", layer: "adjust", help: "adjustment candidates tried" },
+    CounterInfo { name: "guard.interrupted", layer: "guard", help: "budget interruptions raised" },
+    CounterInfo { name: "serve.requests", layer: "serve", help: "HTTP requests accepted for processing" },
+    CounterInfo { name: "serve.rejected.overload", layer: "serve", help: "requests shed by admission control" },
+    CounterInfo { name: "serve.rejected.bad_request", layer: "serve", help: "malformed requests answered with a typed error" },
+    CounterInfo { name: "serve.worker_panics", layer: "serve", help: "request-handler panics caught at the worker fence" },
+    CounterInfo { name: "serve.deadline_partial", layer: "serve", help: "responses returned best-so-far at a deadline" },
+    CounterInfo { name: "serve.plan_cache_hits", layer: "serve", help: "solve requests served from the prepared-plan cache" },
+    CounterInfo { name: "serve.plan_cache_misses", layer: "serve", help: "solve requests that compiled a fresh plan" },
+];
+
+/// Fault sites that are *not* counters: places that call
+/// [`chaos::hit`] directly. Append these to [`COUNTER_REGISTRY`] for
+/// the full set of valid `PKGREC_CHAOS` targets.
+pub const EXTRA_FAULT_SITES: &[CounterInfo] = &[CounterInfo {
+    name: "serve.request",
+    layer: "serve",
+    help: "connection loop, after reading a request (a `drop` here severs the socket)",
+}];
 
 /// Process-wide enable count (an RAII-friendly counter rather than a
 /// flag, so nested/concurrent enablers compose). Tracing is on while
@@ -247,6 +313,37 @@ impl Histogram {
     /// Mean sample, or 0 when empty.
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate quantile `q` (in `0.0..=1.0`). Buckets are log₂, so
+    /// the estimate is the *lower bound* of the bucket the quantile
+    /// falls in — good enough to see orders of magnitude, cheap enough
+    /// to always keep. Merging histograms then taking a percentile
+    /// gives the same answer as recording all samples into one
+    /// histogram, because the estimate depends only on bucket counts.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen >= rank {
+                return Self::bucket_floor(bucket);
+            }
+        }
+        self.max
+    }
+
+    /// The smallest value that lands in `bucket` (the lower bound the
+    /// percentile estimate reports).
+    pub fn bucket_floor(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else {
+            1u64 << (bucket - 1)
+        }
     }
 
     /// Pointwise merge of another histogram into this one.
@@ -979,5 +1076,104 @@ mod tests {
         let mut plain = TraceReport::default();
         plain.counters.insert("enumerate.nodes".into(), 5);
         assert!(!plain.render_human().contains("pruned subtrees"));
+    }
+
+    /// Golden percentiles on known distributions: the estimate is the
+    /// lower bound of the log₂ bucket the quantile rank falls in.
+    #[test]
+    fn percentile_goldens_on_known_distributions() {
+        // Empty histogram: everything is 0.
+        let empty = Histogram::default();
+        assert_eq!(empty.percentile(0.5), 0);
+        assert_eq!(empty.percentile(0.99), 0);
+
+        // Uniform 1..=1000. Buckets 1..=9 hold 1+2+…+256 = 511 samples
+        // (values 1..=511), so rank 500 (p50) lands in bucket 9
+        // (floor 256) and rank 990 (p99) in bucket 10 (floor 512).
+        let mut uniform = Histogram::default();
+        for v in 1..=1000u64 {
+            uniform.record(v);
+        }
+        assert_eq!(uniform.percentile(0.50), 256);
+        assert_eq!(uniform.percentile(0.99), 512);
+
+        // A constant distribution collapses every percentile onto the
+        // one occupied bucket's floor: 7 has bit length 3, floor 4.
+        let mut constant = Histogram::default();
+        for _ in 0..1000 {
+            constant.record(7);
+        }
+        assert_eq!(constant.percentile(0.50), 4);
+        assert_eq!(constant.percentile(0.99), 4);
+
+        // Bimodal: 99 fast samples, 1 slow one — p50 stays in the fast
+        // bucket, p99 must not (the rank-99 sample is the 99th fast
+        // one) while p100 reaches the slow bucket.
+        let mut bimodal = Histogram::default();
+        for _ in 0..99 {
+            bimodal.record(100); // bucket 7, floor 64
+        }
+        bimodal.record(1_000_000); // bucket 20, floor 524288
+        assert_eq!(bimodal.percentile(0.50), 64);
+        assert_eq!(bimodal.percentile(0.99), 64);
+        assert_eq!(bimodal.percentile(1.0), 524_288);
+    }
+
+    /// Merge-then-percentile must equal percentile-of-merged: the
+    /// estimate depends only on bucket counts, which merge exactly.
+    #[test]
+    fn merge_then_percentile_equals_percentile_of_merged() {
+        let samples: Vec<u64> = (0..500u64).map(|i| (i * i * 37 + i) % 100_000).collect();
+        let mut whole = Histogram::default();
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i % 3 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        let mut merged = Histogram::default();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged, whole);
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            assert_eq!(merged.percentile(q), whole.percentile(q), "q={q}");
+        }
+    }
+
+    /// The machine-readable registry and the doc-comment table are the
+    /// same contract: every `| \`name\` | layer | …` row in the crate
+    /// docs must appear in `COUNTER_REGISTRY`, in order, and vice
+    /// versa — so `pkgrec chaos-sites` never drifts from the docs.
+    #[test]
+    fn counter_registry_matches_the_doc_table() {
+        let source = include_str!("lib.rs");
+        let doc_rows: Vec<(String, String)> = source
+            .lines()
+            .filter_map(|line| {
+                let row = line.strip_prefix("//! | `")?;
+                let (name, rest) = row.split_once("` | ")?;
+                let (layer, _) = rest.split_once(" | ")?;
+                Some((name.to_string(), layer.to_string()))
+            })
+            .collect();
+        let registry_rows: Vec<(String, String)> = COUNTER_REGISTRY
+            .iter()
+            .map(|c| (c.name.to_string(), c.layer.to_string()))
+            .collect();
+        assert_eq!(doc_rows, registry_rows);
+        // Names are unique across counters and explicit fault sites.
+        let mut all: Vec<&str> = COUNTER_REGISTRY
+            .iter()
+            .chain(EXTRA_FAULT_SITES)
+            .map(|c| c.name)
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate registry names");
     }
 }

@@ -1,0 +1,207 @@
+//! Minimal Prometheus text-format (exposition format 0.0.4) rendering,
+//! hand-rolled like the JSON writer so exposing `/metrics` to a real
+//! scraper adds zero dependencies.
+//!
+//! Only what the service needs is implemented: `# HELP`/`# TYPE`
+//! comments, counter and gauge samples with optional labels, and log₂
+//! [`Histogram`]s rendered as native Prometheus histograms (cumulative
+//! `_bucket{le=…}` series plus `_sum` and `_count`). Metric names are
+//! sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*` grammar; label values
+//! are escaped per the format spec.
+
+use std::fmt::Write as _;
+
+use crate::Histogram;
+
+/// Rewrite `name` into a valid Prometheus metric name: every character
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gets a
+/// `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push(if ok { c } else { '_' });
+        }
+    }
+    out
+}
+
+/// Escape a label value: backslash, double quote and newline, per the
+/// exposition format.
+fn write_label_value(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Write the `# HELP` and `# TYPE` header for a metric. `kind` is the
+/// Prometheus type: `counter`, `gauge` or `histogram`.
+pub fn write_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {}", help.replace('\n', " "));
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Write one sample line: `name{labels} value`.
+pub fn write_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            write_label_value(out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    write_value(out, value);
+    out.push('\n');
+}
+
+/// Format a sample value: integral values print without a fraction,
+/// infinities as `+Inf`/`-Inf` (the `le` label uses the same rules).
+fn write_value(out: &mut String, value: f64) {
+    if value.is_infinite() {
+        out.push_str(if value > 0.0 { "+Inf" } else { "-Inf" });
+    } else {
+        let _ = write!(out, "{value}");
+    }
+}
+
+/// A complete single-sample counter metric: header plus one line.
+pub fn write_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    write_header(out, name, "counter", help);
+    write_sample(out, name, &[], value as f64);
+}
+
+/// A complete single-sample gauge metric: header plus one line.
+pub fn write_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    write_header(out, name, "gauge", help);
+    write_sample(out, name, &[], value);
+}
+
+/// A log₂ [`Histogram`] as a native Prometheus histogram. Bucket `i`
+/// holds values of bit length `i`, so its inclusive upper bound is
+/// `2^i − 1`; buckets are emitted cumulatively up to the highest
+/// non-empty one, then `+Inf`, `_sum` and `_count`. `labels` (e.g. a
+/// window span) are attached to every series of the metric.
+pub fn write_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    h: &Histogram,
+) {
+    write_header(out, name, "histogram", help);
+    let bucket_name = format!("{name}_bucket");
+    let top = h.buckets.iter().rposition(|&n| n > 0);
+    let mut cumulative = 0u64;
+    if let Some(top) = top {
+        for (i, &n) in h.buckets.iter().enumerate().take(top + 1) {
+            cumulative += n;
+            // Inclusive upper bound of bucket i: 0 for bucket 0, else
+            // 2^i − 1 (u128 so bucket 64 cannot overflow).
+            let le = if i == 0 {
+                "0".to_string()
+            } else {
+                ((1u128 << i) - 1).to_string()
+            };
+            let mut ls: Vec<(&str, &str)> = labels.to_vec();
+            ls.push(("le", le.as_str()));
+            write_sample(out, &bucket_name, &ls, cumulative as f64);
+        }
+    }
+    let mut inf: Vec<(&str, &str)> = labels.to_vec();
+    inf.push(("le", "+Inf"));
+    write_sample(out, &bucket_name, &inf, h.count as f64);
+    write_sample(out, &format!("{name}_sum"), labels, h.sum as f64);
+    write_sample(out, &format!("{name}_count"), labels, h.count as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("serve.requests"), "serve_requests");
+        assert_eq!(sanitize_name("enumerate.pruned.cost"), "enumerate_pruned_cost");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:sub"), "ok_name:sub");
+    }
+
+    /// Golden rendering: the exact text a scraper sees for one counter,
+    /// one gauge and one histogram.
+    #[test]
+    fn golden_exposition_text() {
+        let mut out = String::new();
+        write_counter(&mut out, "pkgrec_requests_total", "requests accepted", 5);
+        write_gauge(&mut out, "pkgrec_queue_depth", "connections queued", 2.0);
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        write_histogram(&mut out, "pkgrec_latency_us", "solve latency", &[], &h);
+        let expected = "\
+# HELP pkgrec_requests_total requests accepted
+# TYPE pkgrec_requests_total counter
+pkgrec_requests_total 5
+# HELP pkgrec_queue_depth connections queued
+# TYPE pkgrec_queue_depth gauge
+pkgrec_queue_depth 2
+# HELP pkgrec_latency_us solve latency
+# TYPE pkgrec_latency_us histogram
+pkgrec_latency_us_bucket{le=\"0\"} 1
+pkgrec_latency_us_bucket{le=\"1\"} 2
+pkgrec_latency_us_bucket{le=\"3\"} 4
+pkgrec_latency_us_bucket{le=\"7\"} 4
+pkgrec_latency_us_bucket{le=\"15\"} 4
+pkgrec_latency_us_bucket{le=\"31\"} 4
+pkgrec_latency_us_bucket{le=\"63\"} 4
+pkgrec_latency_us_bucket{le=\"127\"} 5
+pkgrec_latency_us_bucket{le=\"+Inf\"} 5
+pkgrec_latency_us_sum 106
+pkgrec_latency_us_count 5
+";
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn labels_are_escaped_and_attached_to_every_series() {
+        let mut out = String::new();
+        let mut h = Histogram::default();
+        h.record(1);
+        write_histogram(
+            &mut out,
+            "m",
+            "labeled",
+            &[("window", "10s"), ("odd", "a\"b\\c\nd")],
+            &h,
+        );
+        assert!(out.contains("m_bucket{window=\"10s\",odd=\"a\\\"b\\\\c\\nd\",le=\"1\"} 1"), "{out}");
+        assert!(out.contains("m_sum{window=\"10s\",odd=\"a\\\"b\\\\c\\nd\"} 1"), "{out}");
+        assert!(out.contains("m_count{window=\"10s\",odd=\"a\\\"b\\\\c\\nd\"} 1"), "{out}");
+    }
+
+    #[test]
+    fn empty_histogram_still_emits_inf_sum_count() {
+        let mut out = String::new();
+        write_histogram(&mut out, "m", "empty", &[], &Histogram::default());
+        assert!(out.contains("m_bucket{le=\"+Inf\"} 0"));
+        assert!(out.contains("m_sum 0"));
+        assert!(out.contains("m_count 0"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Rolling per-second metric windows: a fixed-size ring of one-second
+//! buckets (counts, error counts and a log₂ latency histogram each),
+//! written with plain atomics so the record path never takes a lock
+//! and concurrent writers never contend on anything but cache lines.
+//!
+//! The ring covers the last [`WINDOW_SECONDS`] wall-clock seconds.
+//! Each bucket is stamped with the epoch second it currently holds;
+//! a writer landing in a bucket stamped with an older second CASes the
+//! stamp forward and zeroes the bucket, lazily rotating the ring —
+//! there is no ticker thread. Readers aggregate only buckets whose
+//! stamp matches the second they ask about, so stale buckets (no
+//! traffic for a full ring revolution) are skipped, not misread.
+//!
+//! The snapshot is an ordinary [`Histogram`] plus counts, so windowed
+//! p50/p99 reuse [`Histogram::percentile`] and snapshots merge across
+//! sources exactly like cumulative histograms do. Counts are
+//! statistically — not transactionally — consistent: a reader racing a
+//! writer can miss (or double-see) the newest sample; rates and
+//! percentiles over hundreds of requests do not care.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::{Histogram, HISTOGRAM_BUCKETS};
+
+/// Ring size: how many trailing seconds the window can report on.
+pub const WINDOW_SECONDS: usize = 120;
+
+/// Stamp value for a bucket that has never been written.
+const NEVER: u64 = u64::MAX;
+
+/// One second's worth of samples.
+struct SecondBucket {
+    /// Epoch second this bucket currently represents ([`NEVER`] when
+    /// untouched).
+    epoch: AtomicU64,
+    count: AtomicU64,
+    errors: AtomicU64,
+    sum: AtomicU64,
+    hist: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl SecondBucket {
+    fn new() -> SecondBucket {
+        SecondBucket {
+            epoch: AtomicU64::new(NEVER),
+            count: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn zero(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.hist {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A lock-free ring of [`WINDOW_SECONDS`] one-second buckets.
+pub struct RollingWindow {
+    buckets: Vec<SecondBucket>,
+}
+
+impl Default for RollingWindow {
+    fn default() -> Self {
+        RollingWindow::new()
+    }
+}
+
+impl std::fmt::Debug for RollingWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollingWindow")
+            .field("seconds", &WINDOW_SECONDS)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The current wall-clock second since the Unix epoch.
+pub fn now_sec() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_secs()
+}
+
+impl RollingWindow {
+    /// An empty window.
+    pub fn new() -> RollingWindow {
+        RollingWindow {
+            buckets: (0..WINDOW_SECONDS).map(|_| SecondBucket::new()).collect(),
+        }
+    }
+
+    /// Record one sample (e.g. a request latency in µs) at the current
+    /// wall-clock second.
+    pub fn record(&self, value: u64, error: bool) {
+        self.record_at(now_sec(), value, error);
+    }
+
+    /// Record one sample at an explicit epoch second (tests pin time
+    /// this way; production goes through [`record`](Self::record)).
+    pub fn record_at(&self, sec: u64, value: u64, error: bool) {
+        let slot = &self.buckets[(sec % WINDOW_SECONDS as u64) as usize];
+        let stamped = slot.epoch.load(Ordering::Acquire);
+        if stamped != sec {
+            // Lazy rotation: the CAS winner zeroes the bucket for its
+            // second; losers fall through and record into whatever
+            // second won (adjacent-second samples blurring across a
+            // boundary is within the statistics' tolerance).
+            if slot
+                .epoch
+                .compare_exchange(stamped, sec, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.zero();
+            }
+        }
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        if error {
+            slot.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.sum.fetch_add(value, Ordering::Relaxed);
+        slot.hist[Histogram::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregate the last `window` *complete* seconds (the current,
+    /// still-filling second is excluded so rates are not biased low).
+    pub fn snapshot(&self, window: u64) -> WindowSnapshot {
+        self.snapshot_at(now_sec(), window)
+    }
+
+    /// [`snapshot`](Self::snapshot) with an explicit "now".
+    pub fn snapshot_at(&self, now: u64, window: u64) -> WindowSnapshot {
+        let window = window.min(WINDOW_SECONDS as u64 - 1).max(1);
+        let mut snap = WindowSnapshot {
+            seconds: window,
+            requests: 0,
+            errors: 0,
+            latency: Histogram::default(),
+        };
+        for back in 1..=window {
+            let Some(sec) = now.checked_sub(back) else { break };
+            let slot = &self.buckets[(sec % WINDOW_SECONDS as u64) as usize];
+            if slot.epoch.load(Ordering::Acquire) != sec {
+                continue; // stale or never-written bucket
+            }
+            snap.requests += slot.count.load(Ordering::Relaxed);
+            snap.errors += slot.errors.load(Ordering::Relaxed);
+            snap.latency.count += slot.count.load(Ordering::Relaxed);
+            snap.latency.sum = snap
+                .latency
+                .sum
+                .saturating_add(slot.sum.load(Ordering::Relaxed));
+            for (agg, b) in snap.latency.buckets.iter_mut().zip(&slot.hist) {
+                *agg += b.load(Ordering::Relaxed);
+            }
+        }
+        // min/max are not tracked per second; approximate them by the
+        // occupied bucket floors so Histogram's invariants and the
+        // percentile fallback stay sensible.
+        if snap.latency.count > 0 {
+            let lo = snap.latency.buckets.iter().position(|&n| n > 0).unwrap_or(0);
+            let hi = snap.latency.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+            snap.latency.min = Histogram::bucket_floor(lo);
+            snap.latency.max = Histogram::bucket_floor(hi);
+        }
+        snap
+    }
+}
+
+/// The aggregate of one trailing window: counts plus a mergeable
+/// latency histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// How many complete seconds the snapshot covers.
+    pub seconds: u64,
+    /// Samples recorded in the window.
+    pub requests: u64,
+    /// Samples flagged as errors.
+    pub errors: u64,
+    /// Latency distribution over the window (log₂ buckets; `min`/`max`
+    /// are bucket-floor approximations).
+    pub latency: Histogram,
+}
+
+impl WindowSnapshot {
+    /// Samples per second over the window.
+    pub fn rate(&self) -> f64 {
+        if self.seconds == 0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.seconds as f64
+    }
+
+    /// Merge another snapshot of the *same* window span (e.g. from
+    /// another shard) into this one.
+    pub fn merge(&mut self, other: &WindowSnapshot) {
+        self.requests += other.requests;
+        self.errors += other.errors;
+        self.latency.merge(&other.latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_aggregate_over_complete_seconds_only() {
+        let w = RollingWindow::new();
+        let now = 1_000_000u64;
+        w.record_at(now - 1, 100, false);
+        w.record_at(now - 1, 200, true);
+        w.record_at(now - 2, 300, false);
+        w.record_at(now, 999, false); // current second: excluded
+        let s1 = w.snapshot_at(now, 1);
+        assert_eq!((s1.requests, s1.errors), (2, 1));
+        let s10 = w.snapshot_at(now, 10);
+        assert_eq!((s10.requests, s10.errors), (3, 1));
+        assert_eq!(s10.latency.count, 3);
+        assert_eq!(s10.latency.sum, 600);
+        assert!(s10.rate() > 0.0);
+    }
+
+    #[test]
+    fn ring_reuses_slots_and_skips_stale_seconds() {
+        let w = RollingWindow::new();
+        let old = 5_000u64;
+        w.record_at(old, 10, false);
+        // A full revolution later, the same slot holds the new second;
+        // the old sample must neither survive nor leak into snapshots.
+        let new = old + WINDOW_SECONDS as u64;
+        w.record_at(new, 20, false);
+        let snap = w.snapshot_at(new + 1, (WINDOW_SECONDS - 1) as u64);
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.latency.sum, 20);
+    }
+
+    #[test]
+    fn windowed_percentiles_and_merge() {
+        let w = RollingWindow::new();
+        let now = 42_000u64;
+        for i in 0..100u64 {
+            w.record_at(now - 1 - (i % 3), 100, false);
+        }
+        w.record_at(now - 1, 1_000_000, false);
+        let snap = w.snapshot_at(now, 60);
+        assert_eq!(snap.requests, 101);
+        assert_eq!(snap.latency.percentile(0.50), 64);
+        assert_eq!(snap.latency.percentile(1.0), 524_288);
+
+        let mut merged = snap.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.requests, 202);
+        assert_eq!(merged.latency.percentile(0.50), 64);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_total_shape() {
+        let w = std::sync::Arc::new(RollingWindow::new());
+        let now = 77_000u64;
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let w = std::sync::Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        w.record_at(now - 1 - (i % 5), i, i % 10 == 0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = w.snapshot_at(now, 10);
+        // All writes target settled (past) seconds with no rotation
+        // races, so every sample must be visible.
+        assert_eq!(snap.requests, 4000);
+        assert_eq!(snap.errors, 400);
+        assert_eq!(snap.latency.count, 4000);
+    }
+}

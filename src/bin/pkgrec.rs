@@ -7,6 +7,8 @@
 //! pkgrec bound <db-file> <query> [options]        MBP: maximum rating bound
 //! pkgrec count <db-file> <query> --min-val B ...  CPP: count valid packages
 //! pkgrec items <db-file> <query> --val sum:COL --k K    top-k items
+//! pkgrec explain <db-file> <query> [--json]       show the compiled query plan
+//! pkgrec chaos-sites                              list PKGREC_CHAOS fault sites
 //! pkgrec qbf   <qdimacs-file> [options]           check Theorem 4.1 encodings
 //! pkgrec serve --db NAME=PATH [...]               resident solve service
 //!
@@ -44,16 +46,29 @@
 //!   --max-deadline-ms T   hard per-request wall-clock cap (default 10000);
 //!                         requests can tighten it, never exceed it
 //!   --max-jobs N          cap on per-request solver threads (default 4)
+//!   --access-log PATH     append one JSONL record per request to PATH
+//!                         (bounded + lossy: logging never blocks workers;
+//!                         drops are counted in /metrics)
+//!   --flight-dir DIR      with the flight recorder enabled
+//!                         (PKGREC_FLIGHT=1), export each request's
+//!                         recording to DIR/<request-id>.flight.jsonl
+//!   --slow-threshold-ms T requests slower than T land in the
+//!                         GET /debug/slow ring (default 250)
 //! ```
 //!
 //! `serve` keeps databases resident, caches compiled plans per
 //! `(db, query, parameters)` key, and answers `POST /solve`
-//! (JSON), `GET /metrics` and `GET /health` until killed. Deadlines
+//! (JSON), `GET /metrics` (add `?format=prometheus` for exposition
+//! text), `GET /debug/slow`, `GET|POST /explain` and `GET /health`
+//! until killed. Every response carries an `x-pkgrec-request-id`
+//! header that correlates the access-log record, the `/debug/slow`
+//! entry and the flight export for the same request. Deadlines
 //! that trip mid-search return the best-so-far partial answer
 //! (`"exact": false`), overload is shed with a typed `overloaded`
 //! error plus `Retry-After`, and panicking requests are contained
 //! per-request. Set `PKGREC_CHAOS` (see `pkgrec::trace::chaos`) to
-//! inject deterministic faults for robustness testing.
+//! inject deterministic faults for robustness testing; `chaos-sites`
+//! lists the valid site names.
 //!
 //! With `--steps`/`--timeout-ms`, `topk`, `bound` and `count` are
 //! *anytime*: when the budget runs out they print the best result found
@@ -433,6 +448,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
     let mut service_cfg = ServiceConfig::default();
     let mut dbs: Vec<(String, String)> = Vec::new();
+    let mut access_log: Option<String> = None;
+    let mut flight_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -477,6 +494,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .filter(|&n| n >= 1)
                     .ok_or("--max-jobs must be a positive integer")?;
             }
+            "--access-log" => access_log = Some(value("--access-log")?),
+            "--flight-dir" => flight_dir = Some(value("--flight-dir")?),
+            "--slow-threshold-ms" => {
+                service_cfg.slow_threshold_ms = value("--slow-threshold-ms")?
+                    .parse::<u64>()
+                    .map_err(|_| "--slow-threshold-ms must be an integer")?;
+            }
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
@@ -486,6 +510,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut service = Service::new(service_cfg);
     for (name, path) in dbs {
         service.add_db(name, load_db(&path)?);
+    }
+    if let Some(path) = access_log {
+        let log = pkgrec::serve::AccessLog::open(std::path::Path::new(&path))
+            .map_err(|e| format!("cannot open access log `{path}`: {e}"))?;
+        service.set_access_log(log);
+    }
+    if let Some(dir) = flight_dir {
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create flight dir `{dir}`: {e}"))?;
+        service.set_flight_dir(&dir);
     }
     let names = service.db_names().join(", ");
     let handle = serve::start(server_cfg, service).map_err(|e| format!("cannot bind: {e}"))?;
@@ -499,8 +533,39 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `pkgrec explain`: compile the query against the database and print
+/// the plan's static story — join orders, cardinalities, index probes,
+/// builtin schedule — human-readable or as JSON with `--json`.
+fn cmd_explain(db_path: &str, query_arg: &str, json: bool) -> Result<(), String> {
+    let db = Arc::new(load_db(db_path)?);
+    let query = load_query(query_arg)?;
+    let plan = query.compile(&db).map_err(|e| e.to_string())?;
+    let report = plan.explain();
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(())
+}
+
+/// `pkgrec chaos-sites`: enumerate the valid `PKGREC_CHAOS` fault-site
+/// names (every trace counter plus the extra serve-loop sites), so
+/// directives are discoverable instead of guessed.
+fn cmd_chaos_sites() {
+    println!("{:<28} {:<10} description", "site", "layer");
+    for info in pkgrec_trace::COUNTER_REGISTRY
+        .iter()
+        .chain(pkgrec_trace::EXTRA_FAULT_SITES)
+    {
+        println!("{:<28} {:<10} {}", info.name, info.layer, info.help);
+    }
+}
+
 fn run(args: Vec<String>) -> Result<(), String> {
     let usage = "usage: pkgrec <eval|topk|bound|count|items> <db-file> <query> [options] \
+                 | pkgrec explain <db-file> <query> [--json] \
+                 | pkgrec chaos-sites \
                  | pkgrec qbf <qdimacs-file> [options] \
                  | pkgrec serve --db NAME=PATH [options] \
                  (see --help in the source header)";
@@ -513,6 +578,21 @@ fn run(args: Vec<String>) -> Result<(), String> {
     if cmd == "serve" {
         let rest: Vec<String> = it.cloned().collect();
         return cmd_serve(&rest);
+    }
+    if cmd == "chaos-sites" {
+        cmd_chaos_sites();
+        return Ok(());
+    }
+    if cmd == "explain" {
+        let db_path = it.next().ok_or(usage)?;
+        let query_arg = it.next().ok_or(usage)?;
+        let rest: Vec<String> = it.cloned().collect();
+        let json = match rest.as_slice() {
+            [] => false,
+            [flag] if flag == "--json" => true,
+            other => return Err(format!("unknown explain option `{}`", other[0])),
+        };
+        return cmd_explain(db_path, query_arg, json);
     }
     if cmd == "qbf" {
         let qbf_path = it.next().ok_or(usage)?;
