@@ -64,6 +64,13 @@ pub struct SolveOptions {
     /// restarts the estimate. `None` keeps the estimator private to the
     /// search (it still feeds `progress_at_interrupt`).
     pub progress: Option<Arc<Progress>>,
+    /// When set, FRP top-k and MBP maximum-bound solves run the
+    /// SketchRefine approximate engine ([`crate::sketch`]) with these
+    /// knobs instead of the exhaustive search. Outcomes are then always
+    /// labeled approximate (`exact: false`,
+    /// [`Method::Sketch`](pkgrec_guard::Method)); solvers without an
+    /// approximate path ignore the field and stay exact.
+    pub approx: Option<crate::sketch::SketchParams>,
 }
 
 impl SolveOptions {
@@ -73,6 +80,7 @@ impl SolveOptions {
             budget: Budget::unlimited(),
             jobs: 0,
             progress: None,
+            approx: None,
         }
     }
 
@@ -110,6 +118,12 @@ impl SolveOptions {
     /// Builder-style setter for the shared progress estimate.
     pub fn with_progress(mut self, progress: Arc<Progress>) -> SolveOptions {
         self.progress = Some(progress);
+        self
+    }
+
+    /// Builder-style opt-in to the SketchRefine approximate engine.
+    pub fn with_approx(mut self, params: crate::sketch::SketchParams) -> SolveOptions {
+        self.approx = Some(params);
         self
     }
 

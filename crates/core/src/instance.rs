@@ -382,6 +382,24 @@ impl<'a> SearchContext<'a> {
         self.inst
     }
 
+    /// A context over the same instance and compiled plans but a
+    /// restricted item pool — the SketchRefine engine runs exact
+    /// sub-solves over representative pools this way. `items` must be a
+    /// subset of this context's pool in canonical order; any package
+    /// over a subset of `Q(D)` is a package over `Q(D)`, so every
+    /// validity probe keeps its meaning. O(1): plans and cached arity
+    /// are shared.
+    pub(crate) fn with_items(&self, items: Arc<[Tuple]>) -> SearchContext<'a> {
+        SearchContext {
+            inst: self.inst,
+            items,
+            answer_arity: self.answer_arity,
+            qc_antimonotone: self.qc_antimonotone,
+            q_plan: Arc::clone(&self.q_plan),
+            qc_plan: self.qc_plan.as_ref().map(Arc::clone),
+        }
+    }
+
     /// The item pool `Q(D)`, in canonical order (computed once).
     pub fn items(&self) -> &[Tuple] {
         &self.items

@@ -15,7 +15,11 @@
 //!   package-size bounds;
 //! * [`problems`] — exact solvers for RPP (decision), FRP (function),
 //!   MBP (maximum bound), CPP (counting), the compatibility problem,
-//!   and item recommendations.
+//!   and item recommendations;
+//! * [`sketch`] — the SketchRefine approximate engine for item pools
+//!   the exact search cannot touch, opted into per solve via
+//!   [`SolveOptions::with_approx`]; its outcomes can never claim
+//!   `exact: true`.
 //!
 //! The solvers implement the *upper-bound algorithms* of the paper
 //! (validity check + dominating-package search for RPP; the
@@ -35,6 +39,7 @@ mod package;
 pub mod problems;
 mod progress;
 mod rating;
+pub mod sketch;
 
 pub use constraints::{Constraint, ANSWER_RELATION};
 pub use enumerate::{
@@ -46,9 +51,10 @@ pub use error::{ColumnIssue, CoreError};
 // Re-export the budget vocabulary so downstream crates can configure
 // and inspect bounded searches without a direct pkgrec-guard
 // dependency.
-pub use pkgrec_guard::{Budget, CancelFlag, Interrupted, Meter, Outcome, Resource};
+pub use pkgrec_guard::{Budget, CancelFlag, Interrupted, Meter, Method, Outcome, Resource};
 pub use functions::PackageFn;
 pub use instance::{PreparedInstance, RecInstance, SearchContext, SizeBound};
+pub use sketch::SketchParams;
 pub use package::Package;
 pub use progress::Progress;
 pub use problems::group::{GroupInstance, GroupSemantics};

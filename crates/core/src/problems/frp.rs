@@ -166,6 +166,9 @@ pub fn top_k_in(
     ctx: &SearchContext<'_>,
     opts: &SolveOptions,
 ) -> Result<Outcome<Option<Vec<Package>>, SearchStats>> {
+    if let Some(params) = &opts.approx {
+        return crate::sketch::top_k(ctx, opts, params);
+    }
     let _span = pkgrec_trace::span!("frp.top_k");
     let k = ctx.instance().k;
     let (best, stats) = reduce_valid_packages_in(ctx, None, opts, &TopKSel { k })?;

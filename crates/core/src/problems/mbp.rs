@@ -158,6 +158,9 @@ pub fn maximum_bound_in(
     ctx: &SearchContext<'_>,
     opts: &SolveOptions,
 ) -> Result<Outcome<Option<Ext>, SearchStats>> {
+    if let Some(params) = &opts.approx {
+        return crate::sketch::maximum_bound(ctx, opts, params);
+    }
     let _span = pkgrec_trace::span!("mbp.maximum_bound");
     let k = ctx.instance().k;
     // The k best ratings over distinct packages.

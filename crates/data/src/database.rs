@@ -68,19 +68,69 @@ impl FromIterator<Value> for ActiveDomain {
     }
 }
 
+/// Process-global generation counter behind [`Database::epoch`].
+/// Starts at 1 so epoch 0 never occurs and stays free as a sentinel.
+static NEXT_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A database `D`: a catalog of relation instances, keyed by name.
 ///
 /// This is the item collection of the paper's model (Section 2). The
 /// catalog is a `BTreeMap` for deterministic iteration.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Every database carries an *epoch* — a process-globally unique
+/// generation token, re-stamped on every mutation — so caches keyed on
+/// database identity (e.g. a resident server's compiled-plan cache)
+/// can tell two different contents registered under the same name
+/// apart. The epoch is bookkeeping, not data: equality ignores it.
+#[derive(Debug, Clone)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    /// Generation token; see the type docs.
+    epoch: u64,
 }
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            relations: BTreeMap::new(),
+            epoch: next_epoch(),
+        }
+    }
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality only: the epoch is cache-invalidation
+        // bookkeeping, and two builds of the same content must compare
+        // equal.
+        self.relations == other.relations
+    }
+}
+
+impl Eq for Database {}
 
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The generation token: distinct whenever the contents could be.
+    /// Any two databases that were ever observably different — or the
+    /// same database before and after a mutation — carry different
+    /// epochs, so `(name, epoch)` is a sound cache key where a name
+    /// alone is not.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamp a fresh generation; called by every mutating method.
+    fn touch(&mut self) {
+        self.epoch = next_epoch();
     }
 
     /// Add a relation; errors if the name is taken.
@@ -90,6 +140,7 @@ impl Database {
             return Err(DataError::DuplicateRelation(name));
         }
         self.relations.insert(name, rel);
+        self.touch();
         Ok(())
     }
 
@@ -97,6 +148,7 @@ impl Database {
     pub fn set_relation(&mut self, rel: Relation) {
         self.relations
             .insert(rel.schema().name().to_string(), rel);
+        self.touch();
     }
 
     /// Create an empty relation under `schema` and add it.
@@ -116,14 +168,22 @@ impl Database {
             .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. Conservatively stamps a fresh epoch: handing out
+    /// `&mut` means the contents may change.
     pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        if self.relations.contains_key(name) {
+            self.touch();
+        }
         self.relations.get_mut(name)
     }
 
     /// Remove a relation, returning it if present.
     pub fn remove_relation(&mut self, name: &str) -> Option<Relation> {
-        self.relations.remove(name)
+        let removed = self.relations.remove(name);
+        if removed.is_some() {
+            self.touch();
+        }
+        removed
     }
 
     /// Iterate over relations in name order.
@@ -144,19 +204,28 @@ impl Database {
 
     /// Insert a tuple into a named relation.
     pub fn insert(&mut self, rel: &str, t: Tuple) -> Result<bool> {
-        self.relations
+        let inserted = self
+            .relations
             .get_mut(rel)
             .ok_or_else(|| DataError::UnknownRelation(rel.to_string()))?
-            .insert(t)
+            .insert(t)?;
+        if inserted {
+            self.touch();
+        }
+        Ok(inserted)
     }
 
     /// Remove a tuple from a named relation; `Ok(false)` if absent.
     pub fn delete(&mut self, rel: &str, t: &Tuple) -> Result<bool> {
-        Ok(self
+        let removed = self
             .relations
             .get_mut(rel)
             .ok_or_else(|| DataError::UnknownRelation(rel.to_string()))?
-            .remove(t))
+            .remove(t);
+        if removed {
+            self.touch();
+        }
+        Ok(removed)
     }
 
     /// The active domain `adom(D)`: every value in every relation.
@@ -247,5 +316,44 @@ mod tests {
             db().relation_required("zzz"),
             Err(DataError::UnknownRelation(_))
         ));
+    }
+
+    #[test]
+    fn epochs_are_unique_and_bump_on_mutation() {
+        let a = Database::new();
+        let b = Database::new();
+        assert_ne!(a.epoch(), b.epoch(), "fresh databases get distinct epochs");
+
+        let mut d = db();
+        let e0 = d.epoch();
+        assert!(d.insert("r", tuple![9]).unwrap());
+        let e1 = d.epoch();
+        assert_ne!(e0, e1, "insert must re-stamp the epoch");
+        // A no-op insert (duplicate) leaves the epoch alone.
+        assert!(!d.insert("r", tuple![9]).unwrap());
+        assert_eq!(d.epoch(), e1);
+        assert!(d.delete("r", &tuple![9]).unwrap());
+        assert_ne!(d.epoch(), e1);
+        let e2 = d.epoch();
+        assert!(!d.delete("r", &tuple![9]).unwrap());
+        assert_eq!(d.epoch(), e2, "deleting an absent tuple is a no-op");
+        d.remove_relation("s").unwrap();
+        assert_ne!(d.epoch(), e2);
+        let e3 = d.epoch();
+        assert!(d.remove_relation("s").is_none());
+        assert_eq!(d.epoch(), e3);
+        d.relation_mut("r").unwrap();
+        assert_ne!(d.epoch(), e3, "handing out &mut re-stamps conservatively");
+    }
+
+    #[test]
+    fn equality_ignores_the_epoch() {
+        // Two independent builds of the same content have different
+        // epochs but must still compare equal — the epoch is cache
+        // bookkeeping, not data.
+        let a = db();
+        let b = db();
+        assert_ne!(a.epoch(), b.epoch());
+        assert_eq!(a, b);
     }
 }

@@ -15,6 +15,9 @@
 //!   deterministic.
 //! * [`Database`] — a catalog of relations, plus the *active domain*
 //!   computation used by FO evaluation and by query-relaxation search.
+//! * [`partition`] — the offline, deterministic hierarchical clustering
+//!   behind the SketchRefine approximate engine: per-partition
+//!   representative tuples and size/aggregate metadata.
 //!
 //! Everything here is deliberately simple and exact: the paper's
 //! complexity analyses concern the logical structure of queries and
@@ -25,6 +28,7 @@
 mod database;
 mod error;
 mod interner;
+pub mod partition;
 mod relation;
 mod schema;
 pub mod text;
@@ -32,6 +36,7 @@ mod tuple;
 mod value;
 
 pub use database::{ActiveDomain, Database};
+pub use partition::{PartitionIndex, PartitionNode, PartitionParams};
 pub use error::DataError;
 pub use interner::ValueInterner;
 pub use relation::Relation;

@@ -569,20 +569,56 @@ impl WorkerMeter<'_> {
     }
 }
 
+/// Which engine produced an [`Outcome`].
+///
+/// The marker travels with the outcome so every downstream rendering —
+/// CLI qualifiers, serve JSON, access-log labels — can distinguish a
+/// certified exact answer from an approximate one without re-deriving
+/// it from context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Method {
+    /// The exhaustive engine: `exact: true` means certified.
+    #[default]
+    Exact,
+    /// The SketchRefine approximate engine: results are *never*
+    /// certified optimal, only verified feasible. An outcome carrying
+    /// this marker always has `exact: false` — the only constructors
+    /// that set it ([`Outcome::approximate`],
+    /// [`Outcome::approximate_interrupted`]) hard-code that.
+    Sketch,
+}
+
+impl Method {
+    /// Stable short label used in JSON renderings (`"exact"` /
+    /// `"sketch"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Exact => "exact",
+            Method::Sketch => "sketch",
+        }
+    }
+}
+
 /// The result of an anytime computation: a value plus whether the
 /// search ran to completion.
 ///
 /// When `exact` is `false`, `value` is the best answer found before
 /// the budget ran out and `interrupted` records why the search
-/// stopped; the true optimum may be better.
+/// stopped; the true optimum may be better. Outcomes from the
+/// approximate engine ([`Method::Sketch`]) are `exact: false` by
+/// construction even when they finished under budget: feasibility is
+/// verified, optimality is not.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Outcome<T, S> {
     /// The (possibly partial) answer.
     pub value: T,
-    /// Whether the search finished; `false` means best-so-far.
+    /// Whether the search finished *and* certified its answer; `false`
+    /// means best-so-far (budget cut) or approximate (sketch engine).
     pub exact: bool,
     /// Why the search stopped early, when it did.
     pub interrupted: Option<Interrupted>,
+    /// Which engine produced the value.
+    pub method: Method,
     /// Search statistics (layer-specific).
     pub stats: S,
 }
@@ -594,6 +630,7 @@ impl<T, S> Outcome<T, S> {
             value,
             exact: true,
             interrupted: None,
+            method: Method::Exact,
             stats,
         }
     }
@@ -604,16 +641,45 @@ impl<T, S> Outcome<T, S> {
             value,
             exact: false,
             interrupted: Some(interrupted),
+            method: Method::Exact,
             stats,
         }
     }
 
-    /// Map the value, preserving exactness and stats.
+    /// An approximate-engine outcome that ran to completion. `exact` is
+    /// hard-coded `false`: this constructor (and its interrupted
+    /// sibling) is the *only* way to build a [`Method::Sketch`] outcome,
+    /// so the approximate engine cannot claim certification even by
+    /// accident.
+    pub fn approximate(value: T, stats: S) -> Self {
+        Outcome {
+            value,
+            exact: false,
+            interrupted: None,
+            method: Method::Sketch,
+            stats,
+        }
+    }
+
+    /// An approximate-engine outcome additionally cut off by the
+    /// resource budget mid-refinement.
+    pub fn approximate_interrupted(value: T, interrupted: Interrupted, stats: S) -> Self {
+        Outcome {
+            value,
+            exact: false,
+            interrupted: Some(interrupted),
+            method: Method::Sketch,
+            stats,
+        }
+    }
+
+    /// Map the value, preserving exactness, method and stats.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U, S> {
         Outcome {
             value: f(self.value),
             exact: self.exact,
             interrupted: self.interrupted,
+            method: self.method,
             stats: self.stats,
         }
     }
@@ -807,11 +873,32 @@ mod tests {
     fn outcome_constructors() {
         let o = Outcome::exact(3, ());
         assert!(o.exact && o.interrupted.is_none());
+        assert_eq!(o.method, Method::Exact);
         let cut = Interrupted::new(Resource::Deadline, 9);
         let p = Outcome::partial(vec![1], cut, ()).map(|v| v.len());
         assert!(!p.exact);
         assert_eq!(p.value, 1);
         assert_eq!(p.interrupted, Some(cut));
+        assert_eq!(p.method, Method::Exact);
+    }
+
+    #[test]
+    fn approximate_outcomes_are_never_exact() {
+        // The exactness-labeling contract: both sketch constructors
+        // hard-code `exact: false` and the method marker, and `map`
+        // preserves them — there is no path to a `Sketch`+`exact` pair.
+        let a = Outcome::approximate(7, ()).map(|v| v + 1);
+        assert!(!a.exact);
+        assert_eq!(a.method, Method::Sketch);
+        assert!(a.interrupted.is_none());
+        let cut = Interrupted::new(Resource::Deadline, 5);
+        let b = Outcome::approximate_interrupted(7, cut, ());
+        assert!(!b.exact);
+        assert_eq!(b.method, Method::Sketch);
+        assert_eq!(b.interrupted, Some(cut));
+        assert_eq!(Method::Sketch.label(), "sketch");
+        assert_eq!(Method::Exact.label(), "exact");
+        assert_eq!(Method::default(), Method::Exact);
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub struct SolveRequest {
     pub steps: Option<u64>,
     /// Worker threads for this solve (clamped by the server).
     pub jobs: usize,
+    /// Run the SketchRefine approximate engine (`topk` and `bound`
+    /// only). The response is then always `"exact": false` with
+    /// `"method": "sketch"` — scale traded for the exactness
+    /// certificate, never silently.
+    pub approx: bool,
 }
 
 /// A rejected request, with a message naming the offending field.
@@ -89,7 +94,7 @@ fn bad(message: impl Into<String>) -> RequestError {
 
 const KNOWN_KEYS: &[&str] = &[
     "db", "problem", "query", "k", "budget", "cost", "val", "min_val", "max_size", "deadline_ms",
-    "steps", "jobs",
+    "steps", "jobs", "approx",
 ];
 
 /// Parse a package-function spec: `count`, `sum:COL` or `negsum:COL` —
@@ -213,6 +218,18 @@ pub fn parse_solve_request(body: &[u8]) -> Result<SolveRequest, RequestError> {
         Some(0) => return Err(bad("field `jobs` must be at least 1")),
         Some(j) => usize::try_from(j).map_err(|_| bad("field `jobs` is too large"))?,
     };
+    let approx = match root.get("approx") {
+        None | Some(Json::Null) => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| bad("field `approx` must be a boolean"))?,
+    };
+    if approx && !matches!(problem, ProblemKind::TopK | ProblemKind::Bound) {
+        return Err(bad(format!(
+            "field `approx` is only supported for topk and bound (got `{}`)",
+            problem.name()
+        )));
+    }
     Ok(SolveRequest {
         db,
         problem,
@@ -226,6 +243,7 @@ pub fn parse_solve_request(body: &[u8]) -> Result<SolveRequest, RequestError> {
         deadline_ms,
         steps,
         jobs,
+        approx,
     })
 }
 
@@ -247,6 +265,35 @@ mod tests {
         assert_eq!(req.jobs, 1);
         assert_eq!(req.budget, None);
         assert_eq!(req.deadline_ms, None);
+        assert!(!req.approx);
+    }
+
+    #[test]
+    fn approx_is_a_topk_and_bound_knob() {
+        for problem in ["topk", "bound"] {
+            let body = format!(
+                r#"{{"db":"d","problem":"{problem}","query":"q(x) :- item(x)","approx":true}}"#
+            );
+            assert!(parse_solve_request(body.as_bytes()).unwrap().approx);
+        }
+        for problem in ["count", "eval"] {
+            let body = format!(
+                r#"{{"db":"d","problem":"{problem}","query":"q(x) :- item(x)","approx":true}}"#
+            );
+            let e = parse_solve_request(body.as_bytes()).unwrap_err();
+            assert!(e.message.contains("`approx`"), "{e}");
+        }
+        // Non-boolean values are rejected; explicit false is fine.
+        let e = parse_solve_request(
+            br#"{"db":"d","problem":"topk","query":"q(x) :- item(x)","approx":1}"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("boolean"), "{e}");
+        let req = parse_solve_request(
+            br#"{"db":"d","problem":"count","query":"q(x) :- item(x)","approx":false}"#,
+        )
+        .unwrap();
+        assert!(!req.approx);
     }
 
     #[test]

@@ -19,8 +19,8 @@ use std::time::{Duration, Instant};
 
 use pkgrec_core::problems::{cpp, frp, mbp};
 use pkgrec_core::{
-    Budget, CoreError, Ext, Interrupted, Package, PreparedInstance, RecInstance, SearchStats,
-    SizeBound, SolveOptions,
+    Budget, CoreError, Ext, Interrupted, Method, Package, PreparedInstance, RecInstance,
+    SearchStats, SizeBound, SketchParams, SolveOptions,
 };
 use pkgrec_data::{Database, Tuple, Value};
 use pkgrec_query::parser::{parse_fo, parse_query};
@@ -186,6 +186,13 @@ impl ServeError {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
     db: String,
+    /// The resident database's mutation epoch
+    /// ([`Database::epoch`]): a prepared instance bakes in the item
+    /// pool, so a cache entry is only valid for the exact database
+    /// *contents* it was compiled against, not just the name. Swapping
+    /// a resident database under the same name changes the epoch and
+    /// misses the cache instead of serving answers from stale data.
+    db_epoch: u64,
     query: String,
     cost: String,
     val: String,
@@ -196,9 +203,10 @@ struct PlanKey {
 }
 
 impl PlanKey {
-    fn of(req: &SolveRequest) -> PlanKey {
+    fn of(req: &SolveRequest, db_epoch: u64) -> PlanKey {
         PlanKey {
             db: req.db.clone(),
+            db_epoch,
             query: req.query.clone(),
             cost: req.cost.clone(),
             val: req.val.clone(),
@@ -406,7 +414,13 @@ impl Service {
         let prepared = self.prepared(req)?;
         let budget = self.budget_for(req);
         let jobs = req.jobs.min(self.config.max_jobs).max(1);
-        let opts = SolveOptions::with_budget(budget).with_jobs(jobs);
+        let mut opts = SolveOptions::with_budget(budget).with_jobs(jobs);
+        if req.approx {
+            // The SketchRefine engine; the parser already restricted
+            // `approx` to topk/bound, so every problem below either
+            // honors it or never sees it set.
+            opts = opts.with_approx(SketchParams::default());
+        }
         let solved = match req.problem {
             ProblemKind::Eval => Ok(render_eval(&prepared)),
             ProblemKind::TopK => {
@@ -533,7 +547,7 @@ impl Service {
                 ),
             )
         })?;
-        let key = PlanKey::of(req);
+        let key = PlanKey::of(req, db.epoch());
         {
             let plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(hit) = plans.map.get(&key) {
@@ -618,7 +632,11 @@ impl Service {
                 if i > 0 {
                     out.push(',');
                 }
-                let snap = m.window.snapshot(*span);
+                // Clamp the window to the seconds actually lived since
+                // boot: a fresh process must report honest (and finite)
+                // rates, not divide 5 requests by a 60s window it has
+                // not existed for — or by zero seconds of it.
+                let snap = m.window.snapshot_since(*span, self.boot_epoch);
                 let _ = std::fmt::Write::write_fmt(
                     &mut out,
                     format_args!(
@@ -737,9 +755,10 @@ impl Service {
                 "gauge",
                 "requests in the trailing window",
             );
+            // Boot-clamped like `metrics_json` (honest fresh-boot rates).
             let snaps: Vec<(&str, _)> = [("1s", 1u64), ("10s", 10), ("60s", 60)]
                 .iter()
-                .map(|&(label, span)| (label, m.window.snapshot(span)))
+                .map(|&(label, span)| (label, m.window.snapshot_since(span, self.boot_epoch)))
                 .collect();
             for (label, snap) in &snaps {
                 prom::write_sample(
@@ -911,9 +930,11 @@ impl Service {
     }
 
     /// Note a partial (budget-cut) solve on the metrics ledger, so
-    /// every problem kind counts degradations uniformly.
+    /// every problem kind counts degradations uniformly. Keyed on the
+    /// interruption, not on `exact`: an uninterrupted sketch answer is
+    /// non-exact *by contract*, not degraded.
     fn note_partial<T>(&self, out: &pkgrec_guard::Outcome<T, SearchStats>) {
-        if !out.exact {
+        if out.interrupted.is_some() {
             Metrics::bump(&self.metrics.deadline_partial);
             pkgrec_trace::counter!("serve.deadline_partial");
         }
@@ -1091,7 +1112,9 @@ fn render_outcome<T: RenderResult>(
     body.push_str(req.problem.name());
     body.push_str("\",\"exact\":");
     body.push_str(if out.exact { "true" } else { "false" });
-    body.push_str(",\"interrupted\":");
+    body.push_str(",\"method\":\"");
+    body.push_str(out.method.label());
+    body.push_str("\",\"interrupted\":");
     write_interrupted(&mut body, out.interrupted.as_ref(), &out.stats);
     body.push_str(",\"result\":");
     out.value.render(&mut body);
@@ -1100,13 +1123,16 @@ fn render_outcome<T: RenderResult>(
     body.push_str(",\"valid_packages\":");
     body.push_str(&out.stats.valid_packages.to_string());
     body.push_str("}}");
-    let outcome = if out.exact {
-        "exact".to_string()
-    } else {
-        match &out.interrupted {
-            Some(cut) => format!("partial:{}", cut.resource.label()),
-            None => "partial".to_string(),
-        }
+    // The access-log/slow-ring label distinguishes the degradation
+    // contract (budget cut a certifying search short) from the
+    // approximation contract (the sketch engine was asked for): an
+    // uninterrupted sketch answer is `sketch`, not `partial`.
+    let outcome = match (out.method, out.exact, &out.interrupted) {
+        (Method::Exact, true, _) => "exact".to_string(),
+        (Method::Exact, false, Some(cut)) => format!("partial:{}", cut.resource.label()),
+        (Method::Exact, false, None) => "partial".to_string(),
+        (Method::Sketch, _, None) => "sketch".to_string(),
+        (Method::Sketch, _, Some(cut)) => format!("sketch:partial:{}", cut.resource.label()),
     };
     Rendered { body, outcome }
 }
@@ -1118,7 +1144,7 @@ fn render_eval(prepared: &PreparedInstance) -> Rendered {
     let items = ctx.items();
     let mut body = String::with_capacity(64 + items.len() * 16);
     body.push_str(
-        "{\"status\":\"ok\",\"problem\":\"eval\",\"exact\":true,\"interrupted\":null,\"result\":[",
+        "{\"status\":\"ok\",\"problem\":\"eval\",\"exact\":true,\"method\":\"exact\",\"interrupted\":null,\"result\":[",
     );
     for (i, t) in items.iter().enumerate() {
         if i > 0 {
@@ -1211,23 +1237,26 @@ mod tests {
     use pkgrec_data::{AttrType, Relation, RelationSchema};
     use pkgrec_trace::json::{self, Json};
 
-    fn service() -> Service {
+    fn shop_db(prices: &[i64]) -> Database {
         let schema =
             RelationSchema::new("item", [("id", AttrType::Int), ("price", AttrType::Int)])
                 .unwrap();
         let rel = Relation::from_tuples(
             schema,
-            [
-                Tuple::new(vec![Value::Int(1), Value::Int(10)]),
-                Tuple::new(vec![Value::Int(2), Value::Int(20)]),
-                Tuple::new(vec![Value::Int(3), Value::Int(30)]),
-            ],
+            prices
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Tuple::new(vec![Value::Int(i as i64 + 1), Value::Int(p)])),
         )
         .unwrap();
         let mut db = Database::new();
         db.add_relation(rel).unwrap();
+        db
+    }
+
+    fn service() -> Service {
         let mut svc = Service::new(ServiceConfig::default());
-        svc.add_db("shop", db);
+        svc.add_db("shop", shop_db(&[10, 20, 30]));
         svc
     }
 
@@ -1518,5 +1547,102 @@ mod tests {
             Some("error:bad_request")
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression: the plan cache must not serve plans compiled against
+    /// a database that has since been swapped out. Before `PlanKey`
+    /// carried the database epoch, this test answered `50` from the
+    /// stale compiled plan after the swap.
+    #[test]
+    fn swapping_a_db_invalidates_its_cached_plans() {
+        let mut svc = service();
+        let body = br#"{"db":"shop","problem":"bound","query":"q(x, p) :- item(x, p).",
+                        "val":"sum:1","max_size":2}"#;
+        let (status, resp) = svc.handle_solve(body);
+        assert_eq!(status, 200, "{resp}");
+        let resp = json::parse(&resp).unwrap();
+        // Best 2-item package by sum(price): 20 + 30.
+        assert_eq!(resp.get("result").and_then(Json::as_f64), Some(50.0));
+        assert_eq!(svc.metrics.plan_cache_misses.load(Ordering::Relaxed), 1);
+
+        // Same name, new data: the resident db is replaced wholesale.
+        svc.add_db("shop", shop_db(&[100, 200, 300]));
+        let (status, resp) = svc.handle_solve(body);
+        assert_eq!(status, 200, "{resp}");
+        let resp = json::parse(&resp).unwrap();
+        assert_eq!(
+            resp.get("result").and_then(Json::as_f64),
+            Some(500.0),
+            "answer must come from the new data, not a stale plan"
+        );
+        // The swap is a fresh epoch, so the old plan cannot be reused.
+        assert_eq!(svc.metrics.plan_cache_misses.load(Ordering::Relaxed), 2);
+        assert_eq!(svc.metrics.plan_cache_hits.load(Ordering::Relaxed), 0);
+    }
+
+    /// Golden shape for `/metrics` on a fresh boot: less than one
+    /// complete second has elapsed, so every windowed rate must be an
+    /// honest finite zero — never NaN or infinity from a zero-second
+    /// division.
+    #[test]
+    fn fresh_boot_metrics_have_finite_window_rates() {
+        let svc = service();
+        let parsed = json::parse(&svc.metrics_json()).expect("valid JSON on fresh boot");
+        let windows = parsed.get("windows").unwrap();
+        for span in ["1s", "10s", "60s"] {
+            let rate = windows
+                .get(span)
+                .and_then(|w| w.get("rate"))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("missing rate for {span}"));
+            assert!(rate.is_finite(), "{span} rate {rate} is not finite");
+            assert_eq!(rate, 0.0, "no requests yet, so the {span} rate is zero");
+        }
+
+        let text = svc.metrics_prometheus();
+        assert!(!text.contains("NaN"), "{text}");
+        for line in text.lines() {
+            if let Some(v) = line.rsplit(' ').next() {
+                if let Ok(x) = v.parse::<f64>() {
+                    assert!(x.is_finite(), "non-finite sample: {line}");
+                }
+            }
+        }
+        assert!(text.contains("pkgrec_serve_window_requests{window=\"10s\"} 0"), "{text}");
+    }
+
+    /// The `approx` knob routes topk/bound through the sketch engine,
+    /// and the degradation contract shows in the body: `exact` is
+    /// false and `method` is `"sketch"` — while the default path stays
+    /// labeled `"exact"`.
+    #[test]
+    fn approx_requests_are_labeled_sketch_and_never_exact() {
+        let (status, resp) = solve_body(
+            r#"{"db":"shop","problem":"topk","query":"q(x, p) :- item(x, p).",
+                "val":"sum:1","cost":"sum:1","budget":60,"max_size":2,"k":1,"approx":true}"#,
+        );
+        assert_eq!(status, 200, "{resp:?}");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(resp.get("exact").and_then(Json::as_bool), Some(false));
+        assert_eq!(resp.get("method").and_then(Json::as_str), Some("sketch"));
+        let result = resp.get("result").and_then(Json::as_array).unwrap();
+        assert_eq!(result.len(), 1);
+        // Soundness survives the transport: the package respects the
+        // budget 60 (prices 10, 20, 30 — any two fit).
+        assert!(result[0].get("val").and_then(Json::as_f64).unwrap() <= 60.0);
+
+        let (_, resp) = solve_body(
+            r#"{"db":"shop","problem":"bound","query":"q(x, p) :- item(x, p).",
+                "val":"sum:1","max_size":2,"approx":true}"#,
+        );
+        assert_eq!(resp.get("exact").and_then(Json::as_bool), Some(false));
+        assert_eq!(resp.get("method").and_then(Json::as_str), Some("sketch"));
+
+        // The exact path is still labeled exact.
+        let (_, resp) = solve_body(
+            r#"{"db":"shop","problem":"bound","query":"q(x, p) :- item(x, p).","max_size":2}"#,
+        );
+        assert_eq!(resp.get("exact").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("method").and_then(Json::as_str), Some("exact"));
     }
 }

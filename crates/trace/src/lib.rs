@@ -66,6 +66,9 @@
 //! | `enumerate.worker_panics` | core | search-unit panics caught and converted to typed errors |
 //! | `core.arity_derivations` | core | query answer-arity derivations (O(1) per search) |
 //! | `frp.candidate_inserts` | core | top-k working-set insertions |
+//! | `sketch.partition_builds` | core | partition indexes built for approximate solves |
+//! | `sketch.sub_solves` | core | exact sub-solves run by the sketch/refine loop |
+//! | `sketch.refines` | core | representatives swapped for their partition's contents |
 //! | `qrpp.relaxations` | relax | relaxation candidates tried |
 //! | `arpp.adjustments` | adjust | adjustment candidates tried |
 //! | `guard.interrupted` | guard | budget interruptions raised |
@@ -136,6 +139,9 @@ pub const COUNTER_REGISTRY: &[CounterInfo] = &[
     CounterInfo { name: "enumerate.worker_panics", layer: "core", help: "search-unit panics caught and converted to typed errors" },
     CounterInfo { name: "core.arity_derivations", layer: "core", help: "query answer-arity derivations (O(1) per search)" },
     CounterInfo { name: "frp.candidate_inserts", layer: "core", help: "top-k working-set insertions" },
+    CounterInfo { name: "sketch.partition_builds", layer: "core", help: "partition indexes built for approximate solves" },
+    CounterInfo { name: "sketch.sub_solves", layer: "core", help: "exact sub-solves run by the sketch/refine loop" },
+    CounterInfo { name: "sketch.refines", layer: "core", help: "representatives swapped for their partition's contents" },
     CounterInfo { name: "qrpp.relaxations", layer: "relax", help: "relaxation candidates tried" },
     CounterInfo { name: "arpp.adjustments", layer: "adjust", help: "adjustment candidates tried" },
     CounterInfo { name: "guard.interrupted", layer: "guard", help: "budget interruptions raised" },

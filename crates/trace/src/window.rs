@@ -134,6 +134,27 @@ impl RollingWindow {
         self.snapshot_at(now_sec(), window)
     }
 
+    /// [`snapshot`](Self::snapshot), additionally clamping the
+    /// rate denominator to the complete seconds elapsed since `since`
+    /// (e.g. a server's boot second). A freshly booted process has not
+    /// lived through a full 60-second window, and dividing its request
+    /// count by 60 reports a rate biased low by up to the whole window
+    /// span — or, with a naive "elapsed" denominator, divides by zero
+    /// inside the first second. Covered seconds of zero make
+    /// [`WindowSnapshot::rate`] report `0.0`, never NaN/∞.
+    pub fn snapshot_since(&self, window: u64, since: u64) -> WindowSnapshot {
+        self.snapshot_since_at(now_sec(), window, since)
+    }
+
+    /// [`snapshot_since`](Self::snapshot_since) with an explicit "now".
+    pub fn snapshot_since_at(&self, now: u64, window: u64, since: u64) -> WindowSnapshot {
+        let mut snap = self.snapshot_at(now, window);
+        // Only complete seconds count, matching the aggregation above:
+        // a process alive for 1.5s has lived 1 complete second.
+        snap.seconds = snap.seconds.min(now.saturating_sub(since));
+        snap
+    }
+
     /// [`snapshot`](Self::snapshot) with an explicit "now".
     pub fn snapshot_at(&self, now: u64, window: u64) -> WindowSnapshot {
         let window = window.min(WINDOW_SECONDS as u64 - 1).max(1);
@@ -225,6 +246,35 @@ mod tests {
         assert_eq!(s10.latency.count, 3);
         assert_eq!(s10.latency.sum, 600);
         assert!(s10.rate() > 0.0);
+    }
+
+    #[test]
+    fn fresh_boot_rates_are_honest_and_finite() {
+        // Regression (metrics window edge): a server up 2 seconds with
+        // 100 requests used to report a 60s rate of 100/60 ≈ 1.67/s;
+        // the boot-clamped snapshot divides by the 2 lived seconds.
+        let w = RollingWindow::new();
+        let boot = 9_000u64;
+        for _ in 0..50 {
+            w.record_at(boot, 10, false);
+            w.record_at(boot + 1, 10, false);
+        }
+        let snap = w.snapshot_since_at(boot + 2, 60, boot);
+        assert_eq!(snap.requests, 100);
+        assert_eq!(snap.seconds, 2);
+        assert!((snap.rate() - 50.0).abs() < 1e-9);
+
+        // Inside the first second: zero complete seconds lived — the
+        // rate must be exactly 0.0, not NaN or ∞.
+        let early = w.snapshot_since_at(boot, 60, boot);
+        assert_eq!(early.seconds, 0);
+        assert_eq!(early.rate(), 0.0);
+        assert!(early.rate().is_finite());
+
+        // Long-lived processes are unaffected: the clamp only ever
+        // shrinks the denominator down to the lived span.
+        let later = w.snapshot_since_at(boot + 500, 60, boot);
+        assert_eq!(later.seconds, 60);
     }
 
     #[test]

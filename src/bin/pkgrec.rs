@@ -34,6 +34,12 @@
 //!                      last-N-events black box
 //!   --progress         print a throttled live progress line (percent,
 //!                      units, ETA) to stderr while the search runs
+//!   --approx           solve `topk`/`bound` with the SketchRefine
+//!                      approximate engine (partition, sketch over
+//!                      representatives, refine): scales to item pools
+//!                      the exact search cannot touch, but the answer
+//!                      is never certified optimal and is printed with
+//!                      an explicit `approximate` marker
 //!
 //! serve options:
 //!   --listen ADDR         bind address (default 127.0.0.1:7878; port 0
@@ -91,8 +97,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pkgrec::core::{
-    problems::cpp, problems::frp, problems::mbp, problems::rpp, Budget, Ext, PackageFn,
-    Progress, RecInstance, SizeBound, SolveOptions,
+    problems::cpp, problems::frp, problems::mbp, problems::rpp, Budget, Ext, Method, PackageFn,
+    Progress, RecInstance, SizeBound, SketchParams, SolveOptions,
 };
 use pkgrec::data::text::parse_database;
 use pkgrec::data::{tuple, Database};
@@ -125,6 +131,7 @@ struct Options {
     trace_out: Option<String>,
     flight_out: Option<String>,
     progress: bool,
+    approx: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +172,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         trace_out: None,
         flight_out: None,
         progress: false,
+        approx: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -182,6 +190,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         }
         if flag == "--progress" {
             opts.progress = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--approx" {
+            opts.approx = true;
             i += 1;
             continue;
         }
@@ -598,6 +611,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
         let qbf_path = it.next().ok_or(usage)?;
         let rest: Vec<String> = it.cloned().collect();
         let opts = parse_options(&rest)?;
+        if opts.approx {
+            return Err("--approx is only supported for `topk` and `bound`".to_string());
+        }
         let mut budget = Budget::unlimited();
         if let Some(n) = opts.steps {
             budget = budget.steps(n);
@@ -676,6 +692,16 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
 /// Dispatch the non-qbf commands. Split out of [`run`] so the flight
 /// recording can be dumped on both the success and the error path.
+/// The solver options for one command, with the SketchRefine engine
+/// switched on when `--approx` was passed.
+fn approx_opts(solver_opts: &SolveOptions, opts: &Options) -> SolveOptions {
+    let mut solver_opts = solver_opts.clone();
+    if opts.approx {
+        solver_opts = solver_opts.with_approx(SketchParams::default());
+    }
+    solver_opts
+}
+
 fn run_command(
     cmd: &str,
     db: Database,
@@ -684,6 +710,11 @@ fn run_command(
     solver_opts: &SolveOptions,
     usage: &str,
 ) -> Result<(), String> {
+    if opts.approx && !matches!(cmd, "topk" | "bound") {
+        return Err(format!(
+            "--approx is only supported for `topk` and `bound`, not `{cmd}`"
+        ));
+    }
     match cmd {
         "eval" => {
             let answers = query.eval(&db).map_err(|e| e.to_string())?;
@@ -694,7 +725,11 @@ fn run_command(
         }
         "topk" => {
             let inst = build_instance(db, query, opts);
-            let out = frp::top_k(&inst, solver_opts).map_err(|e| e.to_string())?;
+            let solver_opts = approx_opts(solver_opts, opts);
+            let out = frp::top_k(&inst, &solver_opts).map_err(|e| e.to_string())?;
+            if out.method == Method::Sketch {
+                println!("approximate result (sketch engine; not certified optimal):");
+            }
             if let Some(cut) = out.interrupted {
                 println!("partial result ({cut}):");
             }
@@ -715,8 +750,16 @@ fn run_command(
         }
         "bound" => {
             let inst = build_instance(db, query, opts);
-            let out = mbp::maximum_bound(&inst, solver_opts).map_err(|e| e.to_string())?;
-            let qualifier = if out.exact { "" } else { " (lower bound; budget ran out)" };
+            let solver_opts = approx_opts(solver_opts, opts);
+            let out = mbp::maximum_bound(&inst, &solver_opts).map_err(|e| e.to_string())?;
+            let qualifier = match (out.method, out.exact, out.interrupted) {
+                (Method::Exact, true, _) => "",
+                (Method::Exact, false, _) => " (lower bound; budget ran out)",
+                (Method::Sketch, _, None) => " (approximate; sketch engine)",
+                (Method::Sketch, _, Some(_)) => {
+                    " (approximate; sketch engine, budget ran out)"
+                }
+            };
             match out.value {
                 None => println!("no top-{} selection exists", opts.k),
                 Some(b) => println!("maximum bound: {b}{qualifier}"),
