@@ -1,0 +1,126 @@
+//! `profile_overhead` — measure what the timeline profiler costs.
+//!
+//! Runs the Theorem 4.1 RPP configuration (the same workload as
+//! `trace_overhead` and `flight_overhead`: a random Σ₂ 3DNF sentence
+//! reduced to an RPP instance and decided by `rpp::is_top_k`) three
+//! ways:
+//!
+//! 1. **disabled** — the timeline off, the shipping default;
+//! 2. **disabled (rerun)** — still off. The relative gap to run 1 is
+//!    the measurement noise floor: the disabled probe is a single
+//!    relaxed atomic load plus one env-var check cached in a
+//!    `OnceLock`, so any difference between two disabled runs is
+//!    noise, and that gap is the honest upper bound on "overhead of
+//!    having the profiler compiled in but off";
+//! 3. **enabled** — every unit claim/finish and phase open/close
+//!    lands a timestamped stamp in the global ring, what
+//!    `pkgrec profile` and `--profile-slow-ms` pay while sampling.
+//!
+//! Each measurement is the median of [`ROUNDS`] timed rounds of
+//! [`ITERS`] solves. Results go to stdout, or as JSON to the path in
+//! the first argument; `--smoke` shrinks the sweep for CI:
+//!
+//! ```sh
+//! cargo run --release -p pkgrec-bench --bin profile_overhead -- BENCH_profile_overhead.json
+//! cargo run --release -p pkgrec-bench --bin profile_overhead -- profile.json --smoke
+//! ```
+
+use std::time::{Duration, Instant};
+
+use pkgrec_core::{problems::rpp, SolveOptions};
+use pkgrec_logic::gen;
+use pkgrec_reductions::thm4_1;
+use pkgrec_trace::timeline;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Solves per timed round.
+const ITERS: usize = 40;
+/// Timed rounds per configuration; the median is reported.
+const ROUNDS: usize = 7;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Wall time of one round: `iters` solves of the Thm 4.1 instance.
+/// The stamp ring is cleared between solves so the enabled
+/// configuration measures steady-state stamping, not an ever-full
+/// ring.
+fn round(r: &thm4_1::RppReduction, opts: &SolveOptions, iters: usize) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        timeline::reset();
+        let ok = rpp::is_top_k(&r.instance, &r.selection, opts).expect("solves");
+        std::hint::black_box(ok);
+    }
+    start.elapsed()
+}
+
+fn pct(base: Duration, other: Duration) -> f64 {
+    (other.as_secs_f64() - base.as_secs_f64()) / base.as_secs_f64() * 100.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let (iters, rounds) = if smoke { (5, 3) } else { (ITERS, ROUNDS) };
+
+    let phi = gen::random_sigma2(&mut StdRng::seed_from_u64(92), 2, 2, 3);
+    let r = thm4_1::reduce(&phi);
+    let opts = SolveOptions::default();
+
+    assert!(
+        !timeline::is_enabled(),
+        "the timeline must start disabled (unset PKGREC_PROFILE)"
+    );
+    // Warm-up round so page faults and lazy init don't land in run 1.
+    round(&r, &opts, iters);
+
+    // Interleave the three configurations round by round so slow drift
+    // (frequency scaling, other tenants) hits them all alike instead of
+    // whichever block ran first; the medians then compare like rounds.
+    let (mut d1, mut d2, mut en) = (Vec::new(), Vec::new(), Vec::new());
+    let mut stamps_per_solve = 0usize;
+    for _ in 0..rounds {
+        d1.push(round(&r, &opts, iters));
+        d2.push(round(&r, &opts, iters));
+        let _scope = timeline::scoped();
+        en.push(round(&r, &opts, iters));
+        stamps_per_solve = timeline::take_current().stamps.len();
+    }
+    let disabled = median(d1);
+    let disabled_rerun = median(d2);
+    let enabled = median(en);
+
+    let noise_floor_pct = pct(disabled, disabled_rerun);
+    let enabled_overhead_pct = pct(disabled, enabled);
+    let json = format!(
+        "{{\"bench\":\"t81_rpp cq_with_qc (thm4_1 reduce of random_sigma2 m=2, seed 92)\",\
+\"iters_per_round\":{iters},\"rounds\":{rounds},\"smoke\":{smoke},\
+\"disabled_ns\":{},\"disabled_rerun_ns\":{},\"enabled_ns\":{},\
+\"disabled_overhead_pct\":{:.2},\"enabled_overhead_pct\":{:.2},\
+\"stamps_per_solve\":{stamps_per_solve},\"ring_capacity\":{}}}",
+        disabled.as_nanos(),
+        disabled_rerun.as_nanos(),
+        enabled.as_nanos(),
+        noise_floor_pct,
+        enabled_overhead_pct,
+        timeline::capacity(),
+    );
+    pkgrec_trace::json::validate_object(&json).expect("well-formed report");
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).expect("write output file");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "disabled {disabled:?} | disabled rerun {disabled_rerun:?} ({noise_floor_pct:+.2}%, \
+         noise floor) | enabled {enabled:?} ({enabled_overhead_pct:+.2}%, \
+         {stamps_per_solve} stamps/solve)"
+    );
+}

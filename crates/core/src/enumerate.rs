@@ -26,7 +26,12 @@
 //!   merged recordings on uninterrupted searches;
 //! * a shared [`Progress`] estimate is credited per node and per pruned
 //!   subtree — the subtree sizes are known in closed form, so the
-//!   fraction is exact, monotone, and reaches 1.0 on completion.
+//!   fraction is exact, monotone, and reaches 1.0 on completion;
+//! * with the profiler on (`pkgrec_trace::timeline`), unit claim and
+//!   finish stamps per worker feed the per-worker utilization tables
+//!   and Chrome-trace export — timestamps live in that side-channel,
+//!   never in the flight ring, so the bit-identical recording contract
+//!   is untouched.
 
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,6 +41,7 @@ use std::time::Duration;
 use pkgrec_data::Tuple;
 use pkgrec_guard::{Budget, Interrupted, Meter, SharedMeter, WorkerMeter};
 use pkgrec_trace::flight::{self, FlightEvent, PruneReason};
+use pkgrec_trace::timeline;
 
 use crate::error::CoreError;
 use crate::instance::{Classified, RecInstance, Reject, SearchContext};
@@ -187,7 +193,13 @@ impl Completion {
 }
 
 /// Statistics reported by a completed search.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// Equality deliberately ignores [`workers`](SearchStats::workers):
+/// per-worker busy time and claim counts are wall-clock and scheduling
+/// dependent, while everything else — including the deterministic
+/// [`unit_skew`](SearchStats::unit_skew) summary — must stay
+/// bit-identical between the sequential and parallel engines.
+#[derive(Debug, Clone, Default)]
 pub struct SearchStats {
     /// Packages enumerated (including invalid ones). This is also the
     /// number of budget steps the search charged.
@@ -203,6 +215,57 @@ pub struct SearchStats {
     /// exactly 1.0, and keeping the field `None` preserves bit-identical
     /// stats across sequential and parallel engines.
     pub progress_at_interrupt: Option<f64>,
+    /// Size skew of the unit partition both engines walk — the number
+    /// that justifies (or kills) a work-stealing scheduler: with
+    /// `max ≫ mean`, the take-in-order claim counter leaves workers
+    /// idle behind one giant subtree. Computed in closed form from the
+    /// unit list (no wall clock involved), so it is identical across
+    /// engines and job counts. `None` for searches that never built a
+    /// unit partition.
+    pub unit_skew: Option<UnitSkew>,
+    /// Per-worker attribution: busy wall time, units claimed, steps
+    /// ticked. Populated only while the profiler
+    /// (`pkgrec_trace::timeline`) is enabled — the disabled path takes
+    /// no timestamps — and excluded from equality.
+    pub workers: Vec<WorkerStat>,
+}
+
+impl PartialEq for SearchStats {
+    fn eq(&self, other: &SearchStats) -> bool {
+        // `workers` is intentionally not compared (see the type docs).
+        self.packages_enumerated == other.packages_enumerated
+            && self.valid_packages == other.valid_packages
+            && self.interrupted == other.interrupted
+            && self.progress_at_interrupt == other.progress_at_interrupt
+            && self.unit_skew == other.unit_skew
+    }
+}
+
+/// Distribution summary of the per-unit subtree sizes (in search-tree
+/// nodes, the closed-form [`count_nodes`] count) of the unit partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UnitSkew {
+    /// Units in the partition.
+    pub units: u64,
+    /// Largest unit subtree, in nodes.
+    pub max_nodes: f64,
+    /// Mean unit subtree size, in nodes.
+    pub mean_nodes: f64,
+    /// 99th-percentile unit subtree size, in nodes.
+    pub p99_nodes: f64,
+}
+
+/// What one worker did during a search (profiler-enabled runs only).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerStat {
+    /// Worker index (sequential engine: 0).
+    pub worker: u32,
+    /// Wall time spent inside claimed units, nanoseconds.
+    pub busy_ns: u64,
+    /// Units this worker claimed (including abandoned ones).
+    pub units_claimed: u64,
+    /// Budget steps (enumerated packages) this worker ticked.
+    pub steps: u64,
 }
 
 /// What stopped a depth-first walk before exhaustion.
@@ -370,16 +433,29 @@ fn sequential_walk(
     if fl {
         flight::begin_search(units.len() as u64);
     }
+    let tl = timeline::is_enabled();
+    let _phase = timeline::phase("enumerate");
 
     let meter = opts.budget.meter();
     // The sequential engine never abandons a unit.
     let floor = AtomicUsize::new(usize::MAX);
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats {
+        unit_skew: Some(unit_skew(&units, items.len(), max_size)),
+        ..SearchStats::default()
+    };
+    let mut wstat = WorkerStat::default();
     let mut interrupted = None;
     for (idx, unit) in units.iter().enumerate() {
         if fl {
             flight::begin_unit(idx as u64);
         }
+        let claim_start = if tl {
+            timeline::unit_claim(idx as u64);
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let steps_before = stats.packages_enumerated;
         let (mut pkg, start) = unit_seed(items, *unit);
         let flow = unit_walk_caught(
             ctx,
@@ -395,6 +471,15 @@ fn sequential_walk(
             &mut sink,
             fl,
         );
+        if let Some(claimed) = claim_start {
+            let steps = stats.packages_enumerated - steps_before;
+            timeline::unit_finish(idx as u64, steps);
+            wstat.busy_ns = wstat.busy_ns.saturating_add(
+                u64::try_from(claimed.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            wstat.units_claimed += 1;
+            wstat.steps += steps;
+        }
         match flow {
             ControlFlow::Continue(()) => {
                 if fl {
@@ -407,6 +492,9 @@ fn sequential_walk(
                 // The rest of the space is decided (the visitor chose
                 // to stop), so the search is done.
                 progress.finish();
+                if tl {
+                    stats.workers.push(wstat);
+                }
                 return Ok(stats);
             }
             ControlFlow::Break(UnitStop::Error(e)) => {
@@ -429,6 +517,9 @@ fn sequential_walk(
             stats.interrupted = Some(cut);
             stats.progress_at_interrupt = Some(progress.fraction());
         }
+    }
+    if tl {
+        stats.workers.push(wstat);
     }
     Ok(stats)
 }
@@ -569,6 +660,39 @@ fn build_units(
         }
     }
     Ok((units, preskipped))
+}
+
+/// Closed-form subtree size of one unit, in search-tree nodes.
+fn unit_nodes(unit: Unit, n: usize, max_size: usize) -> f64 {
+    match unit {
+        // Root and singleton units are one node each (their subtrees
+        // are separate units).
+        Unit::Root | Unit::Single(_) => 1.0,
+        // The full subtree rooted at the pair {i, j}: the pair node
+        // plus every extension drawn from the items after `j`.
+        Unit::Subtree(_, j) => count_nodes(n - j - 1, max_size - 2),
+    }
+}
+
+/// Summarize how skewed the unit subtree sizes are. Pure arithmetic on
+/// the unit list — identical for both engines and any job count.
+fn unit_skew(units: &[Unit], n: usize, max_size: usize) -> UnitSkew {
+    if units.is_empty() {
+        return UnitSkew::default();
+    }
+    let mut sizes: Vec<f64> = units
+        .iter()
+        .map(|&u| unit_nodes(u, n, max_size))
+        .collect();
+    sizes.sort_by(|a, b| a.partial_cmp(b).expect("sizes are finite"));
+    let total: f64 = sizes.iter().sum();
+    let rank = ((sizes.len() as f64) * 0.99).ceil() as usize;
+    UnitSkew {
+        units: units.len() as u64,
+        max_nodes: sizes[sizes.len() - 1],
+        mean_nodes: total / sizes.len() as f64,
+        p99_nodes: sizes[rank.max(1) - 1],
+    }
 }
 
 /// Why a unit's walk stopped before exhausting its partition.
@@ -718,7 +842,8 @@ fn unit_walk<M: SearchMeter>(
 
 /// One worker: claim units off the shared counter in index order, walk
 /// each, and report the outcomes (with their drained flight events)
-/// plus this thread's trace aggregates.
+/// plus this thread's trace aggregates and — when the profiler is on —
+/// its [`WorkerStat`] attribution.
 #[allow(clippy::too_many_arguments)]
 fn run_worker<R: ValidPackageReducer>(
     ctx: &SearchContext<'_>,
@@ -732,12 +857,27 @@ fn run_worker<R: ValidPackageReducer>(
     progress: &Progress,
     total_nodes: f64,
     fl: bool,
-) -> (Vec<UnitOutcome<R::Acc>>, pkgrec_trace::TraceReport) {
+    tl: bool,
+    tl_scope: u64,
+    worker: u32,
+) -> (
+    Vec<UnitOutcome<R::Acc>>,
+    pkgrec_trace::TraceReport,
+    Option<WorkerStat>,
+) {
     let span = pkgrec_trace::span!("enumerate.worker");
+    let _tl_tag = timeline::enter(tl_scope, worker);
+    if tl {
+        timeline::worker_alive();
+    }
     let meter = shared.worker();
     let items = ctx.items();
     let mut sink = ProgressSink::new(progress, total_nodes);
     let mut outcomes = Vec::new();
+    let mut wstat = WorkerStat {
+        worker,
+        ..WorkerStat::default()
+    };
     loop {
         let u = next.fetch_add(1, Ordering::Relaxed);
         // Units are claimed in increasing order, so once the floor is
@@ -749,6 +889,12 @@ fn run_worker<R: ValidPackageReducer>(
         if fl {
             flight::begin_unit(u as u64);
         }
+        let claim_start = if tl {
+            timeline::unit_claim(u as u64);
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let (mut pkg, start) = unit_seed(items, units[u]);
         let mut acc = reducer.new_acc();
         let mut stats = SearchStats::default();
@@ -766,6 +912,15 @@ fn run_worker<R: ValidPackageReducer>(
             &mut sink,
             fl,
         );
+        if let Some(claimed) = claim_start {
+            let steps = stats.packages_enumerated;
+            timeline::unit_finish(u as u64, steps);
+            wstat.busy_ns = wstat.busy_ns.saturating_add(
+                u64::try_from(claimed.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            wstat.units_claimed += 1;
+            wstat.steps += steps;
+        }
         match flow {
             ControlFlow::Continue(()) => {
                 if fl {
@@ -820,7 +975,7 @@ fn run_worker<R: ValidPackageReducer>(
     }
     sink.flush();
     drop(span);
-    (outcomes, pkgrec_trace::take())
+    (outcomes, pkgrec_trace::take(), tl.then_some(wstat))
 }
 
 /// The parallel engine. Determinism argument: workers claim units in
@@ -860,29 +1015,45 @@ fn parallel_reduce<R: ValidPackageReducer>(
         // record into their own rings and hand events back per unit.
         flight::begin_search(units.len() as u64);
     }
+    let tl = timeline::is_enabled();
+    // Workers tag their stamps with the coordinator's profiling scope
+    // so a serve request's timeline stays isolated from its neighbors.
+    let tl_scope = timeline::current_scope();
+    let _phase = timeline::phase("enumerate");
 
     let shared = opts.budget.shared_meter();
     let next = AtomicUsize::new(0);
     let floor = AtomicUsize::new(usize::MAX);
     let jobs = jobs.min(units.len());
-    type WorkerResult<A> = (Vec<UnitOutcome<A>>, pkgrec_trace::TraceReport);
+    type WorkerResult<A> = (
+        Vec<UnitOutcome<A>>,
+        pkgrec_trace::TraceReport,
+        Option<WorkerStat>,
+    );
     let (worker_results, join_panic): (Vec<WorkerResult<R::Acc>>, Option<String>) =
         std::thread::scope(|s| {
+            let units = &units;
+            let next = &next;
+            let floor = &floor;
+            let shared = &shared;
             let handles: Vec<_> = (0..jobs)
-                .map(|_| {
-                    s.spawn(|| {
+                .map(|w| {
+                    s.spawn(move || {
                         run_worker(
                             ctx,
                             reducer,
                             rating_bound,
-                            &units,
+                            units,
                             max_size,
-                            &next,
-                            &floor,
-                            &shared,
+                            next,
+                            floor,
+                            shared,
                             progress,
                             total_nodes,
                             fl,
+                            tl,
+                            tl_scope,
+                            w as u32,
                         )
                     })
                 })
@@ -911,15 +1082,22 @@ fn parallel_reduce<R: ValidPackageReducer>(
     }
 
     let mut outcomes: Vec<UnitOutcome<R::Acc>> = Vec::new();
-    for (worker_outcomes, report) in worker_results {
+    let mut worker_stats: Vec<WorkerStat> = Vec::new();
+    for (worker_outcomes, report, wstat) in worker_results {
         pkgrec_trace::absorb(&report);
         outcomes.extend(worker_outcomes);
+        worker_stats.extend(wstat);
     }
     outcomes.sort_by_key(|o| o.idx);
+    worker_stats.sort_by_key(|w| w.worker);
 
     let floor = floor.load(Ordering::Relaxed);
     let mut acc = reducer.new_acc();
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats {
+        unit_skew: Some(unit_skew(&units, items.len(), max_size)),
+        workers: worker_stats,
+        ..SearchStats::default()
+    };
     for outcome in outcomes {
         if outcome.idx > floor {
             break;

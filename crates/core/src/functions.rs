@@ -32,6 +32,12 @@ pub struct PackageFn {
     /// against the item schema once up front, instead of silently
     /// scoring a missing/non-numeric column as 0 on every package.
     numeric_cols: Arc<[usize]>,
+    /// Whether the function is exactly the sum of its declared numeric
+    /// columns over the items (`∅ ↦ 0`). Declaring columns alone does
+    /// *not* imply this — `neg_sum_col` reads the same columns with the
+    /// opposite sign — so bound-based pruning (the sketch engine's
+    /// partition bounds) keys on this marker, never on `numeric_cols`.
+    additive: bool,
     description: Arc<str>,
 }
 
@@ -49,6 +55,7 @@ impl PackageFn {
             monotone_nonempty,
             superset_lower_bound: None,
             numeric_cols: Arc::from([]),
+            additive: false,
             description: Arc::from(description.as_ref()),
         }
     }
@@ -112,6 +119,7 @@ impl PackageFn {
             )
         });
         f.numeric_cols = Arc::from([col]);
+        f.additive = true;
         f
     }
 
@@ -209,6 +217,15 @@ impl PackageFn {
         self.monotone_nonempty
     }
 
+    /// Whether the function is exactly `Σ` of its declared numeric
+    /// columns over the items (with `f(∅) = 0`). Only the aggregate
+    /// constructors that have this shape (`sum_col`) set it; per-item
+    /// column aggregates then soundly bound the function over item
+    /// sets, which is what partition-level pruning needs.
+    pub fn is_column_additive(&self) -> bool {
+        self.additive
+    }
+
     /// Human-readable description.
     pub fn description(&self) -> &str {
         &self.description
@@ -248,6 +265,18 @@ mod tests {
         assert_eq!(PackageFn::sum_col(0, true).eval(&p), Ext::Finite(7.0));
         assert_eq!(PackageFn::neg_sum_col(0).eval(&p), Ext::Finite(-7.0));
         assert!(!PackageFn::sum_col(0, false).is_monotone_nonempty());
+    }
+
+    #[test]
+    fn column_additivity_is_declared_only_where_sound() {
+        assert!(PackageFn::sum_col(0, true).is_column_additive());
+        assert!(PackageFn::sum_col(0, false).is_column_additive());
+        // Same declared columns, different semantics: not additive.
+        assert!(!PackageFn::neg_sum_col(0).is_column_additive());
+        assert!(!PackageFn::count().is_column_additive());
+        // Overriding f(∅) breaks the ∅ ↦ 0 shape the marker promises.
+        let patched = PackageFn::sum_col(0, true).with_empty_value(Ext::Finite(9.0));
+        assert!(!patched.is_column_additive());
     }
 
     #[test]

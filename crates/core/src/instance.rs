@@ -256,6 +256,11 @@ struct PreparedParts {
 
 impl PreparedParts {
     fn build(inst: &RecInstance) -> Result<PreparedParts> {
+        // Profiler phase: plan compilation + item materialization is
+        // the front half of every solve; the timeline separates it from
+        // the search proper (a stamp side-channel, not a trace span —
+        // span-path goldens stay untouched).
+        let _phase = pkgrec_trace::timeline::phase("compile");
         let answer_arity = inst.answer_arity()?;
         let q_plan = inst.query.compile(&inst.db)?;
         let items: Vec<Tuple> = q_plan

@@ -44,7 +44,8 @@ pub mod sketch;
 pub use constraints::{Constraint, ANSWER_RELATION};
 pub use enumerate::{
     for_each_package, for_each_valid_package, reduce_valid_packages,
-    reduce_valid_packages_in, Completion, SearchStats, SolveOptions, ValidPackageReducer,
+    reduce_valid_packages_in, Completion, SearchStats, SolveOptions, UnitSkew,
+    ValidPackageReducer, WorkerStat,
 };
 pub use error::{ColumnIssue, CoreError};
 

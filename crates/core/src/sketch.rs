@@ -34,13 +34,28 @@
 //! `sketch.maximum_bound` span wraps the run, `sketch.partition_builds`
 //! / `sketch.sub_solves` / `sketch.refines` count the moving parts, and
 //! the inner exact sub-solves emit their usual `enumerate.*` counters
-//! and flight events.
+//! and flight events. Refinement rounds additionally split by outcome
+//! (`sketch.refines.improved` / `sketch.refines.no_gain`), skipped
+//! partitions count under `sketch.partitions_pruned`, and — when the
+//! profile timeline is enabled — the sketch solve, each refine
+//! re-solve, and the final soundness gate stamp `sketch` / `refine` /
+//! `verify` phases so a trace viewer shows where the wall time went.
+//!
+//! **Pruning.** Refinement skips a partition outright when the
+//! per-node column aggregates the offline index carries
+//! ([`PartitionNode::mins`]/[`PartitionNode::sums`]) prove expanding
+//! it cannot change the answer: its cheapest item already busts the
+//! budget (so no item under it fits in *any* valid package), or — once
+//! a full selection is held — even claiming its entire value mass
+//! cannot beat the incumbent's weakest package. Both bounds are gated
+//! on [`PackageFn::is_column_additive`] plus declared monotonicity;
+//! opaque functions disable pruning rather than risk soundness.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
 
-use pkgrec_data::{PartitionIndex, PartitionParams, Tuple};
+use pkgrec_data::{PartitionIndex, PartitionNode, PartitionParams, Tuple};
 use pkgrec_guard::{Budget, Interrupted, Outcome, Resource};
 
 use crate::enumerate::{SearchStats, SolveOptions};
@@ -70,6 +85,12 @@ pub struct SketchParams {
     /// contributes its anytime best and the refinement continues; this
     /// bounds the damage when a sub-pool is adversarially dense.
     pub sub_steps: u64,
+    /// Skip partitions whose aggregate bounds prove expanding them
+    /// cannot change the answer (see the module docs). On by default;
+    /// the off switch exists for A/B benchmarks and the equivalence
+    /// property test, not for correctness — pruning never changes the
+    /// returned package set.
+    pub prune: bool,
 }
 
 impl Default for SketchParams {
@@ -80,6 +101,7 @@ impl Default for SketchParams {
             seed: 0x5EED_C0DE,
             refine_cap: 64,
             sub_steps: 200_000,
+            prune: true,
         }
     }
 }
@@ -131,6 +153,90 @@ fn partition_columns(ctx: &SearchContext<'_>) -> Vec<usize> {
     cols
 }
 
+/// Sum of `vals` (a per-node aggregate vector parallel to the sorted
+/// partition-column union `pcols`) over the positions of a function's
+/// declared columns. `None` when some declared column was not
+/// clustered on — bounds are then unavailable and the caller must not
+/// prune. (Cannot happen for an index built via [`partition_columns`],
+/// which is exactly this union; the `None` arm is defense, not a
+/// reachable path.)
+fn mapped_sum(pcols: &[usize], fcols: &[usize], vals: &[f64]) -> Option<f64> {
+    let mut acc = 0.0;
+    for &c in fcols {
+        acc += vals[pcols.binary_search(&c).ok()?];
+    }
+    Some(acc)
+}
+
+/// Whether expanding `node` provably cannot change the run's answer,
+/// so refinement may skip it without spending a round. Two bounds,
+/// both requiring the declared additive-aggregate shape
+/// ([`PackageFn::is_column_additive`]) plus monotonicity — opaque
+/// functions never prune:
+///
+/// * **Cost infeasibility.** The cheapest conceivable item under the
+///   node costs `Σ_c min_c` (per-column minima, summed over the cost's
+///   columns). If even that exceeds the budget then — cost being
+///   additive over nonnegative columns — every package containing
+///   *any* item under the node is over budget, so the node's items can
+///   never appear in a valid package.
+/// * **Value ceiling.** Once a full `k`-selection is held, a refine
+///   re-solve over `selection ∪ expansion` is adopted only when it
+///   *strictly* beats the incumbent (see the adoption rule in
+///   [`top_k`]). With an additive, nonnegative `val`, no package drawn
+///   from that pool can rate above `val(selection tuples) + Σ_c sum_c`
+///   (the node's entire value mass, which over-counts any actual
+///   expansion). If that ceiling does not exceed the incumbent's
+///   weakest rating, no component of the lexicographic quality can
+///   strictly improve, so adoption is impossible.
+fn prunable(
+    ctx: &SearchContext<'_>,
+    pcols: &[usize],
+    node: &PartitionNode,
+    best: Option<&Vec<Package>>,
+    k: usize,
+) -> bool {
+    let inst = ctx.instance();
+    if inst.cost.is_column_additive() && inst.cost.is_monotone_nonempty() {
+        if let Some(lb) = mapped_sum(pcols, inst.cost.numeric_columns(), &node.mins) {
+            if Ext::Finite(lb) > inst.budget {
+                return true;
+            }
+        }
+    }
+    if let Some(sel) = best {
+        if sel.len() >= k
+            && inst.val.is_column_additive()
+            && inst.val.is_monotone_nonempty()
+        {
+            if let Some(mass) = mapped_sum(pcols, inst.val.numeric_columns(), &node.sums) {
+                // Per-tuple value under an additive val: the sum of its
+                // declared columns (missing/non-numeric ↦ 0, the same
+                // convention the aggregates use). Tuples shared between
+                // packages count once per appearance, which only
+                // inflates the ceiling — conservative, never unsound.
+                let retained: f64 = sel
+                    .iter()
+                    .flat_map(Package::iter)
+                    .flat_map(|t| {
+                        inst.val.numeric_columns().iter().map(move |&c| {
+                            t.get(c).and_then(|v| v.as_numeric()).unwrap_or(0) as f64
+                        })
+                    })
+                    .sum();
+                let weakest = quality(ctx, sel)
+                    .into_iter()
+                    .min()
+                    .unwrap_or(Ext::NegInf);
+                if Ext::Finite(retained + mass) <= weakest {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Mutable state of one sketch/refine run.
 struct Run<'a, 'b> {
     ctx: &'b SearchContext<'a>,
@@ -147,12 +253,17 @@ struct Run<'a, 'b> {
 impl<'a> Run<'a, '_> {
     /// One exact sub-solve over `pool` (already in canonical order —
     /// `BTreeSet<Tuple>` iterates in `Tuple`'s total order, which is
-    /// the canonical item order the engines require).
+    /// the canonical item order the engines require). `refining` only
+    /// labels the timeline phase: the first solve is the sketch, every
+    /// later one a refine re-solve.
     fn solve_pool(
         &mut self,
         pool: &BTreeSet<Tuple>,
+        refining: bool,
     ) -> Result<Outcome<Option<Vec<Package>>, SearchStats>> {
         pkgrec_trace::counter!("sketch.sub_solves");
+        let _phase =
+            pkgrec_trace::timeline::phase(if refining { "refine" } else { "sketch" });
         let items: Arc<[Tuple]> = pool.iter().cloned().collect();
         let sub_ctx = self.ctx.with_items(items);
         // Per-sub-solve step allowance: the engine knob, shrunk to
@@ -295,6 +406,7 @@ pub fn top_k(
         cut: None,
     };
 
+    let pcols = partition_columns(ctx);
     let mut pool: BTreeSet<Tuple> = BTreeSet::new();
     let mut mapping: BTreeMap<Tuple, usize> = BTreeMap::new();
     let index = if items.len() <= params.direct_threshold() {
@@ -308,7 +420,7 @@ pub fn top_k(
             fanout: params.fanout,
             leaf_cap: params.leaf_cap,
             seed: params.seed,
-            columns: partition_columns(ctx),
+            columns: pcols.clone(),
         };
         let built = PartitionIndex::build(items, &pparams);
         let root = built.root();
@@ -332,26 +444,49 @@ pub fn top_k(
         if run.global_steps_spent() {
             break;
         }
-        let out = run.solve_pool(&pool)?;
+        let refining = refines > 0;
+        let out = run.solve_pool(&pool, refining)?;
         if let Some(sel) = out.value {
-            // Keep the better of old and new: the new pool contains the
-            // old selection, so an *exhaustive* sub-solve only
-            // improves, but an interrupted one may regress.
+            // Keep the *strictly* better of old and new. The new pool
+            // contains the old selection, so an exhaustive sub-solve
+            // only improves — but an interrupted one may regress, and
+            // ties must keep the incumbent: the value-ceiling prune
+            // assumes a tie-quality re-solve is never adopted, which
+            // is what makes pruning invisible in the returned set.
             let adopt = match &best {
                 None => true,
-                Some(old) => quality(ctx, &sel) >= quality(ctx, old),
+                Some(old) => quality(ctx, &sel) > quality(ctx, old),
             };
+            if refining {
+                if adopt {
+                    pkgrec_trace::counter!("sketch.refines.improved");
+                } else {
+                    pkgrec_trace::counter!("sketch.refines.no_gain");
+                }
+            }
             if adopt {
                 best = Some(sel);
             }
+        } else if refining {
+            pkgrec_trace::counter!("sketch.refines.no_gain");
         }
         if run.cut.is_some() {
             break;
         }
         let Some(ref idx) = index else { break };
-        let Some((rep, node)) = refine_target(best.as_ref(), &mapping, idx, k) else {
-            break;
-        };
+        // Skip (and keep skipping) targets whose aggregate bounds
+        // prove expansion pointless — each costs a mapping removal,
+        // never a refinement round or a sub-solve.
+        let mut target = refine_target(best.as_ref(), &mapping, idx, k);
+        while let Some((rep, node)) = &target {
+            if !(params.prune && prunable(ctx, &pcols, idx.node(*node), best.as_ref(), k)) {
+                break;
+            }
+            pkgrec_trace::counter!("sketch.partitions_pruned");
+            mapping.remove(rep);
+            target = refine_target(best.as_ref(), &mapping, idx, k);
+        }
+        let Some((rep, node)) = target else { break };
         if refines >= params.refine_cap {
             break;
         }
@@ -369,6 +504,7 @@ pub fn top_k(
     // passing the same compiled-plan validity probes the exact engine
     // uses. (The sub-solves only ever saw genuine `Q(D)` tuples, so
     // this should never filter — it is the contract, not a patch.)
+    let _verify = pkgrec_trace::timeline::phase("verify");
     let mut verified: Vec<Package> = Vec::new();
     if let Some(sel) = best {
         for pkg in sel {
@@ -510,6 +646,52 @@ mod tests {
         assert_eq!(report.counters["sketch.partition_builds"], 1);
         assert!(report.counters["sketch.sub_solves"] >= 1);
         assert!(report.counters["sketch.refines"] >= 1);
+    }
+
+    #[test]
+    fn aggregate_bounds_prune_hopeless_partitions() {
+        // Two affordable items and forty whose cheapest possible cost
+        // already busts the budget. Exactly `k = 3` valid packages
+        // exist ({1,2}, {2}, {1}) — but none are visible until the
+        // cheap leaf is refined, so every sketch solve before that
+        // certifies "fewer than k" and refinement walks the mapped
+        // partitions biggest-first: straight into the expensive ones,
+        // whose per-node cost minima prove them hopeless.
+        let skewed = || {
+            let mut db = Database::new();
+            let r = RelationSchema::new("r", [("a", AttrType::Int)]).unwrap();
+            db.add_relation(
+                Relation::from_tuples(r, (1..=2).chain(1000..1040).map(|i| tuple![i]))
+                    .unwrap(),
+            )
+            .unwrap();
+            RecInstance::new(db, Query::Cq(ConjunctiveQuery::identity("r", 1)))
+                .with_budget(10.0)
+                .with_cost(PackageFn::sum_col(0, true))
+                .with_val(PackageFn::sum_col(0, true))
+                .with_k(3)
+        };
+        let opts = |prune| {
+            SolveOptions::default().with_approx(SketchParams {
+                fanout: 4,
+                leaf_cap: 4,
+                refine_cap: 256, // never the binding constraint here
+                prune,
+                ..SketchParams::default()
+            })
+        };
+        let _scope = pkgrec_trace::scoped();
+        pkgrec_trace::reset();
+        let on = frp::top_k(&skewed(), &opts(true)).unwrap();
+        let report = pkgrec_trace::take();
+        assert!(
+            report.counters["sketch.partitions_pruned"] >= 1,
+            "the expensive partitions must be skipped by their cost bound"
+        );
+        let off = frp::top_k(&skewed(), &opts(false)).unwrap();
+        assert_eq!(on.value, off.value, "pruning must not change the answer");
+        let sel = on.value.expect("the affordable items form valid packages");
+        assert_eq!(sel.len(), 3);
     }
 
     #[test]

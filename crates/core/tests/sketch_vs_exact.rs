@@ -146,6 +146,28 @@ proptest! {
     }
 
     #[test]
+    fn pruning_never_changes_the_returned_package_set(si in small_instance()) {
+        // The aggregate-bound prune must be invisible in the result:
+        // with caps generous enough that no refinement or step limit
+        // ever binds, the prune-on run returns exactly the package set
+        // of the prune-off run — skipped partitions are those whose
+        // expansion could only have ended in `no_gain` rounds.
+        let inst = si.build();
+        let on = frp::top_k(&inst, &approx_opts()).expect("prune-on solve");
+        let off = frp::top_k(
+            &inst,
+            &SolveOptions::unbounded().with_approx(SketchParams {
+                fanout: 3,
+                leaf_cap: 3,
+                prune: false,
+                ..SketchParams::default()
+            }),
+        )
+        .expect("prune-off solve");
+        prop_assert_eq!(&on.value, &off.value, "pruning changed the answer on {:?}", si);
+    }
+
+    #[test]
     fn partitioner_is_deterministic(rows in prop::collection::vec((0i64..50, 0i64..50), 0..40)) {
         let items: Vec<Tuple> = rows
             .iter()

@@ -27,13 +27,16 @@ use pkgrec_query::parser::{parse_fo, parse_query};
 use pkgrec_query::Query;
 use pkgrec_trace::json::write_string;
 use pkgrec_trace::window::RollingWindow;
-use pkgrec_trace::{flight, prom, Histogram, TraceReport};
+use pkgrec_trace::{flight, prom, timeline, Histogram, TraceReport};
 
 use crate::access_log::AccessLog;
 use crate::request::{parse_fn_spec, parse_solve_request, ProblemKind, SolveRequest};
 
 /// How many recent slow requests `GET /debug/slow` retains.
 const SLOW_RING_CAP: usize = 32;
+
+/// How many recent profiled requests `GET /debug/profile` retains.
+const PROFILE_RING_CAP: usize = 32;
 
 /// Service-level limits. Every request is clamped to them, so a
 /// client can tighten the deadline or parallelism but never exceed
@@ -55,6 +58,14 @@ pub struct ServiceConfig {
     /// Whether per-second rolling windows are maintained (the bench
     /// turns them off to measure their cost; production leaves them on).
     pub windows_enabled: bool,
+    /// Tail-sampling profiler threshold (total, milliseconds): when
+    /// set, every request records a profile timeline, but it is kept —
+    /// a `/debug/profile` ring entry plus, under a flight export
+    /// directory, a `<request-id>.profile.json` Chrome trace — only
+    /// for requests at least this slow or answered with an error
+    /// status. 0 keeps everything; `None` disables the profiler
+    /// entirely (no stamps taken).
+    pub profile_slow_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +76,7 @@ impl Default for ServiceConfig {
             plan_cache_cap: 64,
             slow_threshold_ms: 250,
             windows_enabled: true,
+            profile_slow_ms: None,
         }
     }
 }
@@ -250,6 +262,21 @@ struct SlowEntry {
     total_us: u64,
 }
 
+/// One `/debug/profile` entry: the retained summary of a tail-sampled
+/// request (the full Chrome trace, when a flight directory is set,
+/// lives in `<request-id>.profile.json` on disk).
+#[derive(Debug, Clone)]
+struct ProfileEntry {
+    id: String,
+    db: Option<String>,
+    problem: Option<String>,
+    status: u16,
+    outcome: String,
+    total_us: u64,
+    /// The rendered [`timeline::TimelineSummary`] JSON object.
+    summary: String,
+}
+
 /// The resident service state shared by every worker thread.
 #[derive(Debug)]
 pub struct Service {
@@ -266,6 +293,7 @@ pub struct Service {
     access_log: Option<Arc<AccessLog>>,
     flight_dir: Option<PathBuf>,
     slow: Mutex<VecDeque<SlowEntry>>,
+    profiled: Mutex<VecDeque<ProfileEntry>>,
 }
 
 impl Service {
@@ -282,6 +310,7 @@ impl Service {
             access_log: None,
             flight_dir: None,
             slow: Mutex::new(VecDeque::new()),
+            profiled: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -337,6 +366,12 @@ impl Service {
     pub fn handle_solve_ctx(&self, body: &[u8], ctx: &RequestCtx) -> (u16, String) {
         let started = Instant::now();
         pkgrec_trace::counter!("serve.requests");
+        // Tail-sampling profiler: while armed, *every* request stamps a
+        // timeline under its own scope — the keep/drop decision needs
+        // the request's final latency and status, which only exist at
+        // the end — and `retain_profile` then keeps or discards it.
+        let _profiling = self.config.profile_slow_ms.map(|_| timeline::scoped());
+        let prof_scope = self.config.profile_slow_ms.map(|_| timeline::begin_scope());
         let req = match parse_solve_request(body) {
             Ok(req) => req,
             Err(e) => {
@@ -344,6 +379,9 @@ impl Service {
                 pkgrec_trace::counter!("serve.rejected.bad_request");
                 let err = ServeError::new(400, "bad_request", e.message);
                 self.account(ctx, started, None, err.status, &err.outcome(), None);
+                if let Some(scope) = prof_scope {
+                    self.retain_profile(ctx, &scope, started, None, err.status, &err.outcome());
+                }
                 return (err.status, err.body_with_id(Some(&ctx.id)));
             }
         };
@@ -390,6 +428,9 @@ impl Service {
             }
         };
         self.account(ctx, started, Some(&req), status, &outcome, Some(&report));
+        if let Some(scope) = prof_scope {
+            self.retain_profile(ctx, &scope, started, Some(&req), status, &outcome);
+        }
         (status, body)
     }
 
@@ -509,6 +550,64 @@ impl Service {
             return;
         }
         let _ = std::fs::write(dir.join(format!("{id}.flight.jsonl")), recording.to_jsonl());
+    }
+
+    /// The tail-sampling keep/drop decision, once per request while
+    /// the profiler is armed. Always drains the request's timeline
+    /// scope (stamps are per-request state and must not leak into the
+    /// next request's profile); keeps it only when the request was at
+    /// least `profile_slow_ms` slow or failed: a `/debug/profile` ring
+    /// entry, plus — when a flight export directory is configured — a
+    /// `<request-id>.profile.json` Chrome trace next to the flight
+    /// recording. Like the flight export, this is best-effort
+    /// telemetry: write failures are swallowed.
+    fn retain_profile(
+        &self,
+        ctx: &RequestCtx,
+        scope: &timeline::ScopeGuard,
+        started: Instant,
+        req: Option<&SolveRequest>,
+        status: u16,
+        outcome: &str,
+    ) {
+        let tl = timeline::take_scope(scope.id());
+        let threshold_us = self
+            .config
+            .profile_slow_ms
+            .unwrap_or(0)
+            .saturating_mul(1000);
+        let solve_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let total_us = ctx.queue_us.saturating_add(solve_us);
+        if total_us < threshold_us && status < 400 {
+            return;
+        }
+        if let Some(dir) = &self.flight_dir {
+            // One file that is both a valid Chrome trace (Perfetto
+            // opens it directly) and self-identifying: the format
+            // tolerates extra top-level keys, so the request id rides
+            // along in front of the standard `traceEvents`.
+            let chrome = tl.to_chrome_json();
+            let mut body = String::with_capacity(chrome.len() + ctx.id.len() + 24);
+            body.push_str("{\"request_id\":");
+            write_string(&mut body, &ctx.id);
+            body.push(',');
+            body.push_str(&chrome[1..]);
+            let _ = std::fs::write(dir.join(format!("{}.profile.json", ctx.id)), body);
+        }
+        let summary = tl.summarize();
+        let mut ring = self.profiled.lock().unwrap_or_else(|e| e.into_inner());
+        while ring.len() >= PROFILE_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(ProfileEntry {
+            id: ctx.id.clone(),
+            db: req.map(|r| r.db.clone()),
+            problem: req.map(|r| r.problem.name().to_string()),
+            status,
+            outcome: outcome.to_string(),
+            total_us,
+            summary: summary.to_json(),
+        });
     }
 
     /// Close the access log (final flush + writer join). Idempotent;
@@ -842,6 +941,49 @@ impl Service {
             out.push_str(&e.solve_us.to_string());
             out.push_str(",\"total_us\":");
             out.push_str(&e.total_us.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The `GET /debug/profile` body: the retained tail-sampled
+    /// request ring (oldest first, capped at [`PROFILE_RING_CAP`]),
+    /// each entry carrying its timeline summary inline. Reading does
+    /// not drain the ring.
+    pub fn debug_profile_json(&self) -> String {
+        let ring = self.profiled.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::with_capacity(64 + ring.len() * 256);
+        out.push_str("{\"profile_slow_ms\":");
+        match self.config.profile_slow_ms {
+            Some(ms) => out.push_str(&ms.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"profiled\":[");
+        for (i, e) in ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"request_id\":");
+            write_string(&mut out, &e.id);
+            out.push_str(",\"db\":");
+            match &e.db {
+                Some(db) => write_string(&mut out, db),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"problem\":");
+            match &e.problem {
+                Some(p) => write_string(&mut out, p),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"status\":");
+            out.push_str(&e.status.to_string());
+            out.push_str(",\"outcome\":");
+            write_string(&mut out, &e.outcome);
+            out.push_str(",\"total_us\":");
+            out.push_str(&e.total_us.to_string());
+            out.push_str(",\"timeline\":");
+            out.push_str(&e.summary);
             out.push('}');
         }
         out.push_str("]}");
@@ -1455,6 +1597,48 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap()
             .starts_with("req-"));
+    }
+
+    #[test]
+    fn tail_sampler_retains_slow_and_error_requests_with_timelines() {
+        let mut svc = service();
+        svc.config.profile_slow_ms = Some(0); // keep everything
+        svc.handle_solve(br#"{"db":"shop","problem":"eval","query":"q(x, p) :- item(x, p)."}"#);
+        svc.handle_solve(b"{broken");
+        let parsed = json::parse(&svc.debug_profile_json()).unwrap();
+        assert_eq!(parsed.get("profile_slow_ms").and_then(Json::as_u64), Some(0));
+        let profiled = parsed.get("profiled").and_then(Json::as_array).unwrap();
+        assert_eq!(profiled.len(), 2);
+        let ok = &profiled[0];
+        assert!(ok
+            .get("request_id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("req-"));
+        assert_eq!(ok.get("status").and_then(Json::as_u64), Some(200));
+        // The first solve compiles its plan, so its retained timeline
+        // carries at least the `compile` phase.
+        let phases = ok
+            .get("timeline")
+            .and_then(|t| t.get("phases"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert!(
+            phases
+                .iter()
+                .any(|p| p.get("name").and_then(Json::as_str) == Some("compile")),
+            "expected a compile phase, got {phases:?}"
+        );
+        // Errors are retained regardless of latency...
+        assert_eq!(profiled[1].get("status").and_then(Json::as_u64), Some(400));
+
+        // ...but a fast, successful request under a high threshold is
+        // profiled and then discarded by the tail decision.
+        svc.config.profile_slow_ms = Some(60_000);
+        svc.handle_solve(br#"{"db":"shop","problem":"eval","query":"q(x, p) :- item(x, p)."}"#);
+        let parsed = json::parse(&svc.debug_profile_json()).unwrap();
+        let profiled = parsed.get("profiled").and_then(Json::as_array).unwrap();
+        assert_eq!(profiled.len(), 2, "a fast ok request must be dropped");
     }
 
     #[test]

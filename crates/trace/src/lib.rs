@@ -69,6 +69,9 @@
 //! | `sketch.partition_builds` | core | partition indexes built for approximate solves |
 //! | `sketch.sub_solves` | core | exact sub-solves run by the sketch/refine loop |
 //! | `sketch.refines` | core | representatives swapped for their partition's contents |
+//! | `sketch.refines.improved` | core | refine rounds whose re-solve beat the incumbent |
+//! | `sketch.refines.no_gain` | core | refine rounds whose re-solve did not beat the incumbent |
+//! | `sketch.partitions_pruned` | core | partitions skipped by aggregate bounds during refinement |
 //! | `qrpp.relaxations` | relax | relaxation candidates tried |
 //! | `arpp.adjustments` | adjust | adjustment candidates tried |
 //! | `guard.interrupted` | guard | budget interruptions raised |
@@ -90,6 +93,7 @@ pub mod chaos;
 pub mod flight;
 pub mod json;
 pub mod prom;
+pub mod timeline;
 pub mod window;
 
 /// Number of log₂ histogram buckets: bucket `i` holds values whose bit
@@ -142,6 +146,9 @@ pub const COUNTER_REGISTRY: &[CounterInfo] = &[
     CounterInfo { name: "sketch.partition_builds", layer: "core", help: "partition indexes built for approximate solves" },
     CounterInfo { name: "sketch.sub_solves", layer: "core", help: "exact sub-solves run by the sketch/refine loop" },
     CounterInfo { name: "sketch.refines", layer: "core", help: "representatives swapped for their partition's contents" },
+    CounterInfo { name: "sketch.refines.improved", layer: "core", help: "refine rounds whose re-solve beat the incumbent" },
+    CounterInfo { name: "sketch.refines.no_gain", layer: "core", help: "refine rounds whose re-solve did not beat the incumbent" },
+    CounterInfo { name: "sketch.partitions_pruned", layer: "core", help: "partitions skipped by aggregate bounds during refinement" },
     CounterInfo { name: "qrpp.relaxations", layer: "relax", help: "relaxation candidates tried" },
     CounterInfo { name: "arpp.adjustments", layer: "adjust", help: "adjustment candidates tried" },
     CounterInfo { name: "guard.interrupted", layer: "guard", help: "budget interruptions raised" },

@@ -1,0 +1,1133 @@
+//! Wall-clock profiling side-channel: the solve timeline.
+//!
+//! The flight recorder ([`crate::flight`]) answers *what the search
+//! did* — a deterministic, bit-identical event stream that parallel
+//! merges must reproduce exactly. This module answers the question the
+//! flight ring deliberately cannot: *where the wall time went*. Its
+//! stamps carry monotonic timestamps, worker ids and scheduling
+//! order — all nondeterministic — so they live in a separate ring and
+//! never touch the flight contract.
+//!
+//! Recorded stamps:
+//!
+//! * **worker alive** — one stamp per spawned worker, so workers that
+//!   never win a unit claim still appear (an idle track is a finding);
+//! * **unit claim / finish** per worker — who ran which search unit,
+//!   when, for how long, ticking how many steps;
+//! * **phase open / close** — coarse solve phases (`compile`,
+//!   `enumerate`, `sketch`, `refine`, `verify`) bracketed by RAII
+//!   [`phase`] guards;
+//! * **counters** — named point samples for counter tracks.
+//!
+//! Profiling is **off by default** and free while off: every probe is
+//! one relaxed atomic load (plus one cached env check). Enable it
+//! process-wide with [`enable`] / [`scoped`] or the `PKGREC_PROFILE`
+//! environment variable.
+//!
+//! Stamps are tagged with a **scope** id so concurrent solves (one per
+//! serve request) can be profiled independently: the coordinator calls
+//! [`begin_scope`], worker threads join via [`enter`], and the owner
+//! drains its stamps with [`take_scope`]. The drained [`Timeline`]
+//! exports to Chrome Trace Event Format JSON ([`Timeline::to_chrome_json`],
+//! viewable in Perfetto or `chrome://tracing`) and aggregates into a
+//! [`TimelineSummary`] with a human attribution report.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::json;
+
+/// Default stamp ring capacity. Stamps are per *unit* and per *phase*,
+/// never per search node, so even large solves fit; overflow evicts the
+/// oldest stamp and counts it in `dropped`.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Process-wide enable count (RAII-friendly, like tracing and flight).
+static PROFILE: AtomicUsize = AtomicUsize::new(0);
+
+/// Monotonically increasing scope ids; 0 means "no scope".
+static NEXT_SCOPE: AtomicU64 = AtomicU64::new(1);
+
+/// Whether `PKGREC_PROFILE` asks for profiling (nonempty and not `0`).
+/// Cached: consulted on every probe via [`is_enabled`].
+fn env_enabled() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PKGREC_PROFILE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// Whether the timeline is recording. The only cost a probe pays while
+/// profiling is off.
+#[inline]
+pub fn is_enabled() -> bool {
+    PROFILE.load(Ordering::Relaxed) != 0 || env_enabled()
+}
+
+/// Enable profiling process-wide. Pair with [`disable`], or prefer
+/// [`scoped`].
+pub fn enable() {
+    PROFILE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Undo one [`enable`]; saturates at zero.
+pub fn disable() {
+    let _ = PROFILE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+        Some(n.saturating_sub(1))
+    });
+}
+
+/// RAII handle from [`scoped`]: profiling stays enabled until it drops.
+#[derive(Debug)]
+pub struct ScopedEnable(());
+
+impl Drop for ScopedEnable {
+    fn drop(&mut self) {
+        disable();
+    }
+}
+
+/// Enable profiling for the lifetime of the returned guard.
+#[must_use = "profiling is disabled again when the guard drops"]
+pub fn scoped() -> ScopedEnable {
+    enable();
+    ScopedEnable(())
+}
+
+/// The shared time origin. All stamps are nanoseconds since the first
+/// probe of the process, so tracks from different threads line up.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process profiling epoch.
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// What one stamp records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mark {
+    /// A worker thread started inside the scope. Emitted once per
+    /// spawned worker so lightly loaded workers (which may never claim
+    /// a unit) still get a track in the export and a row in the
+    /// summary — idle workers are a finding, not noise.
+    WorkerAlive,
+    /// A worker claimed search unit `unit`.
+    UnitClaim { unit: u64 },
+    /// A worker finished unit `unit` after ticking `steps` steps.
+    UnitFinish { unit: u64, steps: u64 },
+    /// A solve phase opened (e.g. `compile`, `enumerate`).
+    PhaseOpen { name: &'static str },
+    /// The matching phase closed.
+    PhaseClose { name: &'static str },
+    /// A point sample for a counter track.
+    Counter { name: &'static str, value: f64 },
+}
+
+/// One timeline stamp: a [`Mark`] tagged with wall time, scope and
+/// worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stamp {
+    /// Nanoseconds since the process profiling epoch.
+    pub t_ns: u64,
+    /// The solve scope the stamp belongs to (0 = unscoped).
+    pub scope: u64,
+    /// The worker index on the stamping thread (coordinator = 0).
+    pub worker: u32,
+    /// What happened.
+    pub mark: Mark,
+}
+
+/// The global stamp ring. One mutex for the whole process is fine
+/// here: stamps land per unit and per phase — a few per millisecond of
+/// search — never per node, and a global ring is what lets worker
+/// threads (whose thread-locals die at scope join) and serve requests
+/// (which need per-scope isolation) share one side-channel.
+struct Store {
+    stamps: VecDeque<Stamp>,
+    capacity: usize,
+    dropped: u64,
+}
+
+fn store() -> MutexGuard<'static, Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE
+        .get_or_init(|| {
+            Mutex::new(Store {
+                stamps: VecDeque::new(),
+                capacity: DEFAULT_CAPACITY,
+                dropped: 0,
+            })
+        })
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    /// The (scope, worker) pair stamps on this thread are tagged with.
+    static CURRENT: Cell<(u64, u32)> = const { Cell::new((0, 0)) };
+}
+
+/// The stamp ring capacity.
+pub fn capacity() -> usize {
+    store().capacity
+}
+
+/// Set the stamp ring capacity (clamped to at least 16). Existing
+/// excess stamps are evicted oldest-first into the dropped count.
+pub fn set_capacity(capacity: usize) {
+    let mut s = store();
+    s.capacity = capacity.max(16);
+    while s.stamps.len() > s.capacity {
+        s.stamps.pop_front();
+        s.dropped += 1;
+    }
+}
+
+/// Discard all stamps and the dropped count (every scope).
+pub fn reset() {
+    let mut s = store();
+    s.stamps.clear();
+    s.dropped = 0;
+}
+
+/// The scope id stamps on this thread currently carry (0 = none).
+pub fn current_scope() -> u64 {
+    CURRENT.try_with(|c| c.get().0).unwrap_or(0)
+}
+
+/// RAII guard from [`begin_scope`]: restores the thread's previous
+/// (scope, worker) tag when dropped.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    id: u64,
+    prev: Option<(u64, u32)>,
+}
+
+impl ScopeGuard {
+    /// The scope id, for [`take_scope`] and for handing to workers via
+    /// [`enter`]. Zero when profiling was disabled at creation.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            let _ = CURRENT.try_with(|c| c.set(prev));
+        }
+    }
+}
+
+/// Open a fresh profiling scope on this thread (worker 0). Subsequent
+/// stamps from this thread — and from workers that [`enter`] the
+/// scope — are drained together by [`take_scope`]. A no-op returning
+/// scope 0 while profiling is disabled.
+pub fn begin_scope() -> ScopeGuard {
+    if !is_enabled() {
+        return ScopeGuard { id: 0, prev: None };
+    }
+    let id = NEXT_SCOPE.fetch_add(1, Ordering::Relaxed);
+    let prev = CURRENT.try_with(|c| c.replace((id, 0))).ok();
+    ScopeGuard { id, prev }
+}
+
+/// RAII guard from [`enter`]: restores the thread's previous
+/// (scope, worker) tag when dropped.
+#[derive(Debug)]
+pub struct EnterGuard {
+    prev: Option<(u64, u32)>,
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            let _ = CURRENT.try_with(|c| c.set(prev));
+        }
+    }
+}
+
+/// Tag this thread's stamps with `(scope, worker)` until the guard
+/// drops — how a parallel worker joins the coordinator's scope.
+pub fn enter(scope: u64, worker: u32) -> EnterGuard {
+    if !is_enabled() || scope == 0 {
+        return EnterGuard { prev: None };
+    }
+    let prev = CURRENT.try_with(|c| c.replace((scope, worker))).ok();
+    EnterGuard { prev }
+}
+
+/// Record one stamp. The timestamp is taken *inside* the ring lock so
+/// stamps are globally time-ordered.
+fn push(mark: Mark) {
+    if !is_enabled() {
+        return;
+    }
+    let (scope, worker) = CURRENT.try_with(Cell::get).unwrap_or((0, 0));
+    let mut s = store();
+    let t_ns = now_ns();
+    if s.stamps.len() >= s.capacity {
+        s.stamps.pop_front();
+        s.dropped += 1;
+    }
+    s.stamps.push_back(Stamp {
+        t_ns,
+        scope,
+        worker,
+        mark,
+    });
+}
+
+/// Stamp: this thread's worker started in its scope. Call once per
+/// spawned worker so even workers that claim no units get a track.
+#[inline]
+pub fn worker_alive() {
+    push(Mark::WorkerAlive);
+}
+
+/// Stamp: this thread's worker claimed search unit `unit`.
+#[inline]
+pub fn unit_claim(unit: u64) {
+    push(Mark::UnitClaim { unit });
+}
+
+/// Stamp: this thread's worker finished unit `unit` after `steps`
+/// steps.
+#[inline]
+pub fn unit_finish(unit: u64, steps: u64) {
+    push(Mark::UnitFinish { unit, steps });
+}
+
+/// Stamp a point sample for the named counter track.
+#[inline]
+pub fn counter(name: &'static str, value: f64) {
+    push(Mark::Counter { name, value });
+}
+
+/// RAII guard for an open phase; dropping it stamps the close.
+#[must_use = "a phase brackets the region until the guard drops"]
+#[derive(Debug)]
+pub struct PhaseGuard {
+    name: Option<&'static str>,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name {
+            push(Mark::PhaseClose { name });
+        }
+    }
+}
+
+/// Open a named solve phase (e.g. `"enumerate"`). A no-op guard while
+/// profiling is disabled.
+#[inline]
+pub fn phase(name: &'static str) -> PhaseGuard {
+    if !is_enabled() {
+        return PhaseGuard { name: None };
+    }
+    push(Mark::PhaseOpen { name });
+    PhaseGuard { name: Some(name) }
+}
+
+/// A drained set of stamps for one scope, time-ordered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// The scope's stamps, in ring (= time) order.
+    pub stamps: Vec<Stamp>,
+    /// Stamps evicted from the ring since the last [`reset`] — a
+    /// *global* count (eviction forgets scopes), nonzero means some
+    /// timeline in the process is incomplete.
+    pub dropped: u64,
+}
+
+/// Drain every stamp tagged with `scope` out of the ring, leaving
+/// other scopes' stamps in place.
+pub fn take_scope(scope: u64) -> Timeline {
+    let mut s = store();
+    let mut kept = VecDeque::with_capacity(s.stamps.len());
+    let mut taken = Vec::new();
+    for stamp in s.stamps.drain(..) {
+        if stamp.scope == scope {
+            taken.push(stamp);
+        } else {
+            kept.push_back(stamp);
+        }
+    }
+    s.stamps = kept;
+    Timeline {
+        stamps: taken,
+        dropped: s.dropped,
+    }
+}
+
+/// Drain the stamps of this thread's current scope.
+pub fn take_current() -> Timeline {
+    take_scope(current_scope())
+}
+
+/// Stable track index for a phase name in Chrome export and summaries:
+/// the canonical solve phases come first in pipeline order, anything
+/// else after them in first-appearance order.
+const PHASE_ORDER: &[&str] = &["compile", "enumerate", "sketch", "refine", "verify"];
+
+fn phase_tid(name: &str, extras: &mut Vec<String>) -> usize {
+    if let Some(i) = PHASE_ORDER.iter().position(|&p| p == name) {
+        return i;
+    }
+    if let Some(i) = extras.iter().position(|p| p == name) {
+        return PHASE_ORDER.len() + i;
+    }
+    extras.push(name.to_string());
+    PHASE_ORDER.len() + extras.len() - 1
+}
+
+/// Append one Chrome trace event object to `out`.
+#[allow(clippy::too_many_arguments)]
+fn write_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: &str,
+    pid: u32,
+    tid: usize,
+    ts_ns: Option<u64>,
+    dur_ns: Option<u64>,
+    args: &[(&str, String)],
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("{\"name\":");
+    json::write_string(out, name);
+    let _ = write!(out, ",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid}");
+    if let Some(ts) = ts_ns {
+        let _ = write!(out, ",\"ts\":{:.3}", ts as f64 / 1000.0);
+    }
+    if let Some(dur) = dur_ns {
+        let _ = write!(out, ",\"dur\":{:.3}", dur as f64 / 1000.0);
+    }
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(out, k);
+            out.push(':');
+            out.push_str(v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Process ids in the Chrome export: worker tracks vs phase/counter
+/// tracks.
+const PID_WORKERS: u32 = 1;
+const PID_PHASES: u32 = 2;
+
+impl Timeline {
+    /// Whether no stamps were drained.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// First stamp time (ns since epoch), 0 when empty.
+    fn t0(&self) -> u64 {
+        self.stamps.iter().map(|s| s.t_ns).min().unwrap_or(0)
+    }
+
+    /// Last stamp time (ns since epoch), 0 when empty.
+    fn t1(&self) -> u64 {
+        self.stamps.iter().map(|s| s.t_ns).max().unwrap_or(0)
+    }
+
+    /// Serialize as Chrome Trace Event Format JSON (the
+    /// `{"traceEvents":[...]}` object form), viewable in Perfetto or
+    /// `chrome://tracing`:
+    ///
+    /// * pid 1 — one thread track per worker, with an `X` (complete)
+    ///   slice per claimed unit carrying its step count;
+    /// * pid 2 — one thread track per phase name, with an `X` slice
+    ///   per phase open/close pair (unclosed phases extend to the last
+    ///   stamp), plus `C` counter events.
+    ///
+    /// Timestamps are microseconds relative to the first stamp.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + self.stamps.len() * 96);
+        self.write_chrome(&mut out);
+        out
+    }
+
+    /// Append the Chrome trace JSON to `out`, without the trailing
+    /// newline. Extra top-level keys record the drop count.
+    pub fn write_chrome(&self, out: &mut String) {
+        let t0 = self.t0();
+        let t1 = self.t1();
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+
+        // Track naming metadata.
+        let mut workers: Vec<u32> = self.stamps.iter().map(|s| s.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        write_event(
+            out,
+            &mut first,
+            "process_name",
+            "M",
+            PID_WORKERS,
+            0,
+            None,
+            None,
+            &[("name", "\"workers\"".to_string())],
+        );
+        write_event(
+            out,
+            &mut first,
+            "process_name",
+            "M",
+            PID_PHASES,
+            0,
+            None,
+            None,
+            &[("name", "\"phases\"".to_string())],
+        );
+        for &w in &workers {
+            let mut label = String::new();
+            json::write_string(&mut label, &format!("worker {w}"));
+            write_event(
+                out,
+                &mut first,
+                "thread_name",
+                "M",
+                PID_WORKERS,
+                w as usize,
+                None,
+                None,
+                &[("name", label)],
+            );
+        }
+        let mut extras = Vec::new();
+        let mut named_phases: Vec<&'static str> = Vec::new();
+        for stamp in &self.stamps {
+            if let Mark::PhaseOpen { name } = stamp.mark {
+                if !named_phases.contains(&name) {
+                    named_phases.push(name);
+                }
+            }
+        }
+        for name in &named_phases {
+            let tid = phase_tid(name, &mut extras);
+            let mut label = String::new();
+            json::write_string(&mut label, name);
+            write_event(
+                out,
+                &mut first,
+                "thread_name",
+                "M",
+                PID_PHASES,
+                tid,
+                None,
+                None,
+                &[("name", label)],
+            );
+        }
+
+        // Slices: match claims to finishes and opens to closes.
+        let mut open_units: Vec<(u32, u64, u64)> = Vec::new(); // (worker, unit, t)
+        let mut open_phases: Vec<(u32, &'static str, u64)> = Vec::new();
+        for stamp in &self.stamps {
+            match stamp.mark {
+                Mark::WorkerAlive => {
+                    // Instant event so the worker's track exists (and
+                    // shows its start) even if it never claims a unit.
+                    write_event(
+                        out,
+                        &mut first,
+                        "alive",
+                        "i",
+                        PID_WORKERS,
+                        stamp.worker as usize,
+                        Some(stamp.t_ns - t0),
+                        None,
+                        &[],
+                    );
+                }
+                Mark::UnitClaim { unit } => {
+                    open_units.push((stamp.worker, unit, stamp.t_ns));
+                }
+                Mark::UnitFinish { unit, steps } => {
+                    let found = open_units
+                        .iter()
+                        .rposition(|&(w, u, _)| w == stamp.worker && u == unit);
+                    let start = match found {
+                        Some(i) => open_units.remove(i).2,
+                        None => stamp.t_ns,
+                    };
+                    write_event(
+                        out,
+                        &mut first,
+                        &format!("unit {unit}"),
+                        "X",
+                        PID_WORKERS,
+                        stamp.worker as usize,
+                        Some(start - t0),
+                        Some(stamp.t_ns - start),
+                        &[
+                            ("unit", unit.to_string()),
+                            ("steps", steps.to_string()),
+                        ],
+                    );
+                }
+                Mark::PhaseOpen { name } => {
+                    open_phases.push((stamp.worker, name, stamp.t_ns));
+                }
+                Mark::PhaseClose { name } => {
+                    let found = open_phases
+                        .iter()
+                        .rposition(|&(w, n, _)| w == stamp.worker && n == name);
+                    let start = match found {
+                        Some(i) => open_phases.remove(i).2,
+                        None => stamp.t_ns,
+                    };
+                    write_event(
+                        out,
+                        &mut first,
+                        name,
+                        "X",
+                        PID_PHASES,
+                        phase_tid(name, &mut extras),
+                        Some(start - t0),
+                        Some(stamp.t_ns - start),
+                        &[("worker", stamp.worker.to_string())],
+                    );
+                }
+                Mark::Counter { name, value } => {
+                    write_event(
+                        out,
+                        &mut first,
+                        name,
+                        "C",
+                        PID_PHASES,
+                        0,
+                        Some(stamp.t_ns - t0),
+                        None,
+                        &[("value", format!("{value:.3}"))],
+                    );
+                }
+            }
+        }
+        // Interrupted solves leave claims/phases open: extend them to
+        // the last stamp so the track still shows where time went.
+        for (worker, unit, t) in open_units {
+            write_event(
+                out,
+                &mut first,
+                &format!("unit {unit}"),
+                "X",
+                PID_WORKERS,
+                worker as usize,
+                Some(t - t0),
+                Some(t1.saturating_sub(t)),
+                &[("unit", unit.to_string()), ("open", "true".to_string())],
+            );
+        }
+        for (worker, name, t) in open_phases {
+            write_event(
+                out,
+                &mut first,
+                name,
+                "X",
+                PID_PHASES,
+                phase_tid(name, &mut extras),
+                Some(t - t0),
+                Some(t1.saturating_sub(t)),
+                &[("worker", worker.to_string()), ("open", "true".to_string())],
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"displayTimeUnit\":\"ms\",\"stampCount\":{},\"droppedStamps\":{}}}",
+            self.stamps.len(),
+            self.dropped
+        );
+    }
+
+    /// Aggregate the stamps into per-phase and per-worker totals.
+    pub fn summarize(&self) -> TimelineSummary {
+        let t0 = self.t0();
+        let t1 = self.t1();
+        let mut phases: Vec<PhaseTotal> = Vec::new();
+        let mut workers: Vec<WorkerLoad> = Vec::new();
+        let mut open_units: Vec<(u32, u64, u64)> = Vec::new();
+        let mut open_phases: Vec<(u32, &'static str, u64)> = Vec::new();
+
+        fn phase_slot<'a>(phases: &'a mut Vec<PhaseTotal>, name: &str) -> &'a mut PhaseTotal {
+            let idx = match phases.iter().position(|p| p.name == name) {
+                Some(i) => i,
+                None => {
+                    phases.push(PhaseTotal {
+                        name: name.to_string(),
+                        total_ns: 0,
+                        count: 0,
+                    });
+                    phases.len() - 1
+                }
+            };
+            &mut phases[idx]
+        }
+        fn worker_slot(workers: &mut Vec<WorkerLoad>, worker: u32) -> &mut WorkerLoad {
+            let idx = match workers.iter().position(|w| w.worker == worker) {
+                Some(i) => i,
+                None => {
+                    workers.push(WorkerLoad {
+                        worker,
+                        busy_ns: 0,
+                        units: 0,
+                        steps: 0,
+                    });
+                    workers.len() - 1
+                }
+            };
+            &mut workers[idx]
+        }
+
+        for stamp in &self.stamps {
+            match stamp.mark {
+                Mark::WorkerAlive => {
+                    // Materialize the row so idle workers show up with
+                    // zero busy time instead of vanishing.
+                    let _ = worker_slot(&mut workers, stamp.worker);
+                }
+                Mark::UnitClaim { unit } => {
+                    open_units.push((stamp.worker, unit, stamp.t_ns));
+                }
+                Mark::UnitFinish { unit, steps } => {
+                    let found = open_units
+                        .iter()
+                        .rposition(|&(w, u, _)| w == stamp.worker && u == unit);
+                    let start = match found {
+                        Some(i) => open_units.remove(i).2,
+                        None => stamp.t_ns,
+                    };
+                    let slot = worker_slot(&mut workers, stamp.worker);
+                    slot.busy_ns += stamp.t_ns - start;
+                    slot.units += 1;
+                    slot.steps += steps;
+                }
+                Mark::PhaseOpen { name } => {
+                    open_phases.push((stamp.worker, name, stamp.t_ns));
+                }
+                Mark::PhaseClose { name } => {
+                    let found = open_phases
+                        .iter()
+                        .rposition(|&(w, n, _)| w == stamp.worker && n == name);
+                    let start = match found {
+                        Some(i) => open_phases.remove(i).2,
+                        None => stamp.t_ns,
+                    };
+                    let slot = phase_slot(&mut phases, name);
+                    slot.total_ns += stamp.t_ns - start;
+                    slot.count += 1;
+                }
+                Mark::Counter { .. } => {}
+            }
+        }
+        // Credit still-open regions up to the last stamp (interrupts).
+        for (worker, _unit, t) in open_units {
+            let slot = worker_slot(&mut workers, worker);
+            slot.busy_ns += t1.saturating_sub(t);
+            slot.units += 1;
+        }
+        for (_worker, name, t) in open_phases {
+            let slot = phase_slot(&mut phases, name);
+            slot.total_ns += t1.saturating_sub(t);
+            slot.count += 1;
+        }
+        workers.sort_by_key(|w| w.worker);
+        let mut extras = Vec::new();
+        phases.sort_by_key(|p| phase_tid(&p.name, &mut extras));
+        TimelineSummary {
+            wall_ns: t1.saturating_sub(t0),
+            stamps: self.stamps.len() as u64,
+            dropped: self.dropped,
+            phases,
+            workers,
+        }
+    }
+}
+
+/// Total wall time attributed to one phase name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTotal {
+    /// The phase name (e.g. `enumerate`).
+    pub name: String,
+    /// Summed open→close wall time across occurrences, nanoseconds.
+    pub total_ns: u64,
+    /// Number of occurrences.
+    pub count: u64,
+}
+
+/// What one worker did over the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerLoad {
+    /// The worker index (coordinator / sequential engine = 0).
+    pub worker: u32,
+    /// Summed claim→finish wall time, nanoseconds.
+    pub busy_ns: u64,
+    /// Units claimed.
+    pub units: u64,
+    /// Search steps ticked across those units.
+    pub steps: u64,
+}
+
+/// Aggregated view of one scope's timeline: phase totals and worker
+/// utilization, with JSON and human renderings shared by `pkgrec
+/// profile` and serve's `/debug/profile`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimelineSummary {
+    /// First-to-last stamp wall time, nanoseconds.
+    pub wall_ns: u64,
+    /// Stamps aggregated.
+    pub stamps: u64,
+    /// Ring evictions since the last reset (global; nonzero means some
+    /// timeline in the process lost its oldest stamps).
+    pub dropped: u64,
+    /// Per-phase totals, in pipeline order.
+    pub phases: Vec<PhaseTotal>,
+    /// Per-worker attribution, by worker index.
+    pub workers: Vec<WorkerLoad>,
+}
+
+impl TimelineSummary {
+    /// Serialize as one JSON object (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Append the JSON object form to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"wall_ns\":{},\"stamps\":{},\"dropped\":{},\"phases\":[",
+            self.wall_ns, self.stamps, self.dropped
+        );
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::write_string(out, &p.name);
+            let _ = write!(out, ",\"total_ns\":{},\"count\":{}}}", p.total_ns, p.count);
+        }
+        out.push_str("],\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"worker\":{},\"busy_ns\":{},\"units\":{},\"steps\":{}}}",
+                w.worker, w.busy_ns, w.units, w.steps
+            );
+        }
+        out.push_str("]}");
+    }
+
+    /// Multi-line human rendering: phase attribution then the
+    /// per-worker utilization table.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if self.stamps == 0 {
+            out.push_str("timeline: nothing recorded\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "timeline: wall {}, {} stamps, {} dropped",
+            super::format_ns(self.wall_ns),
+            self.stamps,
+            self.dropped
+        );
+        if !self.phases.is_empty() {
+            out.push_str("phases (name, total wall time, % of wall, calls):\n");
+            let width = self.phases.iter().map(|p| p.name.len()).max().unwrap_or(0);
+            for p in &self.phases {
+                let pct = if self.wall_ns > 0 {
+                    p.total_ns as f64 * 100.0 / self.wall_ns as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<width$}  {:>12}  {pct:>5.1}%  ×{}",
+                    p.name,
+                    super::format_ns(p.total_ns),
+                    p.count
+                );
+            }
+        }
+        if !self.workers.is_empty() {
+            out.push_str("workers (id, busy, utilization, units, steps):\n");
+            for w in &self.workers {
+                let util = if self.wall_ns > 0 {
+                    w.busy_ns as f64 * 100.0 / self.wall_ns as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  w{:<3}  {:>12}  {util:>5.1}%  units={} steps={}",
+                    w.worker,
+                    super::format_ns(w.busy_ns),
+                    w.units,
+                    w.steps
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The stamp ring is process-global, so tests that assert on its
+    /// contents (or resize it) must not interleave.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        if env_enabled() {
+            return; // force-enabled via PKGREC_PROFILE: skip
+        }
+        let _serial = serial();
+        reset();
+        let scope = begin_scope();
+        assert_eq!(scope.id(), 0);
+        unit_claim(1);
+        unit_finish(1, 10);
+        let _p = phase("compile");
+        counter("x", 1.0);
+        drop(_p);
+        assert!(take_scope(0).is_empty());
+    }
+
+    #[test]
+    fn scopes_isolate_and_drain_their_stamps() {
+        let _serial = serial();
+        let _on = scoped();
+        let outer = begin_scope();
+        unit_claim(7);
+        unit_finish(7, 3);
+        let inner_id = {
+            let inner = begin_scope();
+            unit_claim(9);
+            unit_finish(9, 4);
+            inner.id()
+        };
+        // Back in the outer scope after the inner guard dropped.
+        assert_eq!(current_scope(), outer.id());
+        let inner_tl = take_scope(inner_id);
+        assert_eq!(inner_tl.stamps.len(), 2);
+        assert!(matches!(
+            inner_tl.stamps[0].mark,
+            Mark::UnitClaim { unit: 9 }
+        ));
+        let outer_tl = take_scope(outer.id());
+        assert_eq!(outer_tl.stamps.len(), 2);
+        assert!(matches!(
+            outer_tl.stamps[1].mark,
+            Mark::UnitFinish { unit: 7, steps: 3 }
+        ));
+    }
+
+    #[test]
+    fn worker_enter_tags_and_restores() {
+        let _serial = serial();
+        let _on = scoped();
+        let scope = begin_scope();
+        {
+            let _w = enter(scope.id(), 3);
+            unit_claim(0);
+            unit_finish(0, 1);
+        }
+        unit_claim(1);
+        let tl = take_scope(scope.id());
+        assert_eq!(tl.stamps[0].worker, 3);
+        assert_eq!(tl.stamps[2].worker, 0);
+    }
+
+    #[test]
+    fn summary_attributes_time_per_phase_and_worker() {
+        let t = |ns| ns;
+        let stamps = vec![
+            Stamp { t_ns: t(0), scope: 1, worker: 0, mark: Mark::PhaseOpen { name: "compile" } },
+            Stamp { t_ns: t(100), scope: 1, worker: 0, mark: Mark::PhaseClose { name: "compile" } },
+            Stamp { t_ns: t(100), scope: 1, worker: 0, mark: Mark::PhaseOpen { name: "enumerate" } },
+            Stamp { t_ns: t(110), scope: 1, worker: 0, mark: Mark::UnitClaim { unit: 0 } },
+            Stamp { t_ns: t(150), scope: 1, worker: 1, mark: Mark::UnitClaim { unit: 1 } },
+            Stamp { t_ns: t(200), scope: 1, worker: 0, mark: Mark::UnitFinish { unit: 0, steps: 40 } },
+            Stamp { t_ns: t(260), scope: 1, worker: 1, mark: Mark::UnitFinish { unit: 1, steps: 60 } },
+            Stamp { t_ns: t(300), scope: 1, worker: 0, mark: Mark::PhaseClose { name: "enumerate" } },
+        ];
+        let tl = Timeline { stamps, dropped: 0 };
+        let s = tl.summarize();
+        assert_eq!(s.wall_ns, 300);
+        assert_eq!(s.phases.len(), 2);
+        assert_eq!(s.phases[0].name, "compile");
+        assert_eq!(s.phases[0].total_ns, 100);
+        assert_eq!(s.phases[1].name, "enumerate");
+        assert_eq!(s.phases[1].total_ns, 200);
+        assert_eq!(s.workers.len(), 2);
+        assert_eq!(s.workers[0].busy_ns, 90);
+        assert_eq!(s.workers[0].units, 1);
+        assert_eq!(s.workers[0].steps, 40);
+        assert_eq!(s.workers[1].busy_ns, 110);
+        assert_eq!(s.workers[1].steps, 60);
+        let text = s.render_human();
+        assert!(text.contains("enumerate"), "{text}");
+        assert!(text.contains("w0"), "{text}");
+        json::validate(&s.to_json()).expect("summary json valid");
+    }
+
+    #[test]
+    fn open_regions_extend_to_the_last_stamp() {
+        let stamps = vec![
+            Stamp { t_ns: 0, scope: 1, worker: 0, mark: Mark::PhaseOpen { name: "enumerate" } },
+            Stamp { t_ns: 10, scope: 1, worker: 2, mark: Mark::UnitClaim { unit: 5 } },
+            Stamp { t_ns: 50, scope: 1, worker: 0, mark: Mark::Counter { name: "steps", value: 9.0 } },
+        ];
+        let tl = Timeline { stamps, dropped: 0 };
+        let s = tl.summarize();
+        assert_eq!(s.phases[0].total_ns, 50);
+        assert_eq!(s.workers.iter().find(|w| w.worker == 2).unwrap().busy_ns, 40);
+        let chrome = tl.to_chrome_json();
+        json::validate(&chrome).expect("chrome json valid");
+        assert!(chrome.contains("\"open\""), "{chrome}");
+    }
+
+    #[test]
+    fn chrome_export_validates_and_names_tracks() {
+        let _serial = serial();
+        let _on = scoped();
+        let scope = begin_scope();
+        {
+            let _c = phase("compile");
+        }
+        {
+            let _e = phase("enumerate");
+            unit_claim(0);
+            unit_finish(0, 12);
+            {
+                let _w = enter(scope.id(), 1);
+                unit_claim(1);
+                unit_finish(1, 34);
+            }
+        }
+        counter("enumerate.nodes", 46.0);
+        let tl = take_scope(scope.id());
+        let chrome = tl.to_chrome_json();
+        json::validate(&chrome).expect("chrome json valid");
+        for needle in [
+            "\"traceEvents\":[",
+            "\"worker 0\"",
+            "\"worker 1\"",
+            "\"compile\"",
+            "\"enumerate\"",
+            "\"unit 0\"",
+            "\"unit 1\"",
+            "\"ph\":\"X\"",
+            "\"ph\":\"C\"",
+            "\"ph\":\"M\"",
+        ] {
+            assert!(chrome.contains(needle), "missing {needle} in {chrome}");
+        }
+        // Phase tracks and worker tracks are separate processes.
+        assert!(chrome.contains("\"pid\":1"));
+        assert!(chrome.contains("\"pid\":2"));
+    }
+
+    #[test]
+    fn idle_workers_still_get_tracks_and_summary_rows() {
+        let _serial = serial();
+        let _on = scoped();
+        let scope = begin_scope();
+        {
+            let _e = phase("enumerate");
+            unit_claim(0);
+            unit_finish(0, 5);
+            // Workers 1 and 2 spawn but never win a claim.
+            for w in [1, 2] {
+                let _w = enter(scope.id(), w);
+                worker_alive();
+            }
+        }
+        let tl = take_scope(scope.id());
+        let chrome = tl.to_chrome_json();
+        json::validate(&chrome).expect("chrome json valid");
+        for needle in ["\"worker 0\"", "\"worker 1\"", "\"worker 2\"", "\"ph\":\"i\""] {
+            assert!(chrome.contains(needle), "missing {needle} in {chrome}");
+        }
+        let s = tl.summarize();
+        assert_eq!(s.workers.len(), 3);
+        let idle = s.workers.iter().find(|w| w.worker == 2).unwrap();
+        assert_eq!((idle.busy_ns, idle.units, idle.steps), (0, 0, 0));
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest_and_counts_drops() {
+        let _serial = serial();
+        let _on = scoped();
+        reset();
+        let old = capacity();
+        set_capacity(16);
+        let scope = begin_scope();
+        for i in 0..20 {
+            counter("tick", i as f64);
+        }
+        let tl = take_scope(scope.id());
+        assert_eq!(tl.stamps.len(), 16);
+        assert_eq!(tl.dropped, 4);
+        // The survivors are the newest stamps.
+        assert!(matches!(
+            tl.stamps[0].mark,
+            Mark::Counter { value, .. } if value == 4.0
+        ));
+        set_capacity(old);
+        reset();
+    }
+
+    #[test]
+    fn stamps_are_time_ordered() {
+        let _serial = serial();
+        let _on = scoped();
+        let scope = begin_scope();
+        for i in 0..8 {
+            unit_claim(i);
+            unit_finish(i, 1);
+        }
+        let tl = take_scope(scope.id());
+        for pair in tl.stamps.windows(2) {
+            assert!(pair[0].t_ns <= pair[1].t_ns);
+        }
+    }
+}

@@ -5,11 +5,18 @@
 //!
 //! The ring covers the last [`WINDOW_SECONDS`] wall-clock seconds.
 //! Each bucket is stamped with the epoch second it currently holds;
-//! a writer landing in a bucket stamped with an older second CASes the
-//! stamp forward and zeroes the bucket, lazily rotating the ring —
-//! there is no ticker thread. Readers aggregate only buckets whose
-//! stamp matches the second they ask about, so stale buckets (no
-//! traffic for a full ring revolution) are skipped, not misread.
+//! a writer landing in a bucket stamped with an older second rotates
+//! it lazily — there is no ticker thread. Rotation is two-phase so a
+//! racing writer's sample is never wiped by the rotator's zeroing: the
+//! winner CASes the stamp to a *rotating* sentinel (claiming
+//! exclusivity), zeroes the bucket, then publishes the new second;
+//! concurrent writers for that second spin the few stores the zeroing
+//! takes, then record. Rotation only ever moves forward — a straggler
+//! holding an older second records into the newer bucket (one second
+//! of blur, within the statistics' tolerance) instead of wiping it.
+//! Readers aggregate only buckets whose stamp matches the second they
+//! ask about, so stale or mid-rotation buckets are skipped, not
+//! misread.
 //!
 //! The snapshot is an ordinary [`Histogram`] plus counts, so windowed
 //! p50/p99 reuse [`Histogram::percentile`] and snapshots merge across
@@ -28,6 +35,12 @@ pub const WINDOW_SECONDS: usize = 120;
 
 /// Stamp value for a bucket that has never been written.
 const NEVER: u64 = u64::MAX;
+
+/// Stamp bit marking a bucket mid-rotation: `sec | ROTATING_BIT` means
+/// "claimed for `sec`, being zeroed". Real epoch seconds are ~2³¹, so
+/// the bit never collides with a settled stamp (and [`NEVER`], which
+/// has it set, is checked first everywhere).
+const ROTATING_BIT: u64 = 1 << 63;
 
 /// One second's worth of samples.
 struct SecondBucket {
@@ -106,18 +119,42 @@ impl RollingWindow {
     /// this way; production goes through [`record`](Self::record)).
     pub fn record_at(&self, sec: u64, value: u64, error: bool) {
         let slot = &self.buckets[(sec % WINDOW_SECONDS as u64) as usize];
-        let stamped = slot.epoch.load(Ordering::Acquire);
-        if stamped != sec {
-            // Lazy rotation: the CAS winner zeroes the bucket for its
-            // second; losers fall through and record into whatever
-            // second won (adjacent-second samples blurring across a
-            // boundary is within the statistics' tolerance).
+        loop {
+            let stamped = slot.epoch.load(Ordering::Acquire);
+            if stamped == sec {
+                break;
+            }
+            if stamped != NEVER {
+                if stamped & ROTATING_BIT != 0 {
+                    // A winner claimed the bucket and is zeroing it.
+                    // Recording now could be wiped by that zeroing, so
+                    // wait out the handful of stores it takes.
+                    std::hint::spin_loop();
+                    continue;
+                }
+                if stamped > sec {
+                    // Straggler: the bucket already holds a newer
+                    // second. Never rotate backward — blur this sample
+                    // into the newer second rather than wipe it.
+                    break;
+                }
+            }
+            // Lazy two-phase rotation: claim exclusivity with the
+            // rotating sentinel, zero, then publish. Losing the CAS
+            // just retries the loop against the new stamp.
             if slot
                 .epoch
-                .compare_exchange(stamped, sec, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    stamped,
+                    sec | ROTATING_BIT,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 slot.zero();
+                slot.epoch.store(sec, Ordering::Release);
+                break;
             }
         }
         slot.count.fetch_add(1, Ordering::Relaxed);
@@ -308,6 +345,77 @@ mod tests {
         merged.merge(&snap);
         assert_eq!(merged.requests, 202);
         assert_eq!(merged.latency.percentile(0.50), 64);
+    }
+
+    #[test]
+    fn concurrent_rotation_never_loses_or_double_counts_a_second() {
+        // Hammer `record_at` from many threads across a forced epoch
+        // boundary: `old` and `new` are WINDOW_SECONDS apart, so they
+        // share one ring slot and every thread races the lazy rotation
+        // CAS at the hand-off. The rotation is two-phase (claim →
+        // zero → publish), so the second that wins the slot must end
+        // up with *exactly* the samples recorded for it — a sample
+        // wiped by a racing zero would show up as a short count, a
+        // bucket zeroed twice around a recorded sample as a long one.
+        const THREADS: u64 = 8;
+        const PER_PHASE: u64 = 500;
+        for round in 0..8u64 {
+            let w = std::sync::Arc::new(RollingWindow::new());
+            let barrier = std::sync::Arc::new(std::sync::Barrier::new(THREADS as usize));
+            let old = 50_000 + round * 7 * WINDOW_SECONDS as u64;
+            let new = old + WINDOW_SECONDS as u64;
+            let threads: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let w = std::sync::Arc::clone(&w);
+                    let barrier = std::sync::Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        // Phase 1: everyone races the first rotation
+                        // (NEVER → old) and fills the old second.
+                        barrier.wait();
+                        for i in 0..PER_PHASE {
+                            w.record_at(old, 3, (t + i) % 4 == 0);
+                        }
+                        // Phase 2: everyone races the epoch-boundary
+                        // rotation (old → new) on the same slot.
+                        barrier.wait();
+                        for i in 0..PER_PHASE {
+                            w.record_at(new, 5, (t + i) % 4 == 0);
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            // The slot now holds `new`; the complete second must carry
+            // every phase-2 sample exactly once.
+            let snap = w.snapshot_at(new + 1, 1);
+            assert_eq!(snap.requests, THREADS * PER_PHASE, "round {round}");
+            assert_eq!(snap.errors, THREADS * PER_PHASE / 4, "round {round}");
+            assert_eq!(snap.latency.count, THREADS * PER_PHASE, "round {round}");
+            assert_eq!(snap.latency.sum, THREADS * PER_PHASE * 5, "round {round}");
+            // And the rotated-away second reports nothing rather than
+            // a half-wiped mixture.
+            let stale = w.snapshot_at(old + 1, 1);
+            assert_eq!(stale.requests, 0, "round {round}");
+        }
+    }
+
+    #[test]
+    fn stragglers_blur_forward_instead_of_wiping_newer_buckets() {
+        // A writer stuck holding an older second must never rotate a
+        // settled newer bucket backward: its sample blurs into the
+        // newer second and nothing already recorded is lost.
+        let w = RollingWindow::new();
+        let old = 60_000u64;
+        let new = old + WINDOW_SECONDS as u64;
+        w.record_at(new, 20, false);
+        w.record_at(old, 10, true); // straggler, same slot
+        let snap = w.snapshot_at(new + 1, 1);
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.latency.sum, 30);
+        assert_eq!(w.snapshot_at(old + 1, 1).requests, 0);
     }
 
     #[test]

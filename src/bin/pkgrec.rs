@@ -8,6 +8,7 @@
 //! pkgrec count <db-file> <query> --min-val B ...  CPP: count valid packages
 //! pkgrec items <db-file> <query> --val sum:COL --k K    top-k items
 //! pkgrec explain <db-file> <query> [--json]       show the compiled query plan
+//! pkgrec profile <db-file> <query> [options]      profile a topk solve
 //! pkgrec chaos-sites                              list PKGREC_CHAOS fault sites
 //! pkgrec qbf   <qdimacs-file> [options]           check Theorem 4.1 encodings
 //! pkgrec serve --db NAME=PATH [...]               resident solve service
@@ -41,6 +42,19 @@
 //!                      is never certified optimal and is printed with
 //!                      an explicit `approximate` marker
 //!
+//! profile options (plus all solve options above):
+//!   --chrome-out PATH  also write the solve's profile timeline as a
+//!                      Chrome Trace Event Format JSON file (open in
+//!                      Perfetto / chrome://tracing): one duration
+//!                      track per worker, one per phase, counter tracks
+//!
+//! `profile` runs a `topk` solve (`--approx` for the sketch engine)
+//! with tracing, the flight recorder and the profile timeline all
+//! forced on, then prints an attribution report: wall time per phase,
+//! per-worker utilization (busy time, units, steps), per-span-path
+//! share of the wall, and the plan-probe and sketch/refine counter
+//! breakdowns.
+//!
 //! serve options:
 //!   --listen ADDR         bind address (default 127.0.0.1:7878; port 0
 //!                         picks an ephemeral port, printed on startup)
@@ -60,13 +74,20 @@
 //!                         recording to DIR/<request-id>.flight.jsonl
 //!   --slow-threshold-ms T requests slower than T land in the
 //!                         GET /debug/slow ring (default 250)
+//!   --profile-slow-ms T   tail-sampling profiler: every request records
+//!                         a profile timeline, kept only when the request
+//!                         took at least T ms or failed — a summary in
+//!                         the GET /debug/profile ring (last 32) and,
+//!                         with --flight-dir, a Chrome-trace
+//!                         DIR/<request-id>.profile.json. 0 keeps every
+//!                         request; off when the flag is absent
 //! ```
 //!
 //! `serve` keeps databases resident, caches compiled plans per
 //! `(db, query, parameters)` key, and answers `POST /solve`
 //! (JSON), `GET /metrics` (add `?format=prometheus` for exposition
-//! text), `GET /debug/slow`, `GET|POST /explain` and `GET /health`
-//! until killed. Every response carries an `x-pkgrec-request-id`
+//! text), `GET /debug/slow`, `GET /debug/profile`, `GET|POST /explain`
+//! and `GET /health` until killed. Every response carries an `x-pkgrec-request-id`
 //! header that correlates the access-log record, the `/debug/slow`
 //! entry and the flight export for the same request. Deadlines
 //! that trip mid-search return the best-so-far partial answer
@@ -514,6 +535,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse::<u64>()
                     .map_err(|_| "--slow-threshold-ms must be an integer")?;
             }
+            "--profile-slow-ms" => {
+                service_cfg.profile_slow_ms = Some(
+                    value("--profile-slow-ms")?
+                        .parse::<u64>()
+                        .map_err(|_| "--profile-slow-ms must be an integer")?,
+                );
+            }
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
@@ -562,6 +590,151 @@ fn cmd_explain(db_path: &str, query_arg: &str, json: bool) -> Result<(), String>
     Ok(())
 }
 
+/// Adaptive duration formatting for the profile report (mirrors the
+/// trace crate's human rendering).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// `pkgrec profile`: run one `topk` solve with tracing, the flight
+/// recorder and the profile timeline all forced on, then print the
+/// attribution report — where the wall time went by phase, worker,
+/// and span path, plus the plan-probe and sketch/refine breakdowns.
+/// `--chrome-out PATH` additionally writes the timeline as a Chrome
+/// Trace Event Format file for Perfetto / `chrome://tracing`.
+fn cmd_profile(db_path: &str, query_arg: &str, rest: &[String]) -> Result<(), String> {
+    use pkgrec_trace::timeline;
+
+    // `--chrome-out` is profile-specific; everything else is the
+    // shared solve-option vocabulary.
+    let mut chrome_out: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i] == "--chrome-out" {
+            chrome_out = Some(
+                rest.get(i + 1)
+                    .ok_or("--chrome-out needs a value")?
+                    .clone(),
+            );
+            i += 2;
+        } else {
+            args.push(rest[i].clone());
+            i += 1;
+        }
+    }
+    let opts = parse_options(&args)?;
+    let db = load_db(db_path)?;
+    let query = load_query(query_arg)?;
+    let mut budget = Budget::unlimited();
+    if let Some(n) = opts.steps {
+        budget = budget.steps(n);
+    }
+    if let Some(ms) = opts.timeout_ms {
+        budget = budget.timeout(Duration::from_millis(ms));
+    }
+    let solver_opts = SolveOptions::with_budget(budget).with_jobs(opts.jobs.unwrap_or(1));
+    let solver_opts = approx_opts(&solver_opts, &opts);
+
+    // Force every observability channel on: spans/counters (trace),
+    // the event black box (flight), and the stamp timeline (profile).
+    pkgrec_trace::reset();
+    let _tracing = pkgrec_trace::scoped();
+    pkgrec_trace::flight::reset();
+    let _flight = pkgrec_trace::flight::scoped();
+    let _profiling = timeline::scoped();
+    let scope = timeline::begin_scope();
+
+    let inst = build_instance(db, query, &opts);
+    let started = Instant::now();
+    let out = frp::top_k(&inst, &solver_opts).map_err(|e| e.to_string())?;
+    let wall = started.elapsed();
+
+    let tl = timeline::take_scope(scope.id());
+    let report = pkgrec_trace::take();
+
+    if out.method == Method::Sketch {
+        println!("approximate result (sketch engine; not certified optimal):");
+    }
+    if let Some(cut) = out.interrupted {
+        println!("partial result ({cut}):");
+    }
+    match &out.value {
+        None => println!("no top-{} selection exists", opts.k),
+        Some(sel) => {
+            for (rank, pkg) in sel.iter().enumerate() {
+                println!(
+                    "#{} val={} cost={} {}",
+                    rank + 1,
+                    inst.val.eval(pkg),
+                    inst.cost.eval(pkg),
+                    pkg
+                );
+            }
+        }
+    }
+    println!();
+
+    if let Some(path) = &chrome_out {
+        std::fs::write(path, tl.to_chrome_json())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("chrome trace written to {path}");
+    }
+
+    print!("{}", tl.summarize().render_human());
+
+    // Span paths as a share of the solve wall time. Span totals are
+    // per-path (self+children wall), so shares can legitimately sum
+    // past 100% — the table reads per row, not as a partition.
+    let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+    if !report.spans.is_empty() {
+        println!("spans (path, calls, total, % of wall, steps):");
+        for (path, stat) in &report.spans {
+            let pct = if wall_ns == 0 {
+                0.0
+            } else {
+                stat.total_ns as f64 * 100.0 / wall_ns as f64
+            };
+            println!(
+                "  {:<44} {:>5}  {:>9}  {:>5.1}%  steps={}",
+                path,
+                stat.count,
+                fmt_ns(stat.total_ns),
+                pct,
+                stat.steps
+            );
+        }
+    }
+    let c = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+    println!(
+        "plan: {} compiles, {} probes, {} index builds",
+        c("query.plan_compiles"),
+        c("query.plan_probes"),
+        c("query.index_builds")
+    );
+    if out.method == Method::Sketch {
+        println!(
+            "sketch: {} partition builds, {} sub-solves, {} refines \
+             ({} improved, {} no gain), {} partitions pruned",
+            c("sketch.partition_builds"),
+            c("sketch.sub_solves"),
+            c("sketch.refines"),
+            c("sketch.refines.improved"),
+            c("sketch.refines.no_gain"),
+            c("sketch.partitions_pruned")
+        );
+    }
+    Ok(())
+}
+
 /// `pkgrec chaos-sites`: enumerate the valid `PKGREC_CHAOS` fault-site
 /// names (every trace counter plus the extra serve-loop sites), so
 /// directives are discoverable instead of guessed.
@@ -578,6 +751,7 @@ fn cmd_chaos_sites() {
 fn run(args: Vec<String>) -> Result<(), String> {
     let usage = "usage: pkgrec <eval|topk|bound|count|items> <db-file> <query> [options] \
                  | pkgrec explain <db-file> <query> [--json] \
+                 | pkgrec profile <db-file> <query> [options] [--chrome-out PATH] \
                  | pkgrec chaos-sites \
                  | pkgrec qbf <qdimacs-file> [options] \
                  | pkgrec serve --db NAME=PATH [options] \
@@ -595,6 +769,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
     if cmd == "chaos-sites" {
         cmd_chaos_sites();
         return Ok(());
+    }
+    if cmd == "profile" {
+        let db_path = it.next().ok_or(usage)?;
+        let query_arg = it.next().ok_or(usage)?;
+        let rest: Vec<String> = it.cloned().collect();
+        return cmd_profile(db_path, query_arg, &rest);
     }
     if cmd == "explain" {
         let db_path = it.next().ok_or(usage)?;

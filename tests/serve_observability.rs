@@ -188,6 +188,71 @@ fn request_id_correlates_header_body_slow_ring_access_log_and_flight() {
 }
 
 #[test]
+fn tail_sampled_profile_reaches_debug_profile_and_disk_keyed_by_request_id() {
+    let _s = serial();
+    let scratch = Scratch::new("profile");
+    let flight_dir = scratch.join("flight");
+    std::fs::create_dir_all(&flight_dir).unwrap();
+
+    let mut service = Service::new(ServiceConfig {
+        profile_slow_ms: Some(0), // tail-sample every request
+        ..ServiceConfig::default()
+    });
+    service.add_db("shop", parse_database(DB).expect("fixture db parses"));
+    service.set_flight_dir(&flight_dir);
+    let handle = start(ServerConfig::default(), service).expect("bind loopback");
+
+    let body = format!(r#"{{"db":"shop","problem":"count","query":"{QUERY}","max_size":4}}"#);
+    let (status, head, text) = request(&handle, "POST", "/solve", &body);
+    assert_eq!(status, 200, "{text}");
+    let id = header_value(&head, REQUEST_ID_HEADER).expect("request id header");
+
+    // The same id names the request's entry in the profile ring, and
+    // the entry carries a timeline summary with real phases.
+    let (status, _, prof_text) = request(&handle, "GET", "/debug/profile", "");
+    assert_eq!(status, 200);
+    let prof = json::parse(&prof_text).expect("/debug/profile is JSON");
+    assert_eq!(prof.get("profile_slow_ms").and_then(Json::as_u64), Some(0));
+    let entries = prof
+        .get("profiled")
+        .and_then(Json::as_array)
+        .expect("profiled array");
+    let entry = entries
+        .iter()
+        .find(|e| e.get("request_id").and_then(Json::as_str) == Some(&*id))
+        .unwrap_or_else(|| panic!("id {id} not in profile ring: {prof_text}"));
+    assert_eq!(entry.get("status").and_then(Json::as_u64), Some(200));
+    assert_eq!(entry.get("outcome").and_then(Json::as_str), Some("exact"));
+    let timeline = entry.get("timeline").expect("timeline summary");
+    let phases = timeline
+        .get("phases")
+        .and_then(Json::as_array)
+        .expect("phase totals");
+    assert!(
+        phases
+            .iter()
+            .any(|p| p.get("name").and_then(Json::as_str) == Some("compile")),
+        "no compile phase in {prof_text}"
+    );
+
+    // The same id names the on-disk Chrome trace next to the flight
+    // exports, and that file is a self-identifying valid trace.
+    let profile_path = flight_dir.join(format!("{id}.profile.json"));
+    let trace = std::fs::read_to_string(&profile_path)
+        .unwrap_or_else(|e| panic!("profile export {} missing: {e}", profile_path.display()));
+    let parsed = json::parse(&trace).expect("profile export is JSON");
+    assert_eq!(parsed.get("request_id").and_then(Json::as_str), Some(&*id));
+    assert!(
+        parsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .is_some_and(|evs| !evs.is_empty()),
+        "empty traceEvents in {trace}"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn error_responses_carry_the_request_id_in_header_and_body() {
     let _s = serial();
     let mut service = Service::new(ServiceConfig::default());
