@@ -33,9 +33,10 @@
 //!   never in the flight ring, so the bit-identical recording contract
 //!   is untouched.
 
+use std::collections::VecDeque;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use pkgrec_data::Tuple;
@@ -840,10 +841,117 @@ fn unit_walk<M: SearchMeter>(
     ControlFlow::Continue(())
 }
 
-/// One worker: claim units off the shared counter in index order, walk
-/// each, and report the outcomes (with their drained flight events)
-/// plus this thread's trace aggregates and — when the profiler is on —
-/// its [`WorkerStat`] attribution.
+/// How workers pick their next unit.
+///
+/// Budgeted searches claim in canonical ascending order: the budget can
+/// cut the run at any instant, and the merge keeps only the contiguous
+/// prefix below the lowest interrupted unit, so every step spent on a
+/// high unit while a low one is still unwalked is a step the merged
+/// partial throws away. A single shared cursor guarantees the budget is
+/// burned on the lowest-indexed units — the merged partial is then the
+/// canonical prefix, the best anytime answer the walked steps can buy
+/// (and the same prefix the sequential engine would produce).
+///
+/// Unbudgeted searches have no trip source at all — nothing can strand
+/// a low unit — so claim order is free to chase throughput: per-worker
+/// deques with work stealing (see [`WorkQueues`]), which keep the claim
+/// path mostly uncontended instead of serializing every claim through
+/// one hot cache line.
+enum Scheduler {
+    InOrder { next: AtomicUsize, units: usize },
+    Stealing(WorkQueues),
+}
+
+impl Scheduler {
+    fn new(units: usize, jobs: usize, can_interrupt: bool) -> Scheduler {
+        if can_interrupt {
+            Scheduler::InOrder {
+                next: AtomicUsize::new(0),
+                units,
+            }
+        } else {
+            Scheduler::Stealing(WorkQueues::seed(units, jobs))
+        }
+    }
+
+    fn claim(&self, worker: usize, floor: &AtomicUsize) -> Option<usize> {
+        match self {
+            Scheduler::InOrder { next, units } => {
+                let u = next.fetch_add(1, Ordering::Relaxed);
+                // Once the floor is below the cursor, every later unit
+                // would be abandoned on arrival — stop claiming.
+                (u < *units && floor.load(Ordering::Relaxed) >= u).then_some(u)
+            }
+            Scheduler::Stealing(queues) => queues.claim(worker),
+        }
+    }
+}
+
+/// The work-stealing half of the [`Scheduler`]: one deque per worker,
+/// seeded round-robin (unit `u` starts on deque `u % jobs`, ascending
+/// within each deque). Owners claim from the front of their own deque;
+/// a worker whose deque runs dry steals from the *back* of a
+/// neighbour's, scanning ring-order from its right (`enumerate.steals`
+/// counts the cross-deque claims). Unit subtree sizes are wildly
+/// skewed — unit 0 alone holds half the space — so a shared in-order
+/// cursor funnels every claim through one contended cache line while
+/// one unlucky early claimer grinds (ROADMAP: `max ≫ mean` starves
+/// workers); the strided deques spread both the contention and the
+/// skew.
+///
+/// Determinism is unaffected by *which* worker runs a unit: every unit
+/// is claimed by exactly one worker, walks are independent, and the
+/// coordinator merges outcomes by unit index (see [`parallel_reduce`]).
+struct WorkQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl WorkQueues {
+    fn seed(units: usize, jobs: usize) -> WorkQueues {
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+        for u in 0..units {
+            queues[u % jobs]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(u);
+        }
+        WorkQueues { queues }
+    }
+
+    /// Claim the next unit for `worker`, stealing when its own deque
+    /// is empty. `None` means every deque was empty at scan time — no
+    /// unit is ever re-queued, so the scheduler is drained for good.
+    fn claim(&self, worker: usize) -> Option<usize> {
+        if let Some(u) = self.pop(worker, true) {
+            return Some(u);
+        }
+        for d in 1..self.queues.len() {
+            let victim = (worker + d) % self.queues.len();
+            if let Some(u) = self.pop(victim, false) {
+                pkgrec_trace::counter!("enumerate.steals");
+                return Some(u);
+            }
+        }
+        None
+    }
+
+    fn pop(&self, queue: usize, front: bool) -> Option<usize> {
+        let mut q = self.queues[queue]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if front {
+            q.pop_front()
+        } else {
+            q.pop_back()
+        }
+    }
+}
+
+/// One worker: claim units off the work-stealing deques, walk each,
+/// and report the outcomes (with their drained flight events) plus
+/// this thread's trace aggregates and — when the profiler is on — its
+/// [`WorkerStat`] attribution.
 #[allow(clippy::too_many_arguments)]
 fn run_worker<R: ValidPackageReducer>(
     ctx: &SearchContext<'_>,
@@ -851,7 +959,7 @@ fn run_worker<R: ValidPackageReducer>(
     rating_bound: Option<Ext>,
     units: &[Unit],
     max_size: usize,
-    next: &AtomicUsize,
+    sched: &Scheduler,
     floor: &AtomicUsize,
     shared: &SharedMeter,
     progress: &Progress,
@@ -879,12 +987,19 @@ fn run_worker<R: ValidPackageReducer>(
         ..WorkerStat::default()
     };
     loop {
-        let u = next.fetch_add(1, Ordering::Relaxed);
-        // Units are claimed in increasing order, so once the floor is
-        // below the next claim every later unit is discarded too.
-        if u >= units.len() || floor.load(Ordering::Relaxed) < u || shared.is_stopped() {
+        // The budget latch is global: once it trips, every worker
+        // exits, leaving unclaimed units behind. Interrupted merges
+        // keep the prefix below the floor (whose Budget outcome
+        // carries the cut), and the in-order scheduler used for
+        // budgeted runs guarantees the unclaimed units all sit at or
+        // above that floor.
+        if shared.is_stopped() {
             break;
         }
+        let Some(u) = sched.claim(worker as usize, floor) else {
+            break;
+        };
+        debug_assert!(u < units.len(), "schedulers hand out only seeded unit indexes");
         let mark = flight::mark();
         if fl {
             flight::begin_unit(u as u64);
@@ -978,15 +1093,25 @@ fn run_worker<R: ValidPackageReducer>(
     (outcomes, pkgrec_trace::take(), tl.then_some(wstat))
 }
 
-/// The parallel engine. Determinism argument: workers claim units in
-/// index order, so every unit below the final `floor` (the least unit
-/// index that broke, erred, or ran out of budget) was claimed earlier
-/// than the floor unit and — abandonment only triggers *above* the
-/// floor — ran to completion. The merge therefore folds, in canonical
-/// order, exactly the full units `< floor` plus the floor unit's
-/// prefix: the same visit sequence the sequential engine folds. Flight
-/// recordings inherit the argument: replaying the kept units' drained
-/// events in index order reproduces the sequential event stream.
+/// The parallel engine. Determinism argument, under either scheduler:
+/// each unit is claimed by exactly one worker and walked independently
+/// of claim order, so a unit's outcome depends only on the unit (a
+/// walk either runs to completion, stops deterministically inside the
+/// unit — visitor break, error — or is cut by the budget). The final
+/// `floor` is the least index that broke, erred, or ran out of budget;
+/// abandonment only triggers *above* the live floor, which never goes
+/// below the final floor, so on runs without a budget trip every unit
+/// `< floor` was claimed by some worker and ran to completion. The
+/// merge therefore folds, in canonical order, exactly the full units
+/// `< floor` plus the floor unit's prefix: the same visit sequence the
+/// sequential engine folds. Flight recordings inherit the argument:
+/// replaying the kept units' drained events in index order reproduces
+/// the sequential event stream. Budget trips only happen under the
+/// in-order scheduler (work stealing is reserved for unbudgeted runs),
+/// so when the latch trips the unclaimed units all sit above the
+/// claim cursor and the merge folds the canonical prefix below the
+/// floor plus the floor unit's cut prefix — the same partial the
+/// sequential engine's anytime contract promises.
 fn parallel_reduce<R: ValidPackageReducer>(
     ctx: &SearchContext<'_>,
     rating_bound: Option<Ext>,
@@ -1022,9 +1147,9 @@ fn parallel_reduce<R: ValidPackageReducer>(
     let _phase = timeline::phase("enumerate");
 
     let shared = opts.budget.shared_meter();
-    let next = AtomicUsize::new(0);
     let floor = AtomicUsize::new(usize::MAX);
     let jobs = jobs.min(units.len());
+    let sched = Scheduler::new(units.len(), jobs, !opts.budget.is_unlimited());
     type WorkerResult<A> = (
         Vec<UnitOutcome<A>>,
         pkgrec_trace::TraceReport,
@@ -1033,7 +1158,7 @@ fn parallel_reduce<R: ValidPackageReducer>(
     let (worker_results, join_panic): (Vec<WorkerResult<R::Acc>>, Option<String>) =
         std::thread::scope(|s| {
             let units = &units;
-            let next = &next;
+            let sched = &sched;
             let floor = &floor;
             let shared = &shared;
             let handles: Vec<_> = (0..jobs)
@@ -1045,7 +1170,7 @@ fn parallel_reduce<R: ValidPackageReducer>(
                             rating_bound,
                             units,
                             max_size,
-                            next,
+                            sched,
                             floor,
                             shared,
                             progress,

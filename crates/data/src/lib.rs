@@ -13,6 +13,11 @@
 //! * [`Relation`] — a set of tuples under a schema, deduplicated and kept
 //!   in canonical (sorted) order so all downstream algorithms are
 //!   deterministic.
+//! * [`ColumnarRelation`] / [`ItemBitset`] — the struct-of-arrays
+//!   mirror of a relation (dense-`u32` columns plus per-column
+//!   value→row-bitset inverted indexes), built lazily and cached on the
+//!   relation; compiled query plans turn fully-bound probes into bitset
+//!   intersections over it.
 //! * [`Database`] — a catalog of relations, plus the *active domain*
 //!   computation used by FO evaluation and by query-relaxation search.
 //! * [`partition`] — the offline, deterministic hierarchical clustering
@@ -25,6 +30,7 @@
 //! determinism and clarity while still using indexes where joins need
 //! them.
 
+mod columnar;
 mod database;
 mod error;
 mod interner;
@@ -35,6 +41,7 @@ pub mod text;
 mod tuple;
 mod value;
 
+pub use columnar::{ColumnarRelation, ItemBitset};
 pub use database::{ActiveDomain, Database};
 pub use partition::{PartitionIndex, PartitionNode, PartitionParams};
 pub use error::DataError;

@@ -2,7 +2,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
-use crate::{RelationSchema, Result, Tuple, Value};
+use crate::{ColumnarRelation, RelationSchema, Result, Tuple, Value};
 
 /// A relation instance: a set of tuples under a [`RelationSchema`].
 ///
@@ -21,6 +21,10 @@ pub struct Relation {
     tuples: BTreeSet<Tuple>,
     /// Lazily built per-column indexes: column position → value → tuples.
     indexes: std::sync::RwLock<IndexCache>,
+    /// Lazily built columnar (struct-of-arrays) layout, cached with the
+    /// same discipline as `indexes`: double-checked build, cleared on
+    /// mutation, never copied by `Clone`. See [`ColumnarRelation`].
+    columnar: std::sync::RwLock<Option<Arc<ColumnarRelation>>>,
 }
 
 /// Per-column hash indexes: column position → value → shared bucket.
@@ -31,8 +35,9 @@ impl Clone for Relation {
         Relation {
             schema: self.schema.clone(),
             tuples: self.tuples.clone(),
-            // The cache rebuilds lazily; cloning it would just copy work.
+            // The caches rebuild lazily; cloning them would just copy work.
             indexes: Default::default(),
+            columnar: Default::default(),
         }
     }
 }
@@ -52,6 +57,7 @@ impl Relation {
             schema,
             tuples: BTreeSet::new(),
             indexes: Default::default(),
+            columnar: Default::default(),
         }
     }
 
@@ -78,6 +84,7 @@ impl Relation {
             schema,
             tuples: tuples.into_iter().collect(),
             indexes: Default::default(),
+            columnar: Default::default(),
         }
     }
 
@@ -102,10 +109,7 @@ impl Relation {
         self.schema.check_tuple(&t)?;
         let new = self.tuples.insert(t);
         if new {
-            self.indexes
-                .get_mut()
-                .unwrap_or_else(|e| e.into_inner())
-                .clear();
+            self.invalidate_caches();
         }
         Ok(new)
     }
@@ -114,12 +118,18 @@ impl Relation {
     pub fn remove(&mut self, t: &Tuple) -> bool {
         let removed = self.tuples.remove(t);
         if removed {
-            self.indexes
-                .get_mut()
-                .unwrap_or_else(|e| e.into_inner())
-                .clear();
+            self.invalidate_caches();
         }
         removed
+    }
+
+    /// Drop every lazily built access structure after a mutation.
+    fn invalidate_caches(&mut self) {
+        self.indexes
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        *self.columnar.get_mut().unwrap_or_else(|e| e.into_inner()) = None;
     }
 
     /// Membership test.
@@ -176,6 +186,29 @@ impl Relation {
     /// construction, which amortizes repeated probes in joins.
     pub fn index(&self, col: usize) {
         let _ = self.lookup(col, &Value::Int(i64::MIN));
+    }
+
+    /// The columnar (struct-of-arrays + per-column bitset index) layout
+    /// of this relation, built lazily on first use and cached until the
+    /// next mutation — the same double-checked, poison-recovering
+    /// discipline as [`Relation::lookup`]'s index cache. The handle is
+    /// `Arc`-shared, so compiled plans can keep the layout alive past a
+    /// mutation of the relation (they snapshot, exactly as they snapshot
+    /// tuples).
+    pub fn columnar(&self) -> Arc<ColumnarRelation> {
+        if let Some(c) = self
+            .columnar
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            return Arc::clone(c);
+        }
+        let mut slot = self.columnar.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(slot.get_or_insert_with(|| {
+            pkgrec_trace::counter!("query.index_builds");
+            Arc::new(ColumnarRelation::build(self))
+        }))
     }
 
     /// All distinct values appearing anywhere in the relation.

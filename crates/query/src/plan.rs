@@ -31,7 +31,9 @@ use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
-use pkgrec_data::{AttrType, Database, Relation, RelationSchema, Tuple, Value, ValueInterner};
+use pkgrec_data::{
+    AttrType, Database, ItemBitset, Relation, RelationSchema, Tuple, Value, ValueInterner,
+};
 use pkgrec_guard::Meter;
 
 use crate::cq::ConjunctiveQuery;
@@ -143,6 +145,18 @@ impl CompiledPlan {
     /// Answer arity.
     pub fn arity(&self) -> usize {
         self.arity
+    }
+
+    /// Enable or disable the columnar bitset fast path for fully-bound
+    /// existence steps (conjunctive plans only; on by default). With it
+    /// off — or whenever a budget meter is attached — every probe takes
+    /// the row path, which is what benchmarks and equivalence tests
+    /// compare against.
+    pub fn with_bitsets(mut self, enabled: bool) -> Self {
+        if let PlanKind::Conj(set) = &mut self.kind {
+            set.use_bitsets = enabled;
+        }
+        self
     }
 
     fn ctx<'c>(&'c self, metrics: Option<&'c MetricSet>, meter: Option<&'c Meter>) -> EvalContext<'c> {
@@ -308,6 +322,10 @@ struct ConjSet {
     syms: ValueInterner,
     rels: Vec<CompiledRel>,
     plans: Vec<ConjPlan>,
+    /// Whether fully-bound existence steps may use the columnar bitset
+    /// fast path (on unmetered probes). On by default; benchmarks and
+    /// equivalence tests disable it to exercise the row path.
+    use_bitsets: bool,
 }
 
 /// A base relation flattened to row-major interned cells, with the
@@ -320,6 +338,10 @@ struct CompiledRel {
     cells: Vec<u32>,
     /// column → cell id → row numbers (ascending = canonical order).
     indexes: HashMap<usize, HashMap<u32, Vec<u32>>>,
+    /// Per-column value→row bitsets shared with the relation's cached
+    /// [`ColumnarRelation`], re-keyed to this plan's interner. Empty
+    /// until some mode needs a fully-bound existence probe.
+    bitsets: Vec<HashMap<u32, Arc<ItemBitset>>>,
 }
 
 impl CompiledRel {
@@ -337,7 +359,34 @@ impl CompiledRel {
             rows: rel.len(),
             cells,
             indexes: HashMap::new(),
+            bitsets: Vec::new(),
         }
+    }
+
+    /// Adopt the relation's cached columnar inverted indexes, re-keyed
+    /// from the relation-local interner to the plan's shared one. The
+    /// bitsets themselves are shared (`Arc`), not copied. Every value
+    /// of the relation was interned by [`CompiledRel::compile`], so the
+    /// re-keying lookups cannot miss.
+    fn ensure_bitsets(&mut self, rel: &Relation, syms: &ValueInterner) {
+        if !self.bitsets.is_empty() || self.arity == 0 {
+            return;
+        }
+        let columnar = rel.columnar();
+        self.bitsets = (0..self.arity)
+            .map(|col| {
+                columnar
+                    .column_index(col)
+                    .iter()
+                    .map(|(&local, rows)| {
+                        let global = syms
+                            .get(columnar.interner().resolve(local))
+                            .expect("every relation value is interned at compile time");
+                        (global, Arc::clone(rows))
+                    })
+                    .collect()
+            })
+            .collect();
     }
 
     fn ensure_index(&mut self, col: usize) {
@@ -398,6 +447,13 @@ struct ModePlan {
     order: Vec<usize>,
     builtin_at: Vec<Vec<usize>>,
     probe: Vec<Option<usize>>,
+    /// Per depth: the step is a fully-bound *existence* probe — a base
+    /// atom whose every term is a constant or an already-bound
+    /// variable, with no builtin scheduled after it. Such a step binds
+    /// nothing; the only question is whether a matching row exists,
+    /// which the bitset path answers by intersecting per-column row
+    /// sets instead of enumerating candidates.
+    exist: Vec<bool>,
 }
 
 /// One compiled disjunct.
@@ -528,10 +584,28 @@ impl ConjSet {
                         QueryError::UnsafeVariable(v)
                     })?;
                 let probe = probe_columns(&shapes, &order, initially_bound);
+                // Classify fully-bound existence steps by replaying
+                // the binding order the join will follow.
+                let mut bound = initially_bound.to_vec();
+                let mut exist = Vec::with_capacity(order.len());
+                for (depth, &ai) in order.iter().enumerate() {
+                    let all_bound = shapes[ai].iter().all(|s| s.is_none_or(|v| bound[v]));
+                    exist.push(
+                        matches!(atoms[ai].src, Source::Base(_))
+                            && all_bound
+                            && builtin_at[depth + 1].is_empty(),
+                    );
+                    for s in &shapes[ai] {
+                        if let Some(v) = *s {
+                            bound[v] = true;
+                        }
+                    }
+                }
                 Ok(ModePlan {
                     order,
                     builtin_at,
                     probe,
+                    exist,
                 })
             };
             let eval_mode = mode(&vec![false; nvars])?;
@@ -543,11 +617,21 @@ impl ConjSet {
             }
             let bound_mode = mode(&head_bound)?;
 
-            // Force every column index the static access paths probe.
+            // Force every column index the static access paths probe,
+            // and adopt the columnar bitsets behind every fully-bound
+            // existence step (the row indexes stay, for metered runs).
             for m in [&eval_mode, &bound_mode] {
                 for (depth, &ai) in m.order.iter().enumerate() {
-                    if let (Some(col), Source::Base(ri)) = (m.probe[depth], &atoms[ai].src) {
-                        rels[*ri].ensure_index(col);
+                    if let Source::Base(ri) = atoms[ai].src {
+                        if let Some(col) = m.probe[depth] {
+                            rels[ri].ensure_index(col);
+                        }
+                        if m.exist[depth] {
+                            let rel = db
+                                .relation(&rels[ri].name)
+                                .expect("resolved when the atom was compiled");
+                            rels[ri].ensure_bitsets(rel, &syms);
+                        }
                     }
                 }
             }
@@ -562,7 +646,12 @@ impl ConjSet {
             });
         }
 
-        Ok(ConjSet { syms, rels, plans })
+        Ok(ConjSet {
+            syms,
+            rels,
+            plans,
+            use_bitsets: true,
+        })
     }
 
     /// Evaluate all disjuncts. With `stop_on_first`, returns as soon as
@@ -753,6 +842,20 @@ impl ConjRun<'_> {
         match atom.src {
             Source::Base(ri) => {
                 let rel = &self.set.rels[ri];
+                // Fully-bound existence steps collapse to a word-wise
+                // bitset intersection: no bindings change, so a single
+                // recursion replaces the whole candidate loop. Only on
+                // unmetered probes — the row path charges one budget
+                // tick per candidate, and metered runs must stay
+                // tick-for-tick identical to the interpreter.
+                if self.mode.exist[depth] && self.set.use_bitsets && self.ctx.meter.is_none() {
+                    pkgrec_trace::counter!("query.bitset_probes");
+                    return if self.exist_probe(rel, atom, bindings) {
+                        self.search(depth + 1, bindings, syms, out)
+                    } else {
+                        Ok(false)
+                    };
+                }
                 match self.mode.probe[depth] {
                     Some(col) => {
                         let pid = atom.terms[col]
@@ -792,6 +895,29 @@ impl ConjRun<'_> {
             }
         }
         Ok(false)
+    }
+
+    /// Decide a fully-bound existence step: does some row of `rel`
+    /// match `atom` under `bindings`? Each term resolves to a cell id
+    /// whose per-column bitset lists the rows carrying it; the atom
+    /// matches iff the intersection is nonempty. Ids foreign to the
+    /// relation's column — including per-probe [`ProbeSyms`] ids past
+    /// the base interner — simply miss the map.
+    fn exist_probe(&self, rel: &CompiledRel, atom: &PAtom, bindings: &[Option<u32>]) -> bool {
+        if atom.terms.is_empty() {
+            return rel.rows > 0;
+        }
+        let mut sets: Vec<&ItemBitset> = Vec::with_capacity(atom.terms.len());
+        for (col, term) in atom.terms.iter().enumerate() {
+            let id = term
+                .id(bindings)
+                .expect("existence step: statically all-bound");
+            match rel.bitsets[col].get(&id) {
+                Some(set) => sets.push(set.as_ref()),
+                None => return false,
+            }
+        }
+        ItemBitset::intersection_nonempty(&sets)
     }
 
     /// Try one candidate row at `depth`: bind, check builtins, recurse,
@@ -981,6 +1107,10 @@ pub struct JoinStepReport {
     pub access: &'static str,
     /// The column probed when `access` is `index`.
     pub probe_column: Option<usize>,
+    /// Whether this step is a fully-bound existence probe that the
+    /// columnar bitset path answers by intersection (unmetered runs;
+    /// metered runs fall back to the `access` path above).
+    pub bitset: bool,
     /// Builtins scheduled immediately after this step binds its
     /// variables.
     pub builtins_after: usize,
@@ -1024,6 +1154,7 @@ impl CompiledPlan {
                                         rows: Some(set.rels[ri].rows),
                                         access: if probe.is_some() { "index" } else { "scan" },
                                         probe_column: probe,
+                                        bitset: mode.exist[depth],
                                         builtins_after: mode.builtin_at[depth + 1].len(),
                                     },
                                     Source::Dyn => JoinStepReport {
@@ -1031,6 +1162,7 @@ impl CompiledPlan {
                                         rows: None,
                                         access: "dynamic-scan",
                                         probe_column: None,
+                                        bitset: false,
                                         builtins_after: mode.builtin_at[depth + 1].len(),
                                     },
                                 }
@@ -1115,7 +1247,11 @@ impl PlanReport {
                         }
                         None => out.push_str("null"),
                     }
-                    let _ = write!(out, ",\"builtins_after\":{}}}", s.builtins_after);
+                    let _ = write!(
+                        out,
+                        ",\"bitset\":{},\"builtins_after\":{}}}",
+                        s.bitset, s.builtins_after
+                    );
                 }
                 out.push_str("]}");
             }
@@ -1181,6 +1317,9 @@ impl PlanReport {
                         (access, _) => {
                             let _ = write!(out, " {access}");
                         }
+                    }
+                    if s.bitset {
+                        out.push_str(" (bitset existence)");
                     }
                     if s.builtins_after > 0 {
                         let _ = write!(out, ", then {} builtins", s.builtins_after);
@@ -1502,6 +1641,42 @@ mod tests {
         // Membership: the head is pre-bound, so every step can probe.
         let member = &d.modes[1];
         assert!(member.steps.iter().all(|s| s.access == "index"));
+        // Neither eval step is fully bound when reached; the second
+        // membership step is (x, z pre-bound, y bound by the first),
+        // so it alone is a bitset existence probe.
+        assert!(eval.steps.iter().all(|s| !s.bitset));
+        assert!(!member.steps[0].bitset);
+        assert!(member.steps[1].bitset);
+    }
+
+    #[test]
+    fn bitset_existence_probes_match_the_row_path() {
+        let _scope = pkgrec_trace::scoped();
+        pkgrec_trace::reset();
+        let db = db();
+        let q = path2();
+        let fast = q.compile(&db).unwrap();
+        let slow = q.compile(&db).unwrap().with_bitsets(false);
+        for t in [tuple![1, 3], tuple![1, 4], tuple![4, 1], tuple![2, 4]] {
+            assert_eq!(
+                fast.contains(&t, None, None).unwrap(),
+                slow.contains(&t, None, None).unwrap(),
+                "membership of {t}"
+            );
+            assert_eq!(
+                fast.eval_pre_bound(&t, None, None).unwrap(),
+                slow.eval_pre_bound(&t, None, None).unwrap()
+            );
+        }
+        let report = pkgrec_trace::take();
+        // The fast plan took the bitset path; a meter forces even the
+        // fast plan back onto the (tick-charging) row path.
+        assert!(report.counters.get("query.bitset_probes").copied() >= Some(1));
+        pkgrec_trace::reset();
+        let meter = Budget::with_steps(1_000_000).meter();
+        assert!(fast.contains(&tuple![1, 3], None, Some(&meter)).unwrap());
+        let metered = pkgrec_trace::take();
+        assert_eq!(metered.counters.get("query.bitset_probes"), None);
     }
 
     #[test]

@@ -55,6 +55,7 @@
 //! | `query.plan_compiles` | query | query plans compiled (once per (query, db) pair) |
 //! | `query.plan_probes` | query | compiled-plan evaluations / membership probes |
 //! | `query.index_builds` | query | column indexes built (relation or compiled plan) |
+//! | `query.bitset_probes` | query | fully-bound existence steps answered by bitset intersection |
 //! | `fo.assignments` | query | active-domain rows enumerated |
 //! | `rewrite.steps` | query | language-lattice rewrite steps |
 //! | `enumerate.nodes` | core | package-space DFS nodes visited |
@@ -62,6 +63,7 @@
 //! | `enumerate.pruned.compat` | core | subtrees skipped: anti-monotone `Qc` already violated |
 //! | `enumerate.pruned.budget` | core | walks cut short by the resource budget |
 //! | `enumerate.pruned.floor` | core | parallel units discarded above the merge floor |
+//! | `enumerate.steals` | core | search units claimed from another worker's deque |
 //! | `enumerate.valid` | core | packages passing all validity checks |
 //! | `enumerate.worker_panics` | core | search-unit panics caught and converted to typed errors |
 //! | `core.arity_derivations` | core | query answer-arity derivations (O(1) per search) |
@@ -132,6 +134,7 @@ pub const COUNTER_REGISTRY: &[CounterInfo] = &[
     CounterInfo { name: "query.plan_compiles", layer: "query", help: "query plans compiled (once per (query, db) pair)" },
     CounterInfo { name: "query.plan_probes", layer: "query", help: "compiled-plan evaluations / membership probes" },
     CounterInfo { name: "query.index_builds", layer: "query", help: "column indexes built (relation or compiled plan)" },
+    CounterInfo { name: "query.bitset_probes", layer: "query", help: "fully-bound existence steps answered by bitset intersection" },
     CounterInfo { name: "fo.assignments", layer: "query", help: "active-domain rows enumerated" },
     CounterInfo { name: "rewrite.steps", layer: "query", help: "language-lattice rewrite steps" },
     CounterInfo { name: "enumerate.nodes", layer: "core", help: "package-space DFS nodes visited" },
@@ -139,6 +142,7 @@ pub const COUNTER_REGISTRY: &[CounterInfo] = &[
     CounterInfo { name: "enumerate.pruned.compat", layer: "core", help: "subtrees skipped: anti-monotone `Qc` already violated" },
     CounterInfo { name: "enumerate.pruned.budget", layer: "core", help: "walks cut short by the resource budget" },
     CounterInfo { name: "enumerate.pruned.floor", layer: "core", help: "parallel units discarded above the merge floor" },
+    CounterInfo { name: "enumerate.steals", layer: "core", help: "search units claimed from another worker's deque" },
     CounterInfo { name: "enumerate.valid", layer: "core", help: "packages passing all validity checks" },
     CounterInfo { name: "enumerate.worker_panics", layer: "core", help: "search-unit panics caught and converted to typed errors" },
     CounterInfo { name: "core.arity_derivations", layer: "core", help: "query answer-arity derivations (O(1) per search)" },

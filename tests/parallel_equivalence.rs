@@ -176,8 +176,12 @@ proptest! {
         let mut prev_count = 0u128;
         let mut prev_progress = 0.0f64;
         for budget in [base, base * 2, base * 4, base * 8] {
-            let out = cpp::count_valid(&inst, Ext::NegInf, &SolveOptions::limited(budget))
-                .unwrap();
+            // jobs=1 explicitly: a PKGREC_JOBS override must not turn
+            // the sequential-monotonicity half into a parallel run
+            // (work stealing makes parallel cuts anytime-only).
+            let out =
+                cpp::count_valid(&inst, Ext::NegInf, &SolveOptions::limited(budget).with_jobs(1))
+                    .unwrap();
             prop_assert!(out.value <= exact.value);
             prop_assert!(out.value >= prev_count, "count shrank as budget grew");
             prev_count = out.value;

@@ -48,6 +48,7 @@ fn rpp_solve_emits_the_documented_counter_names() {
             "enumerate.nodes",
             "enumerate.pruned.cost",
             "enumerate.valid",
+            "query.bitset_probes",
             "query.index_builds",
             "query.plan_compiles",
             "query.plan_probes"
